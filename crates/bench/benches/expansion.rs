@@ -1,0 +1,35 @@
+//! Criterion bench P1: fully preemptive expansion throughput.
+
+use acs_model::units::Freq;
+use acs_preempt::FullyPreemptiveSchedule;
+use acs_workloads::{cnc, gap, generate, RandomSetConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_expansion(c: &mut Criterion) {
+    let fmax = Freq::from_cycles_per_ms(200.0);
+    let cnc_set = cnc(fmax, 0.5, 0.7).unwrap();
+    let gap_set = gap(fmax, 0.5, 0.7).unwrap();
+    let rand_set = generate(
+        &RandomSetConfig::paper(10, 0.5, fmax),
+        &mut StdRng::seed_from_u64(3),
+    )
+    .unwrap();
+
+    let mut g = c.benchmark_group("expansion");
+    g.bench_function("cnc_64_subs", |b| {
+        b.iter(|| FullyPreemptiveSchedule::expand(black_box(&cnc_set)).unwrap())
+    });
+    g.bench_function("gap_680_subs", |b| {
+        b.iter(|| FullyPreemptiveSchedule::expand(black_box(&gap_set)).unwrap())
+    });
+    g.bench_function("random10", |b| {
+        b.iter(|| FullyPreemptiveSchedule::expand(black_box(&rand_set)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_expansion);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench P4: event-driven simulator throughput.
+
+use acs_core::{synthesize_wcs, SynthesisOptions};
+use acs_model::units::Freq;
+use acs_sim::{DvsPolicy, SimOptions, Simulator};
+use acs_workloads::{cnc, TaskWorkloads};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    let fmax = Freq::from_cycles_per_ms(200.0);
+    let set = cnc(fmax, 0.1, 0.7).unwrap();
+    let cpu = acs_power::Processor::builder(acs_power::FreqModel::linear(50.0).unwrap())
+        .vmin(acs_model::units::Volt::from_volts(0.3))
+        .vmax(acs_model::units::Volt::from_volts(4.0))
+        .build()
+        .unwrap();
+    let schedule = synthesize_wcs(&set, &cpu, &SynthesisOptions::quick()).unwrap();
+
+    let mut g = c.benchmark_group("simulator");
+    for (name, policy) in [
+        ("greedy_cnc_100hp", DvsPolicy::GreedyReclaim),
+        ("nodvs_cnc_100hp", DvsPolicy::NoDvs),
+        ("ccrm_cnc_100hp", DvsPolicy::CcRm),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut draws = TaskWorkloads::paper(&set, 11);
+                let mut sim = Simulator::new(&set, &cpu, policy).with_options(SimOptions {
+                    hyper_periods: 100,
+                    deadline_tol_ms: 1e-3,
+                    ..Default::default()
+                });
+                if policy.needs_schedule() {
+                    sim = sim.with_schedule(&schedule);
+                }
+                black_box(sim.run(&mut |t, i| draws.draw(t, i)).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench P3: end-to-end schedule synthesis.
+
+use acs_core::{synthesize_acs, synthesize_wcs, SynthesisOptions};
+use acs_model::units::Freq;
+use acs_workloads::{cnc, motivation};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_solver(c: &mut Criterion) {
+    let (moto_set, moto_cpu) = motivation();
+    let fmax = Freq::from_cycles_per_ms(200.0);
+    let cnc_set = cnc(fmax, 0.5, 0.7).unwrap();
+    let cnc_cpu = acs_power::Processor::builder(acs_power::FreqModel::linear(50.0).unwrap())
+        .vmin(acs_model::units::Volt::from_volts(0.3))
+        .vmax(acs_model::units::Volt::from_volts(4.0))
+        .build()
+        .unwrap();
+    let quick = SynthesisOptions::quick();
+
+    let mut g = c.benchmark_group("synthesis");
+    g.sample_size(10);
+    g.bench_function("acs_motivation_3subs", |b| {
+        b.iter(|| synthesize_acs(black_box(&moto_set), &moto_cpu, &quick).unwrap())
+    });
+    g.bench_function("wcs_cnc_64subs", |b| {
+        b.iter(|| synthesize_wcs(black_box(&cnc_set), &cnc_cpu, &quick).unwrap())
+    });
+    g.bench_function("acs_cnc_64subs", |b| {
+        b.iter(|| synthesize_acs(black_box(&cnc_set), &cnc_cpu, &quick).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

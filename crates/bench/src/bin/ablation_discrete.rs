@@ -1,0 +1,96 @@
+//! **Ablation A3** — discrete voltage levels and transition overhead.
+//!
+//! The paper assumes a continuous supply and free transitions (§3.2).
+//! This ablation quantifies both assumptions on random task sets:
+//! ACS-over-WCS improvement under level quantization (runtime rounds up,
+//! keeping deadlines safe) and per-switch time/energy overheads.
+//!
+//! ```sh
+//! cargo run --release -p acs-bench --bin ablation_discrete
+//! ```
+
+use acs_bench::{compare_acs_wcs, Scale};
+use acs_core::SynthesisOptions;
+use acs_model::units::{Energy, TimeSpan, Volt};
+use acs_power::{FreqModel, LevelTable, Processor, TransitionOverhead};
+use acs_sim::Summary;
+use acs_workloads::{generate, RandomSetConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn processor(levels: Option<usize>, overhead: TransitionOverhead) -> Processor {
+    let mut b = Processor::builder(FreqModel::linear(50.0).expect("kappa > 0"))
+        .vmin(Volt::from_volts(0.3))
+        .vmax(Volt::from_volts(4.0))
+        .transition_overhead(overhead);
+    if let Some(n) = levels {
+        let step = (4.0 - 0.3) / (n - 1) as f64;
+        let table: Vec<Volt> = (0..n)
+            .map(|i| Volt::from_volts(0.3 + step * i as f64))
+            .collect();
+        b = b.discrete_levels(LevelTable::new(table).expect("monotone levels"));
+    }
+    b.build().expect("valid processor")
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let opts = SynthesisOptions::default();
+    let variants: Vec<(String, Processor)> = vec![
+        ("continuous, free switch".into(), processor(None, TransitionOverhead::NONE)),
+        ("4 levels".into(), processor(Some(4), TransitionOverhead::NONE)),
+        ("8 levels".into(), processor(Some(8), TransitionOverhead::NONE)),
+        ("16 levels".into(), processor(Some(16), TransitionOverhead::NONE)),
+        (
+            "overhead 10µs/10eu".into(),
+            processor(
+                None,
+                TransitionOverhead {
+                    time: TimeSpan::from_ms(0.01),
+                    energy: Energy::from_units(10.0),
+                },
+            ),
+        ),
+        (
+            "overhead 50µs/50eu".into(),
+            processor(
+                None,
+                TransitionOverhead {
+                    time: TimeSpan::from_ms(0.05),
+                    energy: Energy::from_units(50.0),
+                },
+            ),
+        ),
+    ];
+
+    println!(
+        "Ablation A3: ACS-over-WCS % improvement under processor variations \
+         (6-task sets, ratio 0.1; {} sets x {} hyper-periods)\n",
+        scale.task_sets, scale.hyper_periods
+    );
+    println!("{:<26} {:>10} {:>8} {:>8}", "processor", "mean", "std", "misses");
+    for (name, cpu) in &variants {
+        let mut s = Summary::new();
+        let mut misses = 0usize;
+        for set_idx in 0..scale.task_sets {
+            let seed = scale.seed + set_idx as u64;
+            let cfg = RandomSetConfig::paper(6, 0.1, cpu.f_max());
+            let Ok(set) = generate(&cfg, &mut StdRng::seed_from_u64(seed)) else {
+                continue;
+            };
+            match compare_acs_wcs(&set, cpu, &opts, scale.hyper_periods, seed ^ 0xA3) {
+                Ok(c) => {
+                    s.push(100.0 * c.improvement);
+                    misses += c.misses;
+                }
+                Err(e) => eprintln!("  [{name} set {set_idx}] {e}"),
+            }
+        }
+        println!("{:<26} {:>9.1}% {:>8.1} {:>8}", name, s.mean(), s.std_dev(), misses);
+    }
+    println!(
+        "\nExpected: improvements shrink slightly with coarser levels and \
+         larger overheads but the ACS advantage persists — supporting the \
+         paper's 'transition overhead is negligible' assumption (§3)."
+    );
+}

@@ -1,0 +1,93 @@
+//! Error type for schedule synthesis.
+
+use acs_model::ModelError;
+use acs_power::PowerError;
+use acs_preempt::PreemptError;
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced while synthesizing or validating static schedules.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Task-model error (propagated).
+    Model(ModelError),
+    /// Processor-model error (propagated).
+    Power(PowerError),
+    /// Fully-preemptive-expansion error (propagated).
+    Preempt(PreemptError),
+    /// The NLP solver terminated without reaching worst-case feasibility.
+    SolveFailed {
+        /// Largest remaining constraint violation (milliseconds or
+        /// normalized cycles, whichever is worst).
+        max_violation: f64,
+    },
+    /// Schedule parts were inconsistent (entry count or ordering mismatch
+    /// with the fully preemptive expansion).
+    ScheduleMismatch {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Model(e) => write!(f, "task model error: {e}"),
+            CoreError::Power(e) => write!(f, "power model error: {e}"),
+            CoreError::Preempt(e) => write!(f, "expansion error: {e}"),
+            CoreError::SolveFailed { max_violation } => write!(
+                f,
+                "voltage-schedule NLP did not reach feasibility \
+                 (max violation {max_violation:.3e})"
+            ),
+            CoreError::ScheduleMismatch { reason } => {
+                write!(f, "inconsistent schedule: {reason}")
+            }
+        }
+    }
+}
+
+impl StdError for CoreError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            CoreError::Model(e) => Some(e),
+            CoreError::Power(e) => Some(e),
+            CoreError::Preempt(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for CoreError {
+    fn from(e: ModelError) -> Self {
+        CoreError::Model(e)
+    }
+}
+
+impl From<PowerError> for CoreError {
+    fn from(e: PowerError) -> Self {
+        CoreError::Power(e)
+    }
+}
+
+impl From<PreemptError> for CoreError {
+    fn from(e: PreemptError) -> Self {
+        CoreError::Preempt(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::from(ModelError::EmptyTaskSet);
+        assert!(e.to_string().contains("task model"));
+        assert!(e.source().is_some());
+        let s = CoreError::SolveFailed { max_violation: 1e-2 };
+        assert!(s.to_string().contains("1.000e-2"));
+        assert!(s.source().is_none());
+    }
+}

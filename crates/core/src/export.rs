@@ -1,0 +1,293 @@
+//! Plain-text persistence for [`StaticSchedule`] artifacts.
+//!
+//! The offline phase typically runs on a workstation while the milestone
+//! table is consumed by an embedded runtime, so the artifact needs a
+//! stable serialization. The format is a versioned, line-oriented text
+//! table (one sub-instance per line) that is diff-able, greppable and
+//! trivially parseable from C on the target — deliberately not a binary
+//! or framework format.
+//!
+//! ```text
+//! acsched-schedule v1
+//! kind ACS
+//! subs 3
+//! # sub  task  instance  chunk  end_ms  worst_cycles  avg_cycles
+//! 0 0 0 0 10.000000000000 1000.000000000000 500.000000000000
+//! ...
+//! ```
+
+use crate::error::CoreError;
+use crate::schedule::{Milestone, ScheduleKind, SolveDiagnostics, StaticSchedule};
+use acs_model::units::{Cycles, Energy, Time};
+use acs_preempt::{FullyPreemptiveSchedule, SubInstanceId};
+use acs_model::TaskSet;
+
+/// Serializes a schedule to the v1 text format.
+pub fn to_text(schedule: &StaticSchedule) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "acsched-schedule v1");
+    let _ = writeln!(
+        out,
+        "kind {}",
+        match schedule.kind() {
+            ScheduleKind::Acs => "ACS",
+            ScheduleKind::Wcs => "WCS",
+            ScheduleKind::Custom => "CUSTOM",
+        }
+    );
+    let _ = writeln!(out, "subs {}", schedule.milestones().len());
+    let _ = writeln!(out, "# sub task instance chunk end_ms worst_cycles avg_cycles");
+    for m in schedule.milestones() {
+        let s = schedule.fps().sub(m.sub);
+        let _ = writeln!(
+            out,
+            "{} {} {} {} {:.12} {:.12} {:.12}",
+            m.sub.0,
+            s.instance.task.0,
+            s.instance.index,
+            s.chunk,
+            m.end_time.as_ms(),
+            m.worst_workload.as_cycles(),
+            m.avg_workload.as_cycles(),
+        );
+    }
+    out
+}
+
+/// Parses a v1 text artifact back into a schedule.
+///
+/// The task set is re-expanded to rebuild the sub-instance structure; the
+/// file's `(task, instance, chunk)` triples are cross-checked against it,
+/// so loading a schedule against the wrong task set fails loudly instead
+/// of silently misassigning milestones. Solver diagnostics are not
+/// persisted; the loaded schedule carries zeroed diagnostics with
+/// `converged = true` (the artifact is assumed to have been gated before
+/// export — re-verify with [`crate::verify_worst_case`] when in doubt).
+///
+/// # Errors
+///
+/// [`CoreError::ScheduleMismatch`] on any syntax error, version mismatch,
+/// count mismatch or structural disagreement with `set`'s expansion.
+pub fn from_text(text: &str, set: &TaskSet) -> Result<StaticSchedule, CoreError> {
+    let bad = |reason: String| CoreError::ScheduleMismatch { reason };
+    let mut lines = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'));
+
+    let header = lines.next().ok_or_else(|| bad("empty artifact".into()))?;
+    if header != "acsched-schedule v1" {
+        return Err(bad(format!("unsupported header `{header}`")));
+    }
+    let kind_line = lines.next().ok_or_else(|| bad("missing kind line".into()))?;
+    let kind = match kind_line.strip_prefix("kind ") {
+        Some("ACS") => ScheduleKind::Acs,
+        Some("WCS") => ScheduleKind::Wcs,
+        Some("CUSTOM") => ScheduleKind::Custom,
+        _ => return Err(bad(format!("bad kind line `{kind_line}`"))),
+    };
+    let subs_line = lines.next().ok_or_else(|| bad("missing subs line".into()))?;
+    let count: usize = subs_line
+        .strip_prefix("subs ")
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| bad(format!("bad subs line `{subs_line}`")))?;
+
+    let fps = FullyPreemptiveSchedule::expand(set)?;
+    if fps.len() != count {
+        return Err(bad(format!(
+            "artifact has {count} sub-instances, task set expands to {}",
+            fps.len()
+        )));
+    }
+
+    let mut milestones: Vec<Option<Milestone>> = vec![None; count];
+    for line in lines {
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 7 {
+            return Err(bad(format!("expected 7 fields, got `{line}`")));
+        }
+        let parse_u = |s: &str| -> Result<u64, CoreError> {
+            s.parse().map_err(|_| bad(format!("bad integer `{s}`")))
+        };
+        let parse_f = |s: &str| -> Result<f64, CoreError> {
+            let v: f64 = s.parse().map_err(|_| bad(format!("bad number `{s}`")))?;
+            if !v.is_finite() {
+                return Err(bad(format!("non-finite number `{s}`")));
+            }
+            Ok(v)
+        };
+        let idx = parse_u(fields[0])? as usize;
+        if idx >= count {
+            return Err(bad(format!("sub index {idx} out of range")));
+        }
+        let sub = fps.sub(SubInstanceId(idx));
+        if sub.instance.task.0 as u64 != parse_u(fields[1])?
+            || sub.instance.index != parse_u(fields[2])?
+            || sub.chunk as u64 != parse_u(fields[3])?
+        {
+            return Err(bad(format!(
+                "structure mismatch at sub {idx}: artifact says task/instance/chunk \
+                 {}/{}/{}, expansion says {}",
+                fields[1],
+                fields[2],
+                fields[3],
+                sub.label(),
+            )));
+        }
+        if milestones[idx].is_some() {
+            return Err(bad(format!("duplicate entry for sub {idx}")));
+        }
+        milestones[idx] = Some(Milestone {
+            sub: SubInstanceId(idx),
+            end_time: Time::from_ms(parse_f(fields[4])?),
+            worst_workload: Cycles::from_cycles(parse_f(fields[5])?),
+            avg_workload: Cycles::from_cycles(parse_f(fields[6])?),
+        });
+    }
+    let milestones: Vec<Milestone> = milestones
+        .into_iter()
+        .enumerate()
+        .map(|(i, m)| m.ok_or_else(|| bad(format!("missing entry for sub {i}"))))
+        .collect::<Result<_, _>>()?;
+
+    StaticSchedule::from_parts(
+        fps,
+        milestones,
+        kind,
+        SolveDiagnostics {
+            converged: true,
+            max_violation: 0.0,
+            outer_iterations: 0,
+            evaluations: 0,
+            predicted_avg_energy: Energy::ZERO,
+            predicted_worst_energy: Energy::ZERO,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthesis::{synthesize_wcs, SynthesisOptions};
+    use acs_model::units::{Ticks, Volt};
+    use acs_model::Task;
+    use acs_power::{FreqModel, Processor};
+
+    fn fixture() -> (TaskSet, Processor) {
+        let set = TaskSet::new(vec![
+            Task::builder("a", Ticks::new(4))
+                .wcec(Cycles::from_cycles(100.0))
+                .acec(Cycles::from_cycles(40.0))
+                .bcec(Cycles::from_cycles(10.0))
+                .build()
+                .unwrap(),
+            Task::builder("b", Ticks::new(8))
+                .wcec(Cycles::from_cycles(150.0))
+                .acec(Cycles::from_cycles(60.0))
+                .bcec(Cycles::from_cycles(15.0))
+                .build()
+                .unwrap(),
+        ])
+        .unwrap();
+        let cpu = Processor::builder(FreqModel::linear(50.0).unwrap())
+            .vmin(Volt::from_volts(0.3))
+            .vmax(Volt::from_volts(4.0))
+            .build()
+            .unwrap();
+        (set, cpu)
+    }
+
+    #[test]
+    fn round_trip_preserves_milestones() {
+        let (set, cpu) = fixture();
+        let sched = synthesize_wcs(&set, &cpu, &SynthesisOptions::quick()).unwrap();
+        let text = to_text(&sched);
+        let back = from_text(&text, &set).unwrap();
+        assert_eq!(back.kind(), sched.kind());
+        for (a, b) in sched.milestones().iter().zip(back.milestones()) {
+            assert_eq!(a.sub, b.sub);
+            assert!(a.end_time.approx_eq(b.end_time, 1e-9));
+            assert!(a.worst_workload.approx_eq(b.worst_workload, 1e-6));
+            assert!(a.avg_workload.approx_eq(b.avg_workload, 1e-6));
+        }
+    }
+
+    #[test]
+    fn format_is_stable_and_commented() {
+        let (set, cpu) = fixture();
+        let sched = synthesize_wcs(&set, &cpu, &SynthesisOptions::quick()).unwrap();
+        let text = to_text(&sched);
+        assert!(text.starts_with("acsched-schedule v1\nkind WCS\nsubs 4\n"));
+        assert!(text.contains("# sub task instance chunk"));
+        assert_eq!(text.lines().count(), 4 + 4);
+    }
+
+    #[test]
+    fn rejects_wrong_task_set() {
+        let (set, cpu) = fixture();
+        let sched = synthesize_wcs(&set, &cpu, &SynthesisOptions::quick()).unwrap();
+        let text = to_text(&sched);
+        let other = TaskSet::new(vec![Task::builder("x", Ticks::new(5))
+            .wcec(Cycles::from_cycles(10.0))
+            .build()
+            .unwrap()])
+        .unwrap();
+        let err = from_text(&text, &other).unwrap_err();
+        assert!(err.to_string().contains("sub-instances"));
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let (set, cpu) = fixture();
+        let sched = synthesize_wcs(&set, &cpu, &SynthesisOptions::quick()).unwrap();
+        let text = to_text(&sched);
+
+        // Bad header.
+        assert!(from_text(&text.replace("v1", "v9"), &set).is_err());
+        // Bad kind.
+        assert!(from_text(&text.replace("kind WCS", "kind XXX"), &set).is_err());
+        // Truncated body.
+        let truncated: String = text.lines().take(6).collect::<Vec<_>>().join("\n");
+        assert!(from_text(&truncated, &set).is_err());
+        // Mangled field count.
+        let mangled = text.replace(" 0 0 0 ", " 0 0 ");
+        assert!(from_text(&mangled, &set).is_err());
+        // Non-finite number.
+        let nan = {
+            let mut lines: Vec<String> = text.lines().map(String::from).collect();
+            let last = lines.last_mut().unwrap();
+            let mut parts: Vec<&str> = last.split_whitespace().collect();
+            parts[4] = "NaN";
+            *last = parts.join(" ");
+            lines.join("\n")
+        };
+        assert!(from_text(&nan, &set).is_err());
+        // Duplicate entry.
+        let dup = {
+            let body_line = text.lines().nth(4).unwrap();
+            format!("{text}\n{body_line}")
+        };
+        assert!(from_text(&dup, &set).is_err());
+    }
+
+    #[test]
+    fn structure_mismatch_detected() {
+        let (set, cpu) = fixture();
+        let sched = synthesize_wcs(&set, &cpu, &SynthesisOptions::quick()).unwrap();
+        // Swap the task column of the first body line.
+        let mut lines: Vec<String> = to_text(&sched).lines().map(String::from).collect();
+        let first_body = lines.iter().position(|l| l.starts_with("0 ")).unwrap();
+        lines[first_body] = lines[first_body].replacen("0 0 0 0", "0 1 0 0", 1);
+        let err = from_text(&lines.join("\n"), &set).unwrap_err();
+        assert!(err.to_string().contains("structure mismatch"));
+    }
+
+    #[test]
+    fn loaded_schedule_verifies_and_simulates() {
+        let (set, cpu) = fixture();
+        let sched = synthesize_wcs(&set, &cpu, &SynthesisOptions::quick()).unwrap();
+        let back = from_text(&to_text(&sched), &set).unwrap();
+        assert!(crate::verify::verify_worst_case(&back, &set, &cpu, 1e-4).is_ok());
+    }
+}

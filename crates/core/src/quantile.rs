@@ -1,0 +1,209 @@
+//! Truncated-normal quantiles for the probability-weighted objective.
+//!
+//! The paper's experiments draw execution cycles from a normal
+//! distribution with mean ACEC, truncated to `[BCEC, WCEC]` (§4), and
+//! note that the objective may use the full probability density instead
+//! of the single ACEC point (§3.2). This module provides equal-mass
+//! strata midpoints of that truncated normal so
+//! `ObjectiveKind::Quantiles(n)` can average the trace energy over `n`
+//! representative workloads.
+
+/// Standard normal cumulative distribution function.
+///
+/// Uses the complementary-error-function identity with an Abramowitz &
+/// Stegun 7.1.26-style polynomial; absolute error below `7.5e-8`, ample
+/// for stratifying workloads.
+pub fn normal_cdf(x: f64) -> f64 {
+    // erf via A&S 7.1.26 on |x|/√2.
+    let z = x / std::f64::consts::SQRT_2;
+    let t = 1.0 / (1.0 + 0.327_591_1 * z.abs());
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    let erf_abs = 1.0 - poly * (-z * z).exp();
+    let erf = if z >= 0.0 { erf_abs } else { -erf_abs };
+    0.5 * (1.0 + erf)
+}
+
+/// Inverse standard normal CDF (Acklam's rational approximation,
+/// relative error ≈ 1.15e-9), refined by one Newton step on
+/// [`normal_cdf`].
+///
+/// # Panics
+///
+/// Panics unless `0 < p < 1`.
+pub fn normal_inverse_cdf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "probability must lie in (0, 1), got {p}");
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+    // One Newton refinement: x -= (Φ(x) − p)/φ(x).
+    let pdf = (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt();
+    if pdf > 1e-300 {
+        x - (normal_cdf(x) - p) / pdf
+    } else {
+        x
+    }
+}
+
+/// One representative workload scenario: `weight`s sum to 1 across a
+/// stratification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedValue {
+    /// Scenario probability mass.
+    pub weight: f64,
+    /// Scenario value (e.g. execution cycles).
+    pub value: f64,
+}
+
+/// Equal-mass strata midpoints of a normal `N(mean, sd²)` truncated to
+/// `[lo, hi]`.
+///
+/// Returns `n` scenarios with weight `1/n` whose values are the quantiles
+/// at probabilities `(j + 0.5)/n` of the truncated distribution. For
+/// `sd = 0` (or a degenerate interval) all scenarios collapse to the
+/// clamped mean.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `lo > hi`.
+pub fn truncated_normal_strata(mean: f64, sd: f64, lo: f64, hi: f64, n: usize) -> Vec<WeightedValue> {
+    assert!(n > 0, "need at least one stratum");
+    assert!(lo <= hi, "invalid truncation interval [{lo}, {hi}]");
+    let w = 1.0 / n as f64;
+    if sd <= 0.0 || hi - lo <= 0.0 {
+        let v = mean.clamp(lo, hi);
+        return vec![WeightedValue { weight: w, value: v }; n];
+    }
+    let a = normal_cdf((lo - mean) / sd);
+    let b = normal_cdf((hi - mean) / sd);
+    let mass = (b - a).max(1e-12);
+    (0..n)
+        .map(|j| {
+            let p = a + mass * ((j as f64 + 0.5) / n as f64);
+            let v = mean + sd * normal_inverse_cdf(p.clamp(1e-12, 1.0 - 1e-12));
+            WeightedValue {
+                weight: w,
+                value: v.clamp(lo, hi),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_known_points() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.0) - 0.841_344_746).abs() < 1e-6);
+        assert!((normal_cdf(-1.96) - 0.024_997_9).abs() < 1e-5);
+        assert!(normal_cdf(8.0) > 0.999_999);
+        assert!(normal_cdf(-8.0) < 1e-6);
+    }
+
+    #[test]
+    fn inverse_cdf_round_trips() {
+        for p in [0.001, 0.01, 0.2, 0.5, 0.77, 0.99, 0.999] {
+            let x = normal_inverse_cdf(p);
+            assert!((normal_cdf(x) - p).abs() < 1e-7, "p = {p}, x = {x}");
+        }
+    }
+
+    #[test]
+    fn inverse_cdf_symmetry() {
+        for p in [0.1, 0.25, 0.4] {
+            let a = normal_inverse_cdf(p);
+            let b = normal_inverse_cdf(1.0 - p);
+            assert!((a + b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn inverse_cdf_rejects_out_of_range() {
+        let _ = normal_inverse_cdf(0.0);
+    }
+
+    #[test]
+    fn strata_stay_in_bounds_and_average_near_truncated_mean() {
+        let strata = truncated_normal_strata(50.0, 20.0, 10.0, 100.0, 64);
+        let mean: f64 = strata.iter().map(|s| s.weight * s.value).sum();
+        for s in &strata {
+            assert!(s.value >= 10.0 && s.value <= 100.0);
+        }
+        // Truncated mean stays close to 50 for this near-symmetric window.
+        assert!((mean - 50.0).abs() < 1.5, "mean = {mean}");
+        let total_w: f64 = strata.iter().map(|s| s.weight).sum();
+        assert!((total_w - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strata_are_monotone() {
+        let strata = truncated_normal_strata(0.0, 1.0, -3.0, 3.0, 16);
+        for w in strata.windows(2) {
+            assert!(w[0].value <= w[1].value);
+        }
+    }
+
+    #[test]
+    fn degenerate_sd_collapses() {
+        let strata = truncated_normal_strata(5.0, 0.0, 0.0, 10.0, 4);
+        assert!(strata.iter().all(|s| s.value == 5.0));
+    }
+
+    #[test]
+    fn paper_sigma_convention() {
+        // σ = (WCEC − BCEC)/6 keeps ±3σ inside the bounds, so truncation
+        // barely shifts the mean.
+        let (bcec, wcec) = (100.0, 1000.0);
+        let mean = (bcec + wcec) / 2.0;
+        let sd = (wcec - bcec) / 6.0;
+        let strata = truncated_normal_strata(mean, sd, bcec, wcec, 32);
+        let m: f64 = strata.iter().map(|s| s.weight * s.value).sum();
+        assert!((m - mean).abs() < 5.0, "m = {m}");
+    }
+}

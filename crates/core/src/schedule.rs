@@ -1,0 +1,311 @@
+//! The static voltage-schedule artifact handed to the online DVS phase.
+
+use crate::error::CoreError;
+use acs_model::units::{Cycles, Energy, Time};
+use acs_preempt::{FullyPreemptiveSchedule, InstanceId, SubInstanceId};
+
+/// Which offline strategy produced a schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleKind {
+    /// Average-case-aware schedule (the paper's contribution).
+    Acs,
+    /// Worst-case-only schedule (the paper's baseline).
+    Wcs,
+    /// Hand-built or externally supplied.
+    Custom,
+}
+
+impl std::fmt::Display for ScheduleKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleKind::Acs => write!(f, "ACS"),
+            ScheduleKind::Wcs => write!(f, "WCS"),
+            ScheduleKind::Custom => write!(f, "custom"),
+        }
+    }
+}
+
+/// Per-sub-instance milestone: the quantities the online DVS phase needs
+/// (paper §3.2: "only the end-time and the worst-case workload variables
+/// will be passed to the online DVS phase").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Milestone {
+    /// The sub-instance this milestone belongs to.
+    pub sub: SubInstanceId,
+    /// Scheduled end time `e_u` (identical for average and worst case).
+    pub end_time: Time,
+    /// Worst-case workload share `R̂_u`.
+    pub worst_workload: Cycles,
+    /// Average workload share `R̄_u` under the fill rule (reporting only;
+    /// the runtime never needs it).
+    pub avg_workload: Cycles,
+}
+
+/// Solver telemetry attached to a synthesized schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveDiagnostics {
+    /// Whether the NLP reached feasibility within tolerance.
+    pub converged: bool,
+    /// Largest remaining constraint violation.
+    pub max_violation: f64,
+    /// Outer (augmented-Lagrangian) iterations.
+    pub outer_iterations: usize,
+    /// Total objective/gradient evaluations.
+    pub evaluations: usize,
+    /// Predicted energy per hyper-period when every instance takes its
+    /// ACEC and the greedy runtime policy runs (the NLP objective).
+    pub predicted_avg_energy: Energy,
+    /// Predicted energy per hyper-period when every instance takes its
+    /// WCEC (the safety scenario).
+    pub predicted_worst_energy: Energy,
+}
+
+/// A complete static voltage schedule: one [`Milestone`] per sub-instance
+/// of the fully preemptive expansion, in total execution order.
+///
+/// The artifact owns its expansion so it is self-describing: consumers
+/// (the simulator, the verifier, pretty-printers) never need to re-derive
+/// sub-instance windows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaticSchedule {
+    fps: FullyPreemptiveSchedule,
+    milestones: Vec<Milestone>,
+    kind: ScheduleKind,
+    diagnostics: SolveDiagnostics,
+}
+
+impl StaticSchedule {
+    /// Assembles a schedule from parts, validating alignment with the
+    /// expansion.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::ScheduleMismatch`] when the milestone list does not
+    /// match the expansion one-to-one and in order, when an end time lies
+    /// outside its sub-instance window (beyond `1e-6` ms), or when a
+    /// workload is negative (beyond `1e-9` cycles).
+    pub fn from_parts(
+        fps: FullyPreemptiveSchedule,
+        milestones: Vec<Milestone>,
+        kind: ScheduleKind,
+        diagnostics: SolveDiagnostics,
+    ) -> Result<Self, CoreError> {
+        if milestones.len() != fps.len() {
+            return Err(CoreError::ScheduleMismatch {
+                reason: format!(
+                    "{} milestones for {} sub-instances",
+                    milestones.len(),
+                    fps.len()
+                ),
+            });
+        }
+        const T_TOL: f64 = 1e-6;
+        const C_TOL: f64 = 1e-9;
+        for (i, m) in milestones.iter().enumerate() {
+            if m.sub.0 != i {
+                return Err(CoreError::ScheduleMismatch {
+                    reason: format!("milestone {i} refers to sub-instance {}", m.sub),
+                });
+            }
+            let s = fps.sub(m.sub);
+            if m.end_time.as_ms() < s.window_start.as_ms() - T_TOL
+                || m.end_time.as_ms() > s.window_end.as_ms() + T_TOL
+            {
+                return Err(CoreError::ScheduleMismatch {
+                    reason: format!(
+                        "end time {} of {} outside window [{}, {}]",
+                        m.end_time,
+                        s.label(),
+                        s.window_start,
+                        s.window_end
+                    ),
+                });
+            }
+            if m.worst_workload.as_cycles() < -C_TOL || m.avg_workload.as_cycles() < -C_TOL {
+                return Err(CoreError::ScheduleMismatch {
+                    reason: format!("negative workload on {}", s.label()),
+                });
+            }
+        }
+        Ok(StaticSchedule {
+            fps,
+            milestones,
+            kind,
+            diagnostics,
+        })
+    }
+
+    /// The fully preemptive expansion this schedule is built on.
+    pub fn fps(&self) -> &FullyPreemptiveSchedule {
+        &self.fps
+    }
+
+    /// All milestones in total execution order.
+    pub fn milestones(&self) -> &[Milestone] {
+        &self.milestones
+    }
+
+    /// Milestone of one sub-instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn milestone(&self, id: SubInstanceId) -> &Milestone {
+        &self.milestones[id.0]
+    }
+
+    /// Milestones of one instance, in chunk order.
+    pub fn milestones_of(&self, instance: InstanceId) -> Vec<&Milestone> {
+        self.fps
+            .chunks_of(instance)
+            .map(|id| self.milestone(id))
+            .collect()
+    }
+
+    /// Which strategy produced this schedule.
+    pub fn kind(&self) -> ScheduleKind {
+        self.kind
+    }
+
+    /// Solver telemetry.
+    pub fn diagnostics(&self) -> &SolveDiagnostics {
+        &self.diagnostics
+    }
+
+    /// Renders a compact human-readable table (one row per sub-instance).
+    pub fn to_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<10} {:>10} {:>12} {:>12}  window",
+            "sub", "end(ms)", "R̂(cyc)", "R̄(cyc)"
+        );
+        for m in &self.milestones {
+            let s = self.fps.sub(m.sub);
+            let _ = writeln!(
+                out,
+                "{:<10} {:>10.3} {:>12.2} {:>12.2}  [{:.1}, {:.1}]",
+                s.label(),
+                m.end_time.as_ms(),
+                m.worst_workload.as_cycles(),
+                m.avg_workload.as_cycles(),
+                s.window_start.as_ms(),
+                s.window_end.as_ms(),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acs_model::units::Ticks;
+    use acs_model::{Task, TaskSet};
+
+    fn fps() -> FullyPreemptiveSchedule {
+        let ts = TaskSet::new(vec![
+            Task::builder("a", Ticks::new(4))
+                .wcec(Cycles::from_cycles(10.0))
+                .build()
+                .unwrap(),
+            Task::builder("b", Ticks::new(8))
+                .wcec(Cycles::from_cycles(20.0))
+                .build()
+                .unwrap(),
+        ])
+        .unwrap();
+        FullyPreemptiveSchedule::expand(&ts).unwrap()
+    }
+
+    fn diag() -> SolveDiagnostics {
+        SolveDiagnostics {
+            converged: true,
+            max_violation: 0.0,
+            outer_iterations: 1,
+            evaluations: 1,
+            predicted_avg_energy: Energy::from_units(1.0),
+            predicted_worst_energy: Energy::from_units(2.0),
+        }
+    }
+
+    fn milestones_for(f: &FullyPreemptiveSchedule) -> Vec<Milestone> {
+        f.sub_instances()
+            .iter()
+            .map(|s| Milestone {
+                sub: s.id,
+                end_time: s.window_end,
+                worst_workload: Cycles::from_cycles(5.0),
+                avg_workload: Cycles::from_cycles(2.5),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn from_parts_accepts_aligned() {
+        let f = fps();
+        let ms = milestones_for(&f);
+        let sched = StaticSchedule::from_parts(f, ms, ScheduleKind::Acs, diag()).unwrap();
+        assert_eq!(sched.kind(), ScheduleKind::Acs);
+        assert_eq!(sched.milestones().len(), sched.fps().len());
+        assert!(sched.diagnostics().converged);
+    }
+
+    #[test]
+    fn rejects_wrong_count() {
+        let f = fps();
+        let err =
+            StaticSchedule::from_parts(f, vec![], ScheduleKind::Wcs, diag()).unwrap_err();
+        assert!(matches!(err, CoreError::ScheduleMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_end_time_outside_window() {
+        let f = fps();
+        let mut ms = milestones_for(&f);
+        ms[0].end_time = Time::from_ms(99.0);
+        let err = StaticSchedule::from_parts(f, ms, ScheduleKind::Acs, diag()).unwrap_err();
+        assert!(err.to_string().contains("outside window"));
+    }
+
+    #[test]
+    fn rejects_negative_workload() {
+        let f = fps();
+        let mut ms = milestones_for(&f);
+        ms[1].worst_workload = Cycles::from_cycles(-1.0);
+        let err = StaticSchedule::from_parts(f, ms, ScheduleKind::Acs, diag()).unwrap_err();
+        assert!(err.to_string().contains("negative workload"));
+    }
+
+    #[test]
+    fn milestones_of_instance() {
+        let f = fps();
+        let ms = milestones_for(&f);
+        let sched = StaticSchedule::from_parts(f, ms, ScheduleKind::Acs, diag()).unwrap();
+        let inst = InstanceId {
+            task: acs_model::TaskId(1),
+            index: 0,
+        };
+        let list = sched.milestones_of(inst);
+        assert_eq!(list.len(), 2); // task b split by a's release at 4
+    }
+
+    #[test]
+    fn table_renders_rows() {
+        let f = fps();
+        let n = f.len();
+        let ms = milestones_for(&f);
+        let sched = StaticSchedule::from_parts(f, ms, ScheduleKind::Wcs, diag()).unwrap();
+        let table = sched.to_table();
+        assert_eq!(table.lines().count(), n + 1);
+        assert!(table.contains("T0,1,1"));
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(ScheduleKind::Acs.to_string(), "ACS");
+        assert_eq!(ScheduleKind::Wcs.to_string(), "WCS");
+        assert_eq!(ScheduleKind::Custom.to_string(), "custom");
+    }
+}

@@ -1,0 +1,99 @@
+//! Error type for task-model construction and validation.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced while building or validating tasks and task sets.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A task field violated a basic invariant (e.g. zero period).
+    InvalidTask {
+        /// Name of the offending task.
+        task: String,
+        /// Human-readable description of the violated invariant.
+        reason: String,
+    },
+    /// Execution-cycle bounds must satisfy `0 < BCEC ≤ ACEC ≤ WCEC`.
+    InvalidCycleBounds {
+        /// Name of the offending task.
+        task: String,
+        /// Best-case execution cycles as given.
+        bcec: f64,
+        /// Average-case execution cycles as given.
+        acec: f64,
+        /// Worst-case execution cycles as given.
+        wcec: f64,
+    },
+    /// A task set must contain at least one task.
+    EmptyTaskSet,
+    /// Two tasks share a name, which would make reports ambiguous.
+    DuplicateTaskName(String),
+    /// The least common multiple of the periods overflowed `u64`.
+    HyperPeriodOverflow,
+    /// Worst-case utilization exceeds 1 at the processor's maximum speed,
+    /// so no schedule (DVS or not) can meet all deadlines.
+    Overutilized {
+        /// Worst-case utilization at maximum speed (`> 1`).
+        utilization: f64,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidTask { task, reason } => {
+                write!(f, "invalid task `{task}`: {reason}")
+            }
+            ModelError::InvalidCycleBounds {
+                task,
+                bcec,
+                acec,
+                wcec,
+            } => write!(
+                f,
+                "task `{task}` cycle bounds must satisfy 0 < BCEC <= ACEC <= WCEC, \
+                 got bcec={bcec}, acec={acec}, wcec={wcec}"
+            ),
+            ModelError::EmptyTaskSet => write!(f, "task set contains no tasks"),
+            ModelError::DuplicateTaskName(name) => {
+                write!(f, "duplicate task name `{name}`")
+            }
+            ModelError::HyperPeriodOverflow => {
+                write!(f, "hyper-period (lcm of periods) overflows u64")
+            }
+            ModelError::Overutilized { utilization } => write!(
+                f,
+                "worst-case utilization {utilization:.3} exceeds 1 at maximum speed"
+            ),
+        }
+    }
+}
+
+impl StdError for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::InvalidCycleBounds {
+            task: "t0".into(),
+            bcec: 2.0,
+            acec: 1.0,
+            wcec: 3.0,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("t0"));
+        assert!(msg.contains("BCEC <= ACEC <= WCEC"));
+        assert!(ModelError::EmptyTaskSet.to_string().contains("no tasks"));
+        assert!(ModelError::HyperPeriodOverflow.to_string().contains("lcm"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_err<E: StdError + Send + Sync + 'static>() {}
+        assert_err::<ModelError>();
+    }
+}

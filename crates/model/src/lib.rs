@@ -1,0 +1,51 @@
+//! # acs-model
+//!
+//! Task, task-set and typed-unit model for frame-based preemptive
+//! real-time systems with dynamic voltage scaling (DVS).
+//!
+//! This is the foundation crate of the `acsched` workspace, a reproduction
+//! of *"Exploiting Dynamic Workload Variation in Low Energy Preemptive
+//! Task Scheduling"* (Leung, Tsui, Hu — DATE 2005). It defines:
+//!
+//! * [`units`] — dimension-checked `f64` newtypes ([`units::Time`],
+//!   [`units::TimeSpan`], [`units::Cycles`], [`units::Freq`],
+//!   [`units::Volt`], [`units::Energy`]) plus exact integer milliseconds
+//!   ([`units::Ticks`]) for periods and hyper-periods.
+//! * [`Task`] / [`TaskBuilder`] — periodic tasks carrying the three
+//!   execution-cycle figures the paper needs: best-case (BCEC),
+//!   average-case (ACEC, from profiling) and worst-case (WCEC).
+//! * [`TaskSet`] — rate-monotonic priority assignment, hyper-period and
+//!   utilization queries.
+//!
+//! ## Example
+//!
+//! ```
+//! use acs_model::{Task, TaskSet, units::{Cycles, Freq, Ticks}};
+//!
+//! # fn main() -> Result<(), acs_model::ModelError> {
+//! let set = TaskSet::new(vec![
+//!     Task::builder("control", Ticks::new(3))
+//!         .wcec(Cycles::from_cycles(60.0))
+//!         .bcec(Cycles::from_cycles(6.0))
+//!         .build()?,
+//!     Task::builder("logging", Ticks::new(9))
+//!         .wcec(Cycles::from_cycles(90.0))
+//!         .build()?,
+//! ])?;
+//! assert_eq!(set.hyper_period(), Ticks::new(9));
+//! assert!(set.utilization_at(Freq::from_cycles_per_ms(60.0)) < 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod task;
+pub mod taskset;
+pub mod units;
+
+pub use error::ModelError;
+pub use task::{Task, TaskBuilder, TaskId};
+pub use taskset::TaskSet;

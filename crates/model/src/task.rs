@@ -1,0 +1,335 @@
+//! Periodic task definitions.
+
+use crate::error::ModelError;
+use crate::units::{Cycles, Ticks};
+
+/// Identifier of a task inside a [`crate::TaskSet`].
+///
+/// Ids are assigned by the task set after rate-monotonic sorting, so a
+/// smaller id means a higher (or equal) priority. `TaskId` indexes directly
+/// into [`crate::TaskSet::tasks`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub usize);
+
+impl std::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// A periodic hard real-time task (paper §2.1).
+///
+/// Every task releases an instance each `period`; the instance must retire
+/// `wcec` cycles at most (actual workload varies between `bcec` and `wcec`,
+/// averaging `acec`) before its relative `deadline`. `c_eff` is the task's
+/// effective switching capacitance in the energy model `E = C_eff·V²·N`.
+///
+/// Construct via [`TaskBuilder`]:
+///
+/// ```
+/// use acs_model::{Task, units::{Cycles, Ticks}};
+/// let t = Task::builder("sensor", Ticks::new(20))
+///     .wcec(Cycles::from_cycles(1000.0))
+///     .acec(Cycles::from_cycles(500.0))
+///     .build()?;
+/// assert_eq!(t.deadline(), Ticks::new(20)); // defaults to the period
+/// # Ok::<(), acs_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Task {
+    name: String,
+    period: Ticks,
+    deadline: Ticks,
+    wcec: Cycles,
+    acec: Cycles,
+    bcec: Cycles,
+    c_eff: f64,
+}
+
+impl Task {
+    /// Starts building a task with the two mandatory parameters.
+    pub fn builder(name: impl Into<String>, period: Ticks) -> TaskBuilder {
+        TaskBuilder::new(name, period)
+    }
+
+    /// Task name (unique within a task set).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Release period.
+    pub fn period(&self) -> Ticks {
+        self.period
+    }
+
+    /// Relative deadline (`≤ period`; defaults to the period).
+    pub fn deadline(&self) -> Ticks {
+        self.deadline
+    }
+
+    /// Worst-case execution cycles.
+    pub fn wcec(&self) -> Cycles {
+        self.wcec
+    }
+
+    /// Average-case execution cycles (expected workload, e.g. from
+    /// profiling).
+    pub fn acec(&self) -> Cycles {
+        self.acec
+    }
+
+    /// Best-case execution cycles.
+    pub fn bcec(&self) -> Cycles {
+        self.bcec
+    }
+
+    /// Effective switching capacitance (dimensionless scale factor of the
+    /// per-cycle energy `C_eff·V²`).
+    pub fn c_eff(&self) -> f64 {
+        self.c_eff
+    }
+
+    /// Ratio `BCEC/WCEC`, the paper's workload-flexibility knob
+    /// (0.1 = highly variable, 0.9 = nearly fixed).
+    pub fn bcec_wcec_ratio(&self) -> f64 {
+        self.bcec / self.wcec
+    }
+}
+
+/// Builder for [`Task`] ([C-BUILDER]).
+///
+/// Unset cycle fields default as follows: `wcec` is mandatory in practice
+/// (defaults to 1 cycle); `bcec` defaults to `acec` when that is given,
+/// else to `wcec` (fixed workload); `acec` defaults to the midpoint
+/// `(bcec + wcec)/2`.
+///
+/// [C-BUILDER]: https://rust-lang.github.io/api-guidelines/type-safety.html#c-builder
+#[derive(Debug, Clone)]
+pub struct TaskBuilder {
+    name: String,
+    period: Ticks,
+    deadline: Option<Ticks>,
+    wcec: Cycles,
+    acec: Option<Cycles>,
+    bcec: Option<Cycles>,
+    c_eff: f64,
+}
+
+impl TaskBuilder {
+    /// Starts a builder for a task with the given name and period.
+    pub fn new(name: impl Into<String>, period: Ticks) -> Self {
+        TaskBuilder {
+            name: name.into(),
+            period,
+            deadline: None,
+            wcec: Cycles::from_cycles(1.0),
+            acec: None,
+            bcec: None,
+            c_eff: 1.0,
+        }
+    }
+
+    /// Sets the relative deadline (must be `0 < deadline ≤ period`).
+    pub fn deadline(mut self, deadline: Ticks) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the worst-case execution cycles.
+    pub fn wcec(mut self, wcec: Cycles) -> Self {
+        self.wcec = wcec;
+        self
+    }
+
+    /// Sets the average-case execution cycles.
+    pub fn acec(mut self, acec: Cycles) -> Self {
+        self.acec = Some(acec);
+        self
+    }
+
+    /// Sets the best-case execution cycles.
+    pub fn bcec(mut self, bcec: Cycles) -> Self {
+        self.bcec = Some(bcec);
+        self
+    }
+
+    /// Sets the effective switching capacitance.
+    pub fn c_eff(mut self, c_eff: f64) -> Self {
+        self.c_eff = c_eff;
+        self
+    }
+
+    /// Finishes the builder, validating all invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidTask`] for non-positive periods,
+    /// deadlines outside `(0, period]`, empty names or non-positive
+    /// `c_eff`; [`ModelError::InvalidCycleBounds`] unless
+    /// `0 < bcec ≤ acec ≤ wcec` and all are finite.
+    pub fn build(self) -> Result<Task, ModelError> {
+        let invalid = |reason: &str| ModelError::InvalidTask {
+            task: self.name.clone(),
+            reason: reason.to_string(),
+        };
+        if self.name.is_empty() {
+            return Err(invalid("name must not be empty"));
+        }
+        if self.period == Ticks::ZERO {
+            return Err(invalid("period must be positive"));
+        }
+        let deadline = self.deadline.unwrap_or(self.period);
+        if deadline == Ticks::ZERO {
+            return Err(invalid("deadline must be positive"));
+        }
+        if deadline > self.period {
+            return Err(invalid("deadline must not exceed the period"));
+        }
+        if !(self.c_eff.is_finite() && self.c_eff > 0.0) {
+            return Err(invalid("c_eff must be finite and positive"));
+        }
+        let wcec = self.wcec;
+        // Without an explicit best case, assume the tightest consistent
+        // default: the average case if given, otherwise a fixed workload.
+        let bcec = self.bcec.unwrap_or_else(|| self.acec.unwrap_or(wcec));
+        let acec = self
+            .acec
+            .unwrap_or_else(|| Cycles::from_cycles((bcec.as_cycles() + wcec.as_cycles()) / 2.0));
+        let bounds_ok = bcec.as_cycles() > 0.0
+            && bcec <= acec
+            && acec <= wcec
+            && bcec.is_finite()
+            && acec.is_finite()
+            && wcec.is_finite();
+        if !bounds_ok {
+            return Err(ModelError::InvalidCycleBounds {
+                task: self.name,
+                bcec: bcec.as_cycles(),
+                acec: acec.as_cycles(),
+                wcec: wcec.as_cycles(),
+            });
+        }
+        Ok(Task {
+            name: self.name,
+            period: self.period,
+            deadline,
+            wcec,
+            acec,
+            bcec,
+            c_eff: self.c_eff,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycles(c: f64) -> Cycles {
+        Cycles::from_cycles(c)
+    }
+
+    #[test]
+    fn builder_defaults() {
+        let t = Task::builder("a", Ticks::new(10))
+            .wcec(cycles(100.0))
+            .build()
+            .unwrap();
+        assert_eq!(t.deadline(), Ticks::new(10));
+        assert_eq!(t.bcec(), cycles(100.0));
+        assert_eq!(t.acec(), cycles(100.0));
+        assert_eq!(t.c_eff(), 1.0);
+        assert_eq!(t.bcec_wcec_ratio(), 1.0);
+    }
+
+    #[test]
+    fn acec_defaults_to_midpoint() {
+        let t = Task::builder("a", Ticks::new(10))
+            .wcec(cycles(100.0))
+            .bcec(cycles(20.0))
+            .build()
+            .unwrap();
+        assert_eq!(t.acec(), cycles(60.0));
+        assert!((t.bcec_wcec_ratio() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_zero_period() {
+        let err = Task::builder("a", Ticks::ZERO).build().unwrap_err();
+        assert!(matches!(err, ModelError::InvalidTask { .. }));
+    }
+
+    #[test]
+    fn rejects_deadline_beyond_period() {
+        let err = Task::builder("a", Ticks::new(5))
+            .deadline(Ticks::new(6))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("deadline"));
+    }
+
+    #[test]
+    fn rejects_zero_deadline() {
+        let err = Task::builder("a", Ticks::new(5))
+            .deadline(Ticks::ZERO)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::InvalidTask { .. }));
+    }
+
+    #[test]
+    fn rejects_empty_name() {
+        let err = Task::builder("", Ticks::new(5)).build().unwrap_err();
+        assert!(err.to_string().contains("name"));
+    }
+
+    #[test]
+    fn rejects_bad_cycle_order() {
+        let err = Task::builder("a", Ticks::new(5))
+            .wcec(cycles(10.0))
+            .acec(cycles(20.0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::InvalidCycleBounds { .. }));
+    }
+
+    #[test]
+    fn rejects_nonpositive_bcec() {
+        let err = Task::builder("a", Ticks::new(5))
+            .wcec(cycles(10.0))
+            .bcec(cycles(0.0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::InvalidCycleBounds { .. }));
+    }
+
+    #[test]
+    fn rejects_nan_wcec() {
+        let err = Task::builder("a", Ticks::new(5))
+            .wcec(cycles(f64::NAN))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::InvalidCycleBounds { .. }));
+    }
+
+    #[test]
+    fn rejects_nonpositive_c_eff() {
+        let err = Task::builder("a", Ticks::new(5)).c_eff(0.0).build().unwrap_err();
+        assert!(err.to_string().contains("c_eff"));
+    }
+
+    #[test]
+    fn constrained_deadline_accepted() {
+        let t = Task::builder("a", Ticks::new(10))
+            .deadline(Ticks::new(7))
+            .wcec(cycles(10.0))
+            .build()
+            .unwrap();
+        assert_eq!(t.deadline(), Ticks::new(7));
+    }
+
+    #[test]
+    fn task_id_display() {
+        assert_eq!(TaskId(3).to_string(), "T3");
+    }
+}

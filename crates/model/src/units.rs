@@ -1,0 +1,497 @@
+//! Typed physical units used throughout the workspace.
+//!
+//! All quantities are thin `f64` newtypes ([C-NEWTYPE]): milliseconds for
+//! time, raw execution cycles for workload, cycles-per-millisecond for
+//! processor speed, volts for supply voltage and `C_eff · V² · cycles` for
+//! energy. The arithmetic impls only allow dimensionally meaningful
+//! combinations, e.g. [`Cycles`] divided by a [`TimeSpan`] yields a
+//! [`Freq`], so unit mistakes become type errors.
+//!
+//! Integer millisecond periods use [`Ticks`] so hyper-periods can be
+//! computed exactly with an lcm.
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Implements the boilerplate shared by every `f64` newtype unit:
+/// constructors, accessors, ordering helpers and `Display`.
+macro_rules! impl_unit_common {
+    ($ty:ident, $unit:literal, $ctor:ident, $getter:ident) => {
+        impl $ty {
+            /// The zero value of this unit.
+            pub const ZERO: $ty = $ty(0.0);
+
+            #[doc = concat!("Creates a value from raw ", $unit, ".")]
+            #[inline]
+            pub const fn $ctor(value: f64) -> Self {
+                Self(value)
+            }
+
+            #[doc = concat!("Returns the raw value in ", $unit, ".")]
+            #[inline]
+            pub const fn $getter(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Returns the larger of `self` and `other`.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns `true` if the raw value is finite (not NaN/∞).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Total ordering following [`f64::total_cmp`]; useful for
+            /// sorting slices of unit values.
+            #[inline]
+            pub fn total_cmp(&self, other: &Self) -> Ordering {
+                self.0.total_cmp(&other.0)
+            }
+
+            /// `true` when `self` and `other` differ by at most `tol`
+            /// (compared on raw values).
+            #[inline]
+            pub fn approx_eq(self, other: Self, tol: f64) -> bool {
+                (self.0 - other.0).abs() <= tol
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                // Respect an explicit precision, default to a compact form.
+                if let Some(p) = f.precision() {
+                    write!(f, "{:.*}{}", p, self.0, $unit)
+                } else {
+                    write!(f, "{}{}", self.0, $unit)
+                }
+            }
+        }
+    };
+}
+
+/// Implements `Add`/`Sub`/`Neg`/scalar-`Mul`/`Div`/`Sum` for a unit that is
+/// closed under linear combinations (durations, cycles, energy...).
+macro_rules! impl_unit_linear {
+    ($ty:ident) => {
+        impl Add for $ty {
+            type Output = $ty;
+            #[inline]
+            fn add(self, rhs: $ty) -> $ty {
+                $ty(self.0 + rhs.0)
+            }
+        }
+        impl Sub for $ty {
+            type Output = $ty;
+            #[inline]
+            fn sub(self, rhs: $ty) -> $ty {
+                $ty(self.0 - rhs.0)
+            }
+        }
+        impl AddAssign for $ty {
+            #[inline]
+            fn add_assign(&mut self, rhs: $ty) {
+                self.0 += rhs.0;
+            }
+        }
+        impl SubAssign for $ty {
+            #[inline]
+            fn sub_assign(&mut self, rhs: $ty) {
+                self.0 -= rhs.0;
+            }
+        }
+        impl Neg for $ty {
+            type Output = $ty;
+            #[inline]
+            fn neg(self) -> $ty {
+                $ty(-self.0)
+            }
+        }
+        impl Mul<f64> for $ty {
+            type Output = $ty;
+            #[inline]
+            fn mul(self, rhs: f64) -> $ty {
+                $ty(self.0 * rhs)
+            }
+        }
+        impl Mul<$ty> for f64 {
+            type Output = $ty;
+            #[inline]
+            fn mul(self, rhs: $ty) -> $ty {
+                $ty(self * rhs.0)
+            }
+        }
+        impl Div<f64> for $ty {
+            type Output = $ty;
+            #[inline]
+            fn div(self, rhs: f64) -> $ty {
+                $ty(self.0 / rhs)
+            }
+        }
+        impl Div<$ty> for $ty {
+            /// Ratio of two like quantities is dimensionless.
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $ty) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+        impl Sum for $ty {
+            fn sum<I: Iterator<Item = $ty>>(iter: I) -> $ty {
+                $ty(iter.map(|v| v.0).sum())
+            }
+        }
+    };
+}
+
+/// An absolute instant, in milliseconds from the start of the hyper-period.
+///
+/// ```
+/// use acs_model::units::{Time, TimeSpan};
+/// let release = Time::from_ms(3.0);
+/// let end = release + TimeSpan::from_ms(2.5);
+/// assert_eq!(end.as_ms(), 5.5);
+/// assert_eq!((end - release).as_ms(), 2.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Time(f64);
+impl_unit_common!(Time, "ms", from_ms, as_ms);
+
+/// A signed duration in milliseconds.
+///
+/// ```
+/// use acs_model::units::TimeSpan;
+/// let w = TimeSpan::from_ms(4.0) - TimeSpan::from_ms(1.5);
+/// assert_eq!(w.as_ms(), 2.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct TimeSpan(f64);
+impl_unit_common!(TimeSpan, "ms", from_ms, as_ms);
+impl_unit_linear!(TimeSpan);
+
+/// A (possibly fractional) number of processor execution cycles.
+///
+/// Cycle counts are fractional because the NLP splits an instance's
+/// workload continuously across its sub-instances.
+///
+/// ```
+/// use acs_model::units::{Cycles, TimeSpan};
+/// let speed = Cycles::from_cycles(1000.0) / TimeSpan::from_ms(10.0);
+/// assert_eq!(speed.as_cycles_per_ms(), 100.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Cycles(f64);
+impl_unit_common!(Cycles, "cyc", from_cycles, as_cycles);
+impl_unit_linear!(Cycles);
+
+/// Processor speed in cycles per millisecond (i.e. kHz).
+///
+/// ```
+/// use acs_model::units::{Cycles, Freq, TimeSpan};
+/// let f = Freq::from_cycles_per_ms(150.0);
+/// assert_eq!((f * TimeSpan::from_ms(2.0)).as_cycles(), 300.0);
+/// assert_eq!((Cycles::from_cycles(300.0) / f).as_ms(), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Freq(f64);
+impl_unit_common!(Freq, "cyc/ms", from_cycles_per_ms, as_cycles_per_ms);
+impl_unit_linear!(Freq);
+
+/// Supply voltage in volts.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Volt(f64);
+impl_unit_common!(Volt, "V", from_volts, as_volts);
+impl_unit_linear!(Volt);
+
+/// Energy in normalized `C_eff · V² · cycles` units (paper eq. (3)).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Energy(f64);
+impl_unit_common!(Energy, "eu", from_units, as_units);
+impl_unit_linear!(Energy);
+
+// ---- Cross-unit arithmetic -------------------------------------------------
+
+impl Sub for Time {
+    type Output = TimeSpan;
+    #[inline]
+    fn sub(self, rhs: Time) -> TimeSpan {
+        TimeSpan(self.0 - rhs.0)
+    }
+}
+
+impl Add<TimeSpan> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: TimeSpan) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl Sub<TimeSpan> for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: TimeSpan) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl AddAssign<TimeSpan> for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: TimeSpan) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Div<TimeSpan> for Cycles {
+    type Output = Freq;
+    #[inline]
+    fn div(self, rhs: TimeSpan) -> Freq {
+        Freq(self.0 / rhs.0)
+    }
+}
+
+impl Div<Freq> for Cycles {
+    type Output = TimeSpan;
+    #[inline]
+    fn div(self, rhs: Freq) -> TimeSpan {
+        TimeSpan(self.0 / rhs.0)
+    }
+}
+
+impl Mul<TimeSpan> for Freq {
+    type Output = Cycles;
+    #[inline]
+    fn mul(self, rhs: TimeSpan) -> Cycles {
+        Cycles(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Freq> for TimeSpan {
+    type Output = Cycles;
+    #[inline]
+    fn mul(self, rhs: Freq) -> Cycles {
+        Cycles(self.0 * rhs.0)
+    }
+}
+
+// ---- Integer milliseconds ---------------------------------------------------
+
+/// An exact, integer number of milliseconds.
+///
+/// Task periods and deadlines are integral so the hyper-period (the least
+/// common multiple of all periods, paper §2.1) is exact.
+///
+/// ```
+/// use acs_model::units::Ticks;
+/// assert_eq!(Ticks::new(6).lcm(Ticks::new(9)), Some(Ticks::new(18)));
+/// assert_eq!(Ticks::new(20).as_time().as_ms(), 20.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ticks(u64);
+
+impl Ticks {
+    /// The zero duration.
+    pub const ZERO: Ticks = Ticks(0);
+
+    /// Creates a tick count from whole milliseconds.
+    #[inline]
+    pub const fn new(ms: u64) -> Self {
+        Ticks(ms)
+    }
+
+    /// Raw whole-millisecond value.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Converts to a floating-point instant.
+    #[inline]
+    pub fn as_time(self) -> Time {
+        Time(self.0 as f64)
+    }
+
+    /// Converts to a floating-point duration.
+    #[inline]
+    pub fn as_span(self) -> TimeSpan {
+        TimeSpan(self.0 as f64)
+    }
+
+    /// Greatest common divisor (`gcd(0, x) = x`).
+    pub fn gcd(self, other: Ticks) -> Ticks {
+        let (mut a, mut b) = (self.0, other.0);
+        while b != 0 {
+            let t = b;
+            b = a % b;
+            a = t;
+        }
+        Ticks(a)
+    }
+
+    /// Least common multiple; `None` on u64 overflow.
+    ///
+    /// ```
+    /// use acs_model::units::Ticks;
+    /// assert_eq!(Ticks::new(4).lcm(Ticks::new(6)), Some(Ticks::new(12)));
+    /// assert_eq!(Ticks::new(u64::MAX).lcm(Ticks::new(2)), None);
+    /// ```
+    pub fn lcm(self, other: Ticks) -> Option<Ticks> {
+        if self.0 == 0 || other.0 == 0 {
+            return Some(Ticks(0));
+        }
+        let g = self.gcd(other).0;
+        (self.0 / g).checked_mul(other.0).map(Ticks)
+    }
+
+    /// Checked multiplication by a plain count.
+    pub fn checked_mul(self, n: u64) -> Option<Ticks> {
+        self.0.checked_mul(n).map(Ticks)
+    }
+}
+
+impl Add for Ticks {
+    type Output = Ticks;
+    #[inline]
+    fn add(self, rhs: Ticks) -> Ticks {
+        Ticks(self.0 + rhs.0)
+    }
+}
+
+impl Mul<u64> for Ticks {
+    type Output = Ticks;
+    #[inline]
+    fn mul(self, rhs: u64) -> Ticks {
+        Ticks(self.0 * rhs)
+    }
+}
+
+impl fmt::Display for Ticks {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ms", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_round_trips() {
+        let t = Time::from_ms(7.5);
+        let d = TimeSpan::from_ms(2.5);
+        assert_eq!(t + d - d, t);
+        assert_eq!((t + d) - t, d);
+        assert_eq!(t - d, Time::from_ms(5.0));
+    }
+
+    #[test]
+    fn time_add_assign() {
+        let mut t = Time::from_ms(1.0);
+        t += TimeSpan::from_ms(2.0);
+        assert_eq!(t, Time::from_ms(3.0));
+    }
+
+    #[test]
+    fn cycles_frequency_duration_triangle() {
+        let w = Cycles::from_cycles(1000.0);
+        let f = Freq::from_cycles_per_ms(150.0);
+        let d = w / f;
+        assert!((d.as_ms() - 6.666_666_666_666_667).abs() < 1e-12);
+        assert!((f * d).approx_eq(w, 1e-9));
+        assert!((w / d).approx_eq(f, 1e-9));
+        // Commuted multiplication.
+        assert_eq!(d * f, f * d);
+    }
+
+    #[test]
+    fn dimensionless_ratio() {
+        assert_eq!(Cycles::from_cycles(10.0) / Cycles::from_cycles(4.0), 2.5);
+        assert_eq!(TimeSpan::from_ms(9.0) / TimeSpan::from_ms(3.0), 3.0);
+    }
+
+    #[test]
+    fn linear_ops_and_sum() {
+        let spans = [1.0, 2.0, 3.5].map(TimeSpan::from_ms);
+        let total: TimeSpan = spans.into_iter().sum();
+        assert_eq!(total, TimeSpan::from_ms(6.5));
+        assert_eq!(-TimeSpan::from_ms(2.0), TimeSpan::from_ms(-2.0));
+        assert_eq!(TimeSpan::from_ms(2.0) * 3.0, TimeSpan::from_ms(6.0));
+        assert_eq!(3.0 * TimeSpan::from_ms(2.0), TimeSpan::from_ms(6.0));
+        assert_eq!(TimeSpan::from_ms(6.0) / 3.0, TimeSpan::from_ms(2.0));
+    }
+
+    #[test]
+    fn min_max_abs() {
+        let a = Energy::from_units(2.0);
+        let b = Energy::from_units(-3.0);
+        assert_eq!(a.min(b), b);
+        assert_eq!(a.max(b), a);
+        assert_eq!(b.abs(), Energy::from_units(3.0));
+        assert!(a.is_finite());
+        assert!(!Energy::from_units(f64::NAN).is_finite());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Time::from_ms(2.5)), "2.5ms");
+        assert_eq!(format!("{:.2}", Volt::from_volts(3.0)), "3.00V");
+        assert_eq!(format!("{}", Ticks::new(20)), "20ms");
+        assert_eq!(format!("{}", Freq::from_cycles_per_ms(50.0)), "50cyc/ms");
+    }
+
+    #[test]
+    fn ticks_gcd_lcm() {
+        assert_eq!(Ticks::new(12).gcd(Ticks::new(18)), Ticks::new(6));
+        assert_eq!(Ticks::new(0).gcd(Ticks::new(5)), Ticks::new(5));
+        assert_eq!(Ticks::new(3).lcm(Ticks::new(6)), Some(Ticks::new(6)));
+        assert_eq!(Ticks::new(3).lcm(Ticks::new(0)), Some(Ticks::new(0)));
+        assert_eq!(
+            Ticks::new(10).lcm(Ticks::new(12)).unwrap().as_span(),
+            TimeSpan::from_ms(60.0)
+        );
+    }
+
+    #[test]
+    fn ticks_overflow_is_none() {
+        assert_eq!(Ticks::new(u64::MAX).lcm(Ticks::new(u64::MAX - 1)), None);
+        assert_eq!(Ticks::new(u64::MAX).checked_mul(2), None);
+    }
+
+    #[test]
+    fn total_cmp_sorts_with_nan_last() {
+        let mut v = [
+            Time::from_ms(f64::NAN),
+            Time::from_ms(1.0),
+            Time::from_ms(-2.0),
+        ];
+        v.sort_by(Time::total_cmp);
+        assert_eq!(v[0], Time::from_ms(-2.0));
+        assert_eq!(v[1], Time::from_ms(1.0));
+        assert!(v[2].as_ms().is_nan());
+    }
+
+    #[test]
+    fn approx_eq_tolerance() {
+        assert!(Time::from_ms(1.0).approx_eq(Time::from_ms(1.0 + 1e-12), 1e-9));
+        assert!(!Time::from_ms(1.0).approx_eq(Time::from_ms(1.1), 1e-9));
+    }
+}

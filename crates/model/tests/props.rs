@@ -1,0 +1,101 @@
+//! Property-based tests for units and task-set invariants.
+
+use acs_model::units::{Cycles, Freq, Ticks, Time, TimeSpan};
+use acs_model::{Task, TaskSet};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn time_span_arithmetic_is_consistent(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+        let t = Time::from_ms(a);
+        let d = TimeSpan::from_ms(b);
+        prop_assert!(((t + d) - t).approx_eq(d, 1e-6));
+        prop_assert!(((t + d) - d).approx_eq(t, 1e-6));
+    }
+
+    #[test]
+    fn cycles_freq_duration_triangle(w in 1e-3f64..1e9, f in 1e-3f64..1e6) {
+        let cycles = Cycles::from_cycles(w);
+        let freq = Freq::from_cycles_per_ms(f);
+        let dt = cycles / freq;
+        prop_assert!((freq * dt).approx_eq(cycles, 1e-6 * w.max(1.0)));
+        prop_assert!((cycles / dt).approx_eq(freq, 1e-6 * f.max(1.0)));
+    }
+
+    #[test]
+    fn gcd_lcm_laws(a in 1u64..100_000, b in 1u64..100_000) {
+        let (ta, tb) = (Ticks::new(a), Ticks::new(b));
+        let g = ta.gcd(tb).get();
+        prop_assert_eq!(a % g, 0);
+        prop_assert_eq!(b % g, 0);
+        let l = ta.lcm(tb).unwrap().get();
+        prop_assert_eq!(l % a, 0);
+        prop_assert_eq!(l % b, 0);
+        // gcd · lcm = a · b
+        prop_assert_eq!(g as u128 * l as u128, a as u128 * b as u128);
+    }
+
+    #[test]
+    fn task_builder_accepts_all_ordered_cycle_triples(
+        period in 1u64..1000,
+        bcec in 1.0f64..1e6,
+        mid in 0.0f64..1.0,
+        hi in 0.0f64..1.0,
+    ) {
+        let wcec = bcec * (1.0 + hi * 100.0);
+        let acec = bcec + (wcec - bcec) * mid;
+        let t = Task::builder("t", Ticks::new(period))
+            .wcec(Cycles::from_cycles(wcec))
+            .acec(Cycles::from_cycles(acec))
+            .bcec(Cycles::from_cycles(bcec))
+            .build();
+        prop_assert!(t.is_ok());
+        let t = t.unwrap();
+        prop_assert!(t.bcec() <= t.acec() && t.acec() <= t.wcec());
+    }
+
+    #[test]
+    fn rm_order_is_total_and_stable(periods in prop::collection::vec(1u64..50, 1..8)) {
+        let tasks: Vec<Task> = periods
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                Task::builder(format!("t{i}"), Ticks::new(p))
+                    .wcec(Cycles::from_cycles(1.0))
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let set = TaskSet::new(tasks).unwrap();
+        // Periods ascend with priority index.
+        for w in set.tasks().windows(2) {
+            prop_assert!(w[0].period() <= w[1].period());
+        }
+        // Hyper-period is a common multiple of every period.
+        let h = set.hyper_period().get();
+        for t in set.tasks() {
+            prop_assert_eq!(h % t.period().get(), 0);
+        }
+    }
+
+    #[test]
+    fn utilization_scales_inversely_with_speed(
+        periods in prop::collection::vec(1u64..50, 1..6),
+        f in 1.0f64..1e4,
+    ) {
+        let tasks: Vec<Task> = periods
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                Task::builder(format!("t{i}"), Ticks::new(p))
+                    .wcec(Cycles::from_cycles(p as f64))
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let set = TaskSet::new(tasks).unwrap();
+        let u1 = set.utilization_at(Freq::from_cycles_per_ms(f));
+        let u2 = set.utilization_at(Freq::from_cycles_per_ms(2.0 * f));
+        prop_assert!((u1 - 2.0 * u2).abs() < 1e-9 * u1.abs().max(1.0));
+    }
+}

@@ -1,0 +1,423 @@
+//! Augmented-Lagrangian (PHR) solver for smooth constrained problems.
+//!
+//! Classic Powell–Hestenes–Rockafellar scheme: the constrained problem
+//!
+//! ```text
+//! min f(x)   s.t.  g_i(x) ≤ 0,  h_j(x) = 0
+//! ```
+//!
+//! is solved as a sequence of unconstrained minimizations of
+//!
+//! ```text
+//! L(x) = f + Σ_j [λ_j h_j + μ/2 h_j²]
+//!          + 1/(2μ) Σ_i [max(0, ν_i + μ g_i)² − ν_i²]
+//! ```
+//!
+//! with multiplier updates `λ_j += μ h_j`, `ν_i = max(0, ν_i + μ g_i)`
+//! and a penalty bump whenever feasibility stalls. The inner solver is
+//! [`crate::lbfgs`]; gradients come from the AD tape, so problems only
+//! describe expressions ([`ConstrainedProblem`]).
+
+use crate::lbfgs::{self, LbfgsConfig, LbfgsStop};
+use crate::problem::ConstrainedProblem;
+use crate::tape::Graph;
+
+/// Configuration of the outer augmented-Lagrangian loop.
+#[derive(Debug, Clone)]
+pub struct AugLagConfig {
+    /// Maximum outer (multiplier-update) iterations.
+    pub outer_iters: usize,
+    /// Initial penalty weight μ.
+    pub mu_init: f64,
+    /// Multiplier applied to μ when feasibility stalls.
+    pub mu_growth: f64,
+    /// Upper cap on μ.
+    pub mu_max: f64,
+    /// Declare convergence when the maximum constraint violation falls
+    /// below this.
+    pub violation_tol: f64,
+    /// Required per-outer-iteration violation shrink factor; slower
+    /// progress bumps μ.
+    pub violation_shrink: f64,
+    /// Initial smoothing temperature handed to the problem's `build`.
+    pub smoothing_init: f64,
+    /// Smoothing decays geometrically to (at most) this value.
+    pub smoothing_final: f64,
+    /// Per-outer-iteration smoothing decay factor.
+    pub smoothing_decay: f64,
+    /// Inner L-BFGS configuration.
+    pub inner: LbfgsConfig,
+}
+
+impl Default for AugLagConfig {
+    fn default() -> Self {
+        AugLagConfig {
+            outer_iters: 30,
+            mu_init: 10.0,
+            mu_growth: 10.0,
+            mu_max: 1e10,
+            violation_tol: 1e-6,
+            violation_shrink: 0.25,
+            smoothing_init: 1e-2,
+            smoothing_final: 1e-7,
+            smoothing_decay: 0.2,
+            inner: LbfgsConfig::default(),
+        }
+    }
+}
+
+/// One row of the outer-iteration log.
+#[derive(Debug, Clone, Copy)]
+pub struct OuterLog {
+    /// Objective (exact, unsmoothed) after this outer iteration.
+    pub objective: f64,
+    /// Maximum constraint violation after this outer iteration.
+    pub violation: f64,
+    /// Penalty weight used.
+    pub mu: f64,
+    /// Smoothing temperature used.
+    pub smoothing: f64,
+    /// Inner iterations consumed.
+    pub inner_iterations: usize,
+}
+
+/// Result of [`solve`].
+#[derive(Debug, Clone)]
+pub struct AugLagResult {
+    /// Final point.
+    pub x: Vec<f64>,
+    /// Exact objective at `x` (smoothing = 0).
+    pub objective: f64,
+    /// Maximum constraint violation at `x` (exact).
+    pub max_violation: f64,
+    /// `true` when `max_violation ≤ violation_tol`.
+    pub converged: bool,
+    /// Outer iterations executed.
+    pub outer_iterations: usize,
+    /// Total objective/gradient evaluations across all inner solves.
+    pub evaluations: usize,
+    /// Per-outer-iteration telemetry.
+    pub history: Vec<OuterLog>,
+}
+
+/// Exact (unsmoothed) objective and violation at `x`.
+fn measure(problem: &dyn ConstrainedProblem, x: &[f64]) -> (f64, f64, Vec<f64>, Vec<f64>) {
+    let g = Graph::with_capacity(x.len() * 8);
+    let xs: Vec<_> = x.iter().map(|&v| g.input(v)).collect();
+    let exprs = problem.build(&g, &xs, 0.0);
+    let obj = exprs.objective.value();
+    let ineq: Vec<f64> = exprs.inequalities.iter().map(|e| e.value()).collect();
+    let eq: Vec<f64> = exprs.equalities.iter().map(|e| e.value()).collect();
+    let viol = ineq
+        .iter()
+        .map(|&v| v.max(0.0))
+        .chain(eq.iter().map(|&v| v.abs()))
+        .fold(0.0f64, f64::max);
+    (obj, viol, ineq, eq)
+}
+
+/// Solves a constrained problem with the PHR augmented Lagrangian.
+///
+/// Always returns the best point seen; inspect
+/// [`AugLagResult::converged`] / [`AugLagResult::max_violation`] before
+/// trusting it as feasible.
+pub fn solve(problem: &dyn ConstrainedProblem, config: &AugLagConfig) -> AugLagResult {
+    let n = problem.dim();
+    let mut x = problem.initial_point();
+    assert_eq!(x.len(), n, "initial point dimension mismatch");
+
+    // Discover constraint counts once.
+    let (num_ineq, num_eq) = {
+        let g = Graph::new();
+        let xs: Vec<_> = x.iter().map(|&v| g.input(v)).collect();
+        let e = problem.build(&g, &xs, config.smoothing_init);
+        (e.inequalities.len(), e.equalities.len())
+    };
+
+    let mut nu = vec![0.0f64; num_ineq]; // inequality multipliers ≥ 0
+    let mut lambda = vec![0.0f64; num_eq]; // equality multipliers
+    let mut mu = config.mu_init;
+    let mut smoothing = config.smoothing_init;
+    let mut evaluations = 0usize;
+    let mut history = Vec::new();
+    let mut prev_violation = f64::INFINITY;
+
+    let mut best_x = x.clone();
+    let (mut best_obj, mut best_viol, _, _) = measure(problem, &x);
+
+    let mut outer_done = 0usize;
+    for _outer in 0..config.outer_iters {
+        outer_done += 1;
+        // ---- inner minimization of the merit function ----
+        let merit = |xv: &[f64], grad: &mut [f64]| -> f64 {
+            let g = Graph::with_capacity(n * 16);
+            let xs: Vec<_> = xv.iter().map(|&v| g.input(v)).collect();
+            let exprs = problem.build(&g, &xs, smoothing);
+            let mut merit = exprs.objective;
+            for (j, &h) in exprs.equalities.iter().enumerate() {
+                merit = merit + lambda[j] * h + (mu / 2.0) * h.sqr();
+            }
+            for (i, &gi) in exprs.inequalities.iter().enumerate() {
+                let t = (gi * mu + nu[i]).relu();
+                merit = merit + (t.sqr() - nu[i] * nu[i]) / (2.0 * mu);
+            }
+            let grads = g.gradient(merit);
+            grads.write_wrt(&xs, grad);
+            merit.value()
+        };
+        let inner = lbfgs::minimize(merit, &x, &config.inner);
+        evaluations += inner.evaluations;
+        if inner.stop != LbfgsStop::NonFiniteStart {
+            x = inner.x;
+        }
+
+        // ---- exact measurement and multiplier update ----
+        let (obj, viol, ineq, eq) = measure(problem, &x);
+        history.push(OuterLog {
+            objective: obj,
+            violation: viol,
+            mu,
+            smoothing,
+            inner_iterations: inner.iterations,
+        });
+
+        let better = (viol <= config.violation_tol && obj < best_obj)
+            || (best_viol > config.violation_tol && viol < best_viol);
+        if better {
+            best_x.clone_from(&x);
+            best_obj = obj;
+            best_viol = viol;
+        }
+
+        if viol <= config.violation_tol
+            && smoothing <= config.smoothing_final
+            && matches!(inner.stop, LbfgsStop::GradTol | LbfgsStop::FTol)
+        {
+            break;
+        }
+
+        for (j, &h) in eq.iter().enumerate() {
+            lambda[j] += mu * h;
+        }
+        for (i, &gi) in ineq.iter().enumerate() {
+            nu[i] = (nu[i] + mu * gi).max(0.0);
+        }
+        if viol > config.violation_shrink * prev_violation && viol > config.violation_tol {
+            mu = (mu * config.mu_growth).min(config.mu_max);
+        }
+        prev_violation = viol;
+        smoothing = (smoothing * config.smoothing_decay).max(config.smoothing_final);
+    }
+
+    let (obj, viol, _, _) = measure(problem, &best_x);
+    AugLagResult {
+        x: best_x,
+        objective: obj,
+        max_violation: viol,
+        converged: viol <= config.violation_tol,
+        outer_iterations: outer_done,
+        evaluations,
+        history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::ProblemExprs;
+    use crate::tape::Expr;
+
+    /// min x² + y²  s.t.  x + y = 1  →  (0.5, 0.5).
+    struct EqualityQp;
+    impl ConstrainedProblem for EqualityQp {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn build<'g>(&self, _g: &'g Graph, x: &[Expr<'g>], _s: f64) -> ProblemExprs<'g> {
+            ProblemExprs {
+                objective: x[0].sqr() + x[1].sqr(),
+                inequalities: vec![],
+                equalities: vec![x[0] + x[1] - 1.0],
+            }
+        }
+        fn initial_point(&self) -> Vec<f64> {
+            vec![0.0, 0.0]
+        }
+    }
+
+    #[test]
+    fn equality_qp() {
+        let r = solve(&EqualityQp, &AugLagConfig::default());
+        assert!(r.converged, "violation = {}", r.max_violation);
+        assert!((r.x[0] - 0.5).abs() < 1e-4, "x = {:?}", r.x);
+        assert!((r.x[1] - 0.5).abs() < 1e-4);
+        assert!((r.objective - 0.5).abs() < 1e-3);
+    }
+
+    /// min (x−2)²  s.t.  x ≤ 1  →  x = 1 (active constraint).
+    struct ActiveIneq;
+    impl ConstrainedProblem for ActiveIneq {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn build<'g>(&self, _g: &'g Graph, x: &[Expr<'g>], _s: f64) -> ProblemExprs<'g> {
+            ProblemExprs {
+                objective: (x[0] - 2.0).sqr(),
+                inequalities: vec![x[0] - 1.0],
+                equalities: vec![],
+            }
+        }
+        fn initial_point(&self) -> Vec<f64> {
+            vec![5.0]
+        }
+    }
+
+    #[test]
+    fn active_inequality() {
+        let r = solve(&ActiveIneq, &AugLagConfig::default());
+        assert!(r.converged);
+        assert!((r.x[0] - 1.0).abs() < 1e-4, "x = {:?}", r.x);
+    }
+
+    /// min (x+1)²  s.t.  0 ≤ x ≤ 2  →  x = 0.
+    struct BoxProblem;
+    impl ConstrainedProblem for BoxProblem {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn build<'g>(&self, _g: &'g Graph, x: &[Expr<'g>], _s: f64) -> ProblemExprs<'g> {
+            ProblemExprs {
+                objective: (x[0] + 1.0).sqr(),
+                inequalities: vec![-x[0], x[0] - 2.0],
+                equalities: vec![],
+            }
+        }
+        fn initial_point(&self) -> Vec<f64> {
+            vec![1.0]
+        }
+    }
+
+    #[test]
+    fn box_constraint_binds_at_lower() {
+        let r = solve(&BoxProblem, &AugLagConfig::default());
+        assert!(r.converged);
+        assert!(r.x[0].abs() < 1e-4, "x = {:?}", r.x);
+    }
+
+    /// Energy-shaped posynomial with a time budget — the WCS sanity
+    /// structure: min Σ wᵢ³/tᵢ² s.t. Σ tᵢ = T, tᵢ ≥ ε. The optimum runs
+    /// everything at the common speed Σwᵢ/T, i.e. tᵢ = wᵢ·T/Σw.
+    struct EnergySplit {
+        w: Vec<f64>,
+        total: f64,
+    }
+    impl ConstrainedProblem for EnergySplit {
+        fn dim(&self) -> usize {
+            self.w.len()
+        }
+        fn build<'g>(&self, g: &'g Graph, x: &[Expr<'g>], _s: f64) -> ProblemExprs<'g> {
+            let mut obj = g.constant(0.0);
+            let mut sum = g.constant(0.0);
+            let mut ineqs = Vec::new();
+            for (i, &wi) in self.w.iter().enumerate() {
+                obj = obj + g.constant(wi.powi(3)) / x[i].sqr();
+                sum = sum + x[i];
+                ineqs.push(0.05 - x[i]); // t_i ≥ 0.05 keeps 1/t² finite
+            }
+            ProblemExprs {
+                objective: obj,
+                inequalities: ineqs,
+                equalities: vec![sum - self.total],
+            }
+        }
+        fn initial_point(&self) -> Vec<f64> {
+            vec![self.total / self.w.len() as f64; self.w.len()]
+        }
+    }
+
+    #[test]
+    fn energy_split_equalizes_speed() {
+        let p = EnergySplit {
+            w: vec![1.0, 2.0, 3.0],
+            total: 12.0,
+        };
+        let r = solve(&p, &AugLagConfig::default());
+        assert!(r.converged, "violation = {}", r.max_violation);
+        // Expected t = w·T/Σw = (2, 4, 6).
+        for (ti, want) in r.x.iter().zip([2.0, 4.0, 6.0]) {
+            assert!((ti - want).abs() < 1e-2, "t = {:?}", r.x);
+        }
+        // Common speed 0.5 ⇒ objective Σ wᵢ·0.25.
+        assert!((r.objective - 0.25 * 6.0).abs() < 1e-2);
+    }
+
+    /// Infeasible: x ≤ −1 and x ≥ 1 simultaneously.
+    struct Infeasible;
+    impl ConstrainedProblem for Infeasible {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn build<'g>(&self, _g: &'g Graph, x: &[Expr<'g>], _s: f64) -> ProblemExprs<'g> {
+            ProblemExprs {
+                objective: x[0].sqr(),
+                inequalities: vec![x[0] + 1.0, 1.0 - x[0]],
+                equalities: vec![],
+            }
+        }
+        fn initial_point(&self) -> Vec<f64> {
+            vec![0.0]
+        }
+    }
+
+    #[test]
+    fn infeasible_is_reported() {
+        let cfg = AugLagConfig {
+            outer_iters: 12,
+            ..Default::default()
+        };
+        let r = solve(&Infeasible, &cfg);
+        assert!(!r.converged);
+        // Best compromise is x in [−1, 1]; violation ≥ ~1.
+        assert!(r.max_violation > 0.5);
+    }
+
+    /// Problem using smoothing: min max(x, 0.3)² via smooth_max.
+    struct SmoothedMax;
+    impl ConstrainedProblem for SmoothedMax {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn build<'g>(&self, g: &'g Graph, x: &[Expr<'g>], s: f64) -> ProblemExprs<'g> {
+            let floor = g.constant(0.3);
+            let m = if s > 0.0 {
+                x[0].smooth_max(floor, s)
+            } else {
+                x[0].max_exact(floor)
+            };
+            ProblemExprs {
+                objective: m.sqr(),
+                inequalities: vec![],
+                equalities: vec![],
+            }
+        }
+        fn initial_point(&self) -> Vec<f64> {
+            vec![4.0]
+        }
+    }
+
+    #[test]
+    fn smoothing_anneals_to_exact() {
+        let r = solve(&SmoothedMax, &AugLagConfig::default());
+        // Any x ≤ 0.3 is optimal with objective 0.09 (exact evaluation).
+        assert!(r.objective <= 0.09 + 1e-6, "objective = {}", r.objective);
+        assert!(r.x[0] <= 0.31, "x = {:?}", r.x);
+    }
+
+    #[test]
+    fn history_is_recorded() {
+        let r = solve(&EqualityQp, &AugLagConfig::default());
+        assert!(!r.history.is_empty());
+        assert!(r.history.last().unwrap().violation <= 1e-6);
+        assert!(r.evaluations > 0);
+    }
+}

@@ -1,0 +1,412 @@
+//! Limited-memory BFGS with strong-Wolfe line search.
+//!
+//! Minimizes a smooth (or piecewise-C¹) function given by a closure
+//! `f(x, grad) -> value`. Used as the inner solver of the augmented
+//! Lagrangian loop in [`crate::auglag`].
+
+use crate::linesearch::{strong_wolfe, LineSearchError, LineSearchParams};
+use std::collections::VecDeque;
+
+/// Configuration of the L-BFGS loop.
+#[derive(Debug, Clone)]
+pub struct LbfgsConfig {
+    /// Number of correction pairs kept (typical: 5–20).
+    pub memory: usize,
+    /// Maximum outer iterations.
+    pub max_iters: usize,
+    /// Stop when the gradient infinity norm falls below this.
+    pub grad_tol: f64,
+    /// Stop when the relative objective decrease between iterations falls
+    /// below this for two consecutive iterations.
+    pub f_tol_rel: f64,
+    /// Line-search parameters.
+    pub line_search: LineSearchParams,
+}
+
+impl Default for LbfgsConfig {
+    fn default() -> Self {
+        LbfgsConfig {
+            memory: 10,
+            max_iters: 300,
+            grad_tol: 1e-7,
+            f_tol_rel: 1e-14,
+            line_search: LineSearchParams::default(),
+        }
+    }
+}
+
+/// Why the L-BFGS loop stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LbfgsStop {
+    /// Gradient infinity norm below tolerance — converged.
+    GradTol,
+    /// Objective stagnated (relative decrease below `f_tol_rel`).
+    FTol,
+    /// Iteration budget exhausted.
+    MaxIters,
+    /// Line search failed twice in a row (even after a steepest-descent
+    /// restart); typically a non-smooth kink.
+    LineSearchFailed,
+    /// The objective was non-finite at the starting point.
+    NonFiniteStart,
+}
+
+/// Result of [`minimize`].
+#[derive(Debug, Clone)]
+pub struct LbfgsResult {
+    /// Best point found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub value: f64,
+    /// Gradient infinity norm at `x`.
+    pub grad_inf_norm: f64,
+    /// Outer iterations performed.
+    pub iterations: usize,
+    /// Total objective/gradient evaluations.
+    pub evaluations: usize,
+    /// Termination reason.
+    pub stop: LbfgsStop,
+}
+
+impl LbfgsResult {
+    /// `true` when the run ended in a state usable as a solution
+    /// (converged or stagnated, as opposed to exploding).
+    pub fn is_usable(&self) -> bool {
+        matches!(
+            self.stop,
+            LbfgsStop::GradTol | LbfgsStop::FTol | LbfgsStop::MaxIters | LbfgsStop::LineSearchFailed
+        ) && self.value.is_finite()
+    }
+}
+
+fn inf_norm(v: &[f64]) -> f64 {
+    v.iter().fold(0.0, |m, &x| m.max(x.abs()))
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Minimizes `f` starting from `x0`.
+///
+/// The closure fills `grad` and returns the objective value; it is invoked
+/// once per trial point. Non-finite trial values are handled by the line
+/// search (treated as +∞), so barrier-style objectives are fine as long as
+/// `x0` itself evaluates finite.
+pub fn minimize<F>(mut f: F, x0: &[f64], config: &LbfgsConfig) -> LbfgsResult
+where
+    F: FnMut(&[f64], &mut [f64]) -> f64,
+{
+    let n = x0.len();
+    let mut x = x0.to_vec();
+    let mut grad = vec![0.0; n];
+    let mut evaluations = 1usize;
+    let mut value = f(&x, &mut grad);
+    if !value.is_finite() {
+        return LbfgsResult {
+            grad_inf_norm: inf_norm(&grad),
+            x,
+            value,
+            iterations: 0,
+            evaluations,
+            stop: LbfgsStop::NonFiniteStart,
+        };
+    }
+
+    let mut s_mem: VecDeque<Vec<f64>> = VecDeque::with_capacity(config.memory);
+    let mut y_mem: VecDeque<Vec<f64>> = VecDeque::with_capacity(config.memory);
+    let mut rho_mem: VecDeque<f64> = VecDeque::with_capacity(config.memory);
+    let mut gamma = 1.0f64;
+
+    let mut stagnant = 0usize;
+    let mut ls_failures = 0usize;
+    let mut iterations = 0usize;
+    let stop;
+
+    loop {
+        let gnorm = inf_norm(&grad);
+        if gnorm <= config.grad_tol {
+            stop = LbfgsStop::GradTol;
+            break;
+        }
+        if iterations >= config.max_iters {
+            stop = LbfgsStop::MaxIters;
+            break;
+        }
+        iterations += 1;
+
+        // Two-loop recursion: d = -H·g.
+        let mut d: Vec<f64> = grad.iter().map(|g| -g).collect();
+        let k = s_mem.len();
+        let mut alphas = vec![0.0; k];
+        for i in (0..k).rev() {
+            let a = rho_mem[i] * dot(&s_mem[i], &d);
+            alphas[i] = a;
+            for (dj, yj) in d.iter_mut().zip(&y_mem[i]) {
+                *dj -= a * yj;
+            }
+        }
+        for dj in d.iter_mut() {
+            *dj *= gamma;
+        }
+        for i in 0..k {
+            let b = rho_mem[i] * dot(&y_mem[i], &d);
+            for (dj, sj) in d.iter_mut().zip(&s_mem[i]) {
+                *dj += (alphas[i] - b) * sj;
+            }
+        }
+
+        let mut slope = dot(&grad, &d);
+        // NaN or non-negative slope both mean the direction is unusable.
+        if !matches!(slope.partial_cmp(&0.0), Some(std::cmp::Ordering::Less)) {
+            // Hessian approximation corrupted; restart with steepest descent.
+            s_mem.clear();
+            y_mem.clear();
+            rho_mem.clear();
+            gamma = 1.0;
+            for (dj, gj) in d.iter_mut().zip(&grad) {
+                *dj = -gj;
+            }
+            slope = -dot(&grad, &grad);
+        }
+
+        // Line search along d.
+        let mut trial = vec![0.0; n];
+        let mut trial_grad = vec![0.0; n];
+        let mut ls_evals = 0usize;
+        let phi = |a: f64| {
+            for i in 0..n {
+                trial[i] = x[i] + a * d[i];
+            }
+            let v = f(&trial, &mut trial_grad);
+            (v, dot(&trial_grad, &d))
+        };
+        // First iteration: scale the unit step by the gradient size so a
+        // wildly-scaled problem does not explode on step one.
+        let ls_params = LineSearchParams {
+            alpha_init: if k == 0 {
+                (1.0 / gnorm.max(1.0)).min(1.0)
+            } else {
+                1.0
+            },
+            ..config.line_search
+        };
+        let result = {
+            let mut phi = phi;
+            strong_wolfe(
+                |a| {
+                    ls_evals += 1;
+                    phi(a)
+                },
+                value,
+                slope,
+                &ls_params,
+            )
+        };
+        evaluations += ls_evals;
+
+        match result {
+            Ok(ok) => {
+                ls_failures = 0;
+                // trial/trial_grad hold the last evaluated point, which the
+                // line search guarantees is the accepted one only if we
+                // recompute; re-evaluate to be exact (cheap relative to the
+                // search itself and keeps the code obviously correct).
+                let mut new_x = vec![0.0; n];
+                for i in 0..n {
+                    new_x[i] = x[i] + ok.alpha * d[i];
+                }
+                let mut new_grad = vec![0.0; n];
+                evaluations += 1;
+                let new_value = f(&new_x, &mut new_grad);
+
+                let s: Vec<f64> = new_x.iter().zip(&x).map(|(a, b)| a - b).collect();
+                let yv: Vec<f64> = new_grad.iter().zip(&grad).map(|(a, b)| a - b).collect();
+                let sy = dot(&s, &yv);
+                let yy = dot(&yv, &yv);
+                if sy > 1e-10 * s.iter().map(|v| v * v).sum::<f64>().sqrt() * yy.sqrt() && yy > 0.0
+                {
+                    if s_mem.len() == config.memory {
+                        s_mem.pop_front();
+                        y_mem.pop_front();
+                        rho_mem.pop_front();
+                    }
+                    rho_mem.push_back(1.0 / sy);
+                    s_mem.push_back(s);
+                    y_mem.push_back(yv);
+                    gamma = sy / yy;
+                }
+
+                let decrease = (value - new_value).abs();
+                if decrease <= config.f_tol_rel * value.abs().max(1.0) {
+                    stagnant += 1;
+                } else {
+                    stagnant = 0;
+                }
+                x = new_x;
+                grad = new_grad;
+                value = new_value;
+                if stagnant >= 2 {
+                    stop = LbfgsStop::FTol;
+                    break;
+                }
+            }
+            Err(LineSearchError::NotDescent) | Err(_) => {
+                ls_failures += 1;
+                if ls_failures >= 2 {
+                    stop = LbfgsStop::LineSearchFailed;
+                    break;
+                }
+                // Drop the memory and retry from steepest descent.
+                s_mem.clear();
+                y_mem.clear();
+                rho_mem.clear();
+                gamma = 1.0;
+            }
+        }
+    }
+
+    LbfgsResult {
+        grad_inf_norm: inf_norm(&grad),
+        x,
+        value,
+        iterations,
+        evaluations,
+        stop,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_bowl() {
+        // f = Σ i·(x_i − i)²
+        let f = |x: &[f64], g: &mut [f64]| {
+            let mut v = 0.0;
+            for i in 0..x.len() {
+                let w = (i + 1) as f64;
+                let d = x[i] - (i + 1) as f64;
+                v += w * d * d;
+                g[i] = 2.0 * w * d;
+            }
+            v
+        };
+        let r = minimize(f, &[0.0; 5], &LbfgsConfig::default());
+        assert_eq!(r.stop, LbfgsStop::GradTol);
+        for i in 0..5 {
+            assert!((r.x[i] - (i + 1) as f64).abs() < 1e-6, "x[{i}] = {}", r.x[i]);
+        }
+        assert!(r.is_usable());
+    }
+
+    #[test]
+    fn rosenbrock_2d() {
+        let f = |x: &[f64], g: &mut [f64]| {
+            let (a, b) = (x[0], x[1]);
+            g[0] = -400.0 * a * (b - a * a) - 2.0 * (1.0 - a);
+            g[1] = 200.0 * (b - a * a);
+            100.0 * (b - a * a).powi(2) + (1.0 - a).powi(2)
+        };
+        let cfg = LbfgsConfig {
+            max_iters: 500,
+            ..Default::default()
+        };
+        let r = minimize(f, &[-1.2, 1.0], &cfg);
+        assert!(r.value < 1e-10, "value = {}", r.value);
+        assert!((r.x[0] - 1.0).abs() < 1e-4);
+        assert!((r.x[1] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rosenbrock_10d() {
+        let f = |x: &[f64], g: &mut [f64]| {
+            let n = x.len();
+            let mut v = 0.0;
+            g.fill(0.0);
+            for i in 0..n - 1 {
+                let t1 = x[i + 1] - x[i] * x[i];
+                let t2 = 1.0 - x[i];
+                v += 100.0 * t1 * t1 + t2 * t2;
+                g[i] += -400.0 * x[i] * t1 - 2.0 * t2;
+                g[i + 1] += 200.0 * t1;
+            }
+            v
+        };
+        let cfg = LbfgsConfig {
+            max_iters: 2000,
+            ..Default::default()
+        };
+        let r = minimize(f, &[0.5; 10], &cfg);
+        assert!(r.value < 1e-8, "value = {} after {} iters", r.value, r.iterations);
+    }
+
+    #[test]
+    fn already_converged_returns_immediately() {
+        let f = |x: &[f64], g: &mut [f64]| {
+            g[0] = 2.0 * x[0];
+            x[0] * x[0]
+        };
+        let r = minimize(f, &[0.0], &LbfgsConfig::default());
+        assert_eq!(r.iterations, 0);
+        assert_eq!(r.stop, LbfgsStop::GradTol);
+    }
+
+    #[test]
+    fn non_finite_start_detected() {
+        let f = |_: &[f64], g: &mut [f64]| {
+            g[0] = 0.0;
+            f64::NAN
+        };
+        let r = minimize(f, &[1.0], &LbfgsConfig::default());
+        assert_eq!(r.stop, LbfgsStop::NonFiniteStart);
+        assert!(!r.is_usable());
+    }
+
+    #[test]
+    fn piecewise_c1_hinge_converges_nearby() {
+        // f = max(0, x)² + (x + 1)² is C¹; minimum at x = -1... actually
+        // for x < 0: (x+1)², min at -1. Check we land there.
+        let f = |x: &[f64], g: &mut [f64]| {
+            let r = x[0].max(0.0);
+            g[0] = 2.0 * r + 2.0 * (x[0] + 1.0);
+            r * r + (x[0] + 1.0) * (x[0] + 1.0)
+        };
+        let r = minimize(f, &[2.0], &LbfgsConfig::default());
+        assert!((r.x[0] + 1.0).abs() < 1e-5, "x = {}", r.x[0]);
+    }
+
+    #[test]
+    fn max_iters_respected() {
+        let f = |x: &[f64], g: &mut [f64]| {
+            g[0] = 2.0 * (x[0] - 1e9);
+            (x[0] - 1e9) * (x[0] - 1e9)
+        };
+        let cfg = LbfgsConfig {
+            max_iters: 2,
+            ..Default::default()
+        };
+        let r = minimize(f, &[0.0], &cfg);
+        assert!(r.iterations <= 2);
+    }
+
+    #[test]
+    fn badly_scaled_quadratic() {
+        let f = |x: &[f64], g: &mut [f64]| {
+            g[0] = 2e6 * x[0];
+            g[1] = 2e-6 * x[1];
+            1e6 * x[0] * x[0] + 1e-6 * x[1] * x[1]
+        };
+        let cfg = LbfgsConfig {
+            max_iters: 500,
+            grad_tol: 1e-9,
+            ..Default::default()
+        };
+        let r = minimize(f, &[1.0, 1.0], &cfg);
+        assert!(r.x[0].abs() < 1e-6);
+        // The tiny-curvature coordinate needs the curvature pairs to kick
+        // in; just require decrease.
+        assert!(r.value < 1e-4);
+    }
+}

@@ -1,0 +1,272 @@
+//! Strong-Wolfe line search (Nocedal & Wright, Algorithms 3.5/3.6).
+
+/// Parameters of the strong-Wolfe search.
+#[derive(Debug, Clone, Copy)]
+pub struct LineSearchParams {
+    /// Sufficient-decrease (Armijo) constant, `0 < c1 < c2`.
+    pub c1: f64,
+    /// Curvature constant, `c1 < c2 < 1`.
+    pub c2: f64,
+    /// First trial step.
+    pub alpha_init: f64,
+    /// Largest step ever tried.
+    pub alpha_max: f64,
+    /// Evaluation budget for bracketing plus zooming.
+    pub max_evals: usize,
+}
+
+impl Default for LineSearchParams {
+    fn default() -> Self {
+        LineSearchParams {
+            c1: 1e-4,
+            c2: 0.9,
+            alpha_init: 1.0,
+            alpha_max: 1e6,
+            max_evals: 40,
+        }
+    }
+}
+
+/// A successful line search: accepted step and the value/derivative there.
+#[derive(Debug, Clone, Copy)]
+pub struct LineSearchOk {
+    /// Accepted step length.
+    pub alpha: f64,
+    /// `φ(α)`.
+    pub value: f64,
+    /// `φ'(α)`.
+    pub slope: f64,
+    /// Number of `φ` evaluations consumed.
+    pub evals: usize,
+}
+
+/// Line-search failure modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineSearchError {
+    /// The supplied direction has non-negative slope at 0.
+    NotDescent,
+    /// The evaluation budget ran out before a Wolfe point was found.
+    BudgetExhausted,
+    /// The zoom interval collapsed to numerical noise without a Wolfe
+    /// point (typical on non-smooth kinks); the caller should fall back.
+    IntervalCollapsed,
+}
+
+impl std::fmt::Display for LineSearchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LineSearchError::NotDescent => write!(f, "direction is not a descent direction"),
+            LineSearchError::BudgetExhausted => write!(f, "line-search evaluation budget exhausted"),
+            LineSearchError::IntervalCollapsed => write!(f, "line-search interval collapsed"),
+        }
+    }
+}
+
+impl std::error::Error for LineSearchError {}
+
+/// Finds a step satisfying the strong Wolfe conditions for the scalar
+/// function `φ(α)`, whose evaluation returns `(φ, φ')`. `phi0`/`slope0`
+/// are `φ(0)` and `φ'(0)`.
+///
+/// Non-finite trial values are treated as `+∞` (step rejected), which
+/// makes the search robust to barrier-like objectives.
+///
+/// # Errors
+///
+/// See [`LineSearchError`].
+pub fn strong_wolfe<F>(
+    mut phi: F,
+    phi0: f64,
+    slope0: f64,
+    params: &LineSearchParams,
+) -> Result<LineSearchOk, LineSearchError>
+where
+    F: FnMut(f64) -> (f64, f64),
+{
+    if slope0 >= 0.0 {
+        return Err(LineSearchError::NotDescent);
+    }
+    let sanitize = |v: f64| if v.is_finite() { v } else { f64::INFINITY };
+    let mut evals = 0usize;
+    let mut eval = |a: f64, evals: &mut usize| {
+        *evals += 1;
+        let (v, d) = phi(a);
+        (sanitize(v), if d.is_finite() { d } else { 0.0 })
+    };
+
+    let mut alpha_prev = 0.0;
+    let mut phi_prev = phi0;
+    let mut slope_prev = slope0;
+    let mut alpha = params.alpha_init.min(params.alpha_max);
+
+    // Bracketing phase.
+    let mut bracket: Option<(f64, f64, f64, f64, f64, f64)> = None;
+    for i in 0.. {
+        if evals >= params.max_evals {
+            return Err(LineSearchError::BudgetExhausted);
+        }
+        let (f, d) = eval(alpha, &mut evals);
+        if f > phi0 + params.c1 * alpha * slope0 || (i > 0 && f >= phi_prev) {
+            bracket = Some((alpha_prev, phi_prev, slope_prev, alpha, f, d));
+            break;
+        }
+        if d.abs() <= -params.c2 * slope0 {
+            return Ok(LineSearchOk {
+                alpha,
+                value: f,
+                slope: d,
+                evals,
+            });
+        }
+        if d >= 0.0 {
+            bracket = Some((alpha, f, d, alpha_prev, phi_prev, slope_prev));
+            break;
+        }
+        if alpha >= params.alpha_max {
+            // Monotone descent all the way to the cap: accept the cap.
+            return Ok(LineSearchOk {
+                alpha,
+                value: f,
+                slope: d,
+                evals,
+            });
+        }
+        alpha_prev = alpha;
+        phi_prev = f;
+        slope_prev = d;
+        alpha = (alpha * 2.0).min(params.alpha_max);
+    }
+
+    // Zoom phase on the bracket (lo has the lower φ).
+    let (mut lo, mut flo, mut dlo, mut hi, mut fhi, mut _dhi) =
+        bracket.expect("bracket set before zoom");
+    loop {
+        if evals >= params.max_evals {
+            return Err(LineSearchError::BudgetExhausted);
+        }
+        if (hi - lo).abs() <= 1e-14 * lo.abs().max(1.0) {
+            return Err(LineSearchError::IntervalCollapsed);
+        }
+        // Quadratic interpolation using (lo, flo, dlo) and (hi, fhi);
+        // guard into the interior.
+        let mid = {
+            let denom = 2.0 * (fhi - flo - dlo * (hi - lo));
+            let q = if denom.abs() > 1e-300 && fhi.is_finite() {
+                lo - dlo * (hi - lo) * (hi - lo) / denom
+            } else {
+                f64::NAN
+            };
+            let (a, b) = if lo < hi { (lo, hi) } else { (hi, lo) };
+            let margin = 0.1 * (b - a);
+            if q.is_finite() && q > a + margin && q < b - margin {
+                q
+            } else {
+                0.5 * (lo + hi)
+            }
+        };
+        let (f, d) = eval(mid, &mut evals);
+        if f > phi0 + params.c1 * mid * slope0 || f >= flo {
+            hi = mid;
+            fhi = f;
+            _dhi = d;
+        } else {
+            if d.abs() <= -params.c2 * slope0 {
+                return Ok(LineSearchOk {
+                    alpha: mid,
+                    value: f,
+                    slope: d,
+                    evals,
+                });
+            }
+            if d * (hi - lo) >= 0.0 {
+                hi = lo;
+                fhi = flo;
+                _dhi = dlo;
+            }
+            lo = mid;
+            flo = f;
+            dlo = d;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quad(a: f64) -> (f64, f64) {
+        // φ(α) = (α − 3)², minimum at 3.
+        ((a - 3.0) * (a - 3.0), 2.0 * (a - 3.0))
+    }
+
+    #[test]
+    fn finds_wolfe_point_on_quadratic() {
+        let p = LineSearchParams::default();
+        let r = strong_wolfe(quad, 9.0, -6.0, &p).unwrap();
+        // Any point with |φ'| ≤ 0.9·6 qualifies; the quadratic's Wolfe
+        // region is (0.3, 5.7).
+        assert!(r.alpha > 0.3 && r.alpha < 5.7, "alpha = {}", r.alpha);
+        assert!(r.value < 9.0);
+    }
+
+    #[test]
+    fn rejects_ascent_direction() {
+        let p = LineSearchParams::default();
+        let r = strong_wolfe(quad, 9.0, 6.0, &p);
+        assert_eq!(r.unwrap_err(), LineSearchError::NotDescent);
+    }
+
+    #[test]
+    fn handles_nan_regions_as_infinite() {
+        // φ = (α − 1.5)² for α < 2, NaN beyond — the search must reject
+        // the NaN cliff and settle near the interior minimum.
+        let phi = |a: f64| {
+            if a < 2.0 {
+                ((a - 1.5) * (a - 1.5), 2.0 * (a - 1.5))
+            } else {
+                (f64::NAN, f64::NAN)
+            }
+        };
+        let p = LineSearchParams {
+            alpha_init: 4.0,
+            ..Default::default()
+        };
+        let r = strong_wolfe(phi, 2.25, -3.0, &p).unwrap();
+        assert!(r.alpha < 2.0);
+        assert!(r.value < 2.25);
+    }
+
+    #[test]
+    fn monotone_decrease_accepts_alpha_max() {
+        let phi = |a: f64| (-a, -1.0);
+        let p = LineSearchParams {
+            alpha_max: 8.0,
+            ..Default::default()
+        };
+        let r = strong_wolfe(phi, 0.0, -1.0, &p).unwrap();
+        assert_eq!(r.alpha, 8.0);
+    }
+
+    #[test]
+    fn steep_then_flat_function() {
+        // φ(α) = α⁴ − α: descent at 0, minimum near 0.63.
+        let phi = |a: f64| (a.powi(4) - a, 4.0 * a.powi(3) - 1.0);
+        let p = LineSearchParams::default();
+        let r = strong_wolfe(phi, 0.0, -1.0, &p).unwrap();
+        assert!((r.alpha - 0.63).abs() < 0.35, "alpha = {}", r.alpha);
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let phi = |a: f64| ((a - 1e-9).abs(), if a > 1e-9 { 1.0 } else { -1.0 });
+        let p = LineSearchParams {
+            max_evals: 3,
+            c2: 1e-9, // unreachably strict curvature condition
+            ..Default::default()
+        };
+        let err = strong_wolfe(phi, 1e-9, -1.0, &p).unwrap_err();
+        assert!(
+            err == LineSearchError::BudgetExhausted || err == LineSearchError::IntervalCollapsed
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Finite-difference gradients for verifying analytic/AD gradients.
+
+/// Central-difference gradient of `f` at `x` with step `h`.
+///
+/// Intended for tests and debugging: cost is `2n` evaluations.
+///
+/// ```
+/// use acs_opt::numgrad::finite_difference_gradient;
+/// let f = |x: &[f64]| x[0] * x[0] + 3.0 * x[1];
+/// let g = finite_difference_gradient(f, &[2.0, 0.0], 1e-6);
+/// assert!((g[0] - 4.0).abs() < 1e-6);
+/// assert!((g[1] - 3.0).abs() < 1e-6);
+/// ```
+pub fn finite_difference_gradient<F>(mut f: F, x: &[f64], h: f64) -> Vec<f64>
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    let mut grad = vec![0.0; x.len()];
+    let mut xp = x.to_vec();
+    for i in 0..x.len() {
+        xp[i] = x[i] + h;
+        let fp = f(&xp);
+        xp[i] = x[i] - h;
+        let fm = f(&xp);
+        xp[i] = x[i];
+        grad[i] = (fp - fm) / (2.0 * h);
+    }
+    grad
+}
+
+/// Maximum relative disagreement between `analytic` and a finite-difference
+/// gradient of `f` at `x`. Useful as a one-line gradient check:
+/// values below ~`1e-4` (for `h = 1e-6`) indicate a correct gradient.
+pub fn max_gradient_error<F>(f: F, x: &[f64], analytic: &[f64], h: f64) -> f64
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    let fd = finite_difference_gradient(f, x, h);
+    fd.iter()
+        .zip(analytic)
+        .map(|(n, a)| (n - a).abs() / n.abs().max(a.abs()).max(1.0))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Graph;
+
+    #[test]
+    fn ad_gradient_agrees_with_finite_differences_on_composite() {
+        let eval = |x: &[f64]| {
+            let g = Graph::new();
+            let a = g.input(x[0]);
+            let b = g.input(x[1]);
+            let c = g.input(x[2]);
+            // Mix of ops resembling the scheduler objective.
+            let speed = a / (b - c + 1e-9);
+            let energy = speed.sqr() * a + (b * c).softplus(0.3);
+            energy.value()
+        };
+        let x = [2.0, 5.0, 1.0];
+        let g = Graph::new();
+        let a = g.input(x[0]);
+        let b = g.input(x[1]);
+        let c = g.input(x[2]);
+        let speed = a / (b - c + 1e-9);
+        let energy = speed.sqr() * a + (b * c).softplus(0.3);
+        let grads = g.gradient(energy);
+        let analytic = [grads.wrt(a), grads.wrt(b), grads.wrt(c)];
+        let err = max_gradient_error(eval, &x, &analytic, 1e-6);
+        assert!(err < 1e-6, "gradient mismatch: {err}");
+    }
+
+    #[test]
+    fn detects_wrong_gradient() {
+        let f = |x: &[f64]| x[0] * x[0];
+        let err = max_gradient_error(f, &[3.0], &[5.0], 1e-6); // true grad is 6
+        assert!(err > 0.1);
+    }
+}

@@ -1,0 +1,71 @@
+//! The constrained-problem interface consumed by [`crate::auglag`].
+
+use crate::tape::{Expr, Graph};
+
+/// Expression handles of a problem instantiated on a graph:
+/// minimize `objective` subject to `inequalities[i] ≤ 0` and
+/// `equalities[j] = 0`.
+#[derive(Debug)]
+pub struct ProblemExprs<'g> {
+    /// The scalar objective to minimize.
+    pub objective: Expr<'g>,
+    /// Constraint expressions; feasible iff `≤ 0`.
+    pub inequalities: Vec<Expr<'g>>,
+    /// Constraint expressions; feasible iff `= 0`.
+    pub equalities: Vec<Expr<'g>>,
+}
+
+/// A smooth constrained minimization problem, expressed by building its
+/// objective and constraints on a fresh AD [`Graph`] at every evaluation.
+///
+/// `smoothing` is a temperature for piecewise operations (`max`, `clamp`):
+/// implementations should use smooth surrogates
+/// ([`Expr::softplus`]-based) when `smoothing > 0` and the exact
+/// piecewise forms when `smoothing == 0`. The augmented-Lagrangian driver
+/// anneals the temperature toward zero across its outer iterations and
+/// evaluates all *reported* quantities at zero.
+pub trait ConstrainedProblem {
+    /// Number of decision variables.
+    fn dim(&self) -> usize;
+
+    /// Builds the objective and constraints at `x` on graph `g`.
+    fn build<'g>(&self, g: &'g Graph, x: &[Expr<'g>], smoothing: f64) -> ProblemExprs<'g>;
+
+    /// A starting point (need not be feasible).
+    fn initial_point(&self) -> Vec<f64>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal problem used to exercise the trait object path:
+    /// min (x₀−1)², no constraints.
+    struct Paraboloid;
+
+    impl ConstrainedProblem for Paraboloid {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn build<'g>(&self, _g: &'g Graph, x: &[Expr<'g>], _s: f64) -> ProblemExprs<'g> {
+            ProblemExprs {
+                objective: (x[0] - 1.0).sqr(),
+                inequalities: vec![],
+                equalities: vec![],
+            }
+        }
+        fn initial_point(&self) -> Vec<f64> {
+            vec![0.0]
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe_and_buildable() {
+        let p: &dyn ConstrainedProblem = &Paraboloid;
+        let g = Graph::new();
+        let xs = vec![g.input(2.0)];
+        let exprs = p.build(&g, &xs, 0.0);
+        assert_eq!(exprs.objective.value(), 1.0);
+        assert!(exprs.inequalities.is_empty());
+    }
+}

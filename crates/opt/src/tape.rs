@@ -1,0 +1,604 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! The optimizer re-builds a fresh expression graph at every merit-function
+//! evaluation (values are eager, the tape only records local partial
+//! derivatives), then a single reverse sweep yields the gradient with
+//! respect to every input at `O(#nodes)` cost. This is the textbook
+//! "tape" design: flat arena, two-parent nodes, no graph reuse, no
+//! allocation inside the hot loop beyond the arena `Vec`s.
+//!
+//! ```
+//! use acs_opt::tape::Graph;
+//!
+//! let g = Graph::new();
+//! let x = g.input(3.0);
+//! let y = g.input(2.0);
+//! let f = (x * y + x.sin()) * y; // f = (xy + sin x)·y
+//! let grad = g.gradient(f);
+//! let (dx, dy) = (grad.wrt(x), grad.wrt(y));
+//! assert!((dx - (2.0 * 2.0 + 3.0_f64.cos() * 2.0)).abs() < 1e-12);
+//! assert!((dy - (2.0 * 3.0 * 2.0 + 3.0_f64.sin())).abs() < 1e-12);
+//! ```
+
+use std::cell::RefCell;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    parents: [u32; 2],
+    partials: [f64; 2],
+}
+
+#[derive(Debug, Default)]
+struct TapeInner {
+    nodes: Vec<Node>,
+    values: Vec<f64>,
+}
+
+impl TapeInner {
+    fn push(&mut self, value: f64, parents: [u32; 2], partials: [f64; 2]) -> u32 {
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(Node { parents, partials });
+        self.values.push(value);
+        idx
+    }
+}
+
+/// An expression graph / AD tape.
+///
+/// Create leaves with [`Graph::input`] (differentiable) or
+/// [`Graph::constant`], combine them with the overloaded operators and
+/// methods on [`Expr`], then call [`Graph::gradient`].
+#[derive(Debug, Default)]
+pub struct Graph {
+    inner: RefCell<TapeInner>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Creates a graph with capacity for `n` nodes pre-allocated.
+    pub fn with_capacity(n: usize) -> Self {
+        let g = Graph::new();
+        {
+            let mut t = g.inner.borrow_mut();
+            t.nodes.reserve(n);
+            t.values.reserve(n);
+        }
+        g
+    }
+
+    /// Number of nodes currently on the tape.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().nodes.len()
+    }
+
+    /// `true` when the tape has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A differentiable leaf with the given value.
+    pub fn input(&self, value: f64) -> Expr<'_> {
+        let idx = self
+            .inner
+            .borrow_mut()
+            .push(value, [u32::MAX, u32::MAX], [0.0, 0.0]);
+        Expr { graph: self, idx }
+    }
+
+    /// A constant leaf. Identical to [`Graph::input`] for evaluation; the
+    /// distinction is documentation only (gradients w.r.t. constants are
+    /// simply never read).
+    pub fn constant(&self, value: f64) -> Expr<'_> {
+        self.input(value)
+    }
+
+    /// Computes `d output / d node` for every node by one reverse sweep.
+    pub fn gradient(&self, output: Expr<'_>) -> Gradient {
+        debug_assert!(std::ptr::eq(output.graph, self), "expr from another graph");
+        let tape = self.inner.borrow();
+        let n = tape.nodes.len();
+        let mut adjoint = vec![0.0f64; n];
+        adjoint[output.idx as usize] = 1.0;
+        for i in (0..n).rev() {
+            let a = adjoint[i];
+            if a == 0.0 {
+                continue;
+            }
+            let node = tape.nodes[i];
+            for p in 0..2 {
+                let parent = node.parents[p];
+                if parent != u32::MAX {
+                    adjoint[parent as usize] += a * node.partials[p];
+                }
+            }
+        }
+        Gradient { adjoint }
+    }
+
+    fn unary(&self, a: Expr<'_>, value: f64, partial: f64) -> Expr<'_> {
+        let idx = self
+            .inner
+            .borrow_mut()
+            .push(value, [a.idx, u32::MAX], [partial, 0.0]);
+        Expr { graph: self, idx }
+    }
+
+    fn binary(&self, a: Expr<'_>, b: Expr<'_>, value: f64, pa: f64, pb: f64) -> Expr<'_> {
+        debug_assert!(std::ptr::eq(a.graph, b.graph), "exprs from different graphs");
+        let idx = self.inner.borrow_mut().push(value, [a.idx, b.idx], [pa, pb]);
+        Expr { graph: self, idx }
+    }
+}
+
+/// The result of a reverse sweep: adjoints of every node.
+#[derive(Debug, Clone)]
+pub struct Gradient {
+    adjoint: Vec<f64>,
+}
+
+impl Gradient {
+    /// Derivative of the swept output with respect to `x`.
+    pub fn wrt(&self, x: Expr<'_>) -> f64 {
+        self.adjoint[x.idx as usize]
+    }
+
+    /// Copies the derivatives w.r.t. each listed expression into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` and `out` have different lengths.
+    pub fn write_wrt(&self, xs: &[Expr<'_>], out: &mut [f64]) {
+        assert_eq!(xs.len(), out.len());
+        for (o, x) in out.iter_mut().zip(xs) {
+            *o = self.adjoint[x.idx as usize];
+        }
+    }
+}
+
+/// A handle to a node of a [`Graph`]. Cheap to copy; combine with `+ - * /`
+/// and the methods below. Values are computed eagerly, so [`Expr::value`]
+/// is free.
+#[derive(Clone, Copy)]
+pub struct Expr<'g> {
+    graph: &'g Graph,
+    idx: u32,
+}
+
+impl std::fmt::Debug for Expr<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Expr(#{} = {})", self.idx, self.value())
+    }
+}
+
+impl<'g> Expr<'g> {
+    /// Current value of this node.
+    pub fn value(self) -> f64 {
+        self.graph.inner.borrow().values[self.idx as usize]
+    }
+
+    /// `self²` (cheaper than `powi(2)` to read).
+    pub fn sqr(self) -> Expr<'g> {
+        let v = self.value();
+        self.graph.unary(self, v * v, 2.0 * v)
+    }
+
+    /// Integer power.
+    pub fn powi(self, n: i32) -> Expr<'g> {
+        let v = self.value();
+        self.graph
+            .unary(self, v.powi(n), f64::from(n) * v.powi(n - 1))
+    }
+
+    /// Real power (requires a positive base for a meaningful derivative).
+    pub fn powf(self, p: f64) -> Expr<'g> {
+        let v = self.value();
+        self.graph.unary(self, v.powf(p), p * v.powf(p - 1.0))
+    }
+
+    /// Square root.
+    pub fn sqrt(self) -> Expr<'g> {
+        let v = self.value();
+        let s = v.sqrt();
+        self.graph.unary(self, s, 0.5 / s)
+    }
+
+    /// Natural exponential.
+    pub fn exp(self) -> Expr<'g> {
+        let e = self.value().exp();
+        self.graph.unary(self, e, e)
+    }
+
+    /// Natural logarithm.
+    pub fn ln(self) -> Expr<'g> {
+        let v = self.value();
+        self.graph.unary(self, v.ln(), 1.0 / v)
+    }
+
+    /// Sine (used only by tests; kept public as a generic smooth op).
+    pub fn sin(self) -> Expr<'g> {
+        let v = self.value();
+        self.graph.unary(self, v.sin(), v.cos())
+    }
+
+    /// Reciprocal `1/x`.
+    pub fn recip(self) -> Expr<'g> {
+        let v = self.value();
+        self.graph.unary(self, 1.0 / v, -1.0 / (v * v))
+    }
+
+    /// Exact `max(self, 0)` with the convention that the derivative at the
+    /// kink is 0. Continuous, piecewise-smooth; safe inside augmented
+    /// Lagrangian penalty terms, which square it.
+    pub fn relu(self) -> Expr<'g> {
+        let v = self.value();
+        let (val, d) = if v > 0.0 { (v, 1.0) } else { (0.0, 0.0) };
+        self.graph.unary(self, val, d)
+    }
+
+    /// Exact `max(self, other)`; at ties the derivative follows `self`.
+    pub fn max_exact(self, other: Expr<'g>) -> Expr<'g> {
+        let (a, b) = (self.value(), other.value());
+        if a >= b {
+            self.graph.binary(self, other, a, 1.0, 0.0)
+        } else {
+            self.graph.binary(self, other, b, 0.0, 1.0)
+        }
+    }
+
+    /// Exact `min(self, other)`; at ties the derivative follows `self`.
+    pub fn min_exact(self, other: Expr<'g>) -> Expr<'g> {
+        let (a, b) = (self.value(), other.value());
+        if a <= b {
+            self.graph.binary(self, other, a, 1.0, 0.0)
+        } else {
+            self.graph.binary(self, other, b, 0.0, 1.0)
+        }
+    }
+
+    /// Numerically stable softplus with temperature `tau`:
+    /// `τ·ln(1 + e^{x/τ})`. Smooth overestimate of `max(x, 0)`;
+    /// approaches it as `τ → 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau` is not positive.
+    pub fn softplus(self, tau: f64) -> Expr<'g> {
+        assert!(tau > 0.0, "softplus temperature must be positive");
+        let x = self.value() / tau;
+        // Stable: softplus(x) = max(x,0) + ln(1+exp(-|x|)).
+        let val = tau * (x.max(0.0) + (-x.abs()).exp().ln_1p());
+        // d/dx τ·softplus(x/τ) = sigmoid(x/τ).
+        let d = if x >= 0.0 {
+            1.0 / (1.0 + (-x).exp())
+        } else {
+            let e = x.exp();
+            e / (1.0 + e)
+        };
+        self.graph.unary(self, val, d)
+    }
+
+    /// Smooth `max(self, other)` via `other + softplus(self − other)`.
+    /// Upper-bounds the exact max; error `≤ τ·ln 2`.
+    pub fn smooth_max(self, other: Expr<'g>, tau: f64) -> Expr<'g> {
+        other + (self - other).softplus(tau)
+    }
+
+    /// Smooth `clamp(self, lo, hi)` as
+    /// `lo + softplus(x − lo) − softplus(x − hi)`; exact as `τ → 0`.
+    pub fn smooth_clamp(self, lo: Expr<'g>, hi: Expr<'g>, tau: f64) -> Expr<'g> {
+        lo + (self - lo).softplus(tau) - (self - hi).softplus(tau)
+    }
+
+    /// Exact `clamp(self, lo, hi)` (piecewise; derivative 1 strictly
+    /// inside, 0 outside, ties resolve to the interior branch).
+    pub fn clamp_exact(self, lo: Expr<'g>, hi: Expr<'g>) -> Expr<'g> {
+        self.max_exact(lo).min_exact(hi)
+    }
+
+    /// A custom differentiable unary op: the caller supplies the output
+    /// value and the local derivative `d out / d self`. Used for the
+    /// voltage inversion `V(f)` of non-linear frequency laws where the
+    /// derivative comes from the implicit-function rule.
+    pub fn custom_unary(self, value: f64, partial: f64) -> Expr<'g> {
+        self.graph.unary(self, value, partial)
+    }
+}
+
+// ---- operator overloads -----------------------------------------------------
+
+impl<'g> Add for Expr<'g> {
+    type Output = Expr<'g>;
+    fn add(self, rhs: Expr<'g>) -> Expr<'g> {
+        self.graph
+            .binary(self, rhs, self.value() + rhs.value(), 1.0, 1.0)
+    }
+}
+
+impl<'g> Sub for Expr<'g> {
+    type Output = Expr<'g>;
+    fn sub(self, rhs: Expr<'g>) -> Expr<'g> {
+        self.graph
+            .binary(self, rhs, self.value() - rhs.value(), 1.0, -1.0)
+    }
+}
+
+impl<'g> Mul for Expr<'g> {
+    type Output = Expr<'g>;
+    fn mul(self, rhs: Expr<'g>) -> Expr<'g> {
+        let (a, b) = (self.value(), rhs.value());
+        self.graph.binary(self, rhs, a * b, b, a)
+    }
+}
+
+impl<'g> Div for Expr<'g> {
+    type Output = Expr<'g>;
+    fn div(self, rhs: Expr<'g>) -> Expr<'g> {
+        let (a, b) = (self.value(), rhs.value());
+        self.graph.binary(self, rhs, a / b, 1.0 / b, -a / (b * b))
+    }
+}
+
+impl<'g> Neg for Expr<'g> {
+    type Output = Expr<'g>;
+    fn neg(self) -> Expr<'g> {
+        self.graph.unary(self, -self.value(), -1.0)
+    }
+}
+
+impl<'g> Add<f64> for Expr<'g> {
+    type Output = Expr<'g>;
+    fn add(self, rhs: f64) -> Expr<'g> {
+        self.graph.unary(self, self.value() + rhs, 1.0)
+    }
+}
+
+impl<'g> Add<Expr<'g>> for f64 {
+    type Output = Expr<'g>;
+    fn add(self, rhs: Expr<'g>) -> Expr<'g> {
+        rhs + self
+    }
+}
+
+impl<'g> Sub<f64> for Expr<'g> {
+    type Output = Expr<'g>;
+    fn sub(self, rhs: f64) -> Expr<'g> {
+        self.graph.unary(self, self.value() - rhs, 1.0)
+    }
+}
+
+impl<'g> Sub<Expr<'g>> for f64 {
+    type Output = Expr<'g>;
+    fn sub(self, rhs: Expr<'g>) -> Expr<'g> {
+        rhs.graph.unary(rhs, self - rhs.value(), -1.0)
+    }
+}
+
+impl<'g> Mul<f64> for Expr<'g> {
+    type Output = Expr<'g>;
+    fn mul(self, rhs: f64) -> Expr<'g> {
+        self.graph.unary(self, self.value() * rhs, rhs)
+    }
+}
+
+impl<'g> Mul<Expr<'g>> for f64 {
+    type Output = Expr<'g>;
+    fn mul(self, rhs: Expr<'g>) -> Expr<'g> {
+        rhs * self
+    }
+}
+
+impl<'g> Div<f64> for Expr<'g> {
+    type Output = Expr<'g>;
+    fn div(self, rhs: f64) -> Expr<'g> {
+        self.graph.unary(self, self.value() / rhs, 1.0 / rhs)
+    }
+}
+
+impl<'g> Div<Expr<'g>> for f64 {
+    type Output = Expr<'g>;
+    fn div(self, rhs: Expr<'g>) -> Expr<'g> {
+        let b = rhs.value();
+        rhs.graph.unary(rhs, self / b, -self / (b * b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff(f: impl Fn(&[f64]) -> f64, x: &[f64]) -> Vec<f64> {
+        let mut g = vec![0.0; x.len()];
+        let h = 1e-6;
+        let mut xp = x.to_vec();
+        for i in 0..x.len() {
+            xp[i] = x[i] + h;
+            let fp = f(&xp);
+            xp[i] = x[i] - h;
+            let fm = f(&xp);
+            xp[i] = x[i];
+            g[i] = (fp - fm) / (2.0 * h);
+        }
+        g
+    }
+
+    #[test]
+    fn basic_arithmetic_values() {
+        let g = Graph::new();
+        let x = g.input(3.0);
+        let y = g.input(4.0);
+        assert_eq!((x + y).value(), 7.0);
+        assert_eq!((x - y).value(), -1.0);
+        assert_eq!((x * y).value(), 12.0);
+        assert_eq!((x / y).value(), 0.75);
+        assert_eq!((-x).value(), -3.0);
+        assert_eq!((x + 1.0).value(), 4.0);
+        assert_eq!((1.0 + x).value(), 4.0);
+        assert_eq!((x - 1.0).value(), 2.0);
+        assert_eq!((1.0 - x).value(), -2.0);
+        assert_eq!((x * 2.0).value(), 6.0);
+        assert_eq!((2.0 * x).value(), 6.0);
+        assert_eq!((x / 2.0).value(), 1.5);
+        assert_eq!((12.0 / x).value(), 4.0);
+    }
+
+    #[test]
+    fn polynomial_gradient() {
+        let g = Graph::new();
+        let x = g.input(2.0);
+        let y = g.input(-1.0);
+        // f = x³y + 2x − y²
+        let f = x.powi(3) * y + 2.0 * x - y.sqr();
+        assert_eq!(f.value(), -8.0 + 4.0 - 1.0);
+        let grad = g.gradient(f);
+        assert!((grad.wrt(x) - (-3.0 * 4.0 + 2.0)).abs() < 1e-12);
+        assert!((grad.wrt(y) - (8.0 + 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transcendental_gradients_match_finite_differences() {
+        let eval = |x: &[f64]| {
+            let g = Graph::new();
+            let a = g.input(x[0]);
+            let b = g.input(x[1]);
+            ((a * b).exp() + (a / b).ln() + a.sqrt() * b.powf(1.7)).value()
+        };
+        let x = [1.3, 0.8];
+        let fd = finite_diff(eval, &x);
+        let g = Graph::new();
+        let a = g.input(x[0]);
+        let b = g.input(x[1]);
+        let f = (a * b).exp() + (a / b).ln() + a.sqrt() * b.powf(1.7);
+        let grad = g.gradient(f);
+        assert!((grad.wrt(a) - fd[0]).abs() < 1e-5, "{} vs {}", grad.wrt(a), fd[0]);
+        assert!((grad.wrt(b) - fd[1]).abs() < 1e-5, "{} vs {}", grad.wrt(b), fd[1]);
+    }
+
+    #[test]
+    fn shared_subexpression_accumulates() {
+        let g = Graph::new();
+        let x = g.input(2.0);
+        let s = x * x; // used twice
+        let f = s + s;
+        let grad = g.gradient(f);
+        assert_eq!(grad.wrt(x), 8.0);
+    }
+
+    #[test]
+    fn relu_and_exact_max_min() {
+        let g = Graph::new();
+        let x = g.input(-2.0);
+        let y = g.input(3.0);
+        assert_eq!(x.relu().value(), 0.0);
+        assert_eq!(y.relu().value(), 3.0);
+        assert_eq!(x.max_exact(y).value(), 3.0);
+        assert_eq!(x.min_exact(y).value(), -2.0);
+        let f = x.max_exact(y) * 2.0;
+        let grad = g.gradient(f);
+        assert_eq!(grad.wrt(x), 0.0);
+        assert_eq!(grad.wrt(y), 2.0);
+    }
+
+    #[test]
+    fn softplus_limits_and_derivative() {
+        let g = Graph::new();
+        // Large positive -> ~x; large negative -> ~0.
+        let x = g.input(50.0);
+        assert!((x.softplus(0.1).value() - 50.0).abs() < 1e-9);
+        let y = g.input(-50.0);
+        assert!(y.softplus(0.1).value().abs() < 1e-9);
+        // Derivative is sigmoid.
+        let z = g.input(0.0);
+        let s = z.softplus(2.0);
+        let grad = g.gradient(s);
+        assert!((grad.wrt(z) - 0.5).abs() < 1e-12);
+        // No overflow for extreme inputs.
+        let w = g.input(1e6);
+        assert!(w.softplus(1e-3).value().is_finite());
+    }
+
+    #[test]
+    fn smooth_max_upper_bounds_and_converges() {
+        let g = Graph::new();
+        let a = g.input(1.0);
+        let b = g.input(1.2);
+        for tau in [1.0, 0.1, 1e-3] {
+            let m = a.smooth_max(b, tau).value();
+            assert!(m >= 1.2 - 1e-12);
+            assert!(m <= 1.2 + tau * (2.0f64).ln() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn smooth_clamp_limits() {
+        let g = Graph::new();
+        let lo = g.constant(0.0);
+        let hi = g.constant(1.0);
+        let tau = 1e-4;
+        assert!(g.input(-5.0).smooth_clamp(lo, hi, tau).value().abs() < 1e-9);
+        assert!((g.input(5.0).smooth_clamp(lo, hi, tau).value() - 1.0).abs() < 1e-9);
+        assert!((g.input(0.5).smooth_clamp(lo, hi, tau).value() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clamp_exact_branches() {
+        let g = Graph::new();
+        let lo = g.constant(0.0);
+        let hi = g.constant(1.0);
+        assert_eq!(g.input(-1.0).clamp_exact(lo, hi).value(), 0.0);
+        assert_eq!(g.input(0.3).clamp_exact(lo, hi).value(), 0.3);
+        assert_eq!(g.input(2.0).clamp_exact(lo, hi).value(), 1.0);
+        let x = g.input(0.3);
+        let grad = g.gradient(x.clamp_exact(lo, hi));
+        assert_eq!(grad.wrt(x), 1.0);
+    }
+
+    #[test]
+    fn custom_unary_propagates_partial() {
+        let g = Graph::new();
+        let x = g.input(4.0);
+        // Pretend op: y = x², partial 2x supplied by hand.
+        let y = x.custom_unary(16.0, 8.0);
+        let f = y * 3.0;
+        let grad = g.gradient(f);
+        assert_eq!(grad.wrt(x), 24.0);
+    }
+
+    #[test]
+    fn write_wrt_bulk() {
+        let g = Graph::new();
+        let xs: Vec<_> = (0..4).map(|i| g.input(i as f64 + 1.0)).collect();
+        let mut f = g.constant(0.0);
+        for &x in &xs {
+            f = f + x.sqr();
+        }
+        let grad = g.gradient(f);
+        let mut out = vec![0.0; 4];
+        grad.write_wrt(&xs, &mut out);
+        assert_eq!(out, vec![2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn graph_len_tracks_nodes() {
+        let g = Graph::new();
+        assert!(g.is_empty());
+        let x = g.input(1.0);
+        let _ = x + x;
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn recip_matches_division() {
+        let g = Graph::new();
+        let x = g.input(5.0);
+        let a = x.recip();
+        let b = 1.0 / x;
+        assert!((a.value() - b.value()).abs() < 1e-15);
+        let (ga, gb) = (g.gradient(a), g.gradient(b));
+        assert!((ga.wrt(x) - gb.wrt(x)).abs() < 1e-15);
+    }
+}

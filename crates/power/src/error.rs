@@ -1,0 +1,81 @@
+//! Error type for the power model.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced by processor-model construction or voltage queries.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PowerError {
+    /// A model parameter violated an invariant (e.g. non-positive κ).
+    InvalidModel {
+        /// Human-readable description of the violated invariant.
+        reason: String,
+    },
+    /// The requested speed exceeds what the processor can deliver at its
+    /// maximum supply voltage.
+    SpeedUnachievable {
+        /// Requested speed in cycles per millisecond.
+        requested: f64,
+        /// Maximum achievable speed in cycles per millisecond.
+        max: f64,
+    },
+    /// A voltage outside the processor's `[vmin, vmax]` range was used.
+    VoltageOutOfRange {
+        /// The offending voltage in volts.
+        volts: f64,
+        /// Lower bound in volts.
+        vmin: f64,
+        /// Upper bound in volts.
+        vmax: f64,
+    },
+    /// A discrete-level table was empty or not strictly increasing.
+    InvalidLevels {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerError::InvalidModel { reason } => {
+                write!(f, "invalid frequency model: {reason}")
+            }
+            PowerError::SpeedUnachievable { requested, max } => write!(
+                f,
+                "requested speed {requested:.3} cyc/ms exceeds maximum {max:.3} cyc/ms"
+            ),
+            PowerError::VoltageOutOfRange { volts, vmin, vmax } => write!(
+                f,
+                "voltage {volts:.3} V outside supported range [{vmin:.3}, {vmax:.3}] V"
+            ),
+            PowerError::InvalidLevels { reason } => {
+                write!(f, "invalid discrete voltage levels: {reason}")
+            }
+        }
+    }
+}
+
+impl StdError for PowerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_key_numbers() {
+        let e = PowerError::SpeedUnachievable {
+            requested: 200.0,
+            max: 150.0,
+        };
+        assert!(e.to_string().contains("200.000"));
+        assert!(e.to_string().contains("150.000"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: StdError + Send + Sync + 'static>() {}
+        assert_err::<PowerError>();
+    }
+}

@@ -1,0 +1,140 @@
+//! Discrete supply-voltage levels.
+//!
+//! The paper assumes "the processor can use any voltage value within a
+//! specified range" (§3.2); real parts expose a handful of levels
+//! (cf. the paper's reference \[12\], Mochocki et al.). [`VoltageLevels`] lets the
+//! simulator and the ablation benches quantize the continuous schedule to
+//! a level table and measure the cost of that assumption.
+
+use crate::error::PowerError;
+use acs_model::units::Volt;
+
+/// Continuous range or a discrete table of usable supply voltages.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum VoltageLevels {
+    /// Any voltage inside the processor's `[vmin, vmax]` range.
+    #[default]
+    Continuous,
+    /// Only the listed voltages (strictly increasing) are usable.
+    Discrete(LevelTable),
+}
+
+/// A validated, strictly increasing table of voltage levels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelTable {
+    levels: Vec<Volt>,
+}
+
+impl LevelTable {
+    /// Builds a level table.
+    ///
+    /// # Errors
+    ///
+    /// [`PowerError::InvalidLevels`] when the table is empty, contains a
+    /// non-finite or non-positive entry, or is not strictly increasing.
+    pub fn new(levels: Vec<Volt>) -> Result<Self, PowerError> {
+        if levels.is_empty() {
+            return Err(PowerError::InvalidLevels {
+                reason: "level table must not be empty".into(),
+            });
+        }
+        for w in levels.windows(2) {
+            if w[0] >= w[1] {
+                return Err(PowerError::InvalidLevels {
+                    reason: format!("levels must be strictly increasing, got {} then {}", w[0], w[1]),
+                });
+            }
+        }
+        if levels
+            .iter()
+            .any(|v| !v.is_finite() || v.as_volts() <= 0.0)
+        {
+            return Err(PowerError::InvalidLevels {
+                reason: "levels must be finite and positive".into(),
+            });
+        }
+        Ok(LevelTable { levels })
+    }
+
+    /// The levels, lowest first.
+    pub fn levels(&self) -> &[Volt] {
+        &self.levels
+    }
+
+    /// Lowest level.
+    pub fn lowest(&self) -> Volt {
+        self.levels[0]
+    }
+
+    /// Highest level.
+    pub fn highest(&self) -> Volt {
+        *self.levels.last().expect("table is never empty")
+    }
+
+    /// Smallest level `≥ v`, or `None` when `v` exceeds the highest level.
+    ///
+    /// This is the conservative rounding the runtime uses: rounding *up*
+    /// keeps every worst-case guarantee intact at the cost of some energy.
+    pub fn round_up(&self, v: Volt) -> Option<Volt> {
+        self.levels.iter().copied().find(|&l| l >= v)
+    }
+
+    /// Largest level `≤ v`, or `None` when `v` is below the lowest level.
+    pub fn round_down(&self, v: Volt) -> Option<Volt> {
+        self.levels.iter().rev().copied().find(|&l| l <= v)
+    }
+
+    /// Number of levels.
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// `false` always (an empty table cannot be constructed); provided for
+    /// API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn volts(vs: &[f64]) -> Vec<Volt> {
+        vs.iter().copied().map(Volt::from_volts).collect()
+    }
+
+    #[test]
+    fn builds_valid_table() {
+        let t = LevelTable::new(volts(&[1.0, 2.0, 3.3])).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.lowest(), Volt::from_volts(1.0));
+        assert_eq!(t.highest(), Volt::from_volts(3.3));
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn rejects_empty_and_unsorted_and_duplicates() {
+        assert!(LevelTable::new(vec![]).is_err());
+        assert!(LevelTable::new(volts(&[2.0, 1.0])).is_err());
+        assert!(LevelTable::new(volts(&[1.0, 1.0])).is_err());
+        assert!(LevelTable::new(volts(&[0.0, 1.0])).is_err());
+        assert!(LevelTable::new(volts(&[f64::NAN])).is_err());
+    }
+
+    #[test]
+    fn round_up_and_down() {
+        let t = LevelTable::new(volts(&[1.0, 2.0, 3.0])).unwrap();
+        assert_eq!(t.round_up(Volt::from_volts(1.5)), Some(Volt::from_volts(2.0)));
+        assert_eq!(t.round_up(Volt::from_volts(2.0)), Some(Volt::from_volts(2.0)));
+        assert_eq!(t.round_up(Volt::from_volts(3.1)), None);
+        assert_eq!(t.round_down(Volt::from_volts(1.5)), Some(Volt::from_volts(1.0)));
+        assert_eq!(t.round_down(Volt::from_volts(0.9)), None);
+        assert_eq!(t.round_down(Volt::from_volts(9.0)), Some(Volt::from_volts(3.0)));
+    }
+
+    #[test]
+    fn default_is_continuous() {
+        assert_eq!(VoltageLevels::default(), VoltageLevels::Continuous);
+    }
+}

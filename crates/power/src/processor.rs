@@ -1,0 +1,456 @@
+//! The variable-voltage processor.
+
+use crate::error::PowerError;
+use crate::freq::FreqModel;
+use crate::levels::{LevelTable, VoltageLevels};
+use acs_model::units::{Cycles, Energy, Freq, TimeSpan, Volt};
+
+/// Energy and time cost of one voltage/frequency transition.
+///
+/// The paper ignores transition overhead ("the increase of energy
+/// consumption is negligible when the transition time is small compared
+/// with the task execution time", §3); the simulator can model it anyway
+/// so the ablation benches can quantify when that assumption holds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TransitionOverhead {
+    /// Dead time during which no cycles execute.
+    pub time: TimeSpan,
+    /// Energy drawn by the DC–DC converter per switch.
+    pub energy: Energy,
+}
+
+impl TransitionOverhead {
+    /// No overhead — the paper's assumption.
+    pub const NONE: TransitionOverhead = TransitionOverhead {
+        time: TimeSpan::ZERO,
+        energy: Energy::ZERO,
+    };
+}
+
+/// A DVS processor: frequency law + usable voltage range (+ optional
+/// discrete levels and transition costs).
+///
+/// ```
+/// use acs_power::{FreqModel, Processor};
+/// use acs_model::units::{Cycles, Freq, Volt};
+///
+/// // The motivational example's processor: f = 50·V cyc/ms, 1–4 V.
+/// let cpu = Processor::builder(FreqModel::linear(50.0)?)
+///     .vmin(Volt::from_volts(1.0))
+///     .vmax(Volt::from_volts(4.0))
+///     .build()?;
+/// assert_eq!(cpu.f_max().as_cycles_per_ms(), 200.0);
+/// let v = cpu.volt_for_speed(Freq::from_cycles_per_ms(150.0))?;
+/// assert_eq!(v.as_volts(), 3.0);
+/// # Ok::<(), acs_power::PowerError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Processor {
+    model: FreqModel,
+    vmin: Volt,
+    vmax: Volt,
+    levels: VoltageLevels,
+    overhead: TransitionOverhead,
+    f_min: Freq,
+    f_max: Freq,
+}
+
+impl Processor {
+    /// Starts a builder for a processor using the given frequency law.
+    pub fn builder(model: FreqModel) -> ProcessorBuilder {
+        ProcessorBuilder::new(model)
+    }
+
+    /// The frequency–voltage law.
+    pub fn freq_model(&self) -> &FreqModel {
+        &self.model
+    }
+
+    /// Minimum usable supply voltage.
+    pub fn vmin(&self) -> Volt {
+        self.vmin
+    }
+
+    /// Maximum usable supply voltage.
+    pub fn vmax(&self) -> Volt {
+        self.vmax
+    }
+
+    /// Discrete level table, if any.
+    pub fn levels(&self) -> &VoltageLevels {
+        &self.levels
+    }
+
+    /// Per-switch transition overhead.
+    pub fn overhead(&self) -> TransitionOverhead {
+        self.overhead
+    }
+
+    /// Speed at `vmin` — the slowest the processor can run.
+    pub fn f_min(&self) -> Freq {
+        self.f_min
+    }
+
+    /// Speed at `vmax` — the fastest the processor can run.
+    pub fn f_max(&self) -> Freq {
+        self.f_max
+    }
+
+    /// Frequency delivered at voltage `v`.
+    ///
+    /// # Errors
+    ///
+    /// [`PowerError::VoltageOutOfRange`] when `v ∉ [vmin, vmax]`.
+    pub fn freq_at(&self, v: Volt) -> Result<Freq, PowerError> {
+        self.check_voltage(v)?;
+        Ok(self.model.freq_at(v))
+    }
+
+    /// Exact voltage required to run at `speed` (continuous DVS).
+    ///
+    /// Speeds below `f_min` are served at `vmin` (the processor cannot run
+    /// slower; the workload simply finishes early).
+    ///
+    /// # Errors
+    ///
+    /// [`PowerError::SpeedUnachievable`] when `speed > f_max` (beyond a
+    /// `1e-9` relative tolerance absorbed for floating-point noise).
+    pub fn volt_for_speed(&self, speed: Freq) -> Result<Volt, PowerError> {
+        let fmax = self.f_max.as_cycles_per_ms();
+        if speed.as_cycles_per_ms() > fmax * (1.0 + 1e-9) {
+            return Err(PowerError::SpeedUnachievable {
+                requested: speed.as_cycles_per_ms(),
+                max: fmax,
+            });
+        }
+        if speed <= self.f_min {
+            return Ok(self.vmin);
+        }
+        Ok(self.model.volt_for(speed).min(self.vmax))
+    }
+
+    /// Like [`Processor::volt_for_speed`] but saturating at `vmax`;
+    /// returns the voltage and whether saturation occurred. The simulator
+    /// uses this to keep running (and flag a deadline risk) instead of
+    /// aborting when handed an infeasible schedule.
+    pub fn volt_for_speed_clamped(&self, speed: Freq) -> (Volt, bool) {
+        match self.volt_for_speed(speed) {
+            Ok(v) => (v, false),
+            Err(_) => (self.vmax, true),
+        }
+    }
+
+    /// Voltage actually used when the runtime requests `speed`, honoring
+    /// the discrete level table by rounding *up* (conservative: deadlines
+    /// stay safe).
+    ///
+    /// # Errors
+    ///
+    /// [`PowerError::SpeedUnachievable`] when even the highest level is
+    /// too slow for `speed`.
+    pub fn dispatch_voltage(&self, speed: Freq) -> Result<Volt, PowerError> {
+        let exact = self.volt_for_speed(speed)?;
+        match &self.levels {
+            VoltageLevels::Continuous => Ok(exact),
+            VoltageLevels::Discrete(table) => {
+                table
+                    .round_up(exact)
+                    .ok_or(PowerError::SpeedUnachievable {
+                        requested: speed.as_cycles_per_ms(),
+                        max: self.model.freq_at(table.highest()).as_cycles_per_ms(),
+                    })
+            }
+        }
+    }
+
+    /// Dynamic energy of executing `cycles` at voltage `v` with effective
+    /// switching capacitance `c_eff` (paper eq. (3): `E = C_eff·V²·N`).
+    pub fn energy(&self, c_eff: f64, v: Volt, cycles: Cycles) -> Energy {
+        Energy::from_units(c_eff * v.as_volts() * v.as_volts() * cycles.as_cycles())
+    }
+
+    /// Energy of executing `cycles` at exactly `speed` (continuous DVS).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PowerError::SpeedUnachievable`] from the voltage query.
+    pub fn energy_at_speed(
+        &self,
+        c_eff: f64,
+        speed: Freq,
+        cycles: Cycles,
+    ) -> Result<Energy, PowerError> {
+        let v = self.volt_for_speed(speed)?;
+        Ok(self.energy(c_eff, v, cycles))
+    }
+
+    /// Time to execute `cycles` at voltage `v`.
+    ///
+    /// # Errors
+    ///
+    /// [`PowerError::VoltageOutOfRange`] when `v ∉ [vmin, vmax]`.
+    pub fn execution_time(&self, v: Volt, cycles: Cycles) -> Result<TimeSpan, PowerError> {
+        let f = self.freq_at(v)?;
+        Ok(cycles / f)
+    }
+
+    fn check_voltage(&self, v: Volt) -> Result<(), PowerError> {
+        if v < self.vmin - Volt::from_volts(1e-12) || v > self.vmax + Volt::from_volts(1e-12) {
+            return Err(PowerError::VoltageOutOfRange {
+                volts: v.as_volts(),
+                vmin: self.vmin.as_volts(),
+                vmax: self.vmax.as_volts(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`Processor`].
+#[derive(Debug, Clone)]
+pub struct ProcessorBuilder {
+    model: FreqModel,
+    vmin: Volt,
+    vmax: Volt,
+    levels: VoltageLevels,
+    overhead: TransitionOverhead,
+}
+
+impl ProcessorBuilder {
+    /// Starts with the given frequency law; defaults: `vmin = 1 V`,
+    /// `vmax = 4 V`, continuous levels, zero transition overhead (the
+    /// motivational example's processor).
+    pub fn new(model: FreqModel) -> Self {
+        ProcessorBuilder {
+            model,
+            vmin: Volt::from_volts(1.0),
+            vmax: Volt::from_volts(4.0),
+            levels: VoltageLevels::Continuous,
+            overhead: TransitionOverhead::NONE,
+        }
+    }
+
+    /// Sets the minimum usable voltage.
+    pub fn vmin(mut self, vmin: Volt) -> Self {
+        self.vmin = vmin;
+        self
+    }
+
+    /// Sets the maximum usable voltage.
+    pub fn vmax(mut self, vmax: Volt) -> Self {
+        self.vmax = vmax;
+        self
+    }
+
+    /// Restricts the processor to a discrete voltage-level table.
+    ///
+    /// Levels outside `[vmin, vmax]` are rejected at `build` time.
+    pub fn discrete_levels(mut self, table: LevelTable) -> Self {
+        self.levels = VoltageLevels::Discrete(table);
+        self
+    }
+
+    /// Sets the per-switch transition overhead.
+    pub fn transition_overhead(mut self, overhead: TransitionOverhead) -> Self {
+        self.overhead = overhead;
+        self
+    }
+
+    /// Validates and builds the processor.
+    ///
+    /// # Errors
+    ///
+    /// [`PowerError::InvalidModel`] when `0 < vmin < vmax` is violated or
+    /// the law delivers zero speed at `vmax`;
+    /// [`PowerError::InvalidLevels`] when a discrete level lies outside
+    /// `[vmin, vmax]`.
+    pub fn build(self) -> Result<Processor, PowerError> {
+        if !(self.vmin.as_volts() > 0.0 && self.vmin < self.vmax) {
+            return Err(PowerError::InvalidModel {
+                reason: format!(
+                    "voltage range must satisfy 0 < vmin < vmax, got [{}, {}]",
+                    self.vmin, self.vmax
+                ),
+            });
+        }
+        if self.overhead.time.as_ms() < 0.0 || self.overhead.energy.as_units() < 0.0 {
+            return Err(PowerError::InvalidModel {
+                reason: "transition overhead must be non-negative".into(),
+            });
+        }
+        if let VoltageLevels::Discrete(table) = &self.levels {
+            if table.lowest() < self.vmin || table.highest() > self.vmax {
+                return Err(PowerError::InvalidLevels {
+                    reason: format!(
+                        "levels [{}, {}] must lie within [{}, {}]",
+                        table.lowest(),
+                        table.highest(),
+                        self.vmin,
+                        self.vmax
+                    ),
+                });
+            }
+        }
+        let f_min = self.model.freq_at(self.vmin);
+        let f_max = self.model.freq_at(self.vmax);
+        if f_max.as_cycles_per_ms() <= 0.0 {
+            return Err(PowerError::InvalidModel {
+                reason: "frequency at vmax must be positive".into(),
+            });
+        }
+        Ok(Processor {
+            model: self.model,
+            vmin: self.vmin,
+            vmax: self.vmax,
+            levels: self.levels,
+            overhead: self.overhead,
+            f_min,
+            f_max,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cpu() -> Processor {
+        Processor::builder(FreqModel::linear(50.0).unwrap())
+            .vmin(Volt::from_volts(1.0))
+            .vmax(Volt::from_volts(4.0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn speed_range() {
+        let p = cpu();
+        assert_eq!(p.f_min().as_cycles_per_ms(), 50.0);
+        assert_eq!(p.f_max().as_cycles_per_ms(), 200.0);
+    }
+
+    #[test]
+    fn volt_for_speed_clamps_low_and_rejects_high() {
+        let p = cpu();
+        // Below f_min: vmin.
+        assert_eq!(
+            p.volt_for_speed(Freq::from_cycles_per_ms(10.0)).unwrap(),
+            Volt::from_volts(1.0)
+        );
+        // In range: exact.
+        assert_eq!(
+            p.volt_for_speed(Freq::from_cycles_per_ms(100.0)).unwrap(),
+            Volt::from_volts(2.0)
+        );
+        // Above f_max: error.
+        let err = p.volt_for_speed(Freq::from_cycles_per_ms(201.0)).unwrap_err();
+        assert!(matches!(err, PowerError::SpeedUnachievable { .. }));
+        // Tiny overshoot tolerated.
+        assert!(p
+            .volt_for_speed(Freq::from_cycles_per_ms(200.0 * (1.0 + 1e-12)))
+            .is_ok());
+    }
+
+    #[test]
+    fn clamped_variant_saturates() {
+        let p = cpu();
+        let (v, sat) = p.volt_for_speed_clamped(Freq::from_cycles_per_ms(500.0));
+        assert_eq!(v, Volt::from_volts(4.0));
+        assert!(sat);
+        let (v, sat) = p.volt_for_speed_clamped(Freq::from_cycles_per_ms(100.0));
+        assert_eq!(v, Volt::from_volts(2.0));
+        assert!(!sat);
+    }
+
+    #[test]
+    fn energy_matches_paper_equation() {
+        let p = cpu();
+        // E = C·V²·N = 1 · 9 · 500
+        let e = p.energy(1.0, Volt::from_volts(3.0), Cycles::from_cycles(500.0));
+        assert_eq!(e, Energy::from_units(4500.0));
+        let e2 = p
+            .energy_at_speed(2.0, Freq::from_cycles_per_ms(100.0), Cycles::from_cycles(10.0))
+            .unwrap();
+        assert_eq!(e2, Energy::from_units(2.0 * 4.0 * 10.0));
+    }
+
+    #[test]
+    fn execution_time_and_range_check() {
+        let p = cpu();
+        let t = p
+            .execution_time(Volt::from_volts(3.0), Cycles::from_cycles(1000.0))
+            .unwrap();
+        assert!(t.approx_eq(TimeSpan::from_ms(1000.0 / 150.0), 1e-12));
+        assert!(p
+            .execution_time(Volt::from_volts(0.5), Cycles::from_cycles(1.0))
+            .is_err());
+        assert!(p.freq_at(Volt::from_volts(4.5)).is_err());
+    }
+
+    #[test]
+    fn discrete_levels_round_up() {
+        let table = LevelTable::new(vec![
+            Volt::from_volts(1.0),
+            Volt::from_volts(2.0),
+            Volt::from_volts(3.0),
+            Volt::from_volts(4.0),
+        ])
+        .unwrap();
+        let p = Processor::builder(FreqModel::linear(50.0).unwrap())
+            .vmax(Volt::from_volts(4.0))
+            .discrete_levels(table)
+            .build()
+            .unwrap();
+        // 120 cyc/ms needs 2.4 V exactly -> rounds up to 3 V.
+        assert_eq!(
+            p.dispatch_voltage(Freq::from_cycles_per_ms(120.0)).unwrap(),
+            Volt::from_volts(3.0)
+        );
+        // Exactly at a level stays there.
+        assert_eq!(
+            p.dispatch_voltage(Freq::from_cycles_per_ms(100.0)).unwrap(),
+            Volt::from_volts(2.0)
+        );
+    }
+
+    #[test]
+    fn continuous_dispatch_is_exact() {
+        let p = cpu();
+        assert_eq!(
+            p.dispatch_voltage(Freq::from_cycles_per_ms(120.0)).unwrap(),
+            Volt::from_volts(2.4)
+        );
+    }
+
+    #[test]
+    fn builder_rejects_bad_ranges_and_levels() {
+        let m = || FreqModel::linear(50.0).unwrap();
+        assert!(Processor::builder(m())
+            .vmin(Volt::from_volts(4.0))
+            .vmax(Volt::from_volts(1.0))
+            .build()
+            .is_err());
+        assert!(Processor::builder(m())
+            .vmin(Volt::ZERO)
+            .build()
+            .is_err());
+        let outside = LevelTable::new(vec![Volt::from_volts(0.5)]).unwrap();
+        assert!(Processor::builder(m()).discrete_levels(outside).build().is_err());
+        let neg = TransitionOverhead {
+            time: TimeSpan::from_ms(-1.0),
+            energy: Energy::ZERO,
+        };
+        assert!(Processor::builder(m()).transition_overhead(neg).build().is_err());
+    }
+
+    #[test]
+    fn alpha_processor_rejects_vmax_at_threshold() {
+        let m = FreqModel::alpha(100.0, Volt::from_volts(5.0), 2.0).unwrap();
+        let err = Processor::builder(m)
+            .vmin(Volt::from_volts(1.0))
+            .vmax(Volt::from_volts(4.0))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("positive"));
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the processor model.
+
+use acs_model::units::{Cycles, Freq, Volt};
+use acs_power::{FreqModel, LevelTable, Processor};
+use proptest::prelude::*;
+
+fn arb_model() -> impl Strategy<Value = FreqModel> {
+    prop_oneof![
+        (1.0f64..200.0).prop_map(|k| FreqModel::linear(k).unwrap()),
+        (10.0f64..300.0, 0.0f64..1.2, 1.0f64..2.0)
+            .prop_map(|(k, vth, a)| FreqModel::alpha(k, Volt::from_volts(vth), a).unwrap()),
+    ]
+}
+
+proptest! {
+    /// volt_for ∘ freq_at is the identity above threshold.
+    #[test]
+    fn voltage_frequency_round_trip(model in arb_model(), v in 1.3f64..6.0) {
+        let f = model.freq_at(Volt::from_volts(v));
+        prop_assume!(f.as_cycles_per_ms() > 0.0);
+        let back = model.volt_for(f).as_volts();
+        prop_assert!((back - v).abs() < 1e-6 * v, "{back} vs {v}");
+    }
+
+    /// Frequency is monotone in voltage.
+    #[test]
+    fn frequency_monotone(model in arb_model(), v in 1.3f64..5.0, dv in 0.01f64..1.0) {
+        let f1 = model.freq_at(Volt::from_volts(v)).as_cycles_per_ms();
+        let f2 = model.freq_at(Volt::from_volts(v + dv)).as_cycles_per_ms();
+        prop_assert!(f2 > f1);
+    }
+
+    /// Energy is monotone in both voltage and cycle count and scales
+    /// exactly with C_eff.
+    #[test]
+    fn energy_monotonicity(
+        v1 in 0.5f64..3.0,
+        dv in 0.0f64..1.0,
+        n1 in 1.0f64..1e6,
+        dn in 0.0f64..1e6,
+        c in 0.1f64..10.0,
+    ) {
+        let cpu = Processor::builder(FreqModel::linear(50.0).unwrap())
+            .vmin(Volt::from_volts(0.1))
+            .vmax(Volt::from_volts(5.0))
+            .build()
+            .unwrap();
+        let e_base = cpu.energy(c, Volt::from_volts(v1), Cycles::from_cycles(n1));
+        let e_hi_v = cpu.energy(c, Volt::from_volts(v1 + dv), Cycles::from_cycles(n1));
+        let e_hi_n = cpu.energy(c, Volt::from_volts(v1), Cycles::from_cycles(n1 + dn));
+        prop_assert!(e_hi_v >= e_base);
+        prop_assert!(e_hi_n >= e_base);
+        let e_2c = cpu.energy(2.0 * c, Volt::from_volts(v1), Cycles::from_cycles(n1));
+        prop_assert!((e_2c.as_units() - 2.0 * e_base.as_units()).abs() < 1e-9 * e_2c.as_units().max(1.0));
+    }
+
+    /// Discrete dispatch never under-delivers speed: the level chosen
+    /// yields at least the requested frequency.
+    #[test]
+    fn discrete_round_up_is_safe(
+        n_levels in 2usize..12,
+        speed_frac in 0.01f64..1.0,
+    ) {
+        let step = (4.0 - 0.5) / (n_levels - 1) as f64;
+        let levels: Vec<Volt> = (0..n_levels)
+            .map(|i| Volt::from_volts(0.5 + step * i as f64))
+            .collect();
+        let cpu = Processor::builder(FreqModel::linear(50.0).unwrap())
+            .vmin(Volt::from_volts(0.5))
+            .vmax(Volt::from_volts(4.0))
+            .discrete_levels(LevelTable::new(levels).unwrap())
+            .build()
+            .unwrap();
+        let requested = Freq::from_cycles_per_ms(speed_frac * cpu.f_max().as_cycles_per_ms());
+        let v = cpu.dispatch_voltage(requested).unwrap();
+        let delivered = cpu.freq_at(v).unwrap();
+        prop_assert!(delivered.as_cycles_per_ms() >= requested.as_cycles_per_ms() - 1e-9);
+    }
+
+    /// volt_for_speed is monotone in the requested speed (more work per
+    /// unit time never costs less voltage).
+    #[test]
+    fn voltage_monotone_in_speed(
+        model in arb_model(),
+        lo_frac in 0.01f64..0.9,
+        hi_extra in 0.0f64..0.09,
+    ) {
+        let cpu = Processor::builder(model)
+            .vmin(Volt::from_volts(1.3))
+            .vmax(Volt::from_volts(400.0))
+            .build()
+            .unwrap();
+        let fmax = cpu.f_max().as_cycles_per_ms();
+        let s1 = lo_frac * fmax;
+        let s2 = (lo_frac + hi_extra) * fmax;
+        let v1 = cpu.volt_for_speed(Freq::from_cycles_per_ms(s1)).unwrap();
+        let v2 = cpu.volt_for_speed(Freq::from_cycles_per_ms(s2)).unwrap();
+        prop_assert!(v2 >= v1 - Volt::from_volts(1e-9));
+    }
+}

@@ -1,0 +1,44 @@
+//! Error type for the fully preemptive expansion.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced while expanding a task set into its fully preemptive
+/// schedule.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PreemptError {
+    /// The expansion exceeded the caller-supplied sub-instance limit.
+    ///
+    /// The paper caps generated task sets at one thousand sub-instances
+    /// (§4); hitting this limit usually means the periods are too
+    /// co-prime and the task set should be re-drawn.
+    TooManySubInstances {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for PreemptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PreemptError::TooManySubInstances { limit } => write!(
+                f,
+                "fully preemptive expansion exceeds the sub-instance limit of {limit}"
+            ),
+        }
+    }
+}
+
+impl StdError for PreemptError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_limit() {
+        let e = PreemptError::TooManySubInstances { limit: 1000 };
+        assert!(e.to_string().contains("1000"));
+    }
+}

@@ -1,0 +1,393 @@
+//! Construction of the fully preemptive schedule (paper §3.1, Figs. 3–4).
+
+use crate::error::PreemptError;
+use crate::grid::ReleaseGrid;
+use crate::subinstance::{InstanceId, SubInstance, SubInstanceId};
+use acs_model::units::{Ticks, Time};
+use acs_model::{TaskId, TaskSet};
+
+/// The fully preemptive schedule: every instance of every task expanded
+/// into sub-instances at *all possible preemption points*, together with
+/// the total execution order.
+///
+/// Within one grid segment the active tasks' sub-instances are ordered by
+/// priority (a released higher-priority task always preempts, §2.1);
+/// across segments, by time. Concatenating gives the paper's total order
+/// `T1,1 ≤ T2,1,1 ≤ T3,1,1 ≤ T1,2 ≤ T2,1,2 ≤ ...` for Fig. 4.
+///
+/// ```
+/// use acs_model::{Task, TaskSet, units::{Cycles, Ticks}};
+/// use acs_preempt::FullyPreemptiveSchedule;
+///
+/// // Paper Figs. 3–4: periods {3, 6, 9}.
+/// let ts = TaskSet::new(vec![
+///     Task::builder("t1", Ticks::new(3)).wcec(Cycles::from_cycles(1.0)).build()?,
+///     Task::builder("t2", Ticks::new(6)).wcec(Cycles::from_cycles(1.0)).build()?,
+///     Task::builder("t3", Ticks::new(9)).wcec(Cycles::from_cycles(1.0)).build()?,
+/// ])?;
+/// let fps = FullyPreemptiveSchedule::expand(&ts)?;
+/// // T2 splits in two, T3 in three chunks per instance.
+/// assert_eq!(fps.sub_instances().len(), 6 + 3*2 + 2*3);
+/// let order: Vec<String> = fps.sub_instances().iter().take(3)
+///     .map(|s| s.label()).collect();
+/// assert_eq!(order, ["T0,1,1", "T1,1,1", "T2,1,1"]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FullyPreemptiveSchedule {
+    subs: Vec<SubInstance>,
+    /// `chunks[task][instance]` = sub-instance indices of that instance,
+    /// in chunk order.
+    chunks: Vec<Vec<Vec<usize>>>,
+    /// Range of `subs` indices per grid segment.
+    segment_ranges: Vec<(usize, usize)>,
+    grid: ReleaseGrid,
+    hyper_period: Ticks,
+}
+
+impl FullyPreemptiveSchedule {
+    /// Expands a task set without a sub-instance cap.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for valid task sets but kept fallible for
+    /// forward compatibility with [`FullyPreemptiveSchedule::expand_capped`].
+    pub fn expand(set: &TaskSet) -> Result<Self, PreemptError> {
+        Self::expand_capped(set, usize::MAX)
+    }
+
+    /// Expands a task set, failing once more than `limit` sub-instances
+    /// would be generated (the paper's experiments cap at 1000).
+    ///
+    /// # Errors
+    ///
+    /// [`PreemptError::TooManySubInstances`] when the cap is exceeded.
+    pub fn expand_capped(set: &TaskSet, limit: usize) -> Result<Self, PreemptError> {
+        let grid = ReleaseGrid::of(set);
+        let hyper = set.hyper_period();
+        let mut subs: Vec<SubInstance> = Vec::new();
+        let mut chunks: Vec<Vec<Vec<usize>>> = set
+            .iter()
+            .map(|(id, _)| vec![Vec::new(); set.instances_of(id) as usize])
+            .collect();
+        let mut segment_ranges = Vec::with_capacity(grid.segment_count());
+
+        for (seg_idx, (seg_start, seg_end)) in grid.segments().enumerate() {
+            let range_start = subs.len();
+            // Tasks are already in priority order inside the set.
+            for (tid, task) in set.iter() {
+                let p = task.period().get();
+                let a = seg_start.get();
+                let instance_index = a / p;
+                let release = instance_index * p;
+                let deadline = release + task.deadline().get();
+                // Active iff the segment begins before the instance's
+                // absolute deadline. (Segment never straddles a release
+                // or deadline of this task: both are grid points.)
+                if a >= deadline {
+                    continue;
+                }
+                debug_assert!(seg_end.get() <= deadline, "segment straddles a deadline");
+                if subs.len() == limit {
+                    return Err(PreemptError::TooManySubInstances { limit });
+                }
+                let instance = InstanceId {
+                    task: tid,
+                    index: instance_index,
+                };
+                let chunk_list = &mut chunks[tid.0][instance_index as usize];
+                let sub = SubInstance {
+                    id: SubInstanceId(subs.len()),
+                    instance,
+                    chunk: chunk_list.len(),
+                    segment: seg_idx,
+                    window_start: seg_start.as_time(),
+                    window_end: seg_end.as_time(),
+                    instance_release: Time::from_ms(release as f64),
+                    instance_deadline: Time::from_ms(deadline as f64),
+                };
+                chunk_list.push(subs.len());
+                subs.push(sub);
+            }
+            segment_ranges.push((range_start, subs.len()));
+        }
+
+        Ok(FullyPreemptiveSchedule {
+            subs,
+            chunks,
+            segment_ranges,
+            grid,
+            hyper_period: hyper,
+        })
+    }
+
+    /// All sub-instances in total execution order.
+    pub fn sub_instances(&self) -> &[SubInstance] {
+        &self.subs
+    }
+
+    /// The sub-instance at a given position of the total order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn sub(&self, id: SubInstanceId) -> &SubInstance {
+        &self.subs[id.0]
+    }
+
+    /// Number of sub-instances.
+    pub fn len(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// `true` when the expansion is empty (cannot happen for valid sets;
+    /// kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.subs.is_empty()
+    }
+
+    /// Sub-instance ids of one instance, in chunk order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instance does not exist in this hyper-period.
+    pub fn chunks_of(&self, instance: InstanceId) -> impl Iterator<Item = SubInstanceId> + '_ {
+        self.chunks[instance.task.0][instance.index as usize]
+            .iter()
+            .map(|&i| SubInstanceId(i))
+    }
+
+    /// Number of instances task `task` releases in the hyper-period.
+    pub fn instances_of(&self, task: TaskId) -> u64 {
+        self.chunks[task.0].len() as u64
+    }
+
+    /// Number of tasks in the expanded set.
+    pub fn task_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Sub-instances of grid segment `s`, in priority order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn segment_subs(&self, s: usize) -> &[SubInstance] {
+        let (a, b) = self.segment_ranges[s];
+        &self.subs[a..b]
+    }
+
+    /// The release/deadline grid.
+    pub fn grid(&self) -> &ReleaseGrid {
+        &self.grid
+    }
+
+    /// Hyper-period of the underlying task set.
+    pub fn hyper_period(&self) -> Ticks {
+        self.hyper_period
+    }
+
+    /// Upper bound `K_i` on the number of chunks any single instance of
+    /// each task has (paper's "upper bound of the number of sub-instances").
+    pub fn max_chunks_per_task(&self) -> Vec<usize> {
+        self.chunks
+            .iter()
+            .map(|per_instance| {
+                per_instance
+                    .iter()
+                    .map(Vec::len)
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acs_model::units::Cycles;
+    use acs_model::Task;
+
+    fn set(periods: &[u64]) -> TaskSet {
+        TaskSet::new(
+            periods
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| {
+                    Task::builder(format!("t{i}"), Ticks::new(p))
+                        .wcec(Cycles::from_cycles(1.0))
+                        .build()
+                        .unwrap()
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    /// The paper's running example (Figs. 3–4): periods {3, 6, 9}.
+    fn fig34() -> FullyPreemptiveSchedule {
+        FullyPreemptiveSchedule::expand(&set(&[3, 6, 9])).unwrap()
+    }
+
+    #[test]
+    fn fig34_chunk_counts() {
+        let fps = fig34();
+        // T1: 6 instances × 1 chunk, T2: 3 × 2, T3: 2 × 3.
+        assert_eq!(fps.instances_of(TaskId(0)), 6);
+        assert_eq!(fps.instances_of(TaskId(1)), 3);
+        assert_eq!(fps.instances_of(TaskId(2)), 2);
+        assert_eq!(fps.len(), 6 + 6 + 6);
+        assert_eq!(fps.max_chunks_per_task(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fig34_total_order_prefix() {
+        let fps = fig34();
+        let labels: Vec<String> = fps.sub_instances().iter().map(|s| s.label()).collect();
+        // Paper: T1,1 ; T2,1,1 ; T3,1,1 ; T1,2 ; T2,1,2 ; T3,1,2 ; T1,3 ; ...
+        assert_eq!(
+            &labels[..8],
+            &[
+                "T0,1,1", "T1,1,1", "T2,1,1", // segment [0,3)
+                "T0,2,1", "T1,1,2", "T2,1,2", // segment [3,6)
+                "T0,3,1", "T1,2,1", // segment [6,9) starts
+            ]
+        );
+    }
+
+    #[test]
+    fn windows_nest_inside_instance() {
+        let fps = fig34();
+        for s in fps.sub_instances() {
+            assert!(s.window_start.as_ms() >= s.instance_release.as_ms());
+            assert!(s.window_end.as_ms() <= s.instance_deadline.as_ms());
+            assert!(s.window_end > s.window_start);
+        }
+    }
+
+    #[test]
+    fn chunks_are_contiguous_in_time_and_order() {
+        let fps = fig34();
+        for task in 0..3 {
+            for inst in 0..fps.instances_of(TaskId(task)) {
+                let ids: Vec<_> = fps
+                    .chunks_of(InstanceId {
+                        task: TaskId(task),
+                        index: inst,
+                    })
+                    .collect();
+                assert!(!ids.is_empty());
+                for (k, pair) in ids.windows(2).enumerate() {
+                    let a = fps.sub(pair[0]);
+                    let b = fps.sub(pair[1]);
+                    assert!(a.id < b.id);
+                    assert_eq!(a.chunk, k);
+                    assert!(a.window_end <= b.window_start);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn total_order_is_segment_then_priority() {
+        let fps = FullyPreemptiveSchedule::expand(&set(&[4, 6, 10])).unwrap();
+        for pair in fps.sub_instances().windows(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            assert!(
+                a.segment < b.segment
+                    || (a.segment == b.segment && a.instance.task < b.instance.task),
+                "order violated between {} and {}",
+                a.label(),
+                b.label()
+            );
+        }
+    }
+
+    #[test]
+    fn segment_subs_slices() {
+        let fps = fig34();
+        assert_eq!(fps.segment_subs(0).len(), 3);
+        // Segment [15,18): T1 instance 6, T2 not active (deadline 18 > 15
+        // means instance 3 of T2 [12,18) IS active), T3 instance 2 active.
+        let last = fps.segment_subs(5);
+        let labels: Vec<String> = last.iter().map(|s| s.label()).collect();
+        assert_eq!(labels, ["T0,6,1", "T1,3,2", "T2,2,3"]);
+    }
+
+    #[test]
+    fn single_task_trivial_expansion() {
+        let fps = FullyPreemptiveSchedule::expand(&set(&[7])).unwrap();
+        assert_eq!(fps.len(), 1);
+        let s = &fps.sub_instances()[0];
+        assert_eq!(s.chunk, 0);
+        assert_eq!(s.window_start.as_ms(), 0.0);
+        assert_eq!(s.window_end.as_ms(), 7.0);
+        assert!(!fps.is_empty());
+    }
+
+    #[test]
+    fn cap_is_enforced() {
+        let err = FullyPreemptiveSchedule::expand_capped(&set(&[3, 6, 9]), 10).unwrap_err();
+        assert_eq!(err, PreemptError::TooManySubInstances { limit: 10 });
+        assert!(FullyPreemptiveSchedule::expand_capped(&set(&[3, 6, 9]), 18).is_ok());
+    }
+
+    #[test]
+    fn constrained_deadline_limits_chunks() {
+        // Low-priority task with deadline 7 < period 10; high-priority
+        // period 5. Grid: 0,5,7,10. Instance of the low task only covers
+        // [0,5) and [5,7).
+        let tasks = vec![
+            Task::builder("hi", Ticks::new(5))
+                .wcec(Cycles::from_cycles(1.0))
+                .build()
+                .unwrap(),
+            Task::builder("lo", Ticks::new(10))
+                .deadline(Ticks::new(7))
+                .wcec(Cycles::from_cycles(1.0))
+                .build()
+                .unwrap(),
+        ];
+        let ts = TaskSet::new(tasks).unwrap();
+        let fps = FullyPreemptiveSchedule::expand(&ts).unwrap();
+        let lo_chunks: Vec<_> = fps
+            .chunks_of(InstanceId {
+                task: TaskId(1),
+                index: 0,
+            })
+            .map(|id| {
+                let s = fps.sub(id);
+                (s.window_start.as_ms(), s.window_end.as_ms())
+            })
+            .collect();
+        assert_eq!(lo_chunks, [(0.0, 5.0), (5.0, 7.0)]);
+        // No sub-instance of `lo` may live in [7, 10).
+        for s in fps.sub_instances() {
+            if s.instance.task == TaskId(1) {
+                assert!(s.window_end.as_ms() <= 7.0);
+            }
+        }
+    }
+
+    #[test]
+    fn equal_period_tasks_do_not_split_each_other() {
+        let fps = FullyPreemptiveSchedule::expand(&set(&[5, 5])).unwrap();
+        // Two tasks, same period: one segment, each instance whole.
+        assert_eq!(fps.len(), 2);
+        assert_eq!(fps.max_chunks_per_task(), vec![1, 1]);
+    }
+
+    #[test]
+    fn sub_count_formula_against_brute_force() {
+        // For deadline == period, the number of sub-instances of task i
+        // equals the number of grid segments that fall inside its
+        // instances' windows, i.e. all segments. Cross-check totals.
+        for periods in [&[2, 3][..], &[4, 6, 10][..], &[3, 5, 15][..]] {
+            let ts = set(periods);
+            let fps = FullyPreemptiveSchedule::expand(&ts).unwrap();
+            let segs = fps.grid().segment_count();
+            assert_eq!(fps.len(), segs * periods.len());
+        }
+    }
+}

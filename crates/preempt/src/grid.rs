@@ -1,0 +1,166 @@
+//! The merged release/deadline grid over one hyper-period.
+//!
+//! Preemptions in a fixed-priority system can only happen when some task
+//! releases a new instance, so the time axis of the hyper-period splits
+//! into *segments* delimited by release points (plus absolute deadlines of
+//! constrained-deadline tasks, so a sub-instance never straddles its own
+//! deadline). Every sub-instance of the fully preemptive schedule lives
+//! inside exactly one segment.
+
+use acs_model::units::Ticks;
+use acs_model::TaskSet;
+
+/// Sorted, deduplicated grid of all release and deadline instants in one
+/// hyper-period, expressed in integer milliseconds.
+///
+/// The grid always contains 0 and the hyper-period `H`; segment `s` spans
+/// `[point(s), point(s+1))`.
+///
+/// ```
+/// use acs_model::{Task, TaskSet, units::{Cycles, Ticks}};
+/// use acs_preempt::grid::ReleaseGrid;
+///
+/// // Paper Fig. 3: periods {3, 6, 9} ⇒ grid {0,3,6,9,12,15,18}.
+/// let ts = TaskSet::new(vec![
+///     Task::builder("t1", Ticks::new(3)).wcec(Cycles::from_cycles(1.0)).build()?,
+///     Task::builder("t2", Ticks::new(6)).wcec(Cycles::from_cycles(1.0)).build()?,
+///     Task::builder("t3", Ticks::new(9)).wcec(Cycles::from_cycles(1.0)).build()?,
+/// ])?;
+/// let grid = ReleaseGrid::of(&ts);
+/// let pts: Vec<u64> = grid.points().iter().map(|t| t.get()).collect();
+/// assert_eq!(pts, [0, 3, 6, 9, 12, 15, 18]);
+/// assert_eq!(grid.segment_count(), 6);
+/// # Ok::<(), acs_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReleaseGrid {
+    points: Vec<Ticks>,
+}
+
+impl ReleaseGrid {
+    /// Builds the grid for a task set.
+    pub fn of(set: &TaskSet) -> Self {
+        let hyper = set.hyper_period().get();
+        let mut points: Vec<u64> = vec![0, hyper];
+        for task in set.tasks() {
+            let p = task.period().get();
+            let d = task.deadline().get();
+            let mut r = 0;
+            while r < hyper {
+                points.push(r);
+                // Absolute deadline; coincides with the next release when
+                // deadline == period, deduplicated below either way.
+                points.push(r + d);
+                r += p;
+            }
+        }
+        points.sort_unstable();
+        points.dedup();
+        // Deadlines can exceed the hyper-period only if d > p, which the
+        // task model forbids; still, clamp defensively.
+        points.retain(|&p| p <= hyper);
+        ReleaseGrid {
+            points: points.into_iter().map(Ticks::new).collect(),
+        }
+    }
+
+    /// All grid points, ascending; first is 0, last is the hyper-period.
+    pub fn points(&self) -> &[Ticks] {
+        &self.points
+    }
+
+    /// Number of segments (`points − 1`).
+    pub fn segment_count(&self) -> usize {
+        self.points.len() - 1
+    }
+
+    /// Bounds `[start, end)` of segment `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= segment_count()`.
+    pub fn segment_bounds(&self, s: usize) -> (Ticks, Ticks) {
+        (self.points[s], self.points[s + 1])
+    }
+
+    /// Iterates over `(start, end)` bounds of every segment.
+    pub fn segments(&self) -> impl Iterator<Item = (Ticks, Ticks)> + '_ {
+        self.points.windows(2).map(|w| (w[0], w[1]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acs_model::units::Cycles;
+    use acs_model::Task;
+
+    fn set(periods: &[u64]) -> TaskSet {
+        TaskSet::new(
+            periods
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| {
+                    Task::builder(format!("t{i}"), Ticks::new(p))
+                        .wcec(Cycles::from_cycles(1.0))
+                        .build()
+                        .unwrap()
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_fig3_grid() {
+        let grid = ReleaseGrid::of(&set(&[3, 6, 9]));
+        let pts: Vec<u64> = grid.points().iter().map(|t| t.get()).collect();
+        assert_eq!(pts, [0, 3, 6, 9, 12, 15, 18]);
+    }
+
+    #[test]
+    fn single_task_has_one_segment_per_instance() {
+        let grid = ReleaseGrid::of(&set(&[5]));
+        let pts: Vec<u64> = grid.points().iter().map(|t| t.get()).collect();
+        assert_eq!(pts, [0, 5]);
+        assert_eq!(grid.segment_count(), 1);
+    }
+
+    #[test]
+    fn segments_partition_hyper_period() {
+        let grid = ReleaseGrid::of(&set(&[4, 6, 10]));
+        let mut expected_start = Ticks::ZERO;
+        for (a, b) in grid.segments() {
+            assert_eq!(a, expected_start);
+            assert!(b > a);
+            expected_start = b;
+        }
+        assert_eq!(expected_start, Ticks::new(60));
+    }
+
+    #[test]
+    fn constrained_deadline_adds_points() {
+        let t1 = Task::builder("a", Ticks::new(10))
+            .deadline(Ticks::new(7))
+            .wcec(Cycles::from_cycles(1.0))
+            .build()
+            .unwrap();
+        let ts = TaskSet::new(vec![t1]).unwrap();
+        let grid = ReleaseGrid::of(&ts);
+        let pts: Vec<u64> = grid.points().iter().map(|t| t.get()).collect();
+        assert_eq!(pts, [0, 7, 10]);
+    }
+
+    #[test]
+    fn segment_bounds_match_points() {
+        let grid = ReleaseGrid::of(&set(&[3, 6, 9]));
+        assert_eq!(
+            grid.segment_bounds(0),
+            (Ticks::ZERO, Ticks::new(3))
+        );
+        assert_eq!(
+            grid.segment_bounds(5),
+            (Ticks::new(15), Ticks::new(18))
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! # acs-preempt
+//!
+//! Fully preemptive schedule expansion for the `acsched` workspace
+//! (paper §3.1, Figs. 3–4).
+//!
+//! In a fixed-priority preemptive system a task instance can only be
+//! preempted when a higher-priority task releases. Expanding every
+//! instance at *all* such release points produces the **fully preemptive
+//! schedule**: a sequence of *sub-instances* `T_{i,j,k}`, one per
+//! (instance × overlapping grid segment), together with their total
+//! execution order. The NLP in `acs-core` assigns each sub-instance an
+//! end-time and a worst-case workload share; the runtime in `acs-sim`
+//! uses those as DVS milestones.
+//!
+//! ## Example
+//!
+//! ```
+//! use acs_model::{Task, TaskSet, units::{Cycles, Ticks}};
+//! use acs_preempt::FullyPreemptiveSchedule;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let ts = TaskSet::new(vec![
+//!     Task::builder("ctrl", Ticks::new(3)).wcec(Cycles::from_cycles(10.0)).build()?,
+//!     Task::builder("io",   Ticks::new(6)).wcec(Cycles::from_cycles(20.0)).build()?,
+//! ])?;
+//! let fps = FullyPreemptiveSchedule::expand(&ts)?;
+//! assert_eq!(fps.len(), 4); // two T1 chunks, T2 split at t=3
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod expansion;
+pub mod grid;
+pub mod subinstance;
+
+pub use error::PreemptError;
+pub use expansion::FullyPreemptiveSchedule;
+pub use grid::ReleaseGrid;
+pub use subinstance::{InstanceId, SubInstance, SubInstanceId};

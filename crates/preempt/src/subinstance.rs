@@ -1,0 +1,108 @@
+//! Identifiers and records for task instances and their sub-instances.
+
+use acs_model::units::Time;
+use acs_model::TaskId;
+use std::fmt;
+
+/// One release (job) of a periodic task within the hyper-period.
+///
+/// `index` counts releases from 0, so the instance's absolute release time
+/// is `index · period`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InstanceId {
+    /// The releasing task.
+    pub task: TaskId,
+    /// Zero-based release index within the hyper-period.
+    pub index: u64,
+}
+
+impl fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Paper notation T_{i,j} with 1-based j.
+        write!(f, "{},{}", self.task, self.index + 1)
+    }
+}
+
+/// Position of a sub-instance in the total execution order of the fully
+/// preemptive schedule. `SubInstanceId(0)` runs first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SubInstanceId(pub usize);
+
+impl fmt::Display for SubInstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+/// One sub-instance `T_{i,j,k}`: the piece of instance `T_{i,j}` that can
+/// execute inside one segment of the release grid (paper §3.1).
+///
+/// `window_start`/`window_end` are the segment bounds intersected with the
+/// instance's `[release, deadline]` interval; all of the sub-instance's
+/// execution — in *any* runtime scenario — happens inside this window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubInstance {
+    /// Position in the total order.
+    pub id: SubInstanceId,
+    /// The parent instance.
+    pub instance: InstanceId,
+    /// Zero-based chunk index `k` within the parent instance.
+    pub chunk: usize,
+    /// Index of the grid segment this sub-instance lives in.
+    pub segment: usize,
+    /// Earliest time this sub-instance may execute (segment start).
+    pub window_start: Time,
+    /// Latest time this sub-instance may still execute (segment end,
+    /// clipped to the instance deadline).
+    pub window_end: Time,
+    /// Absolute release of the parent instance.
+    pub instance_release: Time,
+    /// Absolute deadline of the parent instance.
+    pub instance_deadline: Time,
+}
+
+impl SubInstance {
+    /// Paper-style label `T_{i,j,k}` (1-based), e.g. `T2,1,2`.
+    pub fn label(&self) -> String {
+        format!("{},{}", self.instance, self.chunk + 1)
+    }
+
+    /// Length of the execution window.
+    pub fn window_span(&self) -> acs_model::units::TimeSpan {
+        self.window_end - self.window_start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_paper_notation() {
+        let inst = InstanceId {
+            task: TaskId(1),
+            index: 0,
+        };
+        assert_eq!(inst.to_string(), "T1,1");
+        assert_eq!(SubInstanceId(4).to_string(), "u4");
+    }
+
+    #[test]
+    fn label_and_window() {
+        let s = SubInstance {
+            id: SubInstanceId(0),
+            instance: InstanceId {
+                task: TaskId(2),
+                index: 1,
+            },
+            chunk: 2,
+            segment: 5,
+            window_start: Time::from_ms(6.0),
+            window_end: Time::from_ms(9.0),
+            instance_release: Time::from_ms(0.0),
+            instance_deadline: Time::from_ms(9.0),
+        };
+        assert_eq!(s.label(), "T2,2,3");
+        assert_eq!(s.window_span().as_ms(), 3.0);
+    }
+}

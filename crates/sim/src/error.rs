@@ -1,0 +1,72 @@
+//! Error type for the runtime simulator.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced while configuring or running a simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The chosen policy needs a static schedule but none was supplied.
+    ScheduleRequired {
+        /// Name of the policy.
+        policy: &'static str,
+    },
+    /// The supplied schedule was synthesized for a different task set
+    /// (task count or hyper-period mismatch).
+    ScheduleMismatch {
+        /// Human-readable description of the mismatch.
+        reason: String,
+    },
+    /// A drawn workload was non-finite or negative.
+    InvalidWorkload {
+        /// Task index.
+        task: usize,
+        /// Instance index within the run.
+        instance: u64,
+        /// The offending value in cycles.
+        cycles: f64,
+    },
+    /// The processor cannot make progress (frequency at the dispatched
+    /// voltage is zero — e.g. an alpha-law processor with `vmin ≤ Vth`).
+    StalledProcessor,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::ScheduleRequired { policy } => {
+                write!(f, "policy {policy} requires a static schedule")
+            }
+            SimError::ScheduleMismatch { reason } => {
+                write!(f, "schedule does not match the task set: {reason}")
+            }
+            SimError::InvalidWorkload {
+                task,
+                instance,
+                cycles,
+            } => write!(
+                f,
+                "invalid workload {cycles} cycles drawn for task {task} instance {instance}"
+            ),
+            SimError::StalledProcessor => {
+                write!(f, "processor frequency is zero at the dispatched voltage")
+            }
+        }
+    }
+}
+
+impl StdError for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(SimError::ScheduleRequired { policy: "greedy" }
+            .to_string()
+            .contains("greedy"));
+        assert!(SimError::StalledProcessor.to_string().contains("zero"));
+    }
+}

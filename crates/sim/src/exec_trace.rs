@@ -1,0 +1,115 @@
+//! Execution traces for debugging and Gantt rendering.
+
+use acs_model::units::{Time, Volt};
+use acs_model::TaskId;
+
+/// One contiguous execution slice of a job at a fixed voltage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Slice {
+    /// Executing task.
+    pub task: TaskId,
+    /// Instance index within the run.
+    pub instance: u64,
+    /// Slice start (absolute, within the recorded hyper-period).
+    pub start: Time,
+    /// Slice end.
+    pub end: Time,
+    /// Supply voltage during the slice.
+    pub voltage: Volt,
+}
+
+/// A recorded execution trace (typically one hyper-period).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecutionTrace {
+    slices: Vec<Slice>,
+}
+
+impl ExecutionTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        ExecutionTrace::default()
+    }
+
+    /// Appends a slice, merging with the previous one when it is a
+    /// seamless continuation (same job, same voltage, touching times).
+    pub fn push(&mut self, slice: Slice) {
+        if let Some(last) = self.slices.last_mut() {
+            let seamless = last.task == slice.task
+                && last.instance == slice.instance
+                && (last.end.as_ms() - slice.start.as_ms()).abs() < 1e-9
+                && (last.voltage.as_volts() - slice.voltage.as_volts()).abs() < 1e-12;
+            if seamless {
+                last.end = slice.end;
+                return;
+            }
+        }
+        self.slices.push(slice);
+    }
+
+    /// All slices in time order.
+    pub fn slices(&self) -> &[Slice] {
+        &self.slices
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.slices.is_empty()
+    }
+
+    /// Number of slices.
+    pub fn len(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Total busy span covered by slices of one task.
+    pub fn task_busy_ms(&self, task: TaskId) -> f64 {
+        self.slices
+            .iter()
+            .filter(|s| s.task == task)
+            .map(|s| s.end.as_ms() - s.start.as_ms())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slice(task: usize, inst: u64, a: f64, b: f64, v: f64) -> Slice {
+        Slice {
+            task: TaskId(task),
+            instance: inst,
+            start: Time::from_ms(a),
+            end: Time::from_ms(b),
+            voltage: Volt::from_volts(v),
+        }
+    }
+
+    #[test]
+    fn merges_seamless_continuations() {
+        let mut t = ExecutionTrace::new();
+        t.push(slice(0, 0, 0.0, 1.0, 2.0));
+        t.push(slice(0, 0, 1.0, 2.0, 2.0));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.slices()[0].end, Time::from_ms(2.0));
+    }
+
+    #[test]
+    fn voltage_change_starts_new_slice() {
+        let mut t = ExecutionTrace::new();
+        t.push(slice(0, 0, 0.0, 1.0, 2.0));
+        t.push(slice(0, 0, 1.0, 2.0, 3.0));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn task_busy_time() {
+        let mut t = ExecutionTrace::new();
+        t.push(slice(0, 0, 0.0, 1.0, 2.0));
+        t.push(slice(1, 0, 1.0, 3.0, 2.0));
+        t.push(slice(0, 1, 3.0, 4.5, 2.0));
+        assert!((t.task_busy_ms(TaskId(0)) - 2.5).abs() < 1e-12);
+        assert!((t.task_busy_ms(TaskId(1)) - 2.0).abs() < 1e-12);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,113 @@
+//! ASCII Gantt rendering of execution traces.
+//!
+//! Used by the examples and experiment binaries to show schedules the way
+//! the paper's Figs. 1–2 do — one row per task, time flowing right, with
+//! the supply voltage printed per slice.
+
+use crate::exec_trace::ExecutionTrace;
+use acs_model::TaskSet;
+
+/// Renders `trace` over `[0, horizon_ms]` using `width` character
+/// columns. Each task occupies one row; an executing slice is drawn with
+/// `█` and annotated with its voltage (to one decimal) where space
+/// permits; idle time is `·`.
+pub fn render_gantt(trace: &ExecutionTrace, set: &TaskSet, horizon_ms: f64, width: usize) -> String {
+    let width = width.max(10);
+    let scale = width as f64 / horizon_ms.max(1e-9);
+    let mut out = String::new();
+    for (tid, task) in set.iter() {
+        let mut row: Vec<char> = vec!['·'; width];
+        let mut labels: Vec<Option<String>> = vec![None; width];
+        for s in trace.slices().iter().filter(|s| s.task == tid) {
+            let a = ((s.start.as_ms() * scale).floor() as usize).min(width - 1);
+            let b = ((s.end.as_ms() * scale).ceil() as usize).clamp(a + 1, width);
+            for c in row.iter_mut().take(b).skip(a) {
+                *c = '█';
+            }
+            labels[a] = Some(format!("{:.1}", s.voltage.as_volts()));
+        }
+        // Overlay voltage labels onto the bars where they fit.
+        for (i, label) in labels.iter().enumerate() {
+            if let Some(l) = label {
+                for (k, ch) in l.chars().enumerate() {
+                    if i + k < width && row[i + k] == '█' {
+                        row[i + k] = ch;
+                    }
+                }
+            }
+        }
+        let bar: String = row.into_iter().collect();
+        out.push_str(&format!("{:>13.13} |{}|\n", task.name(), bar));
+    }
+    // Time axis.
+    out.push_str(&format!(
+        "{:>13} 0{}{:.0}ms\n",
+        "",
+        " ".repeat(width.saturating_sub(6)),
+        horizon_ms
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec_trace::Slice;
+    use acs_model::units::{Cycles, Ticks, Time, Volt};
+    use acs_model::{Task, TaskId, TaskSet};
+
+    fn set() -> TaskSet {
+        TaskSet::new(vec![
+            Task::builder("alpha", Ticks::new(10))
+                .wcec(Cycles::from_cycles(1.0))
+                .build()
+                .unwrap(),
+            Task::builder("beta", Ticks::new(20))
+                .wcec(Cycles::from_cycles(1.0))
+                .build()
+                .unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn renders_rows_per_task_plus_axis() {
+        let mut tr = ExecutionTrace::new();
+        tr.push(Slice {
+            task: TaskId(0),
+            instance: 0,
+            start: Time::from_ms(0.0),
+            end: Time::from_ms(5.0),
+            voltage: Volt::from_volts(2.0),
+        });
+        tr.push(Slice {
+            task: TaskId(1),
+            instance: 0,
+            start: Time::from_ms(5.0),
+            end: Time::from_ms(20.0),
+            voltage: Volt::from_volts(1.5),
+        });
+        let g = render_gantt(&tr, &set(), 20.0, 40);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("alpha"));
+        assert!(lines[1].contains("beta"));
+        assert!(lines[0].contains('█'));
+        assert!(lines[0].contains("2.0"));
+        assert!(lines[1].contains("1.5"));
+        assert!(lines[2].contains("20ms"));
+    }
+
+    #[test]
+    fn empty_trace_is_all_idle() {
+        let g = render_gantt(&ExecutionTrace::new(), &set(), 20.0, 30);
+        assert!(g.contains("····"));
+        assert!(!g.contains('█'));
+    }
+
+    #[test]
+    fn tiny_width_is_clamped() {
+        let g = render_gantt(&ExecutionTrace::new(), &set(), 20.0, 1);
+        assert!(g.lines().count() == 3);
+    }
+}

@@ -1,0 +1,69 @@
+//! # acs-sim
+//!
+//! Event-driven preemptive rate-monotonic simulator with online dynamic
+//! voltage scaling, for the `acsched` workspace.
+//!
+//! This is the paper's *runtime phase*: the offline synthesizer
+//! (`acs-core`) fixes per-sub-instance end times `e_u` and worst-case
+//! budgets `R̂_u`; at runtime the dispatcher picks the supply voltage at
+//! every scheduling event. Four policies are provided:
+//!
+//! * [`DvsPolicy::NoDvs`] — flat out, idle when nothing is ready;
+//! * [`DvsPolicy::StaticSpeed`] — the static schedule's speeds, no slack
+//!   reclamation;
+//! * [`DvsPolicy::GreedyReclaim`] — the paper's greedy slack
+//!   redistribution: `speed = R̂_rem / (e_u − now)`;
+//! * [`DvsPolicy::CcRm`] — a cycle-conserving, online-only baseline in
+//!   the spirit of Pillai & Shin.
+//!
+//! The simulator reports energy, deadline misses, saturation events,
+//! idle/busy time and voltage switches ([`SimReport`]), optionally
+//! recording an [`ExecutionTrace`] renderable as an ASCII Gantt chart
+//! ([`render_gantt`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use acs_core::{synthesize_acs, SynthesisOptions};
+//! use acs_model::{Task, TaskSet, units::{Cycles, Ticks, Volt}};
+//! use acs_power::{FreqModel, Processor};
+//! use acs_sim::{DvsPolicy, Simulator};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let set = TaskSet::new(vec![
+//!     Task::builder("ctrl", Ticks::new(10))
+//!         .wcec(Cycles::from_cycles(200.0))
+//!         .acec(Cycles::from_cycles(80.0))
+//!         .bcec(Cycles::from_cycles(20.0))
+//!         .build()?,
+//! ])?;
+//! let cpu = Processor::builder(FreqModel::linear(20.0)?)
+//!     .vmin(Volt::from_volts(0.5)).vmax(Volt::from_volts(4.0)).build()?;
+//! let schedule = synthesize_acs(&set, &cpu, &SynthesisOptions::quick())?;
+//!
+//! let sim = Simulator::new(&set, &cpu, DvsPolicy::GreedyReclaim)
+//!     .with_schedule(&schedule);
+//! let out = sim.run(&mut |_task, _instance| Cycles::from_cycles(80.0))?;
+//! assert!(out.report.all_deadlines_met());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod error;
+pub mod exec_trace;
+pub mod gantt;
+pub mod policy;
+pub mod report;
+pub mod stats;
+
+pub use engine::{simulate_deterministic, RunOutput, SimOptions, Simulator};
+pub use error::SimError;
+pub use exec_trace::{ExecutionTrace, Slice};
+pub use gantt::render_gantt;
+pub use policy::{CcRmState, DispatchContext, DvsPolicy};
+pub use report::{improvement_over, SimReport};
+pub use stats::Summary;

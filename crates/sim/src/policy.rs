@@ -1,0 +1,225 @@
+//! Online DVS policies.
+
+use acs_model::units::{Cycles, Freq, Time};
+use acs_model::TaskSet;
+use acs_power::Processor;
+
+/// The online voltage-selection policy used at every dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DvsPolicy {
+    /// Always run at maximum speed; idle when nothing is ready. The
+    /// no-DVS reference point.
+    NoDvs,
+    /// Use the static schedule's per-chunk speed `R̂_u/(e_u − ŝ_u)`
+    /// (worst-case start `ŝ_u`), with **no** slack reclamation. Isolates
+    /// the value of the static schedule alone.
+    StaticSpeed,
+    /// The paper's runtime: at dispatch, stretch the chunk's remaining
+    /// worst-case budget over the time left until its milestone,
+    /// `speed = R̂_rem/(e_u − now)` — early completions automatically
+    /// lower later voltages (greedy slack reclamation).
+    GreedyReclaim,
+    /// Cycle-conserving RM (Pillai & Shin, SOSP 2001 style): a purely
+    /// online baseline that rescales speed to the dynamic utilization
+    /// `Σ U_i`, using WCEC for active instances and the actual cycles for
+    /// completed ones. Ignores the static schedule.
+    CcRm,
+}
+
+impl DvsPolicy {
+    /// `true` when the policy dispatches from static milestones.
+    pub fn needs_schedule(self) -> bool {
+        matches!(self, DvsPolicy::StaticSpeed | DvsPolicy::GreedyReclaim)
+    }
+
+    /// Short display name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DvsPolicy::NoDvs => "no-dvs",
+            DvsPolicy::StaticSpeed => "static",
+            DvsPolicy::GreedyReclaim => "greedy",
+            DvsPolicy::CcRm => "ccrm",
+        }
+    }
+}
+
+impl std::fmt::Display for DvsPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Dynamic-utilization state for [`DvsPolicy::CcRm`].
+#[derive(Debug, Clone)]
+pub struct CcRmState {
+    /// Per-task utilization contribution.
+    util: Vec<f64>,
+}
+
+impl CcRmState {
+    /// Initializes with every task at its worst-case utilization.
+    pub fn new(set: &TaskSet, cpu: &Processor) -> Self {
+        let fmax = cpu.f_max();
+        CcRmState {
+            util: set
+                .tasks()
+                .iter()
+                .map(|t| t.wcec() / (t.period().as_span() * fmax))
+                .collect(),
+        }
+    }
+
+    /// A new instance of `task` was released: assume its worst case.
+    pub fn on_release(&mut self, task: usize, set: &TaskSet, cpu: &Processor) {
+        let t = &set.tasks()[task];
+        self.util[task] = t.wcec() / (t.period().as_span() * cpu.f_max());
+    }
+
+    /// An instance of `task` completed after executing `actual` cycles.
+    pub fn on_completion(&mut self, task: usize, actual: Cycles, set: &TaskSet, cpu: &Processor) {
+        let t = &set.tasks()[task];
+        self.util[task] = actual / (t.period().as_span() * cpu.f_max());
+    }
+
+    /// Speed the policy requests right now.
+    pub fn speed(&self, cpu: &Processor) -> Freq {
+        let u: f64 = self.util.iter().sum();
+        cpu.f_max() * u.clamp(0.0, 1.0)
+    }
+}
+
+/// Everything a policy may consult when dispatching a job's chunk.
+#[derive(Debug, Clone, Copy)]
+pub struct DispatchContext {
+    /// Current simulation time (within the hyper-period).
+    pub now: Time,
+    /// Milestone end time of the current chunk.
+    pub chunk_end: Time,
+    /// Remaining worst-case budget of the current chunk.
+    pub chunk_budget_remaining: Cycles,
+    /// Precomputed static speed of the chunk (for [`DvsPolicy::StaticSpeed`]).
+    pub static_speed: Freq,
+}
+
+/// Computes the requested speed for a dispatch under `policy`.
+pub fn requested_speed(
+    policy: DvsPolicy,
+    cpu: &Processor,
+    ctx: &DispatchContext,
+    ccrm: Option<&CcRmState>,
+) -> Freq {
+    match policy {
+        DvsPolicy::NoDvs => cpu.f_max(),
+        DvsPolicy::StaticSpeed => ctx.static_speed,
+        DvsPolicy::GreedyReclaim => {
+            let window = ctx.chunk_end - ctx.now;
+            if window.as_ms() <= 0.0 {
+                cpu.f_max()
+            } else {
+                ctx.chunk_budget_remaining / window
+            }
+        }
+        DvsPolicy::CcRm => ccrm
+            .map(|s| s.speed(cpu))
+            .unwrap_or_else(|| cpu.f_max()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acs_model::units::{Ticks, Volt};
+    use acs_model::Task;
+    use acs_power::FreqModel;
+
+    fn fixture() -> (TaskSet, Processor) {
+        let set = TaskSet::new(vec![
+            Task::builder("a", Ticks::new(10))
+                .wcec(Cycles::from_cycles(200.0))
+                .build()
+                .unwrap(),
+            Task::builder("b", Ticks::new(20))
+                .wcec(Cycles::from_cycles(400.0))
+                .build()
+                .unwrap(),
+        ])
+        .unwrap();
+        let cpu = Processor::builder(FreqModel::linear(50.0).unwrap())
+            .vmin(Volt::from_volts(0.5))
+            .vmax(Volt::from_volts(2.0)) // fmax = 100 cyc/ms
+            .build()
+            .unwrap();
+        (set, cpu)
+    }
+
+    #[test]
+    fn needs_schedule_flags() {
+        assert!(!DvsPolicy::NoDvs.needs_schedule());
+        assert!(DvsPolicy::StaticSpeed.needs_schedule());
+        assert!(DvsPolicy::GreedyReclaim.needs_schedule());
+        assert!(!DvsPolicy::CcRm.needs_schedule());
+        assert_eq!(DvsPolicy::GreedyReclaim.to_string(), "greedy");
+    }
+
+    #[test]
+    fn ccrm_tracks_dynamic_utilization() {
+        let (set, cpu) = fixture();
+        let mut s = CcRmState::new(&set, &cpu);
+        // Worst case: 200/(10·100) + 400/(20·100) = 0.2 + 0.2 = 0.4.
+        assert!((s.speed(&cpu).as_cycles_per_ms() - 40.0).abs() < 1e-9);
+        // Task a completes with only 50 cycles: U_a = 0.05.
+        s.on_completion(0, Cycles::from_cycles(50.0), &set, &cpu);
+        assert!((s.speed(&cpu).as_cycles_per_ms() - 25.0).abs() < 1e-9);
+        // Next release of a restores the worst case.
+        s.on_release(0, &set, &cpu);
+        assert!((s.speed(&cpu).as_cycles_per_ms() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_speed_from_context() {
+        let (_, cpu) = fixture();
+        let ctx = DispatchContext {
+            now: Time::from_ms(2.0),
+            chunk_end: Time::from_ms(6.0),
+            chunk_budget_remaining: Cycles::from_cycles(200.0),
+            static_speed: Freq::from_cycles_per_ms(77.0),
+        };
+        let f = requested_speed(DvsPolicy::GreedyReclaim, &cpu, &ctx, None);
+        assert!((f.as_cycles_per_ms() - 50.0).abs() < 1e-12);
+        assert_eq!(
+            requested_speed(DvsPolicy::StaticSpeed, &cpu, &ctx, None),
+            Freq::from_cycles_per_ms(77.0)
+        );
+        assert_eq!(
+            requested_speed(DvsPolicy::NoDvs, &cpu, &ctx, None),
+            cpu.f_max()
+        );
+    }
+
+    #[test]
+    fn greedy_saturates_past_milestone() {
+        let (_, cpu) = fixture();
+        let ctx = DispatchContext {
+            now: Time::from_ms(6.0),
+            chunk_end: Time::from_ms(6.0),
+            chunk_budget_remaining: Cycles::from_cycles(1.0),
+            static_speed: Freq::ZERO,
+        };
+        assert_eq!(
+            requested_speed(DvsPolicy::GreedyReclaim, &cpu, &ctx, None),
+            cpu.f_max()
+        );
+    }
+
+    #[test]
+    fn ccrm_without_state_falls_back_to_fmax() {
+        let (_, cpu) = fixture();
+        let ctx = DispatchContext {
+            now: Time::from_ms(0.0),
+            chunk_end: Time::from_ms(1.0),
+            chunk_budget_remaining: Cycles::from_cycles(1.0),
+            static_speed: Freq::ZERO,
+        };
+        assert_eq!(requested_speed(DvsPolicy::CcRm, &cpu, &ctx, None), cpu.f_max());
+    }
+}

@@ -1,0 +1,135 @@
+//! Simulation results.
+
+use acs_model::units::{Energy, TimeSpan};
+
+/// Aggregate outcome of a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Total dynamic energy consumed.
+    pub energy: Energy,
+    /// Energy split per task (indexed by `TaskId`).
+    pub per_task_energy: Vec<Energy>,
+    /// Number of job completions.
+    pub jobs_completed: usize,
+    /// Number of jobs that missed their deadline.
+    pub deadline_misses: usize,
+    /// Worst completion lateness past a deadline observed, in ms
+    /// (0 when every job met its deadline; includes sub-tolerance
+    /// lateness not counted in `deadline_misses`).
+    pub worst_lateness_ms: f64,
+    /// Dispatches where the requested speed exceeded `f_max` (the
+    /// processor saturated at `vmax`).
+    pub saturated_dispatches: usize,
+    /// Total time the processor was idle (shut down, zero energy).
+    pub idle_time: TimeSpan,
+    /// Total time the processor executed cycles.
+    pub busy_time: TimeSpan,
+    /// Number of voltage transitions (changes between consecutive
+    /// execution slices).
+    pub voltage_switches: usize,
+    /// Workload draws clamped into `[0, WCEC]`.
+    pub clamped_draws: usize,
+    /// Number of hyper-periods simulated.
+    pub hyper_periods: u64,
+}
+
+impl SimReport {
+    /// An empty report (used as the accumulator identity).
+    pub fn empty(tasks: usize) -> Self {
+        SimReport {
+            energy: Energy::ZERO,
+            per_task_energy: vec![Energy::ZERO; tasks],
+            jobs_completed: 0,
+            deadline_misses: 0,
+            worst_lateness_ms: 0.0,
+            saturated_dispatches: 0,
+            idle_time: TimeSpan::ZERO,
+            busy_time: TimeSpan::ZERO,
+            voltage_switches: 0,
+            clamped_draws: 0,
+            hyper_periods: 0,
+        }
+    }
+
+    /// Folds another report (e.g. one hyper-period) into this one.
+    pub fn absorb(&mut self, other: &SimReport) {
+        self.energy += other.energy;
+        for (a, b) in self.per_task_energy.iter_mut().zip(&other.per_task_energy) {
+            *a += *b;
+        }
+        self.jobs_completed += other.jobs_completed;
+        self.deadline_misses += other.deadline_misses;
+        self.worst_lateness_ms = self.worst_lateness_ms.max(other.worst_lateness_ms);
+        self.saturated_dispatches += other.saturated_dispatches;
+        self.idle_time += other.idle_time;
+        self.busy_time += other.busy_time;
+        self.voltage_switches += other.voltage_switches;
+        self.clamped_draws += other.clamped_draws;
+        self.hyper_periods += other.hyper_periods;
+    }
+
+    /// Mean energy per hyper-period.
+    pub fn energy_per_hyper_period(&self) -> Energy {
+        if self.hyper_periods == 0 {
+            Energy::ZERO
+        } else {
+            self.energy / self.hyper_periods as f64
+        }
+    }
+
+    /// `true` when no deadline was missed.
+    pub fn all_deadlines_met(&self) -> bool {
+        self.deadline_misses == 0
+    }
+}
+
+/// Relative energy improvement of `candidate` over `baseline`, as used in
+/// the paper's Fig. 6 (positive = candidate is better).
+pub fn improvement_over(baseline: Energy, candidate: Energy) -> f64 {
+    if baseline.as_units() <= 0.0 {
+        0.0
+    } else {
+        1.0 - candidate / baseline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = SimReport::empty(2);
+        let mut b = SimReport::empty(2);
+        b.energy = Energy::from_units(10.0);
+        b.per_task_energy[1] = Energy::from_units(4.0);
+        b.jobs_completed = 3;
+        b.hyper_periods = 1;
+        b.busy_time = TimeSpan::from_ms(5.0);
+        a.absorb(&b);
+        a.absorb(&b);
+        assert_eq!(a.energy, Energy::from_units(20.0));
+        assert_eq!(a.per_task_energy[1], Energy::from_units(8.0));
+        assert_eq!(a.jobs_completed, 6);
+        assert_eq!(a.hyper_periods, 2);
+        assert_eq!(a.energy_per_hyper_period(), Energy::from_units(10.0));
+        assert!(a.all_deadlines_met());
+    }
+
+    #[test]
+    fn improvement_formula() {
+        assert!(
+            (improvement_over(Energy::from_units(7961.0), Energy::from_units(6000.0)) - 0.2463)
+                .abs()
+                < 1e-3
+        );
+        assert_eq!(improvement_over(Energy::ZERO, Energy::from_units(1.0)), 0.0);
+    }
+
+    #[test]
+    fn empty_report_identity() {
+        let r = SimReport::empty(1);
+        assert_eq!(r.energy_per_hyper_period(), Energy::ZERO);
+        assert!(r.all_deadlines_met());
+    }
+}

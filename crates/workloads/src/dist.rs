@@ -1,0 +1,269 @@
+//! Execution-cycle distributions.
+//!
+//! The paper's experiments draw each instance's cycles from a normal
+//! distribution with mean ACEC and standard deviation `(WCEC − BCEC)/6`,
+//! truncated to `[BCEC, WCEC]` (§4). Additional shapes (uniform, bimodal,
+//! constant) support the ablation studies: bimodal workloads are the
+//! "normally small, occasionally large" pattern the paper's abstract
+//! motivates.
+
+use acs_model::units::Cycles;
+use acs_model::{Task, TaskId, TaskSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A distribution over execution cycles for one task.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadDist {
+    /// Every instance takes exactly this many cycles.
+    Constant(f64),
+    /// Normal `N(mean, sd²)` truncated to `[lo, hi]` by rejection.
+    TruncatedNormal {
+        /// Mean before truncation.
+        mean: f64,
+        /// Standard deviation before truncation.
+        sd: f64,
+        /// Lower bound (typically BCEC).
+        lo: f64,
+        /// Upper bound (typically WCEC).
+        hi: f64,
+    },
+    /// Uniform on `[lo, hi]`.
+    Uniform {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Two-point mixture: `lo` with probability `1 − p_heavy`, `hi` with
+    /// probability `p_heavy` — tasks that are usually cheap but
+    /// occasionally hit their worst case.
+    Bimodal {
+        /// Common-case cycles.
+        lo: f64,
+        /// Rare-case cycles.
+        hi: f64,
+        /// Probability of the rare case.
+        p_heavy: f64,
+    },
+}
+
+impl WorkloadDist {
+    /// The paper's distribution for a task: mean ACEC,
+    /// `σ = (WCEC − BCEC)/6`, truncated to `[BCEC, WCEC]`.
+    pub fn paper_normal(task: &Task) -> Self {
+        WorkloadDist::TruncatedNormal {
+            mean: task.acec().as_cycles(),
+            sd: (task.wcec().as_cycles() - task.bcec().as_cycles()) / 6.0,
+            lo: task.bcec().as_cycles(),
+            hi: task.wcec().as_cycles(),
+        }
+    }
+
+    /// Draws one value.
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        match *self {
+            WorkloadDist::Constant(c) => c,
+            WorkloadDist::TruncatedNormal { mean, sd, lo, hi } => {
+                if sd <= 0.0 || hi <= lo {
+                    return mean.clamp(lo, hi);
+                }
+                // Rejection sampling; with the paper's ±3σ window the
+                // acceptance rate is ≈ 99.7%, so the cap is cosmetic.
+                for _ in 0..1000 {
+                    let v = mean + sd * standard_normal(rng);
+                    if (lo..=hi).contains(&v) {
+                        return v;
+                    }
+                }
+                mean.clamp(lo, hi)
+            }
+            WorkloadDist::Uniform { lo, hi } => {
+                if hi <= lo {
+                    lo
+                } else {
+                    rng.gen_range(lo..=hi)
+                }
+            }
+            WorkloadDist::Bimodal { lo, hi, p_heavy } => {
+                if rng.gen::<f64>() < p_heavy {
+                    hi
+                } else {
+                    lo
+                }
+            }
+        }
+    }
+}
+
+/// One standard-normal variate via Box–Muller (no extra crates).
+fn standard_normal(rng: &mut impl Rng) -> f64 {
+    // Avoid ln(0).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// A seeded per-task workload sampler, directly usable as the simulator's
+/// workload closure.
+///
+/// ```
+/// use acs_model::{Task, TaskSet, TaskId, units::{Cycles, Ticks}};
+/// use acs_workloads::TaskWorkloads;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let set = TaskSet::new(vec![
+///     Task::builder("t", Ticks::new(10))
+///         .wcec(Cycles::from_cycles(100.0))
+///         .bcec(Cycles::from_cycles(10.0))
+///         .build()?,
+/// ])?;
+/// let mut w = TaskWorkloads::paper(&set, 42);
+/// let c = w.draw(TaskId(0), 0);
+/// assert!(c.as_cycles() >= 10.0 && c.as_cycles() <= 100.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TaskWorkloads {
+    dists: Vec<WorkloadDist>,
+    rng: StdRng,
+}
+
+impl TaskWorkloads {
+    /// The paper's truncated-normal sampler for every task.
+    pub fn paper(set: &TaskSet, seed: u64) -> Self {
+        TaskWorkloads {
+            dists: set.tasks().iter().map(WorkloadDist::paper_normal).collect(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Custom per-task distributions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dists.len()` differs from the task count implied by its
+    /// later use (no task set is captured here).
+    pub fn from_dists(dists: Vec<WorkloadDist>, seed: u64) -> Self {
+        TaskWorkloads {
+            dists,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws the workload of one job. The `_instance` index is accepted
+    /// (and ignored) so the method signature matches the simulator's
+    /// workload closure.
+    pub fn draw(&mut self, task: TaskId, _instance: u64) -> Cycles {
+        Cycles::from_cycles(self.dists[task.0].sample(&mut self.rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acs_model::units::Ticks;
+
+    fn task(bcec: f64, acec: f64, wcec: f64) -> Task {
+        Task::builder("t", Ticks::new(10))
+            .wcec(Cycles::from_cycles(wcec))
+            .acec(Cycles::from_cycles(acec))
+            .bcec(Cycles::from_cycles(bcec))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn truncated_normal_respects_bounds_and_mean() {
+        let d = WorkloadDist::paper_normal(&task(100.0, 550.0, 1000.0));
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sum = 0.0;
+        const N: usize = 20_000;
+        for _ in 0..N {
+            let v = d.sample(&mut rng);
+            assert!((100.0..=1000.0).contains(&v), "v = {v}");
+            sum += v;
+        }
+        let mean = sum / N as f64;
+        assert!((mean - 550.0).abs() < 10.0, "mean = {mean}");
+    }
+
+    #[test]
+    fn sigma_matches_paper_convention() {
+        let d = WorkloadDist::paper_normal(&task(100.0, 550.0, 1000.0));
+        match d {
+            WorkloadDist::TruncatedNormal { sd, .. } => {
+                assert!((sd - 150.0).abs() < 1e-12);
+            }
+            _ => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn degenerate_normal_returns_mean() {
+        let d = WorkloadDist::TruncatedNormal {
+            mean: 5.0,
+            sd: 0.0,
+            lo: 0.0,
+            hi: 10.0,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(d.sample(&mut rng), 5.0);
+    }
+
+    #[test]
+    fn constant_and_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(WorkloadDist::Constant(7.0).sample(&mut rng), 7.0);
+        for _ in 0..1000 {
+            let v = WorkloadDist::Uniform { lo: 2.0, hi: 4.0 }.sample(&mut rng);
+            assert!((2.0..=4.0).contains(&v));
+        }
+        assert_eq!(
+            WorkloadDist::Uniform { lo: 2.0, hi: 2.0 }.sample(&mut rng),
+            2.0
+        );
+    }
+
+    #[test]
+    fn bimodal_frequencies() {
+        let d = WorkloadDist::Bimodal {
+            lo: 1.0,
+            hi: 9.0,
+            p_heavy: 0.2,
+        };
+        let mut rng = StdRng::seed_from_u64(11);
+        let heavy = (0..10_000).filter(|_| d.sample(&mut rng) > 5.0).count();
+        assert!((heavy as f64 / 10_000.0 - 0.2).abs() < 0.02);
+    }
+
+    #[test]
+    fn sampler_is_deterministic_per_seed() {
+        let set = TaskSet::new(vec![task(100.0, 550.0, 1000.0)]).unwrap();
+        let mut a = TaskWorkloads::paper(&set, 99);
+        let mut b = TaskWorkloads::paper(&set, 99);
+        for i in 0..100 {
+            assert_eq!(a.draw(TaskId(0), i), b.draw(TaskId(0), i));
+        }
+        let mut c = TaskWorkloads::paper(&set, 100);
+        let same = (0..100).all(|i| a.draw(TaskId(0), i) == c.draw(TaskId(0), i));
+        assert!(!same);
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 50_000;
+        let (mut s1, mut s2) = (0.0, 0.0);
+        for _ in 0..n {
+            let z = standard_normal(&mut rng);
+            s1 += z;
+            s2 += z * z;
+        }
+        let mean = s1 / n as f64;
+        let var = s2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var = {var}");
+    }
+}

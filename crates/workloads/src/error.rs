@@ -1,0 +1,66 @@
+//! Error type for workload generation.
+
+use acs_model::ModelError;
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced while generating task sets or sampling workloads.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// A generator parameter violated an invariant.
+    InvalidConfig {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// No acceptable task set was found within the attempt budget
+    /// (usually: every draw exceeded the sub-instance cap).
+    GenerationFailed {
+        /// Number of attempts made.
+        attempts: usize,
+    },
+    /// Task-model error (propagated).
+    Model(ModelError),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::InvalidConfig { reason } => {
+                write!(f, "invalid workload configuration: {reason}")
+            }
+            WorkloadError::GenerationFailed { attempts } => {
+                write!(f, "no acceptable task set within {attempts} attempts")
+            }
+            WorkloadError::Model(e) => write!(f, "task model error: {e}"),
+        }
+    }
+}
+
+impl StdError for WorkloadError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            WorkloadError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for WorkloadError {
+    fn from(e: ModelError) -> Self {
+        WorkloadError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = WorkloadError::GenerationFailed { attempts: 50 };
+        assert!(e.to_string().contains("50"));
+        let m: WorkloadError = ModelError::EmptyTaskSet.into();
+        assert!(m.source().is_some());
+    }
+}

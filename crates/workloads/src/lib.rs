@@ -1,0 +1,46 @@
+//! # acs-workloads
+//!
+//! Workload substrate for the `acsched` workspace: everything §4 of the
+//! paper needs to drive its experiments.
+//!
+//! * [`dist`] — execution-cycle distributions, including the paper's
+//!   truncated normal (`μ = ACEC`, `σ = (WCEC − BCEC)/6`, bounds
+//!   `[BCEC, WCEC]`) sampled via Box–Muller, plus uniform/bimodal/constant
+//!   shapes for ablations. [`TaskWorkloads`] plugs directly into the
+//!   simulator's workload closure.
+//! * [`randgen`] — the paper's random task-set generator: UUniFast
+//!   utilization shares at 70% worst-case utilization, periods 10–30 ms,
+//!   BCEC/WCEC ratio sweep, 1000-sub-instance cap.
+//! * [`reallife`] — the CNC controller (8 tasks) and Generic Avionics
+//!   Platform (17 tasks) sets of Fig. 6(b).
+//! * [`motivation()`] — the reconstructed Table-1 example of Figs. 1–2.
+//!
+//! ## Example
+//!
+//! ```
+//! use acs_model::units::Freq;
+//! use acs_workloads::{generate, RandomSetConfig, TaskWorkloads};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cfg = RandomSetConfig::paper(4, 0.1, Freq::from_cycles_per_ms(200.0));
+//! let set = generate(&cfg, &mut StdRng::seed_from_u64(1))?;
+//! let mut draws = TaskWorkloads::paper(&set, 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod error;
+pub mod motivation;
+pub mod randgen;
+pub mod reallife;
+
+pub use dist::{TaskWorkloads, WorkloadDist};
+pub use error::WorkloadError;
+pub use motivation::{fig1_end_times, fig2_end_times, motivation, motivation_system, reference_energies};
+pub use randgen::{generate, uunifast, RandomSetConfig};
+pub use reallife::{cnc, gap};

@@ -1,0 +1,91 @@
+//! Property-based tests for distributions and generators.
+
+use acs_model::units::Freq;
+use acs_model::TaskId;
+use acs_preempt::FullyPreemptiveSchedule;
+use acs_workloads::{cnc, gap, generate, uunifast, RandomSetConfig, TaskWorkloads, WorkloadDist};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Truncated-normal samples stay in bounds for arbitrary parameters.
+    #[test]
+    fn truncated_normal_in_bounds(
+        mean in -100.0f64..100.0,
+        sd in 0.0f64..50.0,
+        lo in -100.0f64..0.0,
+        width in 0.1f64..200.0,
+        seed in 0u64..1000,
+    ) {
+        let hi = lo + width;
+        let d = WorkloadDist::TruncatedNormal { mean, sd, lo, hi };
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let v = d.sample(&mut rng);
+            prop_assert!((lo..=hi).contains(&v), "sample {v} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// UUniFast: exact sum, non-negative shares, any count.
+    #[test]
+    fn uunifast_simplex(n in 1usize..20, total in 0.01f64..1.0, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let shares = uunifast(n, total, &mut rng);
+        prop_assert_eq!(shares.len(), n);
+        let sum: f64 = shares.iter().sum();
+        prop_assert!((sum - total).abs() < 1e-9);
+        prop_assert!(shares.iter().all(|&s| s >= -1e-12));
+    }
+
+    /// Generated task sets satisfy the paper's protocol for any
+    /// (count, ratio) in range.
+    #[test]
+    fn generator_respects_protocol(
+        n in 1usize..8,
+        ratio in 0.05f64..1.0,
+        seed in 0u64..500,
+    ) {
+        let fmax = Freq::from_cycles_per_ms(200.0);
+        let cfg = RandomSetConfig::paper(n, ratio, fmax);
+        let set = generate(&cfg, &mut StdRng::seed_from_u64(seed)).unwrap();
+        prop_assert_eq!(set.len(), n);
+        // The 1-cycle WCEC floor can add ~n·5e-4 utilization for tiny
+        // UUniFast shares.
+        prop_assert!((set.utilization_at(fmax) - 0.7).abs() < 0.01);
+        let fps = FullyPreemptiveSchedule::expand(&set).unwrap();
+        prop_assert!(fps.len() <= 1000);
+        for t in set.tasks() {
+            prop_assert!(t.bcec() <= t.acec() && t.acec() <= t.wcec());
+            prop_assert!((10..=30).contains(&t.period().get()));
+        }
+    }
+
+    /// CNC and GAP scale to any requested utilization.
+    #[test]
+    fn reallife_utilization_scaling(ratio in 0.05f64..1.0, util in 0.1f64..0.95) {
+        let fmax = Freq::from_cycles_per_ms(200.0);
+        for set in [cnc(fmax, ratio, util).unwrap(), gap(fmax, ratio, util).unwrap()] {
+            prop_assert!((set.utilization_at(fmax) - util).abs() < 1e-9);
+        }
+    }
+
+    /// Workload sampling is deterministic per seed and within task bounds.
+    #[test]
+    fn sampler_bounds_and_determinism(seed in 0u64..500) {
+        let fmax = Freq::from_cycles_per_ms(200.0);
+        let cfg = RandomSetConfig::paper(3, 0.1, fmax);
+        let set = generate(&cfg, &mut StdRng::seed_from_u64(seed)).unwrap();
+        let mut a = TaskWorkloads::paper(&set, seed);
+        let mut b = TaskWorkloads::paper(&set, seed);
+        for i in 0..30 {
+            for t in 0..set.len() {
+                let va = a.draw(TaskId(t), i);
+                let vb = b.draw(TaskId(t), i);
+                prop_assert_eq!(va, vb);
+                let task = set.task(TaskId(t));
+                prop_assert!(va >= task.bcec() && va <= task.wcec());
+            }
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! # acsched
+//!
+//! Average-case-aware static voltage scheduling for low-energy preemptive
+//! hard real-time systems — a full reproduction of *"Exploiting Dynamic
+//! Workload Variation in Low Energy Preemptive Task Scheduling"*
+//! (Leung, Tsui, Hu — DATE 2005).
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`model`] | `acs-model` | tasks, task sets, typed units |
+//! | [`power`] | `acs-power` | DVS processor model |
+//! | [`preempt`] | `acs-preempt` | fully preemptive expansion |
+//! | [`opt`] | `acs-opt` | autodiff + L-BFGS + augmented Lagrangian |
+//! | [`core`] | `acs-core` | ACS/WCS schedule synthesis |
+//! | [`sim`] | `acs-sim` | runtime simulator & DVS policies |
+//! | [`workloads`] | `acs-workloads` | distributions, random/CNC/GAP sets |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use acsched::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 1. Describe the system.
+//! let set = TaskSet::new(vec![
+//!     Task::builder("control", Ticks::new(10))
+//!         .wcec(Cycles::from_cycles(400.0))
+//!         .acec(Cycles::from_cycles(150.0))
+//!         .bcec(Cycles::from_cycles(40.0))
+//!         .build()?,
+//!     Task::builder("telemetry", Ticks::new(20))
+//!         .wcec(Cycles::from_cycles(600.0))
+//!         .acec(Cycles::from_cycles(200.0))
+//!         .bcec(Cycles::from_cycles(60.0))
+//!         .build()?,
+//! ])?;
+//! let cpu = Processor::builder(FreqModel::linear(50.0)?)
+//!     .vmin(Volt::from_volts(0.5))
+//!     .vmax(Volt::from_volts(4.0))
+//!     .build()?;
+//!
+//! // 2. Synthesize offline schedules (paper's ACS + the WCS baseline).
+//! let opts = SynthesisOptions::quick();
+//! let acs = synthesize_acs(&set, &cpu, &opts)?;
+//! let wcs = synthesize_wcs(&set, &cpu, &opts)?;
+//!
+//! // 3. Run the greedy online DVS phase on sampled workloads.
+//! let mut draws = TaskWorkloads::paper(&set, 7);
+//! let acs_run = Simulator::new(&set, &cpu, DvsPolicy::GreedyReclaim)
+//!     .with_schedule(&acs)
+//!     .run(&mut |t, i| draws.draw(t, i))?;
+//! let mut draws = TaskWorkloads::paper(&set, 7); // same seed: same workloads
+//! let wcs_run = Simulator::new(&set, &cpu, DvsPolicy::GreedyReclaim)
+//!     .with_schedule(&wcs)
+//!     .run(&mut |t, i| draws.draw(t, i))?;
+//!
+//! assert!(acs_run.report.all_deadlines_met());
+//! assert!(wcs_run.report.all_deadlines_met());
+//! // ACS exploits the workload variation at least as well as WCS.
+//! let gain = improvement_over(wcs_run.report.energy, acs_run.report.energy);
+//! assert!(gain > -0.05);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use acs_core as core;
+pub use acs_model as model;
+pub use acs_opt as opt;
+pub use acs_power as power;
+pub use acs_preempt as preempt;
+pub use acs_sim as sim;
+pub use acs_workloads as workloads;
+
+/// Everything needed for typical use, importable with one line.
+pub mod prelude {
+    pub use acs_core::{
+        evaluate_trace, synthesize_acs, synthesize_acs_best, synthesize_acs_warm, synthesize_wcs,
+        verify_worst_case, Milestone,
+        ObjectiveKind, ScheduleKind, SpeedBasis, StaticSchedule, SynthesisOptions,
+    };
+    pub use acs_model::units::{Cycles, Energy, Freq, Ticks, Time, TimeSpan, Volt};
+    pub use acs_model::{Task, TaskBuilder, TaskId, TaskSet};
+    pub use acs_power::{FreqModel, LevelTable, Processor, TransitionOverhead, VoltageLevels};
+    pub use acs_preempt::{FullyPreemptiveSchedule, InstanceId, SubInstance, SubInstanceId};
+    pub use acs_sim::{
+        improvement_over, render_gantt, DvsPolicy, SimOptions, SimReport, Simulator, Summary,
+    };
+    pub use acs_workloads::{
+        cnc, gap, generate, motivation, RandomSetConfig, TaskWorkloads, WorkloadDist,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile() {
+        use crate::prelude::*;
+        let _ = Ticks::new(1);
+        let _ = DvsPolicy::GreedyReclaim;
+        let _ = ObjectiveKind::AcecTrace;
+    }
+}
