@@ -1,0 +1,59 @@
+//! Criterion bench P6: `Campaign` throughput — runs/second across a
+//! 100-cell grid, at 1 thread and at full parallelism, so the scaling of
+//! the experiment runner is tracked alongside the simulator itself.
+
+use acs_model::units::Freq;
+use acs_runtime::{Campaign, CampaignBuilder, PolicySpec, ScheduleChoice, WorkloadSpec};
+use acs_workloads::{generate, RandomSetConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn hundred_cell_builder() -> CampaignBuilder {
+    let fmax = Freq::from_cycles_per_ms(200.0);
+    let cfg = RandomSetConfig::paper(3, 0.1, fmax);
+    let cpu = acs_power::Processor::builder(acs_power::FreqModel::linear(50.0).unwrap())
+        .vmin(acs_model::units::Volt::from_volts(0.3))
+        .vmax(acs_model::units::Volt::from_volts(4.0))
+        .build()
+        .unwrap();
+    let mut builder = Campaign::builder()
+        .processor("linear", cpu)
+        .schedules([ScheduleChoice::Wcs, ScheduleChoice::Acs])
+        .policy(PolicySpec::greedy())
+        .policy(PolicySpec::static_speed())
+        .policy(PolicySpec::ccrm())
+        .workload(WorkloadSpec::Paper)
+        .seeds([1, 2])
+        .hyper_periods(5);
+    // 5 sets x (2 scheduled x 2 schedules + 1 unscheduled) x ... = 100
+    // cells with 4 workload/policy tweaks; 20 sets keeps it exact:
+    // 20 x (2x2 + 1) = 100 cells.
+    for i in 0..20u64 {
+        let set = generate(&cfg, &mut StdRng::seed_from_u64(500 + i)).unwrap();
+        builder = builder.task_set(format!("set{i:02}"), set);
+    }
+    builder
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    let mut g = c.benchmark_group("campaign");
+    g.sample_size(3);
+    for (name, threads) in [("grid100_1thread", 1), ("grid100_parallel", 0)] {
+        let builder = hundred_cell_builder();
+        let campaign = if threads == 0 {
+            builder.build().unwrap()
+        } else {
+            builder.threads(threads).build().unwrap()
+        };
+        assert_eq!(campaign.cell_count(), 100);
+        let runs = campaign.run_count();
+        g.bench_function(name, |b| b.iter(|| black_box(campaign.run())));
+        eprintln!("  ({name}: {runs} simulator runs per iteration)");
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_campaign);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Criterion bench P5: the dispatch hot path after the trait redesign.
+//!
+//! Measures (a) the pure per-dispatch cost — trait-object `on_dispatch`
+//! call vs the pre-0.2 enum-match equivalent and vs static dispatch —
+//! and (b) whole-simulation throughput through the boxed-policy engine,
+//! so regressions from the dynamic-dispatch migration stay visible.
+
+use acs_core::{synthesize_wcs, SynthesisOptions};
+use acs_model::units::{Cycles, Freq, Ticks, Time, Volt};
+use acs_model::{Task, TaskId, TaskSet};
+use acs_power::{FreqModel, Processor};
+use acs_sim::{DispatchContext, GreedyReclaim, Policy, SimOptions, Simulator};
+use acs_workloads::{cnc, TaskWorkloads};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// The old closed dispatch, reconstructed for comparison: a direct match
+/// over a copyable enum, no indirection.
+#[derive(Clone, Copy)]
+enum EnumPolicy {
+    NoDvs,
+    StaticSpeed,
+    GreedyReclaim,
+}
+
+fn enum_dispatch(policy: EnumPolicy, ctx: &DispatchContext<'_>) -> Freq {
+    match policy {
+        EnumPolicy::NoDvs => ctx.cpu.f_max(),
+        EnumPolicy::StaticSpeed => ctx.static_speed,
+        EnumPolicy::GreedyReclaim => {
+            let window = ctx.chunk_end - ctx.now;
+            if window.as_ms() <= 0.0 {
+                ctx.cpu.f_max()
+            } else {
+                ctx.chunk_budget_remaining / window
+            }
+        }
+    }
+}
+
+fn fixture() -> (TaskSet, Processor) {
+    let set = TaskSet::new(vec![Task::builder("t", Ticks::new(10))
+        .wcec(Cycles::from_cycles(400.0))
+        .acec(Cycles::from_cycles(150.0))
+        .bcec(Cycles::from_cycles(40.0))
+        .build()
+        .unwrap()])
+    .unwrap();
+    let cpu = Processor::builder(FreqModel::linear(50.0).unwrap())
+        .vmin(Volt::from_volts(0.3))
+        .vmax(Volt::from_volts(4.0))
+        .build()
+        .unwrap();
+    (set, cpu)
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let (set, cpu) = fixture();
+    let ctx = DispatchContext {
+        set: &set,
+        cpu: &cpu,
+        task: TaskId(0),
+        now: Time::from_ms(2.0),
+        chunk_end: Time::from_ms(6.0),
+        chunk_budget_remaining: Cycles::from_cycles(200.0),
+        static_speed: Freq::from_cycles_per_ms(77.0),
+    };
+
+    let mut g = c.benchmark_group("dispatch");
+    // The hot-path comparison: one speed decision.
+    let mut boxed: Box<dyn Policy> = Box::new(GreedyReclaim);
+    g.bench_function("trait_object_greedy", |b| {
+        b.iter(|| boxed.on_dispatch(black_box(&ctx)))
+    });
+    g.bench_function("enum_match_greedy", |b| {
+        b.iter(|| enum_dispatch(black_box(EnumPolicy::GreedyReclaim), black_box(&ctx)))
+    });
+    let mut concrete = GreedyReclaim;
+    g.bench_function("static_dispatch_greedy", |b| {
+        b.iter(|| concrete.on_dispatch(black_box(&ctx)))
+    });
+    g.bench_function("enum_match_static", |b| {
+        b.iter(|| enum_dispatch(black_box(EnumPolicy::StaticSpeed), black_box(&ctx)))
+    });
+    g.bench_function("enum_match_nodvs", |b| {
+        b.iter(|| enum_dispatch(black_box(EnumPolicy::NoDvs), black_box(&ctx)))
+    });
+    g.finish();
+
+    // End-to-end: the whole engine through the boxed policy (the number
+    // that actually matters for experiment throughput).
+    let fmax = Freq::from_cycles_per_ms(200.0);
+    let cnc_set = cnc(fmax, 0.1, 0.7).unwrap();
+    let schedule = synthesize_wcs(&cnc_set, &cpu, &SynthesisOptions::quick()).unwrap();
+    let mut g = c.benchmark_group("engine");
+    g.bench_function("greedy_cnc_20hp_boxed", |b| {
+        b.iter(|| {
+            let mut draws = TaskWorkloads::paper(&cnc_set, 11);
+            let out = Simulator::new(&cnc_set, &cpu, GreedyReclaim)
+                .with_schedule(&schedule)
+                .with_options(SimOptions {
+                    hyper_periods: 20,
+                    deadline_tol_ms: 1e-3,
+                    ..Default::default()
+                })
+                .run(&mut |t, i| draws.draw(t, i))
+                .unwrap();
+            black_box(out.report.energy)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

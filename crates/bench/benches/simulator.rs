@@ -2,10 +2,12 @@
 
 use acs_core::{synthesize_wcs, SynthesisOptions};
 use acs_model::units::Freq;
-use acs_sim::{DvsPolicy, SimOptions, Simulator};
+use acs_sim::{CcRm, GreedyReclaim, NoDvs, Policy, SimOptions, Simulator};
 use acs_workloads::{cnc, TaskWorkloads};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+
+type PolicyFactory = fn() -> Box<dyn Policy>;
 
 fn bench_simulator(c: &mut Criterion) {
     let fmax = Freq::from_cycles_per_ms(200.0);
@@ -17,21 +19,24 @@ fn bench_simulator(c: &mut Criterion) {
         .unwrap();
     let schedule = synthesize_wcs(&set, &cpu, &SynthesisOptions::quick()).unwrap();
 
+    let policies: [(&str, PolicyFactory); 3] = [
+        ("greedy_cnc_100hp", || Box::new(GreedyReclaim)),
+        ("nodvs_cnc_100hp", || Box::new(NoDvs)),
+        ("ccrm_cnc_100hp", || Box::new(CcRm::new())),
+    ];
     let mut g = c.benchmark_group("simulator");
-    for (name, policy) in [
-        ("greedy_cnc_100hp", DvsPolicy::GreedyReclaim),
-        ("nodvs_cnc_100hp", DvsPolicy::NoDvs),
-        ("ccrm_cnc_100hp", DvsPolicy::CcRm),
-    ] {
+    for (name, make) in policies {
         g.bench_function(name, |b| {
             b.iter(|| {
+                let policy = make();
                 let mut draws = TaskWorkloads::paper(&set, 11);
+                let needs_schedule = policy.needs_schedule();
                 let mut sim = Simulator::new(&set, &cpu, policy).with_options(SimOptions {
                     hyper_periods: 100,
                     deadline_tol_ms: 1e-3,
                     ..Default::default()
                 });
-                if policy.needs_schedule() {
+                if needs_schedule {
                     sim = sim.with_schedule(&schedule);
                 }
                 black_box(sim.run(&mut |t, i| draws.draw(t, i)).unwrap())

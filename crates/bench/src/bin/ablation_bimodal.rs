@@ -14,10 +14,12 @@
 
 use acs_bench::{standard_cpu, Scale};
 use acs_core::{synthesize_acs_best, synthesize_wcs, SynthesisOptions};
-use acs_sim::{improvement_over, DvsPolicy, SimOptions, Simulator, Summary};
+use acs_sim::{improvement_over, GreedyReclaim, SimOptions, Simulator, Summary};
 use acs_workloads::{generate, RandomSetConfig, TaskWorkloads, WorkloadDist};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+type ShapeFn = fn(&acs_model::Task) -> WorkloadDist;
 
 fn main() {
     let scale = Scale::from_env();
@@ -29,7 +31,7 @@ fn main() {
         scale.task_sets, scale.hyper_periods
     );
 
-    let shapes: [(&str, fn(&acs_model::Task) -> WorkloadDist); 3] = [
+    let shapes: [(&str, ShapeFn); 3] = [
         ("truncated normal (paper)", WorkloadDist::paper_normal),
         ("uniform [BCEC, WCEC]", |t| WorkloadDist::Uniform {
             lo: t.bcec().as_cycles(),
@@ -62,7 +64,7 @@ fn main() {
             let mut energies = [0.0f64; 2];
             for (j, schedule) in [&wcs, &acs].into_iter().enumerate() {
                 let mut draws = TaskWorkloads::from_dists(dists.clone(), seed ^ 0xA4);
-                let out = Simulator::new(&set, &cpu, DvsPolicy::GreedyReclaim)
+                let out = Simulator::new(&set, &cpu, GreedyReclaim)
                     .with_schedule(schedule)
                     .with_options(SimOptions {
                         hyper_periods: scale.hyper_periods,
@@ -84,9 +86,18 @@ fn main() {
         }
     }
 
-    println!("{:<28} {:>10} {:>8} {:>8}", "workload shape", "mean", "std", "misses");
+    println!(
+        "{:<28} {:>10} {:>8} {:>8}",
+        "workload shape", "mean", "std", "misses"
+    );
     for ((name, _), (s, m)) in shapes.iter().zip(summaries.iter().zip(&misses)) {
-        println!("{:<28} {:>9.1}% {:>8.1} {:>8}", name, s.mean(), s.std_dev(), m);
+        println!(
+            "{:<28} {:>9.1}% {:>8.1} {:>8}",
+            name,
+            s.mean(),
+            s.std_dev(),
+            m
+        );
     }
     println!(
         "\nNote: the schedules are synthesized against the ACEC (normal-shape

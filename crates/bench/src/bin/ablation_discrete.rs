@@ -37,10 +37,22 @@ fn main() {
     let scale = Scale::from_env();
     let opts = SynthesisOptions::default();
     let variants: Vec<(String, Processor)> = vec![
-        ("continuous, free switch".into(), processor(None, TransitionOverhead::NONE)),
-        ("4 levels".into(), processor(Some(4), TransitionOverhead::NONE)),
-        ("8 levels".into(), processor(Some(8), TransitionOverhead::NONE)),
-        ("16 levels".into(), processor(Some(16), TransitionOverhead::NONE)),
+        (
+            "continuous, free switch".into(),
+            processor(None, TransitionOverhead::NONE),
+        ),
+        (
+            "4 levels".into(),
+            processor(Some(4), TransitionOverhead::NONE),
+        ),
+        (
+            "8 levels".into(),
+            processor(Some(8), TransitionOverhead::NONE),
+        ),
+        (
+            "16 levels".into(),
+            processor(Some(16), TransitionOverhead::NONE),
+        ),
         (
             "overhead 10µs/10eu".into(),
             processor(
@@ -68,7 +80,10 @@ fn main() {
          (6-task sets, ratio 0.1; {} sets x {} hyper-periods)\n",
         scale.task_sets, scale.hyper_periods
     );
-    println!("{:<26} {:>10} {:>8} {:>8}", "processor", "mean", "std", "misses");
+    println!(
+        "{:<26} {:>10} {:>8} {:>8}",
+        "processor", "mean", "std", "misses"
+    );
     for (name, cpu) in &variants {
         let mut s = Summary::new();
         let mut misses = 0usize;
@@ -86,7 +101,13 @@ fn main() {
                 Err(e) => eprintln!("  [{name} set {set_idx}] {e}"),
             }
         }
-        println!("{:<26} {:>9.1}% {:>8.1} {:>8}", name, s.mean(), s.std_dev(), misses);
+        println!(
+            "{:<26} {:>9.1}% {:>8.1} {:>8}",
+            name,
+            s.mean(),
+            s.std_dev(),
+            misses
+        );
     }
     println!(
         "\nExpected: improvements shrink slightly with coarser levels and \

@@ -68,7 +68,10 @@ fn main() {
             }
         }
     }
-    println!("{:<24} {:>10} {:>8} {:>8} {:>8}", "objective", "mean", "std", "min", "max");
+    println!(
+        "{:<24} {:>10} {:>8} {:>8} {:>8}",
+        "objective", "mean", "std", "min", "max"
+    );
     for ((name, _), s) in variants.iter().zip(&summaries) {
         println!(
             "{:<24} {:>9.1}% {:>8.1} {:>7.1}% {:>7.1}%",

@@ -3,18 +3,18 @@
 //! Crosses {WCS, ACS} offline schedules with the four online policies to
 //! separate the value of (a) static voltage scheduling, (b) greedy slack
 //! reclamation, and (c) the average-case-aware end times, against a
-//! purely online cycle-conserving baseline.
+//! purely online cycle-conserving baseline. The sweep is one
+//! [`Campaign`]: 4 policies × schedules × random sets in a single
+//! parallel grid (schedule-free policies run once, unscheduled).
 //!
 //! ```sh
 //! cargo run --release -p acs-bench --bin ablation_policies
 //! ```
 
-use acs_bench::{standard_cpu, Scale};
-use acs_core::{synthesize_acs_best, synthesize_wcs, SynthesisOptions};
-use acs_sim::{DvsPolicy, SimOptions, Simulator, Summary};
-use acs_workloads::{generate, RandomSetConfig, TaskWorkloads};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use acs_bench::{random_paper_sets, standard_cpu, Scale};
+use acs_core::SynthesisOptions;
+use acs_runtime::{Campaign, PolicySpec, ScheduleChoice, WorkloadSpec};
+use acs_sim::Summary;
 
 fn main() {
     let scale = Scale::from_env();
@@ -25,62 +25,82 @@ fn main() {
         scale.task_sets, scale.hyper_periods
     );
 
-    let mut rows: Vec<(String, Summary, usize)> = vec![
-        ("no-DVS (fmax + shutdown)".into(), Summary::new(), 0),
-        ("ccRM (online only)".into(), Summary::new(), 0),
-        ("WCS + static speeds".into(), Summary::new(), 0),
-        ("WCS + greedy reclaim".into(), Summary::new(), 0),
-        ("ACS + static speeds".into(), Summary::new(), 0),
-        ("ACS + greedy reclaim".into(), Summary::new(), 0),
-    ];
+    let sets = random_paper_sets(6, 0.1, scale.task_sets, scale.seed, cpu.f_max());
+    let set_names: Vec<String> = sets.iter().map(|(n, _)| n.clone()).collect();
+    let report = Campaign::builder()
+        .task_sets(sets)
+        .processor("linear", cpu)
+        .schedules([ScheduleChoice::Wcs, ScheduleChoice::Acs])
+        .policy(PolicySpec::no_dvs())
+        .policy(PolicySpec::ccrm())
+        .policy(PolicySpec::static_speed())
+        .policy(PolicySpec::greedy())
+        .workload(WorkloadSpec::Paper)
+        .seeds([scale.seed ^ 0xA2])
+        .hyper_periods(scale.hyper_periods)
+        .synthesis(SynthesisOptions::default())
+        .acs_multistart(true)
+        .build()
+        .expect("non-empty ablation grid")
+        .run();
 
-    for set_idx in 0..scale.task_sets {
-        let seed = scale.seed + set_idx as u64;
-        let cfg = RandomSetConfig::paper(6, 0.1, cpu.f_max());
-        let Ok(set) = generate(&cfg, &mut StdRng::seed_from_u64(seed)) else {
+    let rows: [(&str, ScheduleChoice, &str); 6] = [
+        (
+            "no-DVS (fmax + shutdown)",
+            ScheduleChoice::Unscheduled,
+            "no-dvs",
+        ),
+        ("ccRM (online only)", ScheduleChoice::Unscheduled, "ccrm"),
+        ("WCS + static speeds", ScheduleChoice::Wcs, "static"),
+        ("WCS + greedy reclaim", ScheduleChoice::Wcs, "greedy"),
+        ("ACS + static speeds", ScheduleChoice::Acs, "static"),
+        ("ACS + greedy reclaim", ScheduleChoice::Acs, "greedy"),
+    ];
+    let mut summaries = vec![Summary::new(); rows.len()];
+    let mut misses = vec![0usize; rows.len()];
+    for name in &set_names {
+        let Some(base) = report
+            .find(
+                name,
+                "linear",
+                ScheduleChoice::Unscheduled,
+                "no-dvs",
+                "paper-normal",
+            )
+            .and_then(|c| c.stats())
+            .map(|s| s.mean_energy.as_units())
+        else {
             continue;
         };
-        let opts = SynthesisOptions::default();
-        let Ok(wcs) = synthesize_wcs(&set, &cpu, &opts) else {
-            continue;
-        };
-        let Ok(acs) = synthesize_acs_best(&set, &cpu, &opts, &wcs) else {
-            continue;
-        };
-        let configs: Vec<(DvsPolicy, Option<&acs_core::StaticSchedule>)> = vec![
-            (DvsPolicy::NoDvs, None),
-            (DvsPolicy::CcRm, None),
-            (DvsPolicy::StaticSpeed, Some(&wcs)),
-            (DvsPolicy::GreedyReclaim, Some(&wcs)),
-            (DvsPolicy::StaticSpeed, Some(&acs)),
-            (DvsPolicy::GreedyReclaim, Some(&acs)),
-        ];
-        let mut base = None;
-        for (i, (policy, schedule)) in configs.into_iter().enumerate() {
-            let mut draws = TaskWorkloads::paper(&set, seed ^ 0xA2);
-            let mut sim = Simulator::new(&set, &cpu, policy).with_options(SimOptions {
-                hyper_periods: scale.hyper_periods,
-                deadline_tol_ms: 1e-3,
-                ..Default::default()
-            });
-            if let Some(s) = schedule {
-                sim = sim.with_schedule(s);
-            }
-            match sim.run(&mut |t, j| draws.draw(t, j)) {
-                Ok(out) => {
-                    let e = out.report.energy.as_units();
-                    let b = *base.get_or_insert(e);
-                    rows[i].1.push(100.0 * e / b);
-                    rows[i].2 += out.report.deadline_misses;
-                }
-                Err(e) => eprintln!("  [set {set_idx} row {i}] {e}"),
+        for (i, (_, schedule, policy)) in rows.iter().enumerate() {
+            if let Some(stats) = report
+                .find(name, "linear", *schedule, policy, "paper-normal")
+                .and_then(|c| c.stats())
+            {
+                summaries[i].push(100.0 * stats.mean_energy.as_units() / base);
+                misses[i] += stats.deadline_misses;
             }
         }
     }
 
-    println!("{:<28} {:>10} {:>8} {:>8}", "configuration", "energy", "std", "misses");
-    for (name, s, misses) in &rows {
-        println!("{:<28} {:>10.1} {:>8.1} {:>8}", name, s.mean(), s.std_dev(), misses);
+    println!(
+        "{:<28} {:>10} {:>8} {:>8}",
+        "configuration", "energy", "std", "misses"
+    );
+    for (i, (label, _, _)) in rows.iter().enumerate() {
+        println!(
+            "{:<28} {:>10.1} {:>8.1} {:>8}",
+            label,
+            summaries[i].mean(),
+            summaries[i].std_dev(),
+            misses[i]
+        );
+    }
+    for (cell, err) in report.failures() {
+        eprintln!(
+            "  [{} {} {}] {err}",
+            cell.task_set, cell.schedule, cell.policy
+        );
     }
     println!(
         "\nExpected ordering: no-DVS > static-only > greedy; ACS+greedy \

@@ -85,7 +85,11 @@ fn main() {
     let mut energies = Vec::new();
     for (name, sched, totals) in rows {
         let tr = evaluate_trace(sched, &set, &cpu, totals, SpeedBasis::WorstRemaining);
-        let fins: Vec<String> = tr.finish.iter().map(|f| format!("{:.2}", f.as_ms())).collect();
+        let fins: Vec<String> = tr
+            .finish
+            .iter()
+            .map(|f| format!("{:.2}", f.as_ms()))
+            .collect();
         println!(
             "{:<36} {:>10.0} {:>26}",
             name,

@@ -1,23 +1,21 @@
 //! **Figure 6(b)** — energy improvement of ACS over WCS on the two
-//! real-life applications, CNC and GAP, across the BCEC/WCEC sweep.
+//! real-life applications, CNC and GAP, across the BCEC/WCEC sweep —
+//! expressed as one [`Campaign`] grid (10 application instances ×
+//! {WCS, ACS} × greedy).
 //!
 //! ```sh
 //! cargo run --release -p acs-bench --bin fig6b_cnc_gap
 //! ACS_PAPER_SCALE=1 cargo run --release -p acs-bench --bin fig6b_cnc_gap
 //! ```
 
-use acs_bench::{compare_acs_wcs, standard_cpu, Scale};
+use acs_bench::{standard_cpu, Scale};
 use acs_core::SynthesisOptions;
-use acs_model::TaskSet;
+use acs_runtime::{Campaign, PolicySpec, ScheduleChoice, WorkloadSpec};
 use acs_workloads::{cnc, gap};
-
-/// A named builder of a real-life task set for one BCEC/WCEC ratio.
-type AppBuilder<'a> = (&'a str, Box<dyn Fn(f64) -> TaskSet + 'a>);
 
 fn main() {
     let scale = Scale::from_env();
     let cpu = standard_cpu();
-    let opts = SynthesisOptions::default();
     const RATIOS: [f64; 5] = [0.1, 0.3, 0.5, 0.7, 0.9];
 
     println!(
@@ -25,41 +23,55 @@ fn main() {
          ({} hyper-periods per cell)\n",
         scale.hyper_periods
     );
-    println!("{:>10} {:>10} {:>10}", "BCEC/WCEC", "CNC", "GAP");
 
-    let apps: Vec<AppBuilder> = vec![
-        (
-            "CNC",
-            Box::new(|r| cnc(cpu.f_max(), r, 0.7).expect("valid CNC parameters")),
-        ),
-        (
-            "GAP",
-            Box::new(|r| gap(cpu.f_max(), r, 0.7).expect("valid GAP parameters")),
-        ),
-    ];
-
-    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); apps.len()];
+    let mut builder = Campaign::builder()
+        .processor("linear", cpu.clone())
+        .schedules([ScheduleChoice::Wcs, ScheduleChoice::Acs])
+        .policy(PolicySpec::greedy())
+        .workload(WorkloadSpec::Paper)
+        .seeds([scale.seed])
+        .hyper_periods(scale.hyper_periods)
+        .synthesis(SynthesisOptions::default())
+        .acs_multistart(true);
     for &ratio in &RATIOS {
-        for (i, (name, build)) in apps.iter().enumerate() {
-            let set = build(ratio);
-            match compare_acs_wcs(&set, &cpu, &opts, scale.hyper_periods, scale.seed) {
-                Ok(c) => {
-                    assert_eq!(c.misses, 0, "{name} missed deadlines");
-                    columns[i].push(100.0 * c.improvement);
-                }
-                Err(e) => {
-                    eprintln!("  [{name} ratio={ratio}] {e}");
-                    columns[i].push(f64::NAN);
-                }
-            }
-        }
+        builder = builder
+            .task_set(
+                format!("CNC@{ratio:.1}"),
+                cnc(cpu.f_max(), ratio, 0.7).expect("valid CNC parameters"),
+            )
+            .task_set(
+                format!("GAP@{ratio:.1}"),
+                gap(cpu.f_max(), ratio, 0.7).expect("valid GAP parameters"),
+            );
     }
-    for (row, &ratio) in RATIOS.iter().enumerate() {
-        println!(
-            "{:>10.1} {:>9.1}% {:>9.1}%",
-            ratio, columns[0][row], columns[1][row]
+    let report = builder.build().expect("non-empty figure grid").run();
+
+    println!("{:>10} {:>10} {:>10}", "BCEC/WCEC", "CNC", "GAP");
+    for &ratio in &RATIOS {
+        let col = |app: &str| {
+            report
+                .gain(
+                    &format!("{app}@{ratio:.1}"),
+                    "linear",
+                    "greedy",
+                    "paper-normal",
+                )
+                .map(|g| 100.0 * g)
+                .unwrap_or(f64::NAN)
+        };
+        println!("{ratio:>10.1} {:>9.1}% {:>9.1}%", col("CNC"), col("GAP"));
+    }
+    for (cell, err) in report.failures() {
+        eprintln!(
+            "  [{} {} {}] {err}",
+            cell.task_set, cell.schedule, cell.policy
         );
     }
+    assert_eq!(
+        report.total_deadline_misses(),
+        0,
+        "hard deadlines must hold"
+    );
     println!(
         "\nPaper's reported shape: ≈41% (CNC) and ≈30% (GAP) at ratio 0.1, \
          both decaying toward 0 at ratio 0.9."

@@ -16,11 +16,13 @@
 #![warn(missing_docs)]
 
 use acs_core::{synthesize_acs_best, synthesize_wcs, StaticSchedule, SynthesisOptions};
-use acs_model::units::{Energy, Volt};
+use acs_model::units::{Energy, Freq, Volt};
 use acs_model::TaskSet;
 use acs_power::{FreqModel, Processor};
-use acs_sim::{DvsPolicy, SimOptions, Simulator};
-use acs_workloads::TaskWorkloads;
+use acs_sim::{GreedyReclaim, SimOptions, Simulator};
+use acs_workloads::{generate, RandomSetConfig, TaskWorkloads};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 /// Scale knobs for the experiment binaries.
 #[derive(Debug, Clone, Copy)]
@@ -36,7 +38,9 @@ pub struct Scale {
 impl Scale {
     /// Reads the scale from the environment (see crate docs).
     pub fn from_env() -> Self {
-        let paper = std::env::var("ACS_PAPER_SCALE").map(|v| v == "1").unwrap_or(false);
+        let paper = std::env::var("ACS_PAPER_SCALE")
+            .map(|v| v == "1")
+            .unwrap_or(false);
         let mut s = if paper {
             Scale {
                 task_sets: 100,
@@ -134,7 +138,7 @@ pub fn run_greedy(
     seed: u64,
 ) -> Result<(Energy, usize), String> {
     let mut draws = TaskWorkloads::paper(set, seed);
-    let out = Simulator::new(set, cpu, DvsPolicy::GreedyReclaim)
+    let out = Simulator::new(set, cpu, GreedyReclaim)
         .with_schedule(schedule)
         .with_options(SimOptions {
             hyper_periods,
@@ -144,6 +148,34 @@ pub fn run_greedy(
         .run(&mut |t, i| draws.draw(t, i))
         .map_err(|e| e.to_string())?;
     Ok((out.report.energy, out.report.deadline_misses))
+}
+
+/// Generates `count` named paper-style random task sets for one
+/// `(num_tasks, ratio)` experiment cell, ready for
+/// `acs_runtime::CampaignBuilder::task_sets`. Names are
+/// `n{num_tasks:02}_r{ratio:.1}_s{idx:03}`, unique across cells; the
+/// per-set generator seed is `master_seed + idx` (deterministic).
+/// Generation failures are logged to stderr and skipped.
+pub fn random_paper_sets(
+    num_tasks: usize,
+    ratio: f64,
+    count: usize,
+    master_seed: u64,
+    f_max: Freq,
+) -> Vec<(String, TaskSet)> {
+    let cfg = RandomSetConfig::paper(num_tasks, ratio, f_max);
+    (0..count)
+        .filter_map(|idx| {
+            let seed = master_seed + idx as u64;
+            match generate(&cfg, &mut StdRng::seed_from_u64(seed)) {
+                Ok(set) => Some((format!("n{num_tasks:02}_r{ratio:.1}_s{idx:03}"), set)),
+                Err(e) => {
+                    eprintln!("  [n={num_tasks} ratio={ratio} set={idx}] generation: {e}");
+                    None
+                }
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,202 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment for this workspace has no access to a crate
+//! registry, so the API subset the workspace's benches use is vendored
+//! here: [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], [`criterion_group!`] and [`criterion_main!`].
+//!
+//! Methodology (simpler than upstream, adequate for regression tracking):
+//! each bench is warmed up for [`Criterion::warm_up_time`], the iteration
+//! count is chosen to fill [`Criterion::measurement_time`], and the mean,
+//! best and worst per-iteration times over that window are printed.
+//! `CRITERION_QUICK=1` shrinks both windows 10x for smoke runs.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration timing loop handed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine` (its result is black-boxed).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark harness.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    /// Warm-up window per bench.
+    pub warm_up_time: Duration,
+    /// Measurement window per bench.
+    pub measurement_time: Duration,
+    /// Measurement batches (mean/best/worst are over these).
+    pub sample_count: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::var("CRITERION_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+        let scale = if quick { 10 } else { 1 };
+        Criterion {
+            warm_up_time: Duration::from_millis(300 / scale),
+            measurement_time: Duration::from_millis(1500 / scale),
+            sample_count: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named bench.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(self, name, f);
+        self
+    }
+
+    /// Starts a named group of benches.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            sample_count: None,
+            _name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benches (upstream-compatible surface).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    /// Group-scoped override; as in upstream, it dies with the group.
+    sample_count: Option<usize>,
+    _name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one named bench within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let mut config = self.criterion.clone();
+        if let Some(n) = self.sample_count {
+            config.sample_count = n;
+        }
+        run_bench(&config, name, f);
+        self
+    }
+
+    /// Overrides the batch count for this group only.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = Some(n.max(2));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(c: &Criterion, name: &str, mut f: F) {
+    // Warm-up: single iterations until the window closes; the observed
+    // rate sizes the measurement batches.
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    while warm_start.elapsed() < c.warm_up_time || warm_iters == 0 {
+        f(&mut b);
+        warm_iters += 1;
+    }
+    let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+    let samples = c.sample_count.max(2);
+    let budget = c.measurement_time.as_secs_f64() / samples as f64;
+    let iters_per_sample = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000_000);
+
+    let (mut best, mut worst, mut total) = (f64::INFINITY, 0.0f64, 0.0f64);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let t = b.elapsed.as_secs_f64() / iters_per_sample as f64;
+        best = best.min(t);
+        worst = worst.max(t);
+        total += t;
+    }
+    let mean = total / samples as f64;
+    println!(
+        "  {name:<40} mean {:>12}  best {:>12}  worst {:>12}  ({} x {} iters)",
+        fmt_time(mean),
+        fmt_time(best),
+        fmt_time(worst),
+        samples,
+        iters_per_sample
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} us", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Bundles bench functions into one named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_times_a_trivial_routine() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion {
+            warm_up_time: Duration::from_millis(5),
+            measurement_time: Duration::from_millis(20),
+            sample_count: 3,
+        };
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2)
+            .bench_function("noop2", |b| b.iter(|| 2 + 2));
+        g.finish();
+    }
+}

@@ -86,7 +86,9 @@ mod tests {
         let e = CoreError::from(ModelError::EmptyTaskSet);
         assert!(e.to_string().contains("task model"));
         assert!(e.source().is_some());
-        let s = CoreError::SolveFailed { max_violation: 1e-2 };
+        let s = CoreError::SolveFailed {
+            max_violation: 1e-2,
+        };
         assert!(s.to_string().contains("1.000e-2"));
         assert!(s.source().is_none());
     }

@@ -19,8 +19,8 @@
 use crate::error::CoreError;
 use crate::schedule::{Milestone, ScheduleKind, SolveDiagnostics, StaticSchedule};
 use acs_model::units::{Cycles, Energy, Time};
-use acs_preempt::{FullyPreemptiveSchedule, SubInstanceId};
 use acs_model::TaskSet;
+use acs_preempt::{FullyPreemptiveSchedule, SubInstanceId};
 
 /// Serializes a schedule to the v1 text format.
 pub fn to_text(schedule: &StaticSchedule) -> String {
@@ -37,7 +37,10 @@ pub fn to_text(schedule: &StaticSchedule) -> String {
         }
     );
     let _ = writeln!(out, "subs {}", schedule.milestones().len());
-    let _ = writeln!(out, "# sub task instance chunk end_ms worst_cycles avg_cycles");
+    let _ = writeln!(
+        out,
+        "# sub task instance chunk end_ms worst_cycles avg_cycles"
+    );
     for m in schedule.milestones() {
         let s = schedule.fps().sub(m.sub);
         let _ = writeln!(
@@ -80,14 +83,18 @@ pub fn from_text(text: &str, set: &TaskSet) -> Result<StaticSchedule, CoreError>
     if header != "acsched-schedule v1" {
         return Err(bad(format!("unsupported header `{header}`")));
     }
-    let kind_line = lines.next().ok_or_else(|| bad("missing kind line".into()))?;
+    let kind_line = lines
+        .next()
+        .ok_or_else(|| bad("missing kind line".into()))?;
     let kind = match kind_line.strip_prefix("kind ") {
         Some("ACS") => ScheduleKind::Acs,
         Some("WCS") => ScheduleKind::Wcs,
         Some("CUSTOM") => ScheduleKind::Custom,
         _ => return Err(bad(format!("bad kind line `{kind_line}`"))),
     };
-    let subs_line = lines.next().ok_or_else(|| bad("missing subs line".into()))?;
+    let subs_line = lines
+        .next()
+        .ok_or_else(|| bad("missing subs line".into()))?;
     let count: usize = subs_line
         .strip_prefix("subs ")
         .and_then(|v| v.parse().ok())

@@ -56,7 +56,10 @@ mod tests {
     #[test]
     fn paper_fig5_example() {
         // ACEC 15, three chunks of WCEC 10 each → (10, 5, 0).
-        assert_eq!(fill_amounts(&[10.0, 10.0, 10.0], 15.0), vec![10.0, 5.0, 0.0]);
+        assert_eq!(
+            fill_amounts(&[10.0, 10.0, 10.0], 15.0),
+            vec![10.0, 5.0, 0.0]
+        );
     }
 
     #[test]

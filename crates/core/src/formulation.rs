@@ -32,10 +32,10 @@
 use crate::quantile::truncated_normal_strata;
 use crate::trace::SpeedBasis;
 use acs_model::TaskSet;
-use acs_power::{FreqModel, Processor};
-use acs_preempt::FullyPreemptiveSchedule;
 use acs_opt::problem::{ConstrainedProblem, ProblemExprs};
 use acs_opt::tape::{Expr, Graph};
+use acs_power::{FreqModel, Processor};
+use acs_preempt::FullyPreemptiveSchedule;
 
 /// Objective flavor for schedule synthesis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,17 +97,29 @@ impl<'a> ScheduleProblem<'a> {
         let scenarios = match objective {
             ObjectiveKind::AcecTrace => vec![Scenario {
                 weight: 1.0,
-                totals_ms: set.tasks().iter().map(|t| scale(t.acec().as_cycles())).collect(),
+                totals_ms: set
+                    .tasks()
+                    .iter()
+                    .map(|t| scale(t.acec().as_cycles()))
+                    .collect(),
                 basis: SpeedBasis::WorstRemaining,
             }],
             ObjectiveKind::PaperIdealSpeed => vec![Scenario {
                 weight: 1.0,
-                totals_ms: set.tasks().iter().map(|t| scale(t.acec().as_cycles())).collect(),
+                totals_ms: set
+                    .tasks()
+                    .iter()
+                    .map(|t| scale(t.acec().as_cycles()))
+                    .collect(),
                 basis: SpeedBasis::AverageWork,
             }],
             ObjectiveKind::WorstCase => vec![Scenario {
                 weight: 1.0,
-                totals_ms: set.tasks().iter().map(|t| scale(t.wcec().as_cycles())).collect(),
+                totals_ms: set
+                    .tasks()
+                    .iter()
+                    .map(|t| scale(t.wcec().as_cycles()))
+                    .collect(),
                 basis: SpeedBasis::WorstRemaining,
             }],
             ObjectiveKind::Quantiles(n) => {
@@ -142,11 +154,7 @@ impl<'a> ScheduleProblem<'a> {
         let norm: f64 = set
             .iter()
             .map(|(id, t)| {
-                t.c_eff()
-                    * vmax
-                    * vmax
-                    * t.wcec().as_cycles()
-                    * fps.instances_of(id) as f64
+                t.c_eff() * vmax * vmax * t.wcec().as_cycles() * fps.instances_of(id) as f64
             })
             .sum::<f64>()
             .max(1e-12);
@@ -173,7 +181,11 @@ impl<'a> ScheduleProblem<'a> {
     ///
     /// Panics if the dimension does not match `2 · num_subs()`.
     pub fn set_warm_start(&mut self, x0: Vec<f64>) {
-        assert_eq!(x0.len(), 2 * self.fps.len(), "warm start dimension mismatch");
+        assert_eq!(
+            x0.len(),
+            2 * self.fps.len(),
+            "warm start dimension mismatch"
+        );
         self.warm_start = Some(x0);
     }
 

@@ -70,6 +70,9 @@ pub use error::CoreError;
 pub use export::{from_text, to_text};
 pub use formulation::{ObjectiveKind, ScheduleProblem};
 pub use schedule::{Milestone, ScheduleKind, SolveDiagnostics, StaticSchedule};
-pub use synthesis::{synthesize_acs, synthesize_acs_best, synthesize_acs_warm, synthesize_wcs, SynthesisOptions};
+pub use synthesis::{
+    synthesize_acs, synthesize_acs_best, synthesize_acs_warm, synthesize_wcs, synthesize_wcs_warm,
+    SynthesisOptions,
+};
 pub use trace::{evaluate_trace, SpeedBasis, TraceOutcome};
 pub use verify::{verify_worst_case, Violation, ViolationKind, WorstCaseReport};

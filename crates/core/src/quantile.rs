@@ -19,7 +19,8 @@ pub fn normal_cdf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * z.abs());
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     let erf_abs = 1.0 - poly * (-z * z).exp();
     let erf = if z >= 0.0 { erf_abs } else { -erf_abs };
     0.5 * (1.0 + erf)
@@ -33,7 +34,10 @@ pub fn normal_cdf(x: f64) -> f64 {
 ///
 /// Panics unless `0 < p < 1`.
 pub fn normal_inverse_cdf(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "probability must lie in (0, 1), got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "probability must lie in (0, 1), got {p}"
+    );
     const A: [f64; 6] = [
         -3.969_683_028_665_376e1,
         2.209_460_984_245_205e2,
@@ -109,13 +113,25 @@ pub struct WeightedValue {
 /// # Panics
 ///
 /// Panics if `n == 0` or `lo > hi`.
-pub fn truncated_normal_strata(mean: f64, sd: f64, lo: f64, hi: f64, n: usize) -> Vec<WeightedValue> {
+pub fn truncated_normal_strata(
+    mean: f64,
+    sd: f64,
+    lo: f64,
+    hi: f64,
+    n: usize,
+) -> Vec<WeightedValue> {
     assert!(n > 0, "need at least one stratum");
     assert!(lo <= hi, "invalid truncation interval [{lo}, {hi}]");
     let w = 1.0 / n as f64;
     if sd <= 0.0 || hi - lo <= 0.0 {
         let v = mean.clamp(lo, hi);
-        return vec![WeightedValue { weight: w, value: v }; n];
+        return vec![
+            WeightedValue {
+                weight: w,
+                value: v
+            };
+            n
+        ];
     }
     let a = normal_cdf((lo - mean) / sd);
     let b = normal_cdf((hi - mean) / sd);

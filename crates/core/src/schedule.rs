@@ -255,8 +255,7 @@ mod tests {
     #[test]
     fn rejects_wrong_count() {
         let f = fps();
-        let err =
-            StaticSchedule::from_parts(f, vec![], ScheduleKind::Wcs, diag()).unwrap_err();
+        let err = StaticSchedule::from_parts(f, vec![], ScheduleKind::Wcs, diag()).unwrap_err();
         assert!(matches!(err, CoreError::ScheduleMismatch { .. }));
     }
 

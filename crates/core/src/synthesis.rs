@@ -109,7 +109,13 @@ pub fn synthesize_wcs(
     cpu: &Processor,
     options: &SynthesisOptions,
 ) -> Result<StaticSchedule, CoreError> {
-    synthesize(set, cpu, options, ObjectiveKind::WorstCase, ScheduleKind::Wcs)
+    synthesize(
+        set,
+        cpu,
+        options,
+        ObjectiveKind::WorstCase,
+        ScheduleKind::Wcs,
+    )
 }
 
 /// Synthesizes the ACS schedule **warm-started from an existing feasible
@@ -130,6 +136,55 @@ pub fn synthesize_acs_warm(
     options: &SynthesisOptions,
     warm: &StaticSchedule,
 ) -> Result<StaticSchedule, CoreError> {
+    synthesize_warm(
+        set,
+        cpu,
+        options,
+        warm,
+        options.objective,
+        ScheduleKind::Acs,
+    )
+}
+
+/// Synthesizes the WCS baseline **warm-started from an existing feasible
+/// schedule** (typically a previous WCS solve). This is the continuation
+/// analog of [`synthesize_acs_warm`]: it gives the worst-case objective
+/// the same second solve the ACS side gets, which matters when comparing
+/// the two approaches at matched solver effort (e.g. the
+/// `no_variation_means_no_advantage` end-to-end test, where ACEC = WCEC
+/// makes both objectives identical and any residual gap is pure solver
+/// under-convergence).
+///
+/// # Errors
+///
+/// Same as [`synthesize_acs_warm`].
+pub fn synthesize_wcs_warm(
+    set: &TaskSet,
+    cpu: &Processor,
+    options: &SynthesisOptions,
+    warm: &StaticSchedule,
+) -> Result<StaticSchedule, CoreError> {
+    synthesize_warm(
+        set,
+        cpu,
+        options,
+        warm,
+        ObjectiveKind::WorstCase,
+        ScheduleKind::Wcs,
+    )
+}
+
+/// Shared warm-start path: checks `warm` against the current expansion,
+/// packs its milestones into the solver's `x0` layout (`[e_u; R̂_u/f_max]`),
+/// and re-solves under the given objective/kind.
+fn synthesize_warm(
+    set: &TaskSet,
+    cpu: &Processor,
+    options: &SynthesisOptions,
+    warm: &StaticSchedule,
+    objective: ObjectiveKind,
+    kind: ScheduleKind,
+) -> Result<StaticSchedule, CoreError> {
     let fps = FullyPreemptiveSchedule::expand_capped(set, options.sub_instance_cap)?;
     if warm.fps() != &fps {
         return Err(CoreError::ScheduleMismatch {
@@ -143,14 +198,7 @@ pub fn synthesize_acs_warm(
         x0[u] = ms.end_time.as_ms();
         x0[m + u] = ms.worst_workload.as_cycles() / fmax;
     }
-    synthesize_with_start(
-        set,
-        cpu,
-        options,
-        options.objective,
-        ScheduleKind::Acs,
-        Some(x0),
-    )
+    synthesize_with_start(set, cpu, options, objective, kind, Some(x0))
 }
 
 /// Multi-start ACS synthesis: solves from both the heuristic cold start
@@ -346,12 +394,14 @@ fn synthesize_with_start(
     )?;
 
     // ---- acceptance gate + predicted energies ----
-    let report = verify::verify_worst_case(&schedule, set, cpu, options.verify_tol_ms)
-        .map_err(|viols| CoreError::SolveFailed {
-            max_violation: viols
-                .iter()
-                .map(|v| v.amount.abs())
-                .fold(result.max_violation, f64::max),
+    let report =
+        verify::verify_worst_case(&schedule, set, cpu, options.verify_tol_ms).map_err(|viols| {
+            CoreError::SolveFailed {
+                max_violation: viols
+                    .iter()
+                    .map(|v| v.amount.abs())
+                    .fold(result.max_violation, f64::max),
+            }
         })?;
     // Second, end-to-end gate: replay the exact all-WCEC runtime trace
     // and require every *deadline* to hold. The structural check above
@@ -511,9 +561,7 @@ mod tests {
         let acs = synthesize_acs(&set, &cpu, &opts).unwrap();
         let wcs = synthesize_wcs(&set, &cpu, &opts).unwrap();
         assert!(verify::verify_worst_case(&acs, &set, &cpu, 1e-5).is_ok());
-        assert!(
-            acs.diagnostics().predicted_avg_energy <= wcs.diagnostics().predicted_avg_energy
-        );
+        assert!(acs.diagnostics().predicted_avg_energy <= wcs.diagnostics().predicted_avg_energy);
         // Conservation: every instance's chunks sum to WCEC.
         for (tid, task) in set.iter() {
             for inst in 0..acs.fps().instances_of(tid) {

@@ -275,7 +275,11 @@ mod tests {
             &acec_totals(&set),
             SpeedBasis::WorstRemaining,
         );
-        assert!((out.energy.as_units() - 6000.0).abs() < 1e-9, "E = {}", out.energy);
+        assert!(
+            (out.energy.as_units() - 6000.0).abs() < 1e-9,
+            "E = {}",
+            out.energy
+        );
         // Improvement over Fig. 1(b).
         let improvement = 1.0 - 6000.0_f64 / 7961.0;
         assert!((improvement - 0.246).abs() < 0.01);

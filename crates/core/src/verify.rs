@@ -124,7 +124,11 @@ pub fn verify_worst_case(
                     amount: -slack,
                 });
             } else {
-                let speed = if window.as_ms() > 0.0 { w / window } else { fmax };
+                let speed = if window.as_ms() > 0.0 {
+                    w / window
+                } else {
+                    fmax
+                };
                 let speed = speed.min(fmax);
                 max_speed = max_speed.max(speed);
                 min_slack = min_slack.min(slack);
@@ -164,7 +168,11 @@ pub fn verify_worst_case(
         Ok(WorstCaseReport {
             energy,
             max_speed,
-            min_slack_ms: if min_slack.is_finite() { min_slack } else { 0.0 },
+            min_slack_ms: if min_slack.is_finite() {
+                min_slack
+            } else {
+                0.0
+            },
         })
     } else {
         Err(violations)
@@ -218,8 +226,7 @@ mod tests {
                 avg_workload: Cycles::from_cycles(500.0),
             })
             .collect();
-        let sched =
-            StaticSchedule::from_parts(fps, ms, ScheduleKind::Custom, diag()).unwrap();
+        let sched = StaticSchedule::from_parts(fps, ms, ScheduleKind::Custom, diag()).unwrap();
         (set, cpu, sched)
     }
 
@@ -253,8 +260,7 @@ mod tests {
         ms[2].end_time = Time::from_ms(20.0 + 2e-6);
         // from_parts itself tolerates 1e-6; hand the verifier a tighter
         // tolerance to catch it.
-        let sched2 =
-            StaticSchedule::from_parts(fps, ms, ScheduleKind::Custom, diag()).unwrap_err();
+        let sched2 = StaticSchedule::from_parts(fps, ms, ScheduleKind::Custom, diag()).unwrap_err();
         // from_parts already rejects: windows are hard bounds.
         let _ = sched2;
         let (set2, cpu2) = (set, cpu);

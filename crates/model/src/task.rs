@@ -314,7 +314,10 @@ mod tests {
 
     #[test]
     fn rejects_nonpositive_c_eff() {
-        let err = Task::builder("a", Ticks::new(5)).c_eff(0.0).build().unwrap_err();
+        let err = Task::builder("a", Ticks::new(5))
+            .c_eff(0.0)
+            .build()
+            .unwrap_err();
         assert!(err.to_string().contains("c_eff"));
     }
 

@@ -74,7 +74,10 @@ impl LbfgsResult {
     pub fn is_usable(&self) -> bool {
         matches!(
             self.stop,
-            LbfgsStop::GradTol | LbfgsStop::FTol | LbfgsStop::MaxIters | LbfgsStop::LineSearchFailed
+            LbfgsStop::GradTol
+                | LbfgsStop::FTol
+                | LbfgsStop::MaxIters
+                | LbfgsStop::LineSearchFailed
         ) && self.value.is_finite()
     }
 }
@@ -296,7 +299,11 @@ mod tests {
         let r = minimize(f, &[0.0; 5], &LbfgsConfig::default());
         assert_eq!(r.stop, LbfgsStop::GradTol);
         for i in 0..5 {
-            assert!((r.x[i] - (i + 1) as f64).abs() < 1e-6, "x[{i}] = {}", r.x[i]);
+            assert!(
+                (r.x[i] - (i + 1) as f64).abs() < 1e-6,
+                "x[{i}] = {}",
+                r.x[i]
+            );
         }
         assert!(r.is_usable());
     }
@@ -339,7 +346,12 @@ mod tests {
             ..Default::default()
         };
         let r = minimize(f, &[0.5; 10], &cfg);
-        assert!(r.value < 1e-8, "value = {} after {} iters", r.value, r.iterations);
+        assert!(
+            r.value < 1e-8,
+            "value = {} after {} iters",
+            r.value,
+            r.iterations
+        );
     }
 
     #[test]

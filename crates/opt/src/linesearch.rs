@@ -56,7 +56,9 @@ impl std::fmt::Display for LineSearchError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LineSearchError::NotDescent => write!(f, "direction is not a descent direction"),
-            LineSearchError::BudgetExhausted => write!(f, "line-search evaluation budget exhausted"),
+            LineSearchError::BudgetExhausted => {
+                write!(f, "line-search evaluation budget exhausted")
+            }
             LineSearchError::IntervalCollapsed => write!(f, "line-search interval collapsed"),
         }
     }

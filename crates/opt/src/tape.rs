@@ -129,8 +129,14 @@ impl Graph {
     }
 
     fn binary(&self, a: Expr<'_>, b: Expr<'_>, value: f64, pa: f64, pb: f64) -> Expr<'_> {
-        debug_assert!(std::ptr::eq(a.graph, b.graph), "exprs from different graphs");
-        let idx = self.inner.borrow_mut().push(value, [a.idx, b.idx], [pa, pb]);
+        debug_assert!(
+            std::ptr::eq(a.graph, b.graph),
+            "exprs from different graphs"
+        );
+        let idx = self
+            .inner
+            .borrow_mut()
+            .push(value, [a.idx, b.idx], [pa, pb]);
         Expr { graph: self, idx }
     }
 }
@@ -474,8 +480,18 @@ mod tests {
         let b = g.input(x[1]);
         let f = (a * b).exp() + (a / b).ln() + a.sqrt() * b.powf(1.7);
         let grad = g.gradient(f);
-        assert!((grad.wrt(a) - fd[0]).abs() < 1e-5, "{} vs {}", grad.wrt(a), fd[0]);
-        assert!((grad.wrt(b) - fd[1]).abs() < 1e-5, "{} vs {}", grad.wrt(b), fd[1]);
+        assert!(
+            (grad.wrt(a) - fd[0]).abs() < 1e-5,
+            "{} vs {}",
+            grad.wrt(a),
+            fd[0]
+        );
+        assert!(
+            (grad.wrt(b) - fd[1]).abs() < 1e-5,
+            "{} vs {}",
+            grad.wrt(b),
+            fd[1]
+        );
     }
 
     #[test]

@@ -290,7 +290,10 @@ mod tests {
             let v2 = m.volt_for(Freq::from_cycles_per_ms(f + h)).as_volts();
             let fd = (v2 - v1) / (2.0 * h);
             let an = m.dvolt_dfreq(Freq::from_cycles_per_ms(f));
-            assert!((fd - an).abs() < 1e-5 * an.abs().max(1.0), "f={f}: {fd} vs {an}");
+            assert!(
+                (fd - an).abs() < 1e-5 * an.abs().max(1.0),
+                "f={f}: {fd} vs {an}"
+            );
         }
     }
 

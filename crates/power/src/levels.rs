@@ -41,14 +41,14 @@ impl LevelTable {
         for w in levels.windows(2) {
             if w[0] >= w[1] {
                 return Err(PowerError::InvalidLevels {
-                    reason: format!("levels must be strictly increasing, got {} then {}", w[0], w[1]),
+                    reason: format!(
+                        "levels must be strictly increasing, got {} then {}",
+                        w[0], w[1]
+                    ),
                 });
             }
         }
-        if levels
-            .iter()
-            .any(|v| !v.is_finite() || v.as_volts() <= 0.0)
-        {
+        if levels.iter().any(|v| !v.is_finite() || v.as_volts() <= 0.0) {
             return Err(PowerError::InvalidLevels {
                 reason: "levels must be finite and positive".into(),
             });
@@ -125,12 +125,24 @@ mod tests {
     #[test]
     fn round_up_and_down() {
         let t = LevelTable::new(volts(&[1.0, 2.0, 3.0])).unwrap();
-        assert_eq!(t.round_up(Volt::from_volts(1.5)), Some(Volt::from_volts(2.0)));
-        assert_eq!(t.round_up(Volt::from_volts(2.0)), Some(Volt::from_volts(2.0)));
+        assert_eq!(
+            t.round_up(Volt::from_volts(1.5)),
+            Some(Volt::from_volts(2.0))
+        );
+        assert_eq!(
+            t.round_up(Volt::from_volts(2.0)),
+            Some(Volt::from_volts(2.0))
+        );
         assert_eq!(t.round_up(Volt::from_volts(3.1)), None);
-        assert_eq!(t.round_down(Volt::from_volts(1.5)), Some(Volt::from_volts(1.0)));
+        assert_eq!(
+            t.round_down(Volt::from_volts(1.5)),
+            Some(Volt::from_volts(1.0))
+        );
         assert_eq!(t.round_down(Volt::from_volts(0.9)), None);
-        assert_eq!(t.round_down(Volt::from_volts(9.0)), Some(Volt::from_volts(3.0)));
+        assert_eq!(
+            t.round_down(Volt::from_volts(9.0)),
+            Some(Volt::from_volts(3.0))
+        );
     }
 
     #[test]

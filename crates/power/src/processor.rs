@@ -55,6 +55,10 @@ pub struct Processor {
     f_max: Freq,
 }
 
+/// Relative tolerance absorbed before a speed request counts as beyond
+/// `f_max` (floating-point noise from schedule arithmetic).
+const SPEED_TOL: f64 = 1e-9;
+
 impl Processor {
     /// Starts a builder for a processor using the given frequency law.
     pub fn builder(model: FreqModel) -> ProcessorBuilder {
@@ -117,7 +121,7 @@ impl Processor {
     /// `1e-9` relative tolerance absorbed for floating-point noise).
     pub fn volt_for_speed(&self, speed: Freq) -> Result<Volt, PowerError> {
         let fmax = self.f_max.as_cycles_per_ms();
-        if speed.as_cycles_per_ms() > fmax * (1.0 + 1e-9) {
+        if speed.as_cycles_per_ms() > fmax * (1.0 + SPEED_TOL) {
             return Err(PowerError::SpeedUnachievable {
                 requested: speed.as_cycles_per_ms(),
                 max: fmax,
@@ -127,6 +131,23 @@ impl Processor {
             return Ok(self.vmin);
         }
         Ok(self.model.volt_for(speed).min(self.vmax))
+    }
+
+    /// Clamps a runtime speed request into the realizable
+    /// `[f_min, f_max]` band: over-requests (beyond the same tolerance
+    /// [`Processor::volt_for_speed`] uses) and non-finite values saturate
+    /// at `f_max` and are flagged; under-requests rise to `f_min`
+    /// unflagged (the processor cannot run slower — the workload simply
+    /// finishes early, exactly as serving the request at `vmin` does).
+    pub fn clamp_speed(&self, requested: Freq) -> (Freq, bool) {
+        let r = requested.as_cycles_per_ms();
+        if !r.is_finite() || r > self.f_max.as_cycles_per_ms() * (1.0 + SPEED_TOL) {
+            return (self.f_max, true);
+        }
+        if r < self.f_min.as_cycles_per_ms() {
+            return (self.f_min, false);
+        }
+        (requested, false)
     }
 
     /// Like [`Processor::volt_for_speed`] but saturating at `vmax`;
@@ -153,12 +174,10 @@ impl Processor {
         match &self.levels {
             VoltageLevels::Continuous => Ok(exact),
             VoltageLevels::Discrete(table) => {
-                table
-                    .round_up(exact)
-                    .ok_or(PowerError::SpeedUnachievable {
-                        requested: speed.as_cycles_per_ms(),
-                        max: self.model.freq_at(table.highest()).as_cycles_per_ms(),
-                    })
+                table.round_up(exact).ok_or(PowerError::SpeedUnachievable {
+                    requested: speed.as_cycles_per_ms(),
+                    max: self.model.freq_at(table.highest()).as_cycles_per_ms(),
+                })
             }
         }
     }
@@ -343,7 +362,9 @@ mod tests {
             Volt::from_volts(2.0)
         );
         // Above f_max: error.
-        let err = p.volt_for_speed(Freq::from_cycles_per_ms(201.0)).unwrap_err();
+        let err = p
+            .volt_for_speed(Freq::from_cycles_per_ms(201.0))
+            .unwrap_err();
         assert!(matches!(err, PowerError::SpeedUnachievable { .. }));
         // Tiny overshoot tolerated.
         assert!(p
@@ -363,13 +384,42 @@ mod tests {
     }
 
     #[test]
+    fn clamp_speed_band() {
+        let p = cpu();
+        assert_eq!(
+            p.clamp_speed(Freq::from_cycles_per_ms(100.0)),
+            (Freq::from_cycles_per_ms(100.0), false)
+        );
+        assert_eq!(
+            p.clamp_speed(Freq::from_cycles_per_ms(500.0)),
+            (p.f_max(), true)
+        );
+        assert_eq!(
+            p.clamp_speed(Freq::from_cycles_per_ms(f64::NAN)),
+            (p.f_max(), true)
+        );
+        assert_eq!(
+            p.clamp_speed(Freq::from_cycles_per_ms(1.0)),
+            (p.f_min(), false)
+        );
+        // Tiny overshoot tolerated, same as volt_for_speed.
+        let (f, sat) = p.clamp_speed(Freq::from_cycles_per_ms(200.0 * (1.0 + 1e-12)));
+        assert!(!sat);
+        assert!((f.as_cycles_per_ms() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn energy_matches_paper_equation() {
         let p = cpu();
         // E = C·V²·N = 1 · 9 · 500
         let e = p.energy(1.0, Volt::from_volts(3.0), Cycles::from_cycles(500.0));
         assert_eq!(e, Energy::from_units(4500.0));
         let e2 = p
-            .energy_at_speed(2.0, Freq::from_cycles_per_ms(100.0), Cycles::from_cycles(10.0))
+            .energy_at_speed(
+                2.0,
+                Freq::from_cycles_per_ms(100.0),
+                Cycles::from_cycles(10.0),
+            )
             .unwrap();
         assert_eq!(e2, Energy::from_units(2.0 * 4.0 * 10.0));
     }
@@ -430,17 +480,20 @@ mod tests {
             .vmax(Volt::from_volts(1.0))
             .build()
             .is_err());
+        assert!(Processor::builder(m()).vmin(Volt::ZERO).build().is_err());
+        let outside = LevelTable::new(vec![Volt::from_volts(0.5)]).unwrap();
         assert!(Processor::builder(m())
-            .vmin(Volt::ZERO)
+            .discrete_levels(outside)
             .build()
             .is_err());
-        let outside = LevelTable::new(vec![Volt::from_volts(0.5)]).unwrap();
-        assert!(Processor::builder(m()).discrete_levels(outside).build().is_err());
         let neg = TransitionOverhead {
             time: TimeSpan::from_ms(-1.0),
             energy: Energy::ZERO,
         };
-        assert!(Processor::builder(m()).transition_overhead(neg).build().is_err());
+        assert!(Processor::builder(m())
+            .transition_overhead(neg)
+            .build()
+            .is_err());
     }
 
     #[test]

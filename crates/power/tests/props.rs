@@ -7,8 +7,12 @@ use proptest::prelude::*;
 fn arb_model() -> impl Strategy<Value = FreqModel> {
     prop_oneof![
         (1.0f64..200.0).prop_map(|k| FreqModel::linear(k).unwrap()),
-        (10.0f64..300.0, 0.0f64..1.2, 1.0f64..2.0)
-            .prop_map(|(k, vth, a)| FreqModel::alpha(k, Volt::from_volts(vth), a).unwrap()),
+        (10.0f64..300.0, 0.0f64..1.2, 1.0f64..2.0).prop_map(|(k, vth, a)| FreqModel::alpha(
+            k,
+            Volt::from_volts(vth),
+            a
+        )
+        .unwrap()),
     ]
 }
 

@@ -192,13 +192,7 @@ impl FullyPreemptiveSchedule {
     pub fn max_chunks_per_task(&self) -> Vec<usize> {
         self.chunks
             .iter()
-            .map(|per_instance| {
-                per_instance
-                    .iter()
-                    .map(Vec::len)
-                    .max()
-                    .unwrap_or(0)
-            })
+            .map(|per_instance| per_instance.iter().map(Vec::len).max().unwrap_or(0))
             .collect()
     }
 }

@@ -154,13 +154,7 @@ mod tests {
     #[test]
     fn segment_bounds_match_points() {
         let grid = ReleaseGrid::of(&set(&[3, 6, 9]));
-        assert_eq!(
-            grid.segment_bounds(0),
-            (Ticks::ZERO, Ticks::new(3))
-        );
-        assert_eq!(
-            grid.segment_bounds(5),
-            (Ticks::new(15), Ticks::new(18))
-        );
+        assert_eq!(grid.segment_bounds(0), (Ticks::ZERO, Ticks::new(3)));
+        assert_eq!(grid.segment_bounds(5), (Ticks::new(15), Ticks::new(18)));
     }
 }

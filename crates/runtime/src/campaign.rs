@@ -1,0 +1,917 @@
+//! The [`Campaign`] experiment grid: axes, builder, parallel execution.
+
+use crate::pool::{default_threads, parallel_map};
+use crate::report::{CampaignReport, CellReport, CellStats};
+use acs_core::{
+    synthesize_acs_best, synthesize_acs_warm, synthesize_wcs, StaticSchedule, SynthesisOptions,
+};
+use acs_model::units::Energy;
+use acs_model::TaskSet;
+use acs_power::Processor;
+use acs_sim::{CcRm, GreedyReclaim, NoDvs, Policy, SimOptions, SimReport, Simulator, StaticSpeed};
+use acs_workloads::{TaskWorkloads, WorkloadDist};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Which offline schedule a grid cell runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScheduleChoice {
+    /// No static schedule: the policy runs purely online (only valid for
+    /// policies with `needs_schedule() == false`).
+    Unscheduled,
+    /// The worst-case-optimal baseline schedule (`synthesize_wcs`).
+    Wcs,
+    /// The paper's average-case-aware schedule (`synthesize_acs_warm`, or
+    /// `synthesize_acs_best` under [`CampaignBuilder::acs_multistart`]).
+    Acs,
+}
+
+impl ScheduleChoice {
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ScheduleChoice::Unscheduled => "-",
+            ScheduleChoice::Wcs => "WCS",
+            ScheduleChoice::Acs => "ACS",
+        }
+    }
+}
+
+impl std::fmt::Display for ScheduleChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A named, repeatable recipe for instantiating an online policy.
+///
+/// Policies carry mutable state, so each simulation run needs a fresh
+/// instance; the spec wraps a thread-safe factory. Any `impl Policy`
+/// works — the built-ins have shorthands.
+#[derive(Clone)]
+pub struct PolicySpec {
+    name: String,
+    needs_schedule: bool,
+    make: Arc<dyn Fn() -> Box<dyn Policy> + Send + Sync>,
+}
+
+impl PolicySpec {
+    /// Wraps an arbitrary policy factory. The name and schedule
+    /// requirement are probed from one instance.
+    pub fn custom<F>(make: F) -> Self
+    where
+        F: Fn() -> Box<dyn Policy> + Send + Sync + 'static,
+    {
+        let probe = make();
+        PolicySpec {
+            name: probe.name().to_string(),
+            needs_schedule: probe.needs_schedule(),
+            make: Arc::new(make),
+        }
+    }
+
+    /// The no-DVS reference policy.
+    pub fn no_dvs() -> Self {
+        PolicySpec::custom(|| Box::new(NoDvs))
+    }
+
+    /// The schedule's static speeds, no reclamation.
+    pub fn static_speed() -> Self {
+        PolicySpec::custom(|| Box::new(StaticSpeed))
+    }
+
+    /// The paper's greedy slack reclamation.
+    pub fn greedy() -> Self {
+        PolicySpec::custom(|| Box::new(GreedyReclaim))
+    }
+
+    /// Cycle-conserving RM (online-only baseline).
+    pub fn ccrm() -> Self {
+        PolicySpec::custom(|| Box::new(CcRm::new()))
+    }
+
+    /// The policy's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// `true` when the policy needs a static schedule.
+    pub fn needs_schedule(&self) -> bool {
+        self.needs_schedule
+    }
+
+    /// Builds a fresh policy instance.
+    pub fn instantiate(&self) -> Box<dyn Policy> {
+        (self.make)()
+    }
+}
+
+impl std::fmt::Debug for PolicySpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PolicySpec")
+            .field("name", &self.name)
+            .field("needs_schedule", &self.needs_schedule)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A per-task workload-distribution family, instantiated per task set.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadSpec {
+    /// The paper's truncated normal: mean ACEC, `σ = (WCEC − BCEC)/6`,
+    /// bounds `[BCEC, WCEC]`.
+    Paper,
+    /// Uniform on `[BCEC, WCEC]`.
+    Uniform,
+    /// Two-point mixture: BCEC with probability `1 − p_heavy`, WCEC with
+    /// probability `p_heavy`.
+    Bimodal {
+        /// Probability of the heavy (WCEC) case.
+        p_heavy: f64,
+    },
+    /// Every instance takes exactly its ACEC.
+    ConstantAcec,
+    /// Every instance takes exactly its WCEC (the worst case).
+    ConstantWcec,
+}
+
+impl WorkloadSpec {
+    /// Display name used in reports.
+    pub fn name(&self) -> String {
+        match self {
+            WorkloadSpec::Paper => "paper-normal".into(),
+            WorkloadSpec::Uniform => "uniform".into(),
+            WorkloadSpec::Bimodal { p_heavy } => format!("bimodal(p={p_heavy})"),
+            WorkloadSpec::ConstantAcec => "acec".into(),
+            WorkloadSpec::ConstantWcec => "wcec".into(),
+        }
+    }
+
+    /// Instantiates the per-task distributions for `set`.
+    pub fn dists(&self, set: &TaskSet) -> Vec<WorkloadDist> {
+        set.tasks()
+            .iter()
+            .map(|t| match self {
+                WorkloadSpec::Paper => WorkloadDist::paper_normal(t),
+                WorkloadSpec::Uniform => WorkloadDist::Uniform {
+                    lo: t.bcec().as_cycles(),
+                    hi: t.wcec().as_cycles(),
+                },
+                WorkloadSpec::Bimodal { p_heavy } => WorkloadDist::Bimodal {
+                    lo: t.bcec().as_cycles(),
+                    hi: t.wcec().as_cycles(),
+                    p_heavy: *p_heavy,
+                },
+                WorkloadSpec::ConstantAcec => WorkloadDist::Constant(t.acec().as_cycles()),
+                WorkloadSpec::ConstantWcec => WorkloadDist::Constant(t.wcec().as_cycles()),
+            })
+            .collect()
+    }
+}
+
+/// Errors detected while assembling a campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CampaignError {
+    /// A grid axis has no entries.
+    EmptyAxis {
+        /// Which axis (`"task_sets"`, `"policies"`, ...).
+        axis: &'static str,
+    },
+    /// A policy requires a schedule but the schedule axis offers none.
+    ScheduleRequired {
+        /// The policy's name.
+        policy: String,
+    },
+    /// Two entries on one axis share a name; reports match cells by name,
+    /// so duplicates would silently alias.
+    DuplicateName {
+        /// Which axis (`"task_sets"`, `"processors"`, ...).
+        axis: &'static str,
+        /// The repeated name.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::EmptyAxis { axis } => {
+                write!(f, "campaign axis `{axis}` is empty")
+            }
+            CampaignError::ScheduleRequired { policy } => write!(
+                f,
+                "policy `{policy}` needs a schedule but the schedule axis \
+                 contains only `Unscheduled`"
+            ),
+            CampaignError::DuplicateName { axis, name } => write!(
+                f,
+                "campaign axis `{axis}` contains the name `{name}` twice; \
+                 report lookups match by name and would silently alias"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// One experiment cell before execution.
+#[derive(Debug, Clone, Copy)]
+struct CellSpec {
+    set: usize,
+    cpu: usize,
+    schedule: ScheduleChoice,
+    policy: usize,
+    workload: usize,
+}
+
+/// Builder for [`Campaign`]; see the crate docs for an example.
+#[derive(Debug)]
+pub struct CampaignBuilder {
+    task_sets: Vec<(String, TaskSet)>,
+    processors: Vec<(String, Processor)>,
+    schedules: Vec<ScheduleChoice>,
+    policies: Vec<PolicySpec>,
+    workloads: Vec<WorkloadSpec>,
+    seeds: Vec<u64>,
+    hyper_periods: u64,
+    deadline_tol_ms: f64,
+    synthesis: SynthesisOptions,
+    acs_multistart: bool,
+    threads: usize,
+}
+
+impl Default for CampaignBuilder {
+    fn default() -> Self {
+        CampaignBuilder {
+            task_sets: Vec::new(),
+            processors: Vec::new(),
+            schedules: Vec::new(),
+            policies: Vec::new(),
+            workloads: Vec::new(),
+            seeds: Vec::new(),
+            hyper_periods: 1,
+            deadline_tol_ms: 1e-3,
+            synthesis: SynthesisOptions::quick(),
+            acs_multistart: false,
+            threads: default_threads(),
+        }
+    }
+}
+
+impl CampaignBuilder {
+    /// Adds one named task set to the grid.
+    pub fn task_set(mut self, name: impl Into<String>, set: TaskSet) -> Self {
+        self.task_sets.push((name.into(), set));
+        self
+    }
+
+    /// Adds many named task sets.
+    pub fn task_sets<I, N>(mut self, sets: I) -> Self
+    where
+        I: IntoIterator<Item = (N, TaskSet)>,
+        N: Into<String>,
+    {
+        for (name, set) in sets {
+            self.task_sets.push((name.into(), set));
+        }
+        self
+    }
+
+    /// Adds one named processor to the grid.
+    pub fn processor(mut self, name: impl Into<String>, cpu: Processor) -> Self {
+        self.processors.push((name.into(), cpu));
+        self
+    }
+
+    /// Adds one schedule choice to the grid.
+    pub fn schedule(mut self, choice: ScheduleChoice) -> Self {
+        self.schedules.push(choice);
+        self
+    }
+
+    /// Replaces the schedule axis.
+    pub fn schedules(mut self, choices: impl IntoIterator<Item = ScheduleChoice>) -> Self {
+        self.schedules = choices.into_iter().collect();
+        self
+    }
+
+    /// Adds one policy to the grid.
+    pub fn policy(mut self, spec: PolicySpec) -> Self {
+        self.policies.push(spec);
+        self
+    }
+
+    /// Adds many policies.
+    pub fn policies(mut self, specs: impl IntoIterator<Item = PolicySpec>) -> Self {
+        self.policies.extend(specs);
+        self
+    }
+
+    /// Adds one workload family to the grid.
+    pub fn workload(mut self, spec: WorkloadSpec) -> Self {
+        self.workloads.push(spec);
+        self
+    }
+
+    /// Replaces the seed axis (one simulation per seed per cell).
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Hyper-periods simulated per run (default 1).
+    pub fn hyper_periods(mut self, n: u64) -> Self {
+        self.hyper_periods = n.max(1);
+        self
+    }
+
+    /// Deadline-miss tolerance in ms (default `1e-3`).
+    pub fn deadline_tol_ms(mut self, tol: f64) -> Self {
+        self.deadline_tol_ms = tol;
+        self
+    }
+
+    /// Synthesis options for the WCS/ACS schedules (default
+    /// [`SynthesisOptions::quick`]).
+    pub fn synthesis(mut self, options: SynthesisOptions) -> Self {
+        self.synthesis = options;
+        self
+    }
+
+    /// Uses multi-start ACS synthesis (`synthesize_acs_best`) instead of
+    /// a single warm-started solve.
+    pub fn acs_multistart(mut self, on: bool) -> Self {
+        self.acs_multistart = on;
+        self
+    }
+
+    /// Worker-thread count (default: available parallelism). The report
+    /// does not depend on this.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// Validates the axes and assembles the campaign.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::EmptyAxis`] when a required axis is empty (the
+    /// schedule axis defaults to `[Unscheduled, Wcs, Acs]` filtered to
+    /// what the policies can use; seeds default to `[0]`);
+    /// [`CampaignError::ScheduleRequired`] when a schedule-dependent
+    /// policy meets a schedule axis without `Wcs`/`Acs`;
+    /// [`CampaignError::DuplicateName`] when two entries on one axis
+    /// share a name.
+    pub fn build(mut self) -> Result<Campaign, CampaignError> {
+        for (axis, empty) in [
+            ("task_sets", self.task_sets.is_empty()),
+            ("processors", self.processors.is_empty()),
+            ("policies", self.policies.is_empty()),
+            ("workloads", self.workloads.is_empty()),
+        ] {
+            if empty {
+                return Err(CampaignError::EmptyAxis { axis });
+            }
+        }
+        // Reports pair and look up cells by name; a repeated name on any
+        // axis would make those lookups silently alias distinct cells.
+        let mut seen = std::collections::HashSet::new();
+        for (axis, names) in [
+            (
+                "task_sets",
+                self.task_sets
+                    .iter()
+                    .map(|(n, _)| n.clone())
+                    .collect::<Vec<_>>(),
+            ),
+            (
+                "processors",
+                self.processors.iter().map(|(n, _)| n.clone()).collect(),
+            ),
+            (
+                "policies",
+                self.policies.iter().map(|p| p.name().to_string()).collect(),
+            ),
+            (
+                "workloads",
+                self.workloads.iter().map(WorkloadSpec::name).collect(),
+            ),
+        ] {
+            seen.clear();
+            for name in names {
+                if !seen.insert(name.clone()) {
+                    return Err(CampaignError::DuplicateName { axis, name });
+                }
+            }
+        }
+        if self.seeds.is_empty() {
+            self.seeds.push(0);
+        }
+        if self.schedules.is_empty() {
+            let any_unscheduled = self.policies.iter().any(|p| !p.needs_schedule());
+            let any_scheduled = self.policies.iter().any(|p| p.needs_schedule());
+            if any_unscheduled {
+                self.schedules.push(ScheduleChoice::Unscheduled);
+            }
+            if any_scheduled {
+                self.schedules.push(ScheduleChoice::Wcs);
+                self.schedules.push(ScheduleChoice::Acs);
+            }
+        }
+        let has_scheduled = self
+            .schedules
+            .iter()
+            .any(|c| *c != ScheduleChoice::Unscheduled);
+        for p in &self.policies {
+            if p.needs_schedule() && !has_scheduled {
+                return Err(CampaignError::ScheduleRequired {
+                    policy: p.name().to_string(),
+                });
+            }
+        }
+
+        // Cartesian grid. Policies that ignore schedules run exactly once
+        // per (set, cpu, workload) — as `Unscheduled` — regardless of the
+        // schedule axis, so the grid never duplicates physically
+        // identical runs; schedule-dependent policies skip `Unscheduled`.
+        let mut cells = Vec::new();
+        for set in 0..self.task_sets.len() {
+            for cpu in 0..self.processors.len() {
+                for (policy_idx, policy) in self.policies.iter().enumerate() {
+                    let choices: Vec<ScheduleChoice> = if policy.needs_schedule() {
+                        self.schedules
+                            .iter()
+                            .copied()
+                            .filter(|c| *c != ScheduleChoice::Unscheduled)
+                            .collect()
+                    } else {
+                        vec![ScheduleChoice::Unscheduled]
+                    };
+                    for schedule in choices {
+                        for workload in 0..self.workloads.len() {
+                            cells.push(CellSpec {
+                                set,
+                                cpu,
+                                schedule,
+                                policy: policy_idx,
+                                workload,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Campaign {
+            builder: self,
+            cells,
+        })
+    }
+}
+
+/// A validated experiment grid, ready to [`run`](Campaign::run).
+#[derive(Debug)]
+pub struct Campaign {
+    builder: CampaignBuilder,
+    cells: Vec<CellSpec>,
+}
+
+impl Campaign {
+    /// Starts a new builder.
+    pub fn builder() -> CampaignBuilder {
+        CampaignBuilder::default()
+    }
+
+    /// Number of grid cells (each runs once per seed).
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of simulator runs the campaign will execute.
+    pub fn run_count(&self) -> usize {
+        self.cells.len() * self.builder.seeds.len()
+    }
+
+    /// Executes the grid in parallel and aggregates the report.
+    ///
+    /// Synthesis or simulation failures are recorded per cell (see
+    /// [`CellReport::outcome`]); they never abort the rest of the grid.
+    ///
+    /// Execution is two parallel phases with a barrier between them:
+    /// all schedule synthesis first, then all simulation runs. The
+    /// barrier costs wall-clock on lopsided grids (one slow solve holds
+    /// back even unscheduled cells) — acceptable today because synthesis
+    /// jobs are deduplicated and typically dominate; a dependency-aware
+    /// queue can replace it without changing the deterministic report.
+    pub fn run(&self) -> CampaignReport {
+        let b = &self.builder;
+
+        // ---- phase 1: synthesize every needed (set, cpu, kind) once ----
+        let mut pair_needs: HashMap<(usize, usize), bool> = HashMap::new();
+        for cell in &self.cells {
+            if cell.schedule != ScheduleChoice::Unscheduled {
+                let needs_acs = pair_needs.entry((cell.set, cell.cpu)).or_insert(false);
+                *needs_acs |= cell.schedule == ScheduleChoice::Acs;
+            }
+        }
+        let mut pairs: Vec<((usize, usize), bool)> =
+            pair_needs.iter().map(|(k, v)| (*k, *v)).collect();
+        pairs.sort_unstable();
+        // Synthesis-equivalent processors share one solve per task set:
+        // `canon[i]` points at the representative pair. Merged ACS needs
+        // land on the representative.
+        let mut canon: Vec<usize> = (0..pairs.len()).collect();
+        for i in 0..pairs.len() {
+            let ((set_i, cpu_i), _) = pairs[i];
+            if let Some(j) = (0..i).find(|&j| {
+                let ((set_j, cpu_j), _) = pairs[j];
+                canon[j] == j
+                    && set_j == set_i
+                    && synthesis_equivalent(&b.processors[cpu_j].1, &b.processors[cpu_i].1)
+            }) {
+                canon[i] = j;
+                if pairs[i].1 {
+                    pairs[j].1 = true;
+                }
+            }
+        }
+        let jobs: Vec<usize> = (0..pairs.len()).filter(|&i| canon[i] == i).collect();
+        let slot_of: HashMap<usize, usize> = jobs
+            .iter()
+            .enumerate()
+            .map(|(slot, &i)| (i, slot))
+            .collect();
+        let synthesized: Vec<SynthesisOutcome> = parallel_map(jobs.len(), b.threads, |slot| {
+            let ((set_idx, cpu_idx), needs_acs) = pairs[jobs[slot]];
+            let set = &b.task_sets[set_idx].1;
+            let cpu = &b.processors[cpu_idx].1;
+            let wcs = synthesize_wcs(set, cpu, &b.synthesis).map_err(|e| e.to_string());
+            let acs = match (&wcs, needs_acs) {
+                (Ok(wcs), true) => {
+                    let solved = if b.acs_multistart {
+                        synthesize_acs_best(set, cpu, &b.synthesis, wcs)
+                    } else {
+                        synthesize_acs_warm(set, cpu, &b.synthesis, wcs)
+                    };
+                    Some(solved.map_err(|e| e.to_string()))
+                }
+                (Err(e), true) => Some(Err(e.clone())),
+                (_, false) => None,
+            };
+            SynthesisOutcome { wcs, acs }
+        });
+        let schedule_of = |cell: &CellSpec| -> Option<&Result<StaticSchedule, String>> {
+            match cell.schedule {
+                ScheduleChoice::Unscheduled => None,
+                kind => {
+                    let pos = pairs
+                        .binary_search_by_key(&(cell.set, cell.cpu), |(k, _)| *k)
+                        .expect("every scheduled cell has a synthesis slot");
+                    let slot = slot_of[&canon[pos]];
+                    Some(match kind {
+                        ScheduleChoice::Wcs => &synthesized[slot].wcs,
+                        ScheduleChoice::Acs => synthesized[slot]
+                            .acs
+                            .as_ref()
+                            .expect("ACS synthesized for every ACS cell"),
+                        ScheduleChoice::Unscheduled => unreachable!(),
+                    })
+                }
+            }
+        };
+
+        // ---- phase 2: all (cell, seed) runs in parallel ----
+        let n_seeds = b.seeds.len();
+        let n_runs = self.cells.len() * n_seeds;
+        let runs: Vec<Result<SimReport, String>> = parallel_map(n_runs, b.threads, |i| {
+            let cell = &self.cells[i / n_seeds];
+            let seed = b.seeds[i % n_seeds];
+            let schedule = match schedule_of(cell) {
+                Some(Ok(s)) => Some(s),
+                Some(Err(e)) => return Err(format!("synthesis: {e}")),
+                None => None,
+            };
+            let set = &b.task_sets[cell.set].1;
+            let cpu = &b.processors[cell.cpu].1;
+            let dists = b.workloads[cell.workload].dists(set);
+            // Mix only the set index into the draw seed: cells that
+            // differ in schedule/policy/processor see identical draws, so
+            // comparisons across those axes are paired.
+            let mut draws = TaskWorkloads::from_dists(dists, mix_seed(seed, cell.set));
+            let mut sim = Simulator::new(set, cpu, b.policies[cell.policy].instantiate())
+                .with_options(SimOptions {
+                    hyper_periods: b.hyper_periods,
+                    deadline_tol_ms: b.deadline_tol_ms,
+                    record_trace: false,
+                });
+            if let Some(s) = schedule {
+                sim = sim.with_schedule(s);
+            }
+            sim.run(&mut |t, i| draws.draw(t, i))
+                .map(|out| out.report)
+                .map_err(|e| e.to_string())
+        });
+
+        // ---- phase 3: deterministic aggregation in grid order ----
+        let cells = self
+            .cells
+            .iter()
+            .enumerate()
+            .map(|(c, cell)| {
+                let per_seed = &runs[c * n_seeds..(c + 1) * n_seeds];
+                let outcome = aggregate(per_seed);
+                CellReport {
+                    task_set: b.task_sets[cell.set].0.clone(),
+                    processor: b.processors[cell.cpu].0.clone(),
+                    schedule: cell.schedule,
+                    policy: b.policies[cell.policy].name().to_string(),
+                    workload: b.workloads[cell.workload].name(),
+                    outcome,
+                }
+            })
+            .collect();
+        CampaignReport::new(cells)
+    }
+}
+
+struct SynthesisOutcome {
+    wcs: Result<StaticSchedule, String>,
+    acs: Option<Result<StaticSchedule, String>>,
+}
+
+/// `true` when two processors are interchangeable for *schedule
+/// synthesis*: the synthesizer (`acs-core`) works on the continuous
+/// frequency model over `[vmin, vmax]` and never consults discrete
+/// level tables or transition overhead — those shape only the runtime.
+/// Processor variants differing only there (the classic design-space
+/// sweep) share one WCS/ACS solve per task set.
+fn synthesis_equivalent(a: &Processor, b: &Processor) -> bool {
+    a.freq_model() == b.freq_model() && a.vmin() == b.vmin() && a.vmax() == b.vmax()
+}
+
+/// Folds one cell's per-seed reports into [`CellStats`]; the first
+/// failure poisons the cell.
+fn aggregate(per_seed: &[Result<SimReport, String>]) -> Result<CellStats, String> {
+    let mut energies = Vec::with_capacity(per_seed.len());
+    let mut stats = CellStats {
+        runs: per_seed.len(),
+        mean_energy: Energy::ZERO,
+        std_energy: 0.0,
+        p95_energy: Energy::ZERO,
+        deadline_misses: 0,
+        jobs_completed: 0,
+        saturated_dispatches: 0,
+        voltage_switches: 0,
+        clamped_draws: 0,
+        worst_lateness_ms: 0.0,
+    };
+    for r in per_seed {
+        let report = r.as_ref().map_err(|e| e.clone())?;
+        energies.push(report.energy.as_units());
+        stats.deadline_misses += report.deadline_misses;
+        stats.jobs_completed += report.jobs_completed;
+        stats.saturated_dispatches += report.saturated_dispatches;
+        stats.voltage_switches += report.voltage_switches;
+        stats.clamped_draws += report.clamped_draws;
+        stats.worst_lateness_ms = stats.worst_lateness_ms.max(report.worst_lateness_ms);
+    }
+    let n = energies.len() as f64;
+    let mean = energies.iter().sum::<f64>() / n;
+    let var = energies
+        .iter()
+        .map(|e| (e - mean) * (e - mean))
+        .sum::<f64>()
+        / (n - 1.0).max(1.0);
+    let mut sorted = energies;
+    sorted.sort_by(f64::total_cmp);
+    let p95_idx = ((0.95 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+    stats.mean_energy = Energy::from_units(mean);
+    stats.std_energy = var.sqrt();
+    stats.p95_energy = Energy::from_units(sorted[p95_idx]);
+    Ok(stats)
+}
+
+/// SplitMix64-mixes the user seed with the task-set index, so every set
+/// gets an independent, reproducible draw stream.
+fn mix_seed(seed: u64, set_idx: usize) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((set_idx as u64).wrapping_mul(0xD129_0793_66CA_8C21));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acs_model::units::{Cycles, Ticks, Volt};
+    use acs_model::Task;
+    use acs_power::FreqModel;
+
+    fn small_set() -> TaskSet {
+        TaskSet::new(vec![Task::builder("t", Ticks::new(10))
+            .wcec(Cycles::from_cycles(300.0))
+            .acec(Cycles::from_cycles(120.0))
+            .bcec(Cycles::from_cycles(30.0))
+            .build()
+            .unwrap()])
+        .unwrap()
+    }
+
+    fn cpu() -> Processor {
+        Processor::builder(FreqModel::linear(50.0).unwrap())
+            .vmin(Volt::from_volts(0.3))
+            .vmax(Volt::from_volts(4.0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn empty_axes_rejected() {
+        let err = Campaign::builder().build().unwrap_err();
+        assert!(matches!(
+            err,
+            CampaignError::EmptyAxis { axis: "task_sets" }
+        ));
+        let err = Campaign::builder()
+            .task_set("s", small_set())
+            .processor("p", cpu())
+            .workload(WorkloadSpec::Paper)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CampaignError::EmptyAxis { axis: "policies" }));
+    }
+
+    #[test]
+    fn duplicate_axis_names_rejected() {
+        let err = Campaign::builder()
+            .task_set("s", small_set())
+            .task_set("s", small_set())
+            .processor("p", cpu())
+            .policy(PolicySpec::no_dvs())
+            .workload(WorkloadSpec::Paper)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CampaignError::DuplicateName {
+                axis: "task_sets",
+                name: "s".into()
+            }
+        );
+        let err = Campaign::builder()
+            .task_set("s", small_set())
+            .processor("p", cpu())
+            .policy(PolicySpec::greedy())
+            .policy(PolicySpec::greedy())
+            .workload(WorkloadSpec::Paper)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CampaignError::DuplicateName {
+                axis: "policies",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn schedule_required_detected() {
+        let err = Campaign::builder()
+            .task_set("s", small_set())
+            .processor("p", cpu())
+            .policy(PolicySpec::greedy())
+            .workload(WorkloadSpec::Paper)
+            .schedule(ScheduleChoice::Unscheduled)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CampaignError::ScheduleRequired { .. }));
+    }
+
+    #[test]
+    fn grid_dedupes_unscheduled_policies() {
+        let campaign = Campaign::builder()
+            .task_set("s", small_set())
+            .processor("p", cpu())
+            .schedules([ScheduleChoice::Wcs, ScheduleChoice::Acs])
+            .policy(PolicySpec::no_dvs()) // schedule-free: 1 cell
+            .policy(PolicySpec::greedy()) // scheduled: 2 cells
+            .workload(WorkloadSpec::Paper)
+            .seeds([1, 2, 3])
+            .build()
+            .unwrap();
+        assert_eq!(campaign.cell_count(), 3);
+        assert_eq!(campaign.run_count(), 9);
+    }
+
+    #[test]
+    fn default_schedule_axis_covers_policy_needs() {
+        let campaign = Campaign::builder()
+            .task_set("s", small_set())
+            .processor("p", cpu())
+            .policy(PolicySpec::ccrm())
+            .policy(PolicySpec::static_speed())
+            .workload(WorkloadSpec::Paper)
+            .build()
+            .unwrap();
+        // ccrm: Unscheduled; static: WCS + ACS.
+        assert_eq!(campaign.cell_count(), 3);
+    }
+
+    #[test]
+    fn workload_spec_instantiation() {
+        let set = small_set();
+        let t = &set.tasks()[0];
+        assert_eq!(
+            WorkloadSpec::ConstantWcec.dists(&set),
+            vec![WorkloadDist::Constant(t.wcec().as_cycles())]
+        );
+        assert_eq!(
+            WorkloadSpec::Bimodal { p_heavy: 0.25 }.name(),
+            "bimodal(p=0.25)"
+        );
+        match &WorkloadSpec::Uniform.dists(&set)[0] {
+            WorkloadDist::Uniform { lo, hi } => {
+                assert_eq!(*lo, 30.0);
+                assert_eq!(*hi, 300.0);
+            }
+            other => panic!("wrong dist {other:?}"),
+        }
+    }
+
+    #[test]
+    fn synthesis_equivalence_ignores_levels_and_overhead() {
+        use acs_model::units::{Energy, TimeSpan};
+        use acs_power::{LevelTable, TransitionOverhead};
+        let base = cpu();
+        let table = LevelTable::new(vec![
+            Volt::from_volts(1.0),
+            Volt::from_volts(2.0),
+            Volt::from_volts(4.0),
+        ])
+        .unwrap();
+        let discrete = Processor::builder(FreqModel::linear(50.0).unwrap())
+            .vmin(Volt::from_volts(0.3))
+            .vmax(Volt::from_volts(4.0))
+            .discrete_levels(table)
+            .build()
+            .unwrap();
+        let lossy = Processor::builder(FreqModel::linear(50.0).unwrap())
+            .vmin(Volt::from_volts(0.3))
+            .vmax(Volt::from_volts(4.0))
+            .transition_overhead(TransitionOverhead {
+                time: TimeSpan::from_ms(0.001),
+                energy: Energy::from_units(1.0),
+            })
+            .build()
+            .unwrap();
+        let other_law = Processor::builder(FreqModel::linear(60.0).unwrap())
+            .vmin(Volt::from_volts(0.3))
+            .vmax(Volt::from_volts(4.0))
+            .build()
+            .unwrap();
+        assert!(synthesis_equivalent(&base, &discrete));
+        assert!(synthesis_equivalent(&base, &lossy));
+        assert!(!synthesis_equivalent(&base, &other_law));
+
+        // A grid over the three equivalent variants still reports one
+        // cell per (processor, schedule) with distinct runtime energies
+        // where the hardware differs.
+        let report = Campaign::builder()
+            .task_set("s", small_set())
+            .processor("base", base)
+            .processor("discrete", discrete)
+            .processor("lossy", lossy)
+            .schedules([ScheduleChoice::Wcs])
+            .policy(PolicySpec::greedy())
+            .workload(WorkloadSpec::ConstantAcec)
+            .seeds([1])
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(report.cells().len(), 3);
+        assert_eq!(report.failures().count(), 0, "{}", report.to_table());
+        let energy = |cpu: &str| {
+            report
+                .find("s", cpu, ScheduleChoice::Wcs, "greedy", "acec")
+                .unwrap()
+                .stats()
+                .unwrap()
+                .mean_energy
+                .as_units()
+        };
+        // Quantization rounds voltages up: strictly more energy than the
+        // shared (identical) schedule costs on the continuous part.
+        assert!(energy("discrete") > energy("base"));
+    }
+
+    #[test]
+    fn mix_seed_separates_sets_deterministically() {
+        assert_eq!(mix_seed(7, 0), mix_seed(7, 0));
+        assert_ne!(mix_seed(7, 0), mix_seed(7, 1));
+        assert_ne!(mix_seed(7, 0), mix_seed(8, 0));
+    }
+}

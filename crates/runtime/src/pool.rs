@@ -1,0 +1,109 @@
+//! Minimal scoped thread pool: an atomic work queue over an indexed
+//! result vector. Results land at their input index, so callers see the
+//! same output regardless of thread count or interleaving.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `f(0..n)` across `threads` workers and collects the results in
+/// index order. `f` must be safe to call concurrently from multiple
+/// threads (it is `Sync`); each index is evaluated exactly once.
+///
+/// Panics in `f` propagate to the caller after all workers stop.
+pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads.clamp(1, n.max(1));
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    // Mutex<Option<T>> rather than OnceLock<T>: the slot only needs
+    // T: Send (each index is written once, by one worker), and
+    // Mutex<T>: Sync does not require T: Sync.
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    // Fail fast: a panicking worker poisons the queue so the survivors
+    // stop instead of draining the remaining work before the panic
+    // resurfaces from the scope join.
+    let poisoned = AtomicBool::new(false);
+    struct PoisonOnPanic<'a>(&'a AtomicBool);
+    impl Drop for PoisonOnPanic<'_> {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                self.0.store(true, Ordering::SeqCst);
+            }
+        }
+    }
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let _guard = PoisonOnPanic(&poisoned);
+                loop {
+                    if poisoned.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let value = f(i);
+                    *slots[i].lock().expect("slot lock poisoned") = Some(value);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock poisoned")
+                .expect("worker completed every index")
+        })
+        .collect()
+}
+
+/// The default worker count: available parallelism, or 1 when unknown.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_all_indices_in_order() {
+        for threads in [1, 2, 8, 64] {
+            let out = parallel_map(100, threads, |i| i * i);
+            assert_eq!(out.len(), 100);
+            for (i, v) in out.iter().enumerate() {
+                assert_eq!(*v, i * i, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert!(parallel_map(0, 8, |i| i).is_empty());
+        assert_eq!(parallel_map(1, 8, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn actually_runs_concurrently() {
+        use std::sync::atomic::AtomicUsize;
+        static PEAK: AtomicUsize = AtomicUsize::new(0);
+        static LIVE: AtomicUsize = AtomicUsize::new(0);
+        let _ = parallel_map(16, 4, |i| {
+            let live = LIVE.fetch_add(1, Ordering::SeqCst) + 1;
+            PEAK.fetch_max(live, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            LIVE.fetch_sub(1, Ordering::SeqCst);
+            i
+        });
+        assert!(PEAK.load(Ordering::SeqCst) > 1, "no overlap observed");
+    }
+}

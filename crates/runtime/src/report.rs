@@ -1,0 +1,255 @@
+//! Aggregated campaign results.
+
+use crate::campaign::ScheduleChoice;
+use acs_model::units::Energy;
+use acs_sim::improvement_over;
+
+/// Aggregate statistics of one grid cell over its seeds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellStats {
+    /// Number of simulation runs aggregated (= seed count).
+    pub runs: usize,
+    /// Mean total energy per run.
+    pub mean_energy: Energy,
+    /// Sample standard deviation of per-run energy (0 for one seed).
+    pub std_energy: f64,
+    /// 95th-percentile per-run energy.
+    pub p95_energy: Energy,
+    /// Deadline misses summed over all runs.
+    pub deadline_misses: usize,
+    /// Jobs completed summed over all runs.
+    pub jobs_completed: usize,
+    /// Saturated dispatches summed over all runs.
+    pub saturated_dispatches: usize,
+    /// Voltage switches summed over all runs.
+    pub voltage_switches: usize,
+    /// Workload draws clamped into `[0, WCEC]`, summed over all runs.
+    pub clamped_draws: usize,
+    /// Worst completion lateness observed across all runs (ms).
+    pub worst_lateness_ms: f64,
+}
+
+/// One grid cell: its coordinates and aggregated outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellReport {
+    /// Task-set name.
+    pub task_set: String,
+    /// Processor name.
+    pub processor: String,
+    /// Schedule the cell ran under.
+    pub schedule: ScheduleChoice,
+    /// Policy name.
+    pub policy: String,
+    /// Workload-family name.
+    pub workload: String,
+    /// Aggregated statistics, or the first failure message.
+    pub outcome: Result<CellStats, String>,
+}
+
+impl CellReport {
+    /// The cell's stats when it succeeded.
+    pub fn stats(&self) -> Option<&CellStats> {
+        self.outcome.as_ref().ok()
+    }
+}
+
+/// The aggregate outcome of a [`Campaign`](crate::Campaign) run.
+///
+/// Cells appear in deterministic grid order (independent of thread
+/// count); two runs of the same campaign produce equal reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    cells: Vec<CellReport>,
+}
+
+impl CampaignReport {
+    pub(crate) fn new(cells: Vec<CellReport>) -> Self {
+        CampaignReport { cells }
+    }
+
+    /// All cells in grid order.
+    pub fn cells(&self) -> &[CellReport] {
+        &self.cells
+    }
+
+    /// Cells that failed (synthesis or simulation), with messages.
+    pub fn failures(&self) -> impl Iterator<Item = (&CellReport, &str)> {
+        self.cells
+            .iter()
+            .filter_map(|c| c.outcome.as_ref().err().map(|e| (c, e.as_str())))
+    }
+
+    /// Finds the first cell matching the given coordinates.
+    pub fn find(
+        &self,
+        task_set: &str,
+        processor: &str,
+        schedule: ScheduleChoice,
+        policy: &str,
+        workload: &str,
+    ) -> Option<&CellReport> {
+        self.cells.iter().find(|c| {
+            c.task_set == task_set
+                && c.processor == processor
+                && c.schedule == schedule
+                && c.policy == policy
+                && c.workload == workload
+        })
+    }
+
+    /// Relative mean-energy improvement of the ACS cell over the WCS cell
+    /// at the same (task set, processor, policy, workload) coordinates —
+    /// the paper's Fig. 6 measurement. `None` unless both cells exist and
+    /// succeeded.
+    pub fn gain(
+        &self,
+        task_set: &str,
+        processor: &str,
+        policy: &str,
+        workload: &str,
+    ) -> Option<f64> {
+        let wcs = self
+            .find(task_set, processor, ScheduleChoice::Wcs, policy, workload)?
+            .stats()?;
+        let acs = self
+            .find(task_set, processor, ScheduleChoice::Acs, policy, workload)?
+            .stats()?;
+        Some(improvement_over(wcs.mean_energy, acs.mean_energy))
+    }
+
+    /// All ACS-vs-WCS gains in the report, one per (task set, processor,
+    /// policy, workload) coordinate that has both schedule cells. One
+    /// keyed pass — O(cells) even on paper-scale grids.
+    pub fn gains(&self) -> Vec<(&CellReport, f64)> {
+        let wcs_mean: std::collections::HashMap<_, _> = self
+            .cells
+            .iter()
+            .filter(|c| c.schedule == ScheduleChoice::Wcs)
+            .filter_map(|c| {
+                c.stats().map(|s| {
+                    (
+                        (&c.task_set, &c.processor, &c.policy, &c.workload),
+                        s.mean_energy,
+                    )
+                })
+            })
+            .collect();
+        self.cells
+            .iter()
+            .filter(|c| c.schedule == ScheduleChoice::Acs)
+            .filter_map(|c| {
+                let wcs = wcs_mean.get(&(&c.task_set, &c.processor, &c.policy, &c.workload))?;
+                let acs = c.stats()?;
+                Some((c, improvement_over(*wcs, acs.mean_energy)))
+            })
+            .collect()
+    }
+
+    /// Total deadline misses across all successful cells.
+    pub fn total_deadline_misses(&self) -> usize {
+        self.cells
+            .iter()
+            .filter_map(|c| c.stats())
+            .map(|s| s.deadline_misses)
+            .sum()
+    }
+
+    /// Renders an aligned text table of every cell.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<18} {:<12} {:>5} {:<10} {:<16} {:>12} {:>10} {:>12} {:>7}\n",
+            "task set",
+            "processor",
+            "sched",
+            "policy",
+            "workload",
+            "mean E",
+            "std E",
+            "p95 E",
+            "misses"
+        ));
+        for c in &self.cells {
+            match &c.outcome {
+                Ok(s) => out.push_str(&format!(
+                    "{:<18} {:<12} {:>5} {:<10} {:<16} {:>12.1} {:>10.1} {:>12.1} {:>7}\n",
+                    c.task_set,
+                    c.processor,
+                    c.schedule.label(),
+                    c.policy,
+                    c.workload,
+                    s.mean_energy.as_units(),
+                    s.std_energy,
+                    s.p95_energy.as_units(),
+                    s.deadline_misses,
+                )),
+                Err(e) => out.push_str(&format!(
+                    "{:<18} {:<12} {:>5} {:<10} {:<16} FAILED: {}\n",
+                    c.task_set,
+                    c.processor,
+                    c.schedule.label(),
+                    c.policy,
+                    c.workload,
+                    e,
+                )),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(mean: f64) -> CellStats {
+        CellStats {
+            runs: 2,
+            mean_energy: Energy::from_units(mean),
+            std_energy: 0.0,
+            p95_energy: Energy::from_units(mean),
+            deadline_misses: 0,
+            jobs_completed: 10,
+            saturated_dispatches: 0,
+            voltage_switches: 0,
+            clamped_draws: 0,
+            worst_lateness_ms: 0.0,
+        }
+    }
+
+    fn cell(schedule: ScheduleChoice, mean: f64) -> CellReport {
+        CellReport {
+            task_set: "s".into(),
+            processor: "p".into(),
+            schedule,
+            policy: "greedy".into(),
+            workload: "paper-normal".into(),
+            outcome: Ok(stats(mean)),
+        }
+    }
+
+    #[test]
+    fn gain_pairs_wcs_and_acs_cells() {
+        let report = CampaignReport::new(vec![
+            cell(ScheduleChoice::Wcs, 100.0),
+            cell(ScheduleChoice::Acs, 80.0),
+        ]);
+        let g = report.gain("s", "p", "greedy", "paper-normal").unwrap();
+        assert!((g - 0.2).abs() < 1e-12);
+        assert_eq!(report.gains().len(), 1);
+        assert_eq!(report.total_deadline_misses(), 0);
+        assert!(report.gain("s", "p", "static", "paper-normal").is_none());
+    }
+
+    #[test]
+    fn failures_listed_and_rendered() {
+        let mut bad = cell(ScheduleChoice::Wcs, 0.0);
+        bad.outcome = Err("synthesis: boom".into());
+        let report = CampaignReport::new(vec![bad, cell(ScheduleChoice::Acs, 50.0)]);
+        assert_eq!(report.failures().count(), 1);
+        let table = report.to_table();
+        assert!(table.contains("FAILED: synthesis: boom"));
+        assert!(table.contains("greedy"));
+        assert!(report.gain("s", "p", "greedy", "paper-normal").is_none());
+    }
+}

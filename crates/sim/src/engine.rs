@@ -5,10 +5,16 @@
 //! (zero energy) when idle. Execution advances between *events* —
 //! releases, chunk-budget exhaustions, completions — so simulation cost is
 //! `O(events)`, independent of cycle counts.
+//!
+//! The engine is policy-agnostic: it drives any [`Policy`] through the
+//! trait's callbacks (`on_start`/`on_release`/`on_completion`/
+//! `on_dispatch`) and clamps every requested speed into the processor's
+//! `[f_min, f_max]` at the dispatch boundary, so no policy can request an
+//! unrealizable frequency.
 
 use crate::error::SimError;
 use crate::exec_trace::{ExecutionTrace, Slice};
-use crate::policy::{requested_speed, CcRmState, DispatchContext, DvsPolicy};
+use crate::policy::{DispatchContext, IntoPolicy, Policy};
 use crate::report::SimReport;
 use acs_core::StaticSchedule;
 use acs_model::units::{Cycles, Energy, Freq, Time, TimeSpan};
@@ -79,13 +85,16 @@ struct Job {
     done: bool,
 }
 
-/// The simulator: borrows the system description and runs workloads
-/// through it.
+/// The simulator: borrows the system description, owns the online
+/// policy, and runs workloads through them.
+///
+/// Any [`Policy`] value (built-in or user-defined), a `Box<dyn Policy>`,
+/// or the deprecated `DvsPolicy` enum is accepted.
 ///
 /// ```
 /// use acs_model::{Task, TaskSet, TaskId, units::{Cycles, Ticks, Volt}};
 /// use acs_power::{FreqModel, Processor};
-/// use acs_sim::{DvsPolicy, SimOptions, Simulator};
+/// use acs_sim::{NoDvs, SimOptions, Simulator};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let set = TaskSet::new(vec![
@@ -93,29 +102,38 @@ struct Job {
 /// ])?;
 /// let cpu = Processor::builder(FreqModel::linear(50.0)?)
 ///     .vmax(Volt::from_volts(4.0)).build()?;
-/// let sim = Simulator::new(&set, &cpu, DvsPolicy::NoDvs);
-/// let out = sim.run(&mut |_, _| Cycles::from_cycles(100.0))?;
+/// let out = Simulator::new(&set, &cpu, NoDvs)
+///     .run(&mut |_, _| Cycles::from_cycles(100.0))?;
 /// assert_eq!(out.report.jobs_completed, 1);
 /// assert!(out.report.all_deadlines_met());
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
 pub struct Simulator<'a> {
     set: &'a TaskSet,
     cpu: &'a Processor,
-    policy: DvsPolicy,
+    policy: Box<dyn Policy>,
     schedule: Option<&'a StaticSchedule>,
     options: SimOptions,
 }
 
+impl std::fmt::Debug for Simulator<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("policy", &self.policy.name())
+            .field("schedule", &self.schedule.map(|s| s.kind()))
+            .field("options", &self.options)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<'a> Simulator<'a> {
     /// Creates a simulator with default options and no schedule.
-    pub fn new(set: &'a TaskSet, cpu: &'a Processor, policy: DvsPolicy) -> Self {
+    pub fn new(set: &'a TaskSet, cpu: &'a Processor, policy: impl IntoPolicy) -> Self {
         Simulator {
             set,
             cpu,
-            policy,
+            policy: policy.into_policy(),
             schedule: None,
             options: SimOptions::default(),
         }
@@ -139,10 +157,17 @@ impl<'a> Simulator<'a> {
     /// cycles; draws are clamped into `[0, WCEC]` (clamps are counted in
     /// the report).
     ///
+    /// Takes `&mut self` because the policy may carry state; the policy's
+    /// [`Policy::on_start`] runs at every hyper-period boundary, so
+    /// consecutive `run` calls remain independent.
+    ///
     /// # Errors
     ///
     /// See [`SimError`].
-    pub fn run(&self, workload: &mut dyn FnMut(TaskId, u64) -> Cycles) -> Result<RunOutput, SimError> {
+    pub fn run(
+        &mut self,
+        workload: &mut dyn FnMut(TaskId, u64) -> Cycles,
+    ) -> Result<RunOutput, SimError> {
         let plans = self.build_plans()?;
         let mut report = SimReport::empty(self.set.len());
         let mut trace = None;
@@ -150,7 +175,22 @@ impl<'a> Simulator<'a> {
         let mut abs_base = 0u64;
         for h in 0..self.options.hyper_periods {
             let record = self.options.record_trace && h == 0;
-            let (hp_report, hp_trace) = self.run_one(&plans, abs_base, workload, record)?;
+            // `run_one` is a free function over the borrowed fields (not
+            // `&self`) so the policy can be borrowed mutably alongside
+            // them — no detach, and a panicking workload or policy hook
+            // cannot leave the simulator holding a placeholder policy.
+            self.policy.on_start(self.set, self.cpu);
+            let (hp_report, hp_trace) = run_one(
+                self.set,
+                self.cpu,
+                self.schedule.is_some(),
+                &self.options,
+                &plans,
+                abs_base,
+                workload,
+                record,
+                self.policy.as_mut(),
+            )?;
             report.absorb(&hp_report);
             if record {
                 trace = hp_trace;
@@ -228,7 +268,7 @@ impl<'a> Simulator<'a> {
             None => {
                 if self.policy.needs_schedule() {
                     return Err(SimError::ScheduleRequired {
-                        policy: self.policy.name(),
+                        policy: self.policy.name().to_string(),
                     });
                 }
                 // One chunk per instance: budget WCEC, milestone at the
@@ -252,299 +292,313 @@ impl<'a> Simulator<'a> {
             }
         }
     }
+}
 
-    /// Simulates one hyper-period.
-    #[allow(clippy::too_many_lines)]
-    fn run_one(
-        &self,
-        plans: &[Vec<Vec<ChunkPlan>>],
-        abs_base: u64,
-        workload: &mut dyn FnMut(TaskId, u64) -> Cycles,
-        record: bool,
-    ) -> Result<(SimReport, Option<ExecutionTrace>), SimError> {
-        const EPS: f64 = 1e-9;
-        // Completion threshold in cycles. Schedules are accepted with up
-        // to ~1e-6 ms of worst-case trace lateness, which at f_max
-        // corresponds to fractions of a cycle of residual work; without a
-        // forgiving threshold that dust survives all chunk budgets, loses
-        // priority to newly released jobs (RM is not deadline-aware) and
-        // "completes" milliseconds late. 1e-2 cycles is tens of
-        // nanoseconds of work on any realistic clock — far below anything
-        // observable — and comfortably above every gate-permitted
-        // residual (including the looser quick-profile solves).
-        const CYCLE_EPS: f64 = 1e-2;
-        let mut report = SimReport::empty(self.set.len());
-        report.hyper_periods = 1;
-        let mut trace = record.then(ExecutionTrace::new);
+/// Simulates one hyper-period. A free function over the simulator's
+/// borrowed fields so the caller can hand over the policy `&mut` without
+/// detaching it from the `Simulator` (see [`Simulator::run`]).
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+fn run_one(
+    set: &TaskSet,
+    cpu: &Processor,
+    has_schedule: bool,
+    options: &SimOptions,
+    plans: &[Vec<Vec<ChunkPlan>>],
+    abs_base: u64,
+    workload: &mut dyn FnMut(TaskId, u64) -> Cycles,
+    record: bool,
+    policy: &mut dyn Policy,
+) -> Result<(SimReport, Option<ExecutionTrace>), SimError> {
+    const EPS: f64 = 1e-9;
+    // Completion threshold in cycles. Schedules are accepted with up
+    // to ~1e-6 ms of worst-case trace lateness, which at f_max
+    // corresponds to fractions of a cycle of residual work; without a
+    // forgiving threshold that dust survives all chunk budgets, loses
+    // priority to newly released jobs (RM is not deadline-aware) and
+    // "completes" milliseconds late. 1e-2 cycles is tens of
+    // nanoseconds of work on any realistic clock — far below anything
+    // observable — and comfortably above every gate-permitted
+    // residual (including the looser quick-profile solves).
+    const CYCLE_EPS: f64 = 1e-2;
+    let mut report = SimReport::empty(set.len());
+    report.hyper_periods = 1;
+    let mut trace = record.then(ExecutionTrace::new);
 
-        // ---- job construction & workload draws ----
-        let mut jobs: Vec<Job> = Vec::with_capacity(self.set.total_instances() as usize);
-        let mut abs_counter = abs_base;
-        for (tid, task) in self.set.iter() {
-            for inst in 0..self.set.instances_of(tid) {
-                let release = (inst * task.period().get()) as f64;
-                let drawn = workload(tid, abs_counter);
-                abs_counter += 1;
-                let raw = drawn.as_cycles();
-                if !raw.is_finite() || raw < 0.0 {
-                    return Err(SimError::InvalidWorkload {
-                        task: tid.0,
-                        instance: inst,
-                        cycles: raw,
-                    });
-                }
-                let wcec = task.wcec().as_cycles();
-                let mut actual = if raw > wcec {
-                    report.clamped_draws += 1;
-                    wcec
-                } else {
-                    raw
-                };
-                // The schedule's budgets are the effective worst case;
-                // clamp to their sum so repair rounding cannot leave
-                // un-budgeted dust behind.
-                let budget_sum: f64 = plans[tid.0][inst as usize]
-                    .iter()
-                    .map(|c| c.budget)
-                    .sum();
-                if self.schedule.is_some() {
-                    actual = actual.min(budget_sum);
-                }
-                let plan0 = plans[tid.0][inst as usize][0];
-                jobs.push(Job {
+    // ---- job construction & workload draws ----
+    let mut jobs: Vec<Job> = Vec::with_capacity(set.total_instances() as usize);
+    let mut abs_counter = abs_base;
+    for (tid, task) in set.iter() {
+        for inst in 0..set.instances_of(tid) {
+            let release = (inst * task.period().get()) as f64;
+            let drawn = workload(tid, abs_counter);
+            abs_counter += 1;
+            let raw = drawn.as_cycles();
+            if !raw.is_finite() || raw < 0.0 {
+                return Err(SimError::InvalidWorkload {
                     task: tid.0,
-                    instance_in_hyper: inst,
-                    release_ms: release,
-                    deadline_ms: release + task.deadline().get() as f64,
-                    remaining: actual,
-                    executed: 0.0,
-                    chunk: 0,
-                    chunk_budget_left: plan0.budget,
-                    done: false,
+                    instance: inst,
+                    cycles: raw,
+                });
+            }
+            let wcec = task.wcec().as_cycles();
+            let mut actual = if raw > wcec {
+                report.clamped_draws += 1;
+                wcec
+            } else {
+                raw
+            };
+            // The schedule's budgets are the effective worst case;
+            // clamp to their sum so repair rounding cannot leave
+            // un-budgeted dust behind.
+            let budget_sum: f64 = plans[tid.0][inst as usize].iter().map(|c| c.budget).sum();
+            if has_schedule {
+                actual = actual.min(budget_sum);
+            }
+            let plan0 = plans[tid.0][inst as usize][0];
+            jobs.push(Job {
+                task: tid.0,
+                instance_in_hyper: inst,
+                release_ms: release,
+                deadline_ms: release + task.deadline().get() as f64,
+                remaining: actual,
+                executed: 0.0,
+                chunk: 0,
+                chunk_budget_left: plan0.budget,
+                done: false,
+            });
+        }
+    }
+    // Release events, sorted by time (job index attached).
+    let mut releases: Vec<(f64, usize)> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, j)| (j.release_ms, i))
+        .collect();
+    releases.sort_by(|a, b| {
+        a.0.total_cmp(&b.0)
+            .then(jobs[a.1].task.cmp(&jobs[b.1].task))
+    });
+
+    let mut rel_ptr = 0usize;
+    let mut t = 0.0f64;
+    let mut last_voltage: Option<f64> = None;
+    let overhead = cpu.overhead();
+
+    loop {
+        // Admit releases (drives policy utilization bookkeeping).
+        while rel_ptr < releases.len() && releases[rel_ptr].0 <= t + EPS {
+            policy.on_release(TaskId(jobs[releases[rel_ptr].1].task), set, cpu);
+            rel_ptr += 1;
+        }
+
+        // Jobs with zero actual workload complete instantly.
+        for j in jobs.iter_mut() {
+            if !j.done && j.release_ms <= t + EPS && j.remaining <= CYCLE_EPS {
+                j.done = true;
+                report.jobs_completed += 1;
+                policy.on_completion(TaskId(j.task), Cycles::from_cycles(j.executed), set, cpu);
+            }
+        }
+        // ---- chunk maintenance for all released jobs ----
+        // Advancing here (not just for the dispatched job) keeps the
+        // throttle state of every job current before eligibility is
+        // decided.
+        for j in jobs.iter_mut() {
+            if j.done || j.release_ms > t + EPS || j.remaining <= CYCLE_EPS {
+                continue;
+            }
+            let plan = &plans[j.task][j.instance_in_hyper as usize];
+            loop {
+                // Budget exhausted: the job may only move on once the
+                // next chunk's segment opens (budget-enforced
+                // schedule; see `ChunkPlan::start_ms`).
+                if j.chunk_budget_left <= EPS
+                    && j.chunk + 1 < plan.len()
+                    && t + EPS >= plan[j.chunk + 1].start_ms
+                {
+                    j.chunk += 1;
+                    j.chunk_budget_left = plan[j.chunk].budget;
+                    continue;
+                }
+                // Roll missed-milestone budget forward — only when
+                // budget is actually left over (reachable only with
+                // externally supplied infeasible schedules). A *spent*
+                // chunk past its milestone must wait for its next
+                // window instead (first branch), not skip ahead.
+                if j.chunk_budget_left > EPS
+                    && t >= plan[j.chunk].end_ms + EPS
+                    && j.chunk + 1 < plan.len()
+                {
+                    let left = j.chunk_budget_left;
+                    j.chunk += 1;
+                    j.chunk_budget_left = plan[j.chunk].budget + left;
+                    continue;
+                }
+                break;
+            }
+        }
+        // A released job is throttled while its current chunk budget
+        // is spent and its next chunk's window has not opened.
+        let throttled = |j: &Job| {
+            let plan = &plans[j.task][j.instance_in_hyper as usize];
+            j.chunk_budget_left <= EPS && j.chunk + 1 < plan.len()
+        };
+        // Highest-priority eligible job (task index = priority; among
+        // instances of one task, the earlier release first).
+        let ready = jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| {
+                !j.done && j.release_ms <= t + EPS && j.remaining > CYCLE_EPS && !throttled(j)
+            })
+            .min_by(|(_, a), (_, b)| {
+                a.task
+                    .cmp(&b.task)
+                    .then(a.release_ms.total_cmp(&b.release_ms))
+            })
+            .map(|(i, _)| i);
+        // The earliest instant a throttled job wakes up.
+        let next_wakeup = jobs
+            .iter()
+            .filter(|j| {
+                !j.done && j.release_ms <= t + EPS && j.remaining > CYCLE_EPS && throttled(j)
+            })
+            .map(|j| plans[j.task][j.instance_in_hyper as usize][j.chunk + 1].start_ms)
+            .fold(f64::INFINITY, f64::min);
+        let Some(job_idx) = ready else {
+            // Idle until the next release or throttle expiry.
+            let next_release = releases
+                .get(rel_ptr)
+                .map(|&(r, _)| r)
+                .unwrap_or(f64::INFINITY);
+            let next = next_release.min(next_wakeup);
+            if next.is_finite() {
+                report.idle_time += TimeSpan::from_ms(next - t);
+                t = next;
+                continue;
+            }
+            // Shut down for the rest of the hyper-period.
+            let h = set.hyper_period().get() as f64;
+            if t < h {
+                report.idle_time += TimeSpan::from_ms(h - t);
+            }
+            break;
+        };
+        let plan = &plans[jobs[job_idx].task][jobs[job_idx].instance_in_hyper as usize];
+
+        // ---- dispatch ----
+        let (task, chunk, budget_left, remaining) = {
+            let j = &jobs[job_idx];
+            (j.task, j.chunk, j.chunk_budget_left, j.remaining)
+        };
+        let cp = plan[chunk];
+        let ctx = DispatchContext {
+            set,
+            cpu,
+            task: TaskId(task),
+            now: Time::from_ms(t),
+            chunk_end: Time::from_ms(cp.end_ms),
+            chunk_budget_remaining: Cycles::from_cycles(budget_left),
+            static_speed: Freq::from_cycles_per_ms(cp.static_speed),
+        };
+        let (speed, clamped) = cpu.clamp_speed(policy.on_dispatch(&ctx));
+        // The clamp keeps `speed` realizable by the *continuous*
+        // model; a discrete level table whose highest level sits
+        // below `vmax` can still fail to serve it, in which case the
+        // engine saturates at `vmax` (the historical fallback). Both
+        // paths are one saturated dispatch — never double-counted.
+        let (v, table_saturated) = match cpu.dispatch_voltage(speed) {
+            Ok(v) => (v, false),
+            Err(_) => (cpu.vmax(), true),
+        };
+        if clamped || table_saturated {
+            report.saturated_dispatches += 1;
+        }
+        let f_actual = cpu
+            .freq_at(v)
+            .map_err(|_| SimError::StalledProcessor)?
+            .as_cycles_per_ms();
+        if f_actual <= 1e-12 {
+            return Err(SimError::StalledProcessor);
+        }
+
+        // Voltage transition accounting (dead time + energy).
+        let changed = last_voltage
+            .map(|lv| (lv - v.as_volts()).abs() > 1e-9)
+            .unwrap_or(false);
+        if changed {
+            report.voltage_switches += 1;
+            report.energy += overhead.energy;
+            t += overhead.time.as_ms();
+        }
+        last_voltage = Some(v.as_volts());
+
+        // ---- execute until the next event ----
+        let until_complete = remaining / f_actual;
+        // A spent last chunk (possible only with inconsistent custom
+        // schedules) no longer gates execution — run the remainder.
+        let until_budget = if budget_left > EPS && budget_left < remaining {
+            budget_left / f_actual
+        } else {
+            f64::INFINITY
+        };
+        let until_release = releases
+            .get(rel_ptr)
+            .map(|&(next, _)| (next - t).max(0.0))
+            .unwrap_or(f64::INFINITY);
+        // A throttled higher-priority job waking up preempts too.
+        let until_wakeup = if next_wakeup.is_finite() {
+            (next_wakeup - t).max(0.0)
+        } else {
+            f64::INFINITY
+        };
+        let dt = until_complete
+            .min(until_budget)
+            .min(until_release)
+            .min(until_wakeup);
+        // Progress guard: a zero-length slice can only come from a
+        // release exactly at `t`, which the admission loop absorbs.
+        let dt = dt.max(0.0);
+        let cycles = f_actual * dt;
+
+        {
+            let j = &mut jobs[job_idx];
+            j.remaining = (j.remaining - cycles).max(0.0);
+            j.chunk_budget_left -= cycles;
+            j.executed += cycles;
+        }
+        let c_eff = set.tasks()[task].c_eff();
+        let e = cpu.energy(c_eff, v, Cycles::from_cycles(cycles));
+        report.energy += e;
+        report.per_task_energy[task] += e;
+        report.busy_time += TimeSpan::from_ms(dt);
+        if let Some(tr) = trace.as_mut() {
+            if dt > 0.0 {
+                tr.push(Slice {
+                    task: TaskId(task),
+                    instance: jobs[job_idx].instance_in_hyper,
+                    start: Time::from_ms(t),
+                    end: Time::from_ms(t + dt),
+                    voltage: v,
                 });
             }
         }
-        // Release events, sorted by time (job index attached).
-        let mut releases: Vec<(f64, usize)> =
-            jobs.iter().enumerate().map(|(i, j)| (j.release_ms, i)).collect();
-        releases.sort_by(|a, b| a.0.total_cmp(&b.0).then(jobs[a.1].task.cmp(&jobs[b.1].task)));
+        t += dt;
 
-        let mut ccrm = (self.policy == DvsPolicy::CcRm).then(|| CcRmState::new(self.set, self.cpu));
-        let mut rel_ptr = 0usize;
-        let mut t = 0.0f64;
-        let mut last_voltage: Option<f64> = None;
-        let overhead = self.cpu.overhead();
-
-        loop {
-            // Admit releases (drives ccRM utilization bookkeeping).
-            while rel_ptr < releases.len() && releases[rel_ptr].0 <= t + EPS {
-                if let Some(cc) = ccrm.as_mut() {
-                    cc.on_release(jobs[releases[rel_ptr].1].task, self.set, self.cpu);
-                }
-                rel_ptr += 1;
+        // ---- completion ----
+        let j = &mut jobs[job_idx];
+        if j.remaining <= CYCLE_EPS {
+            j.done = true;
+            report.jobs_completed += 1;
+            report.worst_lateness_ms = report.worst_lateness_ms.max(t - j.deadline_ms);
+            if t > j.deadline_ms + options.deadline_tol_ms {
+                report.deadline_misses += 1;
             }
-
-            // Jobs with zero actual workload complete instantly.
-            for j in jobs.iter_mut() {
-                if !j.done && j.release_ms <= t + EPS && j.remaining <= CYCLE_EPS {
-                    j.done = true;
-                    report.jobs_completed += 1;
-                    if let Some(cc) = ccrm.as_mut() {
-                        cc.on_completion(j.task, Cycles::from_cycles(j.executed), self.set, self.cpu);
-                    }
-                }
-            }
-            // ---- chunk maintenance for all released jobs ----
-            // Advancing here (not just for the dispatched job) keeps the
-            // throttle state of every job current before eligibility is
-            // decided.
-            for j in jobs.iter_mut() {
-                if j.done || j.release_ms > t + EPS || j.remaining <= CYCLE_EPS {
-                    continue;
-                }
-                let plan = &plans[j.task][j.instance_in_hyper as usize];
-                loop {
-                    // Budget exhausted: the job may only move on once the
-                    // next chunk's segment opens (budget-enforced
-                    // schedule; see `ChunkPlan::start_ms`).
-                    if j.chunk_budget_left <= EPS
-                        && j.chunk + 1 < plan.len()
-                        && t + EPS >= plan[j.chunk + 1].start_ms
-                    {
-                        j.chunk += 1;
-                        j.chunk_budget_left = plan[j.chunk].budget;
-                        continue;
-                    }
-                    // Roll missed-milestone budget forward — only when
-                    // budget is actually left over (reachable only with
-                    // externally supplied infeasible schedules). A *spent*
-                    // chunk past its milestone must wait for its next
-                    // window instead (first branch), not skip ahead.
-                    if j.chunk_budget_left > EPS
-                        && t >= plan[j.chunk].end_ms + EPS
-                        && j.chunk + 1 < plan.len()
-                    {
-                        let left = j.chunk_budget_left;
-                        j.chunk += 1;
-                        j.chunk_budget_left = plan[j.chunk].budget + left;
-                        continue;
-                    }
-                    break;
-                }
-            }
-            // A released job is throttled while its current chunk budget
-            // is spent and its next chunk's window has not opened.
-            let throttled = |j: &Job| {
-                let plan = &plans[j.task][j.instance_in_hyper as usize];
-                j.chunk_budget_left <= EPS && j.chunk + 1 < plan.len()
-            };
-            // Highest-priority eligible job (task index = priority; among
-            // instances of one task, the earlier release first).
-            let ready = jobs
-                .iter()
-                .enumerate()
-                .filter(|(_, j)| {
-                    !j.done && j.release_ms <= t + EPS && j.remaining > CYCLE_EPS && !throttled(j)
-                })
-                .min_by(|(_, a), (_, b)| {
-                    a.task
-                        .cmp(&b.task)
-                        .then(a.release_ms.total_cmp(&b.release_ms))
-                })
-                .map(|(i, _)| i);
-            // The earliest instant a throttled job wakes up.
-            let next_wakeup = jobs
-                .iter()
-                .filter(|j| !j.done && j.release_ms <= t + EPS && j.remaining > CYCLE_EPS && throttled(j))
-                .map(|j| plans[j.task][j.instance_in_hyper as usize][j.chunk + 1].start_ms)
-                .fold(f64::INFINITY, f64::min);
-            let Some(job_idx) = ready else {
-                // Idle until the next release or throttle expiry.
-                let next_release = releases.get(rel_ptr).map(|&(r, _)| r).unwrap_or(f64::INFINITY);
-                let next = next_release.min(next_wakeup);
-                if next.is_finite() {
-                    report.idle_time += TimeSpan::from_ms(next - t);
-                    t = next;
-                    continue;
-                }
-                // Shut down for the rest of the hyper-period.
-                let h = self.set.hyper_period().get() as f64;
-                if t < h {
-                    report.idle_time += TimeSpan::from_ms(h - t);
-                }
-                break;
-            };
-            let plan = &plans[jobs[job_idx].task][jobs[job_idx].instance_in_hyper as usize];
-
-            // ---- dispatch ----
-            let (task, chunk, budget_left, remaining) = {
-                let j = &jobs[job_idx];
-                (j.task, j.chunk, j.chunk_budget_left, j.remaining)
-            };
-            let cp = plan[chunk];
-            let ctx = DispatchContext {
-                now: Time::from_ms(t),
-                chunk_end: Time::from_ms(cp.end_ms),
-                chunk_budget_remaining: Cycles::from_cycles(budget_left),
-                static_speed: Freq::from_cycles_per_ms(cp.static_speed),
-            };
-            let speed = requested_speed(self.policy, self.cpu, &ctx, ccrm.as_ref());
-            let (v, saturated) = match self.cpu.dispatch_voltage(speed) {
-                Ok(v) => (v, false),
-                Err(_) => (self.cpu.vmax(), true),
-            };
-            if saturated {
-                report.saturated_dispatches += 1;
-            }
-            let f_actual = self
-                .cpu
-                .freq_at(v)
-                .map_err(|_| SimError::StalledProcessor)?
-                .as_cycles_per_ms();
-            if f_actual <= 1e-12 {
-                return Err(SimError::StalledProcessor);
-            }
-
-            // Voltage transition accounting (dead time + energy).
-            let changed = last_voltage
-                .map(|lv| (lv - v.as_volts()).abs() > 1e-9)
-                .unwrap_or(false);
-            if changed {
-                report.voltage_switches += 1;
-                report.energy += overhead.energy;
-                t += overhead.time.as_ms();
-            }
-            last_voltage = Some(v.as_volts());
-
-            // ---- execute until the next event ----
-            let until_complete = remaining / f_actual;
-            // A spent last chunk (possible only with inconsistent custom
-            // schedules) no longer gates execution — run the remainder.
-            let until_budget = if budget_left > EPS && budget_left < remaining {
-                budget_left / f_actual
-            } else {
-                f64::INFINITY
-            };
-            let until_release = releases
-                .get(rel_ptr)
-                .map(|&(next, _)| (next - t).max(0.0))
-                .unwrap_or(f64::INFINITY);
-            // A throttled higher-priority job waking up preempts too.
-            let until_wakeup = if next_wakeup.is_finite() {
-                (next_wakeup - t).max(0.0)
-            } else {
-                f64::INFINITY
-            };
-            let dt = until_complete
-                .min(until_budget)
-                .min(until_release)
-                .min(until_wakeup);
-            // Progress guard: a zero-length slice can only come from a
-            // release exactly at `t`, which the admission loop absorbs.
-            let dt = dt.max(0.0);
-            let cycles = f_actual * dt;
-
-            {
-                let j = &mut jobs[job_idx];
-                j.remaining = (j.remaining - cycles).max(0.0);
-                j.chunk_budget_left -= cycles;
-                j.executed += cycles;
-            }
-            let c_eff = self.set.tasks()[task].c_eff();
-            let e = self.cpu.energy(c_eff, v, Cycles::from_cycles(cycles));
-            report.energy += e;
-            report.per_task_energy[task] += e;
-            report.busy_time += TimeSpan::from_ms(dt);
-            if let Some(tr) = trace.as_mut() {
-                if dt > 0.0 {
-                    tr.push(Slice {
-                        task: TaskId(task),
-                        instance: jobs[job_idx].instance_in_hyper,
-                        start: Time::from_ms(t),
-                        end: Time::from_ms(t + dt),
-                        voltage: v,
-                    });
-                }
-            }
-            t += dt;
-
-            // ---- completion ----
-            let j = &mut jobs[job_idx];
-            if j.remaining <= CYCLE_EPS {
-                j.done = true;
-                report.jobs_completed += 1;
-                report.worst_lateness_ms = report.worst_lateness_ms.max(t - j.deadline_ms);
-                if t > j.deadline_ms + self.options.deadline_tol_ms {
-                    report.deadline_misses += 1;
-                }
-                if let Some(cc) = ccrm.as_mut() {
-                    cc.on_completion(j.task, Cycles::from_cycles(j.executed), self.set, self.cpu);
-                }
-            }
+            policy.on_completion(TaskId(j.task), Cycles::from_cycles(j.executed), set, cpu);
         }
-
-        Ok((report, trace))
     }
+
+    Ok((report, trace))
 }
 
 /// Convenience energy helper: total energy of running `schedule` under
@@ -557,7 +611,7 @@ pub fn simulate_deterministic(
     schedule: &StaticSchedule,
     totals: &[Cycles],
 ) -> Result<Energy, SimError> {
-    let sim = Simulator::new(set, cpu, DvsPolicy::GreedyReclaim).with_schedule(schedule);
+    let mut sim = Simulator::new(set, cpu, crate::policy::GreedyReclaim).with_schedule(schedule);
     let mut draw = |tid: TaskId, _abs: u64| totals[tid.0];
     let out = sim.run(&mut draw)?;
     Ok(out.report.energy)
@@ -566,6 +620,7 @@ pub fn simulate_deterministic(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::{CcRm, GreedyReclaim, NoDvs, StaticSpeed};
     use acs_core::{synthesize_acs, synthesize_wcs, SynthesisOptions};
     use acs_model::units::{Ticks, Volt};
     use acs_model::Task;
@@ -670,7 +725,7 @@ mod tests {
         let (set, cpu) = preemptive_set();
         let sched = synthesize_acs(&set, &cpu, &SynthesisOptions::default()).unwrap();
         let totals = acs_core::trace::wcec_totals(&set);
-        let sim = Simulator::new(&set, &cpu, DvsPolicy::GreedyReclaim).with_schedule(&sched);
+        let mut sim = Simulator::new(&set, &cpu, GreedyReclaim).with_schedule(&sched);
         let out = sim.run(&mut |tid, _| totals[tid.0]).unwrap();
         assert_eq!(out.report.deadline_misses, 0);
         assert_eq!(out.report.jobs_completed, set.total_instances() as usize);
@@ -679,12 +734,13 @@ mod tests {
     #[test]
     fn no_dvs_runs_flat_out_and_idles() {
         let (set, cpu) = motivation();
-        let sim = Simulator::new(&set, &cpu, DvsPolicy::NoDvs)
+        let out = Simulator::new(&set, &cpu, NoDvs)
             .with_options(SimOptions {
                 record_trace: true,
                 ..Default::default()
-            });
-        let out = sim.run(&mut |_, _| Cycles::from_cycles(1000.0)).unwrap();
+            })
+            .run(&mut |_, _| Cycles::from_cycles(1000.0))
+            .unwrap();
         // 3000 cycles at 200 cyc/ms = 15 ms busy, 5 ms idle.
         assert!((out.report.busy_time.as_ms() - 15.0).abs() < 1e-9);
         assert!((out.report.idle_time.as_ms() - 5.0).abs() < 1e-9);
@@ -700,25 +756,37 @@ mod tests {
         let sched = synthesize_wcs(&set, &cpu, &SynthesisOptions::default()).unwrap();
         let totals = acs_core::trace::acec_totals(&set);
         let mut energies = Vec::new();
-        for policy in [DvsPolicy::NoDvs, DvsPolicy::StaticSpeed, DvsPolicy::GreedyReclaim] {
-            let sim = Simulator::new(&set, &cpu, policy).with_schedule(&sched);
-            let out = sim.run(&mut |tid, _| totals[tid.0]).unwrap();
-            assert_eq!(out.report.deadline_misses, 0, "{policy}");
+        let policies: [Box<dyn Policy>; 3] = [
+            Box::new(NoDvs),
+            Box::new(StaticSpeed),
+            Box::new(GreedyReclaim),
+        ];
+        for policy in policies {
+            let name = policy.name().to_string();
+            let out = Simulator::new(&set, &cpu, policy)
+                .with_schedule(&sched)
+                .run(&mut |tid, _| totals[tid.0])
+                .unwrap();
+            assert_eq!(out.report.deadline_misses, 0, "{name}");
             energies.push(out.report.energy.as_units());
         }
         assert!(energies[1] < energies[0], "static < no-dvs: {energies:?}");
-        assert!(energies[2] < energies[1] + 1e-9, "greedy ≤ static: {energies:?}");
+        assert!(
+            energies[2] < energies[1] + 1e-9,
+            "greedy ≤ static: {energies:?}"
+        );
     }
 
     #[test]
     fn ccrm_reclaims_online_only() {
         let (set, cpu) = motivation();
         let totals = acs_core::trace::acec_totals(&set);
-        let sim = Simulator::new(&set, &cpu, DvsPolicy::CcRm);
-        let out = sim.run(&mut |tid, _| totals[tid.0]).unwrap();
+        let out = Simulator::new(&set, &cpu, CcRm::new())
+            .run(&mut |tid, _| totals[tid.0])
+            .unwrap();
         assert_eq!(out.report.deadline_misses, 0);
         // Better than no-DVS on average workloads.
-        let no_dvs = Simulator::new(&set, &cpu, DvsPolicy::NoDvs)
+        let no_dvs = Simulator::new(&set, &cpu, NoDvs)
             .run(&mut |tid, _| totals[tid.0])
             .unwrap();
         assert!(out.report.energy < no_dvs.report.energy);
@@ -729,29 +797,29 @@ mod tests {
         let (set, cpu) = preemptive_set();
         let sched = synthesize_wcs(&set, &cpu, &SynthesisOptions::default()).unwrap();
         let totals = acs_core::trace::acec_totals(&set);
-        let sim = Simulator::new(&set, &cpu, DvsPolicy::GreedyReclaim)
+        let out = Simulator::new(&set, &cpu, GreedyReclaim)
             .with_schedule(&sched)
             .with_options(SimOptions {
                 hyper_periods: 10,
                 ..Default::default()
-            });
-        let out = sim.run(&mut |tid, _| totals[tid.0]).unwrap();
+            })
+            .run(&mut |tid, _| totals[tid.0])
+            .unwrap();
         assert_eq!(out.report.hyper_periods, 10);
         assert_eq!(
             out.report.jobs_completed,
             10 * set.total_instances() as usize
         );
         let single = simulate_deterministic(&set, &cpu, &sched, &totals).unwrap();
-        assert!(
-            (out.report.energy_per_hyper_period().as_units() - single.as_units()).abs() < 1e-9
-        );
+        assert!((out.report.energy_per_hyper_period().as_units() - single.as_units()).abs() < 1e-9);
     }
 
     #[test]
     fn schedule_required_error() {
         let (set, cpu) = motivation();
-        let sim = Simulator::new(&set, &cpu, DvsPolicy::GreedyReclaim);
-        let err = sim.run(&mut |_, _| Cycles::from_cycles(1.0)).unwrap_err();
+        let err = Simulator::new(&set, &cpu, GreedyReclaim)
+            .run(&mut |_, _| Cycles::from_cycles(1.0))
+            .unwrap_err();
         assert!(matches!(err, SimError::ScheduleRequired { .. }));
     }
 
@@ -760,18 +828,21 @@ mod tests {
         let (set, cpu) = motivation();
         let (other_set, other_cpu) = preemptive_set();
         let sched = synthesize_wcs(&other_set, &other_cpu, &SynthesisOptions::default()).unwrap();
-        let sim = Simulator::new(&set, &cpu, DvsPolicy::GreedyReclaim).with_schedule(&sched);
-        let err = sim.run(&mut |_, _| Cycles::from_cycles(1.0)).unwrap_err();
+        let err = Simulator::new(&set, &cpu, GreedyReclaim)
+            .with_schedule(&sched)
+            .run(&mut |_, _| Cycles::from_cycles(1.0))
+            .unwrap_err();
         assert!(matches!(err, SimError::ScheduleMismatch { .. }));
     }
 
     #[test]
     fn invalid_workload_rejected_and_clamped() {
         let (set, cpu) = motivation();
-        let sim = Simulator::new(&set, &cpu, DvsPolicy::NoDvs);
-        let err = sim.run(&mut |_, _| Cycles::from_cycles(-5.0)).unwrap_err();
+        let err = Simulator::new(&set, &cpu, NoDvs)
+            .run(&mut |_, _| Cycles::from_cycles(-5.0))
+            .unwrap_err();
         assert!(matches!(err, SimError::InvalidWorkload { .. }));
-        let out = Simulator::new(&set, &cpu, DvsPolicy::NoDvs)
+        let out = Simulator::new(&set, &cpu, NoDvs)
             .run(&mut |_, _| Cycles::from_cycles(9999.0))
             .unwrap();
         assert_eq!(out.report.clamped_draws, 3);
@@ -780,7 +851,7 @@ mod tests {
     #[test]
     fn zero_workload_jobs_complete_without_energy() {
         let (set, cpu) = motivation();
-        let out = Simulator::new(&set, &cpu, DvsPolicy::NoDvs)
+        let out = Simulator::new(&set, &cpu, NoDvs)
             .run(&mut |_, _| Cycles::from_cycles(0.0))
             .unwrap();
         assert_eq!(out.report.jobs_completed, 3);
@@ -792,14 +863,15 @@ mod tests {
     fn preemption_occurs_in_trace() {
         let (set, cpu) = preemptive_set();
         let sched = synthesize_wcs(&set, &cpu, &SynthesisOptions::default()).unwrap();
-        let sim = Simulator::new(&set, &cpu, DvsPolicy::GreedyReclaim)
+        let totals = acs_core::trace::wcec_totals(&set);
+        let out = Simulator::new(&set, &cpu, GreedyReclaim)
             .with_schedule(&sched)
             .with_options(SimOptions {
                 record_trace: true,
                 ..Default::default()
-            });
-        let totals = acs_core::trace::wcec_totals(&set);
-        let out = sim.run(&mut |tid, _| totals[tid.0]).unwrap();
+            })
+            .run(&mut |tid, _| totals[tid.0])
+            .unwrap();
         let trace = out.trace.unwrap();
         // In the worst case `lo` must be split around `hi`'s release at 4.
         let lo_slices: Vec<_> = trace
@@ -807,7 +879,11 @@ mod tests {
             .iter()
             .filter(|s| s.task == TaskId(1))
             .collect();
-        assert!(lo_slices.len() >= 2, "lo executed in {} slices", lo_slices.len());
+        assert!(
+            lo_slices.len() >= 2,
+            "lo executed in {} slices",
+            lo_slices.len()
+        );
         // Priority invariant: `hi` never waits while `lo` runs after its
         // release.
         for s in trace.slices() {
@@ -835,11 +911,122 @@ mod tests {
             .unwrap();
         let sched = synthesize_wcs(&set, &cpu, &SynthesisOptions::default()).unwrap();
         let totals = acs_core::trace::acec_totals(&set);
-        let sim = Simulator::new(&set, &cpu, DvsPolicy::GreedyReclaim).with_schedule(&sched);
-        let out = sim.run(&mut |tid, _| totals[tid.0]).unwrap();
+        let out = Simulator::new(&set, &cpu, GreedyReclaim)
+            .with_schedule(&sched)
+            .run(&mut |tid, _| totals[tid.0])
+            .unwrap();
         assert!(out.report.voltage_switches > 0);
         // Energy strictly above the zero-overhead run.
         let base = simulate_deterministic(&set, &cpu0, &sched, &totals).unwrap();
         assert!(out.report.energy > base);
+    }
+
+    /// A policy requesting wild speeds is clamped at the engine boundary:
+    /// the run completes, energy equals the all-fmax run, over-requests
+    /// are counted as saturated dispatches.
+    #[test]
+    fn rogue_policy_speeds_are_clamped() {
+        struct Rogue {
+            calls: usize,
+        }
+        impl Policy for Rogue {
+            fn name(&self) -> &str {
+                "rogue"
+            }
+            fn on_dispatch(&mut self, _ctx: &DispatchContext<'_>) -> Freq {
+                self.calls += 1;
+                match self.calls % 3 {
+                    0 => Freq::from_cycles_per_ms(f64::INFINITY),
+                    1 => Freq::from_cycles_per_ms(1e9),
+                    _ => Freq::from_cycles_per_ms(f64::NAN),
+                }
+            }
+        }
+        let (set, cpu) = motivation();
+        let out = Simulator::new(&set, &cpu, Rogue { calls: 0 })
+            .run(&mut |_, _| Cycles::from_cycles(1000.0))
+            .unwrap();
+        assert_eq!(out.report.deadline_misses, 0);
+        assert!(out.report.saturated_dispatches > 0);
+        let flat = Simulator::new(&set, &cpu, NoDvs)
+            .run(&mut |_, _| Cycles::from_cycles(1000.0))
+            .unwrap();
+        assert!((out.report.energy.as_units() - flat.report.energy.as_units()).abs() < 1e-9);
+    }
+
+    /// A discrete level table whose highest level sits below `vmax`
+    /// cannot serve a near-`f_max` request: the engine saturates at
+    /// `vmax` and counts it — exactly once, even when the request was
+    /// also clamped at the engine boundary.
+    #[test]
+    fn short_level_table_saturation_is_counted_once() {
+        use acs_power::LevelTable;
+        let (set, _) = motivation();
+        let table = LevelTable::new(
+            [1.0, 2.0, 3.0]
+                .iter()
+                .map(|&v| Volt::from_volts(v))
+                .collect(),
+        )
+        .unwrap();
+        let cpu = Processor::builder(FreqModel::linear(50.0).unwrap())
+            .vmin(Volt::from_volts(1.0))
+            .vmax(Volt::from_volts(4.0))
+            .discrete_levels(table)
+            .build()
+            .unwrap();
+        // NoDvs requests exactly f_max (needs 4 V; the table tops out at
+        // 3 V): every dispatch saturates via the table fallback.
+        let flat = Simulator::new(&set, &cpu, NoDvs)
+            .run(&mut |_, _| Cycles::from_cycles(1000.0))
+            .unwrap();
+        assert!(flat.report.saturated_dispatches > 0);
+        // A policy over-requesting past f_max is clamped AND unservable
+        // by the table — still one saturation per dispatch, not two.
+        struct Over;
+        impl Policy for Over {
+            fn name(&self) -> &str {
+                "over"
+            }
+            fn on_dispatch(&mut self, _ctx: &DispatchContext<'_>) -> Freq {
+                Freq::from_cycles_per_ms(1e9)
+            }
+        }
+        let over = Simulator::new(&set, &cpu, Over)
+            .run(&mut |_, _| Cycles::from_cycles(1000.0))
+            .unwrap();
+        assert_eq!(
+            over.report.saturated_dispatches,
+            flat.report.saturated_dispatches
+        );
+        assert_eq!(over.report.energy, flat.report.energy);
+    }
+
+    /// Speeds below `f_min` rise to `f_min` (the processor cannot run
+    /// slower) without being counted as saturation.
+    #[test]
+    fn under_requests_rise_to_f_min() {
+        struct Crawler;
+        impl Policy for Crawler {
+            fn name(&self) -> &str {
+                "crawler"
+            }
+            fn on_dispatch(&mut self, _ctx: &DispatchContext<'_>) -> Freq {
+                Freq::from_cycles_per_ms(1e-6)
+            }
+        }
+        let (set, cpu) = motivation();
+        let out = Simulator::new(&set, &cpu, Crawler)
+            .run(&mut |_, _| Cycles::from_cycles(100.0)) // light load: vmin is safe
+            .unwrap();
+        assert_eq!(out.report.saturated_dispatches, 0);
+        // Everything ran at vmin: E = c_eff · vmin² · cycles.
+        let vmin = cpu.vmin().as_volts();
+        let expected: f64 = set
+            .tasks()
+            .iter()
+            .map(|t| t.c_eff() * vmin * vmin * 100.0)
+            .sum();
+        assert!((out.report.energy.as_units() - expected).abs() < 1e-6);
     }
 }

@@ -10,7 +10,7 @@ pub enum SimError {
     /// The chosen policy needs a static schedule but none was supplied.
     ScheduleRequired {
         /// Name of the policy.
-        policy: &'static str,
+        policy: String,
     },
     /// The supplied schedule was synthesized for a different task set
     /// (task count or hyper-period mismatch).
@@ -64,9 +64,11 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(SimError::ScheduleRequired { policy: "greedy" }
-            .to_string()
-            .contains("greedy"));
+        assert!(SimError::ScheduleRequired {
+            policy: "greedy".into()
+        }
+        .to_string()
+        .contains("greedy"));
         assert!(SimError::StalledProcessor.to_string().contains("zero"));
     }
 }

@@ -11,7 +11,12 @@ use acs_model::TaskSet;
 /// columns. Each task occupies one row; an executing slice is drawn with
 /// `█` and annotated with its voltage (to one decimal) where space
 /// permits; idle time is `·`.
-pub fn render_gantt(trace: &ExecutionTrace, set: &TaskSet, horizon_ms: f64, width: usize) -> String {
+pub fn render_gantt(
+    trace: &ExecutionTrace,
+    set: &TaskSet,
+    horizon_ms: f64,
+    width: usize,
+) -> String {
     let width = width.max(10);
     let scale = width as f64 / horizon_ms.max(1e-9);
     let mut out = String::new();

@@ -1,25 +1,35 @@
 //! # acs-sim
 //!
-//! Event-driven preemptive rate-monotonic simulator with online dynamic
-//! voltage scaling, for the `acsched` workspace.
+//! Event-driven preemptive rate-monotonic simulator with an **open
+//! online-DVS policy API**, for the `acsched` workspace.
 //!
 //! This is the paper's *runtime phase*: the offline synthesizer
 //! (`acs-core`) fixes per-sub-instance end times `e_u` and worst-case
 //! budgets `R̂_u`; at runtime the dispatcher picks the supply voltage at
-//! every scheduling event. Four policies are provided:
+//! every scheduling event. Voltage selection is pluggable through the
+//! [`Policy`] trait — implement `on_dispatch` (plus optional
+//! `on_release`/`on_completion`/`on_start` state hooks) and the engine
+//! drives your policy like any built-in, clamping every requested speed
+//! into the processor's `[f_min, f_max]`. Four built-ins ship with the
+//! crate:
 //!
-//! * [`DvsPolicy::NoDvs`] — flat out, idle when nothing is ready;
-//! * [`DvsPolicy::StaticSpeed`] — the static schedule's speeds, no slack
+//! * [`NoDvs`] — flat out, idle when nothing is ready;
+//! * [`StaticSpeed`] — the static schedule's speeds, no slack
 //!   reclamation;
-//! * [`DvsPolicy::GreedyReclaim`] — the paper's greedy slack
-//!   redistribution: `speed = R̂_rem / (e_u − now)`;
-//! * [`DvsPolicy::CcRm`] — a cycle-conserving, online-only baseline in
-//!   the spirit of Pillai & Shin.
+//! * [`GreedyReclaim`] — the paper's greedy slack redistribution:
+//!   `speed = R̂_rem / (e_u − now)`;
+//! * [`CcRm`] — a cycle-conserving, online-only baseline in the spirit
+//!   of Pillai & Shin.
+//!
+//! (The pre-0.2 closed [`DvsPolicy`] enum still works everywhere a
+//! policy is accepted, as a deprecated shim.)
 //!
 //! The simulator reports energy, deadline misses, saturation events,
 //! idle/busy time and voltage switches ([`SimReport`]), optionally
 //! recording an [`ExecutionTrace`] renderable as an ASCII Gantt chart
-//! ([`render_gantt`]).
+//! ([`render_gantt`]). For batch experiments over grids of task sets,
+//! processors, schedules, policies and workloads, see the `acs-runtime`
+//! crate's `Campaign` runner, which parallelizes `Simulator` runs.
 //!
 //! ## Example
 //!
@@ -27,7 +37,7 @@
 //! use acs_core::{synthesize_acs, SynthesisOptions};
 //! use acs_model::{Task, TaskSet, units::{Cycles, Ticks, Volt}};
 //! use acs_power::{FreqModel, Processor};
-//! use acs_sim::{DvsPolicy, Simulator};
+//! use acs_sim::{GreedyReclaim, Simulator};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let set = TaskSet::new(vec![
@@ -41,13 +51,19 @@
 //!     .vmin(Volt::from_volts(0.5)).vmax(Volt::from_volts(4.0)).build()?;
 //! let schedule = synthesize_acs(&set, &cpu, &SynthesisOptions::quick())?;
 //!
-//! let sim = Simulator::new(&set, &cpu, DvsPolicy::GreedyReclaim)
-//!     .with_schedule(&schedule);
-//! let out = sim.run(&mut |_task, _instance| Cycles::from_cycles(80.0))?;
+//! let out = Simulator::new(&set, &cpu, GreedyReclaim)
+//!     .with_schedule(&schedule)
+//!     .run(&mut |_task, _instance| Cycles::from_cycles(80.0))?;
 //! assert!(out.report.all_deadlines_met());
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Writing your own policy
+//!
+//! See the [`policy`] module docs for a complete custom-policy example;
+//! any `impl Policy` value plugs straight into [`Simulator::new`] (and
+//! into `acs-runtime` campaigns) with no engine changes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -64,6 +80,8 @@ pub use engine::{simulate_deterministic, RunOutput, SimOptions, Simulator};
 pub use error::SimError;
 pub use exec_trace::{ExecutionTrace, Slice};
 pub use gantt::render_gantt;
-pub use policy::{CcRmState, DispatchContext, DvsPolicy};
+#[allow(deprecated)]
+pub use policy::DvsPolicy;
+pub use policy::{CcRm, DispatchContext, GreedyReclaim, IntoPolicy, NoDvs, Policy, StaticSpeed};
 pub use report::{improvement_over, SimReport};
 pub use stats::Summary;

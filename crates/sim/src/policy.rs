@@ -1,31 +1,271 @@
-//! Online DVS policies.
+//! The open online-DVS policy API.
+//!
+//! The simulator is policy-agnostic: anything implementing [`Policy`]
+//! can drive the voltage selection at every dispatch, with no changes to
+//! the engine. The four built-ins ([`NoDvs`], [`StaticSpeed`],
+//! [`GreedyReclaim`], [`CcRm`]) are ordinary implementations of the same
+//! trait — a user-defined policy is a first-class citizen:
+//!
+//! ```
+//! use acs_model::units::Freq;
+//! use acs_sim::{DispatchContext, Policy};
+//!
+//! /// Greedy reclamation, but never below half of f_max — a latency
+//! /// hedge against mispredicted workloads.
+//! struct CautiousGreedy;
+//!
+//! impl Policy for CautiousGreedy {
+//!     fn name(&self) -> &str {
+//!         "cautious-greedy"
+//!     }
+//!     fn needs_schedule(&self) -> bool {
+//!         true
+//!     }
+//!     fn on_dispatch(&mut self, ctx: &DispatchContext<'_>) -> Freq {
+//!         let fmax = ctx.cpu.f_max();
+//!         let window = ctx.chunk_end - ctx.now;
+//!         if window.as_ms() <= 0.0 {
+//!             return fmax;
+//!         }
+//!         let greedy = ctx.chunk_budget_remaining / window;
+//!         Freq::from_cycles_per_ms(
+//!             greedy.as_cycles_per_ms().max(0.5 * fmax.as_cycles_per_ms()),
+//!         )
+//!     }
+//! }
+//! ```
+//!
+//! The engine clamps whatever [`Policy::on_dispatch`] returns into the
+//! processor's `[f_min, f_max]` range (counting over-requests as
+//! saturated dispatches), so no policy — built-in or user-provided — can
+//! request an unrealizable frequency.
 
 use acs_model::units::{Cycles, Freq, Time};
-use acs_model::TaskSet;
+use acs_model::{TaskId, TaskSet};
 use acs_power::Processor;
 
-/// The online voltage-selection policy used at every dispatch.
+/// Everything a policy may consult when dispatching a job's chunk.
+#[derive(Debug, Clone, Copy)]
+pub struct DispatchContext<'a> {
+    /// The task set being simulated.
+    pub set: &'a TaskSet,
+    /// The processor executing it.
+    pub cpu: &'a Processor,
+    /// The task whose job is being dispatched.
+    pub task: TaskId,
+    /// Current simulation time (within the hyper-period).
+    pub now: Time,
+    /// Milestone end time of the current chunk.
+    pub chunk_end: Time,
+    /// Remaining worst-case budget of the current chunk.
+    pub chunk_budget_remaining: Cycles,
+    /// Precomputed static speed of the chunk (for [`StaticSpeed`]).
+    pub static_speed: Freq,
+}
+
+/// An online DVS policy: called back by the engine at every scheduling
+/// event, returns the speed to run at from [`Policy::on_dispatch`].
+///
+/// Policies may keep arbitrary internal state; [`Policy::on_start`] runs
+/// at the beginning of every hyper-period and must (re)initialize that
+/// state so multi-hyper-period runs stay independent and deterministic.
+pub trait Policy: Send {
+    /// Short display name used in reports and error messages.
+    fn name(&self) -> &str;
+
+    /// `true` when the policy dispatches from static-schedule milestones
+    /// (the engine then requires [`Simulator::with_schedule`]).
+    ///
+    /// [`Simulator::with_schedule`]: crate::Simulator::with_schedule
+    fn needs_schedule(&self) -> bool {
+        false
+    }
+
+    /// Called once at the start of every hyper-period; reset internal
+    /// state here.
+    fn on_start(&mut self, _set: &TaskSet, _cpu: &Processor) {}
+
+    /// A new instance of `task` was released.
+    fn on_release(&mut self, _task: TaskId, _set: &TaskSet, _cpu: &Processor) {}
+
+    /// An instance of `task` completed after executing `actual` cycles.
+    fn on_completion(&mut self, _task: TaskId, _actual: Cycles, _set: &TaskSet, _cpu: &Processor) {}
+
+    /// The speed to run the dispatched chunk at. The engine clamps the
+    /// result into the processor's `[f_min, f_max]`.
+    fn on_dispatch(&mut self, ctx: &DispatchContext<'_>) -> Freq;
+}
+
+/// Conversion into a boxed [`Policy`], so [`Simulator::new`] accepts
+/// policy values, boxed policies, and the deprecated [`DvsPolicy`] enum
+/// uniformly.
+///
+/// [`Simulator::new`]: crate::Simulator::new
+pub trait IntoPolicy {
+    /// Boxes `self` as a dynamic policy.
+    fn into_policy(self) -> Box<dyn Policy>;
+}
+
+impl<P: Policy + 'static> IntoPolicy for P {
+    fn into_policy(self) -> Box<dyn Policy> {
+        Box::new(self)
+    }
+}
+
+impl IntoPolicy for Box<dyn Policy> {
+    fn into_policy(self) -> Box<dyn Policy> {
+        self
+    }
+}
+
+// ---------------------------------------------------------------------
+// Built-in policies
+// ---------------------------------------------------------------------
+
+/// Always run at maximum speed; idle when nothing is ready. The no-DVS
+/// reference point.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoDvs;
+
+impl Policy for NoDvs {
+    fn name(&self) -> &str {
+        "no-dvs"
+    }
+    fn on_dispatch(&mut self, ctx: &DispatchContext<'_>) -> Freq {
+        ctx.cpu.f_max()
+    }
+}
+
+/// Use the static schedule's per-chunk speed `R̂_u/(e_u − ŝ_u)`
+/// (worst-case start `ŝ_u`), with **no** slack reclamation. Isolates the
+/// value of the static schedule alone.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StaticSpeed;
+
+impl Policy for StaticSpeed {
+    fn name(&self) -> &str {
+        "static"
+    }
+    fn needs_schedule(&self) -> bool {
+        true
+    }
+    fn on_dispatch(&mut self, ctx: &DispatchContext<'_>) -> Freq {
+        ctx.static_speed
+    }
+}
+
+/// The paper's runtime: at dispatch, stretch the chunk's remaining
+/// worst-case budget over the time left until its milestone,
+/// `speed = R̂_rem/(e_u − now)` — early completions automatically lower
+/// later voltages (greedy slack reclamation).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyReclaim;
+
+impl Policy for GreedyReclaim {
+    fn name(&self) -> &str {
+        "greedy"
+    }
+    fn needs_schedule(&self) -> bool {
+        true
+    }
+    fn on_dispatch(&mut self, ctx: &DispatchContext<'_>) -> Freq {
+        let window = ctx.chunk_end - ctx.now;
+        if window.as_ms() <= 0.0 {
+            ctx.cpu.f_max()
+        } else {
+            ctx.chunk_budget_remaining / window
+        }
+    }
+}
+
+/// Cycle-conserving RM (Pillai & Shin, SOSP 2001 style): a purely
+/// online baseline that rescales speed to the dynamic utilization
+/// `Σ U_i`, using WCEC for active instances and the actual cycles for
+/// completed ones. Ignores the static schedule.
+#[derive(Debug, Clone, Default)]
+pub struct CcRm {
+    /// Per-task utilization contribution.
+    util: Vec<f64>,
+}
+
+impl CcRm {
+    /// Creates the policy; utilizations initialize at
+    /// [`Policy::on_start`].
+    pub fn new() -> Self {
+        CcRm::default()
+    }
+
+    fn worst_util(task: TaskId, set: &TaskSet, cpu: &Processor) -> f64 {
+        let t = &set.tasks()[task.0];
+        t.wcec() / (t.period().as_span() * cpu.f_max())
+    }
+
+    /// The engine calls [`Policy::on_start`] before any other hook; for
+    /// direct use outside it, lazily fall back to the same
+    /// initialization instead of indexing an empty table (the old
+    /// `CcRmState::new(set, cpu)` made that state unrepresentable).
+    fn ensure_started(&mut self, set: &TaskSet, cpu: &Processor) {
+        if self.util.len() != set.len() {
+            self.on_start(set, cpu);
+        }
+    }
+}
+
+impl Policy for CcRm {
+    fn name(&self) -> &str {
+        "ccrm"
+    }
+    fn on_start(&mut self, set: &TaskSet, cpu: &Processor) {
+        self.util = set
+            .iter()
+            .map(|(tid, _)| CcRm::worst_util(tid, set, cpu))
+            .collect();
+    }
+    fn on_release(&mut self, task: TaskId, set: &TaskSet, cpu: &Processor) {
+        self.ensure_started(set, cpu);
+        self.util[task.0] = CcRm::worst_util(task, set, cpu);
+    }
+    fn on_completion(&mut self, task: TaskId, actual: Cycles, set: &TaskSet, cpu: &Processor) {
+        self.ensure_started(set, cpu);
+        let t = &set.tasks()[task.0];
+        self.util[task.0] = actual / (t.period().as_span() * cpu.f_max());
+    }
+    fn on_dispatch(&mut self, ctx: &DispatchContext<'_>) -> Freq {
+        if self.util.is_empty() {
+            // Hooks never ran (direct use outside the engine, which
+            // always calls `on_start` first): be conservative.
+            return ctx.cpu.f_max();
+        }
+        let u: f64 = self.util.iter().sum();
+        ctx.cpu.f_max() * u.clamp(0.0, 1.0)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deprecated closed enum (compatibility shim)
+// ---------------------------------------------------------------------
+
+/// The original closed set of online policies, kept as a thin shim over
+/// the [`Policy`] trait: `Simulator::new(&set, &cpu, DvsPolicy::NoDvs)`
+/// still works through [`IntoPolicy`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use the Policy trait implementations (NoDvs, StaticSpeed, GreedyReclaim, CcRm) \
+            or implement Policy directly"
+)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DvsPolicy {
-    /// Always run at maximum speed; idle when nothing is ready. The
-    /// no-DVS reference point.
+    /// See [`NoDvs`].
     NoDvs,
-    /// Use the static schedule's per-chunk speed `R̂_u/(e_u − ŝ_u)`
-    /// (worst-case start `ŝ_u`), with **no** slack reclamation. Isolates
-    /// the value of the static schedule alone.
+    /// See [`StaticSpeed`].
     StaticSpeed,
-    /// The paper's runtime: at dispatch, stretch the chunk's remaining
-    /// worst-case budget over the time left until its milestone,
-    /// `speed = R̂_rem/(e_u − now)` — early completions automatically
-    /// lower later voltages (greedy slack reclamation).
+    /// See [`GreedyReclaim`].
     GreedyReclaim,
-    /// Cycle-conserving RM (Pillai & Shin, SOSP 2001 style): a purely
-    /// online baseline that rescales speed to the dynamic utilization
-    /// `Σ U_i`, using WCEC for active instances and the actual cycles for
-    /// completed ones. Ignores the static schedule.
+    /// See [`CcRm`].
     CcRm,
 }
 
+#[allow(deprecated)]
 impl DvsPolicy {
     /// `true` when the policy dispatches from static milestones.
     pub fn needs_schedule(self) -> bool {
@@ -43,85 +283,29 @@ impl DvsPolicy {
     }
 }
 
+#[allow(deprecated)]
 impl std::fmt::Display for DvsPolicy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
     }
 }
 
-/// Dynamic-utilization state for [`DvsPolicy::CcRm`].
-#[derive(Debug, Clone)]
-pub struct CcRmState {
-    /// Per-task utilization contribution.
-    util: Vec<f64>,
-}
-
-impl CcRmState {
-    /// Initializes with every task at its worst-case utilization.
-    pub fn new(set: &TaskSet, cpu: &Processor) -> Self {
-        let fmax = cpu.f_max();
-        CcRmState {
-            util: set
-                .tasks()
-                .iter()
-                .map(|t| t.wcec() / (t.period().as_span() * fmax))
-                .collect(),
+#[allow(deprecated)]
+impl From<DvsPolicy> for Box<dyn Policy> {
+    fn from(p: DvsPolicy) -> Box<dyn Policy> {
+        match p {
+            DvsPolicy::NoDvs => Box::new(NoDvs),
+            DvsPolicy::StaticSpeed => Box::new(StaticSpeed),
+            DvsPolicy::GreedyReclaim => Box::new(GreedyReclaim),
+            DvsPolicy::CcRm => Box::new(CcRm::new()),
         }
     }
-
-    /// A new instance of `task` was released: assume its worst case.
-    pub fn on_release(&mut self, task: usize, set: &TaskSet, cpu: &Processor) {
-        let t = &set.tasks()[task];
-        self.util[task] = t.wcec() / (t.period().as_span() * cpu.f_max());
-    }
-
-    /// An instance of `task` completed after executing `actual` cycles.
-    pub fn on_completion(&mut self, task: usize, actual: Cycles, set: &TaskSet, cpu: &Processor) {
-        let t = &set.tasks()[task];
-        self.util[task] = actual / (t.period().as_span() * cpu.f_max());
-    }
-
-    /// Speed the policy requests right now.
-    pub fn speed(&self, cpu: &Processor) -> Freq {
-        let u: f64 = self.util.iter().sum();
-        cpu.f_max() * u.clamp(0.0, 1.0)
-    }
 }
 
-/// Everything a policy may consult when dispatching a job's chunk.
-#[derive(Debug, Clone, Copy)]
-pub struct DispatchContext {
-    /// Current simulation time (within the hyper-period).
-    pub now: Time,
-    /// Milestone end time of the current chunk.
-    pub chunk_end: Time,
-    /// Remaining worst-case budget of the current chunk.
-    pub chunk_budget_remaining: Cycles,
-    /// Precomputed static speed of the chunk (for [`DvsPolicy::StaticSpeed`]).
-    pub static_speed: Freq,
-}
-
-/// Computes the requested speed for a dispatch under `policy`.
-pub fn requested_speed(
-    policy: DvsPolicy,
-    cpu: &Processor,
-    ctx: &DispatchContext,
-    ccrm: Option<&CcRmState>,
-) -> Freq {
-    match policy {
-        DvsPolicy::NoDvs => cpu.f_max(),
-        DvsPolicy::StaticSpeed => ctx.static_speed,
-        DvsPolicy::GreedyReclaim => {
-            let window = ctx.chunk_end - ctx.now;
-            if window.as_ms() <= 0.0 {
-                cpu.f_max()
-            } else {
-                ctx.chunk_budget_remaining / window
-            }
-        }
-        DvsPolicy::CcRm => ccrm
-            .map(|s| s.speed(cpu))
-            .unwrap_or_else(|| cpu.f_max()),
+#[allow(deprecated)]
+impl IntoPolicy for DvsPolicy {
+    fn into_policy(self) -> Box<dyn Policy> {
+        self.into()
     }
 }
 
@@ -152,74 +336,101 @@ mod tests {
         (set, cpu)
     }
 
+    fn ctx<'a>(
+        set: &'a TaskSet,
+        cpu: &'a Processor,
+        now: f64,
+        end: f64,
+        budget: f64,
+        static_speed: f64,
+    ) -> DispatchContext<'a> {
+        DispatchContext {
+            set,
+            cpu,
+            task: TaskId(0),
+            now: Time::from_ms(now),
+            chunk_end: Time::from_ms(end),
+            chunk_budget_remaining: Cycles::from_cycles(budget),
+            static_speed: Freq::from_cycles_per_ms(static_speed),
+        }
+    }
+
     #[test]
     fn needs_schedule_flags() {
-        assert!(!DvsPolicy::NoDvs.needs_schedule());
-        assert!(DvsPolicy::StaticSpeed.needs_schedule());
-        assert!(DvsPolicy::GreedyReclaim.needs_schedule());
-        assert!(!DvsPolicy::CcRm.needs_schedule());
-        assert_eq!(DvsPolicy::GreedyReclaim.to_string(), "greedy");
+        assert!(!NoDvs.needs_schedule());
+        assert!(StaticSpeed.needs_schedule());
+        assert!(GreedyReclaim.needs_schedule());
+        assert!(!CcRm::new().needs_schedule());
+        assert_eq!(GreedyReclaim.name(), "greedy");
     }
 
     #[test]
     fn ccrm_tracks_dynamic_utilization() {
         let (set, cpu) = fixture();
-        let mut s = CcRmState::new(&set, &cpu);
+        let mut p = CcRm::new();
+        p.on_start(&set, &cpu);
+        let speed_of = |p: &mut CcRm| {
+            let c = ctx(&set, &cpu, 0.0, 1.0, 1.0, 0.0);
+            p.on_dispatch(&c).as_cycles_per_ms()
+        };
         // Worst case: 200/(10·100) + 400/(20·100) = 0.2 + 0.2 = 0.4.
-        assert!((s.speed(&cpu).as_cycles_per_ms() - 40.0).abs() < 1e-9);
+        assert!((speed_of(&mut p) - 40.0).abs() < 1e-9);
         // Task a completes with only 50 cycles: U_a = 0.05.
-        s.on_completion(0, Cycles::from_cycles(50.0), &set, &cpu);
-        assert!((s.speed(&cpu).as_cycles_per_ms() - 25.0).abs() < 1e-9);
+        p.on_completion(TaskId(0), Cycles::from_cycles(50.0), &set, &cpu);
+        assert!((speed_of(&mut p) - 25.0).abs() < 1e-9);
         // Next release of a restores the worst case.
-        s.on_release(0, &set, &cpu);
-        assert!((s.speed(&cpu).as_cycles_per_ms() - 40.0).abs() < 1e-9);
+        p.on_release(TaskId(0), &set, &cpu);
+        assert!((speed_of(&mut p) - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ccrm_tolerates_hooks_before_on_start() {
+        let (set, cpu) = fixture();
+        let mut p = CcRm::new();
+        // No on_start: dispatch is conservative, hooks self-initialize.
+        let c = ctx(&set, &cpu, 0.0, 1.0, 1.0, 0.0);
+        assert_eq!(p.on_dispatch(&c), cpu.f_max());
+        p.on_completion(TaskId(0), Cycles::from_cycles(50.0), &set, &cpu);
+        // 50/(10·100) + 400/(20·100) = 0.05 + 0.2.
+        assert!((p.on_dispatch(&c).as_cycles_per_ms() - 25.0).abs() < 1e-9);
+        let mut q = CcRm::new();
+        q.on_release(TaskId(1), &set, &cpu);
+        assert!((q.on_dispatch(&c).as_cycles_per_ms() - 40.0).abs() < 1e-9);
     }
 
     #[test]
     fn greedy_speed_from_context() {
-        let (_, cpu) = fixture();
-        let ctx = DispatchContext {
-            now: Time::from_ms(2.0),
-            chunk_end: Time::from_ms(6.0),
-            chunk_budget_remaining: Cycles::from_cycles(200.0),
-            static_speed: Freq::from_cycles_per_ms(77.0),
-        };
-        let f = requested_speed(DvsPolicy::GreedyReclaim, &cpu, &ctx, None);
+        let (set, cpu) = fixture();
+        let c = ctx(&set, &cpu, 2.0, 6.0, 200.0, 77.0);
+        let f = GreedyReclaim.on_dispatch(&c);
         assert!((f.as_cycles_per_ms() - 50.0).abs() < 1e-12);
-        assert_eq!(
-            requested_speed(DvsPolicy::StaticSpeed, &cpu, &ctx, None),
-            Freq::from_cycles_per_ms(77.0)
-        );
-        assert_eq!(
-            requested_speed(DvsPolicy::NoDvs, &cpu, &ctx, None),
-            cpu.f_max()
-        );
+        assert_eq!(StaticSpeed.on_dispatch(&c), Freq::from_cycles_per_ms(77.0));
+        assert_eq!(NoDvs.on_dispatch(&c), cpu.f_max());
     }
 
     #[test]
     fn greedy_saturates_past_milestone() {
-        let (_, cpu) = fixture();
-        let ctx = DispatchContext {
-            now: Time::from_ms(6.0),
-            chunk_end: Time::from_ms(6.0),
-            chunk_budget_remaining: Cycles::from_cycles(1.0),
-            static_speed: Freq::ZERO,
-        };
-        assert_eq!(
-            requested_speed(DvsPolicy::GreedyReclaim, &cpu, &ctx, None),
-            cpu.f_max()
-        );
+        let (set, cpu) = fixture();
+        let c = ctx(&set, &cpu, 6.0, 6.0, 1.0, 0.0);
+        assert_eq!(GreedyReclaim.on_dispatch(&c), cpu.f_max());
     }
 
     #[test]
-    fn ccrm_without_state_falls_back_to_fmax() {
-        let (_, cpu) = fixture();
-        let ctx = DispatchContext {
-            now: Time::from_ms(0.0),
-            chunk_end: Time::from_ms(1.0),
-            chunk_budget_remaining: Cycles::from_cycles(1.0),
-            static_speed: Freq::ZERO,
-        };
-        assert_eq!(requested_speed(DvsPolicy::CcRm, &cpu, &ctx, None), cpu.f_max());
+    #[allow(deprecated)]
+    fn enum_shim_converts_to_matching_trait_policies() {
+        let (set, cpu) = fixture();
+        for (e, expect_name, expect_sched) in [
+            (DvsPolicy::NoDvs, "no-dvs", false),
+            (DvsPolicy::StaticSpeed, "static", true),
+            (DvsPolicy::GreedyReclaim, "greedy", true),
+            (DvsPolicy::CcRm, "ccrm", false),
+        ] {
+            assert_eq!(e.to_string(), expect_name);
+            let mut p: Box<dyn Policy> = e.into();
+            p.on_start(&set, &cpu);
+            assert_eq!(p.name(), expect_name);
+            assert_eq!(p.needs_schedule(), expect_sched);
+            assert_eq!(e.needs_schedule(), expect_sched);
+        }
     }
 }

@@ -4,7 +4,7 @@ use acs_core::{synthesize_wcs, SynthesisOptions};
 use acs_model::units::{Cycles, Ticks, Volt};
 use acs_model::{Task, TaskId, TaskSet};
 use acs_power::{FreqModel, Processor};
-use acs_sim::{DvsPolicy, SimOptions, Simulator};
+use acs_sim::{GreedyReclaim, NoDvs, SimOptions, Simulator};
 use proptest::prelude::*;
 
 fn cpu() -> Processor {
@@ -47,7 +47,7 @@ proptest! {
         let sched = synthesize_wcs(&set, &cpu, &SynthesisOptions::quick()).unwrap();
         let totals: Vec<Cycles> = set.tasks().iter().map(|t| t.wcec() * frac).collect();
         let hp = 3u64;
-        let out = Simulator::new(&set, &cpu, DvsPolicy::GreedyReclaim)
+        let out = Simulator::new(&set, &cpu, GreedyReclaim)
             .with_schedule(&sched)
             .with_options(SimOptions { hyper_periods: hp, deadline_tol_ms: 1e-3, ..Default::default() })
             .run(&mut |t: TaskId, _| totals[t.0])
@@ -71,7 +71,7 @@ proptest! {
         let sched = synthesize_wcs(&set, &cpu, &SynthesisOptions::quick()).unwrap();
         let run = || {
             let mut draws = acs_workloads::TaskWorkloads::paper(&set, seed);
-            Simulator::new(&set, &cpu, DvsPolicy::GreedyReclaim)
+            Simulator::new(&set, &cpu, GreedyReclaim)
                 .with_schedule(&sched)
                 .with_options(SimOptions { hyper_periods: 2, deadline_tol_ms: 1e-3, ..Default::default() })
                 .run(&mut |t, i| draws.draw(t, i))
@@ -87,7 +87,7 @@ proptest! {
     fn no_dvs_energy_closed_form(set in arb_set(), frac in 0.1f64..1.0) {
         let cpu = cpu();
         let totals: Vec<Cycles> = set.tasks().iter().map(|t| t.wcec() * frac).collect();
-        let out = Simulator::new(&set, &cpu, DvsPolicy::NoDvs)
+        let out = Simulator::new(&set, &cpu, NoDvs)
             .run(&mut |t: TaskId, _| totals[t.0])
             .unwrap();
         let vmax = cpu.vmax().as_volts();
@@ -113,12 +113,12 @@ proptest! {
         let cpu = cpu();
         let sched = synthesize_wcs(&set, &cpu, &SynthesisOptions::quick()).unwrap();
         let totals: Vec<Cycles> = set.tasks().iter().map(|t| t.wcec() * frac).collect();
-        let greedy = Simulator::new(&set, &cpu, DvsPolicy::GreedyReclaim)
+        let greedy = Simulator::new(&set, &cpu, GreedyReclaim)
             .with_schedule(&sched)
             .with_options(SimOptions { deadline_tol_ms: 1e-3, ..Default::default() })
             .run(&mut |t: TaskId, _| totals[t.0])
             .unwrap();
-        let flat = Simulator::new(&set, &cpu, DvsPolicy::NoDvs)
+        let flat = Simulator::new(&set, &cpu, NoDvs)
             .run(&mut |t: TaskId, _| totals[t.0])
             .unwrap();
         prop_assert!(greedy.report.energy.as_units() <= flat.report.energy.as_units() * (1.0 + 1e-9));

@@ -41,6 +41,8 @@ pub mod reallife;
 
 pub use dist::{TaskWorkloads, WorkloadDist};
 pub use error::WorkloadError;
-pub use motivation::{fig1_end_times, fig2_end_times, motivation, motivation_system, reference_energies};
+pub use motivation::{
+    fig1_end_times, fig2_end_times, motivation, motivation_system, reference_energies,
+};
 pub use randgen::{generate, uunifast, RandomSetConfig};
 pub use reallife::{cnc, gap};

@@ -34,8 +34,7 @@ pub fn motivation_system(vmax: Volt) -> (TaskSet, Processor) {
             .build()
             .expect("motivation constants are valid")
     };
-    let set = TaskSet::new(vec![mk("t1"), mk("t2"), mk("t3")])
-        .expect("motivation set is valid");
+    let set = TaskSet::new(vec![mk("t1"), mk("t2"), mk("t3")]).expect("motivation set is valid");
     let cpu = Processor::builder(FreqModel::linear(50.0).expect("kappa > 0"))
         .vmin(Volt::from_volts(0.5))
         .vmax(vmax)
@@ -60,7 +59,11 @@ pub fn fig1_end_times() -> [Time; 3] {
 
 /// End times of the paper's Fig. 2 (ACS-style) schedule.
 pub fn fig2_end_times() -> [Time; 3] {
-    [Time::from_ms(10.0), Time::from_ms(15.0), Time::from_ms(20.0)]
+    [
+        Time::from_ms(10.0),
+        Time::from_ms(15.0),
+        Time::from_ms(20.0),
+    ]
 }
 
 /// Reference energies from the paper's §2.2 discussion (in `C·V²·cycles`

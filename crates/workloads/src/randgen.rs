@@ -92,7 +92,10 @@ pub fn generate(config: &RandomSetConfig, rng: &mut impl Rng) -> Result<TaskSet,
     }
     if !(0.0 < config.bcec_wcec_ratio && config.bcec_wcec_ratio <= 1.0) {
         return Err(WorkloadError::InvalidConfig {
-            reason: format!("BCEC/WCEC ratio must be in (0, 1], got {}", config.bcec_wcec_ratio),
+            reason: format!(
+                "BCEC/WCEC ratio must be in (0, 1], got {}",
+                config.bcec_wcec_ratio
+            ),
         });
     }
     if !(0.0 < config.target_utilization && config.target_utilization <= 1.0) {
@@ -186,7 +189,9 @@ mod tests {
                 let u = set.utilization_at(fmax());
                 assert!((u - 0.7).abs() < 0.01, "utilization = {u}");
                 for t in set.tasks() {
-                    assert!((t.bcec_wcec_ratio() - ratio).abs() < 0.1 || t.bcec().as_cycles() == 0.5);
+                    assert!(
+                        (t.bcec_wcec_ratio() - ratio).abs() < 0.1 || t.bcec().as_cycles() == 0.5
+                    );
                     assert!(t.period().get() >= 10 && t.period().get() <= 30);
                     let mid = (t.bcec().as_cycles() + t.wcec().as_cycles()) / 2.0;
                     assert!((t.acec().as_cycles() - mid).abs() < 1e-9);

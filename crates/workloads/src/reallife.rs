@@ -38,36 +38,136 @@ struct Proto {
 
 /// CNC controller prototype: periods in 100 µs ticks (600 µs = 6 ticks).
 const CNC: [Proto; 8] = [
-    Proto { name: "position_x", period: 6, weight: 0.35 },
-    Proto { name: "position_y", period: 6, weight: 0.40 },
-    Proto { name: "velocity_x", period: 12, weight: 1.65 },
-    Proto { name: "velocity_y", period: 12, weight: 1.65 },
-    Proto { name: "interpolator", period: 24, weight: 5.70 },
-    Proto { name: "status_update", period: 24, weight: 3.80 },
-    Proto { name: "command_parse", period: 48, weight: 9.60 },
-    Proto { name: "display", period: 48, weight: 12.80 },
+    Proto {
+        name: "position_x",
+        period: 6,
+        weight: 0.35,
+    },
+    Proto {
+        name: "position_y",
+        period: 6,
+        weight: 0.40,
+    },
+    Proto {
+        name: "velocity_x",
+        period: 12,
+        weight: 1.65,
+    },
+    Proto {
+        name: "velocity_y",
+        period: 12,
+        weight: 1.65,
+    },
+    Proto {
+        name: "interpolator",
+        period: 24,
+        weight: 5.70,
+    },
+    Proto {
+        name: "status_update",
+        period: 24,
+        weight: 3.80,
+    },
+    Proto {
+        name: "command_parse",
+        period: 48,
+        weight: 9.60,
+    },
+    Proto {
+        name: "display",
+        period: 48,
+        weight: 12.80,
+    },
 ];
 
 /// GAP prototype: periods in milliseconds (harmonized pool
 /// {25, 50, 100, 200, 1000}).
 const GAP: [Proto; 17] = [
-    Proto { name: "timer_interrupt", period: 25, weight: 1.0 },
-    Proto { name: "aircraft_flight_data", period: 25, weight: 2.0 },
-    Proto { name: "steering", period: 50, weight: 1.5 }, // 40 ms harmonized
-    Proto { name: "radar_control", period: 50, weight: 2.5 },
-    Proto { name: "target_tracking", period: 50, weight: 2.0 },
-    Proto { name: "target_sweetening", period: 50, weight: 1.5 }, // 59 ms harmonized
-    Proto { name: "hud_display", period: 50, weight: 3.0 },
-    Proto { name: "display_graphics", period: 100, weight: 4.0 }, // 80 ms harmonized
-    Proto { name: "nav_update", period: 100, weight: 3.0 },       // 80 ms harmonized
-    Proto { name: "weapon_protocol", period: 100, weight: 1.0 },
-    Proto { name: "nav_steering", period: 200, weight: 3.0 },
-    Proto { name: "tracking_filter", period: 200, weight: 2.0 },
-    Proto { name: "weapon_release", period: 200, weight: 1.0 },
-    Proto { name: "weapon_aiming", period: 1000, weight: 3.0 },
-    Proto { name: "nav_status", period: 1000, weight: 1.0 },
-    Proto { name: "bet_e_status", period: 1000, weight: 1.0 },
-    Proto { name: "bit_processing", period: 1000, weight: 2.0 },
+    Proto {
+        name: "timer_interrupt",
+        period: 25,
+        weight: 1.0,
+    },
+    Proto {
+        name: "aircraft_flight_data",
+        period: 25,
+        weight: 2.0,
+    },
+    Proto {
+        name: "steering",
+        period: 50,
+        weight: 1.5,
+    }, // 40 ms harmonized
+    Proto {
+        name: "radar_control",
+        period: 50,
+        weight: 2.5,
+    },
+    Proto {
+        name: "target_tracking",
+        period: 50,
+        weight: 2.0,
+    },
+    Proto {
+        name: "target_sweetening",
+        period: 50,
+        weight: 1.5,
+    }, // 59 ms harmonized
+    Proto {
+        name: "hud_display",
+        period: 50,
+        weight: 3.0,
+    },
+    Proto {
+        name: "display_graphics",
+        period: 100,
+        weight: 4.0,
+    }, // 80 ms harmonized
+    Proto {
+        name: "nav_update",
+        period: 100,
+        weight: 3.0,
+    }, // 80 ms harmonized
+    Proto {
+        name: "weapon_protocol",
+        period: 100,
+        weight: 1.0,
+    },
+    Proto {
+        name: "nav_steering",
+        period: 200,
+        weight: 3.0,
+    },
+    Proto {
+        name: "tracking_filter",
+        period: 200,
+        weight: 2.0,
+    },
+    Proto {
+        name: "weapon_release",
+        period: 200,
+        weight: 1.0,
+    },
+    Proto {
+        name: "weapon_aiming",
+        period: 1000,
+        weight: 3.0,
+    },
+    Proto {
+        name: "nav_status",
+        period: 1000,
+        weight: 1.0,
+    },
+    Proto {
+        name: "bet_e_status",
+        period: 1000,
+        weight: 1.0,
+    },
+    Proto {
+        name: "bit_processing",
+        period: 1000,
+        weight: 2.0,
+    },
 ];
 
 fn build(
@@ -115,7 +215,11 @@ fn build(
 /// # Errors
 ///
 /// [`WorkloadError::InvalidConfig`] on out-of-range parameters.
-pub fn cnc(f_max: Freq, bcec_wcec_ratio: f64, target_utilization: f64) -> Result<TaskSet, WorkloadError> {
+pub fn cnc(
+    f_max: Freq,
+    bcec_wcec_ratio: f64,
+    target_utilization: f64,
+) -> Result<TaskSet, WorkloadError> {
     build(&CNC, f_max, bcec_wcec_ratio, target_utilization)
 }
 
@@ -124,7 +228,11 @@ pub fn cnc(f_max: Freq, bcec_wcec_ratio: f64, target_utilization: f64) -> Result
 /// # Errors
 ///
 /// [`WorkloadError::InvalidConfig`] on out-of-range parameters.
-pub fn gap(f_max: Freq, bcec_wcec_ratio: f64, target_utilization: f64) -> Result<TaskSet, WorkloadError> {
+pub fn gap(
+    f_max: Freq,
+    bcec_wcec_ratio: f64,
+    target_utilization: f64,
+) -> Result<TaskSet, WorkloadError> {
     build(&GAP, f_max, bcec_wcec_ratio, target_utilization)
 }
 

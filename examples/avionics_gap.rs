@@ -38,13 +38,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "configuration", "energy", "misses", "vs no-DVS"
     );
     let mut base = None;
-    let runs: Vec<(&str, DvsPolicy, Option<&StaticSchedule>)> = vec![
-        ("no-DVS", DvsPolicy::NoDvs, None),
-        ("ccRM (online only)", DvsPolicy::CcRm, None),
-        ("WCS + static speeds", DvsPolicy::StaticSpeed, Some(&wcs)),
-        ("WCS + greedy reclaim", DvsPolicy::GreedyReclaim, Some(&wcs)),
-        ("ACS + static speeds", DvsPolicy::StaticSpeed, Some(&acs)),
-        ("ACS + greedy reclaim", DvsPolicy::GreedyReclaim, Some(&acs)),
+    let runs: Vec<(&str, Box<dyn Policy>, Option<&StaticSchedule>)> = vec![
+        ("no-DVS", Box::new(NoDvs), None),
+        ("ccRM (online only)", Box::new(CcRm::new()), None),
+        ("WCS + static speeds", Box::new(StaticSpeed), Some(&wcs)),
+        ("WCS + greedy reclaim", Box::new(GreedyReclaim), Some(&wcs)),
+        ("ACS + static speeds", Box::new(StaticSpeed), Some(&acs)),
+        ("ACS + greedy reclaim", Box::new(GreedyReclaim), Some(&acs)),
     ];
     for (name, policy, schedule) in runs {
         let mut draws = TaskWorkloads::paper(&set, 31);

@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     println!("CNC controller (8 tasks, hyper-period 4.8 ms, time unit 100 µs)");
-    println!("{:>12} {:>14} {:>14} {:>12}", "BCEC/WCEC", "WCS energy", "ACS energy", "improvement");
+    println!(
+        "{:>12} {:>14} {:>14} {:>12}",
+        "BCEC/WCEC", "WCS energy", "ACS energy", "improvement"
+    );
     for ratio in [0.1, 0.3, 0.5, 0.7, 0.9] {
         let set = cnc(cpu.f_max(), ratio, 0.7)?;
         let wcs = synthesize_wcs(&set, &cpu, &opts)?;
@@ -31,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut energy = Vec::new();
         for schedule in [&wcs, &acs] {
             let mut draws = TaskWorkloads::paper(&set, 77);
-            let out = Simulator::new(&set, &cpu, DvsPolicy::GreedyReclaim)
+            let out = Simulator::new(&set, &cpu, GreedyReclaim)
                 .with_schedule(schedule)
                 .with_options(sim_opts.clone())
                 .run(&mut |t, i| draws.draw(t, i))?;
@@ -51,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let set = cnc(cpu.f_max(), 0.1, 0.7)?;
     let acs = synthesize_acs(&set, &cpu, &opts)?;
     let mut draws = TaskWorkloads::paper(&set, 5);
-    let out = Simulator::new(&set, &cpu, DvsPolicy::GreedyReclaim)
+    let out = Simulator::new(&set, &cpu, GreedyReclaim)
         .with_schedule(&acs)
         .with_options(SimOptions {
             record_trace: true,

@@ -4,104 +4,95 @@
 //! The paper assumes a continuously variable supply and zero transition
 //! cost (§3.2). Real parts quantize; this example measures how much of
 //! the ACS gain survives a 4-level supply and a non-zero switch cost.
+//! The whole exploration is one `Campaign`: five processor variants ×
+//! {WCS, ACS} × greedy over the CNC set, run in parallel.
 //!
 //! ```sh
 //! cargo run --release --example design_space
 //! ```
 
+use acsched::power::PowerError;
 use acsched::prelude::*;
 
-fn run(
-    set: &TaskSet,
-    cpu: &Processor,
-    schedule: &StaticSchedule,
-    seed: u64,
-) -> Result<SimReport, Box<dyn std::error::Error>> {
-    let mut draws = TaskWorkloads::paper(set, seed);
-    let out = Simulator::new(set, cpu, DvsPolicy::GreedyReclaim)
-        .with_schedule(schedule)
-        .with_options(SimOptions {
-            hyper_periods: 200,
-            deadline_tol_ms: 1e-3,
-            ..Default::default()
-        })
-        .run(&mut |t, i| draws.draw(t, i))?;
-    Ok(out.report)
+fn builder_with(vmin: f64, vmax: f64) -> Result<acsched::power::ProcessorBuilder, PowerError> {
+    Ok(Processor::builder(FreqModel::linear(50.0)?)
+        .vmin(Volt::from_volts(vmin))
+        .vmax(Volt::from_volts(vmax)))
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let base = Processor::builder(FreqModel::linear(50.0)?)
-        .vmin(Volt::from_volts(0.5))
-        .vmax(Volt::from_volts(4.0))
-        .build()?;
+    let base = builder_with(0.5, 4.0)?.build()?;
     let set = cnc(base.f_max(), 0.1, 0.7)?;
-    let opts = SynthesisOptions::quick();
-    let wcs = synthesize_wcs(&set, &base, &opts)?;
-    let acs = synthesize_acs_warm(&set, &base, &opts, &wcs)?;
 
-    println!("CNC @ ratio 0.1 — ACS vs WCS under processor variations\n");
-    println!(
-        "{:<34} {:>12} {:>12} {:>12} {:>9}",
-        "processor", "WCS energy", "ACS energy", "improvement", "switches"
-    );
+    let mut campaign = Campaign::builder()
+        .task_set("cnc@0.1", set)
+        .processor("continuous", base)
+        .schedules([ScheduleChoice::Wcs, ScheduleChoice::Acs])
+        .policy(PolicySpec::greedy())
+        .workload(WorkloadSpec::Paper)
+        .seeds([9])
+        .hyper_periods(200)
+        .synthesis(SynthesisOptions::quick());
 
-    // 1. The paper's ideal continuous processor.
-    let w = run(&set, &base, &wcs, 9)?;
-    let a = run(&set, &base, &acs, 9)?;
-    println!(
-        "{:<34} {:>12.0} {:>12.0} {:>11.1}% {:>9}",
-        "continuous, zero overhead",
-        w.energy.as_units(),
-        a.energy.as_units(),
-        100.0 * improvement_over(w.energy, a.energy),
-        a.voltage_switches
-    );
-
-    // 2. Discrete 4-level supply (runtime rounds up — deadline-safe).
-    for levels in [vec![1.0, 2.0, 3.0, 4.0], vec![0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0]] {
+    // Discrete supplies (runtime rounds up — deadline-safe).
+    let mut names = vec!["continuous".to_string()];
+    for levels in [
+        vec![1.0, 2.0, 3.0, 4.0],
+        vec![0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0],
+    ] {
         let table = LevelTable::new(levels.iter().copied().map(Volt::from_volts).collect())?;
-        let n = table.len();
-        let cpu = Processor::builder(FreqModel::linear(50.0)?)
-            .vmin(Volt::from_volts(0.5))
-            .vmax(Volt::from_volts(4.0))
-            .discrete_levels(table)
-            .build()?;
-        let w = run(&set, &cpu, &wcs, 9)?;
-        let a = run(&set, &cpu, &acs, 9)?;
-        assert_eq!(a.deadline_misses, 0, "round-up keeps deadlines safe");
-        println!(
-            "{:<34} {:>12.0} {:>12.0} {:>11.1}% {:>9}",
-            format!("discrete, {n} levels"),
-            w.energy.as_units(),
-            a.energy.as_units(),
-            100.0 * improvement_over(w.energy, a.energy),
-            a.voltage_switches
-        );
+        let name = format!("discrete-{}", table.len());
+        let cpu = builder_with(0.5, 4.0)?.discrete_levels(table).build()?;
+        campaign = campaign.processor(name.clone(), cpu);
+        names.push(name);
     }
-
-    // 3. Transition overhead (time + energy per switch).
+    // Transition overhead (time + energy per switch; CNC tick = 100 µs).
     for (t_us, e_cost) in [(1.0, 10.0), (5.0, 50.0)] {
-        let cpu = Processor::builder(FreqModel::linear(50.0)?)
-            .vmin(Volt::from_volts(0.5))
-            .vmax(Volt::from_volts(4.0))
+        let name = format!("overhead-{t_us}us/{e_cost}eu");
+        let cpu = builder_with(0.5, 4.0)?
             .transition_overhead(TransitionOverhead {
-                // Time unit of the CNC set is 100 µs.
                 time: TimeSpan::from_ms(t_us / 100.0),
                 energy: Energy::from_units(e_cost),
             })
             .build()?;
-        let w = run(&set, &cpu, &wcs, 9)?;
-        let a = run(&set, &cpu, &acs, 9)?;
+        campaign = campaign.processor(name.clone(), cpu);
+        names.push(name);
+    }
+
+    let report = campaign.build()?.run();
+
+    println!("CNC @ ratio 0.1 — ACS vs WCS under processor variations\n");
+    println!(
+        "{:<24} {:>12} {:>12} {:>12} {:>9} {:>8}",
+        "processor", "WCS energy", "ACS energy", "improvement", "switches", "misses"
+    );
+    for name in &names {
+        let cell = |choice| {
+            report
+                .find("cnc@0.1", name, choice, "greedy", "paper-normal")
+                .and_then(|c| c.stats())
+        };
+        let (Some(w), Some(a)) = (cell(ScheduleChoice::Wcs), cell(ScheduleChoice::Acs)) else {
+            println!("{name:<24} FAILED");
+            continue;
+        };
+        if name.starts_with("discrete") {
+            assert_eq!(a.deadline_misses, 0, "round-up keeps deadlines safe");
+        }
         println!(
-            "{:<34} {:>12.0} {:>12.0} {:>11.1}% {:>9}  ({} misses)",
-            format!("overhead {t_us} µs / {e_cost} eu"),
-            w.energy.as_units(),
-            a.energy.as_units(),
-            100.0 * improvement_over(w.energy, a.energy),
+            "{:<24} {:>12.0} {:>12.0} {:>11.1}% {:>9} {:>8}",
+            name,
+            w.mean_energy.as_units(),
+            a.mean_energy.as_units(),
+            100.0 * improvement_over(w.mean_energy, a.mean_energy),
             a.voltage_switches,
             a.deadline_misses,
         );
     }
-    println!("\nTakeaway: quantization shrinks both schedules' gains but preserves the ACS-over-WCS ordering; small transition overheads are indeed negligible (paper §3's assumption).");
+    println!(
+        "\nTakeaway: quantization shrinks both schedules' gains but preserves the \
+         ACS-over-WCS ordering; small transition overheads are indeed negligible \
+         (paper §3's assumption)."
+    );
     Ok(())
 }

@@ -50,7 +50,7 @@ fn replay(
     totals: &[Cycles],
 ) -> Result<Energy, Box<dyn std::error::Error>> {
     let fixed = totals.to_vec();
-    let out = Simulator::new(set, cpu, DvsPolicy::GreedyReclaim)
+    let out = Simulator::new(set, cpu, GreedyReclaim)
         .with_schedule(schedule)
         .with_options(SimOptions {
             record_trace: true,
@@ -83,9 +83,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let acs = hand_schedule(&set, fig2_end_times())?;
 
     // Fig. 1(b): WCS ends + greedy runtime at ACEC.
-    let e1 = replay("Fig. 1(b)  WCS ends {6.7, 13.3, 20}, ACEC run", &set, &cpu, &wcs, &acec)?;
+    let e1 = replay(
+        "Fig. 1(b)  WCS ends {6.7, 13.3, 20}, ACEC run",
+        &set,
+        &cpu,
+        &wcs,
+        &acec,
+    )?;
     // Fig. 2: stretched ends + greedy runtime at ACEC.
-    let e2 = replay("Fig. 2     ACS ends {10, 15, 20}, ACEC run", &set, &cpu, &acs, &acec)?;
+    let e2 = replay(
+        "Fig. 2     ACS ends {10, 15, 20}, ACEC run",
+        &set,
+        &cpu,
+        &acs,
+        &acec,
+    )?;
     println!(
         "=> improvement {:.1}% (paper: 24%; reference energies {ref_fig1b:.0} vs {ref_fig2:.0})\n",
         100.0 * improvement_over(e1, e2)
@@ -93,7 +105,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Worst-case replays.
     let w1 = replay("Fig. 1(a)  WCS ends, WCEC run", &set, &cpu, &wcs, &wcec)?;
-    let w2 = replay("Fig. 2     ACS ends, WCEC run (needs 4 V)", &set, &cpu, &acs, &wcec)?;
+    let w2 = replay(
+        "Fig. 2     ACS ends, WCEC run (needs 4 V)",
+        &set,
+        &cpu,
+        &acs,
+        &wcec,
+    )?;
     println!(
         "=> worst-case increase {:.1}% (paper: 33%; reference {ref_wcs_worst:.0} vs {ref_fig2_worst:.0})\n",
         100.0 * (w2 / w1 - 1.0)

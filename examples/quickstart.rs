@@ -42,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = SynthesisOptions::default();
     let acs = synthesize_acs(&set, &cpu, &opts)?;
     let wcs = synthesize_wcs(&set, &cpu, &opts)?;
-    println!("\nACS static schedule (per sub-instance):\n{}", acs.to_table());
+    println!(
+        "\nACS static schedule (per sub-instance):\n{}",
+        acs.to_table()
+    );
 
     // Online phase: greedy slack reclamation over 200 hyper-periods of
     // truncated-normal workloads (identical draws for both schedules).
@@ -53,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut energies = Vec::new();
     for schedule in [&wcs, &acs] {
         let mut draws = TaskWorkloads::paper(&set, 2024);
-        let out = Simulator::new(&set, &cpu, DvsPolicy::GreedyReclaim)
+        let out = Simulator::new(&set, &cpu, GreedyReclaim)
             .with_schedule(schedule)
             .with_options(sim_opts.clone())
             .run(&mut |t, i| draws.draw(t, i))?;

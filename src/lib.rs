@@ -14,10 +14,20 @@
 //! | [`preempt`] | `acs-preempt` | fully preemptive expansion |
 //! | [`opt`] | `acs-opt` | autodiff + L-BFGS + augmented Lagrangian |
 //! | [`core`] | `acs-core` | ACS/WCS schedule synthesis |
-//! | [`sim`] | `acs-sim` | runtime simulator & DVS policies |
+//! | [`sim`] | `acs-sim` | runtime simulator & the open [`Policy`] API |
 //! | [`workloads`] | `acs-workloads` | distributions, random/CNC/GAP sets |
+//! | [`runtime`] | `acs-runtime` | parallel [`Campaign`] experiment runner |
+//!
+//! [`Policy`]: prelude::Policy
+//! [`Campaign`]: prelude::Campaign
 //!
 //! ## Quickstart
+//!
+//! Describe a system, synthesize the offline schedules, then drive the
+//! online phase — either one simulation at a time ([`Simulator`]) or as
+//! a parallel experiment grid ([`Campaign`]):
+//!
+//! [`Simulator`]: prelude::Simulator
 //!
 //! ```
 //! use acsched::prelude::*;
@@ -44,26 +54,72 @@
 //! // 2. Synthesize offline schedules (paper's ACS + the WCS baseline).
 //! let opts = SynthesisOptions::quick();
 //! let acs = synthesize_acs(&set, &cpu, &opts)?;
-//! let wcs = synthesize_wcs(&set, &cpu, &opts)?;
 //!
-//! // 3. Run the greedy online DVS phase on sampled workloads.
+//! // 3. Run the online DVS phase. Policies implement the open `Policy`
+//! //    trait; `GreedyReclaim` is the paper's runtime.
 //! let mut draws = TaskWorkloads::paper(&set, 7);
-//! let acs_run = Simulator::new(&set, &cpu, DvsPolicy::GreedyReclaim)
+//! let run = Simulator::new(&set, &cpu, GreedyReclaim)
 //!     .with_schedule(&acs)
 //!     .run(&mut |t, i| draws.draw(t, i))?;
-//! let mut draws = TaskWorkloads::paper(&set, 7); // same seed: same workloads
-//! let wcs_run = Simulator::new(&set, &cpu, DvsPolicy::GreedyReclaim)
-//!     .with_schedule(&wcs)
-//!     .run(&mut |t, i| draws.draw(t, i))?;
+//! assert!(run.report.all_deadlines_met());
 //!
-//! assert!(acs_run.report.all_deadlines_met());
-//! assert!(wcs_run.report.all_deadlines_met());
+//! // 4. Or sweep a whole grid in parallel: schedules × policies ×
+//! //    workloads × seeds, aggregated into a deterministic report.
+//! let report = Campaign::builder()
+//!     .task_set("demo", set)
+//!     .processor("linear", cpu)
+//!     .schedules([ScheduleChoice::Wcs, ScheduleChoice::Acs])
+//!     .policy(PolicySpec::greedy())
+//!     .workload(WorkloadSpec::Paper)
+//!     .seeds(0..4)
+//!     .build()?
+//!     .run();
 //! // ACS exploits the workload variation at least as well as WCS.
-//! let gain = improvement_over(wcs_run.report.energy, acs_run.report.energy);
+//! let gain = report.gain("demo", "linear", "greedy", "paper-normal").unwrap();
 //! assert!(gain > -0.05);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Write your own policy in 20 lines
+//!
+//! The online layer is open: implement [`Policy`](prelude::Policy) and
+//! the engine (and any campaign) drives it like a built-in, clamping
+//! whatever speed you request into the processor's `[f_min, f_max]`:
+//!
+//! ```
+//! use acsched::prelude::*;
+//!
+//! /// Run at the chunk's static speed, boosted 10% as an insurance
+//! /// margin against bursty workloads.
+//! struct Boosted;
+//!
+//! impl Policy for Boosted {
+//!     fn name(&self) -> &str {
+//!         "boosted-static"
+//!     }
+//!     fn needs_schedule(&self) -> bool {
+//!         true
+//!     }
+//!     fn on_dispatch(&mut self, ctx: &DispatchContext<'_>) -> Freq {
+//!         ctx.static_speed * 1.1
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let (set, cpu) = acsched::workloads::motivation();
+//! let schedule = synthesize_wcs(&set, &cpu, &SynthesisOptions::quick())?;
+//! let out = Simulator::new(&set, &cpu, Boosted)
+//!     .with_schedule(&schedule)
+//!     .run(&mut |_, _| Cycles::from_cycles(500.0))?;
+//! assert!(out.report.all_deadlines_met());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Stateful policies get `on_start`/`on_release`/`on_completion` hooks —
+//! see [`sim::policy`] for the full contract and `examples/custom_policy.rs`
+//! for a stateful example run through both `Simulator` and `Campaign`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -73,6 +129,7 @@ pub use acs_model as model;
 pub use acs_opt as opt;
 pub use acs_power as power;
 pub use acs_preempt as preempt;
+pub use acs_runtime as runtime;
 pub use acs_sim as sim;
 pub use acs_workloads as workloads;
 
@@ -80,15 +137,22 @@ pub use acs_workloads as workloads;
 pub mod prelude {
     pub use acs_core::{
         evaluate_trace, synthesize_acs, synthesize_acs_best, synthesize_acs_warm, synthesize_wcs,
-        verify_worst_case, Milestone,
-        ObjectiveKind, ScheduleKind, SpeedBasis, StaticSchedule, SynthesisOptions,
+        synthesize_wcs_warm, verify_worst_case, Milestone, ObjectiveKind, ScheduleKind, SpeedBasis,
+        StaticSchedule, SynthesisOptions,
     };
     pub use acs_model::units::{Cycles, Energy, Freq, Ticks, Time, TimeSpan, Volt};
     pub use acs_model::{Task, TaskBuilder, TaskId, TaskSet};
     pub use acs_power::{FreqModel, LevelTable, Processor, TransitionOverhead, VoltageLevels};
     pub use acs_preempt::{FullyPreemptiveSchedule, InstanceId, SubInstance, SubInstanceId};
+    pub use acs_runtime::{
+        Campaign, CampaignBuilder, CampaignError, CampaignReport, CellReport, CellStats,
+        PolicySpec, ScheduleChoice, WorkloadSpec,
+    };
+    #[allow(deprecated)]
+    pub use acs_sim::DvsPolicy;
     pub use acs_sim::{
-        improvement_over, render_gantt, DvsPolicy, SimOptions, SimReport, Simulator, Summary,
+        improvement_over, render_gantt, CcRm, DispatchContext, GreedyReclaim, IntoPolicy, NoDvs,
+        Policy, SimOptions, SimReport, Simulator, StaticSpeed, Summary,
     };
     pub use acs_workloads::{
         cnc, gap, generate, motivation, RandomSetConfig, TaskWorkloads, WorkloadDist,
@@ -101,7 +165,16 @@ mod tests {
     fn facade_reexports_compile() {
         use crate::prelude::*;
         let _ = Ticks::new(1);
-        let _ = DvsPolicy::GreedyReclaim;
+        let _ = GreedyReclaim;
+        let _ = PolicySpec::ccrm();
         let _ = ObjectiveKind::AcecTrace;
+        let _ = ScheduleChoice::Acs;
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_enum_still_reachable() {
+        use crate::prelude::*;
+        let _ = DvsPolicy::GreedyReclaim;
     }
 }

@@ -30,12 +30,11 @@ fn simulator_matches_analytic_trace() {
         let acs = synthesize_acs_warm(&set, &cpu, &SynthesisOptions::quick(), &wcs).unwrap();
         for schedule in [&wcs, &acs] {
             for frac in [0.3, 0.55, 1.0] {
-                let totals: Vec<Cycles> =
-                    set.tasks().iter().map(|t| t.wcec() * frac).collect();
+                let totals: Vec<Cycles> = set.tasks().iter().map(|t| t.wcec() * frac).collect();
                 let analytic =
                     evaluate_trace(schedule, &set, &cpu, &totals, SpeedBasis::WorstRemaining);
                 let mut draw = |t: TaskId, _: u64| totals[t.0];
-                let out = Simulator::new(&set, &cpu, DvsPolicy::GreedyReclaim)
+                let out = Simulator::new(&set, &cpu, GreedyReclaim)
                     .with_schedule(schedule)
                     .with_options(SimOptions {
                         deadline_tol_ms: 1e-3,
@@ -46,12 +45,17 @@ fn simulator_matches_analytic_trace() {
                 let (a, s) = (analytic.energy.as_units(), out.report.energy.as_units());
                 // The simulator's completion threshold forgives up to
                 // 1e-2 cycles per job (see engine::CYCLE_EPS), so its
-                // energy may sit below the analytic trace by
-                // ~jobs · 1e-2 · C·V²; 1e-5 relative covers that with
-                // margin while still catching real divergence.
+                // energy may sit below the analytic trace by at most
+                // Σ_jobs 1e-2 · c_eff · vmax² (dust charged at ≤ vmax).
+                let vmax = cpu.vmax().as_volts();
+                let dust_bound: f64 = set
+                    .iter()
+                    .map(|(tid, t)| set.instances_of(tid) as f64 * 1e-2 * t.c_eff() * vmax * vmax)
+                    .sum();
                 assert!(
-                    (a - s).abs() <= 1e-5 * a.max(1.0),
-                    "seed {seed} frac {frac}: analytic {a} vs simulated {s}"
+                    (a - s).abs() <= dust_bound + 1e-9 * a.max(1.0),
+                    "seed {seed} frac {frac}: analytic {a} vs simulated {s} \
+                     (dust bound {dust_bound})"
                 );
             }
         }
@@ -81,17 +85,27 @@ fn acs_dominates_wcs_on_predicted_energy() {
 
 /// The improvement shrinks as workloads become fixed (ratio → 1):
 /// with BCEC = WCEC there is no variation to exploit, so ACS ≈ WCS.
+///
+/// Both sides get the same solver effort: one cold solve plus one warm
+/// continuation. Comparing cold WCS against warm-started ACS instead
+/// measures solver convergence, not the scheduling approach (the warm
+/// side always sees strictly more optimization on an identical
+/// objective once ACEC = WCEC).
 #[test]
 fn no_variation_means_no_advantage() {
     let cpu = cpu();
     let set = random_set(4, 1.0, 11); // BCEC = WCEC exactly
     let opts = SynthesisOptions::quick();
-    let wcs = synthesize_wcs(&set, &cpu, &opts).unwrap();
-    let acs = synthesize_acs_warm(&set, &cpu, &opts, &wcs).unwrap();
+    let base = synthesize_wcs(&set, &cpu, &opts).unwrap();
+    let wcs = synthesize_wcs_warm(&set, &cpu, &opts, &base).unwrap();
+    let acs = synthesize_acs_warm(&set, &cpu, &opts, &base).unwrap();
     let ew = wcs.diagnostics().predicted_avg_energy.as_units();
     let ea = acs.diagnostics().predicted_avg_energy.as_units();
     let gain = 1.0 - ea / ew;
-    assert!(gain.abs() < 0.02, "unexpected gain {gain} with fixed workloads");
+    assert!(
+        gain.abs() < 0.02,
+        "unexpected gain {gain} with fixed workloads"
+    );
 }
 
 /// Milestone conservation: each instance's worst-case shares sum to the
@@ -135,13 +149,16 @@ fn milestone_conservation_and_fill() {
 #[test]
 fn cnc_and_gap_end_to_end() {
     let cpu = cpu();
-    for set in [cnc(cpu.f_max(), 0.5, 0.7).unwrap(), gap(cpu.f_max(), 0.5, 0.7).unwrap()] {
+    for set in [
+        cnc(cpu.f_max(), 0.5, 0.7).unwrap(),
+        gap(cpu.f_max(), 0.5, 0.7).unwrap(),
+    ] {
         let opts = SynthesisOptions::quick();
         let wcs = synthesize_wcs(&set, &cpu, &opts).unwrap();
         let acs = synthesize_acs_warm(&set, &cpu, &opts, &wcs).unwrap();
         assert!(verify_worst_case(&acs, &set, &cpu, 1e-4).is_ok());
         let mut draws = TaskWorkloads::paper(&set, 1);
-        let out = Simulator::new(&set, &cpu, DvsPolicy::GreedyReclaim)
+        let out = Simulator::new(&set, &cpu, GreedyReclaim)
             .with_schedule(&acs)
             .with_options(SimOptions {
                 hyper_periods: 3,

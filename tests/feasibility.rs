@@ -50,7 +50,7 @@ proptest! {
         let schedule = synthesize_acs(&set, &cpu, &SynthesisOptions::quick())
             .expect("synthesis succeeds at 70% utilization");
         let mut draws = TaskWorkloads::paper(&set, workload_seed);
-        let out = Simulator::new(&set, &cpu, DvsPolicy::GreedyReclaim)
+        let out = Simulator::new(&set, &cpu, GreedyReclaim)
             .with_schedule(&schedule)
             .with_options(SimOptions { hyper_periods: 5, deadline_tol_ms: 1e-3, ..Default::default() })
             .run(&mut |t, i| draws.draw(t, i))
@@ -120,7 +120,7 @@ fn fixed_seeds_many_hyper_periods() {
         let acs = synthesize_acs_warm(&set, &cpu, &SynthesisOptions::quick(), &wcs).unwrap();
         for schedule in [&wcs, &acs] {
             let mut draws = TaskWorkloads::paper(&set, seed ^ 0xF00D);
-            let out = Simulator::new(&set, &cpu, DvsPolicy::GreedyReclaim)
+            let out = Simulator::new(&set, &cpu, GreedyReclaim)
                 .with_schedule(schedule)
                 .with_options(SimOptions {
                     hyper_periods: 100,
@@ -143,11 +143,8 @@ fn bimodal_draws_never_miss() {
     let cpu = cpu();
     for seed in [2010u64, 2005, 2007] {
         let set = {
-            let cfg = acsched::workloads::RandomSetConfig::paper(
-                6,
-                0.1,
-                Freq::from_cycles_per_ms(200.0),
-            );
+            let cfg =
+                acsched::workloads::RandomSetConfig::paper(6, 0.1, Freq::from_cycles_per_ms(200.0));
             acsched::workloads::generate(&cfg, &mut StdRng::seed_from_u64(seed)).unwrap()
         };
         let opts = SynthesisOptions::default();
@@ -164,7 +161,7 @@ fn bimodal_draws_never_miss() {
             .collect();
         for schedule in [&wcs, &acs] {
             let mut draws = TaskWorkloads::from_dists(dists.clone(), seed ^ 0xA4);
-            let out = Simulator::new(&set, &cpu, DvsPolicy::GreedyReclaim)
+            let out = Simulator::new(&set, &cpu, GreedyReclaim)
                 .with_schedule(schedule)
                 .with_options(SimOptions {
                     hyper_periods: 100,

@@ -66,7 +66,10 @@ fn fig2_improvement_and_worst_case_increase() {
     let e2 = evaluate_trace(&acs, &set, &cpu, &acec(&set), SpeedBasis::WorstRemaining).energy;
     assert!((e2.as_units() - 6000.0).abs() < 1e-6);
     let improvement = improvement_over(e1, e2);
-    assert!((improvement - 0.247).abs() < 0.005, "improvement = {improvement}");
+    assert!(
+        (improvement - 0.247).abs() < 0.005,
+        "improvement = {improvement}"
+    );
 
     let w1 = evaluate_trace(&wcs, &set, &cpu, &wcec(&set), SpeedBasis::WorstRemaining).energy;
     let w2 = evaluate_trace(&acs, &set, &cpu, &wcec(&set), SpeedBasis::WorstRemaining).energy;
@@ -98,7 +101,7 @@ fn fig2_infeasible_on_3v_part() {
     assert!(verify_worst_case(&acs, &set, &cpu, 1e-6).is_err());
     // ...and the simulator records a deadline miss.
     let totals = wcec(&set);
-    let out = Simulator::new(&set, &cpu, DvsPolicy::GreedyReclaim)
+    let out = Simulator::new(&set, &cpu, GreedyReclaim)
         .with_schedule(&acs)
         .run(&mut |t, _| totals[t.0])
         .unwrap();
@@ -109,7 +112,11 @@ fn fig2_infeasible_on_3v_part() {
 fn synthesizer_recovers_fig1a_wcs_schedule() {
     let (set, cpu) = motivation();
     let wcs = synthesize_wcs(&set, &cpu, &SynthesisOptions::default()).unwrap();
-    let ends: Vec<f64> = wcs.milestones().iter().map(|m| m.end_time.as_ms()).collect();
+    let ends: Vec<f64> = wcs
+        .milestones()
+        .iter()
+        .map(|m| m.end_time.as_ms())
+        .collect();
     assert!((ends[0] - 20.0 / 3.0).abs() < 0.15, "{ends:?}");
     assert!((ends[1] - 40.0 / 3.0).abs() < 0.15, "{ends:?}");
     assert!((ends[2] - 20.0).abs() < 0.01, "{ends:?}");
@@ -119,7 +126,11 @@ fn synthesizer_recovers_fig1a_wcs_schedule() {
 fn synthesizer_recovers_fig2_acs_schedule() {
     let (set, cpu) = motivation();
     let acs = synthesize_acs(&set, &cpu, &SynthesisOptions::default()).unwrap();
-    let ends: Vec<f64> = acs.milestones().iter().map(|m| m.end_time.as_ms()).collect();
+    let ends: Vec<f64> = acs
+        .milestones()
+        .iter()
+        .map(|m| m.end_time.as_ms())
+        .collect();
     // The paper's optimum {10, 15, 20}.
     assert!((ends[0] - 10.0).abs() < 0.2, "{ends:?}");
     assert!((ends[1] - 15.0).abs() < 0.2, "{ends:?}");
@@ -147,7 +158,12 @@ fn fig34_expansion_structure() {
     let fps = FullyPreemptiveSchedule::expand(&set).unwrap();
     assert_eq!(fps.len(), 18);
     assert_eq!(fps.grid().segment_count(), 6);
-    let labels: Vec<String> = fps.sub_instances().iter().take(6).map(|s| s.label()).collect();
+    let labels: Vec<String> = fps
+        .sub_instances()
+        .iter()
+        .take(6)
+        .map(|s| s.label())
+        .collect();
     assert_eq!(
         labels,
         ["T0,1,1", "T1,1,1", "T2,1,1", "T0,2,1", "T1,1,2", "T2,1,2"]
@@ -157,6 +173,12 @@ fn fig34_expansion_structure() {
 #[test]
 fn fig5_fill_rule() {
     use acsched::core::fill::fill_amounts;
-    assert_eq!(fill_amounts(&[10.0, 10.0, 10.0], 15.0), vec![10.0, 5.0, 0.0]);
-    assert_eq!(fill_amounts(&[10.0, 10.0, 10.0], 30.0), vec![10.0, 10.0, 10.0]);
+    assert_eq!(
+        fill_amounts(&[10.0, 10.0, 10.0], 15.0),
+        vec![10.0, 5.0, 0.0]
+    );
+    assert_eq!(
+        fill_amounts(&[10.0, 10.0, 10.0], 30.0),
+        vec![10.0, 10.0, 10.0]
+    );
 }

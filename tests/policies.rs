@@ -21,7 +21,7 @@ fn random_set(seed: u64) -> TaskSet {
 fn energy_of(
     set: &TaskSet,
     cpu: &Processor,
-    policy: DvsPolicy,
+    policy: impl IntoPolicy,
     schedule: Option<&StaticSchedule>,
     seed: u64,
 ) -> (f64, usize) {
@@ -49,11 +49,9 @@ fn policy_energy_ordering() {
         let wcs = synthesize_wcs(&set, &cpu, &opts).unwrap();
         let acs = synthesize_acs_warm(&set, &cpu, &opts, &wcs).unwrap();
         for schedule in [&wcs, &acs] {
-            let (e_flat, m0) = energy_of(&set, &cpu, DvsPolicy::NoDvs, None, seed);
-            let (e_static, m1) =
-                energy_of(&set, &cpu, DvsPolicy::StaticSpeed, Some(schedule), seed);
-            let (e_greedy, m2) =
-                energy_of(&set, &cpu, DvsPolicy::GreedyReclaim, Some(schedule), seed);
+            let (e_flat, m0) = energy_of(&set, &cpu, NoDvs, None, seed);
+            let (e_static, m1) = energy_of(&set, &cpu, StaticSpeed, Some(schedule), seed);
+            let (e_greedy, m2) = energy_of(&set, &cpu, GreedyReclaim, Some(schedule), seed);
             assert_eq!(m0 + m1 + m2, 0, "seed {seed}");
             assert!(
                 e_static <= e_flat * (1.0 + 1e-9),
@@ -79,8 +77,8 @@ fn acs_beats_wcs_at_runtime() {
         let opts = SynthesisOptions::quick();
         let wcs = synthesize_wcs(&set, &cpu, &opts).unwrap();
         let acs = synthesize_acs_warm(&set, &cpu, &opts, &wcs).unwrap();
-        let (ew, _) = energy_of(&set, &cpu, DvsPolicy::GreedyReclaim, Some(&wcs), seed);
-        let (ea, _) = energy_of(&set, &cpu, DvsPolicy::GreedyReclaim, Some(&acs), seed);
+        let (ew, _) = energy_of(&set, &cpu, GreedyReclaim, Some(&wcs), seed);
+        let (ea, _) = energy_of(&set, &cpu, GreedyReclaim, Some(&acs), seed);
         total += 1;
         if ea <= ew * 1.01 {
             wins += 1;
@@ -96,8 +94,8 @@ fn acs_beats_wcs_at_runtime() {
 fn ccrm_baseline_behaves() {
     let cpu = cpu();
     let set = random_set(77);
-    let (e_flat, _) = energy_of(&set, &cpu, DvsPolicy::NoDvs, None, 5);
-    let (e_ccrm, misses) = energy_of(&set, &cpu, DvsPolicy::CcRm, None, 5);
+    let (e_flat, _) = energy_of(&set, &cpu, NoDvs, None, 5);
+    let (e_ccrm, misses) = energy_of(&set, &cpu, CcRm::new(), None, 5);
     assert_eq!(misses, 0);
     assert!(e_ccrm < e_flat);
 }
@@ -110,7 +108,7 @@ fn discrete_levels_safe_and_bounded() {
     let base = cpu();
     let opts = SynthesisOptions::quick();
     let wcs = synthesize_wcs(&set, &base, &opts).unwrap();
-    let (e_cont, _) = energy_of(&set, &base, DvsPolicy::GreedyReclaim, Some(&wcs), 5);
+    let (e_cont, _) = energy_of(&set, &base, GreedyReclaim, Some(&wcs), 5);
 
     let table = LevelTable::new(
         [0.3, 1.0, 2.0, 3.0, 4.0]
@@ -125,8 +123,8 @@ fn discrete_levels_safe_and_bounded() {
         .discrete_levels(table)
         .build()
         .unwrap();
-    let (e_disc, misses) = energy_of(&set, &quant, DvsPolicy::GreedyReclaim, Some(&wcs), 5);
-    let (e_flat, _) = energy_of(&set, &quant, DvsPolicy::NoDvs, None, 5);
+    let (e_disc, misses) = energy_of(&set, &quant, GreedyReclaim, Some(&wcs), 5);
+    let (e_flat, _) = energy_of(&set, &quant, NoDvs, None, 5);
     assert_eq!(misses, 0);
     assert!(e_disc >= e_cont * (1.0 - 1e-9), "quantization cannot help");
     assert!(e_disc <= e_flat * (1.0 + 1e-9));
@@ -140,7 +138,7 @@ fn transition_overhead_monotone() {
     let opts = SynthesisOptions::quick();
     let base = cpu();
     let wcs = synthesize_wcs(&set, &base, &opts).unwrap();
-    let (e0, _) = energy_of(&set, &base, DvsPolicy::GreedyReclaim, Some(&wcs), 5);
+    let (e0, _) = energy_of(&set, &base, GreedyReclaim, Some(&wcs), 5);
     let lossy = Processor::builder(FreqModel::linear(50.0).unwrap())
         .vmin(Volt::from_volts(0.3))
         .vmax(Volt::from_volts(4.0))
@@ -150,6 +148,6 @@ fn transition_overhead_monotone() {
         })
         .build()
         .unwrap();
-    let (e1, _) = energy_of(&set, &lossy, DvsPolicy::GreedyReclaim, Some(&wcs), 5);
+    let (e1, _) = energy_of(&set, &lossy, GreedyReclaim, Some(&wcs), 5);
     assert!(e1 > e0, "overhead must cost energy: {e1} vs {e0}");
 }
