@@ -64,6 +64,7 @@ fn bench_dispatch(c: &mut Criterion) {
         chunk_end: Time::from_ms(6.0),
         chunk_budget_remaining: Cycles::from_cycles(200.0),
         static_speed: Freq::from_cycles_per_ms(77.0),
+        sub: None,
     };
 
     let mut g = c.benchmark_group("dispatch");

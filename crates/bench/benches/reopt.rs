@@ -1,0 +1,100 @@
+//! Criterion bench P6: boundary re-solve cost of the `ReOpt` policy.
+//!
+//! The online re-optimization is only viable when each boundary solve is
+//! cheap, so this bench tracks the three cost tiers on the CNC
+//! controller set (64 sub-instances):
+//!
+//! * `warm_h16` — the production configuration: warm-started from the
+//!   static schedule's projected ends, receding horizon of 16. This is
+//!   what `ReOpt` pays on a cache miss.
+//! * `warm_full` — warm-started, no horizon (all live end times).
+//! * `cold_full` — a cold solve: schedule-oblivious starting point and
+//!   the iteration budget needed to reach feasibility from scratch.
+//!
+//! The acceptance bar is `warm_h16` ≥ 5× faster than `cold_full`; in
+//! practice the gap is well over an order of magnitude (and a solver
+//! cache hit costs microseconds on top).
+
+use acs_core::reopt::{
+    cold_start_ends_ms, synthesize_remaining, synthesize_remaining_from, InstanceProgress,
+    RemainingInstance, ReoptOptions,
+};
+use acs_core::{synthesize_wcs, SynthesisOptions};
+use acs_model::units::{Cycles, Time, Volt};
+use acs_model::TaskId;
+use acs_power::{FreqModel, Processor};
+use acs_preempt::InstanceId;
+use acs_workloads::cnc;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn boundary_fixture() -> RemainingInstance {
+    let cpu = Processor::builder(FreqModel::linear(50.0).expect("kappa > 0"))
+        .vmin(Volt::from_volts(0.3))
+        .vmax(Volt::from_volts(4.0))
+        .build()
+        .expect("valid processor");
+    let set = cnc(cpu.f_max(), 0.1, 0.7).expect("CNC set");
+    let wcs = synthesize_wcs(&set, &cpu, &SynthesisOptions::quick()).expect("WCS schedule");
+    // A representative mid-run boundary: the first instances of the two
+    // highest-priority tasks completed at their average workloads.
+    let progress: Vec<InstanceProgress> = [0usize, 1]
+        .iter()
+        .map(|&i| {
+            let t = &set.tasks()[i];
+            InstanceProgress {
+                instance: InstanceId {
+                    task: TaskId(i),
+                    index: 0,
+                },
+                executed: t.acec(),
+                current_chunk: 0,
+                chunk_budget_left: Cycles::from_cycles(t.wcec().as_cycles() - t.acec().as_cycles()),
+                released: true,
+                done: true,
+            }
+        })
+        .collect();
+    let now = set.hyper_period().get() as f64 / 48.0;
+    RemainingInstance::at_boundary(&wcs, &set, &cpu, Time::from_ms(now), &progress)
+}
+
+fn bench_reopt(c: &mut Criterion) {
+    let rem = boundary_fixture();
+    let mut g = c.benchmark_group("reopt_boundary");
+    let warm16 = rem.clone().with_horizon(16);
+    g.bench_function("warm_h16", |b| {
+        b.iter(|| synthesize_remaining(black_box(&warm16), &ReoptOptions::default()))
+    });
+    g.bench_function("warm_full", |b| {
+        b.iter(|| synthesize_remaining(black_box(&rem), &ReoptOptions::default()))
+    });
+    g.bench_function("cold_full", |b| {
+        b.iter(|| {
+            synthesize_remaining_from(
+                black_box(&rem),
+                &cold_start_ends_ms(&rem),
+                &ReoptOptions::cold(),
+            )
+        })
+    });
+    g.finish();
+
+    // Context costs around a cache miss: building the remaining
+    // formulation and checking/valuing a candidate exactly.
+    let ends = rem.warm_ends_ms();
+    let mut g = c.benchmark_group("reopt_support");
+    g.bench_function("warm_projection", |b| {
+        b.iter(|| black_box(&rem).warm_ends_ms())
+    });
+    g.bench_function("feasibility_gate", |b| {
+        b.iter(|| black_box(&rem).feasible(black_box(&ends), 1e-5))
+    });
+    g.bench_function("energy_model", |b| {
+        b.iter(|| black_box(&rem).energy_of(black_box(&ends)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_reopt);
+criterion_main!(benches);

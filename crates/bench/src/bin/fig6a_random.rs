@@ -12,6 +12,13 @@
 //! row, `{WCS, ACS} × greedy` are the cells, and the runner parallelizes
 //! synthesis and simulation across all cells.
 //!
+//! A second, reduced campaign turns the figure into the **three-way
+//! WCS / greedy-heuristic / ReOpt comparison** the paper is about:
+//! `{WCS, ACS} × {greedy, reopt}` on a subset of the same sets (boundary
+//! re-solves cost ~10³ greedy dispatches, so the subset keeps the run
+//! bounded; the shared solver cache absorbs repeated states and its hit
+//! rate is printed with the table).
+//!
 //! ```sh
 //! cargo run --release -p acs-bench --bin fig6a_random            # reduced scale
 //! ACS_PAPER_SCALE=1 cargo run --release -p acs-bench --bin fig6a_random
@@ -19,6 +26,7 @@
 
 use acs_bench::{random_paper_sets, standard_cpu, Scale};
 use acs_core::SynthesisOptions;
+use acs_model::TaskSet;
 use acs_runtime::{Campaign, PolicySpec, ScheduleChoice, WorkloadSpec};
 use acs_sim::Summary;
 
@@ -46,14 +54,20 @@ fn main() {
         .synthesis(SynthesisOptions::default())
         .acs_multistart(true);
     let mut cell_names: Vec<Vec<Vec<String>>> = Vec::new();
+    // Only the three-way subset of each cell's sets is retained for the
+    // second campaign.
+    let sub_sets = scale.task_sets.min(2);
+    let mut reopt_sets: Vec<Vec<Vec<(String, TaskSet)>>> = Vec::new();
     let mut gen_failures = 0usize;
     for (row, &n) in TASK_COUNTS.iter().enumerate() {
         cell_names.push(Vec::new());
+        reopt_sets.push(Vec::new());
         for (col, &ratio) in RATIOS.iter().enumerate() {
             let gen_seed = scale.seed + (row as u64) * 1_000_000 + (col as u64) * 10_000;
             let sets = random_paper_sets(n, ratio, scale.task_sets, gen_seed, cpu.f_max());
             gen_failures += scale.task_sets - sets.len();
             cell_names[row].push(sets.iter().map(|(name, _)| name.clone()).collect());
+            reopt_sets[row].push(sets.iter().take(sub_sets).cloned().collect());
             builder = builder.task_sets(sets);
         }
     }
@@ -108,5 +122,101 @@ fn main() {
     println!(
         "\nPaper's reported shape: improvement grows with task count; \
          ≈60% at (10 tasks, ratio 0.1); ≈0 at ratio 0.9. Failures: {failures}."
+    );
+
+    // ---- three-way comparison: WCS·greedy vs ACS·greedy vs ACS·reopt ----
+    // Boundary re-solves cost ~10³ greedy dispatches, so the online
+    // re-optimizer runs on a subset of the same sets at fewer
+    // hyper-periods — paired draws, quick-profile synthesis (the
+    // comparison is relative).
+    let sub_hp = scale.hyper_periods.min(10);
+    let mut builder = Campaign::builder()
+        .processor("linear", cpu.clone())
+        .schedules([ScheduleChoice::Wcs, ScheduleChoice::Acs])
+        .policy(PolicySpec::greedy())
+        .policy(PolicySpec::reopt())
+        .workload(WorkloadSpec::Paper)
+        .seeds([scale.seed ^ 0xACE5])
+        .hyper_periods(sub_hp)
+        .synthesis(SynthesisOptions::quick());
+    for row in reopt_sets {
+        for sets in row {
+            builder = builder.task_sets(sets);
+        }
+    }
+    let campaign = builder.build().expect("non-empty three-way grid");
+    eprintln!(
+        "running three-way comparison: {} cells / {} simulations...",
+        campaign.cell_count(),
+        campaign.run_count()
+    );
+    let report = campaign.run();
+
+    println!(
+        "\nThree-way (subset: {sub_sets} sets x {sub_hp} hyper-periods per cell): \
+         % energy saved vs WCS+greedy"
+    );
+    println!(
+        "{:>8} {:>14} {:>14} {:>14}",
+        "#tasks", "ACS+greedy", "ACS+reopt", "WCS+reopt"
+    );
+    for (row, &n) in TASK_COUNTS.iter().enumerate() {
+        let mut acs_greedy = Summary::new();
+        let mut acs_reopt = Summary::new();
+        let mut wcs_reopt = Summary::new();
+        for col_names in &cell_names[row] {
+            for name in col_names.iter().take(sub_sets) {
+                let energy = |sched, policy: &str| {
+                    report
+                        .find(name, "linear", sched, policy, "paper-normal")
+                        .and_then(|c| c.stats())
+                        .map(|s| s.mean_energy.as_units())
+                };
+                let Some(base) = energy(ScheduleChoice::Wcs, "greedy") else {
+                    continue;
+                };
+                if let Some(e) = energy(ScheduleChoice::Acs, "greedy") {
+                    acs_greedy.push(100.0 * (1.0 - e / base));
+                }
+                if let Some(e) = energy(ScheduleChoice::Acs, "reopt") {
+                    acs_reopt.push(100.0 * (1.0 - e / base));
+                }
+                if let Some(e) = energy(ScheduleChoice::Wcs, "reopt") {
+                    wcs_reopt.push(100.0 * (1.0 - e / base));
+                }
+            }
+        }
+        println!(
+            "{:>8} {:>13.1}% {:>13.1}% {:>13.1}%",
+            n,
+            acs_greedy.mean(),
+            acs_reopt.mean(),
+            wcs_reopt.mean()
+        );
+    }
+    for (cell, err) in report.failures() {
+        eprintln!(
+            "  [{} {} {}] {err}",
+            cell.task_set, cell.schedule, cell.policy
+        );
+    }
+    if let Some(rate) = report.solver_cache_hit_rate() {
+        println!(
+            "solver cache hit rate: {:.1}% over the shared campaign cache",
+            100.0 * rate
+        );
+    }
+    // Over *every* successful cell — a missing greedy baseline must not
+    // exempt a reopt cell from the hard-deadline guard.
+    assert_eq!(
+        report.total_deadline_misses(),
+        0,
+        "hard deadlines must hold for ReOpt too"
+    );
+    println!(
+        "\nReOpt re-solves the remaining schedule at every job boundary: \
+         on the WCS schedule it recovers most of the offline ACS gain \
+         online; on the ACS schedule it adds the workload actually \
+         observed on top of the offline expectation."
     );
 }

@@ -197,20 +197,7 @@ impl<'a> ScheduleProblem<'a> {
     /// Voltage expression for a (non-negative) speed expression, clamped
     /// below at `vmin`.
     fn voltage_expr<'g>(&self, speed: Expr<'g>, tau: f64) -> Expr<'g> {
-        let speed = speed.relu();
-        let v = match *self.cpu.freq_model() {
-            FreqModel::Linear { kappa } => speed / kappa,
-            FreqModel::Alpha { .. } => {
-                let model = self.cpu.freq_model();
-                let f_val = speed.value();
-                let freq = acs_model::units::Freq::from_cycles_per_ms(f_val.max(0.0));
-                let v_val = model.volt_for(freq).as_volts();
-                let dv = model.dvolt_dfreq(freq);
-                speed.custom_unary(v_val, dv)
-            }
-        };
-        let vmin = self.cpu.vmin().as_volts();
-        smax_const(v, vmin, tau)
+        voltage_for_speed(self.cpu, speed, tau)
     }
 
     /// Energy of one scenario's greedy trace, as an expression.
@@ -267,8 +254,29 @@ impl<'a> ScheduleProblem<'a> {
     }
 }
 
+/// Voltage expression for a (non-negative) speed expression under `cpu`'s
+/// frequency law, clamped below at `vmin`. Shared between the offline
+/// [`ScheduleProblem`] and the online remaining-schedule re-optimization
+/// ([`crate::reopt`]).
+pub(crate) fn voltage_for_speed<'g>(cpu: &Processor, speed: Expr<'g>, tau: f64) -> Expr<'g> {
+    let speed = speed.relu();
+    let v = match *cpu.freq_model() {
+        FreqModel::Linear { kappa } => speed / kappa,
+        FreqModel::Alpha { .. } => {
+            let model = cpu.freq_model();
+            let f_val = speed.value();
+            let freq = acs_model::units::Freq::from_cycles_per_ms(f_val.max(0.0));
+            let v_val = model.volt_for(freq).as_volts();
+            let dv = model.dvolt_dfreq(freq);
+            speed.custom_unary(v_val, dv)
+        }
+    };
+    let vmin = cpu.vmin().as_volts();
+    smax_const(v, vmin, tau)
+}
+
 /// `max(a, b)`: smooth when `tau > 0`, exact otherwise.
-fn smax<'g>(a: Expr<'g>, b: Expr<'g>, tau: f64) -> Expr<'g> {
+pub(crate) fn smax<'g>(a: Expr<'g>, b: Expr<'g>, tau: f64) -> Expr<'g> {
     if tau > 0.0 {
         a.smooth_max(b, tau)
     } else {
@@ -277,7 +285,7 @@ fn smax<'g>(a: Expr<'g>, b: Expr<'g>, tau: f64) -> Expr<'g> {
 }
 
 /// `max(a, c)` with a constant — same cost, fewer nodes.
-fn smax_const<'g>(a: Expr<'g>, c: f64, tau: f64) -> Expr<'g> {
+pub(crate) fn smax_const<'g>(a: Expr<'g>, c: f64, tau: f64) -> Expr<'g> {
     if tau > 0.0 {
         (a - c).softplus(tau) + c
     } else {

@@ -4,7 +4,7 @@
 //! Dynamic Workload Variation in Low Energy Preemptive Task Scheduling"*
 //! (Leung, Tsui, Hu — DATE 2005).
 //!
-//! Two synthesizers share one NLP machine:
+//! Three synthesizers share one NLP machine:
 //!
 //! * [`synthesize_acs`] — **ACS**: chooses per-sub-instance end times and
 //!   worst-case workload shares that minimize the energy of the greedy
@@ -12,6 +12,12 @@
 //!   worst-case (WCEC) feasibility. This is the paper's proposal (§3).
 //! * [`synthesize_wcs`] — **WCS**: the classic baseline minimizing energy
 //!   under worst-case workloads only (§4's comparison point).
+//! * [`synthesize_remaining`] (module [`reopt`]) — the **online** ACS
+//!   step: at a job boundary, rebuild the *remaining-instance*
+//!   formulation (executed cycles subtracted, the boundary time as the
+//!   new origin, windows unchanged) and re-synthesize the end times
+//!   against the workload observed so far. This powers the `ReOpt`
+//!   policy in `acs-sim`.
 //!
 //! The resulting [`StaticSchedule`] carries, per sub-instance of the
 //! fully preemptive expansion, the scheduled end time `e_u` and
@@ -61,6 +67,7 @@ pub mod export;
 pub mod fill;
 pub mod formulation;
 pub mod quantile;
+pub mod reopt;
 pub mod schedule;
 pub mod synthesis;
 pub mod trace;
@@ -69,6 +76,10 @@ pub mod verify;
 pub use error::CoreError;
 pub use export::{from_text, to_text};
 pub use formulation::{ObjectiveKind, ScheduleProblem};
+pub use reopt::{
+    synthesize_remaining, synthesize_remaining_from, InstanceProgress, RemainingInstance,
+    ReoptOptions, ReoptOutcome,
+};
 pub use schedule::{Milestone, ScheduleKind, SolveDiagnostics, StaticSchedule};
 pub use synthesis::{
     synthesize_acs, synthesize_acs_best, synthesize_acs_warm, synthesize_wcs, synthesize_wcs_warm,

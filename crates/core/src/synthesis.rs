@@ -85,6 +85,29 @@ fn default_auglag() -> AugLagConfig {
 /// Synthesizes the **ACS** schedule: minimum average-case (per
 /// `options.objective`) energy subject to worst-case feasibility.
 ///
+/// ```
+/// use acs_core::{synthesize_acs, verify_worst_case, SynthesisOptions};
+/// use acs_model::{Task, TaskSet, units::{Cycles, Ticks, Volt}};
+/// use acs_power::{FreqModel, Processor};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let set = TaskSet::new(vec![
+///     Task::builder("t", Ticks::new(10))
+///         .wcec(Cycles::from_cycles(300.0))
+///         .acec(Cycles::from_cycles(120.0))
+///         .bcec(Cycles::from_cycles(30.0))
+///         .build()?,
+/// ])?;
+/// let cpu = Processor::builder(FreqModel::linear(50.0)?)
+///     .vmin(Volt::from_volts(0.3)).vmax(Volt::from_volts(4.0)).build()?;
+/// let acs = synthesize_acs(&set, &cpu, &SynthesisOptions::quick())?;
+/// // One milestone per sub-instance, worst-case feasible by the gate.
+/// assert_eq!(acs.milestones().len(), acs.fps().len());
+/// assert!(verify_worst_case(&acs, &set, &cpu, 1e-4).is_ok());
+/// # Ok(())
+/// # }
+/// ```
+///
 /// # Errors
 ///
 /// Propagates model/expansion errors; [`CoreError::SolveFailed`] when the

@@ -8,7 +8,10 @@ use acs_core::{
 use acs_model::units::Energy;
 use acs_model::TaskSet;
 use acs_power::Processor;
-use acs_sim::{CcRm, GreedyReclaim, NoDvs, Policy, SimOptions, SimReport, Simulator, StaticSpeed};
+use acs_sim::{
+    CcRm, GreedyReclaim, NoDvs, Policy, ReOpt, ReOptConfig, SimOptions, SimReport, Simulator,
+    SolverCache, StaticSpeed,
+};
 use acs_workloads::{TaskWorkloads, WorkloadDist};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -88,6 +91,30 @@ impl PolicySpec {
     /// Cycle-conserving RM (online-only baseline).
     pub fn ccrm() -> Self {
         PolicySpec::custom(|| Box::new(CcRm::new()))
+    }
+
+    /// The paper's online re-optimizing ACS ([`ReOpt`]) with the default
+    /// configuration and one solver cache **shared across every run of
+    /// the campaign** — repeated boundary states across seeds, schedules
+    /// and hyper-periods hit the cache instead of the solver. The cache
+    /// hit rate lands in [`CellStats`] and
+    /// [`CampaignReport::solver_cache_hit_rate`].
+    pub fn reopt() -> Self {
+        PolicySpec::reopt_with(ReOptConfig::default(), 4096)
+    }
+
+    /// [`PolicySpec::reopt`] with an explicit configuration and shared
+    /// cache capacity (`0` disables the cache: every boundary state is
+    /// re-solved — results are identical, only slower).
+    pub fn reopt_with(cfg: ReOptConfig, cache_capacity: usize) -> Self {
+        let cache = (cache_capacity > 0).then(|| Arc::new(SolverCache::new(cache_capacity)));
+        PolicySpec::custom(move || {
+            let policy = ReOpt::with_config(cfg.clone());
+            Box::new(match &cache {
+                Some(c) => policy.with_cache(c.clone()),
+                None => policy,
+            })
+        })
     }
 
     /// The policy's display name.
@@ -225,7 +252,35 @@ struct CellSpec {
     workload: usize,
 }
 
-/// Builder for [`Campaign`]; see the crate docs for an example.
+/// Builder for [`Campaign`]: add at least one task set, processor,
+/// policy and workload family, then [`build`](CampaignBuilder::build).
+///
+/// ```
+/// use acs_model::{Task, TaskSet, units::{Cycles, Ticks, Volt}};
+/// use acs_power::{FreqModel, Processor};
+/// use acs_runtime::{Campaign, PolicySpec, ScheduleChoice, WorkloadSpec};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let set = TaskSet::new(vec![Task::builder("t", Ticks::new(10))
+/// #     .wcec(Cycles::from_cycles(300.0)).acec(Cycles::from_cycles(120.0))
+/// #     .bcec(Cycles::from_cycles(30.0)).build()?])?;
+/// # let cpu = Processor::builder(FreqModel::linear(50.0)?)
+/// #     .vmin(Volt::from_volts(0.3)).vmax(Volt::from_volts(4.0)).build()?;
+/// let campaign = Campaign::builder()
+///     .task_set("ctrl", set)
+///     .processor("linear", cpu)
+///     .schedules([ScheduleChoice::Wcs, ScheduleChoice::Acs])
+///     .policy(PolicySpec::greedy())
+///     .policy(PolicySpec::ccrm()) // schedule-free: runs once, unscheduled
+///     .workload(WorkloadSpec::Paper)
+///     .seeds([1, 2, 3])
+///     .build()?;
+/// // greedy × {WCS, ACS} + ccrm × Unscheduled = 3 cells, ×3 seeds.
+/// assert_eq!(campaign.cell_count(), 3);
+/// assert_eq!(campaign.run_count(), 9);
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug)]
 pub struct CampaignBuilder {
     task_sets: Vec<(String, TaskSet)>,
@@ -665,6 +720,10 @@ fn aggregate(per_seed: &[Result<SimReport, String>]) -> Result<CellStats, String
         voltage_switches: 0,
         clamped_draws: 0,
         worst_lateness_ms: 0.0,
+        solver_lookups: 0,
+        solver_cache_hits: 0,
+        boundary_resolves: 0,
+        resolves_adopted: 0,
     };
     for r in per_seed {
         let report = r.as_ref().map_err(|e| e.clone())?;
@@ -675,6 +734,10 @@ fn aggregate(per_seed: &[Result<SimReport, String>]) -> Result<CellStats, String
         stats.voltage_switches += report.voltage_switches;
         stats.clamped_draws += report.clamped_draws;
         stats.worst_lateness_ms = stats.worst_lateness_ms.max(report.worst_lateness_ms);
+        stats.solver_lookups += report.solver_lookups;
+        stats.solver_cache_hits += report.solver_cache_hits;
+        stats.boundary_resolves += report.boundary_resolves;
+        stats.resolves_adopted += report.resolves_adopted;
     }
     let n = energies.len() as f64;
     let mean = energies.iter().sum::<f64>() / n;

@@ -27,6 +27,31 @@ pub struct CellStats {
     pub clamped_draws: usize,
     /// Worst completion lateness observed across all runs (ms).
     pub worst_lateness_ms: f64,
+    /// Online-solver boundary lookups summed over all runs (0 unless the
+    /// cell ran a re-optimizing policy such as `reopt`).
+    pub solver_lookups: usize,
+    /// Lookups answered by the shared solver cache. When one cache is
+    /// shared across parallel runs, this count (alone) may vary with
+    /// thread interleaving; energies and deadline statistics never do.
+    pub solver_cache_hits: usize,
+    /// Boundary re-solves actually executed.
+    pub boundary_resolves: usize,
+    /// Re-solved candidates that passed the feasibility/energy gate and
+    /// were adopted — distinguishes "solver ran but found nothing worth
+    /// adopting" from "the policy actively reshaped the schedule".
+    pub resolves_adopted: usize,
+}
+
+impl CellStats {
+    /// Solver-cache hit rate of this cell; `None` when the cell's policy
+    /// never consulted an online solver.
+    pub fn solver_cache_hit_rate(&self) -> Option<f64> {
+        if self.solver_lookups == 0 {
+            None
+        } else {
+            Some(self.solver_cache_hits as f64 / self.solver_lookups as f64)
+        }
+    }
 }
 
 /// One grid cell: its coordinates and aggregated outcome.
@@ -154,6 +179,26 @@ impl CampaignReport {
             .sum()
     }
 
+    /// Campaign-wide solver-cache hit rate (hits / lookups over every
+    /// successful cell); `None` when no cell ran an online re-optimizing
+    /// policy. High rates mean repeated boundary states across seeds and
+    /// hyper-periods were served from the shared cache instead of the
+    /// solver.
+    pub fn solver_cache_hit_rate(&self) -> Option<f64> {
+        let (hits, lookups) = self
+            .cells
+            .iter()
+            .filter_map(|c| c.stats())
+            .fold((0usize, 0usize), |(h, l), s| {
+                (h + s.solver_cache_hits, l + s.solver_lookups)
+            });
+        if lookups == 0 {
+            None
+        } else {
+            Some(hits as f64 / lookups as f64)
+        }
+    }
+
     /// Renders an aligned text table of every cell.
     pub fn to_table(&self) -> String {
         let mut out = String::new();
@@ -194,6 +239,22 @@ impl CampaignReport {
                 )),
             }
         }
+        if let Some(rate) = self.solver_cache_hit_rate() {
+            let (hits, lookups, resolves) = self.cells.iter().filter_map(|c| c.stats()).fold(
+                (0usize, 0usize, 0usize),
+                |(h, l, r), s| {
+                    (
+                        h + s.solver_cache_hits,
+                        l + s.solver_lookups,
+                        r + s.boundary_resolves,
+                    )
+                },
+            );
+            out.push_str(&format!(
+                "solver cache: {hits}/{lookups} hits ({:.1}%), {resolves} boundary re-solves\n",
+                100.0 * rate
+            ));
+        }
         out
     }
 }
@@ -214,6 +275,10 @@ mod tests {
             voltage_switches: 0,
             clamped_draws: 0,
             worst_lateness_ms: 0.0,
+            solver_lookups: 0,
+            solver_cache_hits: 0,
+            boundary_resolves: 0,
+            resolves_adopted: 0,
         }
     }
 
@@ -239,6 +304,30 @@ mod tests {
         assert_eq!(report.gains().len(), 1);
         assert_eq!(report.total_deadline_misses(), 0);
         assert!(report.gain("s", "p", "static", "paper-normal").is_none());
+    }
+
+    #[test]
+    fn solver_cache_hit_rate_aggregates() {
+        let mut with_solver = cell(ScheduleChoice::Acs, 50.0);
+        if let Ok(s) = &mut with_solver.outcome {
+            s.solver_lookups = 40;
+            s.solver_cache_hits = 30;
+            s.boundary_resolves = 10;
+        }
+        let plain = cell(ScheduleChoice::Wcs, 100.0);
+        assert!(plain.stats().unwrap().solver_cache_hit_rate().is_none());
+        let report = CampaignReport::new(vec![plain, with_solver]);
+        let rate = report.solver_cache_hit_rate().unwrap();
+        assert!((rate - 0.75).abs() < 1e-12);
+        let table = report.to_table();
+        assert!(
+            table.contains("solver cache: 30/40 hits (75.0%)"),
+            "{table}"
+        );
+        // Without any solver cells there is no footer.
+        let silent = CampaignReport::new(vec![cell(ScheduleChoice::Wcs, 1.0)]);
+        assert!(silent.solver_cache_hit_rate().is_none());
+        assert!(!silent.to_table().contains("solver cache"));
     }
 
     #[test]

@@ -14,12 +14,14 @@
 
 use crate::error::SimError;
 use crate::exec_trace::{ExecutionTrace, Slice};
-use crate::policy::{DispatchContext, IntoPolicy, Policy};
+use crate::policy::{BoundaryEvent, DispatchContext, IntoPolicy, Policy, SolverContext};
 use crate::report::SimReport;
+use acs_core::reopt::InstanceProgress;
 use acs_core::StaticSchedule;
 use acs_model::units::{Cycles, Energy, Freq, Time, TimeSpan};
 use acs_model::{TaskId, TaskSet};
 use acs_power::Processor;
+use acs_preempt::SubInstanceId;
 
 /// Simulation options.
 #[derive(Debug, Clone)]
@@ -69,6 +71,9 @@ struct ChunkPlan {
     end_ms: f64,
     budget: f64,
     static_speed: f64,
+    /// The schedule's sub-instance this chunk executes (`None` for the
+    /// synthetic single-chunk plans of schedule-free runs).
+    sub: Option<SubInstanceId>,
 }
 
 /// A job (task instance) inside one hyper-period.
@@ -173,6 +178,7 @@ impl<'a> Simulator<'a> {
         let mut trace = None;
         let instances_per_hyper: u64 = self.set.total_instances();
         let mut abs_base = 0u64;
+        let stats_before = self.policy.solver_stats();
         for h in 0..self.options.hyper_periods {
             let record = self.options.record_trace && h == 0;
             // `run_one` is a free function over the borrowed fields (not
@@ -183,7 +189,7 @@ impl<'a> Simulator<'a> {
             let (hp_report, hp_trace) = run_one(
                 self.set,
                 self.cpu,
-                self.schedule.is_some(),
+                self.schedule,
                 &self.options,
                 &plans,
                 abs_base,
@@ -196,6 +202,15 @@ impl<'a> Simulator<'a> {
                 trace = hp_trace;
             }
             abs_base += instances_per_hyper;
+        }
+        // Attribute this run's share of the policy's cumulative solver
+        // counters (policies persist across consecutive `run` calls).
+        if let Some(after) = self.policy.solver_stats() {
+            let delta = after.delta_since(stats_before.unwrap_or_default());
+            report.solver_lookups = delta.lookups;
+            report.solver_cache_hits = delta.cache_hits;
+            report.boundary_resolves = delta.resolves;
+            report.resolves_adopted = delta.adopted;
         }
         Ok(RunOutput { report, trace })
     }
@@ -256,6 +271,7 @@ impl<'a> Simulator<'a> {
                                     end_ms: end,
                                     budget,
                                     static_speed: (budget / window).min(fmax),
+                                    sub: Some(id),
                                 }
                             })
                             .collect();
@@ -284,6 +300,7 @@ impl<'a> Simulator<'a> {
                             end_ms: release + task.deadline().get() as f64,
                             budget: task.wcec().as_cycles(),
                             static_speed: fmax,
+                            sub: None,
                         }]);
                     }
                     plans.push(per_task);
@@ -301,7 +318,7 @@ impl<'a> Simulator<'a> {
 fn run_one(
     set: &TaskSet,
     cpu: &Processor,
-    has_schedule: bool,
+    schedule: Option<&StaticSchedule>,
     options: &SimOptions,
     plans: &[Vec<Vec<ChunkPlan>>],
     abs_base: u64,
@@ -310,6 +327,8 @@ fn run_one(
     policy: &mut dyn Policy,
 ) -> Result<(SimReport, Option<ExecutionTrace>), SimError> {
     const EPS: f64 = 1e-9;
+    let has_schedule = schedule.is_some();
+    let wants_boundaries = policy.wants_boundaries();
     // Completion threshold in cycles. Schedules are accepted with up
     // to ~1e-6 ms of worst-case trace lateness, which at f_max
     // corresponds to fractions of a cycle of residual work; without a
@@ -368,6 +387,12 @@ fn run_one(
             });
         }
     }
+    // The hyper-period starts: schedule-aware policies get the pristine
+    // boundary state before anything executes.
+    if wants_boundaries {
+        fire_boundary(policy, set, cpu, schedule, &jobs, 0.0, BoundaryEvent::Start);
+    }
+
     // Release events, sorted by time (job index attached).
     let mut releases: Vec<(f64, usize)> = jobs
         .iter()
@@ -387,16 +412,41 @@ fn run_one(
     loop {
         // Admit releases (drives policy utilization bookkeeping).
         while rel_ptr < releases.len() && releases[rel_ptr].0 <= t + EPS {
-            policy.on_release(TaskId(jobs[releases[rel_ptr].1].task), set, cpu);
+            let task = TaskId(jobs[releases[rel_ptr].1].task);
+            policy.on_release(task, set, cpu);
             rel_ptr += 1;
+            if wants_boundaries {
+                fire_boundary(
+                    policy,
+                    set,
+                    cpu,
+                    schedule,
+                    &jobs,
+                    t,
+                    BoundaryEvent::Release(task),
+                );
+            }
         }
 
         // Jobs with zero actual workload complete instantly.
-        for j in jobs.iter_mut() {
+        for i in 0..jobs.len() {
+            let j = &mut jobs[i];
             if !j.done && j.release_ms <= t + EPS && j.remaining <= CYCLE_EPS {
                 j.done = true;
                 report.jobs_completed += 1;
-                policy.on_completion(TaskId(j.task), Cycles::from_cycles(j.executed), set, cpu);
+                let (task, executed) = (TaskId(j.task), j.executed);
+                policy.on_completion(task, Cycles::from_cycles(executed), set, cpu);
+                if wants_boundaries {
+                    fire_boundary(
+                        policy,
+                        set,
+                        cpu,
+                        schedule,
+                        &jobs,
+                        t,
+                        BoundaryEvent::Completion(task),
+                    );
+                }
             }
         }
         // ---- chunk maintenance for all released jobs ----
@@ -420,14 +470,19 @@ fn run_one(
                     j.chunk_budget_left = plan[j.chunk].budget;
                     continue;
                 }
-                // Roll missed-milestone budget forward — only when
-                // budget is actually left over (reachable only with
-                // externally supplied infeasible schedules). A *spent*
-                // chunk past its milestone must wait for its next
-                // window instead (first branch), not skip ahead.
+                // Roll missed-milestone budget forward — but never
+                // before the next chunk's window opens: a re-optimizing
+                // policy may legitimately run a chunk past its *static*
+                // milestone (its window extends to the segment end), and
+                // rolling early would let the job barge into the next
+                // segment ahead of lower-priority chunks, breaking the
+                // worst-case guarantees budget enforcement exists for. A
+                // *spent* chunk past its milestone likewise waits for
+                // its next window (first branch), not skips ahead.
                 if j.chunk_budget_left > EPS
                     && t >= plan[j.chunk].end_ms + EPS
                     && j.chunk + 1 < plan.len()
+                    && t + EPS >= plan[j.chunk + 1].start_ms
                 {
                     let left = j.chunk_budget_left;
                     j.chunk += 1;
@@ -500,6 +555,7 @@ fn run_one(
             chunk_end: Time::from_ms(cp.end_ms),
             chunk_budget_remaining: Cycles::from_cycles(budget_left),
             static_speed: Freq::from_cycles_per_ms(cp.static_speed),
+            sub: cp.sub,
         };
         let (speed, clamped) = cpu.clamp_speed(policy.on_dispatch(&ctx));
         // The clamp keeps `speed` realizable by the *continuous*
@@ -594,11 +650,61 @@ fn run_one(
             if t > j.deadline_ms + options.deadline_tol_ms {
                 report.deadline_misses += 1;
             }
-            policy.on_completion(TaskId(j.task), Cycles::from_cycles(j.executed), set, cpu);
+            let (ctask, executed) = (TaskId(j.task), j.executed);
+            policy.on_completion(ctask, Cycles::from_cycles(executed), set, cpu);
+            if wants_boundaries {
+                fire_boundary(
+                    policy,
+                    set,
+                    cpu,
+                    schedule,
+                    &jobs,
+                    t,
+                    BoundaryEvent::Completion(ctask),
+                );
+            }
         }
     }
 
     Ok((report, trace))
+}
+
+/// Snapshots every job's execution state and hands the policy a
+/// [`SolverContext`]. Costs `O(jobs)`, so callers gate it behind
+/// [`Policy::wants_boundaries`].
+fn fire_boundary(
+    policy: &mut dyn Policy,
+    set: &TaskSet,
+    cpu: &Processor,
+    schedule: Option<&StaticSchedule>,
+    jobs: &[Job],
+    t: f64,
+    event: BoundaryEvent,
+) {
+    const EPS: f64 = 1e-9;
+    let progress: Vec<InstanceProgress> = jobs
+        .iter()
+        .map(|j| InstanceProgress {
+            instance: acs_preempt::InstanceId {
+                task: TaskId(j.task),
+                index: j.instance_in_hyper,
+            },
+            executed: Cycles::from_cycles(j.executed),
+            current_chunk: j.chunk,
+            chunk_budget_left: Cycles::from_cycles(j.chunk_budget_left.max(0.0)),
+            released: j.release_ms <= t + EPS,
+            done: j.done,
+        })
+        .collect();
+    let ctx = SolverContext {
+        set,
+        cpu,
+        schedule,
+        now: Time::from_ms(t),
+        event,
+        progress: &progress,
+    };
+    policy.on_boundary(&ctx);
 }
 
 /// Convenience energy helper: total energy of running `schedule` under

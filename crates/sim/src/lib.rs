@@ -19,7 +19,11 @@
 //! * [`GreedyReclaim`] — the paper's greedy slack redistribution:
 //!   `speed = R̂_rem / (e_u − now)`;
 //! * [`CcRm`] — a cycle-conserving, online-only baseline in the spirit
-//!   of Pillai & Shin.
+//!   of Pillai & Shin;
+//! * [`ReOpt`] — the paper's online *re-optimizing* ACS: at every job
+//!   boundary it re-solves the remaining low-energy schedule against
+//!   the workload observed so far (warm-started, receding-horizon,
+//!   cache-backed — see the [`reopt`] module docs).
 //!
 //! (The pre-0.2 closed [`DvsPolicy`] enum still works everywhere a
 //! policy is accepted, as a deprecated shim.)
@@ -73,6 +77,7 @@ pub mod error;
 pub mod exec_trace;
 pub mod gantt;
 pub mod policy;
+pub mod reopt;
 pub mod report;
 pub mod stats;
 
@@ -82,6 +87,10 @@ pub use exec_trace::{ExecutionTrace, Slice};
 pub use gantt::render_gantt;
 #[allow(deprecated)]
 pub use policy::DvsPolicy;
-pub use policy::{CcRm, DispatchContext, GreedyReclaim, IntoPolicy, NoDvs, Policy, StaticSpeed};
+pub use policy::{
+    BoundaryEvent, CcRm, DispatchContext, GreedyReclaim, IntoPolicy, NoDvs, Policy, SolverContext,
+    SolverStats, StaticSpeed,
+};
+pub use reopt::{ReOpt, ReOptConfig, SolverCache};
 pub use report::{improvement_over, SimReport};
 pub use stats::Summary;

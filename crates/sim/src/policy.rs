@@ -40,9 +40,12 @@
 //! saturated dispatches), so no policy — built-in or user-provided — can
 //! request an unrealizable frequency.
 
+use acs_core::reopt::InstanceProgress;
+use acs_core::StaticSchedule;
 use acs_model::units::{Cycles, Freq, Time};
 use acs_model::{TaskId, TaskSet};
 use acs_power::Processor;
+use acs_preempt::SubInstanceId;
 
 /// Everything a policy may consult when dispatching a job's chunk.
 #[derive(Debug, Clone, Copy)]
@@ -61,6 +64,82 @@ pub struct DispatchContext<'a> {
     pub chunk_budget_remaining: Cycles,
     /// Precomputed static speed of the chunk (for [`StaticSpeed`]).
     pub static_speed: Freq,
+    /// The static schedule's sub-instance being dispatched (`None` for
+    /// schedule-free runs). Lets schedule-aware policies (e.g. [`ReOpt`])
+    /// map the chunk to their own per-sub-instance state.
+    ///
+    /// [`ReOpt`]: crate::ReOpt
+    pub sub: Option<SubInstanceId>,
+}
+
+/// Why the engine is calling [`Policy::on_boundary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundaryEvent {
+    /// A hyper-period is starting (time 0, nothing executed yet).
+    Start,
+    /// An instance of the task was just released.
+    Release(TaskId),
+    /// An instance of the task just completed.
+    Completion(TaskId),
+}
+
+/// Full boundary state handed to policies that opted into
+/// [`Policy::wants_boundaries`]: the schedule under execution plus an
+/// [`InstanceProgress`] snapshot of every job in the hyper-period —
+/// everything needed to build a remaining-instance formulation and
+/// re-solve it (see [`acs_core::reopt`]).
+#[derive(Debug, Clone, Copy)]
+pub struct SolverContext<'a> {
+    /// The task set being simulated.
+    pub set: &'a TaskSet,
+    /// The processor executing it.
+    pub cpu: &'a Processor,
+    /// The static schedule the run is driven by, when attached.
+    pub schedule: Option<&'a StaticSchedule>,
+    /// Current simulation time (within the hyper-period).
+    pub now: Time,
+    /// What triggered this boundary.
+    pub event: BoundaryEvent,
+    /// Execution state of every job of the hyper-period, in engine order.
+    pub progress: &'a [InstanceProgress],
+}
+
+/// Online-solver telemetry a boundary-re-optimizing policy exposes via
+/// [`Policy::solver_stats`]; the engine folds the per-run delta into
+/// [`SimReport`](crate::SimReport).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Boundary states for which a solution was needed (cache lookups).
+    pub lookups: usize,
+    /// Lookups answered by the solver cache.
+    pub cache_hits: usize,
+    /// Boundary re-solves actually executed.
+    pub resolves: usize,
+    /// Candidates that passed the feasibility/energy gate and were
+    /// adopted.
+    pub adopted: usize,
+}
+
+impl SolverStats {
+    /// Component-wise difference (`self` minus `earlier`); used by the
+    /// engine to attribute cumulative policy counters to one run.
+    pub fn delta_since(self, earlier: SolverStats) -> SolverStats {
+        SolverStats {
+            lookups: self.lookups.saturating_sub(earlier.lookups),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            resolves: self.resolves.saturating_sub(earlier.resolves),
+            adopted: self.adopted.saturating_sub(earlier.adopted),
+        }
+    }
+
+    /// Cache hit rate, `None` before the first lookup.
+    pub fn hit_rate(&self) -> Option<f64> {
+        if self.lookups == 0 {
+            None
+        } else {
+            Some(self.cache_hits as f64 / self.lookups as f64)
+        }
+    }
 }
 
 /// An online DVS policy: called back by the engine at every scheduling
@@ -90,6 +169,29 @@ pub trait Policy: Send {
 
     /// An instance of `task` completed after executing `actual` cycles.
     fn on_completion(&mut self, _task: TaskId, _actual: Cycles, _set: &TaskSet, _cpu: &Processor) {}
+
+    /// `true` when the policy wants [`Policy::on_boundary`] callbacks.
+    /// Building the [`SolverContext`] snapshot costs `O(jobs)` per
+    /// boundary, so the engine only does it on request.
+    fn wants_boundaries(&self) -> bool {
+        false
+    }
+
+    /// Called at every job boundary (hyper-period start, release,
+    /// completion) — *after* the corresponding `on_start`/`on_release`/
+    /// `on_completion` hook — with the full [`SolverContext`]. This is
+    /// the hook re-optimizing policies ([`ReOpt`]) solve from; the
+    /// default does nothing.
+    ///
+    /// [`ReOpt`]: crate::ReOpt
+    fn on_boundary(&mut self, _ctx: &SolverContext<'_>) {}
+
+    /// Cumulative online-solver telemetry, for policies that run one
+    /// (`None` otherwise). The engine reports the per-run delta in
+    /// [`SimReport`](crate::SimReport).
+    fn solver_stats(&self) -> Option<SolverStats> {
+        None
+    }
 
     /// The speed to run the dispatched chunk at. The engine clamps the
     /// result into the processor's `[f_min, f_max]`.
@@ -248,10 +350,47 @@ impl Policy for CcRm {
 /// The original closed set of online policies, kept as a thin shim over
 /// the [`Policy`] trait: `Simulator::new(&set, &cpu, DvsPolicy::NoDvs)`
 /// still works through [`IntoPolicy`].
+///
+/// # Migrating from `DvsPolicy` to `Policy`
+///
+/// Each enum variant has a 1:1 replacement that plugs into the exact
+/// same call sites (`Simulator::new`, `Box<dyn Policy>` collections,
+/// `PolicySpec::custom` in `acs-runtime`):
+///
+/// | before (≤ 0.1)                | after (0.2+)                  |
+/// |-------------------------------|-------------------------------|
+/// | `DvsPolicy::NoDvs`            | [`NoDvs`]                     |
+/// | `DvsPolicy::StaticSpeed`      | [`StaticSpeed`]               |
+/// | `DvsPolicy::GreedyReclaim`    | [`GreedyReclaim`]             |
+/// | `DvsPolicy::CcRm`             | [`CcRm::new()`](CcRm::new)    |
+///
+/// ```
+/// # use acs_model::{Task, TaskSet, units::{Cycles, Ticks, Volt}};
+/// # use acs_power::{FreqModel, Processor};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let set = TaskSet::new(vec![Task::builder("t", Ticks::new(10))
+/// #     .wcec(Cycles::from_cycles(100.0)).build()?])?;
+/// # let cpu = Processor::builder(FreqModel::linear(50.0)?)
+/// #     .vmax(Volt::from_volts(4.0)).build()?;
+/// // Before (deprecated, still compiles with a warning):
+/// // let sim = Simulator::new(&set, &cpu, DvsPolicy::GreedyReclaim);
+///
+/// // After — same behavior, open to user-defined policies:
+/// use acs_sim::{GreedyReclaim, Simulator};
+/// let sim = Simulator::new(&set, &cpu, GreedyReclaim);
+/// # let _ = sim;
+/// # Ok(())
+/// # }
+/// ```
+///
+/// Match statements over `DvsPolicy` have no direct equivalent — replace
+/// them with the trait's own hooks ([`Policy::name`],
+/// [`Policy::needs_schedule`], [`Policy::on_dispatch`]) or keep your own
+/// enum and implement [`Policy`] for it.
 #[deprecated(
     since = "0.2.0",
     note = "use the Policy trait implementations (NoDvs, StaticSpeed, GreedyReclaim, CcRm) \
-            or implement Policy directly"
+            or implement Policy directly; see the DvsPolicy rustdoc for a before/after table"
 )]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DvsPolicy {
@@ -352,6 +491,7 @@ mod tests {
             chunk_end: Time::from_ms(end),
             chunk_budget_remaining: Cycles::from_cycles(budget),
             static_speed: Freq::from_cycles_per_ms(static_speed),
+            sub: None,
         }
     }
 

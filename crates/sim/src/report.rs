@@ -31,6 +31,16 @@ pub struct SimReport {
     pub clamped_draws: usize,
     /// Number of hyper-periods simulated.
     pub hyper_periods: u64,
+    /// Boundary states for which the policy's online solver was
+    /// consulted (0 unless the policy re-optimizes; see
+    /// [`SolverStats`](crate::SolverStats)).
+    pub solver_lookups: usize,
+    /// Solver lookups answered from the shared solver cache.
+    pub solver_cache_hits: usize,
+    /// Boundary re-solves actually executed (lookups minus hits).
+    pub boundary_resolves: usize,
+    /// Re-solved candidates adopted after the feasibility/energy gate.
+    pub resolves_adopted: usize,
 }
 
 impl SimReport {
@@ -48,6 +58,10 @@ impl SimReport {
             voltage_switches: 0,
             clamped_draws: 0,
             hyper_periods: 0,
+            solver_lookups: 0,
+            solver_cache_hits: 0,
+            boundary_resolves: 0,
+            resolves_adopted: 0,
         }
     }
 
@@ -66,6 +80,10 @@ impl SimReport {
         self.voltage_switches += other.voltage_switches;
         self.clamped_draws += other.clamped_draws;
         self.hyper_periods += other.hyper_periods;
+        self.solver_lookups += other.solver_lookups;
+        self.solver_cache_hits += other.solver_cache_hits;
+        self.boundary_resolves += other.boundary_resolves;
+        self.resolves_adopted += other.resolves_adopted;
     }
 
     /// Mean energy per hyper-period.

@@ -1,0 +1,56 @@
+//! The online re-optimizing DVS policy (`ReOpt`) on the paper's
+//! motivational example — greedy reclamation vs boundary re-solving.
+//!
+//! `GreedyReclaim` stretches each chunk's remaining worst-case budget to
+//! its *static* milestone; `ReOpt` re-solves the remaining schedule at
+//! every job boundary, so early completions move the milestones
+//! themselves. Starting from the worst-case-optimal (WCS) schedule, the
+//! re-solves recover most of the offline ACS gain — online.
+//!
+//! ```sh
+//! cargo run --release --example reopt_online
+//! ```
+
+use acsched::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (set, cpu) = acsched::workloads::motivation();
+    let opts = SynthesisOptions::quick();
+    let wcs = synthesize_wcs(&set, &cpu, &opts)?;
+    let acs = synthesize_acs_warm(&set, &cpu, &opts, &wcs)?;
+
+    println!("policy shoot-out on the motivational example (ACEC workloads):\n");
+    println!(
+        "{:<22} {:>12} {:>8} {:>10}",
+        "configuration", "energy", "misses", "re-solves"
+    );
+    let mut baseline = None;
+    for (schedule, label) in [(&wcs, "WCS"), (&acs, "ACS")] {
+        let policies: Vec<(&str, Box<dyn Policy>)> = vec![
+            ("greedy", Box::new(GreedyReclaim)),
+            ("reopt", Box::new(ReOpt::new())),
+        ];
+        for (name, policy) in policies {
+            let out = Simulator::new(&set, &cpu, policy)
+                .with_schedule(schedule)
+                .run(&mut |t, _| set.tasks()[t.0].acec())?;
+            let e = out.report.energy.as_units();
+            let base = *baseline.get_or_insert(e);
+            println!(
+                "{:<22} {:>12.1} {:>8} {:>10}   ({:+.1}% vs WCS+greedy)",
+                format!("{label} + {name}"),
+                e,
+                out.report.deadline_misses,
+                out.report.boundary_resolves,
+                100.0 * (e / base - 1.0),
+            );
+            assert!(out.report.all_deadlines_met());
+        }
+    }
+    println!(
+        "\nReOpt re-optimizes end times at every job boundary: on the WCS \
+         schedule it recovers most of the offline ACS gain (paper: ≈24% \
+         on this example) without any offline average-case solve."
+    );
+    Ok(())
+}

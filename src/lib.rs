@@ -136,9 +136,10 @@ pub use acs_workloads as workloads;
 /// Everything needed for typical use, importable with one line.
 pub mod prelude {
     pub use acs_core::{
-        evaluate_trace, synthesize_acs, synthesize_acs_best, synthesize_acs_warm, synthesize_wcs,
-        synthesize_wcs_warm, verify_worst_case, Milestone, ObjectiveKind, ScheduleKind, SpeedBasis,
-        StaticSchedule, SynthesisOptions,
+        evaluate_trace, synthesize_acs, synthesize_acs_best, synthesize_acs_warm,
+        synthesize_remaining, synthesize_wcs, synthesize_wcs_warm, verify_worst_case,
+        InstanceProgress, Milestone, ObjectiveKind, RemainingInstance, ReoptOptions, ScheduleKind,
+        SpeedBasis, StaticSchedule, SynthesisOptions,
     };
     pub use acs_model::units::{Cycles, Energy, Freq, Ticks, Time, TimeSpan, Volt};
     pub use acs_model::{Task, TaskBuilder, TaskId, TaskSet};
@@ -151,8 +152,9 @@ pub mod prelude {
     #[allow(deprecated)]
     pub use acs_sim::DvsPolicy;
     pub use acs_sim::{
-        improvement_over, render_gantt, CcRm, DispatchContext, GreedyReclaim, IntoPolicy, NoDvs,
-        Policy, SimOptions, SimReport, Simulator, StaticSpeed, Summary,
+        improvement_over, render_gantt, BoundaryEvent, CcRm, DispatchContext, GreedyReclaim,
+        IntoPolicy, NoDvs, Policy, ReOpt, ReOptConfig, SimOptions, SimReport, Simulator,
+        SolverCache, SolverContext, SolverStats, StaticSpeed, Summary,
     };
     pub use acs_workloads::{
         cnc, gap, generate, motivation, RandomSetConfig, TaskWorkloads, WorkloadDist,
