@@ -4,62 +4,62 @@
 //! separate the value of (a) static voltage scheduling, (b) greedy slack
 //! reclamation, (c) the average-case-aware end times, and (d) online
 //! re-optimization of the remaining schedule (`reopt`), against a
-//! purely online cycle-conserving baseline. The sweep is one
-//! [`Campaign`]: 5 policies × schedules × random sets in a single
-//! parallel grid (schedule-free policies run once, unscheduled).
-//! Boundary re-solves are ~10³× a greedy dispatch, so the sweep runs a
-//! reduced default scale; the shared solver cache keeps repeats cheap.
+//! purely online cycle-conserving baseline.
+//!
+//! The sweep is **data**: `scenarios/ablation_policies.txt` declares the
+//! whole grid (task sets, policies, seeds, scale) and this binary only
+//! renders the normalized table — the same file runs unchanged through
+//! `acsched run scenarios/ablation_policies.txt`. Boundary re-solves are
+//! ~10³× a greedy dispatch, so the checked-in file declares a reduced
+//! scale; edit `count=` / `hyper_periods` there (or point
+//! `ACS_SCENARIO_DIR` at a copy) for bigger runs.
 //!
 //! ```sh
 //! cargo run --release -p acs-bench --bin ablation_policies
 //! ```
 
-use acs_bench::{random_paper_sets, standard_cpu, Scale};
-use acs_core::SynthesisOptions;
-use acs_runtime::{Campaign, PolicySpec, ScheduleChoice, WorkloadSpec};
+use acs_bench::scenario_path;
+use acs_runtime::ScheduleChoice;
+use acs_scenario::{Scenario, TaskSetDecl};
 use acs_sim::Summary;
 
 fn main() {
-    let scale = Scale::from_env();
-    let cpu = standard_cpu();
-    // The reopt policy re-solves at every job boundary: cap the *default*
-    // sweep so it stays in the minutes. Explicit env overrides
-    // (ACS_SETS / ACS_HYPER_PERIODS / ACS_PAPER_SCALE) are honored as
-    // given.
-    let explicit = |k: &str| std::env::var_os(k).is_some();
-    let task_sets = if explicit("ACS_SETS") || explicit("ACS_PAPER_SCALE") {
-        scale.task_sets
-    } else {
-        scale.task_sets.min(4)
-    };
-    let hyper_periods = if explicit("ACS_HYPER_PERIODS") || explicit("ACS_PAPER_SCALE") {
-        scale.hyper_periods
-    } else {
-        scale.hyper_periods.min(25)
-    };
+    let path = scenario_path("ablation_policies.txt");
+    let scenario =
+        Scenario::load(&path).unwrap_or_else(|e| panic!("loading {}: {e}", path.display()));
+    // Grid-row names straight from the declarations (materialization
+    // happens once, inside `to_campaign`); a declared set missing from
+    // the report — a generation failure — simply contributes no samples.
+    let set_names: Vec<String> = scenario
+        .task_sets
+        .iter()
+        .flat_map(|decl| match decl {
+            TaskSetDecl::Inline { name, .. } | TaskSetDecl::RealLife { name, .. } => {
+                vec![name.clone()]
+            }
+            TaskSetDecl::Random {
+                tasks,
+                ratio,
+                count,
+                ..
+            } => (0..*count)
+                .map(|idx| acs_workloads::paper_set_name(*tasks, *ratio, idx))
+                .collect(),
+        })
+        .collect();
     println!(
         "Ablation A2: runtime energy by (schedule x policy), normalized to \
-         no-DVS = 100 (6-task sets, ratio 0.1; {task_sets} sets x {hyper_periods} hyper-periods)\n"
+         no-DVS = 100 (6-task sets, ratio 0.1; {} sets x {} hyper-periods)\n",
+        set_names.len(),
+        scenario.hyper_periods.unwrap_or(1)
     );
-    let sets = random_paper_sets(6, 0.1, task_sets, scale.seed, cpu.f_max());
-    let set_names: Vec<String> = sets.iter().map(|(n, _)| n.clone()).collect();
-    let report = Campaign::builder()
-        .task_sets(sets)
-        .processor("linear", cpu)
-        .schedules([ScheduleChoice::Wcs, ScheduleChoice::Acs])
-        .policy(PolicySpec::no_dvs())
-        .policy(PolicySpec::ccrm())
-        .policy(PolicySpec::static_speed())
-        .policy(PolicySpec::greedy())
-        .policy(PolicySpec::reopt())
-        .workload(WorkloadSpec::Paper)
-        .seeds([scale.seed ^ 0xA2])
-        .hyper_periods(hyper_periods)
-        .synthesis(SynthesisOptions::default())
-        .acs_multistart(true)
-        .build()
-        .expect("non-empty ablation grid")
-        .run();
+    let campaign = scenario.to_campaign().expect("non-empty ablation grid");
+    eprintln!(
+        "running {} cells / {} simulations...",
+        campaign.cell_count(),
+        campaign.run_count()
+    );
+    let report = campaign.run();
 
     let rows: [(&str, ScheduleChoice, &str); 8] = [
         (

@@ -2,108 +2,124 @@
 //! sets, as a function of task count and workload flexibility.
 //!
 //! Paper protocol (§4): for each task count `N ∈ {2,4,6,8,10}` and
-//! `BCEC/WCEC ∈ {0.1, 0.5, 0.9}`, generate 100 random task sets (periods
+//! `BCEC/WCEC ∈ {0.1, 0.5, 0.9}`, generate random task sets (periods
 //! 10–30 ms, 70% worst-case utilization at `f_max`, ≤ 1000
-//! sub-instances), simulate 1000 hyper-periods of truncated-normal
-//! workloads under greedy DVS, and report the percentage runtime-energy
-//! improvement of the ACS schedule over the WCS schedule.
+//! sub-instances), simulate truncated-normal workloads under greedy
+//! DVS, and report the percentage runtime-energy improvement of the ACS
+//! schedule over the WCS schedule.
 //!
-//! The whole protocol is one [`Campaign`]: every generated set is a grid
-//! row, `{WCS, ACS} × greedy` are the cells, and the runner parallelizes
-//! synthesis and simulation across all cells.
-//!
-//! A second, reduced campaign turns the figure into the **three-way
-//! WCS / greedy-heuristic / ReOpt comparison** the paper is about:
-//! `{WCS, ACS} × {greedy, reopt}` on a subset of the same sets (boundary
-//! re-solves cost ~10³ greedy dispatches, so the subset keeps the run
-//! bounded; the shared solver cache absorbs repeated states and its hit
-//! rate is printed with the table).
+//! Since the scenario redesign the whole experiment is **data**: this
+//! binary loads `scenarios/fig6a_random.txt` (the grid) and
+//! `scenarios/fig6a_threeway.txt` (the reduced WCS / greedy / ReOpt
+//! comparison) and only renders the pivot tables — the same files run
+//! unchanged through `acsched run scenarios/fig6a_random.txt`. Scale
+//! lives in the files now; edit `count=` / `hyper_periods` there (or
+//! point `ACS_SCENARIO_DIR` at copies) instead of setting env vars.
 //!
 //! ```sh
-//! cargo run --release -p acs-bench --bin fig6a_random            # reduced scale
-//! ACS_PAPER_SCALE=1 cargo run --release -p acs-bench --bin fig6a_random
+//! cargo run --release -p acs-bench --bin fig6a_random
 //! ```
 
-use acs_bench::{random_paper_sets, standard_cpu, Scale};
-use acs_core::SynthesisOptions;
-use acs_model::TaskSet;
-use acs_runtime::{Campaign, PolicySpec, ScheduleChoice, WorkloadSpec};
+use acs_bench::scenario_path;
+use acs_runtime::{CampaignReport, ScheduleChoice};
+use acs_scenario::{Scenario, TaskSetDecl};
 use acs_sim::Summary;
 
-fn main() {
-    let scale = Scale::from_env();
-    let cpu = standard_cpu();
-    const TASK_COUNTS: [usize; 5] = [2, 4, 6, 8, 10];
-    const RATIOS: [f64; 3] = [0.1, 0.5, 0.9];
+/// The `(tasks, ratio, row names)` cells declared by a fig6a-style
+/// scenario, in declaration order.
+fn random_cells(scenario: &Scenario) -> Vec<(usize, f64, Vec<String>)> {
+    scenario
+        .task_sets
+        .iter()
+        .filter_map(|decl| match decl {
+            TaskSetDecl::Random {
+                tasks,
+                ratio,
+                count,
+                ..
+            } => Some((
+                *tasks,
+                *ratio,
+                (0..*count)
+                    .map(|idx| acs_workloads::paper_set_name(*tasks, *ratio, idx))
+                    .collect(),
+            )),
+            _ => None,
+        })
+        .collect()
+}
 
-    println!(
-        "Figure 6(a): % runtime-energy improvement of ACS over WCS \
-         ({} sets x {} hyper-periods per cell; paper: 100 x 1000)\n",
-        scale.task_sets, scale.hyper_periods
-    );
-
-    // One campaign holds the whole figure: 15 (count, ratio) cells x
-    // `task_sets` random sets each, under {WCS, ACS} x greedy.
-    let mut builder = Campaign::builder()
-        .processor("linear", cpu.clone())
-        .schedules([ScheduleChoice::Wcs, ScheduleChoice::Acs])
-        .policy(PolicySpec::greedy())
-        .workload(WorkloadSpec::Paper)
-        .seeds([scale.seed ^ 0xACE5])
-        .hyper_periods(scale.hyper_periods)
-        .synthesis(SynthesisOptions::default())
-        .acs_multistart(true);
-    let mut cell_names: Vec<Vec<Vec<String>>> = Vec::new();
-    // Only the three-way subset of each cell's sets is retained for the
-    // second campaign.
-    let sub_sets = scale.task_sets.min(2);
-    let mut reopt_sets: Vec<Vec<Vec<(String, TaskSet)>>> = Vec::new();
-    let mut gen_failures = 0usize;
-    for (row, &n) in TASK_COUNTS.iter().enumerate() {
-        cell_names.push(Vec::new());
-        reopt_sets.push(Vec::new());
-        for (col, &ratio) in RATIOS.iter().enumerate() {
-            let gen_seed = scale.seed + (row as u64) * 1_000_000 + (col as u64) * 10_000;
-            let sets = random_paper_sets(n, ratio, scale.task_sets, gen_seed, cpu.f_max());
-            gen_failures += scale.task_sets - sets.len();
-            cell_names[row].push(sets.iter().map(|(name, _)| name.clone()).collect());
-            reopt_sets[row].push(sets.iter().take(sub_sets).cloned().collect());
-            builder = builder.task_sets(sets);
+fn sorted_unique<T: PartialOrd + Copy>(values: impl Iterator<Item = T>) -> Vec<T> {
+    let mut out: Vec<T> = Vec::new();
+    for v in values {
+        if !out.contains(&v) {
+            out.push(v);
         }
     }
-    let campaign = builder.build().expect("non-empty figure grid");
+    out.sort_by(|a, b| a.partial_cmp(b).expect("finite axis values"));
+    out
+}
+
+fn load_and_run(name: &str) -> (Scenario, CampaignReport, usize) {
+    let path = scenario_path(name);
+    let scenario =
+        Scenario::load(&path).unwrap_or_else(|e| panic!("loading {}: {e}", path.display()));
+    let campaign = scenario.to_campaign().expect("non-empty figure grid");
     eprintln!(
-        "running {} cells / {} simulations...",
+        "{name}: running {} cells / {} simulations...",
         campaign.cell_count(),
         campaign.run_count()
     );
     let report = campaign.run();
+    // Declared random rows that produced no cells at all were skipped by
+    // the generator (sub-instance cap) — the paper protocol's per-set
+    // generation failures. Rows with cells that carry errors are counted
+    // separately as synthesis failures by the caller.
+    let present: std::collections::BTreeSet<&str> =
+        report.cells().iter().map(|c| c.task_set.as_str()).collect();
+    let gen_failures = random_cells(&scenario)
+        .iter()
+        .flat_map(|(_, _, names)| names)
+        .filter(|name| !present.contains(name.as_str()))
+        .count();
+    (scenario, report, gen_failures)
+}
+
+fn main() {
+    let (scenario, report, gen_failures) = load_and_run("fig6a_random.txt");
+    let cells = random_cells(&scenario);
+    let counts = sorted_unique(cells.iter().map(|(n, _, _)| *n));
+    let ratios = sorted_unique(cells.iter().map(|(_, r, _)| *r));
+    let sets_per_cell = cells.first().map_or(0, |(_, _, names)| names.len());
+    let hp = scenario.hyper_periods.unwrap_or(1);
 
     println!(
-        "{:>8} {:>16} {:>16} {:>16}",
-        "#tasks", "BCEC/WCEC=0.1", "BCEC/WCEC=0.5", "BCEC/WCEC=0.9"
+        "Figure 6(a): % runtime-energy improvement of ACS over WCS \
+         ({sets_per_cell} sets x {hp} hyper-periods per cell; paper: 100 x 1000)\n"
     );
-    let mut misses = 0usize;
-    for (row, &n) in TASK_COUNTS.iter().enumerate() {
-        let cells: Vec<String> = RATIOS
-            .iter()
-            .enumerate()
-            .map(|(col, _)| {
-                let mut summary = Summary::new();
-                for name in &cell_names[row][col] {
+    print!("{:>8}", "#tasks");
+    for ratio in &ratios {
+        print!(" {:>16}", format!("BCEC/WCEC={ratio}"));
+    }
+    println!();
+    for &n in &counts {
+        print!("{n:>8}");
+        for &ratio in &ratios {
+            let mut summary = Summary::new();
+            for (_, _, names) in cells.iter().filter(|(c, r, _)| *c == n && *r == ratio) {
+                for name in names {
                     if let Some(g) = report.gain(name, "linear", "greedy", "paper-normal") {
                         summary.push(100.0 * g);
                     }
                 }
+            }
+            print!(
+                " {:>16}",
                 format!("{:>6.1}% ±{:>4.1}", summary.mean(), summary.std_dev())
-            })
-            .collect();
-        println!(
-            "{:>8} {:>16} {:>16} {:>16}",
-            n, cells[0], cells[1], cells[2]
-        );
+            );
+        }
+        println!();
     }
-    misses += report.total_deadline_misses();
     // One synthesis failure poisons both a set's WCS and ACS cells;
     // count failed *sets* (matching the paper protocol's per-set
     // accounting), not failed cells.
@@ -111,46 +127,32 @@ fn main() {
         .failures()
         .map(|(cell, _)| cell.task_set.as_str())
         .collect();
-    let failures = gen_failures + failed_sets.len();
     for (cell, err) in report.failures() {
         eprintln!(
             "  [{} {} {}] {err}",
             cell.task_set, cell.schedule, cell.policy
         );
     }
-    assert_eq!(misses, 0, "hard deadlines must hold");
+    assert_eq!(
+        report.total_deadline_misses(),
+        0,
+        "hard deadlines must hold"
+    );
     println!(
         "\nPaper's reported shape: improvement grows with task count; \
-         ≈60% at (10 tasks, ratio 0.1); ≈0 at ratio 0.9. Failures: {failures}."
+         ≈60% at (10 tasks, ratio 0.1); ≈0 at ratio 0.9. Failures: {}.",
+        gen_failures + failed_sets.len()
     );
 
     // ---- three-way comparison: WCS·greedy vs ACS·greedy vs ACS·reopt ----
     // Boundary re-solves cost ~10³ greedy dispatches, so the online
-    // re-optimizer runs on a subset of the same sets at fewer
-    // hyper-periods — paired draws, quick-profile synthesis (the
-    // comparison is relative).
-    let sub_hp = scale.hyper_periods.min(10);
-    let mut builder = Campaign::builder()
-        .processor("linear", cpu.clone())
-        .schedules([ScheduleChoice::Wcs, ScheduleChoice::Acs])
-        .policy(PolicySpec::greedy())
-        .policy(PolicySpec::reopt())
-        .workload(WorkloadSpec::Paper)
-        .seeds([scale.seed ^ 0xACE5])
-        .hyper_periods(sub_hp)
-        .synthesis(SynthesisOptions::quick());
-    for row in reopt_sets {
-        for sets in row {
-            builder = builder.task_sets(sets);
-        }
-    }
-    let campaign = builder.build().expect("non-empty three-way grid");
-    eprintln!(
-        "running three-way comparison: {} cells / {} simulations...",
-        campaign.cell_count(),
-        campaign.run_count()
-    );
-    let report = campaign.run();
+    // re-optimizer's scenario declares a 2-set subset of the same cells
+    // at fewer hyper-periods — paired draws, quick-profile synthesis
+    // (the comparison is relative).
+    let (scenario3, report3, _) = load_and_run("fig6a_threeway.txt");
+    let cells3 = random_cells(&scenario3);
+    let sub_sets = cells3.first().map_or(0, |(_, _, names)| names.len());
+    let sub_hp = scenario3.hyper_periods.unwrap_or(1);
 
     println!(
         "\nThree-way (subset: {sub_sets} sets x {sub_hp} hyper-periods per cell): \
@@ -160,14 +162,14 @@ fn main() {
         "{:>8} {:>14} {:>14} {:>14}",
         "#tasks", "ACS+greedy", "ACS+reopt", "WCS+reopt"
     );
-    for (row, &n) in TASK_COUNTS.iter().enumerate() {
+    for &n in &counts {
         let mut acs_greedy = Summary::new();
         let mut acs_reopt = Summary::new();
         let mut wcs_reopt = Summary::new();
-        for col_names in &cell_names[row] {
-            for name in col_names.iter().take(sub_sets) {
+        for (_, _, names) in cells3.iter().filter(|(c, _, _)| *c == n) {
+            for name in names {
                 let energy = |sched, policy: &str| {
-                    report
+                    report3
                         .find(name, "linear", sched, policy, "paper-normal")
                         .and_then(|c| c.stats())
                         .map(|s| s.mean_energy.as_units())
@@ -194,13 +196,13 @@ fn main() {
             wcs_reopt.mean()
         );
     }
-    for (cell, err) in report.failures() {
+    for (cell, err) in report3.failures() {
         eprintln!(
             "  [{} {} {}] {err}",
             cell.task_set, cell.schedule, cell.policy
         );
     }
-    if let Some(rate) = report.solver_cache_hit_rate() {
+    if let Some(rate) = report3.solver_cache_hit_rate() {
         println!(
             "solver cache hit rate: {:.1}% over the shared campaign cache",
             100.0 * rate
@@ -209,7 +211,7 @@ fn main() {
     // Over *every* successful cell — a missing greedy baseline must not
     // exempt a reopt cell from the hard-deadline guard.
     assert_eq!(
-        report.total_deadline_misses(),
+        report3.total_deadline_misses(),
         0,
         "hard deadlines must hold for ReOpt too"
     );

@@ -20,9 +20,7 @@ use acs_model::units::{Energy, Freq, Volt};
 use acs_model::TaskSet;
 use acs_power::{FreqModel, Processor};
 use acs_sim::{GreedyReclaim, SimOptions, Simulator};
-use acs_workloads::{generate, RandomSetConfig, TaskWorkloads};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use acs_workloads::TaskWorkloads;
 
 /// Scale knobs for the experiment binaries.
 #[derive(Debug, Clone, Copy)]
@@ -70,6 +68,18 @@ impl Scale {
             }
         }
         s
+    }
+}
+
+/// Resolves a checked-in scenario file under the workspace's
+/// `scenarios/` directory (override the directory with
+/// `ACS_SCENARIO_DIR` to point the figure binaries at your own files).
+pub fn scenario_path(name: &str) -> std::path::PathBuf {
+    match std::env::var_os("ACS_SCENARIO_DIR") {
+        Some(dir) => std::path::Path::new(&dir).join(name),
+        None => std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../scenarios")
+            .join(name),
     }
 }
 
@@ -151,11 +161,9 @@ pub fn run_greedy(
 }
 
 /// Generates `count` named paper-style random task sets for one
-/// `(num_tasks, ratio)` experiment cell, ready for
-/// `acs_runtime::CampaignBuilder::task_sets`. Names are
-/// `n{num_tasks:02}_r{ratio:.1}_s{idx:03}`, unique across cells; the
-/// per-set generator seed is `master_seed + idx` (deterministic).
-/// Generation failures are logged to stderr and skipped.
+/// `(num_tasks, ratio)` experiment cell. Thin alias for
+/// [`acs_workloads::paper_set_batch`] (the canonical implementation
+/// moved there so scenario files share the exact same names and seeds).
 pub fn random_paper_sets(
     num_tasks: usize,
     ratio: f64,
@@ -163,19 +171,7 @@ pub fn random_paper_sets(
     master_seed: u64,
     f_max: Freq,
 ) -> Vec<(String, TaskSet)> {
-    let cfg = RandomSetConfig::paper(num_tasks, ratio, f_max);
-    (0..count)
-        .filter_map(|idx| {
-            let seed = master_seed + idx as u64;
-            match generate(&cfg, &mut StdRng::seed_from_u64(seed)) {
-                Ok(set) => Some((format!("n{num_tasks:02}_r{ratio:.1}_s{idx:03}"), set)),
-                Err(e) => {
-                    eprintln!("  [n={num_tasks} ratio={ratio} set={idx}] generation: {e}");
-                    None
-                }
-            }
-        })
-        .collect()
+    acs_workloads::paper_set_batch(num_tasks, ratio, count, master_seed, f_max)
 }
 
 #[cfg(test)]

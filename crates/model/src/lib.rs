@@ -44,6 +44,7 @@
 pub mod error;
 pub mod task;
 pub mod taskset;
+pub mod text;
 pub mod units;
 
 pub use error::ModelError;

@@ -1,0 +1,201 @@
+//! Plain-text persistence for [`TaskSet`] artifacts.
+//!
+//! Same philosophy as the schedule export in `acs-core`: a versioned,
+//! line-oriented text table — diff-able, greppable, no framework or
+//! binary format — so task sets can be checked into a repository,
+//! reviewed in a diff, and fed back into any tool of the workspace
+//! (most prominently the `acsched` CLI's scenario files).
+//!
+//! ```text
+//! acsched-taskset v1
+//! tasks 2
+//! # name period deadline wcec acec bcec c_eff
+//! a 4 4 100 40 10 1
+//! b 8 8 150 60 15 1
+//! ```
+//!
+//! Numbers are printed with Rust's shortest round-trip `f64` formatting,
+//! so `from_text(&to_text(set))` reproduces the set exactly.
+
+use crate::error::ModelError;
+use crate::task::Task;
+use crate::taskset::TaskSet;
+use crate::units::{Cycles, Ticks};
+
+/// Serializes a task set to the v1 text format.
+///
+/// Tasks appear in priority (rate-monotonic) order, one per line.
+///
+/// # Errors
+///
+/// [`ModelError::InvalidTask`] when a task name contains whitespace or
+/// starts with `#` — such a name cannot survive the line-oriented
+/// round trip, so it is rejected instead of silently corrupting the
+/// artifact.
+pub fn to_text(set: &TaskSet) -> Result<String, ModelError> {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "acsched-taskset v1");
+    let _ = writeln!(out, "tasks {}", set.len());
+    let _ = writeln!(out, "# name period deadline wcec acec bcec c_eff");
+    for t in set.tasks() {
+        if t.name().chars().any(char::is_whitespace) || t.name().starts_with('#') {
+            return Err(ModelError::InvalidTask {
+                task: t.name().to_string(),
+                reason: "name contains whitespace or starts with `#`; \
+                         not representable in the text format"
+                    .into(),
+            });
+        }
+        let _ = writeln!(
+            out,
+            "{} {} {} {} {} {} {}",
+            t.name(),
+            t.period().get(),
+            t.deadline().get(),
+            t.wcec().as_cycles(),
+            t.acec().as_cycles(),
+            t.bcec().as_cycles(),
+            t.c_eff(),
+        );
+    }
+    Ok(out)
+}
+
+/// Parses a v1 text artifact back into a task set.
+///
+/// # Errors
+///
+/// [`ModelError::InvalidTask`] (with a `parse:`-prefixed reason) on any
+/// syntax error — wrong header, bad field count, malformed numbers,
+/// count mismatch — and the usual construction errors when the parsed
+/// fields violate task or task-set invariants.
+pub fn from_text(text: &str) -> Result<TaskSet, ModelError> {
+    let bad = |reason: String| ModelError::InvalidTask {
+        task: "<artifact>".into(),
+        reason: format!("parse: {reason}"),
+    };
+    let mut lines = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'));
+
+    let header = lines.next().ok_or_else(|| bad("empty artifact".into()))?;
+    if header != "acsched-taskset v1" {
+        return Err(bad(format!("unsupported header `{header}`")));
+    }
+    let count_line = lines
+        .next()
+        .ok_or_else(|| bad("missing tasks line".into()))?;
+    let count: usize = count_line
+        .strip_prefix("tasks ")
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| bad(format!("bad tasks line `{count_line}`")))?;
+
+    let mut tasks = Vec::with_capacity(count);
+    for line in lines {
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 7 {
+            return Err(bad(format!("expected 7 fields, got `{line}`")));
+        }
+        let parse_u = |s: &str| -> Result<u64, ModelError> {
+            s.parse().map_err(|_| bad(format!("bad integer `{s}`")))
+        };
+        let parse_f = |s: &str| -> Result<f64, ModelError> {
+            let v: f64 = s.parse().map_err(|_| bad(format!("bad number `{s}`")))?;
+            if !v.is_finite() {
+                return Err(bad(format!("non-finite number `{s}`")));
+            }
+            Ok(v)
+        };
+        tasks.push(
+            Task::builder(fields[0], Ticks::new(parse_u(fields[1])?))
+                .deadline(Ticks::new(parse_u(fields[2])?))
+                .wcec(Cycles::from_cycles(parse_f(fields[3])?))
+                .acec(Cycles::from_cycles(parse_f(fields[4])?))
+                .bcec(Cycles::from_cycles(parse_f(fields[5])?))
+                .c_eff(parse_f(fields[6])?)
+                .build()?,
+        );
+    }
+    if tasks.len() != count {
+        return Err(bad(format!(
+            "artifact declares {count} tasks but contains {}",
+            tasks.len()
+        )));
+    }
+    TaskSet::new(tasks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> TaskSet {
+        TaskSet::new(vec![
+            Task::builder("slow", Ticks::new(9))
+                .wcec(Cycles::from_cycles(90.5))
+                .acec(Cycles::from_cycles(33.25))
+                .bcec(Cycles::from_cycles(9.125))
+                .c_eff(1.5)
+                .build()
+                .unwrap(),
+            Task::builder("fast", Ticks::new(3))
+                .deadline(Ticks::new(2))
+                .wcec(Cycles::from_cycles(30.0))
+                .build()
+                .unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let set = fixture();
+        let text = to_text(&set).unwrap();
+        let back = from_text(&text).unwrap();
+        assert_eq!(set, back);
+        // Fixpoint: serializing the parsed set reproduces the bytes.
+        assert_eq!(text, to_text(&back).unwrap());
+    }
+
+    #[test]
+    fn format_is_stable() {
+        let text = to_text(&fixture()).unwrap();
+        assert!(text.starts_with("acsched-taskset v1\ntasks 2\n"));
+        // Priority order: shorter period first. Unset ACEC/BCEC default
+        // to the fixed-workload WCEC.
+        assert!(text.contains("\nfast 3 2 30 30 30 1\n"));
+        assert!(text.contains("\nslow 9 9 90.5 33.25 9.125 1.5\n"));
+    }
+
+    #[test]
+    fn rejects_unrepresentable_names() {
+        let set = TaskSet::new(vec![Task::builder("has space", Ticks::new(3))
+            .wcec(Cycles::from_cycles(1.0))
+            .build()
+            .unwrap()])
+        .unwrap();
+        assert!(to_text(&set).is_err());
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let text = to_text(&fixture()).unwrap();
+        // Bad header.
+        assert!(from_text(&text.replace("v1", "v9")).is_err());
+        // Truncated body.
+        let truncated: String = text.lines().take(3).collect::<Vec<_>>().join("\n");
+        assert!(from_text(&truncated).is_err());
+        // Mangled field count.
+        assert!(from_text(&text.replace("fast 3 2", "fast 3")).is_err());
+        // Non-numeric field.
+        assert!(from_text(&text.replace(" 30 ", " thirty ")).is_err());
+        // Non-finite number.
+        assert!(from_text(&text.replace(" 30 ", " inf ")).is_err());
+        // Empty.
+        assert!(from_text("").is_err());
+        // Invariant violation surfaces as a model error.
+        assert!(from_text(&text.replace("fast 3 2 30 30 30", "fast 3 2 30 45 30")).is_err());
+    }
+}

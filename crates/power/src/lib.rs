@@ -42,6 +42,7 @@ pub mod error;
 pub mod freq;
 pub mod levels;
 pub mod processor;
+pub mod text;
 
 pub use error::PowerError;
 pub use freq::FreqModel;

@@ -1,0 +1,234 @@
+//! Plain-text persistence for [`Processor`] artifacts.
+//!
+//! Versioned, line-oriented and diff-able like the schedule export in
+//! `acs-core` and the task-set export in `acs-model`. One `key value...`
+//! directive per line; `levels` and `overhead` are optional:
+//!
+//! ```text
+//! acsched-processor v1
+//! model linear 50
+//! vmin 0.3
+//! vmax 4
+//! levels 1 2 3 4
+//! overhead 0.001 1
+//! ```
+//!
+//! The alpha-power law serializes as `model alpha <k> <vth> <alpha>`.
+//! Numbers use Rust's shortest round-trip `f64` formatting, so
+//! `from_text(&to_text(cpu))` reproduces the processor exactly.
+
+use crate::error::PowerError;
+use crate::freq::FreqModel;
+use crate::levels::{LevelTable, VoltageLevels};
+use crate::processor::{Processor, TransitionOverhead};
+use acs_model::units::{Energy, TimeSpan, Volt};
+
+/// Serializes a processor to the v1 text format.
+pub fn to_text(cpu: &Processor) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "acsched-processor v1");
+    match cpu.freq_model() {
+        FreqModel::Linear { kappa } => {
+            let _ = writeln!(out, "model linear {kappa}");
+        }
+        FreqModel::Alpha { k, vth, alpha } => {
+            let _ = writeln!(out, "model alpha {k} {} {alpha}", vth.as_volts());
+        }
+    }
+    let _ = writeln!(out, "vmin {}", cpu.vmin().as_volts());
+    let _ = writeln!(out, "vmax {}", cpu.vmax().as_volts());
+    if let VoltageLevels::Discrete(table) = cpu.levels() {
+        let levels: Vec<String> = table
+            .levels()
+            .iter()
+            .map(|v| v.as_volts().to_string())
+            .collect();
+        let _ = writeln!(out, "levels {}", levels.join(" "));
+    }
+    let overhead = cpu.overhead();
+    if overhead != TransitionOverhead::NONE {
+        let _ = writeln!(
+            out,
+            "overhead {} {}",
+            overhead.time.as_ms(),
+            overhead.energy.as_units()
+        );
+    }
+    out
+}
+
+/// Parses a v1 text artifact back into a processor.
+///
+/// # Errors
+///
+/// [`PowerError::InvalidModel`] (with a `parse:`-prefixed reason) on any
+/// syntax error — wrong header, unknown or repeated directive, malformed
+/// numbers — and the usual builder errors when the parsed values violate
+/// processor invariants.
+pub fn from_text(text: &str) -> Result<Processor, PowerError> {
+    let bad = |reason: String| PowerError::InvalidModel {
+        reason: format!("parse: {reason}"),
+    };
+    let parse_f = |s: &str| -> Result<f64, PowerError> {
+        let v: f64 = s.parse().map_err(|_| bad(format!("bad number `{s}`")))?;
+        if !v.is_finite() {
+            return Err(bad(format!("non-finite number `{s}`")));
+        }
+        Ok(v)
+    };
+    let mut lines = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'));
+
+    let header = lines.next().ok_or_else(|| bad("empty artifact".into()))?;
+    if header != "acsched-processor v1" {
+        return Err(bad(format!("unsupported header `{header}`")));
+    }
+
+    let mut model: Option<FreqModel> = None;
+    let mut vmin: Option<f64> = None;
+    let mut vmax: Option<f64> = None;
+    let mut levels: Option<Vec<f64>> = None;
+    let mut overhead: Option<(f64, f64)> = None;
+    for line in lines {
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let dup = |key: &str| bad(format!("duplicate directive `{key}`"));
+        match fields.as_slice() {
+            ["model", "linear", kappa] => {
+                if model.is_some() {
+                    return Err(dup("model"));
+                }
+                model = Some(FreqModel::linear(parse_f(kappa)?)?);
+            }
+            ["model", "alpha", k, vth, alpha] => {
+                if model.is_some() {
+                    return Err(dup("model"));
+                }
+                model = Some(FreqModel::alpha(
+                    parse_f(k)?,
+                    Volt::from_volts(parse_f(vth)?),
+                    parse_f(alpha)?,
+                )?);
+            }
+            ["vmin", v] => {
+                if vmin.replace(parse_f(v)?).is_some() {
+                    return Err(dup("vmin"));
+                }
+            }
+            ["vmax", v] => {
+                if vmax.replace(parse_f(v)?).is_some() {
+                    return Err(dup("vmax"));
+                }
+            }
+            ["levels", rest @ ..] if !rest.is_empty() => {
+                let parsed: Vec<f64> = rest.iter().map(|s| parse_f(s)).collect::<Result<_, _>>()?;
+                if levels.replace(parsed).is_some() {
+                    return Err(dup("levels"));
+                }
+            }
+            ["overhead", time_ms, energy] => {
+                if overhead
+                    .replace((parse_f(time_ms)?, parse_f(energy)?))
+                    .is_some()
+                {
+                    return Err(dup("overhead"));
+                }
+            }
+            _ => return Err(bad(format!("unrecognized directive `{line}`"))),
+        }
+    }
+
+    let model = model.ok_or_else(|| bad("missing `model` directive".into()))?;
+    let vmin = vmin.ok_or_else(|| bad("missing `vmin` directive".into()))?;
+    let vmax = vmax.ok_or_else(|| bad("missing `vmax` directive".into()))?;
+    let mut builder = Processor::builder(model)
+        .vmin(Volt::from_volts(vmin))
+        .vmax(Volt::from_volts(vmax));
+    if let Some(levels) = levels {
+        let table = LevelTable::new(levels.into_iter().map(Volt::from_volts).collect())?;
+        builder = builder.discrete_levels(table);
+    }
+    if let Some((time_ms, energy)) = overhead {
+        builder = builder.transition_overhead(TransitionOverhead {
+            time: TimeSpan::from_ms(time_ms),
+            energy: Energy::from_units(energy),
+        });
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_cpu() -> Processor {
+        Processor::builder(FreqModel::alpha(120.0, Volt::from_volts(0.8), 1.6).unwrap())
+            .vmin(Volt::from_volts(1.0))
+            .vmax(Volt::from_volts(4.0))
+            .discrete_levels(
+                LevelTable::new(vec![
+                    Volt::from_volts(1.5),
+                    Volt::from_volts(2.5),
+                    Volt::from_volts(4.0),
+                ])
+                .unwrap(),
+            )
+            .transition_overhead(TransitionOverhead {
+                time: TimeSpan::from_ms(0.001),
+                energy: Energy::from_units(1.25),
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        for cpu in [
+            Processor::builder(FreqModel::linear(50.0).unwrap())
+                .vmin(Volt::from_volts(0.3))
+                .vmax(Volt::from_volts(4.0))
+                .build()
+                .unwrap(),
+            full_cpu(),
+        ] {
+            let text = to_text(&cpu);
+            let back = from_text(&text).unwrap();
+            assert_eq!(cpu, back);
+            assert_eq!(text, to_text(&back));
+        }
+    }
+
+    #[test]
+    fn format_is_stable() {
+        let text = to_text(&full_cpu());
+        assert_eq!(
+            text,
+            "acsched-processor v1\nmodel alpha 120 0.8 1.6\nvmin 1\nvmax 4\n\
+             levels 1.5 2.5 4\noverhead 0.001 1.25\n"
+        );
+        // Optional directives are omitted for a plain continuous CPU.
+        let plain = Processor::builder(FreqModel::linear(50.0).unwrap())
+            .build()
+            .unwrap();
+        assert_eq!(
+            to_text(&plain),
+            "acsched-processor v1\nmodel linear 50\nvmin 1\nvmax 4\n"
+        );
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let text = to_text(&full_cpu());
+        assert!(from_text(&text.replace("v1", "v9")).is_err());
+        assert!(from_text(&text.replace("model alpha", "model gamma")).is_err());
+        assert!(from_text(&text.replace("vmin 1", "vmin one")).is_err());
+        assert!(from_text(&text.replace("vmin 1", "vmin inf")).is_err());
+        assert!(from_text(&format!("{text}vmax 5\n")).is_err()); // duplicate
+        assert!(from_text("acsched-processor v1\nmodel linear 50\nvmin 0.3\n").is_err());
+        assert!(from_text("").is_err());
+        // Builder invariants still apply: levels outside [vmin, vmax].
+        assert!(from_text(&text.replace("levels 1.5", "levels 0.5")).is_err());
+    }
+}

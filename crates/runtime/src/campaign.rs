@@ -1,7 +1,8 @@
 //! The [`Campaign`] experiment grid: axes, builder, parallel execution.
 
-use crate::pool::{default_threads, parallel_map};
+use crate::pool::{default_threads, parallel_for_in_order, parallel_map};
 use crate::report::{CampaignReport, CellReport, CellStats};
+use crate::sink::{AggregateSink, CampaignMeta, CellRecord, ResultSink};
 use acs_core::{
     synthesize_acs_best, synthesize_acs_warm, synthesize_wcs, StaticSchedule, SynthesisOptions,
 };
@@ -200,10 +201,13 @@ impl WorkloadSpec {
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum CampaignError {
-    /// A grid axis has no entries.
-    EmptyAxis {
-        /// Which axis (`"task_sets"`, `"policies"`, ...).
-        axis: &'static str,
+    /// One or more required grid axes have no entries, so the grid would
+    /// be empty. Every missing axis is named (not just the first), each
+    /// with the builder method that fills it.
+    EmptyAxes {
+        /// The empty required axes, in builder order (`"task_sets"`,
+        /// `"processors"`, `"policies"`, `"workloads"`).
+        axes: Vec<&'static str>,
     },
     /// A policy requires a schedule but the schedule axis offers none.
     ScheduleRequired {
@@ -223,8 +227,26 @@ pub enum CampaignError {
 impl std::fmt::Display for CampaignError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CampaignError::EmptyAxis { axis } => {
-                write!(f, "campaign axis `{axis}` is empty")
+            CampaignError::EmptyAxes { axes } => {
+                let hints: Vec<String> = axes
+                    .iter()
+                    .map(|axis| {
+                        let method = match *axis {
+                            "task_sets" => "CampaignBuilder::task_set",
+                            "processors" => "CampaignBuilder::processor",
+                            "policies" => "CampaignBuilder::policy",
+                            "workloads" => "CampaignBuilder::workload",
+                            other => other,
+                        };
+                        format!("`{axis}` (add one with `{method}`)")
+                    })
+                    .collect();
+                write!(
+                    f,
+                    "campaign grid is empty: no entries on the {} {}",
+                    if axes.len() == 1 { "axis" } else { "axes" },
+                    hints.join(", ")
+                )
             }
             CampaignError::ScheduleRequired { policy } => write!(
                 f,
@@ -370,6 +392,11 @@ impl CampaignBuilder {
     }
 
     /// Replaces the seed axis (one simulation per seed per cell).
+    ///
+    /// Duplicate seeds are removed at [`build`](CampaignBuilder::build)
+    /// time, keeping the first occurrence's position: a repeated seed
+    /// would re-run identical draws and silently skew the per-cell
+    /// mean/p95 toward those runs.
     pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
         self.seeds = seeds.into_iter().collect();
         self
@@ -412,7 +439,8 @@ impl CampaignBuilder {
     ///
     /// # Errors
     ///
-    /// [`CampaignError::EmptyAxis`] when a required axis is empty (the
+    /// [`CampaignError::EmptyAxes`] when required axes are empty — the
+    /// error names *every* missing axis, not just the first (the
     /// schedule axis defaults to `[Unscheduled, Wcs, Acs]` filtered to
     /// what the policies can use; seeds default to `[0]`);
     /// [`CampaignError::ScheduleRequired`] when a schedule-dependent
@@ -420,15 +448,17 @@ impl CampaignBuilder {
     /// [`CampaignError::DuplicateName`] when two entries on one axis
     /// share a name.
     pub fn build(mut self) -> Result<Campaign, CampaignError> {
-        for (axis, empty) in [
+        let missing: Vec<&'static str> = [
             ("task_sets", self.task_sets.is_empty()),
             ("processors", self.processors.is_empty()),
             ("policies", self.policies.is_empty()),
             ("workloads", self.workloads.is_empty()),
-        ] {
-            if empty {
-                return Err(CampaignError::EmptyAxis { axis });
-            }
+        ]
+        .into_iter()
+        .filter_map(|(axis, empty)| empty.then_some(axis))
+        .collect();
+        if !missing.is_empty() {
+            return Err(CampaignError::EmptyAxes { axes: missing });
         }
         // Reports pair and look up cells by name; a repeated name on any
         // axis would make those lookups silently alias distinct cells.
@@ -461,6 +491,11 @@ impl CampaignBuilder {
                 }
             }
         }
+        // Duplicate seeds would re-run identical draws and skew the
+        // per-cell mean/p95 toward them; drop repeats, keeping first
+        // positions (documented on `CampaignBuilder::seeds`).
+        let mut seen_seeds = std::collections::HashSet::new();
+        self.seeds.retain(|s| seen_seeds.insert(*s));
         if self.seeds.is_empty() {
             self.seeds.push(0);
         }
@@ -550,16 +585,39 @@ impl Campaign {
 
     /// Executes the grid in parallel and aggregates the report.
     ///
-    /// Synthesis or simulation failures are recorded per cell (see
+    /// Thin wrapper over [`run_with`](Campaign::run_with) driving an
+    /// [`AggregateSink`] — the streaming and the materialized paths are
+    /// the same code, so their results are identical by construction.
+    pub fn run(&self) -> CampaignReport {
+        let mut sink = AggregateSink::new();
+        self.run_with(&mut sink)
+            .expect("in-memory aggregation cannot fail");
+        sink.into_report()
+    }
+
+    /// Executes the grid in parallel, streaming one [`CellRecord`] per
+    /// grid cell into `sink` while later cells are still running.
+    ///
+    /// Records arrive in deterministic grid order regardless of the
+    /// worker-thread count: cell `i` is delivered as soon as every seed
+    /// of every cell `≤ i` has finished simulating. Synthesis or
+    /// simulation failures are recorded per cell (see
     /// [`CellReport::outcome`]); they never abort the rest of the grid.
     ///
     /// Execution is two parallel phases with a barrier between them:
-    /// all schedule synthesis first, then all simulation runs. The
-    /// barrier costs wall-clock on lopsided grids (one slow solve holds
-    /// back even unscheduled cells) — acceptable today because synthesis
-    /// jobs are deduplicated and typically dominate; a dependency-aware
-    /// queue can replace it without changing the deterministic report.
-    pub fn run(&self) -> CampaignReport {
+    /// all schedule synthesis first, then all simulation runs (streamed).
+    /// The barrier costs wall-clock on lopsided grids (one slow solve
+    /// holds back even unscheduled cells) — acceptable today because
+    /// synthesis jobs are deduplicated and typically dominate; a
+    /// dependency-aware queue can replace it without changing the
+    /// deterministic record order.
+    ///
+    /// # Errors
+    ///
+    /// Only sink errors (e.g. a full disk under a
+    /// [`CsvSink`](crate::sink::CsvSink)) abort the campaign and are
+    /// returned; the in-memory sinks never fail.
+    pub fn run_with(&self, sink: &mut dyn ResultSink) -> std::io::Result<()> {
         let b = &self.builder;
 
         // ---- phase 1: synthesize every needed (set, cpu, kind) once ----
@@ -636,57 +694,72 @@ impl Campaign {
             }
         };
 
-        // ---- phase 2: all (cell, seed) runs in parallel ----
+        // ---- phase 2: stream all (cell, seed) runs in grid order ----
         let n_seeds = b.seeds.len();
         let n_runs = self.cells.len() * n_seeds;
-        let runs: Vec<Result<SimReport, String>> = parallel_map(n_runs, b.threads, |i| {
-            let cell = &self.cells[i / n_seeds];
-            let seed = b.seeds[i % n_seeds];
-            let schedule = match schedule_of(cell) {
-                Some(Ok(s)) => Some(s),
-                Some(Err(e)) => return Err(format!("synthesis: {e}")),
-                None => None,
-            };
-            let set = &b.task_sets[cell.set].1;
-            let cpu = &b.processors[cell.cpu].1;
-            let dists = b.workloads[cell.workload].dists(set);
-            // Mix only the set index into the draw seed: cells that
-            // differ in schedule/policy/processor see identical draws, so
-            // comparisons across those axes are paired.
-            let mut draws = TaskWorkloads::from_dists(dists, mix_seed(seed, cell.set));
-            let mut sim = Simulator::new(set, cpu, b.policies[cell.policy].instantiate())
-                .with_options(SimOptions {
-                    hyper_periods: b.hyper_periods,
-                    deadline_tol_ms: b.deadline_tol_ms,
-                    record_trace: false,
-                });
-            if let Some(s) = schedule {
-                sim = sim.with_schedule(s);
-            }
-            sim.run(&mut |t, i| draws.draw(t, i))
-                .map(|out| out.report)
-                .map_err(|e| e.to_string())
-        });
-
-        // ---- phase 3: deterministic aggregation in grid order ----
-        let cells = self
-            .cells
-            .iter()
-            .enumerate()
-            .map(|(c, cell)| {
-                let per_seed = &runs[c * n_seeds..(c + 1) * n_seeds];
-                let outcome = aggregate(per_seed);
-                CellReport {
-                    task_set: b.task_sets[cell.set].0.clone(),
-                    processor: b.processors[cell.cpu].0.clone(),
-                    schedule: cell.schedule,
-                    policy: b.policies[cell.policy].name().to_string(),
-                    workload: b.workloads[cell.workload].name(),
-                    outcome,
+        sink.on_begin(&CampaignMeta {
+            cells: self.cells.len(),
+            runs: n_runs,
+            seeds: n_seeds,
+        })?;
+        // Run results arrive in index order; a cell's record is emitted
+        // the moment its last seed lands, while later cells keep
+        // simulating on the workers.
+        let mut seed_buf: Vec<Result<SimReport, String>> = Vec::with_capacity(n_seeds);
+        parallel_for_in_order(
+            n_runs,
+            b.threads,
+            |i| {
+                let cell = &self.cells[i / n_seeds];
+                let seed = b.seeds[i % n_seeds];
+                let schedule = match schedule_of(cell) {
+                    Some(Ok(s)) => Some(s),
+                    Some(Err(e)) => return Err(format!("synthesis: {e}")),
+                    None => None,
+                };
+                let set = &b.task_sets[cell.set].1;
+                let cpu = &b.processors[cell.cpu].1;
+                let dists = b.workloads[cell.workload].dists(set);
+                // Mix only the set index into the draw seed: cells that
+                // differ in schedule/policy/processor see identical
+                // draws, so comparisons across those axes are paired.
+                let mut draws = TaskWorkloads::from_dists(dists, mix_seed(seed, cell.set));
+                let mut sim = Simulator::new(set, cpu, b.policies[cell.policy].instantiate())
+                    .with_options(SimOptions {
+                        hyper_periods: b.hyper_periods,
+                        deadline_tol_ms: b.deadline_tol_ms,
+                        record_trace: false,
+                    });
+                if let Some(s) = schedule {
+                    sim = sim.with_schedule(s);
                 }
-            })
-            .collect();
-        CampaignReport::new(cells)
+                sim.run(&mut |t, i| draws.draw(t, i))
+                    .map(|out| out.report)
+                    .map_err(|e| e.to_string())
+            },
+            |i, result| {
+                seed_buf.push(result);
+                if seed_buf.len() < n_seeds {
+                    return Ok(());
+                }
+                let c = i / n_seeds;
+                let cell = &self.cells[c];
+                let outcome = aggregate(&seed_buf);
+                seed_buf.clear();
+                sink.on_record(&CellRecord {
+                    index: c,
+                    cell: CellReport {
+                        task_set: b.task_sets[cell.set].0.clone(),
+                        processor: b.processors[cell.cpu].0.clone(),
+                        schedule: cell.schedule,
+                        policy: b.policies[cell.policy].name().to_string(),
+                        workload: b.workloads[cell.workload].name(),
+                        outcome,
+                    },
+                })
+            },
+        )?;
+        sink.on_end()
     }
 }
 
@@ -792,19 +865,64 @@ mod tests {
     }
 
     #[test]
-    fn empty_axes_rejected() {
+    fn empty_axes_rejected_and_all_named() {
+        // A fresh builder names every missing axis, not just the first.
         let err = Campaign::builder().build().unwrap_err();
-        assert!(matches!(
+        assert_eq!(
             err,
-            CampaignError::EmptyAxis { axis: "task_sets" }
-        ));
+            CampaignError::EmptyAxes {
+                axes: vec!["task_sets", "processors", "policies", "workloads"]
+            }
+        );
+        let msg = err.to_string();
+        for needle in [
+            "`task_sets`",
+            "`processors`",
+            "`policies`",
+            "`workloads`",
+            "CampaignBuilder::policy",
+        ] {
+            assert!(msg.contains(needle), "missing {needle} in: {msg}");
+        }
+        // With only one axis missing, the message points at it alone.
         let err = Campaign::builder()
             .task_set("s", small_set())
             .processor("p", cpu())
             .workload(WorkloadSpec::Paper)
             .build()
             .unwrap_err();
-        assert!(matches!(err, CampaignError::EmptyAxis { axis: "policies" }));
+        assert_eq!(
+            err,
+            CampaignError::EmptyAxes {
+                axes: vec!["policies"]
+            }
+        );
+        assert!(err.to_string().contains("axis `policies`"));
+        assert!(!err.to_string().contains("task_sets"));
+    }
+
+    #[test]
+    fn duplicate_seeds_deduped_preserving_order() {
+        let campaign = Campaign::builder()
+            .task_set("s", small_set())
+            .processor("p", cpu())
+            .policy(PolicySpec::no_dvs())
+            .workload(WorkloadSpec::Paper)
+            .seeds([5, 3, 5, 3, 7, 5])
+            .build()
+            .unwrap();
+        assert_eq!(campaign.run_count(), 3, "seeds deduped to [5, 3, 7]");
+        // The dedup keeps first positions: identical to declaring the
+        // unique seeds outright.
+        let clean = Campaign::builder()
+            .task_set("s", small_set())
+            .processor("p", cpu())
+            .policy(PolicySpec::no_dvs())
+            .workload(WorkloadSpec::Paper)
+            .seeds([5, 3, 7])
+            .build()
+            .unwrap();
+        assert_eq!(campaign.run().cells(), clean.run().cells());
     }
 
     #[test]

@@ -3,9 +3,12 @@
 //! Batch experiment runner for the `acsched` workspace: the [`Campaign`]
 //! builder composes **task sets × processors × schedule kinds × policies
 //! × workload distributions × seeds** into a cartesian experiment grid,
-//! executes every run on a scoped thread pool, and aggregates the
+//! executes every run on a scoped thread pool, and either aggregates the
 //! outcomes into a deterministic [`CampaignReport`] (per-cell mean/p95
-//! energy, deadline misses, ACS-vs-WCS gains).
+//! energy, deadline misses, ACS-vs-WCS gains) or **streams** one
+//! [`CellRecord`] per cell into any [`ResultSink`]
+//! ([`Campaign::run_with`]) — CSV, JSON Lines, in-memory aggregation or
+//! a [`Tee`] fan-out — in grid order, independent of thread count.
 //!
 //! Every figure/table binary in `acs-bench` and the `design_space`
 //! example are thin layers over this crate — no more hand-rolled sweep
@@ -57,8 +60,12 @@
 pub mod campaign;
 pub mod pool;
 pub mod report;
+pub mod sink;
 
 pub use campaign::{
     Campaign, CampaignBuilder, CampaignError, PolicySpec, ScheduleChoice, WorkloadSpec,
 };
 pub use report::{CampaignReport, CellReport, CellStats};
+pub use sink::{
+    AggregateSink, CampaignMeta, CellRecord, CsvSink, JsonlSink, ResultSink, Tee, CSV_HEADER,
+};

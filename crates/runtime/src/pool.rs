@@ -5,6 +5,18 @@
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// Sets the shared flag when dropped during a panic, so sibling workers
+/// stop pulling new work instead of draining the queue before the panic
+/// resurfaces from the scope join.
+struct PoisonOnPanic<'a>(&'a AtomicBool);
+impl Drop for PoisonOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
 /// Runs `f(0..n)` across `threads` workers and collects the results in
 /// index order. `f` must be safe to call concurrently from multiple
 /// threads (it is `Sync`); each index is evaluated exactly once.
@@ -28,14 +40,6 @@ where
     // stop instead of draining the remaining work before the panic
     // resurfaces from the scope join.
     let poisoned = AtomicBool::new(false);
-    struct PoisonOnPanic<'a>(&'a AtomicBool);
-    impl Drop for PoisonOnPanic<'_> {
-        fn drop(&mut self) {
-            if std::thread::panicking() {
-                self.0.store(true, Ordering::SeqCst);
-            }
-        }
-    }
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
@@ -64,6 +68,93 @@ where
         .collect()
 }
 
+/// Runs `f(0..n)` across `threads` workers and feeds every result to
+/// `consume` **on the calling thread, in index order**, as soon as its
+/// contiguous prefix is complete. Out-of-order results are buffered
+/// until the gap before them fills — so `consume` observes exactly the
+/// sequence `(0, f(0)), (1, f(1)), …` regardless of thread count or
+/// interleaving, while the workers keep streaming ahead. This is the
+/// substrate of the campaign's deterministic [`ResultSink`] delivery.
+///
+/// An `Err` from `consume` stops the workers early and is returned;
+/// results already computed for later indices are discarded. Panics in
+/// `f` propagate to the caller after all workers stop.
+///
+/// [`ResultSink`]: crate::sink::ResultSink
+pub fn parallel_for_in_order<T, E, F, C>(
+    n: usize,
+    threads: usize,
+    f: F,
+    mut consume: C,
+) -> Result<(), E>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    C: FnMut(usize, T) -> Result<(), E>,
+{
+    let workers = threads.clamp(1, n.max(1));
+    if workers <= 1 || n <= 1 {
+        for i in 0..n {
+            consume(i, f(i))?;
+        }
+        return Ok(());
+    }
+    let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, T)>();
+    let mut outcome = Ok(());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let stop = &stop;
+            let f = &f;
+            scope.spawn(move || {
+                let _guard = PoisonOnPanic(stop);
+                loop {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    // A closed receiver means the consumer bailed out;
+                    // stop producing.
+                    if tx.send((i, f(i))).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        let mut pending: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let mut cursor = 0;
+        'deliver: while cursor < n {
+            // A receive error means every sender is gone — either a
+            // worker panicked (the scope join below re-raises it) or all
+            // work is done and delivered.
+            let Ok((i, value)) = rx.recv() else {
+                break;
+            };
+            pending[i] = Some(value);
+            while cursor < n {
+                let Some(value) = pending[cursor].take() else {
+                    break;
+                };
+                if let Err(e) = consume(cursor, value) {
+                    stop.store(true, Ordering::SeqCst);
+                    outcome = Err(e);
+                    break 'deliver;
+                }
+                cursor += 1;
+            }
+        }
+        drop(rx);
+    });
+    outcome
+}
+
 /// The default worker count: available parallelism, or 1 when unknown.
 pub fn default_threads() -> usize {
     std::thread::available_parallelism()
@@ -90,6 +181,75 @@ mod tests {
     fn empty_and_tiny_inputs() {
         assert!(parallel_map(0, 8, |i| i).is_empty());
         assert_eq!(parallel_map(1, 8, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn in_order_delivery_at_any_thread_count() {
+        for threads in [1, 2, 8, 64] {
+            let mut seen = Vec::new();
+            let ok: Result<(), ()> = parallel_for_in_order(
+                100,
+                threads,
+                |i| i * 3,
+                |i, v| {
+                    seen.push((i, v));
+                    Ok(())
+                },
+            );
+            assert!(ok.is_ok());
+            let expect: Vec<(usize, usize)> = (0..100).map(|i| (i, i * 3)).collect();
+            assert_eq!(seen, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn consumer_error_stops_early() {
+        for threads in [1, 4] {
+            let mut delivered = 0usize;
+            let out = parallel_for_in_order(
+                1000,
+                threads,
+                |i| i,
+                |i, _| {
+                    if i == 5 {
+                        Err("boom")
+                    } else {
+                        delivered += 1;
+                        Ok(())
+                    }
+                },
+            );
+            assert_eq!(out, Err("boom"), "threads={threads}");
+            assert_eq!(delivered, 5, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn in_order_empty_and_tiny() {
+        let mut count = 0;
+        let ok: Result<(), ()> = parallel_for_in_order(
+            0,
+            8,
+            |i| i,
+            |_, _| {
+                count += 1;
+                Ok(())
+            },
+        );
+        assert!(ok.is_ok());
+        assert_eq!(count, 0);
+        let mut got = None;
+        let ok: Result<(), ()> = parallel_for_in_order(
+            1,
+            8,
+            |i| i + 9,
+            |i, v| {
+                got = Some((i, v));
+                Ok(())
+            },
+        );
+        assert!(ok.is_ok());
+        assert_eq!(got, Some((0, 9)));
     }
 
     #[test]

@@ -1,0 +1,462 @@
+//! Streaming campaign results: the [`ResultSink`] trait and the
+//! built-in sinks.
+//!
+//! [`Campaign::run_with`](crate::Campaign::run_with) pushes one
+//! [`CellRecord`] per grid cell into a sink **as the grid executes** —
+//! in deterministic grid order, independent of the worker-thread count —
+//! instead of materializing the whole report in memory first. The
+//! built-ins cover the common shapes:
+//!
+//! * [`AggregateSink`] — collects records into the classic in-memory
+//!   [`CampaignReport`]; `Campaign::run` is exactly `run_with` over this
+//!   sink, so streaming and materialized results are identical by
+//!   construction.
+//! * [`CsvSink`] — one header plus one comma-separated row per cell,
+//!   written to any `io::Write` (hand-rolled; the build environment
+//!   vendors no serde).
+//! * [`JsonlSink`] — one JSON object per line, same data.
+//! * [`Tee`] — fans every callback out to several sinks, e.g. aggregate
+//!   in memory *and* persist CSV in one pass.
+
+use crate::report::{CampaignReport, CellReport, CellStats};
+use std::io;
+use std::io::Write;
+
+/// Static facts about a campaign, handed to sinks before the first
+/// record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignMeta {
+    /// Number of grid cells (records the sink will receive).
+    pub cells: usize,
+    /// Number of simulator runs backing those cells.
+    pub runs: usize,
+    /// Seeds per cell.
+    pub seeds: usize,
+}
+
+/// One grid cell's result, emitted while the campaign runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRecord {
+    /// Position in grid order, `0 ≤ index < meta.cells`. Records always
+    /// arrive in increasing `index` order.
+    pub index: usize,
+    /// The cell's coordinates and aggregated outcome.
+    pub cell: CellReport,
+}
+
+/// A consumer of streaming campaign results.
+///
+/// `Campaign::run_with` calls `on_begin` once, then `on_record` once per
+/// grid cell **in grid order** (cell `i` is delivered as soon as every
+/// seed of every cell `≤ i` has finished simulating — later cells may
+/// still be running), then `on_end` once. Any error aborts the campaign
+/// and is returned from `run_with`.
+pub trait ResultSink {
+    /// Called once before the first record.
+    ///
+    /// # Errors
+    ///
+    /// Propagated out of `Campaign::run_with`, aborting the campaign.
+    fn on_begin(&mut self, _meta: &CampaignMeta) -> io::Result<()> {
+        Ok(())
+    }
+
+    /// Called once per grid cell, in grid order.
+    ///
+    /// # Errors
+    ///
+    /// Propagated out of `Campaign::run_with`, aborting the campaign.
+    fn on_record(&mut self, record: &CellRecord) -> io::Result<()>;
+
+    /// Called once after the last record.
+    ///
+    /// # Errors
+    ///
+    /// Propagated out of `Campaign::run_with`.
+    fn on_end(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Collects records into a [`CampaignReport`] — the sink behind
+/// [`Campaign::run`](crate::Campaign::run).
+#[derive(Debug, Default)]
+pub struct AggregateSink {
+    cells: Vec<CellReport>,
+}
+
+impl AggregateSink {
+    /// An empty aggregator.
+    pub fn new() -> Self {
+        AggregateSink::default()
+    }
+
+    /// The report accumulated so far.
+    pub fn into_report(self) -> CampaignReport {
+        CampaignReport::new(self.cells)
+    }
+}
+
+impl ResultSink for AggregateSink {
+    fn on_begin(&mut self, meta: &CampaignMeta) -> io::Result<()> {
+        self.cells.reserve(meta.cells);
+        Ok(())
+    }
+
+    fn on_record(&mut self, record: &CellRecord) -> io::Result<()> {
+        self.cells.push(record.cell.clone());
+        Ok(())
+    }
+}
+
+/// The column header emitted by [`CsvSink`] (no trailing newline).
+pub const CSV_HEADER: &str = "task_set,processor,schedule,policy,workload,status,error,\
+     runs,mean_energy,std_energy,p95_energy,deadline_misses,jobs_completed,\
+     saturated_dispatches,voltage_switches,clamped_draws,worst_lateness_ms,\
+     solver_lookups,solver_cache_hits,boundary_resolves,resolves_adopted";
+
+/// Quotes a CSV field when it contains a comma, quote or newline
+/// (RFC-4180 style: embedded quotes doubled).
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Streams one CSV row per cell to any writer.
+///
+/// Failed cells carry `status=failed` plus the error message and empty
+/// statistic columns. Numbers use Rust's shortest round-trip `f64`
+/// formatting. The writer is flushed at `on_end`.
+#[derive(Debug)]
+pub struct CsvSink<W: Write> {
+    writer: W,
+}
+
+impl<W: Write> CsvSink<W> {
+    /// Wraps a writer; the header is written by `on_begin`.
+    pub fn new(writer: W) -> Self {
+        CsvSink { writer }
+    }
+
+    /// Unwraps the writer (e.g. to recover an in-memory buffer).
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write> ResultSink for CsvSink<W> {
+    fn on_begin(&mut self, _meta: &CampaignMeta) -> io::Result<()> {
+        writeln!(self.writer, "{CSV_HEADER}")
+    }
+
+    fn on_record(&mut self, record: &CellRecord) -> io::Result<()> {
+        let c = &record.cell;
+        let coords = [
+            csv_field(&c.task_set),
+            csv_field(&c.processor),
+            c.schedule.label().to_string(),
+            csv_field(&c.policy),
+            csv_field(&c.workload),
+        ]
+        .join(",");
+        match &c.outcome {
+            Ok(s) => writeln!(
+                self.writer,
+                "{coords},ok,,{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                s.runs,
+                s.mean_energy.as_units(),
+                s.std_energy,
+                s.p95_energy.as_units(),
+                s.deadline_misses,
+                s.jobs_completed,
+                s.saturated_dispatches,
+                s.voltage_switches,
+                s.clamped_draws,
+                s.worst_lateness_ms,
+                s.solver_lookups,
+                s.solver_cache_hits,
+                s.boundary_resolves,
+                s.resolves_adopted,
+            ),
+            Err(e) => writeln!(
+                self.writer,
+                "{coords},failed,{},,,,,,,,,,,,,,",
+                csv_field(e)
+            ),
+        }
+    }
+
+    fn on_end(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+/// Escapes a string for a JSON string literal (quotes not included).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Streams one JSON object per line (JSON Lines) to any writer.
+///
+/// Successful cells carry a `"stats"` object; failed cells carry an
+/// `"error"` string. The writer is flushed at `on_end`.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    writer: W,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> Self {
+        JsonlSink { writer }
+    }
+
+    /// Unwraps the writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write> ResultSink for JsonlSink<W> {
+    fn on_record(&mut self, record: &CellRecord) -> io::Result<()> {
+        let c = &record.cell;
+        let coords = format!(
+            "\"index\":{},\"task_set\":\"{}\",\"processor\":\"{}\",\"schedule\":\"{}\",\
+             \"policy\":\"{}\",\"workload\":\"{}\"",
+            record.index,
+            json_escape(&c.task_set),
+            json_escape(&c.processor),
+            c.schedule.label(),
+            json_escape(&c.policy),
+            json_escape(&c.workload),
+        );
+        match &c.outcome {
+            Ok(s) => writeln!(
+                self.writer,
+                "{{{coords},\"ok\":true,\"stats\":{}}}",
+                stats_json(s)
+            ),
+            Err(e) => writeln!(
+                self.writer,
+                "{{{coords},\"ok\":false,\"error\":\"{}\"}}",
+                json_escape(e)
+            ),
+        }
+    }
+
+    fn on_end(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+fn stats_json(s: &CellStats) -> String {
+    format!(
+        "{{\"runs\":{},\"mean_energy\":{},\"std_energy\":{},\"p95_energy\":{},\
+         \"deadline_misses\":{},\"jobs_completed\":{},\"saturated_dispatches\":{},\
+         \"voltage_switches\":{},\"clamped_draws\":{},\"worst_lateness_ms\":{},\
+         \"solver_lookups\":{},\"solver_cache_hits\":{},\"boundary_resolves\":{},\
+         \"resolves_adopted\":{}}}",
+        s.runs,
+        s.mean_energy.as_units(),
+        s.std_energy,
+        s.p95_energy.as_units(),
+        s.deadline_misses,
+        s.jobs_completed,
+        s.saturated_dispatches,
+        s.voltage_switches,
+        s.clamped_draws,
+        s.worst_lateness_ms,
+        s.solver_lookups,
+        s.solver_cache_hits,
+        s.boundary_resolves,
+        s.resolves_adopted,
+    )
+}
+
+/// Fans every callback out to several sinks, in order — e.g. aggregate
+/// a [`CampaignReport`] *and* persist CSV in one streaming pass. The
+/// first error aborts the fan-out (later sinks in the list are not
+/// called for that event).
+pub struct Tee<'a> {
+    sinks: Vec<&'a mut dyn ResultSink>,
+}
+
+impl<'a> Tee<'a> {
+    /// Builds a fan-out over the given sinks.
+    pub fn new(sinks: Vec<&'a mut dyn ResultSink>) -> Self {
+        Tee { sinks }
+    }
+}
+
+impl std::fmt::Debug for Tee<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tee")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl ResultSink for Tee<'_> {
+    fn on_begin(&mut self, meta: &CampaignMeta) -> io::Result<()> {
+        for sink in &mut self.sinks {
+            sink.on_begin(meta)?;
+        }
+        Ok(())
+    }
+
+    fn on_record(&mut self, record: &CellRecord) -> io::Result<()> {
+        for sink in &mut self.sinks {
+            sink.on_record(record)?;
+        }
+        Ok(())
+    }
+
+    fn on_end(&mut self) -> io::Result<()> {
+        for sink in &mut self.sinks {
+            sink.on_end()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::ScheduleChoice;
+    use acs_model::units::Energy;
+
+    fn record(index: usize, ok: bool) -> CellRecord {
+        CellRecord {
+            index,
+            cell: CellReport {
+                task_set: "s,1".into(),
+                processor: "p".into(),
+                schedule: ScheduleChoice::Wcs,
+                policy: "greedy".into(),
+                workload: "paper-normal".into(),
+                outcome: if ok {
+                    Ok(CellStats {
+                        runs: 2,
+                        mean_energy: Energy::from_units(12.5),
+                        std_energy: 0.5,
+                        p95_energy: Energy::from_units(13.0),
+                        deadline_misses: 0,
+                        jobs_completed: 20,
+                        saturated_dispatches: 1,
+                        voltage_switches: 40,
+                        clamped_draws: 0,
+                        worst_lateness_ms: -0.25,
+                        solver_lookups: 0,
+                        solver_cache_hits: 0,
+                        boundary_resolves: 0,
+                        resolves_adopted: 0,
+                    })
+                } else {
+                    Err("synthesis: \"boom\"".into())
+                },
+            },
+        }
+    }
+
+    fn drive(sink: &mut dyn ResultSink) {
+        let meta = CampaignMeta {
+            cells: 2,
+            runs: 4,
+            seeds: 2,
+        };
+        sink.on_begin(&meta).unwrap();
+        sink.on_record(&record(0, true)).unwrap();
+        sink.on_record(&record(1, false)).unwrap();
+        sink.on_end().unwrap();
+    }
+
+    #[test]
+    fn csv_rows_and_quoting() {
+        let mut sink = CsvSink::new(Vec::new());
+        drive(&mut sink);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], CSV_HEADER);
+        assert!(
+            lines[1].starts_with(
+                "\"s,1\",p,WCS,greedy,paper-normal,ok,,2,12.5,0.5,13,0,20,1,40,0,-0.25,"
+            ),
+            "{}",
+            lines[1]
+        );
+        assert!(
+            lines[2].contains("failed,\"synthesis: \"\"boom\"\"\""),
+            "{}",
+            lines[2]
+        );
+        // Every row has the header's column count.
+        let cols = |line: &str| {
+            let mut n = 1;
+            let mut in_quotes = false;
+            for ch in line.chars() {
+                match ch {
+                    '"' => in_quotes = !in_quotes,
+                    ',' if !in_quotes => n += 1,
+                    _ => {}
+                }
+            }
+            n
+        };
+        assert_eq!(cols(lines[1]), cols(lines[0]));
+        assert_eq!(cols(lines[2]), cols(lines[0]));
+    }
+
+    #[test]
+    fn jsonl_shape_and_escaping() {
+        let mut sink = JsonlSink::new(Vec::new());
+        drive(&mut sink);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"task_set\":\"s,1\""));
+        assert!(lines[0].contains("\"ok\":true"));
+        assert!(lines[0].contains("\"mean_energy\":12.5"));
+        assert!(lines[1].contains("\"ok\":false"));
+        assert!(lines[1].contains("\\\"boom\\\""));
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn tee_fans_out_and_aggregate_collects() {
+        let mut agg = AggregateSink::new();
+        let mut csv = CsvSink::new(Vec::new());
+        {
+            let mut tee = Tee::new(vec![&mut agg, &mut csv]);
+            drive(&mut tee);
+        }
+        let report = agg.into_report();
+        assert_eq!(report.cells().len(), 2);
+        assert_eq!(report.failures().count(), 1);
+        let text = String::from_utf8(csv.into_inner()).unwrap();
+        assert_eq!(text.lines().count(), 3);
+    }
+
+    #[test]
+    fn json_escape_control_chars() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

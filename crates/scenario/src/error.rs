@@ -1,0 +1,61 @@
+//! Error type for scenario parsing and materialization.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// An error while parsing, serializing or materializing a scenario.
+///
+/// Parse errors carry the 1-based line number of the offending
+/// directive; materialization errors (a declared task set or processor
+/// violating a model invariant, an invalid campaign grid) carry none.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioError {
+    /// 1-based line number in the scenario text, when known.
+    pub line: Option<usize>,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl ScenarioError {
+    /// An error anchored at a line of the scenario text.
+    pub fn at(line: usize, message: impl Into<String>) -> Self {
+        ScenarioError {
+            line: Some(line),
+            message: message.into(),
+        }
+    }
+
+    /// An error with no line anchor (I/O, materialization, grid
+    /// validation).
+    pub fn msg(message: impl Into<String>) -> Self {
+        ScenarioError {
+            line: None,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(line) => write!(f, "scenario line {line}: {}", self.message),
+            None => write!(f, "scenario: {}", self.message),
+        }
+    }
+}
+
+impl StdError for ScenarioError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line_when_known() {
+        assert_eq!(
+            ScenarioError::at(7, "bad directive").to_string(),
+            "scenario line 7: bad directive"
+        );
+        assert_eq!(ScenarioError::msg("boom").to_string(), "scenario: boom");
+    }
+}

@@ -1,0 +1,580 @@
+//! The scenario text parser (format spec: `docs/SCENARIO_FORMAT.md`).
+
+use crate::error::ScenarioError;
+use crate::scenario::{
+    ModelDecl, PolicyDecl, ProcessorDecl, Scenario, SynthProfile, TaskDecl, TaskSetDecl,
+};
+use acs_runtime::{ScheduleChoice, WorkloadSpec};
+
+/// Key=value argument list of one directive, with unknown-key detection.
+struct Kv<'a> {
+    ln: usize,
+    ctx: String,
+    pairs: Vec<(&'a str, &'a str, bool)>,
+}
+
+impl<'a> Kv<'a> {
+    fn new(ln: usize, ctx: impl Into<String>, tokens: &[&'a str]) -> Result<Self, ScenarioError> {
+        let ctx = ctx.into();
+        let mut pairs: Vec<(&'a str, &'a str, bool)> = Vec::with_capacity(tokens.len());
+        for tok in tokens {
+            let Some((k, v)) = tok.split_once('=') else {
+                return Err(ScenarioError::at(
+                    ln,
+                    format!("{ctx}: expected `key=value`, got `{tok}`"),
+                ));
+            };
+            if pairs.iter().any(|(seen, _, _)| *seen == k) {
+                return Err(ScenarioError::at(ln, format!("{ctx}: duplicate key `{k}`")));
+            }
+            pairs.push((k, v, false));
+        }
+        Ok(Kv { ln, ctx, pairs })
+    }
+
+    fn opt(&mut self, key: &str) -> Option<&'a str> {
+        self.pairs
+            .iter_mut()
+            .find(|(k, _, _)| *k == key)
+            .map(|(_, v, used)| {
+                *used = true;
+                *v
+            })
+    }
+
+    fn req(&mut self, key: &str) -> Result<&'a str, ScenarioError> {
+        self.opt(key).ok_or_else(|| {
+            ScenarioError::at(
+                self.ln,
+                format!("{}: missing required key `{key}`", self.ctx),
+            )
+        })
+    }
+
+    fn f64_of(&self, key: &str, val: &str) -> Result<f64, ScenarioError> {
+        let parsed: f64 = val.parse().map_err(|_| self.bad_num(key, val))?;
+        if !parsed.is_finite() {
+            return Err(self.bad_num(key, val));
+        }
+        Ok(parsed)
+    }
+
+    fn bad_num(&self, key: &str, val: &str) -> ScenarioError {
+        ScenarioError::at(
+            self.ln,
+            format!(
+                "{}: bad value for `{key}`: `{val}` is not a finite number",
+                self.ctx
+            ),
+        )
+    }
+
+    fn req_f64(&mut self, key: &str) -> Result<f64, ScenarioError> {
+        let val = self.req(key)?;
+        self.f64_of(key, val)
+    }
+
+    fn opt_f64(&mut self, key: &str) -> Result<Option<f64>, ScenarioError> {
+        match self.opt(key) {
+            Some(val) => Ok(Some(self.f64_of(key, val)?)),
+            None => Ok(None),
+        }
+    }
+
+    fn req_u64(&mut self, key: &str) -> Result<u64, ScenarioError> {
+        let val = self.req(key)?;
+        val.parse().map_err(|_| {
+            ScenarioError::at(
+                self.ln,
+                format!(
+                    "{}: bad value for `{key}`: `{val}` is not a non-negative integer",
+                    self.ctx
+                ),
+            )
+        })
+    }
+
+    fn opt_u64(&mut self, key: &str) -> Result<Option<u64>, ScenarioError> {
+        match self.opt(key) {
+            Some(val) => Ok(Some(val.parse().map_err(|_| {
+                ScenarioError::at(
+                    self.ln,
+                    format!(
+                        "{}: bad value for `{key}`: `{val}` is not a non-negative integer",
+                        self.ctx
+                    ),
+                )
+            })?)),
+            None => Ok(None),
+        }
+    }
+
+    fn req_usize(&mut self, key: &str) -> Result<usize, ScenarioError> {
+        Ok(self.req_u64(key)? as usize)
+    }
+
+    fn opt_usize(&mut self, key: &str) -> Result<Option<usize>, ScenarioError> {
+        Ok(self.opt_u64(key)?.map(|v| v as usize))
+    }
+
+    fn opt_bool(&mut self, key: &str) -> Result<Option<bool>, ScenarioError> {
+        match self.opt(key) {
+            Some("on") | Some("true") => Ok(Some(true)),
+            Some("off") | Some("false") => Ok(Some(false)),
+            Some(other) => Err(ScenarioError::at(
+                self.ln,
+                format!(
+                    "{}: bad value for `{key}`: `{other}` (expected on/off)",
+                    self.ctx
+                ),
+            )),
+            None => Ok(None),
+        }
+    }
+
+    fn done(self) -> Result<(), ScenarioError> {
+        if let Some((k, _, _)) = self.pairs.iter().find(|(_, _, used)| !used) {
+            return Err(ScenarioError::at(
+                self.ln,
+                format!("{}: unknown key `{k}`", self.ctx),
+            ));
+        }
+        Ok(())
+    }
+}
+
+fn check_name(ln: usize, what: &str, name: &str) -> Result<(), ScenarioError> {
+    if name.contains('=') {
+        return Err(ScenarioError::at(
+            ln,
+            format!(
+                "{what} name `{name}` looks like a key=value pair; \
+                     the name comes before the options"
+            ),
+        ));
+    }
+    Ok(())
+}
+
+fn parse_task(ln: usize, tokens: &[&str]) -> Result<TaskDecl, ScenarioError> {
+    let Some((name, rest)) = tokens.split_first() else {
+        return Err(ScenarioError::at(ln, "task: missing name".to_string()));
+    };
+    check_name(ln, "task", name)?;
+    let mut kv = Kv::new(ln, format!("task `{name}`"), rest)?;
+    let decl = TaskDecl {
+        name: name.to_string(),
+        period: kv.req_u64("period")?,
+        deadline: kv.opt_u64("deadline")?,
+        wcec: kv.req_f64("wcec")?,
+        acec: kv.opt_f64("acec")?,
+        bcec: kv.opt_f64("bcec")?,
+        c_eff: kv.opt_f64("c_eff")?,
+    };
+    kv.done()?;
+    Ok(decl)
+}
+
+fn parse_levels(kv: &Kv<'_>, val: &str) -> Result<Vec<f64>, ScenarioError> {
+    val.split(',')
+        .map(|part| kv.f64_of("levels", part))
+        .collect()
+}
+
+fn parse_overhead(kv: &Kv<'_>, val: &str) -> Result<(f64, f64), ScenarioError> {
+    let Some((time_ms, energy)) = val.split_once(':') else {
+        return Err(ScenarioError::at(
+            kv.ln,
+            format!(
+                "{}: bad value for `overhead`: `{val}` (expected `time_ms:energy`)",
+                kv.ctx
+            ),
+        ));
+    };
+    Ok((
+        kv.f64_of("overhead", time_ms)?,
+        kv.f64_of("overhead", energy)?,
+    ))
+}
+
+fn parse_processor(ln: usize, tokens: &[&str]) -> Result<ProcessorDecl, ScenarioError> {
+    let [name, model_kind, rest @ ..] = tokens else {
+        return Err(ScenarioError::at(
+            ln,
+            "processor: expected `processor <name> <linear|alpha> key=value...`".to_string(),
+        ));
+    };
+    check_name(ln, "processor", name)?;
+    let mut kv = Kv::new(ln, format!("processor `{name}`"), rest)?;
+    let model = match *model_kind {
+        "linear" => ModelDecl::Linear {
+            kappa: kv.req_f64("kappa")?,
+        },
+        "alpha" => ModelDecl::Alpha {
+            k: kv.req_f64("k")?,
+            vth: kv.req_f64("vth")?,
+            alpha: kv.req_f64("alpha")?,
+        },
+        other => {
+            return Err(ScenarioError::at(
+                ln,
+                format!(
+                    "processor `{name}`: unknown frequency model `{other}` \
+                         (expected `linear` or `alpha`)"
+                ),
+            ))
+        }
+    };
+    let decl = ProcessorDecl {
+        name: name.to_string(),
+        model,
+        vmin: kv.req_f64("vmin")?,
+        vmax: kv.req_f64("vmax")?,
+        levels: match kv.opt("levels") {
+            Some(val) => Some(parse_levels(&kv, val)?),
+            None => None,
+        },
+        overhead: match kv.opt("overhead") {
+            Some(val) => Some(parse_overhead(&kv, val)?),
+            None => None,
+        },
+    };
+    kv.done()?;
+    Ok(decl)
+}
+
+fn parse_policy(ln: usize, tokens: &[&str]) -> Result<PolicyDecl, ScenarioError> {
+    let Some((kind, rest)) = tokens.split_first() else {
+        return Err(ScenarioError::at(
+            ln,
+            "policy: missing kind (no-dvs, ccrm, static, greedy, reopt)".to_string(),
+        ));
+    };
+    let plain = |decl: PolicyDecl| -> Result<PolicyDecl, ScenarioError> {
+        if let Some(extra) = rest.first() {
+            return Err(ScenarioError::at(
+                ln,
+                format!("policy `{kind}` takes no options, got `{extra}`"),
+            ));
+        }
+        Ok(decl)
+    };
+    match *kind {
+        "no-dvs" => plain(PolicyDecl::NoDvs),
+        "ccrm" => plain(PolicyDecl::CcRm),
+        "static" => plain(PolicyDecl::StaticSpeed),
+        "greedy" => plain(PolicyDecl::Greedy),
+        "reopt" => {
+            let mut kv = Kv::new(ln, "policy `reopt`", rest)?;
+            let decl = PolicyDecl::Reopt {
+                horizon: kv.opt_usize("horizon")?,
+                min_rel_gain: kv.opt_f64("min_rel_gain")?,
+                cache: kv.opt_usize("cache")?,
+                resolve_on_release: kv.opt_bool("resolve_on_release")?,
+                resolve_at_start: kv.opt_bool("resolve_at_start")?,
+            };
+            kv.done()?;
+            Ok(decl)
+        }
+        other => Err(ScenarioError::at(
+            ln,
+            format!("unknown policy `{other}` (known: no-dvs, ccrm, static, greedy, reopt)"),
+        )),
+    }
+}
+
+fn parse_workload(ln: usize, tokens: &[&str]) -> Result<WorkloadSpec, ScenarioError> {
+    let Some((kind, rest)) = tokens.split_first() else {
+        return Err(ScenarioError::at(
+            ln,
+            "workload: missing kind (paper, uniform, bimodal, acec, wcec)".to_string(),
+        ));
+    };
+    let plain = |spec: WorkloadSpec| -> Result<WorkloadSpec, ScenarioError> {
+        if let Some(extra) = rest.first() {
+            return Err(ScenarioError::at(
+                ln,
+                format!("workload `{kind}` takes no options, got `{extra}`"),
+            ));
+        }
+        Ok(spec)
+    };
+    match *kind {
+        "paper" => plain(WorkloadSpec::Paper),
+        "uniform" => plain(WorkloadSpec::Uniform),
+        "acec" => plain(WorkloadSpec::ConstantAcec),
+        "wcec" => plain(WorkloadSpec::ConstantWcec),
+        "bimodal" => {
+            let mut kv = Kv::new(ln, "workload `bimodal`", rest)?;
+            let spec = WorkloadSpec::Bimodal {
+                p_heavy: kv.req_f64("p")?,
+            };
+            kv.done()?;
+            Ok(spec)
+        }
+        other => Err(ScenarioError::at(
+            ln,
+            format!("unknown workload `{other}` (known: paper, uniform, bimodal, acec, wcec)"),
+        )),
+    }
+}
+
+/// Parses a whole scenario text. See [`Scenario::from_text`].
+pub(crate) fn parse(text: &str) -> Result<Scenario, ScenarioError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+
+    let (header_ln, header) = lines.next().ok_or_else(|| {
+        ScenarioError::msg("empty scenario (missing `acsched-scenario v1` header)")
+    })?;
+    if header != "acsched-scenario v1" {
+        return Err(ScenarioError::at(
+            header_ln,
+            format!("unsupported header `{header}` (expected `acsched-scenario v1`)"),
+        ));
+    }
+
+    let mut sc = Scenario::default();
+    // (opening line, name, tasks) of the inline task-set block under
+    // construction, if any.
+    let mut inline: Option<(usize, String, Vec<TaskDecl>)> = None;
+    let mut seen_singleton: Vec<&'static str> = Vec::new();
+    let mut singleton = |ln: usize, key: &'static str| -> Result<(), ScenarioError> {
+        if seen_singleton.contains(&key) {
+            return Err(ScenarioError::at(
+                ln,
+                format!("directive `{key}` declared twice"),
+            ));
+        }
+        seen_singleton.push(key);
+        Ok(())
+    };
+
+    for (ln, line) in lines {
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        if let Some((_, name, tasks)) = &mut inline {
+            match tokens[0] {
+                "task" => tasks.push(parse_task(ln, &tokens[1..])?),
+                "end" if tokens.len() == 1 => {
+                    let (_, name, tasks) = inline.take().expect("inline block is open");
+                    sc.task_sets.push(TaskSetDecl::Inline { name, tasks });
+                }
+                other => {
+                    return Err(ScenarioError::at(
+                        ln,
+                        format!(
+                            "inside taskset `{name}`: expected `task ...` or `end`, \
+                                 got `{other}`"
+                        ),
+                    ))
+                }
+            }
+            continue;
+        }
+        match tokens[0] {
+            "taskset" => match tokens.as_slice() {
+                ["taskset", name] => {
+                    check_name(ln, "taskset", name)?;
+                    inline = Some((ln, name.to_string(), Vec::new()));
+                }
+                ["taskset", name, "from", set, rest @ ..] => {
+                    check_name(ln, "taskset", name)?;
+                    let mut kv = Kv::new(ln, format!("taskset `{name}` from {set}"), rest)?;
+                    let decl = TaskSetDecl::RealLife {
+                        name: name.to_string(),
+                        set: set.to_string(),
+                        f_max: kv.req_f64("fmax")?,
+                        ratio: kv.opt_f64("ratio")?,
+                        util: kv.opt_f64("util")?,
+                    };
+                    kv.done()?;
+                    sc.task_sets.push(decl);
+                }
+                _ => {
+                    return Err(ScenarioError::at(
+                        ln,
+                        "taskset: expected `taskset <name>` (inline block) or \
+                         `taskset <name> from <cnc|gap> fmax=...`"
+                            .to_string(),
+                    ))
+                }
+            },
+            "tasksets" => match tokens.as_slice() {
+                ["tasksets", "random", rest @ ..] => {
+                    let mut kv = Kv::new(ln, "tasksets random", rest)?;
+                    let decl = TaskSetDecl::Random {
+                        tasks: kv.req_usize("tasks")?,
+                        ratio: kv.req_f64("ratio")?,
+                        count: kv.req_usize("count")?,
+                        seed: kv.req_u64("seed")?,
+                        f_max: kv.req_f64("fmax")?,
+                    };
+                    kv.done()?;
+                    sc.task_sets.push(decl);
+                }
+                _ => {
+                    return Err(ScenarioError::at(
+                        ln,
+                        "tasksets: expected `tasksets random tasks=... ratio=... count=... \
+                         seed=... fmax=...`"
+                            .to_string(),
+                    ))
+                }
+            },
+            "end" | "task" => {
+                return Err(ScenarioError::at(
+                    ln,
+                    format!("`{}` outside a `taskset <name>` ... `end` block", tokens[0]),
+                ))
+            }
+            "processor" => sc.processors.push(parse_processor(ln, &tokens[1..])?),
+            "schedules" => {
+                singleton(ln, "schedules")?;
+                if tokens.len() == 1 {
+                    return Err(ScenarioError::at(
+                        ln,
+                        "schedules: expected at least one of wcs, acs, unscheduled".to_string(),
+                    ));
+                }
+                for tok in &tokens[1..] {
+                    sc.schedules.push(match *tok {
+                        "wcs" => ScheduleChoice::Wcs,
+                        "acs" => ScheduleChoice::Acs,
+                        "unscheduled" => ScheduleChoice::Unscheduled,
+                        other => {
+                            return Err(ScenarioError::at(
+                                ln,
+                                format!(
+                                    "unknown schedule `{other}` \
+                                         (known: wcs, acs, unscheduled)"
+                                ),
+                            ))
+                        }
+                    });
+                }
+            }
+            "policy" => sc.policies.push(parse_policy(ln, &tokens[1..])?),
+            "workload" => sc.workloads.push(parse_workload(ln, &tokens[1..])?),
+            "seeds" => {
+                singleton(ln, "seeds")?;
+                if tokens.len() == 1 {
+                    return Err(ScenarioError::at(
+                        ln,
+                        "seeds: expected at least one integer".to_string(),
+                    ));
+                }
+                for tok in &tokens[1..] {
+                    sc.seeds.push(tok.parse().map_err(|_| {
+                        ScenarioError::at(
+                            ln,
+                            format!("seeds: `{tok}` is not a non-negative integer"),
+                        )
+                    })?);
+                }
+            }
+            "hyper_periods" => {
+                singleton(ln, "hyper_periods")?;
+                let [_, val] = tokens.as_slice() else {
+                    return Err(ScenarioError::at(
+                        ln,
+                        "hyper_periods: expected one integer".to_string(),
+                    ));
+                };
+                // Reject 0 here rather than letting the campaign
+                // builder silently clamp it to 1 under a `x 0
+                // hyper-periods` label.
+                sc.hyper_periods =
+                    Some(val.parse().ok().filter(|v: &u64| *v >= 1).ok_or_else(|| {
+                        ScenarioError::at(
+                            ln,
+                            format!("hyper_periods: `{val}` is not a positive integer"),
+                        )
+                    })?);
+            }
+            "deadline_tol_ms" => {
+                singleton(ln, "deadline_tol_ms")?;
+                let [_, val] = tokens.as_slice() else {
+                    return Err(ScenarioError::at(
+                        ln,
+                        "deadline_tol_ms: expected one number".to_string(),
+                    ));
+                };
+                let parsed: f64 = val
+                    .parse()
+                    .ok()
+                    .filter(|v: &f64| v.is_finite())
+                    .ok_or_else(|| {
+                        ScenarioError::at(
+                            ln,
+                            format!("deadline_tol_ms: `{val}` is not a finite number"),
+                        )
+                    })?;
+                sc.deadline_tol_ms = Some(parsed);
+            }
+            "synthesis" => {
+                singleton(ln, "synthesis")?;
+                sc.synthesis = Some(match tokens.as_slice() {
+                    ["synthesis", "quick"] => SynthProfile::Quick,
+                    ["synthesis", "default"] => SynthProfile::Default,
+                    _ => {
+                        return Err(ScenarioError::at(
+                            ln,
+                            "synthesis: expected `quick` or `default`".to_string(),
+                        ))
+                    }
+                });
+            }
+            "acs_multistart" => {
+                singleton(ln, "acs_multistart")?;
+                sc.acs_multistart = match tokens.as_slice() {
+                    ["acs_multistart", "on"] => true,
+                    ["acs_multistart", "off"] => false,
+                    _ => {
+                        return Err(ScenarioError::at(
+                            ln,
+                            "acs_multistart: expected `on` or `off`".to_string(),
+                        ))
+                    }
+                };
+            }
+            "threads" => {
+                singleton(ln, "threads")?;
+                let [_, val] = tokens.as_slice() else {
+                    return Err(ScenarioError::at(
+                        ln,
+                        "threads: expected one integer".to_string(),
+                    ));
+                };
+                let parsed: usize = val.parse().ok().filter(|v| *v >= 1).ok_or_else(|| {
+                    ScenarioError::at(
+                        ln,
+                        format!(
+                            "threads: `{val}` is not a positive integer \
+                                 (omit the directive for auto)"
+                        ),
+                    )
+                })?;
+                sc.threads = Some(parsed);
+            }
+            other => {
+                return Err(ScenarioError::at(
+                    ln,
+                    format!(
+                        "unknown directive `{other}` (known: taskset, tasksets, processor, \
+                         schedules, policy, workload, seeds, hyper_periods, deadline_tol_ms, \
+                         synthesis, acs_multistart, threads)"
+                    ),
+                ))
+            }
+        }
+    }
+    if let Some((start_ln, name, _)) = inline {
+        return Err(ScenarioError::msg(format!(
+            "taskset `{name}` opened at line {start_ln} is never closed with `end`"
+        )));
+    }
+    Ok(sc)
+}

@@ -1,0 +1,628 @@
+//! The parsed scenario model: declarations, canonical serialization and
+//! materialization into an `acs-runtime` [`Campaign`].
+
+use crate::error::ScenarioError;
+use acs_core::SynthesisOptions;
+use acs_model::units::{Cycles, Energy, Freq, Ticks, TimeSpan, Volt};
+use acs_model::{Task, TaskSet};
+use acs_power::{FreqModel, LevelTable, Processor};
+use acs_runtime::{Campaign, CampaignBuilder, PolicySpec, ScheduleChoice, WorkloadSpec};
+use acs_sim::ReOptConfig;
+use acs_workloads::{paper_set_batch, real_life};
+
+/// One task of an inline task-set declaration. Unset optional fields
+/// take the [`acs_model::TaskBuilder`] defaults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskDecl {
+    /// Task name (unique within the set).
+    pub name: String,
+    /// Release period in ticks.
+    pub period: u64,
+    /// Relative deadline in ticks (default: the period).
+    pub deadline: Option<u64>,
+    /// Worst-case execution cycles.
+    pub wcec: f64,
+    /// Average-case execution cycles (default: builder midpoint rule).
+    pub acec: Option<f64>,
+    /// Best-case execution cycles (default: builder rule).
+    pub bcec: Option<f64>,
+    /// Effective switching capacitance (default 1).
+    pub c_eff: Option<f64>,
+}
+
+/// One task-set declaration of a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskSetDecl {
+    /// Tasks written out inline (`taskset <name>` … `end`).
+    Inline {
+        /// Grid-row name.
+        name: String,
+        /// The tasks.
+        tasks: Vec<TaskDecl>,
+    },
+    /// A named real-life set from `acs-workloads`
+    /// (`taskset <name> from <cnc|gap> fmax=…`).
+    RealLife {
+        /// Grid-row name.
+        name: String,
+        /// Which set (`"cnc"` or `"gap"`).
+        set: String,
+        /// Maximum processor speed the WCECs are scaled against
+        /// (cycles/ms).
+        f_max: f64,
+        /// BCEC/WCEC ratio (default 0.5).
+        ratio: Option<f64>,
+        /// Target worst-case utilization (default 0.7).
+        util: Option<f64>,
+    },
+    /// A batch of paper-protocol random sets
+    /// (`tasksets random tasks=… ratio=… count=… seed=… fmax=…`),
+    /// expanding to `count` grid rows named
+    /// `n{tasks:02}_r{ratio:.1}_s{idx:03}` via
+    /// [`acs_workloads::paper_set_batch`].
+    Random {
+        /// Tasks per generated set.
+        tasks: usize,
+        /// BCEC/WCEC ratio.
+        ratio: f64,
+        /// Number of sets to generate.
+        count: usize,
+        /// Master seed; set `idx` uses generator seed `seed + idx`.
+        seed: u64,
+        /// Maximum processor speed for utilization scaling (cycles/ms).
+        f_max: f64,
+    },
+}
+
+/// A frequency–voltage law declaration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ModelDecl {
+    /// `f = κ·V`.
+    Linear {
+        /// Proportionality constant (cycles/(ms·V)).
+        kappa: f64,
+    },
+    /// `f = k·(V − Vth)^α / V`.
+    Alpha {
+        /// Device constant (cycles/ms).
+        k: f64,
+        /// Threshold voltage (V).
+        vth: f64,
+        /// Velocity-saturation exponent.
+        alpha: f64,
+    },
+}
+
+/// One processor declaration of a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessorDecl {
+    /// Grid-column name.
+    pub name: String,
+    /// Frequency law.
+    pub model: ModelDecl,
+    /// Minimum usable voltage (V).
+    pub vmin: f64,
+    /// Maximum usable voltage (V).
+    pub vmax: f64,
+    /// Discrete level table (V), strictly increasing; `None` =
+    /// continuous.
+    pub levels: Option<Vec<f64>>,
+    /// Per-switch transition overhead `(time_ms, energy)`; `None` =
+    /// free switching.
+    pub overhead: Option<(f64, f64)>,
+}
+
+/// One online-policy declaration of a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicyDecl {
+    /// Full speed + idle shutdown (reference).
+    NoDvs,
+    /// Cycle-conserving RM (online-only baseline).
+    CcRm,
+    /// The schedule's static speeds, no reclamation.
+    StaticSpeed,
+    /// The paper's greedy slack reclamation.
+    Greedy,
+    /// The online re-optimizing policy; unset knobs take the
+    /// [`ReOptConfig`] defaults.
+    Reopt {
+        /// Receding-horizon length (`0` = all live sub-instances).
+        horizon: Option<usize>,
+        /// Minimum relative model-energy gain before adoption.
+        min_rel_gain: Option<f64>,
+        /// Shared solver-cache capacity (`0` disables; default 4096).
+        cache: Option<usize>,
+        /// Re-solve on release boundaries.
+        resolve_on_release: Option<bool>,
+        /// Re-solve at hyper-period starts.
+        resolve_at_start: Option<bool>,
+    },
+}
+
+impl PolicyDecl {
+    /// The policy's grid name (matches `Policy::name` of the built-ins).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyDecl::NoDvs => "no-dvs",
+            PolicyDecl::CcRm => "ccrm",
+            PolicyDecl::StaticSpeed => "static",
+            PolicyDecl::Greedy => "greedy",
+            PolicyDecl::Reopt { .. } => "reopt",
+        }
+    }
+
+    /// Instantiates the runtime [`PolicySpec`].
+    pub fn to_spec(&self) -> PolicySpec {
+        match self {
+            PolicyDecl::NoDvs => PolicySpec::no_dvs(),
+            PolicyDecl::CcRm => PolicySpec::ccrm(),
+            PolicyDecl::StaticSpeed => PolicySpec::static_speed(),
+            PolicyDecl::Greedy => PolicySpec::greedy(),
+            PolicyDecl::Reopt {
+                horizon,
+                min_rel_gain,
+                cache,
+                resolve_on_release,
+                resolve_at_start,
+            } => {
+                let mut cfg = ReOptConfig::default();
+                if let Some(h) = horizon {
+                    cfg.horizon = *h;
+                }
+                if let Some(g) = min_rel_gain {
+                    cfg.min_rel_gain = *g;
+                }
+                if let Some(r) = resolve_on_release {
+                    cfg.resolve_on_release = *r;
+                }
+                if let Some(r) = resolve_at_start {
+                    cfg.resolve_at_start = *r;
+                }
+                PolicySpec::reopt_with(cfg, cache.unwrap_or(4096))
+            }
+        }
+    }
+}
+
+/// Which synthesis profile the scenario's schedules use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SynthProfile {
+    /// [`SynthesisOptions::quick`] — fast sweeps (the builder default).
+    Quick,
+    /// [`SynthesisOptions::default`] — full accuracy.
+    Default,
+}
+
+/// A parsed scenario: the declarative form of a whole [`Campaign`].
+///
+/// Obtain one with [`Scenario::from_text`] / [`Scenario::load`],
+/// inspect or edit the declarations, serialize back with
+/// [`Scenario::to_text`] (canonical form; `parse → to_text → parse` is
+/// a fixpoint), and materialize with [`Scenario::to_campaign`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Scenario {
+    /// Task-set declarations (grid rows, in order).
+    pub task_sets: Vec<TaskSetDecl>,
+    /// Processor declarations (grid columns, in order).
+    pub processors: Vec<ProcessorDecl>,
+    /// Schedule axis; empty = the campaign builder's default.
+    pub schedules: Vec<ScheduleChoice>,
+    /// Policy declarations.
+    pub policies: Vec<PolicyDecl>,
+    /// Workload families.
+    pub workloads: Vec<WorkloadSpec>,
+    /// Seed axis; empty = the campaign builder's default (`[0]`).
+    pub seeds: Vec<u64>,
+    /// Hyper-periods per run.
+    pub hyper_periods: Option<u64>,
+    /// Deadline-miss tolerance (ms).
+    pub deadline_tol_ms: Option<f64>,
+    /// Synthesis profile.
+    pub synthesis: Option<SynthProfile>,
+    /// Multi-start ACS synthesis.
+    pub acs_multistart: bool,
+    /// Worker threads; `None` = available parallelism.
+    pub threads: Option<usize>,
+}
+
+/// Rejects names the line-oriented, whitespace-split format cannot
+/// carry through a round trip.
+fn writable_name(what: &str, name: &str) -> Result<(), ScenarioError> {
+    if name.is_empty()
+        || name.contains('=')
+        || name.starts_with('#')
+        || name.chars().any(char::is_whitespace)
+    {
+        return Err(ScenarioError::msg(format!(
+            "{what} name `{name}` is not representable in the text format (must be \
+             non-empty, contain no whitespace or `=`, and not start with `#`)"
+        )));
+    }
+    Ok(())
+}
+
+fn schedule_keyword(choice: ScheduleChoice) -> &'static str {
+    match choice {
+        ScheduleChoice::Unscheduled => "unscheduled",
+        ScheduleChoice::Wcs => "wcs",
+        ScheduleChoice::Acs => "acs",
+    }
+}
+
+fn workload_keywords(spec: &WorkloadSpec) -> String {
+    match spec {
+        WorkloadSpec::Paper => "paper".into(),
+        WorkloadSpec::Uniform => "uniform".into(),
+        WorkloadSpec::ConstantAcec => "acec".into(),
+        WorkloadSpec::ConstantWcec => "wcec".into(),
+        WorkloadSpec::Bimodal { p_heavy } => format!("bimodal p={p_heavy}"),
+    }
+}
+
+impl Scenario {
+    /// Parses a scenario from its text form (see `docs/SCENARIO_FORMAT.md`).
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError`] with the 1-based line number of the first
+    /// offending directive.
+    pub fn from_text(text: &str) -> Result<Scenario, ScenarioError> {
+        crate::parse::parse(text)
+    }
+
+    /// Reads and parses a scenario file.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures (with the path in the message) and parse errors.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Scenario, ScenarioError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ScenarioError::msg(format!("cannot read `{}`: {e}", path.display())))?;
+        // Keep the line anchor but name the file, so `acsched check
+        // scenarios/*.txt` points at the broken input.
+        Scenario::from_text(&text).map_err(|e| ScenarioError {
+            line: e.line,
+            message: format!("in `{}`: {}", path.display(), e.message),
+        })
+    }
+
+    /// Serializes to the canonical text form.
+    ///
+    /// `from_text(&sc.to_text()?)` reproduces `sc` exactly; defaults
+    /// that were not declared stay undeclared. Scenarios produced by
+    /// [`Scenario::from_text`] always serialize.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError`] when a programmatically built declaration
+    /// carries a name the line-oriented format cannot represent
+    /// (empty, containing whitespace or `=`, or starting with `#`) —
+    /// rejected here instead of silently emitting text that fails to
+    /// reparse.
+    pub fn to_text(&self) -> Result<String, ScenarioError> {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "acsched-scenario v1");
+        for decl in &self.task_sets {
+            match decl {
+                TaskSetDecl::Inline { name, tasks } => {
+                    writable_name("taskset", name)?;
+                    let _ = writeln!(out, "taskset {name}");
+                    for t in tasks {
+                        writable_name("task", &t.name)?;
+                        let _ = write!(out, "task {} period={}", t.name, t.period);
+                        if let Some(d) = t.deadline {
+                            let _ = write!(out, " deadline={d}");
+                        }
+                        let _ = write!(out, " wcec={}", t.wcec);
+                        if let Some(a) = t.acec {
+                            let _ = write!(out, " acec={a}");
+                        }
+                        if let Some(b) = t.bcec {
+                            let _ = write!(out, " bcec={b}");
+                        }
+                        if let Some(c) = t.c_eff {
+                            let _ = write!(out, " c_eff={c}");
+                        }
+                        out.push('\n');
+                    }
+                    let _ = writeln!(out, "end");
+                }
+                TaskSetDecl::RealLife {
+                    name,
+                    set,
+                    f_max,
+                    ratio,
+                    util,
+                } => {
+                    writable_name("taskset", name)?;
+                    writable_name("real-life set", set)?;
+                    let _ = write!(out, "taskset {name} from {set} fmax={f_max}");
+                    if let Some(r) = ratio {
+                        let _ = write!(out, " ratio={r}");
+                    }
+                    if let Some(u) = util {
+                        let _ = write!(out, " util={u}");
+                    }
+                    out.push('\n');
+                }
+                TaskSetDecl::Random {
+                    tasks,
+                    ratio,
+                    count,
+                    seed,
+                    f_max,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "tasksets random tasks={tasks} ratio={ratio} count={count} \
+                         seed={seed} fmax={f_max}"
+                    );
+                }
+            }
+        }
+        for p in &self.processors {
+            writable_name("processor", &p.name)?;
+            match p.model {
+                ModelDecl::Linear { kappa } => {
+                    let _ = write!(out, "processor {} linear kappa={kappa}", p.name);
+                }
+                ModelDecl::Alpha { k, vth, alpha } => {
+                    let _ = write!(
+                        out,
+                        "processor {} alpha k={k} vth={vth} alpha={alpha}",
+                        p.name
+                    );
+                }
+            }
+            let _ = write!(out, " vmin={} vmax={}", p.vmin, p.vmax);
+            if let Some(levels) = &p.levels {
+                let joined: Vec<String> = levels.iter().map(f64::to_string).collect();
+                let _ = write!(out, " levels={}", joined.join(","));
+            }
+            if let Some((time_ms, energy)) = p.overhead {
+                let _ = write!(out, " overhead={time_ms}:{energy}");
+            }
+            out.push('\n');
+        }
+        if !self.schedules.is_empty() {
+            let kws: Vec<&str> = self
+                .schedules
+                .iter()
+                .map(|c| schedule_keyword(*c))
+                .collect();
+            let _ = writeln!(out, "schedules {}", kws.join(" "));
+        }
+        for p in &self.policies {
+            let _ = write!(out, "policy {}", p.name());
+            if let PolicyDecl::Reopt {
+                horizon,
+                min_rel_gain,
+                cache,
+                resolve_on_release,
+                resolve_at_start,
+            } = p
+            {
+                if let Some(h) = horizon {
+                    let _ = write!(out, " horizon={h}");
+                }
+                if let Some(g) = min_rel_gain {
+                    let _ = write!(out, " min_rel_gain={g}");
+                }
+                if let Some(c) = cache {
+                    let _ = write!(out, " cache={c}");
+                }
+                if let Some(r) = resolve_on_release {
+                    let _ = write!(out, " resolve_on_release={}", if *r { "on" } else { "off" });
+                }
+                if let Some(r) = resolve_at_start {
+                    let _ = write!(out, " resolve_at_start={}", if *r { "on" } else { "off" });
+                }
+            }
+            out.push('\n');
+        }
+        for w in &self.workloads {
+            let _ = writeln!(out, "workload {}", workload_keywords(w));
+        }
+        if !self.seeds.is_empty() {
+            let joined: Vec<String> = self.seeds.iter().map(u64::to_string).collect();
+            let _ = writeln!(out, "seeds {}", joined.join(" "));
+        }
+        if let Some(h) = self.hyper_periods {
+            let _ = writeln!(out, "hyper_periods {h}");
+        }
+        if let Some(t) = self.deadline_tol_ms {
+            let _ = writeln!(out, "deadline_tol_ms {t}");
+        }
+        match self.synthesis {
+            Some(SynthProfile::Quick) => {
+                let _ = writeln!(out, "synthesis quick");
+            }
+            Some(SynthProfile::Default) => {
+                let _ = writeln!(out, "synthesis default");
+            }
+            None => {}
+        }
+        if self.acs_multistart {
+            let _ = writeln!(out, "acs_multistart on");
+        }
+        if let Some(t) = self.threads {
+            let _ = writeln!(out, "threads {t}");
+        }
+        Ok(out)
+    }
+
+    /// Materializes the task-set declarations into named [`TaskSet`]s,
+    /// in grid-row order (`Random` declarations expand to `count` rows;
+    /// generation failures are skipped with a stderr note, matching the
+    /// paper protocol's per-set accounting).
+    ///
+    /// # Errors
+    ///
+    /// Any model/workload invariant violation, with the declaration
+    /// named in the message.
+    pub fn materialize_task_sets(&self) -> Result<Vec<(String, TaskSet)>, ScenarioError> {
+        let mut out = Vec::new();
+        for decl in &self.task_sets {
+            match decl {
+                TaskSetDecl::Inline { name, tasks } => {
+                    let ctx = |e: &dyn std::fmt::Display| {
+                        ScenarioError::msg(format!("taskset `{name}`: {e}"))
+                    };
+                    let built: Vec<Task> = tasks
+                        .iter()
+                        .map(|t| {
+                            let mut b = Task::builder(&t.name, Ticks::new(t.period))
+                                .wcec(Cycles::from_cycles(t.wcec));
+                            if let Some(d) = t.deadline {
+                                b = b.deadline(Ticks::new(d));
+                            }
+                            if let Some(a) = t.acec {
+                                b = b.acec(Cycles::from_cycles(a));
+                            }
+                            if let Some(bc) = t.bcec {
+                                b = b.bcec(Cycles::from_cycles(bc));
+                            }
+                            if let Some(c) = t.c_eff {
+                                b = b.c_eff(c);
+                            }
+                            b.build()
+                        })
+                        .collect::<Result<_, _>>()
+                        .map_err(|e| ctx(&e))?;
+                    out.push((name.clone(), TaskSet::new(built).map_err(|e| ctx(&e))?));
+                }
+                TaskSetDecl::RealLife {
+                    name,
+                    set,
+                    f_max,
+                    ratio,
+                    util,
+                } => {
+                    let ts = real_life(
+                        set,
+                        Freq::from_cycles_per_ms(*f_max),
+                        ratio.unwrap_or(0.5),
+                        util.unwrap_or(0.7),
+                    )
+                    .map_err(|e| ScenarioError::msg(format!("taskset `{name}`: {e}")))?;
+                    out.push((name.clone(), ts));
+                }
+                TaskSetDecl::Random {
+                    tasks,
+                    ratio,
+                    count,
+                    seed,
+                    f_max,
+                } => {
+                    out.extend(paper_set_batch(
+                        *tasks,
+                        *ratio,
+                        *count,
+                        *seed,
+                        Freq::from_cycles_per_ms(*f_max),
+                    ));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Materializes the processor declarations, in grid-column order.
+    ///
+    /// # Errors
+    ///
+    /// Any power-model invariant violation, with the declaration named
+    /// in the message.
+    pub fn materialize_processors(&self) -> Result<Vec<(String, Processor)>, ScenarioError> {
+        let mut out = Vec::new();
+        for decl in &self.processors {
+            let ctx = |e: &dyn std::fmt::Display| {
+                ScenarioError::msg(format!("processor `{}`: {e}", decl.name))
+            };
+            let model = match decl.model {
+                ModelDecl::Linear { kappa } => FreqModel::linear(kappa).map_err(|e| ctx(&e))?,
+                ModelDecl::Alpha { k, vth, alpha } => {
+                    FreqModel::alpha(k, Volt::from_volts(vth), alpha).map_err(|e| ctx(&e))?
+                }
+            };
+            let mut builder = Processor::builder(model)
+                .vmin(Volt::from_volts(decl.vmin))
+                .vmax(Volt::from_volts(decl.vmax));
+            if let Some(levels) = &decl.levels {
+                let table = LevelTable::new(levels.iter().map(|v| Volt::from_volts(*v)).collect())
+                    .map_err(|e| ctx(&e))?;
+                builder = builder.discrete_levels(table);
+            }
+            if let Some((time_ms, energy)) = decl.overhead {
+                builder = builder.transition_overhead(acs_power::TransitionOverhead {
+                    time: TimeSpan::from_ms(time_ms),
+                    energy: Energy::from_units(energy),
+                });
+            }
+            out.push((decl.name.clone(), builder.build().map_err(|e| ctx(&e))?));
+        }
+        Ok(out)
+    }
+
+    /// Assembles a [`CampaignBuilder`] with every declared axis and
+    /// option applied — callers may still override (e.g. the CLI's
+    /// `--threads`) before [`build`](CampaignBuilder::build).
+    ///
+    /// # Errors
+    ///
+    /// Materialization errors (see [`Scenario::materialize_task_sets`] /
+    /// [`Scenario::materialize_processors`]).
+    pub fn campaign_builder(&self) -> Result<CampaignBuilder, ScenarioError> {
+        let mut b = Campaign::builder();
+        for (name, set) in self.materialize_task_sets()? {
+            b = b.task_set(name, set);
+        }
+        for (name, cpu) in self.materialize_processors()? {
+            b = b.processor(name, cpu);
+        }
+        if !self.schedules.is_empty() {
+            b = b.schedules(self.schedules.iter().copied());
+        }
+        for p in &self.policies {
+            b = b.policy(p.to_spec());
+        }
+        for w in &self.workloads {
+            b = b.workload(w.clone());
+        }
+        if !self.seeds.is_empty() {
+            b = b.seeds(self.seeds.iter().copied());
+        }
+        if let Some(h) = self.hyper_periods {
+            b = b.hyper_periods(h);
+        }
+        if let Some(t) = self.deadline_tol_ms {
+            b = b.deadline_tol_ms(t);
+        }
+        match self.synthesis {
+            Some(SynthProfile::Quick) => b = b.synthesis(SynthesisOptions::quick()),
+            Some(SynthProfile::Default) => b = b.synthesis(SynthesisOptions::default()),
+            None => {}
+        }
+        b = b.acs_multistart(self.acs_multistart);
+        if let Some(t) = self.threads {
+            b = b.threads(t);
+        }
+        Ok(b)
+    }
+
+    /// Materializes and validates the full campaign.
+    ///
+    /// # Errors
+    ///
+    /// Materialization errors plus grid-validation errors from
+    /// [`CampaignBuilder::build`] (empty axes, duplicate names,
+    /// schedule-required policies), re-wrapped with their message text
+    /// intact.
+    pub fn to_campaign(&self) -> Result<Campaign, ScenarioError> {
+        self.campaign_builder()?
+            .build()
+            .map_err(|e| ScenarioError::msg(e.to_string()))
+    }
+}

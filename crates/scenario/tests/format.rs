@@ -1,0 +1,298 @@
+//! Scenario-format acceptance: `parse → to_text → parse` fixpoint over
+//! a scenario exercising every directive, materialization equivalence
+//! with hand-built objects, and a malformed-input table checking that
+//! every error names its line and its problem.
+
+use acs_model::units::{Freq, Ticks};
+use acs_scenario::{Scenario, TaskSetDecl};
+use acs_workloads::real_life;
+
+/// A scenario using every directive and every optional knob at least
+/// once.
+const FULL: &str = "\
+# Fig-6-style grid plus hardware variations -- exercises the whole grammar.
+acsched-scenario v1
+
+taskset pair
+task ctrl period=10 wcec=300 acec=120 bcec=30
+task telemetry period=20 deadline=15 wcec=600 acec=200 bcec=60 c_eff=1.5
+end
+taskset cnc@0.1 from cnc fmax=200 ratio=0.1 util=0.7
+tasksets random tasks=4 ratio=0.5 count=2 seed=2005 fmax=200
+
+processor linear50 linear kappa=50 vmin=0.3 vmax=4
+processor disc alpha k=120 vth=0.8 alpha=1.6 vmin=1 vmax=4 levels=1.5,2.5,4 overhead=0.001:1.25
+
+schedules wcs acs unscheduled
+policy greedy
+policy ccrm
+policy reopt horizon=8 min_rel_gain=0.02 cache=512 resolve_on_release=off resolve_at_start=on
+workload paper
+workload bimodal p=0.25
+seeds 1 2 3
+hyper_periods 50
+deadline_tol_ms 0.001
+synthesis default
+acs_multistart on
+threads 2
+";
+
+#[test]
+fn full_scenario_round_trip_fixpoint() {
+    let first = Scenario::from_text(FULL).expect("full scenario parses");
+    let canonical = first.to_text().expect("parsed scenarios serialize");
+    let second = Scenario::from_text(&canonical).expect("canonical form parses");
+    assert_eq!(first, second, "parse -> to_text -> parse is a fixpoint");
+    // And the canonical form itself is stable.
+    assert_eq!(canonical, second.to_text().unwrap());
+}
+
+#[test]
+fn full_scenario_materializes() {
+    let sc = Scenario::from_text(FULL).unwrap();
+    let sets = sc.materialize_task_sets().unwrap();
+    // pair + cnc + 2 random = 4 grid rows.
+    assert_eq!(sets.len(), 4);
+    assert_eq!(sets[0].0, "pair");
+    assert_eq!(sets[1].0, "cnc@0.1");
+    assert_eq!(sets[2].0, "n04_r0.5_s000");
+    assert_eq!(sets[3].0, "n04_r0.5_s001");
+    // The named lookup resolves to the same set as the direct call.
+    assert_eq!(
+        sets[1].1,
+        real_life("cnc", Freq::from_cycles_per_ms(200.0), 0.1, 0.7).unwrap()
+    );
+    // Inline tasks carry their declared fields (RM order: ctrl first).
+    let pair = &sets[0].1;
+    assert_eq!(pair.tasks()[0].name(), "ctrl");
+    assert_eq!(pair.tasks()[1].deadline(), Ticks::new(15));
+    assert_eq!(pair.tasks()[1].c_eff(), 1.5);
+
+    let cpus = sc.materialize_processors().unwrap();
+    assert_eq!(cpus.len(), 2);
+    assert_eq!(cpus[0].1.f_max().as_cycles_per_ms(), 200.0);
+    assert!(matches!(
+        cpus[1].1.levels(),
+        acs_power::VoltageLevels::Discrete(_)
+    ));
+    assert_eq!(cpus[1].1.overhead().time.as_ms(), 0.001);
+}
+
+#[test]
+fn defaults_stay_undeclared() {
+    let minimal = "\
+acsched-scenario v1
+taskset one
+task t period=10 wcec=100
+end
+processor p linear kappa=50 vmin=1 vmax=4
+policy greedy
+workload paper
+";
+    let sc = Scenario::from_text(minimal).unwrap();
+    assert!(sc.schedules.is_empty());
+    assert!(sc.seeds.is_empty());
+    assert_eq!(sc.hyper_periods, None);
+    assert_eq!(sc.synthesis, None);
+    assert!(!sc.acs_multistart);
+    assert_eq!(sc.threads, None);
+    // Fixpoint holds for the minimal form too, and nothing invents
+    // defaults in the output.
+    let text = sc.to_text().unwrap();
+    assert_eq!(sc, Scenario::from_text(&text).unwrap());
+    for absent in [
+        "schedules",
+        "seeds",
+        "hyper_periods",
+        "synthesis",
+        "threads",
+    ] {
+        assert!(!text.contains(absent), "`{absent}` appeared in:\n{text}");
+    }
+    // The campaign still builds: the builder supplies its defaults.
+    let campaign = sc.to_campaign().unwrap();
+    assert_eq!(campaign.cell_count(), 2); // greedy x default {WCS, ACS}
+}
+
+#[test]
+fn random_decl_matches_programmatic_batch() {
+    let sc = Scenario::from_text(
+        "acsched-scenario v1\ntasksets random tasks=3 ratio=0.1 count=2 seed=77 fmax=200\n",
+    )
+    .unwrap();
+    assert_eq!(
+        sc.task_sets,
+        vec![TaskSetDecl::Random {
+            tasks: 3,
+            ratio: 0.1,
+            count: 2,
+            seed: 77,
+            f_max: 200.0
+        }]
+    );
+    let sets = sc.materialize_task_sets().unwrap();
+    let direct = acs_workloads::paper_set_batch(3, 0.1, 2, 77, Freq::from_cycles_per_ms(200.0));
+    assert_eq!(sets, direct, "scenario and programmatic batches agree");
+}
+
+/// The malformed-input table: every row is (broken scenario, substrings
+/// the error must contain — including the line number).
+#[test]
+fn malformed_inputs_report_line_and_cause() {
+    let table: &[(&str, &[&str])] = &[
+        ("", &["empty scenario"]),
+        ("acsched-scenario v2\n", &["line 1", "unsupported header"]),
+        (
+            "acsched-scenario v1\nfrobnicate all\n",
+            &["line 2", "unknown directive `frobnicate`"],
+        ),
+        (
+            "acsched-scenario v1\ntask t period=1 wcec=1\n",
+            &["line 2", "outside a `taskset"],
+        ),
+        (
+            "acsched-scenario v1\ntaskset a\ntask t period=1 wcec=1\n",
+            &["taskset `a`", "never closed with `end`"],
+        ),
+        (
+            "acsched-scenario v1\ntaskset a\nprocessor p linear kappa=50 vmin=1 vmax=4\n",
+            &[
+                "line 3",
+                "inside taskset `a`",
+                "expected `task ...` or `end`",
+            ],
+        ),
+        (
+            "acsched-scenario v1\ntaskset a\ntask t wcec=1\nend\n",
+            &["line 3", "task `t`", "missing required key `period`"],
+        ),
+        (
+            "acsched-scenario v1\ntaskset a\ntask t period=ten wcec=1\nend\n",
+            &["line 3", "bad value for `period`", "`ten`"],
+        ),
+        (
+            "acsched-scenario v1\ntaskset a\ntask t period=1 wcec=1 wcec=2\nend\n",
+            &["line 3", "duplicate key `wcec`"],
+        ),
+        (
+            "acsched-scenario v1\ntaskset a\ntask t period=1 wcec=1 colour=red\nend\n",
+            &["line 3", "unknown key `colour`"],
+        ),
+        (
+            "acsched-scenario v1\ntaskset x from avionics fmax=200\n",
+            &[
+                "taskset `x`",
+                "unknown real-life set `avionics`",
+                "cnc, gap",
+            ],
+        ),
+        (
+            "acsched-scenario v1\ntasksets random tasks=2 ratio=0.1 seed=1 fmax=200\n",
+            &["line 2", "missing required key `count`"],
+        ),
+        (
+            "acsched-scenario v1\nprocessor p cubic kappa=50 vmin=1 vmax=4\n",
+            &["line 2", "unknown frequency model `cubic`"],
+        ),
+        (
+            "acsched-scenario v1\nprocessor p linear kappa=50 vmin=1 vmax=4 overhead=1\n",
+            &["line 2", "expected `time_ms:energy`"],
+        ),
+        (
+            "acsched-scenario v1\nprocessor p linear kappa=50 vmin=1 vmax=4 levels=1,two\n",
+            &["line 2", "bad value for `levels`", "`two`"],
+        ),
+        (
+            "acsched-scenario v1\nschedules wcs acs dvs\n",
+            &["line 2", "unknown schedule `dvs`"],
+        ),
+        (
+            "acsched-scenario v1\npolicy lazy\n",
+            &["line 2", "unknown policy `lazy`", "reopt"],
+        ),
+        (
+            "acsched-scenario v1\npolicy greedy horizon=4\n",
+            &["line 2", "policy `greedy` takes no options"],
+        ),
+        (
+            "acsched-scenario v1\npolicy reopt resolve_at_start=maybe\n",
+            &[
+                "line 2",
+                "bad value for `resolve_at_start`",
+                "expected on/off",
+            ],
+        ),
+        (
+            "acsched-scenario v1\nworkload bimodal\n",
+            &["line 2", "missing required key `p`"],
+        ),
+        (
+            "acsched-scenario v1\nseeds 1 two 3\n",
+            &["line 2", "seeds", "`two`"],
+        ),
+        (
+            "acsched-scenario v1\nseeds 1\nseeds 2\n",
+            &["line 3", "directive `seeds` declared twice"],
+        ),
+        (
+            "acsched-scenario v1\nhyper_periods many\n",
+            &["line 2", "hyper_periods", "`many`"],
+        ),
+        (
+            "acsched-scenario v1\nhyper_periods 0\n",
+            &["line 2", "hyper_periods", "positive integer"],
+        ),
+        (
+            "acsched-scenario v1\nsynthesis sloppy\n",
+            &["line 2", "synthesis", "`quick` or `default`"],
+        ),
+        (
+            "acsched-scenario v1\nacs_multistart yes\n",
+            &["line 2", "acs_multistart", "`on` or `off`"],
+        ),
+        (
+            "acsched-scenario v1\nthreads 0\n",
+            &["line 2", "threads", "positive integer"],
+        ),
+    ];
+    for (input, needles) in table {
+        let err = match Scenario::from_text(input) {
+            Err(e) => e.to_string(),
+            Ok(sc) => match sc.materialize_task_sets() {
+                Err(e) => e.to_string(),
+                Ok(_) => panic!("input unexpectedly accepted:\n{input}"),
+            },
+        };
+        for needle in *needles {
+            assert!(
+                err.contains(needle),
+                "error for:\n{input}\nwas `{err}`, missing `{needle}`"
+            );
+        }
+    }
+}
+
+#[test]
+fn unrepresentable_names_rejected_at_serialization() {
+    // A programmatically built scenario whose name cannot survive the
+    // whitespace-split line format must fail `to_text` loudly instead
+    // of emitting text that reparses as something else.
+    let mut sc =
+        Scenario::from_text("acsched-scenario v1\nprocessor p linear kappa=50 vmin=1 vmax=4\n")
+            .unwrap();
+    sc.processors[0].name = "discrete 4".into();
+    let err = sc.to_text().unwrap_err().to_string();
+    assert!(err.contains("discrete 4"), "{err}");
+    assert!(err.contains("not representable"), "{err}");
+}
+
+#[test]
+fn grid_errors_surface_through_to_campaign() {
+    // A parseable scenario whose grid is invalid: the improved
+    // CampaignError names every empty axis through the ScenarioError.
+    let sc = Scenario::from_text("acsched-scenario v1\npolicy greedy\nworkload paper\n").unwrap();
+    let err = sc.to_campaign().unwrap_err().to_string();
+    assert!(err.contains("`task_sets`"), "{err}");
+    assert!(err.contains("`processors`"), "{err}");
+    assert!(!err.contains("`policies`"), "{err}");
+}

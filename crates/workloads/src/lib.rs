@@ -14,6 +14,8 @@
 //! * [`reallife`] — the CNC controller (8 tasks) and Generic Avionics
 //!   Platform (17 tasks) sets of Fig. 6(b).
 //! * [`motivation()`] — the reconstructed Table-1 example of Figs. 1–2.
+//! * [`named`] — string-keyed lookup ([`real_life`], [`paper_set_batch`])
+//!   so declarative scenario files can reference these sets by name.
 //!
 //! ## Example
 //!
@@ -36,6 +38,7 @@
 pub mod dist;
 pub mod error;
 pub mod motivation;
+pub mod named;
 pub mod randgen;
 pub mod reallife;
 
@@ -44,5 +47,6 @@ pub use error::WorkloadError;
 pub use motivation::{
     fig1_end_times, fig2_end_times, motivation, motivation_system, reference_energies,
 };
+pub use named::{paper_set_batch, paper_set_name, real_life, REAL_LIFE_SETS};
 pub use randgen::{generate, uunifast, RandomSetConfig};
 pub use reallife::{cnc, gap};

@@ -1,0 +1,133 @@
+//! Name-based task-set lookup — the bridge between *declarative*
+//! experiment descriptions (scenario files, the `acsched` CLI) and the
+//! programmatic generators in this crate.
+//!
+//! Two entry points:
+//!
+//! * [`real_life`] resolves the paper's named real-life sets (`"cnc"`,
+//!   `"gap"`) by string, so a text file can say `from cnc` instead of a
+//!   Rust call.
+//! * [`paper_set_batch`] expands one `(num_tasks, ratio, count, seed)`
+//!   declaration into `count` named random sets under the paper's
+//!   protocol, with the canonical `n{NN}_r{R}_s{III}` names used by the
+//!   figure binaries since PR 1 — a scenario file that declares the same
+//!   parameters reproduces the same grid rows, bit for bit.
+
+use crate::error::WorkloadError;
+use crate::randgen::{generate, RandomSetConfig};
+use crate::reallife::{cnc, gap};
+use acs_model::units::Freq;
+use acs_model::TaskSet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Names accepted by [`real_life`], for error messages and docs.
+pub const REAL_LIFE_SETS: [&str; 2] = ["cnc", "gap"];
+
+/// Resolves a real-life task set by name (`"cnc"` or `"gap"`).
+///
+/// # Errors
+///
+/// [`WorkloadError::InvalidConfig`] for an unknown name (listing the
+/// known ones) or out-of-range parameters.
+pub fn real_life(
+    name: &str,
+    f_max: Freq,
+    bcec_wcec_ratio: f64,
+    target_utilization: f64,
+) -> Result<TaskSet, WorkloadError> {
+    match name {
+        "cnc" => cnc(f_max, bcec_wcec_ratio, target_utilization),
+        "gap" => gap(f_max, bcec_wcec_ratio, target_utilization),
+        other => Err(WorkloadError::InvalidConfig {
+            reason: format!(
+                "unknown real-life set `{other}` (known sets: {})",
+                REAL_LIFE_SETS.join(", ")
+            ),
+        }),
+    }
+}
+
+/// The canonical grid-row name of paper-protocol random set `idx` of
+/// one `(num_tasks, ratio)` cell: `n{num_tasks:02}_r{ratio:.1}_s{idx:03}`.
+///
+/// [`paper_set_batch`] names its sets with this function; renderers
+/// that look rows up by name (the figure binaries) must use it too, so
+/// the format cannot silently diverge.
+pub fn paper_set_name(num_tasks: usize, ratio: f64, idx: usize) -> String {
+    format!("n{num_tasks:02}_r{ratio:.1}_s{idx:03}")
+}
+
+/// Generates `count` named paper-style random task sets for one
+/// `(num_tasks, ratio)` experiment cell, ready for
+/// `acs_runtime::CampaignBuilder::task_sets`.
+///
+/// Names come from [`paper_set_name`], unique across cells; the per-set
+/// generator seed is `master_seed + idx` (deterministic). Generation
+/// failures are logged to stderr and skipped, matching the paper
+/// protocol's per-set accounting.
+pub fn paper_set_batch(
+    num_tasks: usize,
+    ratio: f64,
+    count: usize,
+    master_seed: u64,
+    f_max: Freq,
+) -> Vec<(String, TaskSet)> {
+    let cfg = RandomSetConfig::paper(num_tasks, ratio, f_max);
+    (0..count)
+        .filter_map(|idx| {
+            let seed = master_seed + idx as u64;
+            match generate(&cfg, &mut StdRng::seed_from_u64(seed)) {
+                Ok(set) => Some((paper_set_name(num_tasks, ratio, idx), set)),
+                Err(e) => {
+                    eprintln!("  [n={num_tasks} ratio={ratio} set={idx}] generation: {e}");
+                    None
+                }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fmax() -> Freq {
+        Freq::from_cycles_per_ms(200.0)
+    }
+
+    #[test]
+    fn lookup_matches_direct_constructors() {
+        assert_eq!(
+            real_life("cnc", fmax(), 0.5, 0.7).unwrap(),
+            cnc(fmax(), 0.5, 0.7).unwrap()
+        );
+        assert_eq!(
+            real_life("gap", fmax(), 0.1, 0.7).unwrap(),
+            gap(fmax(), 0.1, 0.7).unwrap()
+        );
+    }
+
+    #[test]
+    fn unknown_name_lists_known_sets() {
+        let err = real_life("avionics", fmax(), 0.5, 0.7).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("avionics"), "{msg}");
+        assert!(msg.contains("cnc, gap"), "{msg}");
+    }
+
+    #[test]
+    fn batch_names_and_determinism() {
+        let a = paper_set_batch(4, 0.1, 3, 77, fmax());
+        let b = paper_set_batch(4, 0.1, 3, 77, fmax());
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[0].0, "n04_r0.1_s000");
+        assert_eq!(a[2].0, "n04_r0.1_s002");
+        assert_eq!(a, b);
+        // A batch at count=2 is a prefix of the count=3 batch (per-set
+        // seeds depend only on the index) — scenario files can shrink
+        // `count` without reshuffling every set.
+        let prefix = paper_set_batch(4, 0.1, 2, 77, fmax());
+        assert_eq!(prefix[..], a[..2]);
+    }
+}

@@ -4,62 +4,24 @@
 //! The paper assumes a continuously variable supply and zero transition
 //! cost (§3.2). Real parts quantize; this example measures how much of
 //! the ACS gain survives a 4-level supply and a non-zero switch cost.
-//! The whole exploration is one `Campaign`: five processor variants ×
-//! {WCS, ACS} × greedy over the CNC set, run in parallel.
+//!
+//! The exploration is declared in `scenarios/design_space.txt` — five
+//! processor variants × {WCS, ACS} × greedy over the CNC set — and this
+//! example only loads, runs and renders it. Add a processor variant by
+//! editing the scenario file; no Rust required. The same file runs
+//! through the CLI: `acsched run scenarios/design_space.txt`.
 //!
 //! ```sh
 //! cargo run --release --example design_space
 //! ```
 
-use acsched::power::PowerError;
 use acsched::prelude::*;
 
-fn builder_with(vmin: f64, vmax: f64) -> Result<acsched::power::ProcessorBuilder, PowerError> {
-    Ok(Processor::builder(FreqModel::linear(50.0)?)
-        .vmin(Volt::from_volts(vmin))
-        .vmax(Volt::from_volts(vmax)))
-}
-
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let base = builder_with(0.5, 4.0)?.build()?;
-    let set = cnc(base.f_max(), 0.1, 0.7)?;
-
-    let mut campaign = Campaign::builder()
-        .task_set("cnc@0.1", set)
-        .processor("continuous", base)
-        .schedules([ScheduleChoice::Wcs, ScheduleChoice::Acs])
-        .policy(PolicySpec::greedy())
-        .workload(WorkloadSpec::Paper)
-        .seeds([9])
-        .hyper_periods(200)
-        .synthesis(SynthesisOptions::quick());
-
-    // Discrete supplies (runtime rounds up — deadline-safe).
-    let mut names = vec!["continuous".to_string()];
-    for levels in [
-        vec![1.0, 2.0, 3.0, 4.0],
-        vec![0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0],
-    ] {
-        let table = LevelTable::new(levels.iter().copied().map(Volt::from_volts).collect())?;
-        let name = format!("discrete-{}", table.len());
-        let cpu = builder_with(0.5, 4.0)?.discrete_levels(table).build()?;
-        campaign = campaign.processor(name.clone(), cpu);
-        names.push(name);
-    }
-    // Transition overhead (time + energy per switch; CNC tick = 100 µs).
-    for (t_us, e_cost) in [(1.0, 10.0), (5.0, 50.0)] {
-        let name = format!("overhead-{t_us}us/{e_cost}eu");
-        let cpu = builder_with(0.5, 4.0)?
-            .transition_overhead(TransitionOverhead {
-                time: TimeSpan::from_ms(t_us / 100.0),
-                energy: Energy::from_units(e_cost),
-            })
-            .build()?;
-        campaign = campaign.processor(name.clone(), cpu);
-        names.push(name);
-    }
-
-    let report = campaign.build()?.run();
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("scenarios/design_space.txt");
+    let scenario = Scenario::load(&path)?;
+    let names: Vec<String> = scenario.processors.iter().map(|p| p.name.clone()).collect();
+    let report = scenario.to_campaign()?.run();
 
     println!("CNC @ ratio 0.1 — ACS vs WCS under processor variations\n");
     println!(

@@ -1,0 +1,295 @@
+//! `acsched` — the command-line front end of the workspace.
+//!
+//! Experiments are *data*: a scenario text file (grammar in
+//! `docs/SCENARIO_FORMAT.md`, examples in `scenarios/`) declares the
+//! whole campaign grid, and this binary parses, validates, runs and
+//! streams it.
+//!
+//! ```text
+//! acsched check <scenario>...                 parse + validate + grid size
+//! acsched run <scenario> [--out FILE] [--threads N]
+//!                                             run; stream CSV/JSONL to FILE
+//! acsched synth <scenario> --task-set NAME --processor NAME
+//!               [--kind wcs|acs] [--out FILE] offline schedule -> artifact
+//! ```
+
+use acs_core::{synthesize_acs_best, synthesize_acs_warm, synthesize_wcs, SynthesisOptions};
+use acs_runtime::{AggregateSink, CsvSink, JsonlSink, ResultSink, Tee};
+use acs_scenario::{Scenario, SynthProfile};
+use std::io::Write as _;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+acsched — average-case-aware DVS scheduling experiments
+
+USAGE:
+    acsched check <scenario>...
+        Parse and validate scenario files; print each grid's size
+        without running anything.
+
+    acsched run <scenario> [--out FILE] [--threads N] [--quiet]
+        Run the campaign. --out streams per-cell records to FILE while
+        the grid executes (format by extension: .csv, .jsonl/.ndjson);
+        --threads overrides the scenario's worker count; --quiet
+        suppresses the result table. Exits 1 when any cell failed.
+
+    acsched synth <scenario> --task-set NAME --processor NAME
+            [--kind wcs|acs] [--out FILE]
+        Synthesize the offline schedule for one (task set, processor)
+        pair of the scenario and export it as an `acsched-schedule v1`
+        artifact (default kind: acs, to stdout).
+
+Scenario grammar: docs/SCENARIO_FORMAT.md; examples: scenarios/";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("check") => cmd_check(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("synth") => cmd_synth(&args[1..]),
+        Some("--help") | Some("-h") | Some("help") => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+        None => Err(USAGE.to_string()),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("acsched: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Positional arguments and `(name, value)` option pairs of one
+/// subcommand invocation (a toggle's value is the empty string).
+type ParsedArgs<'a> = (Vec<&'a str>, Vec<(&'a str, &'a str)>);
+
+/// Splits `args` into positionals, `--flag value` options (from
+/// `known`) and bare `--switch` toggles (from `known_bools`), rejecting
+/// anything else.
+fn parse_flags<'a>(
+    args: &'a [String],
+    known: &[&str],
+    known_bools: &[&str],
+) -> Result<ParsedArgs<'a>, String> {
+    let mut positional = Vec::new();
+    let mut flags: Vec<(&str, &str)> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            if flags.iter().any(|(k, _)| *k == name) {
+                return Err(format!("option `--{name}` given twice"));
+            }
+            if known_bools.contains(&name) {
+                flags.push((name, ""));
+            } else if known.contains(&name) {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("option `--{name}` needs a value"))?;
+                flags.push((name, value.as_str()));
+            } else {
+                return Err(format!("unknown option `--{name}`"));
+            }
+        } else {
+            positional.push(arg.as_str());
+        }
+    }
+    Ok((positional, flags))
+}
+
+fn flag<'a>(flags: &[(&str, &'a str)], name: &str) -> Option<&'a str> {
+    flags.iter().find(|(k, _)| *k == name).map(|(_, v)| *v)
+}
+
+fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
+    let (paths, _flags) = parse_flags(args, &[], &[])?;
+    if paths.is_empty() {
+        return Err("check: expected at least one scenario file".into());
+    }
+    for path in paths {
+        let scenario = Scenario::load(path).map_err(|e| e.to_string())?;
+        // Row count straight from the declarations; `to_campaign` below
+        // does the single materialization pass (fig6a-scale scenarios
+        // generate 150 random sets — no need to do that twice).
+        let declared_rows: usize = scenario
+            .task_sets
+            .iter()
+            .map(|decl| match decl {
+                acs_scenario::TaskSetDecl::Random { count, .. } => *count,
+                _ => 1,
+            })
+            .sum();
+        let campaign = scenario.to_campaign().map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "{path}: ok — {} task sets x {} processors x {} policies x {} workloads \
+             -> {} cells, {} runs",
+            declared_rows,
+            scenario.processors.len(),
+            scenario.policies.len(),
+            scenario.workloads.len(),
+            campaign.cell_count(),
+            campaign.run_count(),
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
+    let (paths, flags) = parse_flags(args, &["out", "threads"], &["quiet"])?;
+    let [path] = paths.as_slice() else {
+        return Err("run: expected exactly one scenario file".into());
+    };
+    let quiet = flag(&flags, "quiet").is_some();
+    let scenario = Scenario::load(path).map_err(|e| e.to_string())?;
+    let mut builder = scenario.campaign_builder().map_err(|e| e.to_string())?;
+    if let Some(threads) = flag(&flags, "threads") {
+        let n: usize = threads
+            .parse()
+            .ok()
+            .filter(|n| *n >= 1)
+            .ok_or_else(|| format!("run: `--threads {threads}` is not a positive integer"))?;
+        builder = builder.threads(n);
+    }
+    let campaign = builder.build().map_err(|e| e.to_string())?;
+    eprintln!(
+        "running {} cells / {} runs...",
+        campaign.cell_count(),
+        campaign.run_count()
+    );
+
+    // Aggregate in memory for the summary table, and tee the same
+    // stream into the output file when requested.
+    let mut aggregate = AggregateSink::new();
+    let report = match flag(&flags, "out") {
+        Some(out_path) => {
+            let file = std::fs::File::create(out_path)
+                .map_err(|e| format!("cannot create `{out_path}`: {e}"))?;
+            let writer = std::io::BufWriter::new(file);
+            let mut file_sink: Box<dyn ResultSink> =
+                if out_path.ends_with(".jsonl") || out_path.ends_with(".ndjson") {
+                    Box::new(JsonlSink::new(writer))
+                } else if out_path.ends_with(".csv") {
+                    Box::new(CsvSink::new(writer))
+                } else {
+                    return Err(format!(
+                        "run: cannot infer a format from `{out_path}` \
+                     (expected a .csv, .jsonl or .ndjson extension)"
+                    ));
+                };
+            let mut tee = Tee::new(vec![&mut aggregate, &mut *file_sink]);
+            campaign
+                .run_with(&mut tee)
+                .map_err(|e| format!("writing `{out_path}`: {e}"))?;
+            eprintln!("streamed {} records to {out_path}", campaign.cell_count());
+            aggregate.into_report()
+        }
+        None => {
+            campaign
+                .run_with(&mut aggregate)
+                .map_err(|e| format!("streaming: {e}"))?;
+            aggregate.into_report()
+        }
+    };
+
+    if !quiet {
+        print!("{}", report.to_table());
+        let gains = report.gains();
+        if !gains.is_empty() {
+            let mean = gains.iter().map(|(_, g)| g).sum::<f64>() / gains.len() as f64;
+            println!(
+                "ACS-vs-WCS gain over {} paired cells: mean {:.1}%",
+                gains.len(),
+                100.0 * mean
+            );
+        }
+    }
+    let failures = report.failures().count();
+    if failures > 0 {
+        for (cell, err) in report.failures() {
+            eprintln!(
+                "  FAILED [{} {} {} {}] {err}",
+                cell.task_set, cell.processor, cell.schedule, cell.policy
+            );
+        }
+        eprintln!("{failures} of {} cells failed", report.cells().len());
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_synth(args: &[String]) -> Result<ExitCode, String> {
+    let (paths, flags) = parse_flags(args, &["task-set", "processor", "kind", "out"], &[])?;
+    let [path] = paths.as_slice() else {
+        return Err("synth: expected exactly one scenario file".into());
+    };
+    let scenario = Scenario::load(path).map_err(|e| e.to_string())?;
+    let want_set = flag(&flags, "task-set").ok_or("synth: missing --task-set NAME")?;
+    let want_cpu = flag(&flags, "processor").ok_or("synth: missing --processor NAME")?;
+    let kind = match flag(&flags, "kind").unwrap_or("acs") {
+        "wcs" => "wcs",
+        "acs" => "acs",
+        other => return Err(format!("synth: unknown --kind `{other}` (wcs or acs)")),
+    };
+
+    let sets = scenario
+        .materialize_task_sets()
+        .map_err(|e| e.to_string())?;
+    let names: Vec<&str> = sets.iter().map(|(n, _)| n.as_str()).collect();
+    let set = sets
+        .iter()
+        .find(|(n, _)| n == want_set)
+        .map(|(_, s)| s)
+        .ok_or_else(|| {
+            format!(
+                "synth: no task set named `{want_set}` (scenario has: {})",
+                names.join(", ")
+            )
+        })?;
+    let cpus = scenario
+        .materialize_processors()
+        .map_err(|e| e.to_string())?;
+    let cpu_names: Vec<&str> = cpus.iter().map(|(n, _)| n.as_str()).collect();
+    let cpu = cpus
+        .iter()
+        .find(|(n, _)| n == want_cpu)
+        .map(|(_, c)| c)
+        .ok_or_else(|| {
+            format!(
+                "synth: no processor named `{want_cpu}` (scenario has: {})",
+                cpu_names.join(", ")
+            )
+        })?;
+
+    let options = match scenario.synthesis {
+        Some(SynthProfile::Default) => SynthesisOptions::default(),
+        _ => SynthesisOptions::quick(),
+    };
+    let wcs = synthesize_wcs(set, cpu, &options).map_err(|e| format!("synth: wcs: {e}"))?;
+    let schedule = if kind == "wcs" {
+        wcs
+    } else if scenario.acs_multistart {
+        synthesize_acs_best(set, cpu, &options, &wcs).map_err(|e| format!("synth: acs: {e}"))?
+    } else {
+        synthesize_acs_warm(set, cpu, &options, &wcs).map_err(|e| format!("synth: acs: {e}"))?
+    };
+    let text = acs_core::export::to_text(&schedule);
+    match flag(&flags, "out") {
+        Some(out_path) => {
+            std::fs::write(out_path, &text)
+                .map_err(|e| format!("cannot write `{out_path}`: {e}"))?;
+            eprintln!(
+                "wrote {kind} schedule for `{want_set}` on `{want_cpu}` \
+                 ({} milestones) to {out_path}",
+                schedule.milestones().len()
+            );
+        }
+        None => {
+            let mut stdout = std::io::stdout().lock();
+            let _ = stdout.write_all(text.as_bytes());
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}

@@ -16,7 +16,15 @@
 //! | [`core`] | `acs-core` | ACS/WCS schedule synthesis |
 //! | [`sim`] | `acs-sim` | runtime simulator & the open [`Policy`] API |
 //! | [`workloads`] | `acs-workloads` | distributions, random/CNC/GAP sets |
-//! | [`runtime`] | `acs-runtime` | parallel [`Campaign`] experiment runner |
+//! | [`runtime`] | `acs-runtime` | parallel [`Campaign`] runner + streaming [`ResultSink`]s |
+//! | [`scenario`] | `acs-scenario` | declarative text-format experiment scenarios |
+//!
+//! [`ResultSink`]: prelude::ResultSink
+//!
+//! Experiments also run without writing Rust at all: describe the grid
+//! in a scenario file (see `docs/SCENARIO_FORMAT.md` and `scenarios/`)
+//! and drive it with the `acsched` CLI (`acsched run scenarios/smoke.txt
+//! --out results.csv`).
 //!
 //! [`Policy`]: prelude::Policy
 //! [`Campaign`]: prelude::Campaign
@@ -130,6 +138,7 @@ pub use acs_opt as opt;
 pub use acs_power as power;
 pub use acs_preempt as preempt;
 pub use acs_runtime as runtime;
+pub use acs_scenario as scenario;
 pub use acs_sim as sim;
 pub use acs_workloads as workloads;
 
@@ -146,9 +155,11 @@ pub mod prelude {
     pub use acs_power::{FreqModel, LevelTable, Processor, TransitionOverhead, VoltageLevels};
     pub use acs_preempt::{FullyPreemptiveSchedule, InstanceId, SubInstance, SubInstanceId};
     pub use acs_runtime::{
-        Campaign, CampaignBuilder, CampaignError, CampaignReport, CellReport, CellStats,
-        PolicySpec, ScheduleChoice, WorkloadSpec,
+        AggregateSink, Campaign, CampaignBuilder, CampaignError, CampaignMeta, CampaignReport,
+        CellRecord, CellReport, CellStats, CsvSink, JsonlSink, PolicySpec, ResultSink,
+        ScheduleChoice, Tee, WorkloadSpec,
     };
+    pub use acs_scenario::{Scenario, ScenarioError};
     #[allow(deprecated)]
     pub use acs_sim::DvsPolicy;
     pub use acs_sim::{

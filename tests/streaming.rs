@@ -1,0 +1,147 @@
+//! Acceptance tests for the streaming `ResultSink` campaign API:
+//! streaming-vs-materialized parity at 1, 2 and 8 worker threads,
+//! deterministic byte-identical CSV/JSONL output at any thread count,
+//! in-order record delivery, and tee fan-out equivalence.
+
+use acsched::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn cpu() -> Processor {
+    Processor::builder(FreqModel::linear(50.0).unwrap())
+        .vmin(Volt::from_volts(0.3))
+        .vmax(Volt::from_volts(4.0))
+        .build()
+        .unwrap()
+}
+
+fn random_set(seed: u64) -> TaskSet {
+    let cfg = RandomSetConfig::paper(3, 0.1, Freq::from_cycles_per_ms(200.0));
+    generate(&cfg, &mut StdRng::seed_from_u64(seed)).unwrap()
+}
+
+fn build(threads: usize) -> Campaign {
+    Campaign::builder()
+        .task_set("a", random_set(31))
+        .task_set("b", random_set(32))
+        .processor("linear", cpu())
+        .schedules([ScheduleChoice::Wcs, ScheduleChoice::Acs])
+        .policy(PolicySpec::greedy())
+        .policy(PolicySpec::static_speed())
+        .policy(PolicySpec::ccrm())
+        .workload(WorkloadSpec::Paper)
+        .workload(WorkloadSpec::Uniform)
+        .seeds([1, 2, 3])
+        .hyper_periods(3)
+        .threads(threads)
+        .build()
+        .unwrap()
+}
+
+/// The satellite requirement verbatim: the aggregating `ResultSink`
+/// reproduces the legacy `Campaign::run` report at 1, 2 and 8 threads.
+#[test]
+fn streaming_aggregate_equals_materialized_report_at_1_2_8_threads() {
+    let reference = build(1).run();
+    assert_eq!(reference.failures().count(), 0, "{}", reference.to_table());
+    for threads in [1, 2, 8] {
+        let campaign = build(threads);
+        let mut sink = AggregateSink::new();
+        campaign.run_with(&mut sink).unwrap();
+        let streamed = sink.into_report();
+        assert_eq!(
+            streamed, reference,
+            "streamed report diverged at {threads} threads"
+        );
+        assert_eq!(
+            campaign.run(),
+            reference,
+            "run() wrapper diverged at {threads} threads"
+        );
+    }
+}
+
+/// CSV and JSONL sinks receive records in grid order regardless of the
+/// thread count: the streamed bytes are identical.
+#[test]
+fn csv_and_jsonl_bytes_are_thread_count_independent() {
+    let render = |threads: usize| {
+        let campaign = build(threads);
+        let mut csv = CsvSink::new(Vec::new());
+        let mut jsonl = JsonlSink::new(Vec::new());
+        {
+            let mut tee = Tee::new(vec![&mut csv, &mut jsonl]);
+            campaign.run_with(&mut tee).unwrap();
+        }
+        (csv.into_inner(), jsonl.into_inner())
+    };
+    let (csv1, jsonl1) = render(1);
+    assert!(!csv1.is_empty());
+    let header = String::from_utf8(csv1.clone()).unwrap();
+    assert!(header.starts_with(acsched::runtime::CSV_HEADER));
+    for threads in [2, 8] {
+        let (csv_n, jsonl_n) = render(threads);
+        assert_eq!(csv1, csv_n, "CSV bytes diverged at {threads} threads");
+        assert_eq!(jsonl1, jsonl_n, "JSONL bytes diverged at {threads} threads");
+    }
+}
+
+/// Records arrive strictly in grid order with correct indices and meta.
+#[test]
+fn records_stream_in_grid_order() {
+    struct OrderCheck {
+        meta: Option<CampaignMeta>,
+        indices: Vec<usize>,
+        ended: bool,
+    }
+    impl ResultSink for OrderCheck {
+        fn on_begin(&mut self, meta: &CampaignMeta) -> std::io::Result<()> {
+            self.meta = Some(*meta);
+            Ok(())
+        }
+        fn on_record(&mut self, record: &CellRecord) -> std::io::Result<()> {
+            self.indices.push(record.index);
+            Ok(())
+        }
+        fn on_end(&mut self) -> std::io::Result<()> {
+            self.ended = true;
+            Ok(())
+        }
+    }
+    let campaign = build(8);
+    let mut sink = OrderCheck {
+        meta: None,
+        indices: Vec::new(),
+        ended: false,
+    };
+    campaign.run_with(&mut sink).unwrap();
+    let meta = sink.meta.expect("on_begin called");
+    assert_eq!(meta.cells, campaign.cell_count());
+    assert_eq!(meta.runs, campaign.run_count());
+    assert_eq!(meta.seeds, 3);
+    assert_eq!(
+        sink.indices,
+        (0..campaign.cell_count()).collect::<Vec<_>>(),
+        "records must arrive in grid order"
+    );
+    assert!(sink.ended, "on_end called");
+}
+
+/// A sink error aborts the campaign and surfaces from `run_with`.
+#[test]
+fn sink_error_aborts_run_with() {
+    struct FailOnSecond(usize);
+    impl ResultSink for FailOnSecond {
+        fn on_record(&mut self, _: &CellRecord) -> std::io::Result<()> {
+            self.0 += 1;
+            if self.0 >= 2 {
+                Err(std::io::Error::other("disk full"))
+            } else {
+                Ok(())
+            }
+        }
+    }
+    let campaign = build(4);
+    let err = campaign.run_with(&mut FailOnSecond(0)).unwrap_err();
+    assert!(err.to_string().contains("disk full"));
+}
