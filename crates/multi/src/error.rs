@@ -1,0 +1,58 @@
+//! Error type for partitioning and machine runs.
+
+use std::fmt;
+
+/// An error while partitioning a task set onto cores or running the
+/// per-core simulations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MultiError {
+    /// The requested core count is zero.
+    InvalidCoreCount,
+    /// A task's utilization does not fit on any core under the chosen
+    /// heuristic — the machine is over-committed.
+    Infeasible {
+        /// Name of the task that could not be placed.
+        task: String,
+        /// The task's worst-case utilization at `f_max`.
+        util: f64,
+        /// Number of cores it was offered.
+        cores: usize,
+    },
+    /// Rebuilding a per-core task set violated a model invariant
+    /// (wrapped message).
+    Model(String),
+    /// A per-core simulation failed (wrapped message).
+    Sim(String),
+    /// The number of schedules handed to a machine run does not match
+    /// the number of non-empty cores.
+    ScheduleCount {
+        /// Schedules provided.
+        got: usize,
+        /// Non-empty cores in the partition.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for MultiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MultiError::InvalidCoreCount => {
+                write!(f, "core count must be at least 1")
+            }
+            MultiError::Infeasible { task, util, cores } => write!(
+                f,
+                "task `{task}` (utilization {util:.3}) does not fit on any of {cores} cores \
+                 — the machine is over-committed"
+            ),
+            MultiError::Model(msg) => write!(f, "per-core task set: {msg}"),
+            MultiError::Sim(msg) => write!(f, "per-core simulation: {msg}"),
+            MultiError::ScheduleCount { got, expected } => write!(
+                f,
+                "machine run got {got} schedules for {expected} non-empty cores"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MultiError {}

@@ -1,0 +1,73 @@
+//! # acs-multi
+//!
+//! Partitioned multiprocessor layer for the `acsched` workspace.
+//!
+//! The paper's machinery — offline synthesis, the event-driven engine,
+//! the online [`Policy`](acs_sim::Policy) API — is single-processor.
+//! This crate lifts it to N identical cores the *partitioned* way
+//! (Nélis et al., power-aware scheduling on identical multiprocessors):
+//!
+//! 1. [`partition()`] assigns the task set to cores with a bin-packing
+//!    heuristic over worst-case utilizations ([`PartitionHeuristic`]:
+//!    first-fit / best-fit / worst-fit decreasing);
+//! 2. each core runs the unchanged single-core engine and its own fresh
+//!    policy instance ([`MachineRun`]);
+//! 3. per-core [`SimReport`](acs_sim::SimReport)s are aggregated into a
+//!    [`MachineReport`] with a machine-level
+//!    [`EnergyBreakdown`](acs_sim::EnergyBreakdown) (dynamic vs static
+//!    vs idle — leakage modeling lives in `acs-power`).
+//!
+//! Partitioner choice matters for energy: worst-fit decreasing spreads
+//! load thin, handing every core more slack for DVS to reclaim, while
+//! best-fit packs cores full and leaves whole cores idle (cheap on
+//! platforms that power-gate, expensive when `idle_power > 0`). The
+//! `acs-runtime` campaign axes (`cores`, `partitioners`) sweep exactly
+//! this trade-off.
+//!
+//! ## Example
+//!
+//! ```
+//! use acs_model::{Task, TaskSet, units::{Cycles, Ticks, Volt}};
+//! use acs_multi::{partition, MachineRun, PartitionHeuristic};
+//! use acs_power::{FreqModel, Processor};
+//! use acs_sim::{NoDvs, SimOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let set = TaskSet::new(vec![
+//!     Task::builder("a", Ticks::new(10)).wcec(Cycles::from_cycles(1000.0)).build()?,
+//!     Task::builder("b", Ticks::new(20)).wcec(Cycles::from_cycles(900.0)).build()?,
+//! ])?;
+//! let cpu = Processor::builder(FreqModel::linear(50.0)?)
+//!     .vmin(Volt::from_volts(0.5))
+//!     .vmax(Volt::from_volts(4.0))
+//!     .static_power(5.0)
+//!     .build()?;
+//!
+//! let p = partition(&set, cpu.f_max(), 2, PartitionHeuristic::WorstFitDecreasing)?;
+//! assert_eq!(p.busy_cores(), 2);
+//!
+//! let report = MachineRun {
+//!     partition: &p,
+//!     cpu: &cpu,
+//!     schedules: None,
+//!     options: SimOptions::default(),
+//! }
+//! .run(|| Box::new(NoDvs), &mut |_core, _task, _abs| Cycles::from_cycles(400.0))?;
+//! assert!(report.all_deadlines_met());
+//! let split = report.breakdown();
+//! assert!(split.static_ > acs_model::units::Energy::ZERO);
+//! assert_eq!(split.total(), report.energy());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod machine;
+pub mod partition;
+
+pub use error::MultiError;
+pub use machine::{MachineReport, MachineRun};
+pub use partition::{partition, CoreAssignment, Partition, PartitionHeuristic};

@@ -1,0 +1,272 @@
+//! Running a [`Partition`] on N identical cores: one single-core
+//! [`Simulator`] per core, one fresh [`Policy`] per core, aggregated
+//! into a machine-level report.
+
+use crate::error::MultiError;
+use crate::partition::Partition;
+use acs_core::StaticSchedule;
+use acs_model::units::{Cycles, Energy, TimeSpan};
+use acs_model::TaskId;
+use acs_power::Processor;
+use acs_sim::{EnergyBreakdown, Policy, SimOptions, SimReport, Simulator};
+
+/// One machine run: the partition, the per-core hardware (identical
+/// cores), the per-core schedules and the simulation options.
+///
+/// `options.hyper_periods` counts **machine** hyper-periods; each core
+/// simulates `hyper_periods × machine_hyper_period / core_hyper_period`
+/// of its own hyper-periods, so every core covers exactly the same
+/// wall-clock horizon.
+#[derive(Debug, Clone)]
+pub struct MachineRun<'a> {
+    /// The task-to-core assignment to execute.
+    pub partition: &'a Partition,
+    /// The (identical) per-core processor.
+    pub cpu: &'a Processor,
+    /// One static schedule per **non-empty** core, in core order —
+    /// `None` for schedule-free policies.
+    pub schedules: Option<&'a [StaticSchedule]>,
+    /// Simulation options; `hyper_periods` counts machine hyper-periods.
+    pub options: SimOptions,
+}
+
+/// The aggregated outcome of a [`MachineRun`]: every core's own
+/// [`SimReport`] plus machine-level folds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineReport {
+    /// Per-core reports, in core order (empty cores carry an idle-only
+    /// report: no jobs, `idle_energy = P_idle × horizon`).
+    pub per_core: Vec<SimReport>,
+    /// Machine hyper-periods simulated.
+    pub machine_hyper_periods: u64,
+}
+
+impl MachineReport {
+    /// Total machine energy (sum over cores).
+    pub fn energy(&self) -> Energy {
+        self.per_core.iter().map(|r| r.energy).sum()
+    }
+
+    /// Machine-level energy split, folded over the per-core breakdowns.
+    pub fn breakdown(&self) -> EnergyBreakdown {
+        let mut out = EnergyBreakdown::default();
+        for r in &self.per_core {
+            out.absorb(&r.breakdown());
+        }
+        out
+    }
+
+    /// Per-core total energies, in core order.
+    pub fn per_core_energy(&self) -> Vec<Energy> {
+        self.per_core.iter().map(|r| r.energy).collect()
+    }
+
+    /// Deadline misses summed over all cores.
+    pub fn deadline_misses(&self) -> usize {
+        self.per_core.iter().map(|r| r.deadline_misses).sum()
+    }
+
+    /// `true` when no core missed a deadline.
+    pub fn all_deadlines_met(&self) -> bool {
+        self.deadline_misses() == 0
+    }
+
+    /// Folds the per-core reports into one machine-level [`SimReport`]
+    /// (`hyper_periods` is the machine count, not the per-core sum;
+    /// `per_task_energy` is left empty — task identity is per-core).
+    pub fn to_sim_report(&self) -> SimReport {
+        let mut out = SimReport::empty(0);
+        for r in &self.per_core {
+            let mut flat = r.clone();
+            flat.per_task_energy.clear();
+            out.absorb(&flat);
+        }
+        out.hyper_periods = self.machine_hyper_periods;
+        out
+    }
+}
+
+impl MachineRun<'_> {
+    /// Runs every core and aggregates. `make_policy` is called once per
+    /// non-empty core (policies carry state, so each core needs a fresh
+    /// instance); `workload` is called once per job with the core index,
+    /// the task id *within that core's set*, and the absolute instance
+    /// index of the core's run — give every core an independent,
+    /// deterministic draw stream.
+    ///
+    /// # Errors
+    ///
+    /// [`MultiError::ScheduleCount`] when `schedules` does not line up
+    /// with the non-empty cores; [`MultiError::Sim`] when a core's
+    /// simulation fails (the first failing core aborts the machine).
+    pub fn run(
+        &self,
+        mut make_policy: impl FnMut() -> Box<dyn Policy>,
+        workload: &mut dyn FnMut(usize, TaskId, u64) -> Cycles,
+    ) -> Result<MachineReport, MultiError> {
+        let busy = self.partition.busy_cores();
+        if let Some(schedules) = self.schedules {
+            if schedules.len() != busy {
+                return Err(MultiError::ScheduleCount {
+                    got: schedules.len(),
+                    expected: busy,
+                });
+            }
+        }
+        let horizon_ms =
+            self.options.hyper_periods as f64 * self.partition.machine_hyper_period.get() as f64;
+        let mut per_core = Vec::with_capacity(self.partition.cores.len());
+        let mut sched_idx = 0usize;
+        for (core, assignment) in self.partition.cores.iter().enumerate() {
+            let Some(set) = &assignment.set else {
+                // An empty core only draws idle power over the horizon.
+                let mut idle = SimReport::empty(0);
+                idle.hyper_periods = self.options.hyper_periods;
+                idle.idle_time = TimeSpan::from_ms(horizon_ms);
+                let e = Energy::from_units(self.cpu.idle_power() * horizon_ms);
+                idle.idle_energy = e;
+                idle.energy = e;
+                per_core.push(idle);
+                continue;
+            };
+            let mut sim = Simulator::new(set, self.cpu, make_policy()).with_options(SimOptions {
+                hyper_periods: self.options.hyper_periods * self.partition.hyper_multiplier(core),
+                ..self.options
+            });
+            if let Some(schedules) = self.schedules {
+                sim = sim.with_schedule(&schedules[sched_idx]);
+            }
+            sched_idx += 1;
+            let out = sim
+                .run(&mut |task, abs| workload(core, task, abs))
+                .map_err(|e| MultiError::Sim(format!("core {core}: {e}")))?;
+            per_core.push(out.report);
+        }
+        Ok(MachineReport {
+            per_core,
+            machine_hyper_periods: self.options.hyper_periods,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{partition, PartitionHeuristic};
+    use acs_model::units::{Ticks, Volt};
+    use acs_model::{Task, TaskSet};
+    use acs_power::FreqModel;
+    use acs_sim::NoDvs;
+
+    fn set() -> TaskSet {
+        let mk = |n: &str, period: u64, wcec: f64| {
+            Task::builder(n, Ticks::new(period))
+                .wcec(Cycles::from_cycles(wcec))
+                .build()
+                .unwrap()
+        };
+        TaskSet::new(vec![
+            mk("a", 10, 1000.0),
+            mk("b", 20, 800.0),
+            mk("c", 20, 600.0),
+        ])
+        .unwrap()
+    }
+
+    fn cpu(idle_power: f64) -> Processor {
+        Processor::builder(FreqModel::linear(50.0).unwrap())
+            .vmin(Volt::from_volts(0.5))
+            .vmax(Volt::from_volts(4.0))
+            .idle_power(idle_power)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn machine_energy_equals_sum_of_cores_and_single_core_run() {
+        let set = set();
+        let cpu = cpu(0.0);
+        let p = partition(&set, cpu.f_max(), 2, PartitionHeuristic::WorstFitDecreasing).unwrap();
+        let run = MachineRun {
+            partition: &p,
+            cpu: &cpu,
+            schedules: None,
+            options: SimOptions {
+                hyper_periods: 3,
+                ..Default::default()
+            },
+        };
+        let report = run
+            .run(|| Box::new(NoDvs), &mut |_, _, _| {
+                Cycles::from_cycles(500.0)
+            })
+            .unwrap();
+        assert_eq!(report.per_core.len(), 2);
+        assert!(report.all_deadlines_met());
+        let total: f64 = report.per_core_energy().iter().map(|e| e.as_units()).sum();
+        assert!((report.energy().as_units() - total).abs() < 1e-9);
+        // NoDvs at fixed per-job cycles: splitting tasks over cores does
+        // not change the dynamic energy (same cycles at the same V).
+        let mut single = Simulator::new(&set, &cpu, NoDvs).with_options(SimOptions {
+            hyper_periods: 3,
+            ..Default::default()
+        });
+        let mono = single.run(&mut |_, _| Cycles::from_cycles(500.0)).unwrap();
+        assert!((report.energy().as_units() - mono.report.energy.as_units()).abs() < 1e-6);
+        assert_eq!(report.to_sim_report().hyper_periods, 3);
+    }
+
+    #[test]
+    fn empty_cores_draw_idle_power_over_the_horizon() {
+        let set = set();
+        let cpu = cpu(2.0);
+        // 8 cores for 3 tasks: at least 5 fully idle cores.
+        let p = partition(&set, cpu.f_max(), 8, PartitionHeuristic::FirstFitDecreasing).unwrap();
+        let run = MachineRun {
+            partition: &p,
+            cpu: &cpu,
+            schedules: None,
+            options: SimOptions {
+                hyper_periods: 2,
+                ..Default::default()
+            },
+        };
+        let report = run
+            .run(|| Box::new(NoDvs), &mut |_, _, _| {
+                Cycles::from_cycles(100.0)
+            })
+            .unwrap();
+        let horizon = 2.0 * set.hyper_period().get() as f64;
+        for (core, r) in report.per_core.iter().enumerate() {
+            if p.cores[core].set.is_none() {
+                assert_eq!(r.jobs_completed, 0);
+                assert!((r.idle_energy.as_units() - 2.0 * horizon).abs() < 1e-9);
+            }
+            // Every core idles somewhere; all idle time is charged.
+            assert!(
+                (r.idle_energy.as_units() - 2.0 * r.idle_time.as_ms()).abs() < 1e-9,
+                "core {core}"
+            );
+        }
+        let b = report.breakdown();
+        assert!(b.idle > Energy::ZERO);
+        assert_eq!(b.total(), report.energy());
+    }
+
+    #[test]
+    fn schedule_count_mismatch_rejected() {
+        let set = set();
+        let cpu = cpu(0.0);
+        let p = partition(&set, cpu.f_max(), 2, PartitionHeuristic::FirstFitDecreasing).unwrap();
+        let run = MachineRun {
+            partition: &p,
+            cpu: &cpu,
+            schedules: Some(&[]),
+            options: SimOptions::default(),
+        };
+        let err = run
+            .run(|| Box::new(NoDvs), &mut |_, _, _| Cycles::from_cycles(1.0))
+            .unwrap_err();
+        assert!(matches!(err, MultiError::ScheduleCount { .. }), "{err}");
+    }
+}

@@ -11,7 +11,12 @@
 //!   with the motivational example's simplification `f = κ·V`
 //!   ([`FreqModel::Linear`]);
 //! * dynamic energy `E = C_eff · V² · N` for `N` executed cycles —
-//!   [`Processor::energy`].
+//!   [`Processor::energy`];
+//! * optionally, a static (leakage) term: `P(f) = C_eff·V(f)²·f +
+//!   P_static` while executing and `P_idle` while idling, with the
+//!   derived [`Processor::critical_speed`] below which slowing down
+//!   stops saving energy (see `docs/POWER_MODEL.md`). Both default to
+//!   zero — the paper's model.
 //!
 //! ## Example
 //!

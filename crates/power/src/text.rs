@@ -16,6 +16,14 @@
 //! The alpha-power law serializes as `model alpha <k> <vth> <alpha>`.
 //! Numbers use Rust's shortest round-trip `f64` formatting, so
 //! `from_text(&to_text(cpu))` reproduces the processor exactly.
+//!
+//! The leakage directives (`static_power`, `idle_power`,
+//! `level_static_power`) are additive within `v1` — the documented
+//! evolution path for these artifacts: pre-leakage files parse
+//! unchanged, and files using the new directives fail loudly on old
+//! parsers via the unrecognized-directive error. (The scenario format
+//! bumped to `v2` instead because its additions change campaign
+//! *semantics*, not just the hardware description.)
 
 use crate::error::PowerError;
 use crate::freq::FreqModel;
@@ -55,6 +63,16 @@ pub fn to_text(cpu: &Processor) -> String {
             overhead.energy.as_units()
         );
     }
+    if cpu.static_power() > 0.0 {
+        let _ = writeln!(out, "static_power {}", cpu.static_power());
+    }
+    if cpu.idle_power() > 0.0 {
+        let _ = writeln!(out, "idle_power {}", cpu.idle_power());
+    }
+    if let Some(powers) = cpu.level_static_power() {
+        let joined: Vec<String> = powers.iter().map(f64::to_string).collect();
+        let _ = writeln!(out, "level_static_power {}", joined.join(" "));
+    }
     out
 }
 
@@ -92,6 +110,9 @@ pub fn from_text(text: &str) -> Result<Processor, PowerError> {
     let mut vmax: Option<f64> = None;
     let mut levels: Option<Vec<f64>> = None;
     let mut overhead: Option<(f64, f64)> = None;
+    let mut static_power: Option<f64> = None;
+    let mut idle_power: Option<f64> = None;
+    let mut level_static_power: Option<Vec<f64>> = None;
     for line in lines {
         let fields: Vec<&str> = line.split_whitespace().collect();
         let dup = |key: &str| bad(format!("duplicate directive `{key}`"));
@@ -136,6 +157,22 @@ pub fn from_text(text: &str) -> Result<Processor, PowerError> {
                     return Err(dup("overhead"));
                 }
             }
+            ["static_power", p] => {
+                if static_power.replace(parse_f(p)?).is_some() {
+                    return Err(dup("static_power"));
+                }
+            }
+            ["idle_power", p] => {
+                if idle_power.replace(parse_f(p)?).is_some() {
+                    return Err(dup("idle_power"));
+                }
+            }
+            ["level_static_power", rest @ ..] if !rest.is_empty() => {
+                let parsed: Vec<f64> = rest.iter().map(|s| parse_f(s)).collect::<Result<_, _>>()?;
+                if level_static_power.replace(parsed).is_some() {
+                    return Err(dup("level_static_power"));
+                }
+            }
             _ => return Err(bad(format!("unrecognized directive `{line}`"))),
         }
     }
@@ -155,6 +192,15 @@ pub fn from_text(text: &str) -> Result<Processor, PowerError> {
             time: TimeSpan::from_ms(time_ms),
             energy: Energy::from_units(energy),
         });
+    }
+    if let Some(p) = static_power {
+        builder = builder.static_power(p);
+    }
+    if let Some(p) = idle_power {
+        builder = builder.idle_power(p);
+    }
+    if let Some(powers) = level_static_power {
+        builder = builder.level_static_power(powers);
     }
     builder.build()
 }
@@ -179,6 +225,9 @@ mod tests {
                 time: TimeSpan::from_ms(0.001),
                 energy: Energy::from_units(1.25),
             })
+            .static_power(12.5)
+            .idle_power(0.5)
+            .level_static_power(vec![4.0, 8.0, 12.5])
             .build()
             .unwrap()
     }
@@ -206,7 +255,8 @@ mod tests {
         assert_eq!(
             text,
             "acsched-processor v1\nmodel alpha 120 0.8 1.6\nvmin 1\nvmax 4\n\
-             levels 1.5 2.5 4\noverhead 0.001 1.25\n"
+             levels 1.5 2.5 4\noverhead 0.001 1.25\nstatic_power 12.5\n\
+             idle_power 0.5\nlevel_static_power 4 8 12.5\n"
         );
         // Optional directives are omitted for a plain continuous CPU.
         let plain = Processor::builder(FreqModel::linear(50.0).unwrap())

@@ -1,8 +1,9 @@
 //! # acs-runtime
 //!
 //! Batch experiment runner for the `acsched` workspace: the [`Campaign`]
-//! builder composes **task sets × processors × schedule kinds × policies
-//! × workload distributions × seeds** into a cartesian experiment grid,
+//! builder composes **task sets × processors × cores × partitioners ×
+//! schedule kinds × policies × workload distributions × seeds** into a
+//! cartesian experiment grid,
 //! executes every run on a scoped thread pool, and either aggregates the
 //! outcomes into a deterministic [`CampaignReport`] (per-cell mean/p95
 //! energy, deadline misses, ACS-vs-WCS gains) or **streams** one
@@ -62,6 +63,7 @@ pub mod pool;
 pub mod report;
 pub mod sink;
 
+pub use acs_multi::PartitionHeuristic;
 pub use campaign::{
     Campaign, CampaignBuilder, CampaignError, PolicySpec, ScheduleChoice, WorkloadSpec,
 };

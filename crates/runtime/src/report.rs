@@ -15,6 +15,17 @@ pub struct CellStats {
     pub std_energy: f64,
     /// 95th-percentile per-run energy.
     pub p95_energy: Energy,
+    /// Mean dynamic (switching) energy per run — `mean_energy` minus
+    /// the static and idle components.
+    pub mean_dynamic_energy: Energy,
+    /// Mean static (leakage) energy per run (0 on lossless processors).
+    pub mean_static_energy: Energy,
+    /// Mean idle energy per run (0 under the paper's shutdown
+    /// assumption).
+    pub mean_idle_energy: Energy,
+    /// Mean total energy per core (in core order; one entry for
+    /// single-core cells). Shows how the partitioner spread the load.
+    pub per_core_mean_energy: Vec<f64>,
     /// Deadline misses summed over all runs.
     pub deadline_misses: usize,
     /// Jobs completed summed over all runs.
@@ -61,6 +72,12 @@ pub struct CellReport {
     pub task_set: String,
     /// Processor name.
     pub processor: String,
+    /// Number of identical cores the cell ran on (1 = the classic
+    /// single-processor runs).
+    pub cores: usize,
+    /// Partitioner label (`"ffd"`/`"bfd"`/`"wfd"`; `"-"` on single-core
+    /// cells, where there is nothing to partition).
+    pub partition: String,
     /// Schedule the cell ran under.
     pub schedule: ScheduleChoice,
     /// Policy name.
@@ -104,7 +121,10 @@ impl CampaignReport {
             .filter_map(|c| c.outcome.as_ref().err().map(|e| (c, e.as_str())))
     }
 
-    /// Finds the first cell matching the given coordinates.
+    /// Finds the first cell matching the given coordinates (on grids
+    /// with a cores/partitioner axis, the first match in grid order —
+    /// filter [`CampaignReport::cells`] directly to select a specific
+    /// core count).
     pub fn find(
         &self,
         task_set: &str,
@@ -146,24 +166,27 @@ impl CampaignReport {
     /// policy, workload) coordinate that has both schedule cells. One
     /// keyed pass — O(cells) even on paper-scale grids.
     pub fn gains(&self) -> Vec<(&CellReport, f64)> {
+        fn key(c: &CellReport) -> (&str, &str, usize, &str, &str, &str) {
+            (
+                &c.task_set,
+                &c.processor,
+                c.cores,
+                &c.partition,
+                &c.policy,
+                &c.workload,
+            )
+        }
         let wcs_mean: std::collections::HashMap<_, _> = self
             .cells
             .iter()
             .filter(|c| c.schedule == ScheduleChoice::Wcs)
-            .filter_map(|c| {
-                c.stats().map(|s| {
-                    (
-                        (&c.task_set, &c.processor, &c.policy, &c.workload),
-                        s.mean_energy,
-                    )
-                })
-            })
+            .filter_map(|c| c.stats().map(|s| (key(c), s.mean_energy)))
             .collect();
         self.cells
             .iter()
             .filter(|c| c.schedule == ScheduleChoice::Acs)
             .filter_map(|c| {
-                let wcs = wcs_mean.get(&(&c.task_set, &c.processor, &c.policy, &c.workload))?;
+                let wcs = wcs_mean.get(&key(c))?;
                 let acs = c.stats()?;
                 Some((c, improvement_over(*wcs, acs.mean_energy)))
             })
@@ -199,13 +222,21 @@ impl CampaignReport {
         }
     }
 
-    /// Renders an aligned text table of every cell.
+    /// Renders an aligned text table of every cell. The `cores` column
+    /// shows `N:partitioner` on multicore cells; the static/idle energy
+    /// columns appear only when some cell actually drew leakage or idle
+    /// power.
     pub fn to_table(&self) -> String {
+        let leaky =
+            self.cells.iter().filter_map(|c| c.stats()).any(|s| {
+                s.mean_static_energy.as_units() > 0.0 || s.mean_idle_energy.as_units() > 0.0
+            });
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<18} {:<12} {:>5} {:<10} {:<16} {:>12} {:>10} {:>12} {:>7}\n",
+            "{:<18} {:<12} {:>7} {:>5} {:<10} {:<16} {:>12} {:>10} {:>12} {:>7}",
             "task set",
             "processor",
+            "cores",
             "sched",
             "policy",
             "workload",
@@ -214,24 +245,45 @@ impl CampaignReport {
             "p95 E",
             "misses"
         ));
+        if leaky {
+            out.push_str(&format!(" {:>12} {:>12}", "static E", "idle E"));
+        }
+        out.push('\n');
         for c in &self.cells {
+            let cores = if c.cores == 1 {
+                "1".to_string()
+            } else {
+                format!("{}:{}", c.cores, c.partition)
+            };
             match &c.outcome {
-                Ok(s) => out.push_str(&format!(
-                    "{:<18} {:<12} {:>5} {:<10} {:<16} {:>12.1} {:>10.1} {:>12.1} {:>7}\n",
-                    c.task_set,
-                    c.processor,
-                    c.schedule.label(),
-                    c.policy,
-                    c.workload,
-                    s.mean_energy.as_units(),
-                    s.std_energy,
-                    s.p95_energy.as_units(),
-                    s.deadline_misses,
-                )),
+                Ok(s) => {
+                    out.push_str(&format!(
+                        "{:<18} {:<12} {:>7} {:>5} {:<10} {:<16} {:>12.1} {:>10.1} {:>12.1} {:>7}",
+                        c.task_set,
+                        c.processor,
+                        cores,
+                        c.schedule.label(),
+                        c.policy,
+                        c.workload,
+                        s.mean_energy.as_units(),
+                        s.std_energy,
+                        s.p95_energy.as_units(),
+                        s.deadline_misses,
+                    ));
+                    if leaky {
+                        out.push_str(&format!(
+                            " {:>12.1} {:>12.1}",
+                            s.mean_static_energy.as_units(),
+                            s.mean_idle_energy.as_units()
+                        ));
+                    }
+                    out.push('\n');
+                }
                 Err(e) => out.push_str(&format!(
-                    "{:<18} {:<12} {:>5} {:<10} {:<16} FAILED: {}\n",
+                    "{:<18} {:<12} {:>7} {:>5} {:<10} {:<16} FAILED: {}\n",
                     c.task_set,
                     c.processor,
+                    cores,
                     c.schedule.label(),
                     c.policy,
                     c.workload,
@@ -269,6 +321,10 @@ mod tests {
             mean_energy: Energy::from_units(mean),
             std_energy: 0.0,
             p95_energy: Energy::from_units(mean),
+            mean_dynamic_energy: Energy::from_units(mean),
+            mean_static_energy: Energy::ZERO,
+            mean_idle_energy: Energy::ZERO,
+            per_core_mean_energy: vec![mean],
             deadline_misses: 0,
             jobs_completed: 10,
             saturated_dispatches: 0,
@@ -286,6 +342,8 @@ mod tests {
         CellReport {
             task_set: "s".into(),
             processor: "p".into(),
+            cores: 1,
+            partition: "-".into(),
             schedule,
             policy: "greedy".into(),
             workload: "paper-normal".into(),

@@ -110,10 +110,16 @@ impl ResultSink for AggregateSink {
 }
 
 /// The column header emitted by [`CsvSink`] (no trailing newline).
+///
+/// The multicore/leakage columns (`cores` through `per_core_energy`)
+/// are appended after the original layout, so positional consumers of
+/// pre-0.2 CSVs keep working; `per_core_energy` is a `;`-joined list of
+/// per-core mean energies, in core order.
 pub const CSV_HEADER: &str = "task_set,processor,schedule,policy,workload,status,error,\
      runs,mean_energy,std_energy,p95_energy,deadline_misses,jobs_completed,\
      saturated_dispatches,voltage_switches,clamped_draws,worst_lateness_ms,\
-     solver_lookups,solver_cache_hits,boundary_resolves,resolves_adopted";
+     solver_lookups,solver_cache_hits,boundary_resolves,resolves_adopted,\
+     cores,partition,dynamic_energy,static_energy,idle_energy,per_core_energy";
 
 /// Quotes a CSV field when it contains a comma, quote or newline
 /// (RFC-4180 style: embedded quotes doubled).
@@ -162,28 +168,37 @@ impl<W: Write> ResultSink for CsvSink<W> {
             csv_field(&c.workload),
         ]
         .join(",");
+        let cores = format!("{},{}", c.cores, csv_field(&c.partition));
         match &c.outcome {
-            Ok(s) => writeln!(
-                self.writer,
-                "{coords},ok,,{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
-                s.runs,
-                s.mean_energy.as_units(),
-                s.std_energy,
-                s.p95_energy.as_units(),
-                s.deadline_misses,
-                s.jobs_completed,
-                s.saturated_dispatches,
-                s.voltage_switches,
-                s.clamped_draws,
-                s.worst_lateness_ms,
-                s.solver_lookups,
-                s.solver_cache_hits,
-                s.boundary_resolves,
-                s.resolves_adopted,
-            ),
+            Ok(s) => {
+                let per_core: Vec<String> =
+                    s.per_core_mean_energy.iter().map(f64::to_string).collect();
+                writeln!(
+                    self.writer,
+                    "{coords},ok,,{},{},{},{},{},{},{},{},{},{},{},{},{},{},{cores},{},{},{},{}",
+                    s.runs,
+                    s.mean_energy.as_units(),
+                    s.std_energy,
+                    s.p95_energy.as_units(),
+                    s.deadline_misses,
+                    s.jobs_completed,
+                    s.saturated_dispatches,
+                    s.voltage_switches,
+                    s.clamped_draws,
+                    s.worst_lateness_ms,
+                    s.solver_lookups,
+                    s.solver_cache_hits,
+                    s.boundary_resolves,
+                    s.resolves_adopted,
+                    s.mean_dynamic_energy.as_units(),
+                    s.mean_static_energy.as_units(),
+                    s.mean_idle_energy.as_units(),
+                    csv_field(&per_core.join(";")),
+                )
+            }
             Err(e) => writeln!(
                 self.writer,
-                "{coords},failed,{},,,,,,,,,,,,,,",
+                "{coords},failed,{},,,,,,,,,,,,,,,{cores},,,,",
                 csv_field(e)
             ),
         }
@@ -236,11 +251,14 @@ impl<W: Write> ResultSink for JsonlSink<W> {
     fn on_record(&mut self, record: &CellRecord) -> io::Result<()> {
         let c = &record.cell;
         let coords = format!(
-            "\"index\":{},\"task_set\":\"{}\",\"processor\":\"{}\",\"schedule\":\"{}\",\
+            "\"index\":{},\"task_set\":\"{}\",\"processor\":\"{}\",\"cores\":{},\
+             \"partition\":\"{}\",\"schedule\":\"{}\",\
              \"policy\":\"{}\",\"workload\":\"{}\"",
             record.index,
             json_escape(&c.task_set),
             json_escape(&c.processor),
+            c.cores,
+            json_escape(&c.partition),
             c.schedule.label(),
             json_escape(&c.policy),
             json_escape(&c.workload),
@@ -265,8 +283,11 @@ impl<W: Write> ResultSink for JsonlSink<W> {
 }
 
 fn stats_json(s: &CellStats) -> String {
+    let per_core: Vec<String> = s.per_core_mean_energy.iter().map(f64::to_string).collect();
     format!(
         "{{\"runs\":{},\"mean_energy\":{},\"std_energy\":{},\"p95_energy\":{},\
+         \"dynamic_energy\":{},\"static_energy\":{},\"idle_energy\":{},\
+         \"per_core_energy\":[{}],\
          \"deadline_misses\":{},\"jobs_completed\":{},\"saturated_dispatches\":{},\
          \"voltage_switches\":{},\"clamped_draws\":{},\"worst_lateness_ms\":{},\
          \"solver_lookups\":{},\"solver_cache_hits\":{},\"boundary_resolves\":{},\
@@ -275,6 +296,10 @@ fn stats_json(s: &CellStats) -> String {
         s.mean_energy.as_units(),
         s.std_energy,
         s.p95_energy.as_units(),
+        s.mean_dynamic_energy.as_units(),
+        s.mean_static_energy.as_units(),
+        s.mean_idle_energy.as_units(),
+        per_core.join(","),
         s.deadline_misses,
         s.jobs_completed,
         s.saturated_dispatches,
@@ -346,6 +371,8 @@ mod tests {
             cell: CellReport {
                 task_set: "s,1".into(),
                 processor: "p".into(),
+                cores: 2,
+                partition: "ffd".into(),
                 schedule: ScheduleChoice::Wcs,
                 policy: "greedy".into(),
                 workload: "paper-normal".into(),
@@ -355,6 +382,10 @@ mod tests {
                         mean_energy: Energy::from_units(12.5),
                         std_energy: 0.5,
                         p95_energy: Energy::from_units(13.0),
+                        mean_dynamic_energy: Energy::from_units(10.0),
+                        mean_static_energy: Energy::from_units(2.0),
+                        mean_idle_energy: Energy::from_units(0.5),
+                        per_core_mean_energy: vec![7.5, 5.0],
                         deadline_misses: 0,
                         jobs_completed: 20,
                         saturated_dispatches: 1,
@@ -401,8 +432,18 @@ mod tests {
             lines[1]
         );
         assert!(
+            lines[1].ends_with(",2,ffd,10,2,0.5,7.5;5"),
+            "multicore/leakage columns are appended: {}",
+            lines[1]
+        );
+        assert!(
             lines[2].contains("failed,\"synthesis: \"\"boom\"\"\""),
             "{}",
+            lines[2]
+        );
+        assert!(
+            lines[2].ends_with(",2,ffd,,,,"),
+            "failed rows still carry the cores coordinates: {}",
             lines[2]
         );
         // Every row has the header's column count.
@@ -430,8 +471,12 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[0].contains("\"task_set\":\"s,1\""));
+        assert!(lines[0].contains("\"cores\":2"));
+        assert!(lines[0].contains("\"partition\":\"ffd\""));
         assert!(lines[0].contains("\"ok\":true"));
         assert!(lines[0].contains("\"mean_energy\":12.5"));
+        assert!(lines[0].contains("\"static_energy\":2"));
+        assert!(lines[0].contains("\"per_core_energy\":[7.5,5]"));
         assert!(lines[1].contains("\"ok\":false"));
         assert!(lines[1].contains("\\\"boom\\\""));
         for line in lines {

@@ -2,9 +2,12 @@
 //!
 //! Declarative experiment scenarios for the `acsched` workspace:
 //! a whole [`Campaign`](acs_runtime::Campaign) — task sets, processors,
-//! schedules, policies, workload distributions, seeds, hyper-periods,
-//! threads — described as a versioned, line-oriented **text file**
-//! instead of Rust code.
+//! cores and partitioners (`v2`), schedules, policies, workload
+//! distributions, seeds, hyper-periods, threads — described as a
+//! versioned, line-oriented **text file** instead of Rust code.
+//! `acsched-scenario v2` adds the multiprocessor axis (`cores N
+//! partition=ffd,wfd`) and leakage-aware processors
+//! (`static_power=`/`idle_power=`); every `v1` file stays valid.
 //!
 //! Same philosophy as the `acsched-schedule v1` artifact in
 //! `acs-core::export`: diff-able, greppable, hand-editable, no serde
@@ -52,5 +55,6 @@ pub mod scenario;
 
 pub use error::ScenarioError;
 pub use scenario::{
-    ModelDecl, PolicyDecl, ProcessorDecl, Scenario, SynthProfile, TaskDecl, TaskSetDecl,
+    ModelDecl, PolicyDecl, ProcessorDecl, Scenario, StaticPowerDecl, SynthProfile, TaskDecl,
+    TaskSetDecl,
 };

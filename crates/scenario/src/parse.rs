@@ -2,9 +2,10 @@
 
 use crate::error::ScenarioError;
 use crate::scenario::{
-    ModelDecl, PolicyDecl, ProcessorDecl, Scenario, SynthProfile, TaskDecl, TaskSetDecl,
+    ModelDecl, PolicyDecl, ProcessorDecl, Scenario, StaticPowerDecl, SynthProfile, TaskDecl,
+    TaskSetDecl,
 };
-use acs_runtime::{ScheduleChoice, WorkloadSpec};
+use acs_runtime::{PartitionHeuristic, ScheduleChoice, WorkloadSpec};
 
 /// Key=value argument list of one directive, with unknown-key detection.
 struct Kv<'a> {
@@ -197,7 +198,11 @@ fn parse_overhead(kv: &Kv<'_>, val: &str) -> Result<(f64, f64), ScenarioError> {
     ))
 }
 
-fn parse_processor(ln: usize, tokens: &[&str]) -> Result<ProcessorDecl, ScenarioError> {
+fn parse_processor(
+    ln: usize,
+    tokens: &[&str],
+    version: u32,
+) -> Result<ProcessorDecl, ScenarioError> {
     let [name, model_kind, rest @ ..] = tokens else {
         return Err(ScenarioError::at(
             ln,
@@ -225,22 +230,92 @@ fn parse_processor(ln: usize, tokens: &[&str]) -> Result<ProcessorDecl, Scenario
             ))
         }
     };
+    let levels = match kv.opt("levels") {
+        Some(val) => Some(parse_levels(&kv, val)?),
+        None => None,
+    };
+    let overhead = match kv.opt("overhead") {
+        Some(val) => Some(parse_overhead(&kv, val)?),
+        None => None,
+    };
+    let mut static_power = None;
+    let mut idle_power = None;
+    if version >= 2 {
+        static_power = match kv.opt("static_power") {
+            Some(val) => Some(parse_static_power(&kv, name, val, levels.as_deref())?),
+            None => None,
+        };
+        idle_power = kv.opt_f64("idle_power")?;
+        if let Some(p) = idle_power {
+            if p < 0.0 {
+                return Err(ScenarioError::at(
+                    ln,
+                    format!("processor `{name}`: idle_power must be non-negative, got {p}"),
+                ));
+            }
+        }
+    } else if rest
+        .iter()
+        .any(|t| t.starts_with("static_power=") || t.starts_with("idle_power="))
+    {
+        return Err(ScenarioError::at(
+            ln,
+            format!(
+                "processor `{name}`: static_power/idle_power need the \
+                 `acsched-scenario v2` header"
+            ),
+        ));
+    }
     let decl = ProcessorDecl {
         name: name.to_string(),
         model,
         vmin: kv.req_f64("vmin")?,
         vmax: kv.req_f64("vmax")?,
-        levels: match kv.opt("levels") {
-            Some(val) => Some(parse_levels(&kv, val)?),
-            None => None,
-        },
-        overhead: match kv.opt("overhead") {
-            Some(val) => Some(parse_overhead(&kv, val)?),
-            None => None,
-        },
+        levels,
+        overhead,
+        static_power,
+        idle_power,
     };
     kv.done()?;
     Ok(decl)
+}
+
+/// Parses a `static_power=` value: a single power, or one per discrete
+/// level (`0.1,0.2,0.4` with a matching `levels=` table).
+fn parse_static_power(
+    kv: &Kv<'_>,
+    name: &str,
+    val: &str,
+    levels: Option<&[f64]>,
+) -> Result<StaticPowerDecl, ScenarioError> {
+    let powers: Vec<f64> = val
+        .split(',')
+        .map(|part| kv.f64_of("static_power", part))
+        .collect::<Result<_, _>>()?;
+    if let Some(bad) = powers.iter().find(|p| **p < 0.0) {
+        return Err(ScenarioError::at(
+            kv.ln,
+            format!("processor `{name}`: static_power must be non-negative, got {bad}"),
+        ));
+    }
+    if powers.len() == 1 {
+        return Ok(StaticPowerDecl::Uniform(powers[0]));
+    }
+    match levels {
+        Some(table) if table.len() == powers.len() => Ok(StaticPowerDecl::PerLevel(powers)),
+        Some(table) => Err(ScenarioError::at(
+            kv.ln,
+            format!(
+                "processor `{name}`: {} static_power entries for {} levels",
+                powers.len(),
+                table.len()
+            ),
+        )),
+        None => Err(ScenarioError::at(
+            kv.ln,
+            format!("processor `{name}`: per-level static_power needs a `levels=` table"),
+        )),
+    }
 }
 
 fn parse_policy(ln: usize, tokens: &[&str]) -> Result<PolicyDecl, ScenarioError> {
@@ -328,16 +403,26 @@ pub(crate) fn parse(text: &str) -> Result<Scenario, ScenarioError> {
         .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
 
     let (header_ln, header) = lines.next().ok_or_else(|| {
-        ScenarioError::msg("empty scenario (missing `acsched-scenario v1` header)")
+        ScenarioError::msg("empty scenario (missing `acsched-scenario v1|v2` header)")
     })?;
-    if header != "acsched-scenario v1" {
-        return Err(ScenarioError::at(
-            header_ln,
-            format!("unsupported header `{header}` (expected `acsched-scenario v1`)"),
-        ));
-    }
+    let version = match header {
+        "acsched-scenario v1" => 1,
+        "acsched-scenario v2" => 2,
+        other => {
+            return Err(ScenarioError::at(
+                header_ln,
+                format!(
+                    "unsupported header `{other}` (expected `acsched-scenario v1` or \
+                     `acsched-scenario v2`)"
+                ),
+            ))
+        }
+    };
 
-    let mut sc = Scenario::default();
+    let mut sc = Scenario {
+        version,
+        ..Scenario::default()
+    };
     // (opening line, name, tasks) of the inline task-set block under
     // construction, if any.
     let mut inline: Option<(usize, String, Vec<TaskDecl>)> = None;
@@ -430,7 +515,62 @@ pub(crate) fn parse(text: &str) -> Result<Scenario, ScenarioError> {
                     format!("`{}` outside a `taskset <name>` ... `end` block", tokens[0]),
                 ))
             }
-            "processor" => sc.processors.push(parse_processor(ln, &tokens[1..])?),
+            "processor" => sc
+                .processors
+                .push(parse_processor(ln, &tokens[1..], version)?),
+            "cores" => {
+                singleton(ln, "cores")?;
+                if version < 2 {
+                    return Err(ScenarioError::at(
+                        ln,
+                        "`cores` needs the `acsched-scenario v2` header".to_string(),
+                    ));
+                }
+                if tokens.len() == 1 {
+                    return Err(ScenarioError::at(
+                        ln,
+                        "cores: expected at least one core count \
+                         (`cores <n>... [partition=<ffd|bfd|wfd>[,...]]`)"
+                            .to_string(),
+                    ));
+                }
+                for tok in &tokens[1..] {
+                    if let Some(list) = tok.strip_prefix("partition=") {
+                        if !sc.partitioners.is_empty() {
+                            return Err(ScenarioError::at(
+                                ln,
+                                "cores: duplicate key `partition`".to_string(),
+                            ));
+                        }
+                        for part in list.split(',') {
+                            let h: PartitionHeuristic = part.parse().map_err(|e: String| {
+                                ScenarioError::at(ln, format!("cores: {e}"))
+                            })?;
+                            if sc.partitioners.contains(&h) {
+                                return Err(ScenarioError::at(
+                                    ln,
+                                    format!("cores: partitioner `{h}` listed twice"),
+                                ));
+                            }
+                            sc.partitioners.push(h);
+                        }
+                    } else {
+                        let n: usize = tok.parse().ok().filter(|n| *n >= 1).ok_or_else(|| {
+                            ScenarioError::at(
+                                ln,
+                                format!("cores: `{tok}` is not a positive core count"),
+                            )
+                        })?;
+                        sc.cores.push(n);
+                    }
+                }
+                if sc.cores.is_empty() {
+                    return Err(ScenarioError::at(
+                        ln,
+                        "cores: expected at least one core count before `partition=`".to_string(),
+                    ));
+                }
+            }
             "schedules" => {
                 singleton(ln, "schedules")?;
                 if tokens.len() == 1 {
@@ -564,8 +704,8 @@ pub(crate) fn parse(text: &str) -> Result<Scenario, ScenarioError> {
                     ln,
                     format!(
                         "unknown directive `{other}` (known: taskset, tasksets, processor, \
-                         schedules, policy, workload, seeds, hyper_periods, deadline_tol_ms, \
-                         synthesis, acs_multistart, threads)"
+                         cores, schedules, policy, workload, seeds, hyper_periods, \
+                         deadline_tol_ms, synthesis, acs_multistart, threads)"
                     ),
                 ))
             }

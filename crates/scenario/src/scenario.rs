@@ -6,7 +6,9 @@ use acs_core::SynthesisOptions;
 use acs_model::units::{Cycles, Energy, Freq, Ticks, TimeSpan, Volt};
 use acs_model::{Task, TaskSet};
 use acs_power::{FreqModel, LevelTable, Processor};
-use acs_runtime::{Campaign, CampaignBuilder, PolicySpec, ScheduleChoice, WorkloadSpec};
+use acs_runtime::{
+    Campaign, CampaignBuilder, PartitionHeuristic, PolicySpec, ScheduleChoice, WorkloadSpec,
+};
 use acs_sim::ReOptConfig;
 use acs_workloads::{paper_set_batch, real_life};
 
@@ -93,6 +95,16 @@ pub enum ModelDecl {
     },
 }
 
+/// Static (leakage) power of a processor declaration (`v2`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum StaticPowerDecl {
+    /// One value for every operating point (`static_power=0.5`).
+    Uniform(f64),
+    /// One value per discrete level (`static_power=0.1,0.2,0.4` with a
+    /// matching `levels=` table).
+    PerLevel(Vec<f64>),
+}
+
 /// One processor declaration of a scenario.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProcessorDecl {
@@ -110,6 +122,11 @@ pub struct ProcessorDecl {
     /// Per-switch transition overhead `(time_ms, energy)`; `None` =
     /// free switching.
     pub overhead: Option<(f64, f64)>,
+    /// Static (leakage) power while executing, energy units per ms
+    /// (`v2`; `None` = the paper's lossless model).
+    pub static_power: Option<StaticPowerDecl>,
+    /// Idle power while not shut down, energy units per ms (`v2`).
+    pub idle_power: Option<f64>,
 }
 
 /// One online-policy declaration of a scenario.
@@ -198,13 +215,24 @@ pub enum SynthProfile {
 /// Obtain one with [`Scenario::from_text`] / [`Scenario::load`],
 /// inspect or edit the declarations, serialize back with
 /// [`Scenario::to_text`] (canonical form; `parse → to_text → parse` is
-/// a fixpoint), and materialize with [`Scenario::to_campaign`].
-#[derive(Debug, Clone, PartialEq, Default)]
+/// a fixpoint, per version), and materialize with
+/// [`Scenario::to_campaign`].
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
+    /// Format version the scenario was parsed from (1 or 2). `v2` adds
+    /// the `cores` directive and the `static_power=`/`idle_power=`
+    /// processor keys; [`Scenario::to_text`] refuses to serialize those
+    /// features under version 1 rather than emitting text an old parser
+    /// would reject with an unhelpful error.
+    pub version: u32,
     /// Task-set declarations (grid rows, in order).
     pub task_sets: Vec<TaskSetDecl>,
     /// Processor declarations (grid columns, in order).
     pub processors: Vec<ProcessorDecl>,
+    /// Core-count axis (`v2`); empty = single core.
+    pub cores: Vec<usize>,
+    /// Partitioner axis (`v2`); empty = first-fit decreasing.
+    pub partitioners: Vec<PartitionHeuristic>,
     /// Schedule axis; empty = the campaign builder's default.
     pub schedules: Vec<ScheduleChoice>,
     /// Policy declarations.
@@ -223,6 +251,29 @@ pub struct Scenario {
     pub acs_multistart: bool,
     /// Worker threads; `None` = available parallelism.
     pub threads: Option<usize>,
+}
+
+impl Default for Scenario {
+    /// An empty `v1` scenario; bump [`Scenario::version`] to 2 before
+    /// using the multicore/leakage fields programmatically.
+    fn default() -> Self {
+        Scenario {
+            version: 1,
+            task_sets: Vec::new(),
+            processors: Vec::new(),
+            cores: Vec::new(),
+            partitioners: Vec::new(),
+            schedules: Vec::new(),
+            policies: Vec::new(),
+            workloads: Vec::new(),
+            seeds: Vec::new(),
+            hyper_periods: None,
+            deadline_tol_ms: None,
+            synthesis: None,
+            acs_multistart: false,
+            threads: None,
+        }
+    }
 }
 
 /// Rejects names the line-oriented, whitespace-split format cannot
@@ -302,8 +353,21 @@ impl Scenario {
     /// reparse.
     pub fn to_text(&self) -> Result<String, ScenarioError> {
         use std::fmt::Write as _;
+        if self.version < 2 {
+            let leaky = self
+                .processors
+                .iter()
+                .any(|p| p.static_power.is_some() || p.idle_power.is_some());
+            if leaky || !self.cores.is_empty() || !self.partitioners.is_empty() {
+                return Err(ScenarioError::msg(
+                    "scenario uses v2 features (cores/partitioners/static_power/idle_power) \
+                     but declares version 1; set `version: 2`"
+                        .to_string(),
+                ));
+            }
+        }
         let mut out = String::new();
-        let _ = writeln!(out, "acsched-scenario v1");
+        let _ = writeln!(out, "acsched-scenario v{}", self.version);
         for decl in &self.task_sets {
             match decl {
                 TaskSetDecl::Inline { name, tasks } => {
@@ -383,6 +447,35 @@ impl Scenario {
             }
             if let Some((time_ms, energy)) = p.overhead {
                 let _ = write!(out, " overhead={time_ms}:{energy}");
+            }
+            match &p.static_power {
+                Some(StaticPowerDecl::Uniform(power)) => {
+                    let _ = write!(out, " static_power={power}");
+                }
+                Some(StaticPowerDecl::PerLevel(powers)) => {
+                    let joined: Vec<String> = powers.iter().map(f64::to_string).collect();
+                    let _ = write!(out, " static_power={}", joined.join(","));
+                }
+                None => {}
+            }
+            if let Some(power) = p.idle_power {
+                let _ = write!(out, " idle_power={power}");
+            }
+            out.push('\n');
+        }
+        if self.cores.is_empty() && !self.partitioners.is_empty() {
+            return Err(ScenarioError::msg(
+                "partitioners are declared on the `cores` directive; \
+                 declare at least one core count"
+                    .to_string(),
+            ));
+        }
+        if !self.cores.is_empty() {
+            let counts: Vec<String> = self.cores.iter().map(usize::to_string).collect();
+            let _ = write!(out, "cores {}", counts.join(" "));
+            if !self.partitioners.is_empty() {
+                let parts: Vec<&str> = self.partitioners.iter().map(|h| h.label()).collect();
+                let _ = write!(out, " partition={}", parts.join(","));
             }
             out.push('\n');
         }
@@ -561,6 +654,23 @@ impl Scenario {
                     energy: Energy::from_units(energy),
                 });
             }
+            match &decl.static_power {
+                Some(StaticPowerDecl::Uniform(power)) => {
+                    builder = builder.static_power(*power);
+                }
+                Some(StaticPowerDecl::PerLevel(powers)) => {
+                    // Accounting uses the per-level values; the scalar
+                    // model (which `critical_speed` derives from) is set
+                    // to their minimum — the guaranteed leakage floor,
+                    // so the dispatch floor never over-raises.
+                    let min = powers.iter().cloned().fold(f64::INFINITY, f64::min);
+                    builder = builder.level_static_power(powers.clone()).static_power(min);
+                }
+                None => {}
+            }
+            if let Some(power) = decl.idle_power {
+                builder = builder.idle_power(power);
+            }
             out.push((decl.name.clone(), builder.build().map_err(|e| ctx(&e))?));
         }
         Ok(out)
@@ -581,6 +691,12 @@ impl Scenario {
         }
         for (name, cpu) in self.materialize_processors()? {
             b = b.processor(name, cpu);
+        }
+        if !self.cores.is_empty() {
+            b = b.cores(self.cores.iter().copied());
+        }
+        if !self.partitioners.is_empty() {
+            b = b.partitioners(self.partitioners.iter().copied());
         }
         if !self.schedules.is_empty() {
             b = b.schedules(self.schedules.iter().copied());

@@ -37,14 +37,101 @@ acs_multistart on
 threads 2
 ";
 
+/// A `v2` scenario exercising the multicore and leakage grammar.
+const FULL_V2: &str = "\
+acsched-scenario v2
+
+taskset pair
+task ctrl period=10 wcec=300 acec=120 bcec=30
+task telemetry period=20 wcec=600 acec=200 bcec=60
+end
+
+processor leaky linear kappa=50 vmin=0.3 vmax=4 static_power=5 idle_power=0.5
+processor stepped linear kappa=50 vmin=0.3 vmax=4 levels=1,2,4 static_power=1,2,4
+
+cores 1 2 4 partition=ffd,wfd
+schedules wcs acs
+policy greedy
+workload paper
+seeds 1 2
+hyper_periods 5
+";
+
 #[test]
 fn full_scenario_round_trip_fixpoint() {
-    let first = Scenario::from_text(FULL).expect("full scenario parses");
-    let canonical = first.to_text().expect("parsed scenarios serialize");
-    let second = Scenario::from_text(&canonical).expect("canonical form parses");
-    assert_eq!(first, second, "parse -> to_text -> parse is a fixpoint");
-    // And the canonical form itself is stable.
-    assert_eq!(canonical, second.to_text().unwrap());
+    for (text, version) in [(FULL, 1), (FULL_V2, 2)] {
+        let first = Scenario::from_text(text).expect("full scenario parses");
+        assert_eq!(first.version, version);
+        let canonical = first.to_text().expect("parsed scenarios serialize");
+        let second = Scenario::from_text(&canonical).expect("canonical form parses");
+        assert_eq!(first, second, "parse -> to_text -> parse is a fixpoint");
+        // And the canonical form itself is stable.
+        assert_eq!(canonical, second.to_text().unwrap());
+        assert!(canonical.starts_with(&format!("acsched-scenario v{version}\n")));
+    }
+}
+
+/// Every checked-in scenario under `scenarios/` keeps parsing, and the
+/// canonical serialization is a parse fixpoint for each — `v1` files
+/// must survive the `v2` format extension unchanged.
+#[test]
+fn checked_in_scenarios_parse_and_round_trip() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios");
+    let mut checked = 0usize;
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("scenarios/ directory exists")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "txt"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let sc = Scenario::from_text(&text)
+            .unwrap_or_else(|e| panic!("{} no longer parses: {e}", path.display()));
+        let canonical = sc.to_text().unwrap();
+        assert_eq!(
+            sc,
+            Scenario::from_text(&canonical).unwrap(),
+            "{} canonical form is not a parse fixpoint",
+            path.display()
+        );
+        checked += 1;
+    }
+    assert!(checked >= 6, "expected the checked-in grids, saw {checked}");
+}
+
+#[test]
+fn v2_features_materialize() {
+    let sc = Scenario::from_text(FULL_V2).unwrap();
+    assert_eq!(sc.cores, vec![1, 2, 4]);
+    assert_eq!(sc.partitioners.len(), 2);
+    let cpus = sc.materialize_processors().unwrap();
+    assert_eq!(cpus[0].1.static_power(), 5.0);
+    assert_eq!(cpus[0].1.idle_power(), 0.5);
+    // Per-level powers: accounting per level, scalar model at the
+    // guaranteed minimum.
+    assert_eq!(cpus[1].1.level_static_power(), Some(&[1.0, 2.0, 4.0][..]));
+    assert_eq!(cpus[1].1.static_power(), 1.0);
+    // The campaign grid gets the cores/partitioner axes: cores=1
+    // collapses the partitioner, so greedy x {wcs,acs} x (1 + 2x2) = 10
+    // cells per processor-pair... processors share the grid:
+    // 2 processors x 2 schedules x 5 (cores,part) combos = 20 cells.
+    let campaign = sc.to_campaign().unwrap();
+    assert_eq!(campaign.cell_count(), 20);
+    assert_eq!(campaign.run_count(), 40);
+
+    // A v1 scenario hand-upgraded with v2 fields must be re-versioned
+    // before it serializes.
+    let mut v1 =
+        Scenario::from_text("acsched-scenario v1\nprocessor p linear kappa=50 vmin=1 vmax=4\n")
+            .unwrap();
+    v1.cores = vec![2];
+    let err = v1.to_text().unwrap_err().to_string();
+    assert!(err.contains("v2 features"), "{err}");
+    v1.version = 2;
+    let text = v1.to_text().unwrap();
+    assert!(text.starts_with("acsched-scenario v2\n"), "{text}");
+    assert_eq!(v1, Scenario::from_text(&text).unwrap());
 }
 
 #[test]
@@ -141,7 +228,7 @@ fn random_decl_matches_programmatic_batch() {
 fn malformed_inputs_report_line_and_cause() {
     let table: &[(&str, &[&str])] = &[
         ("", &["empty scenario"]),
-        ("acsched-scenario v2\n", &["line 1", "unsupported header"]),
+        ("acsched-scenario v3\n", &["line 1", "unsupported header"]),
         (
             "acsched-scenario v1\nfrobnicate all\n",
             &["line 2", "unknown directive `frobnicate`"],
@@ -253,6 +340,64 @@ fn malformed_inputs_report_line_and_cause() {
         (
             "acsched-scenario v1\nthreads 0\n",
             &["line 2", "threads", "positive integer"],
+        ),
+        // ---- v2 grammar: multicore + leakage ----
+        (
+            "acsched-scenario v1\ncores 2\n",
+            &["line 2", "`cores`", "acsched-scenario v2"],
+        ),
+        (
+            "acsched-scenario v1\nprocessor p linear kappa=50 vmin=1 vmax=4 static_power=1\n",
+            &["line 2", "static_power", "acsched-scenario v2"],
+        ),
+        (
+            "acsched-scenario v2\ncores\n",
+            &["line 2", "cores", "at least one core count"],
+        ),
+        (
+            "acsched-scenario v2\ncores 0\n",
+            &["line 2", "cores", "`0` is not a positive core count"],
+        ),
+        (
+            "acsched-scenario v2\ncores two\n",
+            &["line 2", "cores", "`two` is not a positive core count"],
+        ),
+        (
+            "acsched-scenario v2\ncores 2 partition=zfd\n",
+            &["line 2", "cores", "unknown partition heuristic `zfd`"],
+        ),
+        (
+            "acsched-scenario v2\ncores 2 partition=ffd,ffd\n",
+            &["line 2", "partitioner `ffd` listed twice"],
+        ),
+        (
+            "acsched-scenario v2\ncores partition=ffd\n",
+            &["line 2", "at least one core count before `partition=`"],
+        ),
+        (
+            "acsched-scenario v2\ncores 2\ncores 4\n",
+            &["line 3", "directive `cores` declared twice"],
+        ),
+        (
+            "acsched-scenario v2\nprocessor p linear kappa=50 vmin=1 vmax=4 static_power=-1\n",
+            &["line 2", "static_power must be non-negative", "-1"],
+        ),
+        (
+            "acsched-scenario v2\nprocessor p linear kappa=50 vmin=1 vmax=4 idle_power=-0.5\n",
+            &["line 2", "idle_power must be non-negative"],
+        ),
+        (
+            "acsched-scenario v2\nprocessor p linear kappa=50 vmin=1 vmax=4 static_power=lots\n",
+            &["line 2", "bad value for `static_power`", "`lots`"],
+        ),
+        (
+            "acsched-scenario v2\nprocessor p linear kappa=50 vmin=1 vmax=4 static_power=1,2\n",
+            &["line 2", "per-level static_power needs a `levels=` table"],
+        ),
+        (
+            "acsched-scenario v2\nprocessor p linear kappa=50 vmin=1 vmax=4 \
+             levels=1,2,4 static_power=1,2\n",
+            &["line 2", "2 static_power entries for 3 levels"],
         ),
     ];
     for (input, needles) in table {

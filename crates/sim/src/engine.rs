@@ -218,6 +218,11 @@ impl<'a> Simulator<'a> {
     /// Builds per-task, per-instance chunk plans.
     fn build_plans(&self) -> Result<Vec<Vec<Vec<ChunkPlan>>>, SimError> {
         let fmax = self.cpu.f_max().as_cycles_per_ms();
+        // Leakage-aware floor per task: with static power modeled,
+        // running a chunk below its critical speed wastes energy, so the
+        // static plan speeds never drop below it (zero-leakage
+        // processors floor at 0 — no change).
+        let floor_of = |c_eff: f64| self.cpu.critical_speed(c_eff).as_cycles_per_ms();
         match self.schedule {
             Some(schedule) => {
                 let fps = schedule.fps();
@@ -253,7 +258,8 @@ impl<'a> Simulator<'a> {
                     }
                 }
                 let mut plans = Vec::with_capacity(self.set.len());
-                for (tid, _task) in self.set.iter() {
+                for (tid, task) in self.set.iter() {
+                    let floor = floor_of(task.c_eff());
                     let mut per_task = Vec::new();
                     for inst in 0..fps.instances_of(tid) {
                         let chunks: Vec<ChunkPlan> = fps
@@ -270,7 +276,7 @@ impl<'a> Simulator<'a> {
                                     start_ms: fps.sub(id).window_start.as_ms(),
                                     end_ms: end,
                                     budget,
-                                    static_speed: (budget / window).min(fmax),
+                                    static_speed: (budget / window).min(fmax).max(floor),
                                     sub: Some(id),
                                 }
                             })
@@ -342,6 +348,23 @@ fn run_one(
     let mut report = SimReport::empty(set.len());
     report.hyper_periods = 1;
     let mut trace = record.then(ExecutionTrace::new);
+    // Leakage-aware dispatch floors, one per task: no request — from any
+    // policy — executes below max(f_min, critical speed). With zero
+    // static power this degenerates to the historical f_min floor.
+    let floors: Vec<f64> = set
+        .tasks()
+        .iter()
+        .map(|t| cpu.floor_speed(t.c_eff()).as_cycles_per_ms())
+        .collect();
+    let idle_power = cpu.idle_power();
+    let charge_idle = |report: &mut SimReport, span_ms: f64| {
+        report.idle_time += TimeSpan::from_ms(span_ms);
+        if idle_power > 0.0 {
+            let e = Energy::from_units(idle_power * span_ms);
+            report.idle_energy += e;
+            report.energy += e;
+        }
+    };
 
     // ---- job construction & workload draws ----
     let mut jobs: Vec<Job> = Vec::with_capacity(set.total_instances() as usize);
@@ -528,14 +551,16 @@ fn run_one(
                 .unwrap_or(f64::INFINITY);
             let next = next_release.min(next_wakeup);
             if next.is_finite() {
-                report.idle_time += TimeSpan::from_ms(next - t);
+                charge_idle(&mut report, next - t);
                 t = next;
                 continue;
             }
-            // Shut down for the rest of the hyper-period.
+            // Shut down for the rest of the hyper-period (still charged
+            // at `idle_power`, which models a platform without
+            // power-gating; the paper's processor has it at zero).
             let h = set.hyper_period().get() as f64;
             if t < h {
-                report.idle_time += TimeSpan::from_ms(h - t);
+                charge_idle(&mut report, h - t);
             }
             break;
         };
@@ -558,6 +583,10 @@ fn run_one(
             sub: cp.sub,
         };
         let (speed, clamped) = cpu.clamp_speed(policy.on_dispatch(&ctx));
+        // Leakage floor: under-requests rise (unflagged, like the f_min
+        // clamp — running faster than asked never endangers deadlines)
+        // to the task's critical speed.
+        let speed = speed.max(Freq::from_cycles_per_ms(floors[task]));
         // The clamp keeps `speed` realizable by the *continuous*
         // model; a discrete level table whose highest level sits
         // below `vmax` can still fail to serve it, in which case the
@@ -627,6 +656,12 @@ fn run_one(
         let e = cpu.energy(c_eff, v, Cycles::from_cycles(cycles));
         report.energy += e;
         report.per_task_energy[task] += e;
+        let leak = cpu.static_power_at(v);
+        if leak > 0.0 {
+            let e_static = Energy::from_units(leak * dt);
+            report.static_energy += e_static;
+            report.energy += e_static;
+        }
         report.busy_time += TimeSpan::from_ms(dt);
         if let Some(tr) = trace.as_mut() {
             if dt > 0.0 {
@@ -1106,6 +1141,128 @@ mod tests {
             flat.report.saturated_dispatches
         );
         assert_eq!(over.report.energy, flat.report.energy);
+    }
+
+    /// With static power modeled, busy slices accrue leakage energy and
+    /// idle spans accrue idle energy; the breakdown reconciles exactly
+    /// with the total.
+    #[test]
+    fn leakage_and_idle_energy_accounted() {
+        let (set, cpu0) = motivation();
+        let cpu = Processor::builder(cpu0.freq_model().clone())
+            .vmin(cpu0.vmin())
+            .vmax(cpu0.vmax())
+            .static_power(2.0)
+            .idle_power(0.5)
+            .build()
+            .unwrap();
+        let out = Simulator::new(&set, &cpu, NoDvs)
+            .run(&mut |_, _| Cycles::from_cycles(1000.0))
+            .unwrap();
+        // 3000 cycles at 200 cyc/ms = 15 ms busy, 5 ms idle.
+        assert!((out.report.static_energy.as_units() - 2.0 * 15.0).abs() < 1e-9);
+        assert!((out.report.idle_energy.as_units() - 0.5 * 5.0).abs() < 1e-9);
+        // Total = dynamic (16·3000) + static + idle.
+        assert!((out.report.energy.as_units() - (48000.0 + 30.0 + 2.5)).abs() < 1e-6);
+        let b = out.report.breakdown();
+        assert_eq!(b.total(), out.report.energy);
+        assert!((b.dynamic.as_units() - 48000.0).abs() < 1e-6);
+        // The lossless processor reports zero static/idle energy.
+        let lossless = Simulator::new(&set, &cpu0, NoDvs)
+            .run(&mut |_, _| Cycles::from_cycles(1000.0))
+            .unwrap();
+        assert_eq!(lossless.report.static_energy, Energy::ZERO);
+        assert_eq!(lossless.report.idle_energy, Energy::ZERO);
+    }
+
+    /// With `static_power > 0` no policy runs below the critical speed:
+    /// under-requests rise to it (unflagged), and every trace slice sits
+    /// at or above the corresponding voltage.
+    #[test]
+    fn dispatch_floors_at_critical_speed() {
+        struct Crawler;
+        impl Policy for Crawler {
+            fn name(&self) -> &str {
+                "crawler"
+            }
+            fn on_dispatch(&mut self, _ctx: &DispatchContext<'_>) -> Freq {
+                Freq::from_cycles_per_ms(1e-6)
+            }
+        }
+        let (set, cpu0) = motivation();
+        let cpu = Processor::builder(cpu0.freq_model().clone())
+            .vmin(cpu0.vmin())
+            .vmax(cpu0.vmax())
+            .static_power(1000.0)
+            .build()
+            .unwrap();
+        let crit = cpu.critical_speed(set.tasks()[0].c_eff());
+        assert!(crit > cpu.f_min(), "fixture must have a binding floor");
+        let out = Simulator::new(&set, &cpu, Crawler)
+            .with_options(SimOptions {
+                record_trace: true,
+                ..Default::default()
+            })
+            .run(&mut |_, _| Cycles::from_cycles(100.0))
+            .unwrap();
+        assert_eq!(
+            out.report.saturated_dispatches, 0,
+            "floor raise is unflagged"
+        );
+        let v_crit = cpu.volt_for_speed(crit).unwrap();
+        for s in out.trace.unwrap().slices() {
+            assert!(
+                s.voltage >= v_crit - acs_model::units::Volt::from_volts(1e-9),
+                "slice below critical speed: {s:?}"
+            );
+        }
+    }
+
+    /// On a discrete table whose top level sits below `vmax`, the
+    /// leakage floor caps at the highest *servable* speed: dispatches
+    /// stay on-table and are not counted as saturation.
+    #[test]
+    fn leakage_floor_stays_within_a_short_level_table() {
+        use acs_power::LevelTable;
+        struct Crawler;
+        impl Policy for Crawler {
+            fn name(&self) -> &str {
+                "crawler"
+            }
+            fn on_dispatch(&mut self, _ctx: &DispatchContext<'_>) -> Freq {
+                Freq::from_cycles_per_ms(1e-6)
+            }
+        }
+        let (set, _) = motivation();
+        let table = LevelTable::new(
+            [1.0, 2.0, 3.0]
+                .iter()
+                .map(|&v| Volt::from_volts(v))
+                .collect(),
+        )
+        .unwrap();
+        let cpu = Processor::builder(FreqModel::linear(50.0).unwrap())
+            .vmin(Volt::from_volts(1.0))
+            .vmax(Volt::from_volts(4.0))
+            .discrete_levels(table)
+            .static_power(1e9) // continuous optimum far beyond the table
+            .build()
+            .unwrap();
+        let out = Simulator::new(&set, &cpu, Crawler)
+            .with_options(SimOptions {
+                record_trace: true,
+                ..Default::default()
+            })
+            .run(&mut |_, _| Cycles::from_cycles(100.0))
+            .unwrap();
+        assert_eq!(
+            out.report.saturated_dispatches, 0,
+            "the floor must not push dispatches off the table"
+        );
+        // Everything ran at the table's top level (3 V = 150 cyc/ms).
+        for s in out.trace.unwrap().slices() {
+            assert_eq!(s.voltage, Volt::from_volts(3.0), "{s:?}");
+        }
     }
 
     /// Speeds below `f_min` rise to `f_min` (the processor cannot run

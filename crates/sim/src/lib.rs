@@ -92,5 +92,5 @@ pub use policy::{
     SolverStats, StaticSpeed,
 };
 pub use reopt::{ReOpt, ReOptConfig, SolverCache};
-pub use report::{improvement_over, SimReport};
+pub use report::{improvement_over, EnergyBreakdown, SimReport};
 pub use stats::Summary;

@@ -260,6 +260,13 @@ impl Policy for StaticSpeed {
 /// worst-case budget over the time left until its milestone,
 /// `speed = R̂_rem/(e_u − now)` — early completions automatically lower
 /// later voltages (greedy slack reclamation).
+///
+/// On a leakage-modeled processor (`static_power > 0`) the executed
+/// speed never drops below the task's
+/// [critical speed](acs_power::Processor::critical_speed): stretching
+/// below it would *raise* total energy. The engine floors every
+/// dispatch at a precomputed per-task critical speed, so the request
+/// itself stays the paper's pure stretch formula.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct GreedyReclaim;
 

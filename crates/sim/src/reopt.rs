@@ -418,6 +418,10 @@ impl Policy for ReOpt {
         if window <= 0.0 {
             ctx.cpu.f_max()
         } else {
+            // Repaired end times stretch budgets like greedy does; on a
+            // leakage-modeled processor the engine floors the executed
+            // speed at the task's precomputed critical speed (below it,
+            // slower costs more).
             ctx.chunk_budget_remaining / acs_model::units::TimeSpan::from_ms(window)
         }
     }

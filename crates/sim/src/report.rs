@@ -2,12 +2,49 @@
 
 use acs_model::units::{Energy, TimeSpan};
 
+/// Total energy split by where it was spent: switching capacitance
+/// (dynamic), leakage while executing (static) and idle draw. All three
+/// are zero-cost views over counters the engine maintains anyway; with
+/// the paper's lossless processor (`static_power = idle_power = 0`) the
+/// static and idle terms are exactly zero.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Dynamic (switching) energy: `Σ C_eff·V²·N` over execution slices.
+    pub dynamic: Energy,
+    /// Static (leakage) energy: `Σ P_static(V)·Δt` over execution slices.
+    pub static_: Energy,
+    /// Idle energy: `P_idle · idle_time`.
+    pub idle: Energy,
+}
+
+impl EnergyBreakdown {
+    /// Sum of all three components.
+    pub fn total(&self) -> Energy {
+        self.dynamic + self.static_ + self.idle
+    }
+
+    /// Component-wise sum (used when folding per-core breakdowns into a
+    /// machine-level one).
+    pub fn absorb(&mut self, other: &EnergyBreakdown) {
+        self.dynamic += other.dynamic;
+        self.static_ += other.static_;
+        self.idle += other.idle;
+    }
+}
+
 /// Aggregate outcome of a simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
-    /// Total dynamic energy consumed.
+    /// Total energy consumed (dynamic + static + idle + transition
+    /// overhead).
     pub energy: Energy,
-    /// Energy split per task (indexed by `TaskId`).
+    /// Static (leakage) energy drawn while executing — part of
+    /// [`SimReport::energy`].
+    pub static_energy: Energy,
+    /// Energy drawn while idle (zero under the paper's shutdown
+    /// assumption) — part of [`SimReport::energy`].
+    pub idle_energy: Energy,
+    /// Dynamic energy split per task (indexed by `TaskId`).
     pub per_task_energy: Vec<Energy>,
     /// Number of job completions.
     pub jobs_completed: usize,
@@ -48,6 +85,8 @@ impl SimReport {
     pub fn empty(tasks: usize) -> Self {
         SimReport {
             energy: Energy::ZERO,
+            static_energy: Energy::ZERO,
+            idle_energy: Energy::ZERO,
             per_task_energy: vec![Energy::ZERO; tasks],
             jobs_completed: 0,
             deadline_misses: 0,
@@ -68,6 +107,8 @@ impl SimReport {
     /// Folds another report (e.g. one hyper-period) into this one.
     pub fn absorb(&mut self, other: &SimReport) {
         self.energy += other.energy;
+        self.static_energy += other.static_energy;
+        self.idle_energy += other.idle_energy;
         for (a, b) in self.per_task_energy.iter_mut().zip(&other.per_task_energy) {
             *a += *b;
         }
@@ -98,6 +139,17 @@ impl SimReport {
     /// `true` when no deadline was missed.
     pub fn all_deadlines_met(&self) -> bool {
         self.deadline_misses == 0
+    }
+
+    /// Energy split dynamic vs static vs idle. The dynamic component is
+    /// everything not attributed to leakage or idle draw (it includes
+    /// voltage-transition overhead energy, which is switching work).
+    pub fn breakdown(&self) -> EnergyBreakdown {
+        EnergyBreakdown {
+            dynamic: self.energy - self.static_energy - self.idle_energy,
+            static_: self.static_energy,
+            idle: self.idle_energy,
+        }
     }
 }
 

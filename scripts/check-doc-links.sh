@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# Verifies that every relative markdown link in README.md,
+# ARCHITECTURE.md and docs/** resolves to an existing file or
+# directory. No network: http(s) and mailto links are skipped, as are
+# intra-page #anchors. Run from the repository root.
+set -eu
+
+fail=0
+for file in README.md ARCHITECTURE.md $(find docs -name '*.md' 2>/dev/null | sort); do
+    [ -f "$file" ] || continue
+    dir=$(dirname "$file")
+    # Extract ](target) link targets, one per line; iterate line-wise so
+    # targets containing spaces (e.g. `](file.md "Title")`) stay intact.
+    grep -o '](\([^)]*\))' "$file" | sed 's/^](//; s/)$//' |
+        while IFS= read -r target; do
+            case "$target" in
+                http://*|https://*|mailto:*|\#*|'') continue ;;
+            esac
+            # Strip an in-page anchor and a quoted markdown title.
+            path=${target%%#*}
+            path=${path%% \"*}
+            path=${path%% }
+            [ -n "$path" ] || continue
+            if [ ! -e "$dir/$path" ]; then
+                echo "BROKEN LINK in $file: ($target) -> $dir/$path does not exist"
+            fi
+        done
+done > /tmp/doc-link-report.$$ 2>&1 || true
+
+if grep -q "BROKEN LINK" /tmp/doc-link-report.$$; then
+    cat /tmp/doc-link-report.$$
+    rm -f /tmp/doc-link-report.$$
+    exit 1
+fi
+rm -f /tmp/doc-link-report.$$
+echo "doc links OK"

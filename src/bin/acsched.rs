@@ -124,15 +124,73 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
             .sum();
         let campaign = scenario.to_campaign().map_err(|e| format!("{path}: {e}"))?;
         println!(
-            "{path}: ok — {} task sets x {} processors x {} policies x {} workloads \
-             -> {} cells, {} runs",
-            declared_rows,
-            scenario.processors.len(),
-            scenario.policies.len(),
-            scenario.workloads.len(),
+            "{path}: ok — {} cells, {} runs",
             campaign.cell_count(),
             campaign.run_count(),
         );
+        // Per-axis breakdown, so an exploding grid points at its axis.
+        // Defaults that the campaign builder fills in are spelled out.
+        let join_vals = |vals: &[String]| -> String {
+            if vals.is_empty() {
+                String::new()
+            } else {
+                format!(" ({})", vals.join(" "))
+            }
+        };
+        let cores: Vec<String> = scenario.cores.iter().map(usize::to_string).collect();
+        let partitioners: Vec<String> = scenario
+            .partitioners
+            .iter()
+            .map(|h| h.label().to_string())
+            .collect();
+        let schedules: Vec<String> = scenario
+            .schedules
+            .iter()
+            .map(|s| s.label().to_lowercase())
+            .collect();
+        // The builder owns seed dedup/defaulting; read the per-cell run
+        // count back from the grid it produced.
+        let seeds = campaign.run_count() / campaign.cell_count().max(1);
+        let axes: [(&str, usize, String); 7] = [
+            ("task sets", declared_rows, String::new()),
+            ("processors", scenario.processors.len(), String::new()),
+            (
+                "cores",
+                scenario.cores.len().max(1),
+                if cores.is_empty() {
+                    " (1)".into()
+                } else {
+                    join_vals(&cores)
+                },
+            ),
+            (
+                "partitioners",
+                scenario.partitioners.len().max(1),
+                format!(
+                    " ({}; single-core cells collapse this axis)",
+                    if partitioners.is_empty() {
+                        "ffd".to_string()
+                    } else {
+                        partitioners.join(" ")
+                    }
+                ),
+            ),
+            (
+                "schedules",
+                scenario.schedules.len(),
+                if schedules.is_empty() {
+                    " (derived from the policies)".into()
+                } else {
+                    join_vals(&schedules)
+                },
+            ),
+            ("policies", scenario.policies.len(), String::new()),
+            ("workloads", scenario.workloads.len(), String::new()),
+        ];
+        for (axis, count, detail) in axes {
+            println!("  {axis:<13} {count}{detail}");
+        }
+        println!("  {:<13} {seeds}", "seeds");
     }
     Ok(ExitCode::SUCCESS)
 }

@@ -15,6 +15,7 @@
 //! | [`opt`] | `acs-opt` | autodiff + L-BFGS + augmented Lagrangian |
 //! | [`core`] | `acs-core` | ACS/WCS schedule synthesis |
 //! | [`sim`] | `acs-sim` | runtime simulator & the open [`Policy`] API |
+//! | [`multi`] | `acs-multi` | partitioned multiprocessor layer (ffd/bfd/wfd + machine runs) |
 //! | [`workloads`] | `acs-workloads` | distributions, random/CNC/GAP sets |
 //! | [`runtime`] | `acs-runtime` | parallel [`Campaign`] runner + streaming [`ResultSink`]s |
 //! | [`scenario`] | `acs-scenario` | declarative text-format experiment scenarios |
@@ -134,6 +135,7 @@
 
 pub use acs_core as core;
 pub use acs_model as model;
+pub use acs_multi as multi;
 pub use acs_opt as opt;
 pub use acs_power as power;
 pub use acs_preempt as preempt;
@@ -152,6 +154,10 @@ pub mod prelude {
     };
     pub use acs_model::units::{Cycles, Energy, Freq, Ticks, Time, TimeSpan, Volt};
     pub use acs_model::{Task, TaskBuilder, TaskId, TaskSet};
+    pub use acs_multi::{
+        partition, CoreAssignment, MachineReport, MachineRun, MultiError, Partition,
+        PartitionHeuristic,
+    };
     pub use acs_power::{FreqModel, LevelTable, Processor, TransitionOverhead, VoltageLevels};
     pub use acs_preempt::{FullyPreemptiveSchedule, InstanceId, SubInstance, SubInstanceId};
     pub use acs_runtime::{
@@ -163,9 +169,9 @@ pub mod prelude {
     #[allow(deprecated)]
     pub use acs_sim::DvsPolicy;
     pub use acs_sim::{
-        improvement_over, render_gantt, BoundaryEvent, CcRm, DispatchContext, GreedyReclaim,
-        IntoPolicy, NoDvs, Policy, ReOpt, ReOptConfig, SimOptions, SimReport, Simulator,
-        SolverCache, SolverContext, SolverStats, StaticSpeed, Summary,
+        improvement_over, render_gantt, BoundaryEvent, CcRm, DispatchContext, EnergyBreakdown,
+        GreedyReclaim, IntoPolicy, NoDvs, Policy, ReOpt, ReOptConfig, SimOptions, SimReport,
+        Simulator, SolverCache, SolverContext, SolverStats, StaticSpeed, Summary,
     };
     pub use acs_workloads::{
         cnc, gap, generate, motivation, RandomSetConfig, TaskWorkloads, WorkloadDist,
