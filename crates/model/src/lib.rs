@@ -42,11 +42,13 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod sched_class;
 pub mod task;
 pub mod taskset;
 pub mod text;
 pub mod units;
 
 pub use error::ModelError;
+pub use sched_class::SchedulingClass;
 pub use task::{Task, TaskBuilder, TaskId};
 pub use taskset::TaskSet;

@@ -1,0 +1,93 @@
+//! The scheduling class a task set runs under.
+
+/// Which scheduling discipline orders ready jobs at runtime.
+///
+/// The paper's ACS formulation only needs job deadlines, not a priority
+/// order; the workspace historically simulated fixed-priority
+/// rate-monotonic (RM) dispatch only. `Edf` opens the dynamic-priority
+/// class evaluated by the related work (Nélis et al.; Berten et al.),
+/// where the utilization bound is exactly 1 and slack reclamation
+/// behaves differently.
+///
+/// On per-frame (equal-period) task sets the two classes coincide: all
+/// ready jobs share one absolute deadline, EDF's tie-break is the task
+/// index — exactly the RM priority — so the engine's EDF path
+/// degenerates to the RM path state for state.
+///
+/// ```
+/// use acs_model::SchedulingClass;
+///
+/// assert_eq!(SchedulingClass::Edf.label(), "edf");
+/// assert_eq!("rm".parse(), Ok(SchedulingClass::FixedPriorityRm));
+/// assert!("lifo".parse::<SchedulingClass>().is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum SchedulingClass {
+    /// Fixed-priority rate-monotonic: the task index inside the
+    /// (period-sorted) [`TaskSet`](crate::TaskSet) *is* the priority.
+    /// The historical default.
+    #[default]
+    FixedPriorityRm,
+    /// Earliest-deadline-first: at every dispatch the runnable job with
+    /// the earliest absolute deadline executes (ties break toward the
+    /// lower task index, then the earlier release).
+    Edf,
+}
+
+impl SchedulingClass {
+    /// Both classes, in canonical order.
+    pub const ALL: [SchedulingClass; 2] = [SchedulingClass::FixedPriorityRm, SchedulingClass::Edf];
+
+    /// The short label used in scenarios, reports and CSV columns.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedulingClass::FixedPriorityRm => "rm",
+            SchedulingClass::Edf => "edf",
+        }
+    }
+}
+
+impl std::fmt::Display for SchedulingClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for SchedulingClass {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "rm" => Ok(SchedulingClass::FixedPriorityRm),
+            "edf" => Ok(SchedulingClass::Edf),
+            other => Err(format!(
+                "unknown scheduling class `{other}` (known: rm, edf)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for c in SchedulingClass::ALL {
+            assert_eq!(c.label().parse::<SchedulingClass>(), Ok(c));
+            assert_eq!(c.to_string(), c.label());
+        }
+    }
+
+    #[test]
+    fn default_is_rm() {
+        assert_eq!(SchedulingClass::default(), SchedulingClass::FixedPriorityRm);
+    }
+
+    #[test]
+    fn unknown_class_names_candidates() {
+        let err = "dm".parse::<SchedulingClass>().unwrap_err();
+        assert!(err.contains("`dm`"), "{err}");
+        assert!(err.contains("rm, edf"), "{err}");
+    }
+}

@@ -1,6 +1,7 @@
 //! Rate-monotonic task sets.
 
 use crate::error::ModelError;
+use crate::sched_class::SchedulingClass;
 use crate::task::{Task, TaskId};
 use crate::units::{Freq, Ticks, TimeSpan};
 
@@ -26,6 +27,7 @@ use crate::units::{Freq, Ticks, TimeSpan};
 pub struct TaskSet {
     tasks: Vec<Task>,
     hyper_period: Ticks,
+    class: SchedulingClass,
 }
 
 impl TaskSet {
@@ -61,7 +63,28 @@ impl TaskSet {
         Ok(TaskSet {
             tasks,
             hyper_period: hyper,
+            class: SchedulingClass::default(),
         })
+    }
+
+    /// Returns the set with its default scheduling class replaced.
+    ///
+    /// The tasks stay sorted by period either way — under
+    /// [`SchedulingClass::FixedPriorityRm`] the index *is* the priority;
+    /// under [`SchedulingClass::Edf`] it is only an id (and the EDF
+    /// tie-break). Consumers that take an explicit class override (the
+    /// campaign grid's class axis) ignore this default.
+    #[must_use]
+    pub fn with_class(mut self, class: SchedulingClass) -> Self {
+        self.class = class;
+        self
+    }
+
+    /// The scheduling class jobs of this set are dispatched under by
+    /// default ([`SchedulingClass::FixedPriorityRm`] unless changed with
+    /// [`TaskSet::with_class`]).
+    pub fn class(&self) -> SchedulingClass {
+        self.class
     }
 
     /// All tasks in priority order (highest first).
@@ -261,6 +284,18 @@ mod tests {
         assert!(ts
             .worst_case_demand_at(f)
             .approx_eq(TimeSpan::from_ms(18.0), 1e-9));
+    }
+
+    #[test]
+    fn class_defaults_to_rm_and_is_settable() {
+        let ts = demo_set();
+        assert_eq!(ts.class(), SchedulingClass::FixedPriorityRm);
+        let edf = ts.clone().with_class(SchedulingClass::Edf);
+        assert_eq!(edf.class(), SchedulingClass::Edf);
+        // The class participates in equality; everything else is shared.
+        assert_ne!(ts, edf);
+        assert_eq!(ts.tasks(), edf.tasks());
+        assert_eq!(ts, edf.with_class(SchedulingClass::FixedPriorityRm));
     }
 
     #[test]

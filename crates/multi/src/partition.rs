@@ -133,12 +133,19 @@ impl Partition {
 
 /// Assigns `set` to `cores` identical cores by the given heuristic, in
 /// decreasing worst-case-utilization order (`WCEC_i / (period_i ·
-/// f_max)`), with a per-core capacity of utilization 1.
+/// f_max)`), with a per-core capacity of utilization 1 — the exact
+/// per-core EDF bound for implicit deadlines
+/// ([`acs_model::SchedulingClass::Edf`]; only *necessary* when
+/// deadlines are constrained below periods — use
+/// `acs_preempt::edf_demand_feasible` there — and likewise necessary
+/// under RM, where the expansion-based worst-case check in `acs-core`
+/// remains the exact per-core gate).
 ///
 /// Ties in utilization break toward the lower task index, and ties in
 /// core load toward the lower core index, so the assignment is a pure
 /// function of its inputs. Within one core, tasks keep their original
-/// relative (rate-monotonic) order.
+/// relative (rate-monotonic) order, and every per-core set inherits the
+/// parent set's [scheduling class](acs_model::TaskSet::class).
 ///
 /// ```
 /// use acs_model::{Task, TaskSet, units::{Cycles, Freq, Ticks}};
@@ -220,7 +227,11 @@ pub fn partition(
             None
         } else {
             let cloned: Vec<_> = tasks.iter().map(|&t| set.tasks()[t].clone()).collect();
-            Some(TaskSet::new(cloned).map_err(|e| MultiError::Model(e.to_string()))?)
+            Some(
+                TaskSet::new(cloned)
+                    .map_err(|e| MultiError::Model(e.to_string()))?
+                    .with_class(set.class()),
+            )
         };
         out.push(CoreAssignment {
             tasks,
@@ -358,6 +369,16 @@ mod tests {
             .unwrap_err(),
             MultiError::InvalidCoreCount
         );
+    }
+
+    #[test]
+    fn core_sets_inherit_the_scheduling_class() {
+        use acs_model::SchedulingClass;
+        let set = fixture().with_class(SchedulingClass::Edf);
+        let p = partition(&set, f200(), 2, PartitionHeuristic::WorstFitDecreasing).unwrap();
+        for core in p.cores.iter().filter_map(|c| c.set.as_ref()) {
+            assert_eq!(core.class(), SchedulingClass::Edf);
+        }
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::error::PreemptError;
 use crate::grid::ReleaseGrid;
 use crate::subinstance::{InstanceId, SubInstance, SubInstanceId};
 use acs_model::units::{Ticks, Time};
-use acs_model::{TaskId, TaskSet};
+use acs_model::{SchedulingClass, TaskId, TaskSet};
 
 /// The fully preemptive schedule: every instance of every task expanded
 /// into sub-instances at *all possible preemption points*, together with
@@ -43,6 +43,9 @@ pub struct FullyPreemptiveSchedule {
     segment_ranges: Vec<(usize, usize)>,
     grid: ReleaseGrid,
     hyper_period: Ticks,
+    /// The scheduling class the within-segment order encodes (taken from
+    /// [`TaskSet::class`] at expansion time).
+    class: SchedulingClass,
 }
 
 impl FullyPreemptiveSchedule {
@@ -74,7 +77,12 @@ impl FullyPreemptiveSchedule {
 
         for (seg_idx, (seg_start, seg_end)) in grid.segments().enumerate() {
             let range_start = subs.len();
-            // Tasks are already in priority order inside the set.
+            // Collect the instances active in this segment, then order
+            // them by the set's scheduling class. A segment never
+            // straddles a release or deadline (both are grid points), so
+            // the active set and its deadlines — hence the class order —
+            // are fixed across the whole segment.
+            let mut active: Vec<(TaskId, u64, u64)> = Vec::new();
             for (tid, task) in set.iter() {
                 let p = task.period().get();
                 let a = seg_start.get();
@@ -82,12 +90,28 @@ impl FullyPreemptiveSchedule {
                 let release = instance_index * p;
                 let deadline = release + task.deadline().get();
                 // Active iff the segment begins before the instance's
-                // absolute deadline. (Segment never straddles a release
-                // or deadline of this task: both are grid points.)
+                // absolute deadline.
                 if a >= deadline {
                     continue;
                 }
                 debug_assert!(seg_end.get() <= deadline, "segment straddles a deadline");
+                active.push((tid, instance_index, deadline));
+            }
+            match set.class() {
+                // Tasks are already in priority order inside the set.
+                SchedulingClass::FixedPriorityRm => {}
+                // Earliest absolute deadline first; ties toward the
+                // lower task index — exactly the runtime dispatcher's
+                // preference order, so worst-case execution follows
+                // this total order under budget enforcement.
+                SchedulingClass::Edf => {
+                    active.sort_by_key(|&(tid, _, deadline)| (deadline, tid));
+                }
+            }
+            for (tid, instance_index, deadline) in active {
+                let task = set.task(tid);
+                let p = task.period().get();
+                let release = instance_index * p;
                 if subs.len() == limit {
                     return Err(PreemptError::TooManySubInstances { limit });
                 }
@@ -118,7 +142,16 @@ impl FullyPreemptiveSchedule {
             segment_ranges,
             grid,
             hyper_period: hyper,
+            class: set.class(),
         })
+    }
+
+    /// The scheduling class whose within-segment order this expansion
+    /// encodes. Milestones synthesized on it are only valid when the
+    /// runtime dispatches under the same class (the engine enforces
+    /// this).
+    pub fn class(&self) -> SchedulingClass {
+        self.class
     }
 
     /// All sub-instances in total execution order.
@@ -167,7 +200,8 @@ impl FullyPreemptiveSchedule {
         self.chunks.len()
     }
 
-    /// Sub-instances of grid segment `s`, in priority order.
+    /// Sub-instances of grid segment `s`, in class order (priority
+    /// order under RM, deadline order under EDF).
     ///
     /// # Panics
     ///
@@ -222,6 +256,40 @@ mod tests {
     /// The paper's running example (Figs. 3–4): periods {3, 6, 9}.
     fn fig34() -> FullyPreemptiveSchedule {
         FullyPreemptiveSchedule::expand(&set(&[3, 6, 9])).unwrap()
+    }
+
+    /// EDF expansion reorders within segments by absolute deadline: in
+    /// segment [10, 15) of a {10, 15} set, t1's first instance (deadline
+    /// 15) precedes t0's second (deadline 20); under RM the index order
+    /// holds everywhere.
+    #[test]
+    fn edf_orders_segments_by_deadline() {
+        let rm = FullyPreemptiveSchedule::expand(&set(&[10, 15])).unwrap();
+        assert_eq!(rm.class(), acs_model::SchedulingClass::FixedPriorityRm);
+        let edf_set = set(&[10, 15]).with_class(acs_model::SchedulingClass::Edf);
+        let edf = FullyPreemptiveSchedule::expand(&edf_set).unwrap();
+        assert_eq!(edf.class(), acs_model::SchedulingClass::Edf);
+        // Same chunks per instance, same windows — only order changes.
+        assert_eq!(rm.len(), edf.len());
+        let seg = |fps: &FullyPreemptiveSchedule, s: usize| -> Vec<(usize, u64)> {
+            fps.segment_subs(s)
+                .iter()
+                .map(|sub| (sub.instance.task.0, sub.instance.index))
+                .collect()
+        };
+        // Segment 0 = [0, 10): deadlines 10 < 15 agree with indices.
+        assert_eq!(seg(&rm, 0), seg(&edf, 0));
+        // Segment 1 = [10, 15): RM puts t0 (instance 1, deadline 20)
+        // first; EDF puts t1 (instance 0, deadline 15) first.
+        assert_eq!(seg(&rm, 1), vec![(0, 1), (1, 0)]);
+        assert_eq!(seg(&edf, 1), vec![(1, 0), (0, 1)]);
+        // Equal-period sets collapse to the RM order exactly.
+        let frame_rm = FullyPreemptiveSchedule::expand(&set(&[12, 12, 12])).unwrap();
+        let frame_edf = FullyPreemptiveSchedule::expand(
+            &set(&[12, 12, 12]).with_class(acs_model::SchedulingClass::Edf),
+        )
+        .unwrap();
+        assert_eq!(frame_rm.sub_instances(), frame_edf.sub_instances());
     }
 
     #[test]

@@ -34,10 +34,14 @@
 
 pub mod error;
 pub mod expansion;
+pub mod feasibility;
 pub mod grid;
 pub mod subinstance;
 
 pub use error::PreemptError;
 pub use expansion::FullyPreemptiveSchedule;
+pub use feasibility::{
+    demand_bound_ms, edf_demand_feasible, edf_utilization_feasible, rm_feasible, rm_response_times,
+};
 pub use grid::ReleaseGrid;
 pub use subinstance::{InstanceId, SubInstance, SubInstanceId};

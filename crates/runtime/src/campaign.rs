@@ -7,7 +7,7 @@ use acs_core::{
     synthesize_acs_best, synthesize_acs_warm, synthesize_wcs, StaticSchedule, SynthesisOptions,
 };
 use acs_model::units::Energy;
-use acs_model::TaskSet;
+use acs_model::{SchedulingClass, TaskSet};
 use acs_multi::{partition, MachineRun, Partition, PartitionHeuristic};
 use acs_power::Processor;
 use acs_sim::{
@@ -285,6 +285,8 @@ struct CellSpec {
     cores: usize,
     /// Index into the partitioners axis, or [`NO_PART`] when `cores == 1`.
     part: usize,
+    /// Scheduling class the cell's dispatcher runs (the axis *value*).
+    class: SchedulingClass,
     schedule: ScheduleChoice,
     policy: usize,
     workload: usize,
@@ -325,6 +327,7 @@ pub struct CampaignBuilder {
     processors: Vec<(String, Processor)>,
     cores: Vec<usize>,
     partitioners: Vec<PartitionHeuristic>,
+    classes: Vec<SchedulingClass>,
     schedules: Vec<ScheduleChoice>,
     policies: Vec<PolicySpec>,
     workloads: Vec<WorkloadSpec>,
@@ -343,6 +346,7 @@ impl Default for CampaignBuilder {
             processors: Vec::new(),
             cores: Vec::new(),
             partitioners: Vec::new(),
+            classes: Vec::new(),
             schedules: Vec::new(),
             policies: Vec::new(),
             workloads: Vec::new(),
@@ -407,6 +411,24 @@ impl CampaignBuilder {
         heuristics: impl IntoIterator<Item = PartitionHeuristic>,
     ) -> Self {
         self.partitioners = heuristics.into_iter().collect();
+        self
+    }
+
+    /// Adds one scheduling class to the grid (default: fixed-priority
+    /// RM, the classic runs). Every other axis — policies, schedules,
+    /// cores, partitioners, workloads, seeds — multiplies against it;
+    /// offline synthesis and draw streams are shared across classes, so
+    /// RM-vs-EDF cells are exactly paired. Duplicate classes are
+    /// dropped at [`build`](CampaignBuilder::build), keeping first
+    /// positions (like seeds and cores).
+    pub fn class(mut self, class: SchedulingClass) -> Self {
+        self.classes.push(class);
+        self
+    }
+
+    /// Replaces the scheduling-class axis.
+    pub fn classes(mut self, classes: impl IntoIterator<Item = SchedulingClass>) -> Self {
+        self.classes = classes.into_iter().collect();
         self
     }
 
@@ -556,6 +578,14 @@ impl CampaignBuilder {
         if self.cores.is_empty() {
             self.cores.push(1);
         }
+        // Duplicate classes would re-run identical cells under identical
+        // draws; drop repeats, keeping first positions (documented on
+        // `CampaignBuilder::class`).
+        let mut seen_classes = std::collections::HashSet::new();
+        self.classes.retain(|c| seen_classes.insert(*c));
+        if self.classes.is_empty() {
+            self.classes.push(SchedulingClass::FixedPriorityRm);
+        }
         seen.clear();
         for h in &self.partitioners {
             if !seen.insert(h.label().to_string()) {
@@ -609,27 +639,30 @@ impl CampaignBuilder {
                         (0..self.partitioners.len()).collect()
                     };
                     for part in parts {
-                        for (policy_idx, policy) in self.policies.iter().enumerate() {
-                            let choices: Vec<ScheduleChoice> = if policy.needs_schedule() {
-                                self.schedules
-                                    .iter()
-                                    .copied()
-                                    .filter(|c| *c != ScheduleChoice::Unscheduled)
-                                    .collect()
-                            } else {
-                                vec![ScheduleChoice::Unscheduled]
-                            };
-                            for schedule in choices {
-                                for workload in 0..self.workloads.len() {
-                                    cells.push(CellSpec {
-                                        set,
-                                        cpu,
-                                        cores,
-                                        part,
-                                        schedule,
-                                        policy: policy_idx,
-                                        workload,
-                                    });
+                        for &class in &self.classes {
+                            for (policy_idx, policy) in self.policies.iter().enumerate() {
+                                let choices: Vec<ScheduleChoice> = if policy.needs_schedule() {
+                                    self.schedules
+                                        .iter()
+                                        .copied()
+                                        .filter(|c| *c != ScheduleChoice::Unscheduled)
+                                        .collect()
+                                } else {
+                                    vec![ScheduleChoice::Unscheduled]
+                                };
+                                for schedule in choices {
+                                    for workload in 0..self.workloads.len() {
+                                        cells.push(CellSpec {
+                                            set,
+                                            cpu,
+                                            cores,
+                                            part,
+                                            class,
+                                            schedule,
+                                            policy: policy_idx,
+                                            workload,
+                                        });
+                                    }
                                 }
                             }
                         }
@@ -704,13 +737,17 @@ impl Campaign {
     pub fn run_with(&self, sink: &mut dyn ResultSink) -> std::io::Result<()> {
         let b = &self.builder;
 
-        // ---- phase 1: plan every (set, cpu, cores, partitioner) once ----
+        // ---- phase 1: plan every (set, cpu, cores, partitioner, class)
+        // once ----
         // A plan is the partition (multicore cells only) plus the
-        // per-core WCS — and, when some cell needs it, ACS — schedules.
-        // Single-core unscheduled cells need no plan at all.
-        /// `(set, cpu, cores, partitioner-index)` — the sharing unit of
-        /// phase-1 planning.
-        type PlanKey = (usize, usize, usize, usize);
+        // per-core WCS — and, when some cell needs it, ACS — schedules,
+        // synthesized on the class-tagged set: the fully preemptive
+        // expansion orders segments by the scheduling class, so EDF
+        // cells get EDF-consistent milestones. Single-core unscheduled
+        // cells need no plan at all.
+        /// `(set, cpu, cores, partitioner-index, class)` — the sharing
+        /// unit of phase-1 planning.
+        type PlanKey = (usize, usize, usize, usize, SchedulingClass);
         /// `(needs schedules at all, needs ACS)`.
         type PlanNeeds = (bool, bool);
         let mut needs: std::collections::BTreeMap<PlanKey, PlanNeeds> =
@@ -721,25 +758,27 @@ impl Campaign {
                 continue;
             }
             let e = needs
-                .entry((cell.set, cell.cpu, cell.cores, cell.part))
+                .entry((cell.set, cell.cpu, cell.cores, cell.part, cell.class))
                 .or_insert((false, false));
             e.0 |= scheduled;
             e.1 |= cell.schedule == ScheduleChoice::Acs;
         }
         let mut keys: Vec<(PlanKey, PlanNeeds)> = needs.into_iter().collect();
         // Synthesis-equivalent processors share one plan per (set,
-        // cores, partitioner): same frequency law and voltage range ⇒
-        // same f_max ⇒ same partition and same solves. `canon[i]` points
-        // at the representative; merged needs land on it.
+        // cores, partitioner, class): same frequency law and voltage
+        // range ⇒ same f_max ⇒ same partition and same solves.
+        // `canon[i]` points at the representative; merged needs land on
+        // it.
         let mut canon: Vec<usize> = (0..keys.len()).collect();
         for i in 0..keys.len() {
-            let ((set_i, cpu_i, cores_i, part_i), _) = keys[i];
+            let ((set_i, cpu_i, cores_i, part_i, class_i), _) = keys[i];
             if let Some(j) = (0..i).find(|&j| {
-                let ((set_j, cpu_j, cores_j, part_j), _) = keys[j];
+                let ((set_j, cpu_j, cores_j, part_j, class_j), _) = keys[j];
                 canon[j] == j
                     && set_j == set_i
                     && cores_j == cores_i
                     && part_j == part_i
+                    && class_j == class_i
                     && synthesis_equivalent(&b.processors[cpu_j].1, &b.processors[cpu_i].1)
             }) {
                 canon[i] = j;
@@ -755,17 +794,18 @@ impl Campaign {
             .map(|(slot, &i)| (i, slot))
             .collect();
         let plans: Vec<CellPlan> = parallel_map(jobs.len(), b.threads, |slot| {
-            let ((set_idx, cpu_idx, cores, part), (needs_wcs, needs_acs)) = keys[jobs[slot]];
-            let set = &b.task_sets[set_idx].1;
+            let ((set_idx, cpu_idx, cores, part, class), (needs_wcs, needs_acs)) = keys[jobs[slot]];
+            let set = b.task_sets[set_idx].1.clone().with_class(class);
             let cpu = &b.processors[cpu_idx].1;
             let parted = (cores > 1).then(|| {
-                partition(set, cpu.f_max(), cores, b.partitioners[part]).map_err(|e| e.to_string())
+                partition(&set, cpu.f_max(), cores, b.partitioners[part]).map_err(|e| e.to_string())
             });
             // The task sets schedules are synthesized on: the whole set
-            // on one core, each non-empty core's set otherwise.
+            // on one core, each non-empty core's set otherwise (core
+            // sets inherit the class from the partitioned set).
             let mut core_sets: Vec<&TaskSet> = Vec::new();
             match &parted {
-                None => core_sets.push(set),
+                None => core_sets.push(&set),
                 Some(Ok(p)) => core_sets.extend(p.cores.iter().filter_map(|c| c.set.as_ref())),
                 Some(Err(_)) => {}
             }
@@ -807,7 +847,10 @@ impl Campaign {
                 return None;
             }
             let pos = keys
-                .binary_search_by_key(&(cell.set, cell.cpu, cell.cores, cell.part), |(k, _)| *k)
+                .binary_search_by_key(
+                    &(cell.set, cell.cpu, cell.cores, cell.part, cell.class),
+                    |(k, _)| *k,
+                )
                 .expect("every planned cell has a slot");
             Some(&plans[slot_of[&canon[pos]]])
         };
@@ -856,6 +899,7 @@ impl Campaign {
                     hyper_periods: b.hyper_periods,
                     deadline_tol_ms: b.deadline_tol_ms,
                     record_trace: false,
+                    class: Some(cell.class),
                 };
                 let schedules = schedules_of(cell)?;
                 if cell.cores == 1 {
@@ -941,6 +985,7 @@ impl Campaign {
                         } else {
                             b.partitioners[cell.part].label().to_string()
                         },
+                        class: cell.class,
                         schedule: cell.schedule,
                         policy: b.policies[cell.policy].name().to_string(),
                         workload: b.workloads[cell.workload].name(),
@@ -988,6 +1033,7 @@ fn aggregate(per_seed: &[Result<(SimReport, Vec<f64>), String>]) -> Result<CellS
         jobs_completed: 0,
         saturated_dispatches: 0,
         voltage_switches: 0,
+        preemptions: 0,
         clamped_draws: 0,
         worst_lateness_ms: 0.0,
         solver_lookups: 0,
@@ -1012,6 +1058,7 @@ fn aggregate(per_seed: &[Result<(SimReport, Vec<f64>), String>]) -> Result<CellS
         stats.jobs_completed += report.jobs_completed;
         stats.saturated_dispatches += report.saturated_dispatches;
         stats.voltage_switches += report.voltage_switches;
+        stats.preemptions += report.preemptions;
         stats.clamped_draws += report.clamped_draws;
         stats.worst_lateness_ms = stats.worst_lateness_ms.max(report.worst_lateness_ms);
         stats.solver_lookups += report.solver_lookups;
@@ -1379,6 +1426,52 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(deduped.cell_count(), 2);
+    }
+
+    #[test]
+    fn class_axis_multiplies_pairs_and_dedupes() {
+        // Two classes double the grid; duplicates drop keeping first
+        // positions; the default axis is [rm].
+        let campaign = Campaign::builder()
+            .task_set("s", small_set())
+            .processor("p", cpu())
+            .classes([
+                SchedulingClass::FixedPriorityRm,
+                SchedulingClass::Edf,
+                SchedulingClass::FixedPriorityRm,
+            ])
+            .schedules([ScheduleChoice::Wcs])
+            .policy(PolicySpec::greedy())
+            .workload(WorkloadSpec::Paper)
+            .seeds([1, 2])
+            .build()
+            .unwrap();
+        assert_eq!(campaign.cell_count(), 2);
+        let report = campaign.run();
+        assert_eq!(report.failures().count(), 0, "{}", report.to_table());
+        let classes: Vec<SchedulingClass> = report.cells().iter().map(|c| c.class).collect();
+        assert_eq!(
+            classes,
+            vec![SchedulingClass::FixedPriorityRm, SchedulingClass::Edf]
+        );
+        // One task, one core: the classes see identical paired draws, so
+        // the single-job-at-a-time schedule is identical too.
+        let stats: Vec<_> = report.cells().iter().map(|c| c.stats().unwrap()).collect();
+        assert_eq!(stats[0].mean_energy, stats[1].mean_energy);
+        assert_eq!(stats[0].preemptions, stats[1].preemptions);
+
+        let default = Campaign::builder()
+            .task_set("s", small_set())
+            .processor("p", cpu())
+            .policy(PolicySpec::no_dvs())
+            .workload(WorkloadSpec::Paper)
+            .build()
+            .unwrap();
+        let report = default.run();
+        assert!(report
+            .cells()
+            .iter()
+            .all(|c| c.class == SchedulingClass::FixedPriorityRm));
     }
 
     #[test]

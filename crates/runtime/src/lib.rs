@@ -63,6 +63,7 @@ pub mod pool;
 pub mod report;
 pub mod sink;
 
+pub use acs_model::SchedulingClass;
 pub use acs_multi::PartitionHeuristic;
 pub use campaign::{
     Campaign, CampaignBuilder, CampaignError, PolicySpec, ScheduleChoice, WorkloadSpec,

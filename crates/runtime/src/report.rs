@@ -2,6 +2,7 @@
 
 use crate::campaign::ScheduleChoice;
 use acs_model::units::Energy;
+use acs_model::SchedulingClass;
 use acs_sim::improvement_over;
 
 /// Aggregate statistics of one grid cell over its seeds.
@@ -34,6 +35,9 @@ pub struct CellStats {
     pub saturated_dispatches: usize,
     /// Voltage switches summed over all runs.
     pub voltage_switches: usize,
+    /// Preemptions (dispatches displacing an unfinished job) summed
+    /// over all runs.
+    pub preemptions: usize,
     /// Workload draws clamped into `[0, WCEC]`, summed over all runs.
     pub clamped_draws: usize,
     /// Worst completion lateness observed across all runs (ms).
@@ -78,6 +82,9 @@ pub struct CellReport {
     /// Partitioner label (`"ffd"`/`"bfd"`/`"wfd"`; `"-"` on single-core
     /// cells, where there is nothing to partition).
     pub partition: String,
+    /// Scheduling class the cell's dispatcher ran
+    /// (`FixedPriorityRm` on classic grids).
+    pub class: SchedulingClass,
     /// Schedule the cell ran under.
     pub schedule: ScheduleChoice,
     /// Policy name.
@@ -122,9 +129,9 @@ impl CampaignReport {
     }
 
     /// Finds the first cell matching the given coordinates (on grids
-    /// with a cores/partitioner axis, the first match in grid order —
-    /// filter [`CampaignReport::cells`] directly to select a specific
-    /// core count).
+    /// with a cores/partitioner/class axis, the first match in grid
+    /// order — filter [`CampaignReport::cells`] directly to select a
+    /// specific core count or scheduling class).
     pub fn find(
         &self,
         task_set: &str,
@@ -166,12 +173,13 @@ impl CampaignReport {
     /// policy, workload) coordinate that has both schedule cells. One
     /// keyed pass — O(cells) even on paper-scale grids.
     pub fn gains(&self) -> Vec<(&CellReport, f64)> {
-        fn key(c: &CellReport) -> (&str, &str, usize, &str, &str, &str) {
+        fn key(c: &CellReport) -> (&str, &str, usize, &str, SchedulingClass, &str, &str) {
             (
                 &c.task_set,
                 &c.processor,
                 c.cores,
                 &c.partition,
+                c.class,
                 &c.policy,
                 &c.workload,
             )
@@ -233,10 +241,11 @@ impl CampaignReport {
             });
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<18} {:<12} {:>7} {:>5} {:<10} {:<16} {:>12} {:>10} {:>12} {:>7}",
+            "{:<18} {:<12} {:>7} {:>5} {:>5} {:<10} {:<16} {:>12} {:>10} {:>12} {:>7}",
             "task set",
             "processor",
             "cores",
+            "class",
             "sched",
             "policy",
             "workload",
@@ -258,10 +267,12 @@ impl CampaignReport {
             match &c.outcome {
                 Ok(s) => {
                     out.push_str(&format!(
-                        "{:<18} {:<12} {:>7} {:>5} {:<10} {:<16} {:>12.1} {:>10.1} {:>12.1} {:>7}",
+                        "{:<18} {:<12} {:>7} {:>5} {:>5} {:<10} {:<16} {:>12.1} {:>10.1} \
+                         {:>12.1} {:>7}",
                         c.task_set,
                         c.processor,
                         cores,
+                        c.class.label(),
                         c.schedule.label(),
                         c.policy,
                         c.workload,
@@ -280,10 +291,11 @@ impl CampaignReport {
                     out.push('\n');
                 }
                 Err(e) => out.push_str(&format!(
-                    "{:<18} {:<12} {:>7} {:>5} {:<10} {:<16} FAILED: {}\n",
+                    "{:<18} {:<12} {:>7} {:>5} {:>5} {:<10} {:<16} FAILED: {}\n",
                     c.task_set,
                     c.processor,
                     cores,
+                    c.class.label(),
                     c.schedule.label(),
                     c.policy,
                     c.workload,
@@ -329,6 +341,7 @@ mod tests {
             jobs_completed: 10,
             saturated_dispatches: 0,
             voltage_switches: 0,
+            preemptions: 0,
             clamped_draws: 0,
             worst_lateness_ms: 0.0,
             solver_lookups: 0,
@@ -344,6 +357,7 @@ mod tests {
             processor: "p".into(),
             cores: 1,
             partition: "-".into(),
+            class: SchedulingClass::FixedPriorityRm,
             schedule,
             policy: "greedy".into(),
             workload: "paper-normal".into(),
@@ -362,6 +376,34 @@ mod tests {
         assert_eq!(report.gains().len(), 1);
         assert_eq!(report.total_deadline_misses(), 0);
         assert!(report.gain("s", "p", "static", "paper-normal").is_none());
+    }
+
+    #[test]
+    fn gains_do_not_pair_across_classes() {
+        // An EDF ACS cell must not pair with an RM WCS cell.
+        let mut edf_acs = cell(ScheduleChoice::Acs, 70.0);
+        edf_acs.class = SchedulingClass::Edf;
+        let report = CampaignReport::new(vec![cell(ScheduleChoice::Wcs, 100.0), edf_acs]);
+        assert!(report.gains().is_empty());
+        // Same-class pairs still match, per class.
+        let mut edf_wcs = cell(ScheduleChoice::Wcs, 90.0);
+        edf_wcs.class = SchedulingClass::Edf;
+        let mut edf_acs = cell(ScheduleChoice::Acs, 45.0);
+        edf_acs.class = SchedulingClass::Edf;
+        let report = CampaignReport::new(vec![
+            cell(ScheduleChoice::Wcs, 100.0),
+            cell(ScheduleChoice::Acs, 80.0),
+            edf_wcs,
+            edf_acs,
+        ]);
+        let gains = report.gains();
+        assert_eq!(gains.len(), 2);
+        assert!((gains[0].1 - 0.2).abs() < 1e-12);
+        assert!((gains[1].1 - 0.5).abs() < 1e-12);
+        // The table renders one class column per row.
+        let table = report.to_table();
+        assert!(table.contains(" edf "), "{table}");
+        assert!(table.contains(" rm "), "{table}");
     }
 
     #[test]

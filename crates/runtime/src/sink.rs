@@ -114,12 +114,15 @@ impl ResultSink for AggregateSink {
 /// The multicore/leakage columns (`cores` through `per_core_energy`)
 /// are appended after the original layout, so positional consumers of
 /// pre-0.2 CSVs keep working; `per_core_energy` is a `;`-joined list of
-/// per-core mean energies, in core order.
+/// per-core mean energies, in core order. The scheduling-class columns
+/// (`class`, `preemptions`) are appended after those for the same
+/// reason — v2 positions are preserved; `class` is `rm` or `edf`.
 pub const CSV_HEADER: &str = "task_set,processor,schedule,policy,workload,status,error,\
      runs,mean_energy,std_energy,p95_energy,deadline_misses,jobs_completed,\
      saturated_dispatches,voltage_switches,clamped_draws,worst_lateness_ms,\
      solver_lookups,solver_cache_hits,boundary_resolves,resolves_adopted,\
-     cores,partition,dynamic_energy,static_energy,idle_energy,per_core_energy";
+     cores,partition,dynamic_energy,static_energy,idle_energy,per_core_energy,\
+     class,preemptions";
 
 /// Quotes a CSV field when it contains a comma, quote or newline
 /// (RFC-4180 style: embedded quotes doubled).
@@ -175,7 +178,8 @@ impl<W: Write> ResultSink for CsvSink<W> {
                     s.per_core_mean_energy.iter().map(f64::to_string).collect();
                 writeln!(
                     self.writer,
-                    "{coords},ok,,{},{},{},{},{},{},{},{},{},{},{},{},{},{},{cores},{},{},{},{}",
+                    "{coords},ok,,{},{},{},{},{},{},{},{},{},{},{},{},{},{},{cores},{},{},{},{},\
+                     {},{}",
                     s.runs,
                     s.mean_energy.as_units(),
                     s.std_energy,
@@ -194,12 +198,15 @@ impl<W: Write> ResultSink for CsvSink<W> {
                     s.mean_static_energy.as_units(),
                     s.mean_idle_energy.as_units(),
                     csv_field(&per_core.join(";")),
+                    c.class.label(),
+                    s.preemptions,
                 )
             }
             Err(e) => writeln!(
                 self.writer,
-                "{coords},failed,{},,,,,,,,,,,,,,,{cores},,,,",
-                csv_field(e)
+                "{coords},failed,{},,,,,,,,,,,,,,,{cores},,,,,{},",
+                csv_field(e),
+                c.class.label(),
             ),
         }
     }
@@ -252,13 +259,14 @@ impl<W: Write> ResultSink for JsonlSink<W> {
         let c = &record.cell;
         let coords = format!(
             "\"index\":{},\"task_set\":\"{}\",\"processor\":\"{}\",\"cores\":{},\
-             \"partition\":\"{}\",\"schedule\":\"{}\",\
+             \"partition\":\"{}\",\"class\":\"{}\",\"schedule\":\"{}\",\
              \"policy\":\"{}\",\"workload\":\"{}\"",
             record.index,
             json_escape(&c.task_set),
             json_escape(&c.processor),
             c.cores,
             json_escape(&c.partition),
+            c.class.label(),
             c.schedule.label(),
             json_escape(&c.policy),
             json_escape(&c.workload),
@@ -289,7 +297,8 @@ fn stats_json(s: &CellStats) -> String {
          \"dynamic_energy\":{},\"static_energy\":{},\"idle_energy\":{},\
          \"per_core_energy\":[{}],\
          \"deadline_misses\":{},\"jobs_completed\":{},\"saturated_dispatches\":{},\
-         \"voltage_switches\":{},\"clamped_draws\":{},\"worst_lateness_ms\":{},\
+         \"voltage_switches\":{},\"preemptions\":{},\"clamped_draws\":{},\
+         \"worst_lateness_ms\":{},\
          \"solver_lookups\":{},\"solver_cache_hits\":{},\"boundary_resolves\":{},\
          \"resolves_adopted\":{}}}",
         s.runs,
@@ -304,6 +313,7 @@ fn stats_json(s: &CellStats) -> String {
         s.jobs_completed,
         s.saturated_dispatches,
         s.voltage_switches,
+        s.preemptions,
         s.clamped_draws,
         s.worst_lateness_ms,
         s.solver_lookups,
@@ -364,6 +374,7 @@ mod tests {
     use super::*;
     use crate::campaign::ScheduleChoice;
     use acs_model::units::Energy;
+    use acs_model::SchedulingClass;
 
     fn record(index: usize, ok: bool) -> CellRecord {
         CellRecord {
@@ -373,6 +384,7 @@ mod tests {
                 processor: "p".into(),
                 cores: 2,
                 partition: "ffd".into(),
+                class: SchedulingClass::Edf,
                 schedule: ScheduleChoice::Wcs,
                 policy: "greedy".into(),
                 workload: "paper-normal".into(),
@@ -390,6 +402,7 @@ mod tests {
                         jobs_completed: 20,
                         saturated_dispatches: 1,
                         voltage_switches: 40,
+                        preemptions: 6,
                         clamped_draws: 0,
                         worst_lateness_ms: -0.25,
                         solver_lookups: 0,
@@ -432,8 +445,8 @@ mod tests {
             lines[1]
         );
         assert!(
-            lines[1].ends_with(",2,ffd,10,2,0.5,7.5;5"),
-            "multicore/leakage columns are appended: {}",
+            lines[1].ends_with(",2,ffd,10,2,0.5,7.5;5,edf,6"),
+            "multicore/leakage then class columns are appended: {}",
             lines[1]
         );
         assert!(
@@ -442,8 +455,8 @@ mod tests {
             lines[2]
         );
         assert!(
-            lines[2].ends_with(",2,ffd,,,,"),
-            "failed rows still carry the cores coordinates: {}",
+            lines[2].ends_with(",2,ffd,,,,,edf,"),
+            "failed rows still carry the cores and class coordinates: {}",
             lines[2]
         );
         // Every row has the header's column count.
@@ -473,6 +486,8 @@ mod tests {
         assert!(lines[0].contains("\"task_set\":\"s,1\""));
         assert!(lines[0].contains("\"cores\":2"));
         assert!(lines[0].contains("\"partition\":\"ffd\""));
+        assert!(lines[0].contains("\"class\":\"edf\""));
+        assert!(lines[0].contains("\"preemptions\":6"));
         assert!(lines[0].contains("\"ok\":true"));
         assert!(lines[0].contains("\"mean_energy\":12.5"));
         assert!(lines[0].contains("\"static_energy\":2"));

@@ -5,7 +5,7 @@ use crate::scenario::{
     ModelDecl, PolicyDecl, ProcessorDecl, Scenario, StaticPowerDecl, SynthProfile, TaskDecl,
     TaskSetDecl,
 };
-use acs_runtime::{PartitionHeuristic, ScheduleChoice, WorkloadSpec};
+use acs_runtime::{PartitionHeuristic, ScheduleChoice, SchedulingClass, WorkloadSpec};
 
 /// Key=value argument list of one directive, with unknown-key detection.
 struct Kv<'a> {
@@ -403,17 +403,18 @@ pub(crate) fn parse(text: &str) -> Result<Scenario, ScenarioError> {
         .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
 
     let (header_ln, header) = lines.next().ok_or_else(|| {
-        ScenarioError::msg("empty scenario (missing `acsched-scenario v1|v2` header)")
+        ScenarioError::msg("empty scenario (missing `acsched-scenario v1|v2|v3` header)")
     })?;
     let version = match header {
         "acsched-scenario v1" => 1,
         "acsched-scenario v2" => 2,
+        "acsched-scenario v3" => 3,
         other => {
             return Err(ScenarioError::at(
                 header_ln,
                 format!(
-                    "unsupported header `{other}` (expected `acsched-scenario v1` or \
-                     `acsched-scenario v2`)"
+                    "unsupported header `{other}` (expected `acsched-scenario v1`, \
+                     `acsched-scenario v2` or `acsched-scenario v3`)"
                 ),
             ))
         }
@@ -580,7 +581,7 @@ pub(crate) fn parse(text: &str) -> Result<Scenario, ScenarioError> {
                     ));
                 }
                 for tok in &tokens[1..] {
-                    sc.schedules.push(match *tok {
+                    let choice = match *tok {
                         "wcs" => ScheduleChoice::Wcs,
                         "acs" => ScheduleChoice::Acs,
                         "unscheduled" => ScheduleChoice::Unscheduled,
@@ -593,7 +594,43 @@ pub(crate) fn parse(text: &str) -> Result<Scenario, ScenarioError> {
                                 ),
                             ))
                         }
-                    });
+                    };
+                    // Duplicates are dropped keeping the first position
+                    // (matching the documented `seeds` behavior): a
+                    // repeated choice would duplicate every scheduled
+                    // cell of the grid.
+                    if !sc.schedules.contains(&choice) {
+                        sc.schedules.push(choice);
+                    }
+                }
+            }
+            "class" => {
+                singleton(ln, "class")?;
+                if version < 3 {
+                    return Err(ScenarioError::at(
+                        ln,
+                        "`class` needs the `acsched-scenario v3` header".to_string(),
+                    ));
+                }
+                if tokens.len() == 1 {
+                    return Err(ScenarioError::at(
+                        ln,
+                        "class: expected at least one of rm, edf \
+                         (`class <rm|edf>[,...]`)"
+                            .to_string(),
+                    ));
+                }
+                for tok in tokens[1..].iter().flat_map(|t| t.split(',')) {
+                    let class: SchedulingClass = tok
+                        .parse()
+                        .map_err(|e: String| ScenarioError::at(ln, format!("class: {e}")))?;
+                    if sc.classes.contains(&class) {
+                        return Err(ScenarioError::at(
+                            ln,
+                            format!("class: `{class}` listed twice"),
+                        ));
+                    }
+                    sc.classes.push(class);
                 }
             }
             "policy" => sc.policies.push(parse_policy(ln, &tokens[1..])?),
@@ -704,7 +741,7 @@ pub(crate) fn parse(text: &str) -> Result<Scenario, ScenarioError> {
                     ln,
                     format!(
                         "unknown directive `{other}` (known: taskset, tasksets, processor, \
-                         cores, schedules, policy, workload, seeds, hyper_periods, \
+                         cores, class, schedules, policy, workload, seeds, hyper_periods, \
                          deadline_tol_ms, synthesis, acs_multistart, threads)"
                     ),
                 ))

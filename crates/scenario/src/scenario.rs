@@ -7,7 +7,8 @@ use acs_model::units::{Cycles, Energy, Freq, Ticks, TimeSpan, Volt};
 use acs_model::{Task, TaskSet};
 use acs_power::{FreqModel, LevelTable, Processor};
 use acs_runtime::{
-    Campaign, CampaignBuilder, PartitionHeuristic, PolicySpec, ScheduleChoice, WorkloadSpec,
+    Campaign, CampaignBuilder, PartitionHeuristic, PolicySpec, ScheduleChoice, SchedulingClass,
+    WorkloadSpec,
 };
 use acs_sim::ReOptConfig;
 use acs_workloads::{paper_set_batch, real_life};
@@ -219,11 +220,12 @@ pub enum SynthProfile {
 /// [`Scenario::to_campaign`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
-    /// Format version the scenario was parsed from (1 or 2). `v2` adds
-    /// the `cores` directive and the `static_power=`/`idle_power=`
-    /// processor keys; [`Scenario::to_text`] refuses to serialize those
-    /// features under version 1 rather than emitting text an old parser
-    /// would reject with an unhelpful error.
+    /// Format version the scenario was parsed from (1, 2 or 3). `v2`
+    /// adds the `cores` directive and the `static_power=`/`idle_power=`
+    /// processor keys; `v3` adds the `class` directive (scheduling-class
+    /// axis). [`Scenario::to_text`] refuses to serialize features of a
+    /// newer version under an older header rather than emitting text an
+    /// old parser would reject with an unhelpful error.
     pub version: u32,
     /// Task-set declarations (grid rows, in order).
     pub task_sets: Vec<TaskSetDecl>,
@@ -233,7 +235,12 @@ pub struct Scenario {
     pub cores: Vec<usize>,
     /// Partitioner axis (`v2`); empty = first-fit decreasing.
     pub partitioners: Vec<PartitionHeuristic>,
+    /// Scheduling-class axis (`v3`); empty = fixed-priority RM only.
+    pub classes: Vec<SchedulingClass>,
     /// Schedule axis; empty = the campaign builder's default.
+    /// Duplicate entries on the `schedules` line are dropped at parse
+    /// time, keeping first positions (matching the documented `seeds`
+    /// behavior).
     pub schedules: Vec<ScheduleChoice>,
     /// Policy declarations.
     pub policies: Vec<PolicyDecl>,
@@ -263,6 +270,7 @@ impl Default for Scenario {
             processors: Vec::new(),
             cores: Vec::new(),
             partitioners: Vec::new(),
+            classes: Vec::new(),
             schedules: Vec::new(),
             policies: Vec::new(),
             workloads: Vec::new(),
@@ -365,6 +373,13 @@ impl Scenario {
                         .to_string(),
                 ));
             }
+        }
+        if self.version < 3 && !self.classes.is_empty() {
+            return Err(ScenarioError::msg(format!(
+                "scenario uses v3 features (the `class` scheduling-class axis) but \
+                 declares version {}; set `version: 3`",
+                self.version
+            )));
         }
         let mut out = String::new();
         let _ = writeln!(out, "acsched-scenario v{}", self.version);
@@ -478,6 +493,10 @@ impl Scenario {
                 let _ = write!(out, " partition={}", parts.join(","));
             }
             out.push('\n');
+        }
+        if !self.classes.is_empty() {
+            let labels: Vec<&str> = self.classes.iter().map(|c| c.label()).collect();
+            let _ = writeln!(out, "class {}", labels.join(","));
         }
         if !self.schedules.is_empty() {
             let kws: Vec<&str> = self
@@ -697,6 +716,9 @@ impl Scenario {
         }
         if !self.partitioners.is_empty() {
             b = b.partitioners(self.partitioners.iter().copied());
+        }
+        if !self.classes.is_empty() {
+            b = b.classes(self.classes.iter().copied());
         }
         if !self.schedules.is_empty() {
             b = b.schedules(self.schedules.iter().copied());

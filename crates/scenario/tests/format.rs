@@ -57,9 +57,30 @@ seeds 1 2
 hyper_periods 5
 ";
 
+/// A `v3` scenario exercising the scheduling-class axis on top of the
+/// v2 grammar.
+const FULL_V3: &str = "\
+acsched-scenario v3
+
+taskset pair
+task ctrl period=10 wcec=300 acec=120 bcec=30
+task telemetry period=20 wcec=600 acec=200 bcec=60
+end
+
+processor linear50 linear kappa=50 vmin=0.3 vmax=4
+
+cores 1 2
+class rm,edf
+schedules wcs acs
+policy greedy
+workload paper
+seeds 1 2
+hyper_periods 5
+";
+
 #[test]
 fn full_scenario_round_trip_fixpoint() {
-    for (text, version) in [(FULL, 1), (FULL_V2, 2)] {
+    for (text, version) in [(FULL, 1), (FULL_V2, 2), (FULL_V3, 3)] {
         let first = Scenario::from_text(text).expect("full scenario parses");
         assert_eq!(first.version, version);
         let canonical = first.to_text().expect("parsed scenarios serialize");
@@ -132,6 +153,56 @@ fn v2_features_materialize() {
     let text = v1.to_text().unwrap();
     assert!(text.starts_with("acsched-scenario v2\n"), "{text}");
     assert_eq!(v1, Scenario::from_text(&text).unwrap());
+}
+
+#[test]
+fn v3_class_axis_materializes_and_gates() {
+    use acs_runtime::SchedulingClass;
+    let sc = Scenario::from_text(FULL_V3).unwrap();
+    assert_eq!(
+        sc.classes,
+        vec![SchedulingClass::FixedPriorityRm, SchedulingClass::Edf]
+    );
+    // greedy x {wcs, acs} x (cores 1 + 2) x 2 classes = 8 cells.
+    let campaign = sc.to_campaign().unwrap();
+    assert_eq!(campaign.cell_count(), 8);
+    // The class line round-trips in canonical comma form.
+    let text = sc.to_text().unwrap();
+    assert!(text.contains("\nclass rm,edf\n"), "{text}");
+
+    // A v2 scenario hand-upgraded with a class axis must be
+    // re-versioned before it serializes.
+    let mut v2 = Scenario::from_text(FULL_V2).unwrap();
+    v2.classes = vec![SchedulingClass::Edf];
+    let err = v2.to_text().unwrap_err().to_string();
+    assert!(err.contains("v3 features"), "{err}");
+    assert!(err.contains("version 2"), "{err}");
+    v2.version = 3;
+    let text = v2.to_text().unwrap();
+    assert!(text.starts_with("acsched-scenario v3\n"), "{text}");
+    assert_eq!(v2, Scenario::from_text(&text).unwrap());
+}
+
+#[test]
+fn duplicate_schedules_dedupe_preserving_order() {
+    // Duplicates on the `schedules` line are dropped keeping first
+    // positions — the documented `seeds` behavior — instead of silently
+    // duplicating every scheduled cell of the grid.
+    let sc = Scenario::from_text(
+        "acsched-scenario v1\n\
+         taskset one\ntask t period=10 wcec=100\nend\n\
+         processor p linear kappa=50 vmin=1 vmax=4\n\
+         schedules acs wcs acs acs wcs\n\
+         policy greedy\nworkload paper\n",
+    )
+    .unwrap();
+    use acs_runtime::ScheduleChoice;
+    assert_eq!(sc.schedules, vec![ScheduleChoice::Acs, ScheduleChoice::Wcs]);
+    assert_eq!(sc.to_campaign().unwrap().cell_count(), 2);
+    // The canonical form carries the deduped line and stays a fixpoint.
+    let text = sc.to_text().unwrap();
+    assert!(text.contains("\nschedules acs wcs\n"), "{text}");
+    assert_eq!(sc, Scenario::from_text(&text).unwrap());
 }
 
 #[test]
@@ -228,7 +299,7 @@ fn random_decl_matches_programmatic_batch() {
 fn malformed_inputs_report_line_and_cause() {
     let table: &[(&str, &[&str])] = &[
         ("", &["empty scenario"]),
-        ("acsched-scenario v3\n", &["line 1", "unsupported header"]),
+        ("acsched-scenario v4\n", &["line 1", "unsupported header"]),
         (
             "acsched-scenario v1\nfrobnicate all\n",
             &["line 2", "unknown directive `frobnicate`"],
@@ -398,6 +469,29 @@ fn malformed_inputs_report_line_and_cause() {
             "acsched-scenario v2\nprocessor p linear kappa=50 vmin=1 vmax=4 \
              levels=1,2,4 static_power=1,2\n",
             &["line 2", "2 static_power entries for 3 levels"],
+        ),
+        // ---- v3 grammar: scheduling classes ----
+        (
+            "acsched-scenario v2\nclass edf\n",
+            &["line 2", "`class`", "acsched-scenario v3"],
+        ),
+        (
+            "acsched-scenario v3\nclass\n",
+            &["line 2", "class", "at least one of rm, edf"],
+        ),
+        (
+            "acsched-scenario v3\nclass dm\n",
+            &["line 2", "class", "unknown scheduling class `dm`"],
+        ),
+        (
+            "acsched-scenario v3\nclass rm,rm\n",
+            &["line 2", "class: `rm` listed twice"],
+        ),
+        // A conflicting `class` redeclaration: the singleton rule names
+        // the second line.
+        (
+            "acsched-scenario v3\nclass rm\nclass edf\n",
+            &["line 3", "directive `class` declared twice"],
         ),
     ];
     for (input, needles) in table {

@@ -1,10 +1,12 @@
-//! The event-driven preemptive rate-monotonic DVS simulator.
+//! The event-driven preemptive DVS simulator (fixed-priority RM or
+//! EDF, per [`SchedulingClass`]).
 //!
-//! Jobs are released periodically, preemption is immediate on
-//! higher-priority release (paper §2.1), and the processor shuts down
-//! (zero energy) when idle. Execution advances between *events* —
-//! releases, chunk-budget exhaustions, completions — so simulation cost is
-//! `O(events)`, independent of cycle counts.
+//! Jobs are released periodically, preemption is immediate when a more
+//! eligible job appears — a higher-priority release under RM (paper
+//! §2.1), an earlier-deadline release under EDF — and the processor
+//! shuts down (zero energy) when idle. Execution advances between
+//! *events* — releases, chunk-budget exhaustions, completions — so
+//! simulation cost is `O(events)`, independent of cycle counts.
 //!
 //! The engine is policy-agnostic: it drives any [`Policy`] through the
 //! trait's callbacks (`on_start`/`on_release`/`on_completion`/
@@ -19,7 +21,7 @@ use crate::report::SimReport;
 use acs_core::reopt::InstanceProgress;
 use acs_core::StaticSchedule;
 use acs_model::units::{Cycles, Energy, Freq, Time, TimeSpan};
-use acs_model::{TaskId, TaskSet};
+use acs_model::{SchedulingClass, TaskId, TaskSet};
 use acs_power::Processor;
 use acs_preempt::SubInstanceId;
 
@@ -33,6 +35,11 @@ pub struct SimOptions {
     pub deadline_tol_ms: f64,
     /// Record an [`ExecutionTrace`] of the *first* hyper-period.
     pub record_trace: bool,
+    /// Scheduling class the dispatcher orders ready jobs by; `None`
+    /// (the default) inherits the task set's own
+    /// [`TaskSet::class`]. The campaign grid sets this explicitly per
+    /// cell.
+    pub class: Option<SchedulingClass>,
 }
 
 impl Default for SimOptions {
@@ -41,6 +48,7 @@ impl Default for SimOptions {
             hyper_periods: 1,
             deadline_tol_ms: 1e-6,
             record_trace: false,
+            class: None,
         }
     }
 }
@@ -156,6 +164,13 @@ impl<'a> Simulator<'a> {
         self
     }
 
+    /// Overrides the scheduling class for this run (otherwise the task
+    /// set's own [`TaskSet::class`] applies).
+    pub fn with_class(mut self, class: SchedulingClass) -> Self {
+        self.options.class = Some(class);
+        self
+    }
+
     /// Runs the simulation. `workload` is called once per job with the
     /// task id and the *absolute* instance index across the whole run
     /// (hyper-period-major), and returns that job's actual execution
@@ -226,6 +241,20 @@ impl<'a> Simulator<'a> {
         match self.schedule {
             Some(schedule) => {
                 let fps = schedule.fps();
+                // Milestones encode a worst-case total order; dispatching
+                // them under the other class voids the guarantee (the
+                // stretch windows assume this class's interleaving), so
+                // the mismatch is an error rather than silent lateness.
+                let class = self.options.class.unwrap_or_else(|| self.set.class());
+                if fps.class() != class {
+                    return Err(SimError::ScheduleMismatch {
+                        reason: format!(
+                            "schedule synthesized for {} dispatch, run uses {}",
+                            fps.class(),
+                            class
+                        ),
+                    });
+                }
                 if fps.hyper_period() != self.set.hyper_period() {
                     return Err(SimError::ScheduleMismatch {
                         reason: format!(
@@ -335,6 +364,7 @@ fn run_one(
     const EPS: f64 = 1e-9;
     let has_schedule = schedule.is_some();
     let wants_boundaries = policy.wants_boundaries();
+    let class = options.class.unwrap_or_else(|| set.class());
     // Completion threshold in cycles. Schedules are accepted with up
     // to ~1e-6 ms of worst-case trace lateness, which at f_max
     // corresponds to fractions of a cycle of residual work; without a
@@ -430,6 +460,11 @@ fn run_one(
     let mut rel_ptr = 0usize;
     let mut t = 0.0f64;
     let mut last_voltage: Option<f64> = None;
+    // Job index of the most recent dispatch, for preemption counting: a
+    // dispatch of a *different* job while this one still has work is a
+    // displacement (both classes use the same rule, so RM/EDF
+    // preemption counts are directly comparable).
+    let mut last_dispatched: Option<usize> = None;
     let overhead = cpu.overhead();
 
     loop {
@@ -521,8 +556,12 @@ fn run_one(
             let plan = &plans[j.task][j.instance_in_hyper as usize];
             j.chunk_budget_left <= EPS && j.chunk + 1 < plan.len()
         };
-        // Highest-priority eligible job (task index = priority; among
-        // instances of one task, the earlier release first).
+        // The eligible job the scheduling class picks. RM: the task
+        // index *is* the priority; among instances of one task, the
+        // earlier release first. EDF: earliest absolute deadline, ties
+        // broken by task index then release — on per-frame
+        // (equal-period) sets every ready job shares one deadline, so
+        // the EDF order collapses to the exact RM order.
         let ready = jobs
             .iter()
             .enumerate()
@@ -530,8 +569,12 @@ fn run_one(
                 !j.done && j.release_ms <= t + EPS && j.remaining > CYCLE_EPS && !throttled(j)
             })
             .min_by(|(_, a), (_, b)| {
-                a.task
-                    .cmp(&b.task)
+                let by_deadline = match class {
+                    SchedulingClass::FixedPriorityRm => std::cmp::Ordering::Equal,
+                    SchedulingClass::Edf => a.deadline_ms.total_cmp(&b.deadline_ms),
+                };
+                by_deadline
+                    .then(a.task.cmp(&b.task))
                     .then(a.release_ms.total_cmp(&b.release_ms))
             })
             .map(|(i, _)| i);
@@ -565,6 +608,12 @@ fn run_one(
             break;
         };
         let plan = &plans[jobs[job_idx].task][jobs[job_idx].instance_in_hyper as usize];
+        if let Some(prev) = last_dispatched {
+            if prev != job_idx && !jobs[prev].done && jobs[prev].remaining > CYCLE_EPS {
+                report.preemptions += 1;
+            }
+        }
+        last_dispatched = Some(job_idx);
 
         // ---- dispatch ----
         let (task, chunk, budget_left, remaining) = {
@@ -1263,6 +1312,133 @@ mod tests {
         for s in out.trace.unwrap().slices() {
             assert_eq!(s.voltage, Volt::from_volts(3.0), "{s:?}");
         }
+    }
+
+    /// The classic scheduling-class separator: a non-harmonic set at
+    /// utilization 1 misses deadlines under RM but not under EDF (whose
+    /// utilization bound is exactly 1).
+    #[test]
+    fn edf_schedules_full_utilization_where_rm_misses() {
+        // Periods {10, 15} at f_max = 200 cyc/ms: U = 0.5 + 0.5 = 1.
+        let set = TaskSet::new(vec![
+            Task::builder("a", Ticks::new(10))
+                .wcec(Cycles::from_cycles(1000.0))
+                .build()
+                .unwrap(),
+            Task::builder("b", Ticks::new(15))
+                .wcec(Cycles::from_cycles(1500.0))
+                .build()
+                .unwrap(),
+        ])
+        .unwrap();
+        let cpu = Processor::builder(FreqModel::linear(50.0).unwrap())
+            .vmin(Volt::from_volts(0.5))
+            .vmax(Volt::from_volts(4.0))
+            .build()
+            .unwrap();
+        assert!(acs_preempt::edf_demand_feasible(&set, cpu.f_max()));
+        assert!(!acs_preempt::rm_feasible(&set, cpu.f_max()));
+        let totals = acs_core::trace::wcec_totals(&set);
+        let rm = Simulator::new(&set, &cpu, NoDvs)
+            .run(&mut |tid, _| totals[tid.0])
+            .unwrap();
+        assert!(rm.report.deadline_misses > 0, "RM must miss at U = 1");
+        let edf = Simulator::new(&set, &cpu, NoDvs)
+            .with_class(acs_model::SchedulingClass::Edf)
+            .run(&mut |tid, _| totals[tid.0])
+            .unwrap();
+        assert_eq!(edf.report.deadline_misses, 0, "EDF is exact at U = 1");
+        // The set-level default class works the same way as the
+        // explicit override.
+        let tagged = set.clone().with_class(acs_model::SchedulingClass::Edf);
+        let inherited = Simulator::new(&tagged, &cpu, NoDvs)
+            .run(&mut |tid, _| totals[tid.0])
+            .unwrap();
+        assert_eq!(inherited.report, edf.report);
+    }
+
+    /// Per-frame (equal-period) sets: the EDF dispatcher degenerates to
+    /// the exact RM path — identical reports and traces, for scheduled
+    /// and schedule-free policies alike.
+    #[test]
+    fn edf_degenerates_to_rm_on_equal_periods() {
+        let (set, cpu) = motivation(); // three tasks, all period 20
+        let edf_set = set.clone().with_class(acs_model::SchedulingClass::Edf);
+        let sched_rm = synthesize_wcs(&set, &cpu, &SynthesisOptions::default()).unwrap();
+        let sched_edf = synthesize_wcs(&edf_set, &cpu, &SynthesisOptions::default()).unwrap();
+        // On a per-frame set the EDF expansion *is* the RM expansion, so
+        // the synthesized milestones coincide exactly.
+        for (a, b) in sched_rm.milestones().iter().zip(sched_edf.milestones()) {
+            assert_eq!(a.end_time, b.end_time);
+            assert_eq!(a.worst_workload, b.worst_workload);
+        }
+        let totals = acs_core::trace::acec_totals(&set);
+        type MakePolicy = fn() -> Box<dyn Policy>;
+        let policies: [(&str, MakePolicy); 3] = [
+            ("no-dvs", || Box::new(NoDvs)),
+            ("greedy", || Box::new(GreedyReclaim)),
+            ("ccrm", || Box::new(CcRm::new())),
+        ];
+        for (name, make) in policies {
+            let run = |class, sched: &StaticSchedule| {
+                let mut sim = Simulator::new(&set, &cpu, make()).with_options(SimOptions {
+                    record_trace: true,
+                    class: Some(class),
+                    ..Default::default()
+                });
+                if make().needs_schedule() {
+                    sim = sim.with_schedule(sched);
+                }
+                sim.run(&mut |tid, _| totals[tid.0]).unwrap()
+            };
+            let rm = run(acs_model::SchedulingClass::FixedPriorityRm, &sched_rm);
+            let edf = run(acs_model::SchedulingClass::Edf, &sched_edf);
+            assert_eq!(rm.report, edf.report, "{name}: reports diverge");
+            assert_eq!(
+                rm.trace.unwrap().slices(),
+                edf.trace.unwrap().slices(),
+                "{name}: traces diverge"
+            );
+        }
+        // A class-mismatched schedule is rejected loudly rather than
+        // silently voiding the worst-case guarantee.
+        let err = Simulator::new(&set, &cpu, GreedyReclaim)
+            .with_schedule(&sched_edf)
+            .run(&mut |tid, _| totals[tid.0])
+            .unwrap_err();
+        assert!(
+            matches!(&err, SimError::ScheduleMismatch { reason } if reason.contains("edf")),
+            "{err}"
+        );
+    }
+
+    /// Preemptions are counted as displacements of an unfinished job:
+    /// the preemptive fixture's `lo` task is split around `hi`'s
+    /// release.
+    #[test]
+    fn preemptions_counted() {
+        let (set, cpu) = preemptive_set();
+        let sched = synthesize_wcs(&set, &cpu, &SynthesisOptions::default()).unwrap();
+        let totals = acs_core::trace::wcec_totals(&set);
+        let out = Simulator::new(&set, &cpu, GreedyReclaim)
+            .with_schedule(&sched)
+            .run(&mut |tid, _| totals[tid.0])
+            .unwrap();
+        assert!(out.report.preemptions >= 1, "{:?}", out.report);
+        // A single-task set can never preempt.
+        let solo = TaskSet::new(vec![Task::builder("only", Ticks::new(10))
+            .wcec(Cycles::from_cycles(100.0))
+            .build()
+            .unwrap()])
+        .unwrap();
+        let out = Simulator::new(&solo, &cpu, NoDvs)
+            .with_options(SimOptions {
+                hyper_periods: 5,
+                ..Default::default()
+            })
+            .run(&mut |_, _| Cycles::from_cycles(100.0))
+            .unwrap();
+        assert_eq!(out.report.preemptions, 0);
     }
 
     /// Speeds below `f_min` rise to `f_min` (the processor cannot run

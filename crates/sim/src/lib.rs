@@ -1,7 +1,8 @@
 //! # acs-sim
 //!
-//! Event-driven preemptive rate-monotonic simulator with an **open
-//! online-DVS policy API**, for the `acsched` workspace.
+//! Event-driven preemptive simulator (fixed-priority RM or EDF, per
+//! [`SchedulingClass`]) with an **open online-DVS policy API**, for
+//! the `acsched` workspace.
 //!
 //! This is the paper's *runtime phase*: the offline synthesizer
 //! (`acs-core`) fixes per-sub-instance end times `e_u` and worst-case
@@ -81,6 +82,7 @@ pub mod reopt;
 pub mod report;
 pub mod stats;
 
+pub use acs_model::SchedulingClass;
 pub use engine::{simulate_deterministic, RunOutput, SimOptions, Simulator};
 pub use error::SimError;
 pub use exec_trace::{ExecutionTrace, Slice};

@@ -64,6 +64,10 @@ pub struct SimReport {
     /// Number of voltage transitions (changes between consecutive
     /// execution slices).
     pub voltage_switches: usize,
+    /// Number of preemptions: dispatches that displaced a different,
+    /// still-unfinished job. On per-frame (equal-period) sets the RM
+    /// and EDF scheduling classes produce identical counts.
+    pub preemptions: usize,
     /// Workload draws clamped into `[0, WCEC]`.
     pub clamped_draws: usize,
     /// Number of hyper-periods simulated.
@@ -95,6 +99,7 @@ impl SimReport {
             idle_time: TimeSpan::ZERO,
             busy_time: TimeSpan::ZERO,
             voltage_switches: 0,
+            preemptions: 0,
             clamped_draws: 0,
             hyper_periods: 0,
             solver_lookups: 0,
@@ -119,6 +124,7 @@ impl SimReport {
         self.idle_time += other.idle_time;
         self.busy_time += other.busy_time;
         self.voltage_switches += other.voltage_switches;
+        self.preemptions += other.preemptions;
         self.clamped_draws += other.clamped_draws;
         self.hyper_periods += other.hyper_periods;
         self.solver_lookups += other.solver_lookups;

@@ -148,10 +148,15 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
             .iter()
             .map(|s| s.label().to_lowercase())
             .collect();
+        let classes: Vec<String> = scenario
+            .classes
+            .iter()
+            .map(|c| c.label().to_string())
+            .collect();
         // The builder owns seed dedup/defaulting; read the per-cell run
         // count back from the grid it produced.
         let seeds = campaign.run_count() / campaign.cell_count().max(1);
-        let axes: [(&str, usize, String); 7] = [
+        let axes: [(&str, usize, String); 8] = [
             ("task sets", declared_rows, String::new()),
             ("processors", scenario.processors.len(), String::new()),
             (
@@ -161,6 +166,15 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
                     " (1)".into()
                 } else {
                     join_vals(&cores)
+                },
+            ),
+            (
+                "classes",
+                scenario.classes.len().max(1),
+                if classes.is_empty() {
+                    " (rm)".into()
+                } else {
+                    join_vals(&classes)
                 },
             ),
             (

@@ -153,13 +153,16 @@ pub mod prelude {
         SpeedBasis, StaticSchedule, SynthesisOptions,
     };
     pub use acs_model::units::{Cycles, Energy, Freq, Ticks, Time, TimeSpan, Volt};
-    pub use acs_model::{Task, TaskBuilder, TaskId, TaskSet};
+    pub use acs_model::{SchedulingClass, Task, TaskBuilder, TaskId, TaskSet};
     pub use acs_multi::{
         partition, CoreAssignment, MachineReport, MachineRun, MultiError, Partition,
         PartitionHeuristic,
     };
     pub use acs_power::{FreqModel, LevelTable, Processor, TransitionOverhead, VoltageLevels};
-    pub use acs_preempt::{FullyPreemptiveSchedule, InstanceId, SubInstance, SubInstanceId};
+    pub use acs_preempt::{
+        edf_demand_feasible, edf_utilization_feasible, rm_feasible, rm_response_times,
+        FullyPreemptiveSchedule, InstanceId, SubInstance, SubInstanceId,
+    };
     pub use acs_runtime::{
         AggregateSink, Campaign, CampaignBuilder, CampaignError, CampaignMeta, CampaignReport,
         CellRecord, CellReport, CellStats, CsvSink, JsonlSink, PolicySpec, ResultSink,

@@ -39,6 +39,7 @@ fn run_one(
         hyper_periods: 7,
         deadline_tol_ms: 1e-3,
         record_trace: true,
+        ..Default::default()
     });
     if let Some(s) = schedule {
         sim = sim.with_schedule(s);
