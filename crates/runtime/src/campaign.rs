@@ -119,6 +119,20 @@ impl PolicySpec {
         })
     }
 
+    /// [`PolicySpec::reopt_with`] wired to a **caller-owned** solver
+    /// cache instead of a private per-spec one, so the cache — and its
+    /// warmth — outlives any single campaign. This is how the campaign
+    /// server keeps repeated submissions hitting warm solves: every
+    /// submission's `reopt` cells share the server's process-wide
+    /// [`SolverCache`]. Sharing never changes results (cached solves are
+    /// pure functions of their keys); only hit *counts* can shift with
+    /// interleaving.
+    pub fn reopt_with_cache(cfg: ReOptConfig, cache: Arc<SolverCache>) -> Self {
+        PolicySpec::custom(move || {
+            Box::new(ReOpt::with_config(cfg.clone()).with_cache(cache.clone()))
+        })
+    }
+
     /// The policy's display name.
     pub fn name(&self) -> &str {
         &self.name
@@ -722,12 +736,13 @@ impl Campaign {
     /// [`CellReport::outcome`]); they never abort the rest of the grid.
     ///
     /// Execution is two parallel phases with a barrier between them:
-    /// all schedule synthesis first, then all simulation runs (streamed).
-    /// The barrier costs wall-clock on lopsided grids (one slow solve
-    /// holds back even unscheduled cells) — acceptable today because
-    /// synthesis jobs are deduplicated and typically dominate; a
-    /// dependency-aware queue can replace it without changing the
-    /// deterministic record order.
+    /// all schedule synthesis first ([`Campaign::plan`]), then all
+    /// simulation runs (streamed via [`Campaign::run_range_with`] over
+    /// the whole grid). The barrier costs wall-clock on lopsided grids
+    /// (one slow solve holds back even unscheduled cells) — acceptable
+    /// today because synthesis jobs are deduplicated and typically
+    /// dominate; a dependency-aware queue can replace it without
+    /// changing the deterministic record order.
     ///
     /// # Errors
     ///
@@ -735,21 +750,36 @@ impl Campaign {
     /// [`CsvSink`](crate::sink::CsvSink)) abort the campaign and are
     /// returned; the in-memory sinks never fail.
     pub fn run_with(&self, sink: &mut dyn ResultSink) -> std::io::Result<()> {
-        let b = &self.builder;
+        let plans = self.plan();
+        let n_seeds = self.builder.seeds.len();
+        sink.on_begin(&CampaignMeta {
+            cells: self.cells.len(),
+            runs: self.cells.len() * n_seeds,
+            seeds: n_seeds,
+        })?;
+        self.run_range_with(&plans, 0..self.cells.len(), self.builder.threads, sink)?;
+        sink.on_end()
+    }
 
-        // ---- phase 1: plan every (set, cpu, cores, partitioner, class)
-        // once ----
+    /// Phase 1 — synthesizes every schedule and partition the grid
+    /// needs, in parallel, deduplicated per
+    /// `(set, cpu, cores, partitioner, class)` and across
+    /// synthesis-equivalent processors.
+    ///
+    /// The result owns all of its data and is independent of `self`'s
+    /// lifetime, so callers can cache it (e.g. behind an [`Arc`]) and
+    /// replay it against *any* campaign built from the same axes — the
+    /// campaign server keys plans by scenario content hash for exactly
+    /// this. [`Campaign::run_range_with`] checks a structural signature
+    /// and rejects plans from a different grid.
+    pub fn plan(&self) -> CampaignPlans {
+        let b = &self.builder;
         // A plan is the partition (multicore cells only) plus the
         // per-core WCS — and, when some cell needs it, ACS — schedules,
         // synthesized on the class-tagged set: the fully preemptive
         // expansion orders segments by the scheduling class, so EDF
         // cells get EDF-consistent milestones. Single-core unscheduled
         // cells need no plan at all.
-        /// `(set, cpu, cores, partitioner-index, class)` — the sharing
-        /// unit of phase-1 planning.
-        type PlanKey = (usize, usize, usize, usize, SchedulingClass);
-        /// `(needs schedules at all, needs ACS)`.
-        type PlanNeeds = (bool, bool);
         let mut needs: std::collections::BTreeMap<PlanKey, PlanNeeds> =
             std::collections::BTreeMap::new();
         for cell in &self.cells {
@@ -842,55 +872,77 @@ impl Campaign {
                 acs,
             }
         });
-        let plan_of = |cell: &CellSpec| -> Option<&CellPlan> {
-            if cell.schedule == ScheduleChoice::Unscheduled && cell.cores == 1 {
-                return None;
-            }
-            let pos = keys
-                .binary_search_by_key(
-                    &(cell.set, cell.cpu, cell.cores, cell.part, cell.class),
-                    |(k, _)| *k,
-                )
-                .expect("every planned cell has a slot");
-            Some(&plans[slot_of[&canon[pos]]])
-        };
-        let schedules_of = |cell: &CellSpec| -> Result<Option<&[StaticSchedule]>, String> {
-            match cell.schedule {
-                ScheduleChoice::Unscheduled => Ok(None),
-                kind => {
-                    let plan = plan_of(cell).expect("scheduled cells are planned");
-                    let solved = match kind {
-                        ScheduleChoice::Wcs => plan.wcs.as_ref(),
-                        ScheduleChoice::Acs => plan.acs.as_ref(),
-                        ScheduleChoice::Unscheduled => unreachable!(),
-                    }
-                    .expect("schedules synthesized for every scheduled cell");
-                    match solved {
-                        Ok(v) => Ok(Some(v.as_slice())),
-                        Err(e) if e.starts_with("partition: ") => Err(e.clone()),
-                        Err(e) => Err(format!("synthesis: {e}")),
-                    }
-                }
-            }
-        };
-
-        // ---- phase 2: stream all (cell, seed) runs in grid order ----
-        let n_seeds = b.seeds.len();
-        let n_runs = self.cells.len() * n_seeds;
-        sink.on_begin(&CampaignMeta {
+        CampaignPlans {
+            keys,
+            canon,
+            slot_of,
+            plans,
             cells: self.cells.len(),
-            runs: n_runs,
-            seeds: n_seeds,
-        })?;
+            runs: self.cells.len() * b.seeds.len(),
+        }
+    }
+
+    /// Phase 2 for a contiguous sub-range of grid cells: runs every seed
+    /// of cells `range.start..range.end` and streams their records —
+    /// `index` still the *global* grid index — into `sink`, in order.
+    ///
+    /// Unlike [`Campaign::run_with`] this calls neither `on_begin` nor
+    /// `on_end`: the caller owns the framing, so a campaign can be
+    /// executed as many independent chunks (possibly interleaved with
+    /// replayed chunks, as the campaign server does on resume) while the
+    /// concatenated record stream stays byte-identical to one
+    /// uninterrupted run — per-run draw streams are keyed by
+    /// `(seed, set, core)`, never by thread or chunk placement.
+    ///
+    /// # Errors
+    ///
+    /// Sink errors abort the range and are returned, as in `run_with`;
+    /// additionally `InvalidInput` when `plans` was built from a
+    /// different grid (cell/run counts differ) or `range` exceeds the
+    /// grid.
+    pub fn run_range_with(
+        &self,
+        plans: &CampaignPlans,
+        range: std::ops::Range<usize>,
+        threads: usize,
+        sink: &mut dyn ResultSink,
+    ) -> std::io::Result<()> {
+        let b = &self.builder;
+        if plans.cells != self.cells.len() || plans.runs != self.run_count() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "campaign plans were built for a different grid \
+                     ({} cells / {} runs, campaign has {} / {})",
+                    plans.cells,
+                    plans.runs,
+                    self.cells.len(),
+                    self.run_count()
+                ),
+            ));
+        }
+        if range.end > self.cells.len() || range.start > range.end {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "cell range {}..{} out of bounds for {} cells",
+                    range.start,
+                    range.end,
+                    self.cells.len()
+                ),
+            ));
+        }
         // Run results arrive in index order; a cell's record is emitted
         // the moment its last seed lands, while later cells keep
         // simulating on the workers.
+        let n_seeds = b.seeds.len();
+        let n_runs = range.len() * n_seeds;
         let mut seed_buf: Vec<Result<(SimReport, Vec<f64>), String>> = Vec::with_capacity(n_seeds);
         parallel_for_in_order(
             n_runs,
-            b.threads,
+            threads,
             |i| {
-                let cell = &self.cells[i / n_seeds];
+                let cell = &self.cells[range.start + i / n_seeds];
                 let seed = b.seeds[i % n_seeds];
                 let set = &b.task_sets[cell.set].1;
                 let cpu = &b.processors[cell.cpu].1;
@@ -901,7 +953,7 @@ impl Campaign {
                     record_trace: false,
                     class: Some(cell.class),
                 };
-                let schedules = schedules_of(cell)?;
+                let schedules = plans.schedules_of(cell)?;
                 if cell.cores == 1 {
                     // Mix only the set index into the draw seed: cells
                     // that differ in schedule/policy/processor see
@@ -921,7 +973,7 @@ impl Campaign {
                         })
                         .map_err(|e| e.to_string())
                 } else {
-                    let plan = plan_of(cell).expect("multicore cells are planned");
+                    let plan = plans.plan_of(cell).expect("multicore cells are planned");
                     let parted = match plan.partition.as_ref().expect("multicore plans partition") {
                         Ok(p) => p,
                         Err(e) => return Err(format!("partition: {e}")),
@@ -970,7 +1022,7 @@ impl Campaign {
                 if seed_buf.len() < n_seeds {
                     return Ok(());
                 }
-                let c = i / n_seeds;
+                let c = range.start + i / n_seeds;
                 let cell = &self.cells[c];
                 let outcome = aggregate(&seed_buf);
                 seed_buf.clear();
@@ -993,8 +1045,84 @@ impl Campaign {
                     },
                 })
             },
-        )?;
-        sink.on_end()
+        )
+    }
+}
+
+/// `(set, cpu, cores, partitioner-index, class)` — the sharing unit of
+/// phase-1 planning.
+type PlanKey = (usize, usize, usize, usize, SchedulingClass);
+/// `(needs schedules at all, needs ACS)`.
+type PlanNeeds = (bool, bool);
+
+/// The owned output of [`Campaign::plan`]: every partition and static
+/// schedule the grid needs, deduplicated and addressable per cell.
+///
+/// Opaque by design — build one with [`Campaign::plan`], hand it (by
+/// reference, possibly from an [`Arc`]) to
+/// [`Campaign::run_range_with`]. Because plans are pure functions of
+/// the campaign axes, a plan computed once can back any number of later
+/// campaigns built from the same axes; `run_range_with` validates the
+/// structural signature and rejects mismatched grids.
+pub struct CampaignPlans {
+    keys: Vec<(PlanKey, PlanNeeds)>,
+    canon: Vec<usize>,
+    slot_of: HashMap<usize, usize>,
+    plans: Vec<CellPlan>,
+    /// Structural signature: the grid these plans were computed for.
+    cells: usize,
+    runs: usize,
+}
+
+impl std::fmt::Debug for CampaignPlans {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CampaignPlans")
+            .field("plan_keys", &self.keys.len())
+            .field("synthesized", &self.plans.len())
+            .field("cells", &self.cells)
+            .field("runs", &self.runs)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CampaignPlans {
+    /// Number of deduplicated synthesis jobs actually run.
+    pub fn synthesized(&self) -> usize {
+        self.plans.len()
+    }
+
+    fn plan_of(&self, cell: &CellSpec) -> Option<&CellPlan> {
+        if cell.schedule == ScheduleChoice::Unscheduled && cell.cores == 1 {
+            return None;
+        }
+        let pos = self
+            .keys
+            .binary_search_by_key(
+                &(cell.set, cell.cpu, cell.cores, cell.part, cell.class),
+                |(k, _)| *k,
+            )
+            .expect("every planned cell has a slot");
+        Some(&self.plans[self.slot_of[&self.canon[pos]]])
+    }
+
+    fn schedules_of(&self, cell: &CellSpec) -> Result<Option<&[StaticSchedule]>, String> {
+        match cell.schedule {
+            ScheduleChoice::Unscheduled => Ok(None),
+            kind => {
+                let plan = self.plan_of(cell).expect("scheduled cells are planned");
+                let solved = match kind {
+                    ScheduleChoice::Wcs => plan.wcs.as_ref(),
+                    ScheduleChoice::Acs => plan.acs.as_ref(),
+                    ScheduleChoice::Unscheduled => unreachable!(),
+                }
+                .expect("schedules synthesized for every scheduled cell");
+                match solved {
+                    Ok(v) => Ok(Some(v.as_slice())),
+                    Err(e) if e.starts_with("partition: ") => Err(e.clone()),
+                    Err(e) => Err(format!("synthesis: {e}")),
+                }
+            }
+        }
     }
 }
 
@@ -1554,6 +1682,113 @@ mod tests {
         let (_, msg) = report.failures().next().unwrap();
         assert!(msg.contains("partition:"), "{msg}");
         assert!(msg.contains("over-committed"), "{msg}");
+    }
+
+    #[test]
+    fn chunked_ranges_reproduce_run_with_bytes() {
+        use crate::sink::{CampaignMeta, CsvSink};
+        let campaign = Campaign::builder()
+            .task_set("s", small_set())
+            .processor("p", cpu())
+            .schedules([ScheduleChoice::Wcs, ScheduleChoice::Acs])
+            .policy(PolicySpec::greedy())
+            .policy(PolicySpec::ccrm())
+            .workload(WorkloadSpec::Paper)
+            .workload(WorkloadSpec::Uniform)
+            .seeds([1, 2, 3])
+            .build()
+            .unwrap();
+        let cells = campaign.cell_count();
+        assert!(cells >= 5, "want several cells, got {cells}");
+        let mut whole = CsvSink::new(Vec::new());
+        campaign.run_with(&mut whole).unwrap();
+        let whole = String::from_utf8(whole.into_inner()).unwrap();
+        // Same grid as uneven chunks through run_range_with, with the
+        // caller doing the framing — concatenation must be byte-equal.
+        for chunk in [1, 2, cells] {
+            let plans = campaign.plan();
+            let mut sink = CsvSink::new(Vec::new());
+            sink.on_begin(&CampaignMeta {
+                cells,
+                runs: campaign.run_count(),
+                seeds: 3,
+            })
+            .unwrap();
+            let mut lo = 0;
+            while lo < cells {
+                let hi = (lo + chunk).min(cells);
+                campaign
+                    .run_range_with(&plans, lo..hi, 2, &mut sink)
+                    .unwrap();
+                lo = hi;
+            }
+            sink.on_end().unwrap();
+            let chunked = String::from_utf8(sink.into_inner()).unwrap();
+            assert_eq!(whole, chunked, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn run_range_with_rejects_foreign_plans_and_bad_ranges() {
+        use crate::sink::AggregateSink;
+        let a = Campaign::builder()
+            .task_set("s", small_set())
+            .processor("p", cpu())
+            .policy(PolicySpec::no_dvs())
+            .workload(WorkloadSpec::Paper)
+            .seeds([1])
+            .build()
+            .unwrap();
+        let b = Campaign::builder()
+            .task_set("s", small_set())
+            .processor("p", cpu())
+            .policy(PolicySpec::no_dvs())
+            .workload(WorkloadSpec::Paper)
+            .workload(WorkloadSpec::Uniform)
+            .seeds([1])
+            .build()
+            .unwrap();
+        let plans_b = b.plan();
+        let mut sink = AggregateSink::new();
+        let err = a.run_range_with(&plans_b, 0..1, 1, &mut sink).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("different grid"), "{err}");
+        let plans_a = a.plan();
+        let err = a.run_range_with(&plans_a, 0..2, 1, &mut sink).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("out of bounds"), "{err}");
+    }
+
+    #[test]
+    fn plans_from_equal_axes_are_interchangeable() {
+        // The server caches plans by scenario hash and replays them
+        // against freshly built campaigns: two `Campaign`s with equal
+        // axes must accept each other's plans with identical results.
+        let build = || {
+            Campaign::builder()
+                .task_set("s", small_set())
+                .processor("p", cpu())
+                .schedules([ScheduleChoice::Wcs])
+                .policy(PolicySpec::greedy())
+                .workload(WorkloadSpec::Paper)
+                .seeds([1, 2])
+                .build()
+                .unwrap()
+        };
+        let first = build();
+        let plans = first.plan();
+        assert!(plans.synthesized() >= 1);
+        let second = build();
+        let mut direct = AggregateSink::new();
+        second.run_with(&mut direct).unwrap();
+        let mut via_cached = AggregateSink::new();
+        second
+            .run_range_with(&plans, 0..second.cell_count(), 1, &mut via_cached)
+            .unwrap();
+        assert_eq!(
+            direct.into_report().cells(),
+            via_cached.into_report().cells()
+        );
     }
 
     #[test]

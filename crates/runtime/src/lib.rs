@@ -66,9 +66,11 @@ pub mod sink;
 pub use acs_model::SchedulingClass;
 pub use acs_multi::PartitionHeuristic;
 pub use campaign::{
-    Campaign, CampaignBuilder, CampaignError, PolicySpec, ScheduleChoice, WorkloadSpec,
+    Campaign, CampaignBuilder, CampaignError, CampaignPlans, PolicySpec, ScheduleChoice,
+    WorkloadSpec,
 };
 pub use report::{CampaignReport, CellReport, CellStats};
 pub use sink::{
-    AggregateSink, CampaignMeta, CellRecord, CsvSink, JsonlSink, ResultSink, Tee, CSV_HEADER,
+    csv_row, AggregateSink, CampaignMeta, CellRecord, CsvSink, JsonlSink, ResultSink, Tee,
+    CSV_HEADER,
 };

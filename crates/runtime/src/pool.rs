@@ -3,7 +3,7 @@
 //! same output regardless of thread count or interleaving.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 
 /// Sets the shared flag when dropped during a panic, so sibling workers
 /// stop pulling new work instead of draining the queue before the panic
@@ -155,6 +155,125 @@ where
     outcome
 }
 
+/// [`parallel_for_in_order`] with a bound on how far the workers may run
+/// ahead of the consumer: index `i` is not *started* until fewer than
+/// `max_in_flight` indices separate it from the last consumed one
+/// (`i < consumed + max_in_flight`). This is the backpressure primitive
+/// for slow consumers — a stalled sink (e.g. a client that stops
+/// reading its socket) stalls the workers instead of letting completed
+/// results pile up in the unbounded pending buffer.
+///
+/// Delivery order, error semantics and panic propagation are identical
+/// to [`parallel_for_in_order`]; `max_in_flight` is clamped to ≥ 1, and
+/// values below `threads` simply idle the surplus workers.
+pub fn parallel_for_in_order_bounded<T, E, F, C>(
+    n: usize,
+    threads: usize,
+    max_in_flight: usize,
+    f: F,
+    mut consume: C,
+) -> Result<(), E>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    C: FnMut(usize, T) -> Result<(), E>,
+{
+    let workers = threads.clamp(1, n.max(1));
+    let bound = max_in_flight.max(1);
+    if workers <= 1 || n <= 1 {
+        for i in 0..n {
+            consume(i, f(i))?;
+        }
+        return Ok(());
+    }
+    let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    // (indices consumed so far, wakeup for workers gated on the bound).
+    let gate: (Mutex<usize>, Condvar) = (Mutex::new(0), Condvar::new());
+    /// Like [`PoisonOnPanic`], but also wakes workers blocked on the
+    /// backpressure gate — otherwise a panic elsewhere would leave them
+    /// waiting on a notify that never comes.
+    struct GatePoison<'a> {
+        stop: &'a AtomicBool,
+        gate: &'a (Mutex<usize>, Condvar),
+    }
+    impl Drop for GatePoison<'_> {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                self.stop.store(true, Ordering::SeqCst);
+                let _held = self.gate.0.lock().unwrap_or_else(|e| e.into_inner());
+                self.gate.1.notify_all();
+            }
+        }
+    }
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, T)>();
+    let mut outcome = Ok(());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let stop = &stop;
+            let gate = &gate;
+            let f = &f;
+            scope.spawn(move || {
+                let _guard = GatePoison { stop, gate };
+                loop {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    {
+                        let mut consumed = gate.0.lock().unwrap_or_else(|e| e.into_inner());
+                        while i >= *consumed + bound && !stop.load(Ordering::SeqCst) {
+                            consumed = gate.1.wait(consumed).unwrap_or_else(|e| e.into_inner());
+                        }
+                    }
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if tx.send((i, f(i))).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        let mut pending: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let mut cursor = 0;
+        'deliver: while cursor < n {
+            let Ok((i, value)) = rx.recv() else {
+                break;
+            };
+            pending[i] = Some(value);
+            while cursor < n {
+                let Some(value) = pending[cursor].take() else {
+                    break;
+                };
+                if let Err(e) = consume(cursor, value) {
+                    outcome = Err(e);
+                    break 'deliver;
+                }
+                cursor += 1;
+                let mut consumed = gate.0.lock().unwrap_or_else(|e| e.into_inner());
+                *consumed = cursor;
+                gate.1.notify_all();
+            }
+        }
+        // Normal completion or consumer error alike: release any worker
+        // still parked on the gate so the scope can join.
+        stop.store(true, Ordering::SeqCst);
+        {
+            let _held = gate.0.lock().unwrap_or_else(|e| e.into_inner());
+            gate.1.notify_all();
+        }
+        drop(rx);
+    });
+    outcome
+}
+
 /// The default worker count: available parallelism, or 1 when unknown.
 pub fn default_threads() -> usize {
     std::thread::available_parallelism()
@@ -250,6 +369,99 @@ mod tests {
         );
         assert!(ok.is_ok());
         assert_eq!(got, Some((0, 9)));
+    }
+
+    #[test]
+    fn bounded_in_order_delivery_at_any_thread_count() {
+        for (threads, bound) in [(1, 1), (2, 1), (4, 2), (8, 3), (8, 1000)] {
+            let mut seen = Vec::new();
+            let ok: Result<(), ()> = parallel_for_in_order_bounded(
+                100,
+                threads,
+                bound,
+                |i| i * 3,
+                |i, v| {
+                    seen.push((i, v));
+                    Ok(())
+                },
+            );
+            assert!(ok.is_ok());
+            let expect: Vec<(usize, usize)> = (0..100).map(|i| (i, i * 3)).collect();
+            assert_eq!(seen, expect, "threads={threads} bound={bound}");
+        }
+    }
+
+    #[test]
+    fn bounded_pool_never_runs_ahead_of_the_bound() {
+        use std::sync::atomic::AtomicUsize;
+        // `started - consumed` must never exceed the bound: a worker may
+        // only begin index i once i < consumed + bound.
+        const BOUND: usize = 3;
+        let started = AtomicUsize::new(0);
+        let consumed = AtomicUsize::new(0);
+        let violations = AtomicUsize::new(0);
+        let ok: Result<(), ()> = parallel_for_in_order_bounded(
+            200,
+            8,
+            BOUND,
+            |_| {
+                let s = started.fetch_add(1, Ordering::SeqCst) + 1;
+                let c = consumed.load(Ordering::SeqCst);
+                if s > c + BOUND {
+                    violations.fetch_add(1, Ordering::SeqCst);
+                }
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            },
+            |_, _| {
+                // A deliberately slow consumer, so unbounded workers
+                // *would* run far ahead.
+                std::thread::sleep(std::time::Duration::from_micros(500));
+                consumed.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            },
+        );
+        assert!(ok.is_ok());
+        assert_eq!(violations.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn bounded_consumer_error_stops_early() {
+        for threads in [1, 4] {
+            let mut delivered = 0usize;
+            let out = parallel_for_in_order_bounded(
+                1000,
+                threads,
+                2,
+                |i| i,
+                |i, _| {
+                    if i == 5 {
+                        Err("boom")
+                    } else {
+                        delivered += 1;
+                        Ok(())
+                    }
+                },
+            );
+            assert_eq!(out, Err("boom"), "threads={threads}");
+            assert_eq!(delivered, 5, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn bounded_empty_and_tiny() {
+        let mut count = 0;
+        let ok: Result<(), ()> = parallel_for_in_order_bounded(
+            0,
+            8,
+            1,
+            |i| i,
+            |_, _| {
+                count += 1;
+                Ok(())
+            },
+        );
+        assert!(ok.is_ok());
+        assert_eq!(count, 0);
     }
 
     #[test]

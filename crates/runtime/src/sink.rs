@@ -134,6 +134,58 @@ fn csv_field(s: &str) -> String {
     }
 }
 
+/// Renders one record as its [`CsvSink`] row (no trailing newline) —
+/// the exact bytes the sink would write under [`CSV_HEADER`]. Exposed
+/// so remote transports (the campaign server's `record` frames, its
+/// checkpoint files) can carry rows that splice byte-identically into a
+/// locally written CSV.
+pub fn csv_row(record: &CellRecord) -> String {
+    let c = &record.cell;
+    let coords = [
+        csv_field(&c.task_set),
+        csv_field(&c.processor),
+        c.schedule.label().to_string(),
+        csv_field(&c.policy),
+        csv_field(&c.workload),
+    ]
+    .join(",");
+    let cores = format!("{},{}", c.cores, csv_field(&c.partition));
+    match &c.outcome {
+        Ok(s) => {
+            let per_core: Vec<String> = s.per_core_mean_energy.iter().map(f64::to_string).collect();
+            format!(
+                "{coords},ok,,{},{},{},{},{},{},{},{},{},{},{},{},{},{},{cores},{},{},{},{},\
+                 {},{}",
+                s.runs,
+                s.mean_energy.as_units(),
+                s.std_energy,
+                s.p95_energy.as_units(),
+                s.deadline_misses,
+                s.jobs_completed,
+                s.saturated_dispatches,
+                s.voltage_switches,
+                s.clamped_draws,
+                s.worst_lateness_ms,
+                s.solver_lookups,
+                s.solver_cache_hits,
+                s.boundary_resolves,
+                s.resolves_adopted,
+                s.mean_dynamic_energy.as_units(),
+                s.mean_static_energy.as_units(),
+                s.mean_idle_energy.as_units(),
+                csv_field(&per_core.join(";")),
+                c.class.label(),
+                s.preemptions,
+            )
+        }
+        Err(e) => format!(
+            "{coords},failed,{},,,,,,,,,,,,,,,{cores},,,,,{},",
+            csv_field(e),
+            c.class.label(),
+        ),
+    }
+}
+
 /// Streams one CSV row per cell to any writer.
 ///
 /// Failed cells carry `status=failed` plus the error message and empty
@@ -162,53 +214,7 @@ impl<W: Write> ResultSink for CsvSink<W> {
     }
 
     fn on_record(&mut self, record: &CellRecord) -> io::Result<()> {
-        let c = &record.cell;
-        let coords = [
-            csv_field(&c.task_set),
-            csv_field(&c.processor),
-            c.schedule.label().to_string(),
-            csv_field(&c.policy),
-            csv_field(&c.workload),
-        ]
-        .join(",");
-        let cores = format!("{},{}", c.cores, csv_field(&c.partition));
-        match &c.outcome {
-            Ok(s) => {
-                let per_core: Vec<String> =
-                    s.per_core_mean_energy.iter().map(f64::to_string).collect();
-                writeln!(
-                    self.writer,
-                    "{coords},ok,,{},{},{},{},{},{},{},{},{},{},{},{},{},{},{cores},{},{},{},{},\
-                     {},{}",
-                    s.runs,
-                    s.mean_energy.as_units(),
-                    s.std_energy,
-                    s.p95_energy.as_units(),
-                    s.deadline_misses,
-                    s.jobs_completed,
-                    s.saturated_dispatches,
-                    s.voltage_switches,
-                    s.clamped_draws,
-                    s.worst_lateness_ms,
-                    s.solver_lookups,
-                    s.solver_cache_hits,
-                    s.boundary_resolves,
-                    s.resolves_adopted,
-                    s.mean_dynamic_energy.as_units(),
-                    s.mean_static_energy.as_units(),
-                    s.mean_idle_energy.as_units(),
-                    csv_field(&per_core.join(";")),
-                    c.class.label(),
-                    s.preemptions,
-                )
-            }
-            Err(e) => writeln!(
-                self.writer,
-                "{coords},failed,{},,,,,,,,,,,,,,,{cores},,,,,{},",
-                csv_field(e),
-                c.class.label(),
-            ),
-        }
+        writeln!(self.writer, "{}", csv_row(record))
     }
 
     fn on_end(&mut self) -> io::Result<()> {

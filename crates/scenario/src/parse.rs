@@ -547,13 +547,14 @@ pub(crate) fn parse(text: &str) -> Result<Scenario, ScenarioError> {
                             let h: PartitionHeuristic = part.parse().map_err(|e: String| {
                                 ScenarioError::at(ln, format!("cores: {e}"))
                             })?;
-                            if sc.partitioners.contains(&h) {
-                                return Err(ScenarioError::at(
-                                    ln,
-                                    format!("cores: partitioner `{h}` listed twice"),
-                                ));
+                            // Duplicates are dropped keeping the first
+                            // position, matching the documented
+                            // `seeds`/`schedules`/core-count behavior: a
+                            // repeated heuristic would duplicate every
+                            // multicore cell of the grid.
+                            if !sc.partitioners.contains(&h) {
+                                sc.partitioners.push(h);
                             }
-                            sc.partitioners.push(h);
                         }
                     } else {
                         let n: usize = tok.parse().ok().filter(|n| *n >= 1).ok_or_else(|| {

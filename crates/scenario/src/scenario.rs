@@ -10,8 +10,9 @@ use acs_runtime::{
     Campaign, CampaignBuilder, PartitionHeuristic, PolicySpec, ScheduleChoice, SchedulingClass,
     WorkloadSpec,
 };
-use acs_sim::ReOptConfig;
+use acs_sim::{ReOptConfig, SolverCache};
 use acs_workloads::{paper_set_batch, real_life};
+use std::sync::Arc;
 
 /// One task of an inline task-set declaration. Unset optional fields
 /// take the [`acs_model::TaskBuilder`] defaults.
@@ -171,6 +172,16 @@ impl PolicyDecl {
 
     /// Instantiates the runtime [`PolicySpec`].
     pub fn to_spec(&self) -> PolicySpec {
+        self.to_spec_with(None)
+    }
+
+    /// [`PolicyDecl::to_spec`] with an optional **caller-owned** solver
+    /// cache for `reopt` policies. With `Some(cache)` the declaration's
+    /// own `cache=` capacity knob is ignored — the shared cache's
+    /// capacity governs — which is how the campaign server keeps one
+    /// process-wide cache warm across submissions. Non-`reopt` policies
+    /// never consult the argument.
+    pub fn to_spec_with(&self, solver_cache: Option<&Arc<SolverCache>>) -> PolicySpec {
         match self {
             PolicyDecl::NoDvs => PolicySpec::no_dvs(),
             PolicyDecl::CcRm => PolicySpec::ccrm(),
@@ -196,7 +207,10 @@ impl PolicyDecl {
                 if let Some(r) = resolve_at_start {
                     cfg.resolve_at_start = *r;
                 }
-                PolicySpec::reopt_with(cfg, cache.unwrap_or(4096))
+                match solver_cache {
+                    Some(shared) => PolicySpec::reopt_with_cache(cfg, Arc::clone(shared)),
+                    None => PolicySpec::reopt_with(cfg, cache.unwrap_or(4096)),
+                }
             }
         }
     }
@@ -704,6 +718,21 @@ impl Scenario {
     /// Materialization errors (see [`Scenario::materialize_task_sets`] /
     /// [`Scenario::materialize_processors`]).
     pub fn campaign_builder(&self) -> Result<CampaignBuilder, ScenarioError> {
+        self.campaign_builder_with_cache(None)
+    }
+
+    /// [`Scenario::campaign_builder`] with an optional shared solver
+    /// cache wired into every `reopt` policy (see
+    /// [`PolicyDecl::to_spec_with`]) — the campaign server passes its
+    /// process-wide cache here so repeated submissions hit warm solves.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Scenario::campaign_builder`].
+    pub fn campaign_builder_with_cache(
+        &self,
+        solver_cache: Option<&Arc<SolverCache>>,
+    ) -> Result<CampaignBuilder, ScenarioError> {
         let mut b = Campaign::builder();
         for (name, set) in self.materialize_task_sets()? {
             b = b.task_set(name, set);
@@ -724,7 +753,7 @@ impl Scenario {
             b = b.schedules(self.schedules.iter().copied());
         }
         for p in &self.policies {
-            b = b.policy(p.to_spec());
+            b = b.policy(p.to_spec_with(solver_cache));
         }
         for w in &self.workloads {
             b = b.workload(w.clone());

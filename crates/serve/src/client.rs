@@ -1,0 +1,210 @@
+//! The client side of the campaign protocol: `acsched submit` and
+//! `acsched stats` are thin wrappers over these functions, and tests
+//! drive them against an in-process [`serve_on`](crate::serve_on).
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+
+use acs_runtime::CSV_HEADER;
+
+use crate::protocol::{
+    hello_frame, parse_server_frame, stats_frame, submit_frame, SubmitRequest, PROTO_VERSION,
+};
+
+/// Options for [`submit`].
+#[derive(Debug, Clone)]
+pub struct SubmitOptions {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Full scenario text to submit.
+    pub scenario: String,
+    /// Campaign id (defaults to the scenario fingerprint server-side).
+    pub id: Option<String>,
+    /// Replay finished chunks from the server's checkpoint.
+    pub resume: bool,
+    /// Worker threads on the server for this campaign.
+    pub threads: Option<usize>,
+    /// Cells per chunk.
+    pub chunk: Option<usize>,
+    /// Suppress per-chunk progress lines on stderr.
+    pub quiet: bool,
+}
+
+/// What a completed submission streamed back.
+#[derive(Debug, Clone)]
+pub struct SubmitOutcome {
+    /// The campaign id the server assigned (or echoed).
+    pub id: String,
+    /// Grid cells in the campaign.
+    pub cells: usize,
+    /// Cells whose runs failed (they still have CSV rows).
+    pub failed: usize,
+    /// Chunks executed fresh on the server.
+    pub chunks_run: usize,
+    /// Chunks replayed from the checkpoint instead of re-running.
+    pub chunks_replayed: usize,
+    /// Chunks the server reported as already finished at acceptance.
+    pub resumed_chunks: usize,
+    /// Checkpoint lines the server dropped as corrupt at acceptance.
+    pub corrupt_lines: usize,
+    /// The full CSV document: [`CSV_HEADER`] plus one row per cell in
+    /// grid order — byte-identical to `acsched run` output for
+    /// scenarios without a shared-state `reopt` policy.
+    pub csv: String,
+}
+
+/// Submit a scenario and stream the campaign to completion.
+///
+/// # Errors
+///
+/// Connection errors, protocol violations and server `error` frames
+/// are all reported as strings (server messages pass through
+/// verbatim).
+pub fn submit(opts: &SubmitOptions) -> Result<SubmitOutcome, String> {
+    let stream =
+        TcpStream::connect(&opts.addr).map_err(|e| format!("connect {}: {e}", opts.addr))?;
+    let mut reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| format!("clone stream: {e}"))?,
+    );
+    let mut writer = BufWriter::new(stream);
+
+    send_line(&mut writer, &hello_frame())?;
+    let hello = read_frame(&mut reader)?;
+    if hello.frame_type != "hello" {
+        return Err(format!("expected hello reply, got `{}`", hello.frame_type));
+    }
+    if hello.body.u64_field("proto")? != PROTO_VERSION {
+        return Err("server speaks a different protocol version".into());
+    }
+
+    send_line(
+        &mut writer,
+        &submit_frame(&SubmitRequest {
+            scenario: opts.scenario.clone(),
+            id: opts.id.clone(),
+            resume: opts.resume,
+            threads: opts.threads,
+            chunk: opts.chunk,
+        }),
+    )?;
+
+    let mut outcome = SubmitOutcome {
+        id: String::new(),
+        cells: 0,
+        failed: 0,
+        chunks_run: 0,
+        chunks_replayed: 0,
+        resumed_chunks: 0,
+        corrupt_lines: 0,
+        csv: format!("{CSV_HEADER}\n"),
+    };
+    let mut next_index = 0usize;
+    loop {
+        let frame = read_frame(&mut reader)?;
+        match frame.frame_type.as_str() {
+            "accepted" => {
+                outcome.id = frame.body.str_field("id")?.to_string();
+                outcome.cells = frame.body.u64_field("cells")? as usize;
+                outcome.resumed_chunks = frame.body.u64_field("resumed_chunks")? as usize;
+                outcome.corrupt_lines = frame.body.u64_field("corrupt_lines")? as usize;
+            }
+            "record" => {
+                let index = frame.body.u64_field("index")? as usize;
+                if index != next_index {
+                    return Err(format!(
+                        "record index {index} out of order (expected {next_index})"
+                    ));
+                }
+                next_index += 1;
+                outcome.csv.push_str(frame.body.str_field("csv")?);
+                outcome.csv.push('\n');
+            }
+            "progress" => {
+                if !opts.quiet {
+                    eprintln!(
+                        "chunk {}/{} done ({}/{} cells{})",
+                        frame.body.u64_field("chunk")? + 1,
+                        frame.body.u64_field("chunks")?,
+                        frame.body.u64_field("cells_done")?,
+                        frame.body.u64_field("cells")?,
+                        if frame.body.bool_field_or_false("replayed")? {
+                            ", replayed"
+                        } else {
+                            ""
+                        },
+                    );
+                }
+            }
+            "done" => {
+                outcome.failed = frame.body.u64_field("failed")? as usize;
+                outcome.chunks_run = frame.body.u64_field("chunks_run")? as usize;
+                outcome.chunks_replayed = frame.body.u64_field("chunks_replayed")? as usize;
+                if next_index != outcome.cells {
+                    return Err(format!(
+                        "server finished after {next_index} of {} records",
+                        outcome.cells
+                    ));
+                }
+                return Ok(outcome);
+            }
+            "error" => return Err(frame.body.str_field("message")?.to_string()),
+            other => return Err(format!("unexpected frame `{other}` mid-campaign")),
+        }
+    }
+}
+
+/// Fetch the server's `stats` frame as its raw one-line JSON text.
+///
+/// # Errors
+///
+/// Connection and protocol errors as strings.
+pub fn stats(addr: &str) -> Result<String, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| format!("clone stream: {e}"))?,
+    );
+    let mut writer = BufWriter::new(stream);
+    send_line(&mut writer, &hello_frame())?;
+    let hello = read_frame(&mut reader)?;
+    if hello.frame_type != "hello" {
+        return Err(format!("expected hello reply, got `{}`", hello.frame_type));
+    }
+    send_line(&mut writer, &stats_frame())?;
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("read: {e}"))?;
+    let line = line.trim_end_matches('\n').to_string();
+    // Validate before handing it to scripts.
+    let frame = parse_server_frame(&line)?;
+    if frame.frame_type == "error" {
+        return Err(frame.body.str_field("message")?.to_string());
+    }
+    if frame.frame_type != "stats" {
+        return Err(format!("expected stats reply, got `{}`", frame.frame_type));
+    }
+    Ok(line)
+}
+
+fn send_line(writer: &mut BufWriter<TcpStream>, frame: &str) -> Result<(), String> {
+    writer
+        .write_all(frame.as_bytes())
+        .and_then(|()| writer.write_all(b"\n"))
+        .and_then(|()| writer.flush())
+        .map_err(|e| format!("send: {e}"))
+}
+
+fn read_frame(reader: &mut BufReader<TcpStream>) -> Result<crate::protocol::ServerFrame, String> {
+    let mut line = String::new();
+    let n = reader
+        .read_line(&mut line)
+        .map_err(|e| format!("read: {e}"))?;
+    if n == 0 {
+        return Err("server closed the connection".into());
+    }
+    parse_server_frame(line.trim_end_matches('\n'))
+}

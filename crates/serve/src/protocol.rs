@@ -1,0 +1,237 @@
+//! The line-oriented campaign protocol: one flat JSON object per line,
+//! each carrying a `"type"` tag.
+//!
+//! ## Grammar (protocol version 1)
+//!
+//! Client → server, in order:
+//!
+//! ```text
+//! {"type":"hello","proto":1}
+//! {"type":"submit","scenario":"<scenario text>","id":"...","resume":false,
+//!  "threads":N,"chunk":N}            // id/resume/threads/chunk optional
+//! {"type":"stats"}
+//! ```
+//!
+//! Server → client:
+//!
+//! ```text
+//! {"type":"hello","proto":1,"server":"..."}
+//! {"type":"accepted","id":"...","cells":N,"runs":N,"seeds":N,
+//!  "chunks":N,"chunk_size":N,"resumed_chunks":N,"corrupt_lines":N}
+//! {"type":"record","index":I,"csv":"<one CsvSink row>"}
+//! {"type":"progress","chunk":K,"chunks":N,"cells_done":D,"cells":N,
+//!  "replayed":B}
+//! {"type":"done","id":"...","cells":N,"failed":F,"chunks_run":R,
+//!  "chunks_replayed":P}
+//! {"type":"stats", ...counters...}
+//! {"type":"error","line":L,"message":"..."}
+//! ```
+//!
+//! `record` frames arrive in increasing global cell-index order, and
+//! their `csv` payloads are exactly the rows `CsvSink` would write, so
+//! concatenating `CSV_HEADER` + rows reproduces `acsched run` output
+//! byte for byte (for scenarios without a shared-state `reopt` policy;
+//! see `docs/SERVER.md`).
+//!
+//! An `error` frame does **not** close the connection: `line` is the
+//! 1-based input line number on this connection, and the client may
+//! keep sending frames afterwards.
+
+use crate::json::{Object, ObjectBuilder};
+
+/// Protocol version spoken by this build. Bumped on any wire-visible
+/// change; the server rejects `hello` frames with a different version.
+pub const PROTO_VERSION: u64 = 1;
+
+/// Server identification string sent in the `hello` reply.
+pub const SERVER_IDENT: &str = concat!("acsched-serve/", env!("CARGO_PKG_VERSION"));
+
+/// A parsed client request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Protocol handshake; must be the first frame on a connection.
+    Hello {
+        /// Protocol version the client speaks.
+        proto: u64,
+    },
+    /// Submit a campaign for execution.
+    Submit(SubmitRequest),
+    /// Ask for the server's cache/campaign counters.
+    Stats,
+}
+
+/// The payload of a `submit` frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitRequest {
+    /// Full scenario text (the same format `acsched run` reads).
+    pub scenario: String,
+    /// Campaign id; defaults to the scenario fingerprint when absent.
+    pub id: Option<String>,
+    /// Replay finished chunks from this campaign's checkpoint instead
+    /// of re-running them.
+    pub resume: bool,
+    /// Worker threads for this campaign (defaults to the server's).
+    pub threads: Option<usize>,
+    /// Cells per chunk (defaults to the server's).
+    pub chunk: Option<usize>,
+}
+
+/// Parse one input line into a [`Request`].
+///
+/// # Errors
+///
+/// Returns the message to embed in an `error` frame when the line is
+/// not valid flat JSON, has no/unknown `type`, or is missing fields.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let obj = crate::json::parse_object(line)?;
+    match obj.str_field("type")? {
+        "hello" => Ok(Request::Hello {
+            proto: obj.u64_field("proto")?,
+        }),
+        "submit" => Ok(Request::Submit(SubmitRequest {
+            scenario: obj.str_field("scenario")?.to_string(),
+            id: obj.opt_str_field("id")?.map(str::to_string),
+            resume: obj.bool_field_or_false("resume")?,
+            threads: obj.opt_u64_field("threads")?.map(|n| n as usize),
+            chunk: obj.opt_u64_field("chunk")?.map(|n| n as usize),
+        })),
+        "stats" => Ok(Request::Stats),
+        other => Err(format!("unknown frame type `{other}`")),
+    }
+}
+
+/// The server's `hello` reply.
+pub fn hello_reply() -> String {
+    let mut b = ObjectBuilder::frame("hello");
+    b.push_u64("proto", PROTO_VERSION)
+        .push_str("server", SERVER_IDENT);
+    b.finish()
+}
+
+/// The client's `hello` frame.
+pub fn hello_frame() -> String {
+    let mut b = ObjectBuilder::frame("hello");
+    b.push_u64("proto", PROTO_VERSION);
+    b.finish()
+}
+
+/// A client `submit` frame.
+pub fn submit_frame(req: &SubmitRequest) -> String {
+    let mut b = ObjectBuilder::frame("submit");
+    b.push_str("scenario", &req.scenario);
+    if let Some(id) = &req.id {
+        b.push_str("id", id);
+    }
+    if req.resume {
+        b.push_bool("resume", true);
+    }
+    if let Some(t) = req.threads {
+        b.push_u64("threads", t as u64);
+    }
+    if let Some(c) = req.chunk {
+        b.push_u64("chunk", c as u64);
+    }
+    b.finish()
+}
+
+/// A client `stats` frame.
+pub fn stats_frame() -> String {
+    ObjectBuilder::frame("stats").finish()
+}
+
+/// An `error` frame carrying the 1-based connection line number that
+/// triggered it.
+pub fn error_frame(line: u64, message: &str) -> String {
+    let mut b = ObjectBuilder::frame("error");
+    b.push_u64("line", line).push_str("message", message);
+    b.finish()
+}
+
+/// A `record` frame: one finished grid cell, as its exact CSV row.
+pub fn record_frame(index: usize, csv: &str) -> String {
+    let mut b = ObjectBuilder::frame("record");
+    b.push_u64("index", index as u64).push_str("csv", csv);
+    b.finish()
+}
+
+/// A per-chunk `progress` frame.
+pub fn progress_frame(
+    chunk: usize,
+    chunks: usize,
+    cells_done: usize,
+    cells: usize,
+    replayed: bool,
+) -> String {
+    let mut b = ObjectBuilder::frame("progress");
+    b.push_u64("chunk", chunk as u64)
+        .push_u64("chunks", chunks as u64)
+        .push_u64("cells_done", cells_done as u64)
+        .push_u64("cells", cells as u64)
+        .push_bool("replayed", replayed);
+    b.finish()
+}
+
+/// Fields common to server reply frames, parsed loosely by the client.
+#[derive(Debug)]
+pub struct ServerFrame {
+    /// The frame's `"type"` tag.
+    pub frame_type: String,
+    /// The full parsed object for field access.
+    pub body: Object,
+}
+
+/// Parse one server reply line.
+///
+/// # Errors
+///
+/// Returns a message when the line is not a flat JSON object with a
+/// string `type` field.
+pub fn parse_server_frame(line: &str) -> Result<ServerFrame, String> {
+    let body = crate::json::parse_object(line)?;
+    let frame_type = body.str_field("type")?.to_string();
+    Ok(ServerFrame { frame_type, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_frame_round_trips() {
+        let req = SubmitRequest {
+            scenario: "acsched-scenario v1\n# line two\n".into(),
+            id: Some("sweep".into()),
+            resume: true,
+            threads: Some(4),
+            chunk: Some(2),
+        };
+        let line = submit_frame(&req);
+        assert!(!line.contains('\n'), "frames must be single lines: {line}");
+        match parse_request(&line).unwrap() {
+            Request::Submit(back) => assert_eq!(back, req),
+            other => panic!("expected submit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hello_and_stats_round_trip() {
+        assert_eq!(
+            parse_request(&hello_frame()).unwrap(),
+            Request::Hello {
+                proto: PROTO_VERSION
+            }
+        );
+        assert_eq!(parse_request(&stats_frame()).unwrap(), Request::Stats);
+    }
+
+    #[test]
+    fn unknown_and_malformed_frames_name_the_problem() {
+        assert!(parse_request("{\"type\":\"launch\"}")
+            .unwrap_err()
+            .contains("unknown frame type `launch`"));
+        assert!(parse_request("{\"proto\":1}").unwrap_err().contains("type"));
+        assert!(parse_request("{\"type\":\"submit\"}")
+            .unwrap_err()
+            .contains("missing field `scenario`"));
+    }
+}

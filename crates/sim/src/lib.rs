@@ -93,6 +93,6 @@ pub use policy::{
     BoundaryEvent, CcRm, DispatchContext, GreedyReclaim, IntoPolicy, NoDvs, Policy, SolverContext,
     SolverStats, StaticSpeed,
 };
-pub use reopt::{ReOpt, ReOptConfig, SolverCache};
+pub use reopt::{ReOpt, ReOptConfig, SolverCache, SolverCacheStats};
 pub use report::{improvement_over, EnergyBreakdown, SimReport};
 pub use stats::Summary;

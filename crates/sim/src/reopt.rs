@@ -55,6 +55,7 @@ use acs_power::Processor;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Configuration of the [`ReOpt`] policy.
@@ -115,10 +116,44 @@ impl Default for ReOptConfig {
 /// the solver actually runs. (Hit *counts* can vary with thread
 /// interleaving when several simulations share one cache; energies and
 /// deadline statistics cannot.)
+///
+/// Internally the cache is **sharded**: keys are routed by hash to one
+/// of [`SolverCache::shard_count`] independent LRU shards, each behind
+/// its own lock, so concurrent campaigns sharing one cache stop
+/// serializing on a single mutex. Each shard evicts independently with
+/// its share of the total capacity; the aggregate lookup/hit counters
+/// ([`SolverCache::stats`]) are atomic increments and therefore exact
+/// regardless of interleaving.
 #[derive(Debug)]
 pub struct SolverCache {
-    capacity: usize,
-    inner: Mutex<CacheInner>,
+    shards: Vec<Mutex<CacheInner>>,
+    shard_capacity: usize,
+    lookups: AtomicU64,
+    hits: AtomicU64,
+}
+
+/// Aggregate counters of a [`SolverCache`], exact under concurrency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolverCacheStats {
+    /// Total `get` calls since the cache was created.
+    pub lookups: u64,
+    /// How many of those lookups found a cached solve.
+    pub hits: u64,
+    /// Solved states currently resident across all shards.
+    pub entries: usize,
+    /// Number of independent LRU shards.
+    pub shards: usize,
+}
+
+impl SolverCacheStats {
+    /// `hits / lookups`, or `0.0` before the first lookup.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -139,37 +174,70 @@ struct CacheEntry {
     last_used: u64,
 }
 
+/// Default shard count for [`SolverCache::new`]; enough to make lock
+/// collisions rare at campaign thread counts without fragmenting small
+/// capacities.
+const DEFAULT_SHARDS: usize = 8;
+
 impl SolverCache {
-    /// Creates a cache holding at most `capacity` solved states.
+    /// Creates a cache holding at most (roughly) `capacity` solved
+    /// states, spread over the default number of shards.
     pub fn new(capacity: usize) -> Self {
+        SolverCache::with_shards(capacity, DEFAULT_SHARDS)
+    }
+
+    /// Creates a cache with an explicit shard count (clamped to ≥ 1).
+    /// Total capacity is split evenly: each shard holds at most
+    /// `ceil(capacity / shards)` entries and evicts LRU independently.
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let capacity = capacity.max(1);
         SolverCache {
-            capacity: capacity.max(1),
-            inner: Mutex::new(CacheInner::default()),
+            shards: (0..shards)
+                .map(|_| Mutex::new(CacheInner::default()))
+                .collect(),
+            shard_capacity: capacity.div_ceil(shards).max(1),
+            lookups: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner> {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    /// Number of independent LRU shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn lock_shard(&self, key: &CacheKey) -> std::sync::MutexGuard<'_, CacheInner> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        let idx = (h.finish() % self.shards.len() as u64) as usize;
+        self.shards[idx].lock().unwrap_or_else(|e| e.into_inner())
     }
 
     fn get(&self, key: &CacheKey) -> Option<Vec<f64>> {
-        let mut inner = self.lock();
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.lock_shard(key);
         inner.tick += 1;
         let tick = inner.tick;
-        inner.map.get_mut(key).map(|e| {
+        let hit = inner.map.get_mut(key).map(|e| {
             e.last_used = tick;
             e.ends_ms.clone()
-        })
+        });
+        if hit.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
     }
 
     fn insert(&self, key: CacheKey, ends_ms: Vec<f64>) {
-        let mut inner = self.lock();
+        let mut inner = self.lock_shard(&key);
         inner.tick += 1;
         let tick = inner.tick;
-        if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
-            // Evict the least-recently-used entry. O(n) scan — capacities
-            // are small (hundreds) and insertions happen only on cache
-            // misses, which the cache exists to make rare.
+        if inner.map.len() >= self.shard_capacity && !inner.map.contains_key(&key) {
+            // Evict the shard's least-recently-used entry. O(n) scan —
+            // per-shard capacities are small (tens to hundreds) and
+            // insertions happen only on cache misses, which the cache
+            // exists to make rare.
             if let Some(oldest) = inner
                 .map
                 .iter()
@@ -191,14 +259,30 @@ impl SolverCache {
         );
     }
 
-    /// Number of cached boundary states.
+    /// Number of cached boundary states across all shards.
     pub fn len(&self) -> usize {
-        self.lock().map.len()
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).map.len())
+            .sum()
     }
 
     /// `true` when nothing has been cached yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Exact aggregate counters: lifetime lookups/hits plus current
+    /// occupancy. Lookups and hits are atomic read-modify-writes, so the
+    /// totals are exact even when many campaigns share the cache;
+    /// `entries` is a point-in-time sum over the shards.
+    pub fn stats(&self) -> SolverCacheStats {
+        SolverCacheStats {
+            lookups: self.lookups.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            entries: self.len(),
+            shards: self.shards.len(),
+        }
     }
 }
 
@@ -602,6 +686,105 @@ mod tests {
         assert_eq!(cached.solver_lookups, uncached.solver_lookups);
         assert!(cached.boundary_resolves < uncached.solver_lookups);
         assert!(!cache.is_empty());
+        // The cache-level counters agree with the per-run report.
+        let stats = cache.stats();
+        assert_eq!(stats.lookups, cached.solver_lookups as u64);
+        assert_eq!(stats.hits, cached.solver_cache_hits as u64);
+        assert_eq!(stats.entries, cache.len());
+        assert!(stats.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn sharded_cache_matches_single_shard_results() {
+        let (set, cpu) = motivation();
+        let wcs = synthesize_wcs(&set, &cpu, &SynthesisOptions::quick()).unwrap();
+        let totals = acs_core::trace::acec_totals(&set);
+        let one = Arc::new(SolverCache::with_shards(256, 1));
+        let many = Arc::new(SolverCache::with_shards(256, 16));
+        assert_eq!(one.shard_count(), 1);
+        assert_eq!(many.shard_count(), 16);
+        let a = run(
+            &set,
+            &cpu,
+            &wcs,
+            ReOpt::new().with_cache(one.clone()),
+            &totals,
+            3,
+        );
+        let b = run(
+            &set,
+            &cpu,
+            &wcs,
+            ReOpt::new().with_cache(many.clone()),
+            &totals,
+            3,
+        );
+        // Shard routing changes which lock a key lands behind, never what
+        // is cached for it: results and (single-threaded) counters match.
+        assert_eq!(a.energy, b.energy);
+        assert_eq!(a.solver_lookups, b.solver_lookups);
+        assert_eq!(a.solver_cache_hits, b.solver_cache_hits);
+        assert_eq!(one.len(), many.len());
+        assert_eq!(one.stats().lookups, many.stats().lookups);
+    }
+
+    #[test]
+    fn shard_capacity_bounds_occupancy() {
+        // 4 shards x capacity 8 => no shard exceeds ceil(8/4) = 2, so the
+        // whole cache can never hold more than 8 entries no matter how
+        // many distinct states are inserted.
+        let cache = SolverCache::with_shards(8, 4);
+        for i in 0..64u64 {
+            cache.insert(
+                CacheKey {
+                    fingerprint: i,
+                    state: vec![i],
+                },
+                vec![i as f64],
+            );
+        }
+        assert!(cache.len() <= 8, "len = {}", cache.len());
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn cache_counters_are_exact_across_threads() {
+        use std::thread;
+        // Capacity far above the 1000 inserted keys so hash skew across
+        // shards can never trigger eviction.
+        let cache = Arc::new(SolverCache::with_shards(8192, 8));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let cache = Arc::clone(&cache);
+            handles.push(thread::spawn(move || {
+                for i in 0..250u64 {
+                    let key = CacheKey {
+                        fingerprint: t,
+                        state: vec![i],
+                    };
+                    if cache.get(&key).is_none() {
+                        cache.insert(
+                            CacheKey {
+                                fingerprint: t,
+                                state: vec![i],
+                            },
+                            vec![0.0],
+                        );
+                    }
+                    // Second lookup of a just-inserted key: guaranteed hit
+                    // (keys are disjoint per thread, capacity is ample).
+                    assert!(cache.get(&key).is_some());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.lookups, 4 * 250 * 2);
+        assert_eq!(stats.hits, 4 * 250);
+        assert_eq!(stats.entries, 1000);
+        assert_eq!(stats.shards, 8);
     }
 
     #[test]

@@ -1,0 +1,97 @@
+#!/usr/bin/env sh
+# Records one point on the repo's performance trajectory: runs the
+# criterion dispatch + reopt benches plus a timed release run of
+# scenarios/multicore_sweep.txt, and appends the headline numbers as
+# benchmarks/BENCH_<n>.json (next free n; earlier snapshots are never
+# rewritten, so the directory reads as a time series across commits).
+#
+#   dispatch_ns_per_job   mean of bench `trait_object_greedy`
+#   reopt_warm_ms         mean of bench reopt_boundary/`warm_h16`
+#   reopt_cold_ms         mean of bench reopt_boundary/`cold_full`
+#   sweep_cells_per_sec   cells/s for the multicore_sweep campaign
+#
+# CRITERION_QUICK=1 shrinks the criterion measurement windows 10x for
+# smoke runs; the snapshot records which mode produced it. Run from
+# anywhere; paths resolve against the repository root.
+set -eu
+
+cd "$(dirname "$0")/.."
+mkdir -p benchmarks
+
+quick=${CRITERION_QUICK:-0}
+
+# Next free sequence number.
+seq=1
+for f in benchmarks/BENCH_*.json; do
+    [ -f "$f" ] || continue
+    n=${f##*BENCH_}
+    n=${n%.json}
+    case "$n" in *[!0-9]* | '') continue ;; esac
+    [ "$n" -ge "$seq" ] && seq=$((n + 1))
+done
+
+echo "bench-trajectory: running criterion benches (quick=$quick)..." >&2
+dispatch_out=$(cargo bench -p acs-bench --bench dispatch 2>&1)
+reopt_out=$(cargo bench -p acs-bench --bench reopt 2>&1)
+
+# mean_ns "<bench output>" <name>: the bench's mean, in nanoseconds.
+# Shim lines look like `  <name>  mean  123.4 ns  best ... worst ...`.
+mean_ns() {
+    printf '%s\n' "$1" | awk -v name="$2" '
+        $1 == name && $2 == "mean" {
+            v = $3; u = $4
+            if (u == "ns") m = 1
+            else if (u == "us") m = 1e3
+            else if (u == "ms") m = 1e6
+            else m = 1e9
+            printf "%.1f", v * m
+            exit
+        }'
+}
+
+dispatch_ns=$(mean_ns "$dispatch_out" trait_object_greedy)
+warm_ns=$(mean_ns "$reopt_out" warm_h16)
+cold_ns=$(mean_ns "$reopt_out" cold_full)
+for v in "$dispatch_ns" "$warm_ns" "$cold_ns"; do
+    if [ -z "$v" ]; then
+        echo "bench-trajectory: failed to parse a bench mean" >&2
+        exit 1
+    fi
+done
+
+echo "bench-trajectory: timing release multicore_sweep run..." >&2
+cargo build --release --bin acsched >/dev/null 2>&1
+# `run` infers the sink format from the extension, so give the temp
+# file a .csv suffix (portably — BSD mktemp has no --suffix).
+tmp_base=$(mktemp)
+sweep_csv="$tmp_base.csv"
+trap 'rm -f "$tmp_base" "$sweep_csv"' EXIT
+start_ns=$(date +%s%N)
+target/release/acsched run scenarios/multicore_sweep.txt --quiet --out "$sweep_csv" >/dev/null 2>&1
+end_ns=$(date +%s%N)
+cells=$(($(wc -l <"$sweep_csv") - 1)) # minus the CSV header
+
+commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+now=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+
+out="benchmarks/BENCH_${seq}.json"
+awk -v seq="$seq" -v date="$now" -v commit="$commit" -v quick="$quick" \
+    -v d="$dispatch_ns" -v w="$warm_ns" -v c="$cold_ns" \
+    -v cells="$cells" -v s="$start_ns" -v e="$end_ns" 'BEGIN {
+    secs = (e - s) / 1e9
+    printf "{\n"
+    printf "  \"seq\": %d,\n", seq
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"commit\": \"%s\",\n", commit
+    printf "  \"quick\": %s,\n", (quick == "1" ? "true" : "false")
+    printf "  \"dispatch_ns_per_job\": %.1f,\n", d
+    printf "  \"reopt_warm_ms\": %.3f,\n", w / 1e6
+    printf "  \"reopt_cold_ms\": %.3f,\n", c / 1e6
+    printf "  \"sweep_cells\": %d,\n", cells
+    printf "  \"sweep_seconds\": %.2f,\n", secs
+    printf "  \"sweep_cells_per_sec\": %.2f\n", cells / secs
+    printf "}\n"
+}' >"$out"
+
+echo "bench-trajectory: wrote $out" >&2
+cat "$out"

@@ -11,11 +11,15 @@
 //!                                             run; stream CSV/JSONL to FILE
 //! acsched synth <scenario> --task-set NAME --processor NAME
 //!               [--kind wcs|acs] [--out FILE] offline schedule -> artifact
+//! acsched serve [--addr HOST:PORT] [...]     long-lived campaign server
+//! acsched submit <scenario> [--addr ...]     stream a campaign to a server
+//! acsched stats [--addr ...]                 print server cache counters
 //! ```
 
 use acs_core::{synthesize_acs_best, synthesize_acs_warm, synthesize_wcs, SynthesisOptions};
 use acs_runtime::{AggregateSink, CsvSink, JsonlSink, ResultSink, Tee};
 use acs_scenario::{Scenario, SynthProfile};
+use acs_serve::{ServerConfig, SubmitOptions};
 use std::io::Write as _;
 use std::process::ExitCode;
 
@@ -39,7 +43,28 @@ USAGE:
         pair of the scenario and export it as an `acsched-schedule v1`
         artifact (default kind: acs, to stdout).
 
+    acsched serve [--addr HOST:PORT] [--ckpt-dir DIR] [--max-campaigns N]
+            [--inflight N] [--chunk N] [--threads N] [--cache-capacity N]
+            [--cache-shards N]
+        Run the campaign server: a long-lived process whose solver and
+        phase-1 plan caches stay warm across submissions. Prints
+        `listening on <addr>` once bound (`--addr :0` picks a free
+        port). Campaigns checkpoint to DIR (default .acsched-ckpt) and
+        are resumable after a crash. Protocol: docs/SERVER.md.
+
+    acsched submit <scenario> [--addr HOST:PORT] [--id NAME] [--resume]
+            [--out FILE] [--threads N] [--chunk N] [--quiet]
+        Stream a scenario to a server. --out writes the streamed CSV
+        (byte-identical to `acsched run` for non-reopt scenarios);
+        --resume replays chunks already checkpointed under --id.
+        Exits 1 when any cell failed.
+
+    acsched stats [--addr HOST:PORT]
+        Print the server's cache/campaign counters as one JSON line.
+
 Scenario grammar: docs/SCENARIO_FORMAT.md; examples: scenarios/";
+
+const DEFAULT_ADDR: &str = "127.0.0.1:7878";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -47,6 +72,9 @@ fn main() -> ExitCode {
         Some("check") => cmd_check(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("synth") => cmd_synth(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
         Some("--help") | Some("-h") | Some("help") => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -289,6 +317,123 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
         eprintln!("{failures} of {} cells failed", report.cells().len());
         return Ok(ExitCode::FAILURE);
     }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn parse_usize(flags: &[(&str, &str)], name: &str, command: &str) -> Result<Option<usize>, String> {
+    match flag(flags, name) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .ok()
+            .filter(|n| *n >= 1)
+            .map(Some)
+            .ok_or_else(|| format!("{command}: `--{name} {v}` is not a positive integer")),
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
+    let (paths, flags) = parse_flags(
+        args,
+        &[
+            "addr",
+            "ckpt-dir",
+            "max-campaigns",
+            "inflight",
+            "chunk",
+            "threads",
+            "cache-capacity",
+            "cache-shards",
+        ],
+        &[],
+    )?;
+    if !paths.is_empty() {
+        return Err(format!("serve: unexpected argument `{}`", paths[0]));
+    }
+    let mut cfg = ServerConfig {
+        addr: flag(&flags, "addr").unwrap_or(DEFAULT_ADDR).to_string(),
+        ..ServerConfig::default()
+    };
+    if let Some(dir) = flag(&flags, "ckpt-dir") {
+        cfg.ckpt_dir = dir.into();
+    }
+    if let Some(n) = parse_usize(&flags, "max-campaigns", "serve")? {
+        cfg.max_campaigns = n;
+    }
+    if let Some(n) = parse_usize(&flags, "inflight", "serve")? {
+        cfg.max_inflight_chunks = n;
+    }
+    if let Some(n) = parse_usize(&flags, "chunk", "serve")? {
+        cfg.default_chunk_size = n;
+    }
+    if let Some(n) = parse_usize(&flags, "threads", "serve")? {
+        cfg.threads = n;
+    }
+    if let Some(n) = parse_usize(&flags, "cache-capacity", "serve")? {
+        cfg.cache_capacity = n;
+    }
+    if let Some(n) = parse_usize(&flags, "cache-shards", "serve")? {
+        cfg.cache_shards = n;
+    }
+    acs_serve::serve(cfg).map_err(|e| format!("serve: {e}"))?;
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_submit(args: &[String]) -> Result<ExitCode, String> {
+    let (paths, flags) = parse_flags(
+        args,
+        &["addr", "id", "out", "threads", "chunk"],
+        &["resume", "quiet"],
+    )?;
+    let [path] = paths.as_slice() else {
+        return Err("submit: expected exactly one scenario file".into());
+    };
+    let scenario =
+        std::fs::read_to_string(path).map_err(|e| format!("submit: cannot read `{path}`: {e}"))?;
+    let opts = SubmitOptions {
+        addr: flag(&flags, "addr").unwrap_or(DEFAULT_ADDR).to_string(),
+        scenario,
+        id: flag(&flags, "id").map(str::to_string),
+        resume: flag(&flags, "resume").is_some(),
+        threads: parse_usize(&flags, "threads", "submit")?,
+        chunk: parse_usize(&flags, "chunk", "submit")?,
+        quiet: flag(&flags, "quiet").is_some(),
+    };
+    let outcome = acs_serve::submit(&opts).map_err(|e| format!("submit: {e}"))?;
+    match flag(&flags, "out") {
+        Some(out_path) => {
+            std::fs::write(out_path, &outcome.csv)
+                .map_err(|e| format!("submit: cannot write `{out_path}`: {e}"))?;
+            eprintln!(
+                "campaign `{}`: {} cells streamed to {out_path} \
+                 ({} chunks run, {} replayed)",
+                outcome.id, outcome.cells, outcome.chunks_run, outcome.chunks_replayed
+            );
+        }
+        None => {
+            let mut stdout = std::io::stdout().lock();
+            let _ = stdout.write_all(outcome.csv.as_bytes());
+            eprintln!(
+                "campaign `{}`: {} cells ({} chunks run, {} replayed)",
+                outcome.id, outcome.cells, outcome.chunks_run, outcome.chunks_replayed
+            );
+        }
+    }
+    if outcome.failed > 0 {
+        eprintln!("{} of {} cells failed", outcome.failed, outcome.cells);
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_stats(args: &[String]) -> Result<ExitCode, String> {
+    let (paths, flags) = parse_flags(args, &["addr"], &[])?;
+    if !paths.is_empty() {
+        return Err(format!("stats: unexpected argument `{}`", paths[0]));
+    }
+    let addr = flag(&flags, "addr").unwrap_or(DEFAULT_ADDR);
+    let line = acs_serve::stats(addr).map_err(|e| format!("stats: {e}"))?;
+    println!("{line}");
     Ok(ExitCode::SUCCESS)
 }
 
