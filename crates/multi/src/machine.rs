@@ -9,6 +9,7 @@ use acs_model::units::{Cycles, Energy, TimeSpan};
 use acs_model::TaskId;
 use acs_power::Processor;
 use acs_sim::{EnergyBreakdown, Policy, SimOptions, SimReport, Simulator};
+use std::cell::RefCell;
 
 /// One machine run: the partition, the per-core hardware (identical
 /// cores), the per-core schedules and the simulation options.
@@ -147,6 +148,125 @@ impl MachineRun<'_> {
             machine_hyper_periods: self.options.hyper_periods,
         })
     }
+
+    /// Runs every core's event engine **interleaved on one shared
+    /// virtual clock**: each non-empty core becomes a paused
+    /// [`SteppedRun`](acs_sim::SteppedRun), and the machine repeatedly
+    /// steps whichever core's clock is furthest behind (ties broken by
+    /// the lowest core index). This is the global-time execution order
+    /// a cross-core policy or a DAG dependency layer will observe;
+    /// per-core results are unaffected by the interleaving because
+    /// cores share no simulation state.
+    ///
+    /// Equivalent to [`MachineRun::run`] — byte-identical per-core
+    /// reports — **provided the workload draw for `(core, task, abs)`
+    /// does not depend on the order the closure is called in** (the
+    /// interleaving changes that order across cores, never within one
+    /// core). Seeded per-`(core, task, abs)` streams qualify; a single
+    /// shared sequential RNG does not.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MachineRun::run`]; the first failing core aborts the
+    /// machine.
+    pub fn run_interleaved(
+        &self,
+        mut make_policy: impl FnMut() -> Box<dyn Policy>,
+        workload: &mut dyn FnMut(usize, TaskId, u64) -> Cycles,
+    ) -> Result<MachineReport, MultiError> {
+        let busy = self.partition.busy_cores();
+        if let Some(schedules) = self.schedules {
+            if schedules.len() != busy {
+                return Err(MultiError::ScheduleCount {
+                    got: schedules.len(),
+                    expected: busy,
+                });
+            }
+        }
+        let horizon_ms =
+            self.options.hyper_periods as f64 * self.partition.machine_hyper_period.get() as f64;
+        // One draw source shared by every core's stream; each per-core
+        // closure only tags calls with its core index.
+        let shared = RefCell::new(workload);
+        let shared = &shared;
+        let mut sims: Vec<(usize, Simulator)> = Vec::with_capacity(busy);
+        let mut streams: Vec<Box<dyn FnMut(TaskId, u64) -> Cycles + '_>> = Vec::with_capacity(busy);
+        let mut sched_idx = 0usize;
+        for (core, assignment) in self.partition.cores.iter().enumerate() {
+            let Some(set) = &assignment.set else {
+                continue;
+            };
+            let mut sim = Simulator::new(set, self.cpu, make_policy()).with_options(SimOptions {
+                hyper_periods: self.options.hyper_periods * self.partition.hyper_multiplier(core),
+                ..self.options
+            });
+            if let Some(schedules) = self.schedules {
+                sim = sim.with_schedule(&schedules[sched_idx]);
+            }
+            sched_idx += 1;
+            sims.push((core, sim));
+            streams.push(Box::new(move |task, abs| {
+                (shared.borrow_mut())(core, task, abs)
+            }));
+        }
+        let mut runs = Vec::with_capacity(busy);
+        for ((core, sim), stream) in sims.iter_mut().zip(streams.iter_mut()) {
+            let run = sim
+                .stepped(&mut **stream)
+                .map_err(|e| MultiError::Sim(format!("core {core}: {e}")))?;
+            runs.push((*core, run));
+        }
+        // The shared-clock loop: always advance the core furthest
+        // behind in virtual time. Strict `<` keeps the first (lowest
+        // core index) of equal clocks, making the global order fully
+        // deterministic.
+        loop {
+            let mut next: Option<(f64, usize)> = None;
+            for (i, (_, run)) in runs.iter().enumerate() {
+                if let Some(clock) = run.clock_ms() {
+                    if next.is_none_or(|(best, _)| clock < best) {
+                        next = Some((clock, i));
+                    }
+                }
+            }
+            let Some((_, i)) = next else { break };
+            let core = runs[i].0;
+            runs[i]
+                .1
+                .step()
+                .map_err(|e| MultiError::Sim(format!("core {core}: {e}")))?;
+        }
+        let mut finished: Vec<(usize, SimReport)> = Vec::with_capacity(busy);
+        for (core, run) in runs {
+            let out = run
+                .finish()
+                .map_err(|e| MultiError::Sim(format!("core {core}: {e}")))?;
+            finished.push((core, out.report));
+        }
+        let mut finished = finished.into_iter().peekable();
+        let mut per_core = Vec::with_capacity(self.partition.cores.len());
+        for (core, assignment) in self.partition.cores.iter().enumerate() {
+            if assignment.set.is_none() {
+                // Empty cores only draw idle power over the horizon —
+                // identical to `run()`'s synthetic idle report.
+                let mut idle = SimReport::empty(0);
+                idle.hyper_periods = self.options.hyper_periods;
+                idle.idle_time = TimeSpan::from_ms(horizon_ms);
+                let e = Energy::from_units(self.cpu.idle_power() * horizon_ms);
+                idle.idle_energy = e;
+                idle.energy = e;
+                per_core.push(idle);
+            } else {
+                let (c, report) = finished.next().expect("one report per busy core");
+                debug_assert_eq!(c, core);
+                per_core.push(report);
+            }
+        }
+        Ok(MachineReport {
+            per_core,
+            machine_hyper_periods: self.options.hyper_periods,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -251,6 +371,37 @@ mod tests {
         let b = report.breakdown();
         assert!(b.idle > Energy::ZERO);
         assert_eq!(b.total(), report.energy());
+    }
+
+    #[test]
+    fn interleaved_run_matches_sequential_run() {
+        let set = set();
+        // Idle-draining cores and an empty core (3 cores, 3 tasks under
+        // WFD may still pack 2) exercise the synthetic-report path too.
+        let cpu = cpu(1.5);
+        let p = partition(&set, cpu.f_max(), 3, PartitionHeuristic::WorstFitDecreasing).unwrap();
+        let run = MachineRun {
+            partition: &p,
+            cpu: &cpu,
+            schedules: None,
+            options: SimOptions {
+                hyper_periods: 3,
+                ..Default::default()
+            },
+        };
+        // Order-independent draws: a pure function of (core, task, abs)
+        // — the interleaving contract (see `run_interleaved` docs).
+        let mut draw = |core: usize, task: TaskId, abs: u64| {
+            Cycles::from_cycles(80.0 + ((core * 131 + task.0 * 17) as u64 + abs * 7 % 390) as f64)
+        };
+        let sequential = run.run(|| Box::new(NoDvs), &mut draw).unwrap();
+        let interleaved = run.run_interleaved(|| Box::new(NoDvs), &mut draw).unwrap();
+        assert_eq!(sequential, interleaved);
+        // The interleaved run really used the event engine per core.
+        assert!(interleaved
+            .per_core
+            .iter()
+            .any(|r| r.events_handled > 0 && r.event_queue_peak > 0));
     }
 
     #[test]

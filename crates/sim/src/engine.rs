@@ -4,9 +4,16 @@
 //! Jobs are released periodically, preemption is immediate when a more
 //! eligible job appears — a higher-priority release under RM (paper
 //! §2.1), an earlier-deadline release under EDF — and the processor
-//! shuts down (zero energy) when idle. Execution advances between
-//! *events* — releases, chunk-budget exhaustions, completions — so
-//! simulation cost is `O(events)`, independent of cycle counts.
+//! shuts down (zero energy) when idle. The engine is a discrete-event
+//! simulation: releases and chunk-window wakeups live in a
+//! deterministic binary-heap [`EventQueue`] keyed
+//! `(time, kind-priority, seq)`, dispatch selection pops a
+//! [`ReadyQueue`], and completions / budget
+//! exhaustions / preemptions are *derived* events computed at dispatch
+//! — so simulation cost is `O(events · log jobs)`, independent of
+//! cycle counts, and every output bit matches the legacy chunk-scan
+//! engine (kept behind the `legacy-engine` feature as a test oracle;
+//! see `docs/ENGINE.md` for the determinism contract).
 //!
 //! The engine is policy-agnostic: it drives any [`Policy`] through the
 //! trait's callbacks (`on_start`/`on_release`/`on_completion`/
@@ -15,8 +22,11 @@
 //! unrealizable frequency.
 
 use crate::error::SimError;
+use crate::event::{Event, EventKind, EventQueue, ReadyKey, ReadyQueue};
 use crate::exec_trace::{ExecutionTrace, Slice};
-use crate::policy::{BoundaryEvent, DispatchContext, IntoPolicy, Policy, SolverContext};
+use crate::policy::{
+    BoundaryEvent, DispatchContext, IntoPolicy, Policy, SolverContext, SolverStats,
+};
 use crate::report::SimReport;
 use acs_core::reopt::InstanceProgress;
 use acs_core::StaticSchedule;
@@ -62,10 +72,25 @@ pub struct RunOutput {
     pub trace: Option<ExecutionTrace>,
 }
 
+/// Tolerance for time comparisons (release admission, chunk-window
+/// opening, voltage equality), in ms.
+pub(crate) const EPS: f64 = 1e-9;
+
+/// Completion threshold in cycles. Schedules are accepted with up
+/// to ~1e-6 ms of worst-case trace lateness, which at f_max
+/// corresponds to fractions of a cycle of residual work; without a
+/// forgiving threshold that dust survives all chunk budgets, loses
+/// priority to newly released jobs (RM is not deadline-aware) and
+/// "completes" milliseconds late. 1e-2 cycles is tens of
+/// nanoseconds of work on any realistic clock — far below anything
+/// observable — and comfortably above every gate-permitted
+/// residual (including the looser quick-profile solves).
+pub(crate) const CYCLE_EPS: f64 = 1e-2;
+
 /// Static per-chunk dispatch data derived from the schedule (or synthetic
 /// single-chunk plans for schedule-free policies).
 #[derive(Debug, Clone, Copy)]
-struct ChunkPlan {
+pub(crate) struct ChunkPlan {
     /// Window start of the chunk's segment. A job that exhausts its
     /// current chunk's budget early is *throttled* until the next
     /// chunk's window opens — the budget-enforced semantics the paper's
@@ -75,27 +100,33 @@ struct ChunkPlan {
     /// its next chunk and crowd out lower-priority chunks whose
     /// milestones precede it in the total order, breaking worst-case
     /// guarantees.
-    start_ms: f64,
-    end_ms: f64,
-    budget: f64,
-    static_speed: f64,
+    pub(crate) start_ms: f64,
+    pub(crate) end_ms: f64,
+    pub(crate) budget: f64,
+    pub(crate) static_speed: f64,
     /// The schedule's sub-instance this chunk executes (`None` for the
     /// synthetic single-chunk plans of schedule-free runs).
-    sub: Option<SubInstanceId>,
+    pub(crate) sub: Option<SubInstanceId>,
 }
 
 /// A job (task instance) inside one hyper-period.
 #[derive(Debug, Clone)]
-struct Job {
-    task: usize,
-    instance_in_hyper: u64,
-    release_ms: f64,
-    deadline_ms: f64,
-    remaining: f64,
-    executed: f64,
-    chunk: usize,
-    chunk_budget_left: f64,
-    done: bool,
+pub(crate) struct Job {
+    pub(crate) task: usize,
+    pub(crate) instance_in_hyper: u64,
+    pub(crate) release_ms: f64,
+    pub(crate) deadline_ms: f64,
+    pub(crate) remaining: f64,
+    pub(crate) executed: f64,
+    pub(crate) chunk: usize,
+    pub(crate) chunk_budget_left: f64,
+    pub(crate) done: bool,
+    /// Virtual time this job's chunk state was last maintained at —
+    /// the event engine maintains chunks lazily, and boundary
+    /// snapshots use this to forward exactly to the legacy engine's
+    /// per-round maintenance basis and no further (the legacy oracle
+    /// initializes it and never reads it).
+    pub(crate) maintained_at: f64,
 }
 
 /// The simulator: borrows the system description, owns the online
@@ -123,11 +154,11 @@ struct Job {
 /// # }
 /// ```
 pub struct Simulator<'a> {
-    set: &'a TaskSet,
-    cpu: &'a Processor,
-    policy: Box<dyn Policy>,
-    schedule: Option<&'a StaticSchedule>,
-    options: SimOptions,
+    pub(crate) set: &'a TaskSet,
+    pub(crate) cpu: &'a Processor,
+    pub(crate) policy: Box<dyn Policy>,
+    pub(crate) schedule: Option<&'a StaticSchedule>,
+    pub(crate) options: SimOptions,
 }
 
 impl std::fmt::Debug for Simulator<'_> {
@@ -188,50 +219,50 @@ impl<'a> Simulator<'a> {
         &mut self,
         workload: &mut dyn FnMut(TaskId, u64) -> Cycles,
     ) -> Result<RunOutput, SimError> {
+        #[cfg(feature = "legacy-engine")]
+        if crate::legacy::legacy_engine_enabled() {
+            return self.run_legacy(workload);
+        }
+        self.stepped(workload)?.finish()
+    }
+
+    /// Starts a resumable run: the same simulation `run` performs, but
+    /// advanced one event round at a time via [`SteppedRun::step`].
+    ///
+    /// This is how `acs-multi` interleaves per-core engines on one
+    /// shared clock: each core holds a `SteppedRun`, and the machine
+    /// repeatedly steps whichever core's [`SteppedRun::clock_ms`] is
+    /// smallest. Driving a `SteppedRun` to completion produces exactly
+    /// the [`RunOutput`] that `run` would have returned.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`] (plan construction runs here; execution errors
+    /// surface from `step`/`finish`).
+    pub fn stepped<'s, 'w>(
+        &'s mut self,
+        workload: &'w mut dyn FnMut(TaskId, u64) -> Cycles,
+    ) -> Result<SteppedRun<'s, 'a, 'w>, SimError> {
         let plans = self.build_plans()?;
-        let mut report = SimReport::empty(self.set.len());
-        let mut trace = None;
-        let instances_per_hyper: u64 = self.set.total_instances();
-        let mut abs_base = 0u64;
         let stats_before = self.policy.solver_stats();
-        for h in 0..self.options.hyper_periods {
-            let record = self.options.record_trace && h == 0;
-            // `run_one` is a free function over the borrowed fields (not
-            // `&self`) so the policy can be borrowed mutably alongside
-            // them — no detach, and a panicking workload or policy hook
-            // cannot leave the simulator holding a placeholder policy.
-            self.policy.on_start(self.set, self.cpu);
-            let (hp_report, hp_trace) = run_one(
-                self.set,
-                self.cpu,
-                self.schedule,
-                &self.options,
-                &plans,
-                abs_base,
-                workload,
-                record,
-                self.policy.as_mut(),
-            )?;
-            report.absorb(&hp_report);
-            if record {
-                trace = hp_trace;
-            }
-            abs_base += instances_per_hyper;
-        }
-        // Attribute this run's share of the policy's cumulative solver
-        // counters (policies persist across consecutive `run` calls).
-        if let Some(after) = self.policy.solver_stats() {
-            let delta = after.delta_since(stats_before.unwrap_or_default());
-            report.solver_lookups = delta.lookups;
-            report.solver_cache_hits = delta.cache_hits;
-            report.boundary_resolves = delta.resolves;
-            report.resolves_adopted = delta.adopted;
-        }
-        Ok(RunOutput { report, trace })
+        let instances_per_hyper = self.set.total_instances();
+        Ok(SteppedRun {
+            report: SimReport::empty(self.set.len()),
+            sim: self,
+            workload,
+            plans,
+            trace: None,
+            instances_per_hyper,
+            abs_base: 0,
+            h: 0,
+            stats_before,
+            current: None,
+            done: false,
+        })
     }
 
     /// Builds per-task, per-instance chunk plans.
-    fn build_plans(&self) -> Result<Vec<Vec<Vec<ChunkPlan>>>, SimError> {
+    pub(crate) fn build_plans(&self) -> Result<Vec<Vec<Vec<ChunkPlan>>>, SimError> {
         let fmax = self.cpu.f_max().as_cycles_per_ms();
         // Leakage-aware floor per task: with static power modeled,
         // running a chunk below its critical speed wastes energy, so the
@@ -346,284 +377,420 @@ impl<'a> Simulator<'a> {
     }
 }
 
-/// Simulates one hyper-period. A free function over the simulator's
-/// borrowed fields so the caller can hand over the policy `&mut` without
-/// detaching it from the `Simulator` (see [`Simulator::run`]).
-#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
-fn run_one(
-    set: &TaskSet,
-    cpu: &Processor,
-    schedule: Option<&StaticSchedule>,
-    options: &SimOptions,
-    plans: &[Vec<Vec<ChunkPlan>>],
-    abs_base: u64,
-    workload: &mut dyn FnMut(TaskId, u64) -> Cycles,
-    record: bool,
-    policy: &mut dyn Policy,
-) -> Result<(SimReport, Option<ExecutionTrace>), SimError> {
-    const EPS: f64 = 1e-9;
-    let has_schedule = schedule.is_some();
-    let wants_boundaries = policy.wants_boundaries();
-    let class = options.class.unwrap_or_else(|| set.class());
-    // Completion threshold in cycles. Schedules are accepted with up
-    // to ~1e-6 ms of worst-case trace lateness, which at f_max
-    // corresponds to fractions of a cycle of residual work; without a
-    // forgiving threshold that dust survives all chunk budgets, loses
-    // priority to newly released jobs (RM is not deadline-aware) and
-    // "completes" milliseconds late. 1e-2 cycles is tens of
-    // nanoseconds of work on any realistic clock — far below anything
-    // observable — and comfortably above every gate-permitted
-    // residual (including the looser quick-profile solves).
-    const CYCLE_EPS: f64 = 1e-2;
-    let mut report = SimReport::empty(set.len());
-    report.hyper_periods = 1;
-    let mut trace = record.then(ExecutionTrace::new);
-    // Leakage-aware dispatch floors, one per task: no request — from any
-    // policy — executes below max(f_min, critical speed). With zero
-    // static power this degenerates to the historical f_min floor.
-    let floors: Vec<f64> = set
-        .tasks()
-        .iter()
-        .map(|t| cpu.floor_speed(t.c_eff()).as_cycles_per_ms())
-        .collect();
-    let idle_power = cpu.idle_power();
-    let charge_idle = |report: &mut SimReport, span_ms: f64| {
-        report.idle_time += TimeSpan::from_ms(span_ms);
-        if idle_power > 0.0 {
-            let e = Energy::from_units(idle_power * span_ms);
-            report.idle_energy += e;
-            report.energy += e;
-        }
-    };
+/// The engine's borrowed environment, bundled so the per-round methods
+/// stay readable (the policy is passed alongside — it needs `&mut`).
+struct Env<'e> {
+    set: &'e TaskSet,
+    cpu: &'e Processor,
+    schedule: Option<&'e StaticSchedule>,
+    options: &'e SimOptions,
+    plans: &'e [Vec<Vec<ChunkPlan>>],
+}
 
-    // ---- job construction & workload draws ----
-    let mut jobs: Vec<Job> = Vec::with_capacity(set.total_instances() as usize);
-    let mut abs_counter = abs_base;
-    for (tid, task) in set.iter() {
-        for inst in 0..set.instances_of(tid) {
-            let release = (inst * task.period().get()) as f64;
-            let drawn = workload(tid, abs_counter);
-            abs_counter += 1;
-            let raw = drawn.as_cycles();
-            if !raw.is_finite() || raw < 0.0 {
-                return Err(SimError::InvalidWorkload {
+/// Advances a job's chunk state to virtual time `t`.
+///
+/// The advance rules are *path-independent and monotone in `t`*: both
+/// branches only depend on the current chunk state and `t`, and a chunk
+/// that is advanceable at `t1` stays advanceable at every `t2 > t1`
+/// until taken. Running this once at `t` therefore lands in exactly the
+/// state the legacy engine reaches by re-running it at every
+/// intermediate event — which is what lets the event engine maintain
+/// chunks lazily (at selection, wakeup and boundary-snapshot time)
+/// instead of scanning every job per round.
+fn maintain_job(j: &mut Job, plan: &[ChunkPlan], t: f64) {
+    loop {
+        // Budget exhausted: the job may only move on once the
+        // next chunk's segment opens (budget-enforced
+        // schedule; see `ChunkPlan::start_ms`).
+        if j.chunk_budget_left <= EPS
+            && j.chunk + 1 < plan.len()
+            && t + EPS >= plan[j.chunk + 1].start_ms
+        {
+            j.chunk += 1;
+            j.chunk_budget_left = plan[j.chunk].budget;
+            continue;
+        }
+        // Roll missed-milestone budget forward — but never
+        // before the next chunk's window opens: a re-optimizing
+        // policy may legitimately run a chunk past its *static*
+        // milestone (its window extends to the segment end), and
+        // rolling early would let the job barge into the next
+        // segment ahead of lower-priority chunks, breaking the
+        // worst-case guarantees budget enforcement exists for. A
+        // *spent* chunk past its milestone likewise waits for
+        // its next window (first branch), not skips ahead.
+        if j.chunk_budget_left > EPS
+            && t >= plan[j.chunk].end_ms + EPS
+            && j.chunk + 1 < plan.len()
+            && t + EPS >= plan[j.chunk + 1].start_ms
+        {
+            let left = j.chunk_budget_left;
+            j.chunk += 1;
+            j.chunk_budget_left = plan[j.chunk].budget + left;
+            continue;
+        }
+        break;
+    }
+    j.maintained_at = t;
+}
+
+/// The live state of one hyper-period under the event engine: the jobs,
+/// the event queue (pending releases and chunk wakeups), the ready
+/// queue, and the virtual clock.
+struct HpState {
+    jobs: Vec<Job>,
+    /// Pending timed events: every not-yet-admitted release, plus one
+    /// `ChunkWakeup` per currently throttled job.
+    events: EventQueue,
+    /// Released, runnable jobs (excluding the one executing a slice).
+    ready: ReadyQueue,
+    /// Virtual clock, ms within the hyper-period.
+    t: f64,
+    /// The virtual time chunk maintenance is current *as of* for
+    /// boundary snapshots: the legacy engine maintains every job at
+    /// each round's entry, so a boundary fired mid-round observes the
+    /// previous maintenance pass. Lazy forwarding to this basis (and no
+    /// further) reproduces those snapshots bit-for-bit.
+    maint_time: f64,
+    last_voltage: Option<f64>,
+    /// Job index of the most recent dispatch, for preemption counting:
+    /// a dispatch of a *different* job while this one still has work is
+    /// a displacement (both classes use the same rule, so RM/EDF
+    /// preemption counts are directly comparable).
+    last_dispatched: Option<usize>,
+    /// A job whose slice just ended unfinished; it is re-classified
+    /// (ready vs throttled) at the *next* round's entry so boundary
+    /// snapshots never observe a post-slice chunk advance early.
+    pending: Option<usize>,
+    report: SimReport,
+    trace: Option<ExecutionTrace>,
+    record: bool,
+    class: SchedulingClass,
+    wants_boundaries: bool,
+    /// Leakage-aware dispatch floors, one per task: no request — from
+    /// any policy — executes below max(f_min, critical speed). With
+    /// zero static power this degenerates to the historical f_min
+    /// floor.
+    floors: Vec<f64>,
+    dispatches: u64,
+    // Per-round scratch (kept to avoid reallocation).
+    admitted: Vec<usize>,
+    woken: Vec<usize>,
+}
+
+impl HpState {
+    /// Draws the hyper-period's workloads, builds jobs, fires the
+    /// `Start` boundary and queues every release event.
+    fn new(
+        env: &Env<'_>,
+        policy: &mut dyn Policy,
+        workload: &mut dyn FnMut(TaskId, u64) -> Cycles,
+        abs_base: u64,
+        record: bool,
+    ) -> Result<Self, SimError> {
+        let set = env.set;
+        let has_schedule = env.schedule.is_some();
+        let mut report = SimReport::empty(set.len());
+        report.hyper_periods = 1;
+
+        // ---- job construction & workload draws ----
+        let mut jobs: Vec<Job> = Vec::with_capacity(set.total_instances() as usize);
+        let mut abs_counter = abs_base;
+        for (tid, task) in set.iter() {
+            for inst in 0..set.instances_of(tid) {
+                let release = (inst * task.period().get()) as f64;
+                let drawn = workload(tid, abs_counter);
+                abs_counter += 1;
+                let raw = drawn.as_cycles();
+                if !raw.is_finite() || raw < 0.0 {
+                    return Err(SimError::InvalidWorkload {
+                        task: tid.0,
+                        instance: inst,
+                        cycles: raw,
+                    });
+                }
+                let wcec = task.wcec().as_cycles();
+                let mut actual = if raw > wcec {
+                    report.clamped_draws += 1;
+                    wcec
+                } else {
+                    raw
+                };
+                // The schedule's budgets are the effective worst case;
+                // clamp to their sum so repair rounding cannot leave
+                // un-budgeted dust behind.
+                let budget_sum: f64 = env.plans[tid.0][inst as usize]
+                    .iter()
+                    .map(|c| c.budget)
+                    .sum();
+                if has_schedule {
+                    actual = actual.min(budget_sum);
+                }
+                let plan0 = env.plans[tid.0][inst as usize][0];
+                jobs.push(Job {
                     task: tid.0,
-                    instance: inst,
-                    cycles: raw,
+                    instance_in_hyper: inst,
+                    release_ms: release,
+                    deadline_ms: release + task.deadline().get() as f64,
+                    remaining: actual,
+                    executed: 0.0,
+                    chunk: 0,
+                    chunk_budget_left: plan0.budget,
+                    done: false,
+                    maintained_at: f64::NEG_INFINITY,
                 });
             }
-            let wcec = task.wcec().as_cycles();
-            let mut actual = if raw > wcec {
-                report.clamped_draws += 1;
-                wcec
-            } else {
-                raw
-            };
-            // The schedule's budgets are the effective worst case;
-            // clamp to their sum so repair rounding cannot leave
-            // un-budgeted dust behind.
-            let budget_sum: f64 = plans[tid.0][inst as usize].iter().map(|c| c.budget).sum();
-            if has_schedule {
-                actual = actual.min(budget_sum);
-            }
-            let plan0 = plans[tid.0][inst as usize][0];
-            jobs.push(Job {
-                task: tid.0,
-                instance_in_hyper: inst,
-                release_ms: release,
-                deadline_ms: release + task.deadline().get() as f64,
-                remaining: actual,
-                executed: 0.0,
-                chunk: 0,
-                chunk_budget_left: plan0.budget,
-                done: false,
+        }
+        let wants_boundaries = policy.wants_boundaries();
+        // The hyper-period starts: schedule-aware policies get the
+        // pristine boundary state before anything executes.
+        if wants_boundaries {
+            fire_boundary(
+                policy,
+                set,
+                env.cpu,
+                env.schedule,
+                &jobs,
+                0.0,
+                BoundaryEvent::Start,
+            );
+        }
+
+        // Queue every release. Jobs are task-major, so pushing in job
+        // order makes the queue's `(time, kind, seq)` pop order exactly
+        // the legacy `(time, task)` admission order.
+        let mut events = EventQueue::with_capacity(jobs.len());
+        for (i, j) in jobs.iter().enumerate() {
+            events.push(Event {
+                time: j.release_ms,
+                kind: EventKind::Release,
+                job: i,
             });
         }
+
+        let floors = set
+            .tasks()
+            .iter()
+            .map(|t| env.cpu.floor_speed(t.c_eff()).as_cycles_per_ms())
+            .collect();
+        Ok(HpState {
+            jobs,
+            events,
+            ready: ReadyQueue::new(),
+            t: 0.0,
+            maint_time: f64::NEG_INFINITY,
+            last_voltage: None,
+            last_dispatched: None,
+            pending: None,
+            report,
+            trace: record.then(ExecutionTrace::new),
+            record,
+            class: env.options.class.unwrap_or_else(|| set.class()),
+            wants_boundaries,
+            floors,
+            dispatches: 0,
+            admitted: Vec::new(),
+            woken: Vec::new(),
+        })
     }
-    // The hyper-period starts: schedule-aware policies get the pristine
-    // boundary state before anything executes.
-    if wants_boundaries {
-        fire_boundary(policy, set, cpu, schedule, &jobs, 0.0, BoundaryEvent::Start);
+
+    fn charge_idle(&mut self, env: &Env<'_>, span_ms: f64) {
+        self.report.idle_time += TimeSpan::from_ms(span_ms);
+        let idle_power = env.cpu.idle_power();
+        if idle_power > 0.0 {
+            let e = Energy::from_units(idle_power * span_ms);
+            self.report.idle_energy += e;
+            self.report.energy += e;
+        }
     }
 
-    // Release events, sorted by time (job index attached).
-    let mut releases: Vec<(f64, usize)> = jobs
-        .iter()
-        .enumerate()
-        .map(|(i, j)| (j.release_ms, i))
-        .collect();
-    releases.sort_by(|a, b| {
-        a.0.total_cmp(&b.0)
-            .then(jobs[a.1].task.cmp(&jobs[b.1].task))
-    });
-
-    let mut rel_ptr = 0usize;
-    let mut t = 0.0f64;
-    let mut last_voltage: Option<f64> = None;
-    // Job index of the most recent dispatch, for preemption counting: a
-    // dispatch of a *different* job while this one still has work is a
-    // displacement (both classes use the same rule, so RM/EDF
-    // preemption counts are directly comparable).
-    let mut last_dispatched: Option<usize> = None;
-    let overhead = cpu.overhead();
-
-    loop {
-        // Admit releases (drives policy utilization bookkeeping).
-        while rel_ptr < releases.len() && releases[rel_ptr].0 <= t + EPS {
-            let task = TaskId(jobs[releases[rel_ptr].1].task);
-            policy.on_release(task, set, cpu);
-            rel_ptr += 1;
-            if wants_boundaries {
-                fire_boundary(
-                    policy,
-                    set,
-                    cpu,
-                    schedule,
-                    &jobs,
-                    t,
-                    BoundaryEvent::Release(task),
-                );
-            }
+    /// Forwards chunk maintenance of every released job to the current
+    /// snapshot basis ([`HpState::maint_time`]) — the state the legacy
+    /// engine's eager per-round maintenance would show a boundary fired
+    /// now. Jobs already maintained at (or past) the basis are left
+    /// alone: re-maintaining a just-executed job at an *earlier* basis
+    /// with its *post-slice* budget would advance chunks the legacy
+    /// engine had not advanced yet.
+    fn forward_maintenance(&mut self, env: &Env<'_>) {
+        let basis = self.maint_time;
+        if !basis.is_finite() {
+            return;
         }
-
-        // Jobs with zero actual workload complete instantly.
-        for i in 0..jobs.len() {
-            let j = &mut jobs[i];
-            if !j.done && j.release_ms <= t + EPS && j.remaining <= CYCLE_EPS {
-                j.done = true;
-                report.jobs_completed += 1;
-                let (task, executed) = (TaskId(j.task), j.executed);
-                policy.on_completion(task, Cycles::from_cycles(executed), set, cpu);
-                if wants_boundaries {
-                    fire_boundary(
-                        policy,
-                        set,
-                        cpu,
-                        schedule,
-                        &jobs,
-                        t,
-                        BoundaryEvent::Completion(task),
-                    );
-                }
-            }
-        }
-        // ---- chunk maintenance for all released jobs ----
-        // Advancing here (not just for the dispatched job) keeps the
-        // throttle state of every job current before eligibility is
-        // decided.
-        for j in jobs.iter_mut() {
-            if j.done || j.release_ms > t + EPS || j.remaining <= CYCLE_EPS {
+        for j in self.jobs.iter_mut() {
+            if j.done
+                || j.release_ms > basis + EPS
+                || j.remaining <= CYCLE_EPS
+                || j.maintained_at >= basis
+            {
                 continue;
             }
-            let plan = &plans[j.task][j.instance_in_hyper as usize];
-            loop {
-                // Budget exhausted: the job may only move on once the
-                // next chunk's segment opens (budget-enforced
-                // schedule; see `ChunkPlan::start_ms`).
-                if j.chunk_budget_left <= EPS
-                    && j.chunk + 1 < plan.len()
-                    && t + EPS >= plan[j.chunk + 1].start_ms
-                {
-                    j.chunk += 1;
-                    j.chunk_budget_left = plan[j.chunk].budget;
-                    continue;
-                }
-                // Roll missed-milestone budget forward — but never
-                // before the next chunk's window opens: a re-optimizing
-                // policy may legitimately run a chunk past its *static*
-                // milestone (its window extends to the segment end), and
-                // rolling early would let the job barge into the next
-                // segment ahead of lower-priority chunks, breaking the
-                // worst-case guarantees budget enforcement exists for. A
-                // *spent* chunk past its milestone likewise waits for
-                // its next window (first branch), not skips ahead.
-                if j.chunk_budget_left > EPS
-                    && t >= plan[j.chunk].end_ms + EPS
-                    && j.chunk + 1 < plan.len()
-                    && t + EPS >= plan[j.chunk + 1].start_ms
-                {
-                    let left = j.chunk_budget_left;
-                    j.chunk += 1;
-                    j.chunk_budget_left = plan[j.chunk].budget + left;
-                    continue;
-                }
-                break;
-            }
+            maintain_job(j, &env.plans[j.task][j.instance_in_hyper as usize], basis);
         }
+    }
+
+    /// Snapshots every job at the maintenance basis and hands the
+    /// policy the boundary. `t` is the boundary's own timestamp (it can
+    /// sit past the basis — e.g. a completion at slice end).
+    fn fire_boundary_at(
+        &mut self,
+        env: &Env<'_>,
+        policy: &mut dyn Policy,
+        t: f64,
+        event: BoundaryEvent,
+    ) {
+        self.forward_maintenance(env);
+        fire_boundary(policy, env.set, env.cpu, env.schedule, &self.jobs, t, event);
+    }
+
+    /// Maintains job `i` at time `t` and routes it: into the ready
+    /// queue when runnable, or a `ChunkWakeup` event at its next
+    /// chunk-window opening when throttled.
+    fn classify(&mut self, env: &Env<'_>, i: usize, t: f64) {
+        let j = &mut self.jobs[i];
+        if j.done || j.remaining <= CYCLE_EPS {
+            return;
+        }
+        let plan = &env.plans[j.task][j.instance_in_hyper as usize];
+        maintain_job(j, plan, t);
         // A released job is throttled while its current chunk budget
         // is spent and its next chunk's window has not opened.
-        let throttled = |j: &Job| {
-            let plan = &plans[j.task][j.instance_in_hyper as usize];
-            j.chunk_budget_left <= EPS && j.chunk + 1 < plan.len()
-        };
-        // The eligible job the scheduling class picks. RM: the task
-        // index *is* the priority; among instances of one task, the
-        // earlier release first. EDF: earliest absolute deadline, ties
-        // broken by task index then release — on per-frame
-        // (equal-period) sets every ready job shares one deadline, so
-        // the EDF order collapses to the exact RM order.
-        let ready = jobs
-            .iter()
-            .enumerate()
-            .filter(|(_, j)| {
-                !j.done && j.release_ms <= t + EPS && j.remaining > CYCLE_EPS && !throttled(j)
-            })
-            .min_by(|(_, a), (_, b)| {
-                let by_deadline = match class {
-                    SchedulingClass::FixedPriorityRm => std::cmp::Ordering::Equal,
-                    SchedulingClass::Edf => a.deadline_ms.total_cmp(&b.deadline_ms),
-                };
-                by_deadline
-                    .then(a.task.cmp(&b.task))
-                    .then(a.release_ms.total_cmp(&b.release_ms))
-            })
-            .map(|(i, _)| i);
-        // The earliest instant a throttled job wakes up.
-        let next_wakeup = jobs
-            .iter()
-            .filter(|j| {
-                !j.done && j.release_ms <= t + EPS && j.remaining > CYCLE_EPS && throttled(j)
-            })
-            .map(|j| plans[j.task][j.instance_in_hyper as usize][j.chunk + 1].start_ms)
-            .fold(f64::INFINITY, f64::min);
-        let Some(job_idx) = ready else {
+        if j.chunk_budget_left <= EPS && j.chunk + 1 < plan.len() {
+            // `maintain_job` stopped short of the advance, so the next
+            // window opens strictly later than `t + EPS` — the wakeup
+            // is always a future event.
+            self.events.push(Event {
+                time: plan[j.chunk + 1].start_ms,
+                kind: EventKind::ChunkWakeup,
+                job: i,
+            });
+        } else {
+            let deadline = match self.class {
+                SchedulingClass::FixedPriorityRm => 0.0,
+                SchedulingClass::Edf => j.deadline_ms,
+            };
+            let key = ReadyKey {
+                deadline,
+                task: self.jobs[i].task,
+                release: self.jobs[i].release_ms,
+                job: i,
+            };
+            self.ready.push(key);
+        }
+    }
+
+    /// One engine round at the current clock: drain due events (admit
+    /// releases, buffer wakeups), complete zero-workload jobs, advance
+    /// the snapshot basis, re-classify woken/pending jobs, then either
+    /// dispatch the most eligible job as an event handler or idle-hop
+    /// the clock to the next event. Returns `Ok(false)` when the
+    /// hyper-period is finished.
+    #[allow(clippy::too_many_lines)]
+    fn round(&mut self, env: &Env<'_>, policy: &mut dyn Policy) -> Result<bool, SimError> {
+        let mut t = self.t;
+
+        // ---- due events: admissions first, wakeups buffered ----
+        // Releases pop ahead of same-timestamp wakeups (kind priority),
+        // and every admission — with its policy hooks and boundary —
+        // happens before any wakeup is acted on, mirroring the legacy
+        // admit-then-maintain round structure.
+        self.admitted.clear();
+        self.woken.clear();
+        while let Some(ev) = self.events.pop_if(|e| e.time <= t + EPS) {
+            match ev.kind {
+                EventKind::Release => {
+                    let task = TaskId(self.jobs[ev.job].task);
+                    policy.on_release(task, env.set, env.cpu);
+                    self.admitted.push(ev.job);
+                    if self.wants_boundaries {
+                        self.fire_boundary_at(env, policy, t, BoundaryEvent::Release(task));
+                    }
+                }
+                EventKind::ChunkWakeup => self.woken.push(ev.job),
+                _ => debug_assert!(false, "engine queues only releases and wakeups"),
+            }
+        }
+
+        // ---- zero-workload jobs complete instantly ----
+        // In job-index order, like the legacy scan (the order is
+        // policy-visible through completion hooks and boundaries).
+        self.admitted.sort_unstable();
+        for k in 0..self.admitted.len() {
+            let i = self.admitted[k];
+            if !self.jobs[i].done && self.jobs[i].remaining <= CYCLE_EPS {
+                let j = &mut self.jobs[i];
+                j.done = true;
+                let (task, executed) = (TaskId(j.task), j.executed);
+                self.report.jobs_completed += 1;
+                policy.on_completion(task, Cycles::from_cycles(executed), env.set, env.cpu);
+                if self.wants_boundaries {
+                    self.fire_boundary_at(env, policy, t, BoundaryEvent::Completion(task));
+                }
+            }
+        }
+
+        // Everything after this point observes maintenance as of `t`.
+        self.maint_time = t;
+
+        // ---- classification: pending slice-end job, woken jobs, and
+        // newly admitted jobs enter the ready queue (or a wakeup) ----
+        if let Some(i) = self.pending.take() {
+            self.classify(env, i, t);
+        }
+        for k in 0..self.woken.len() {
+            let i = self.woken[k];
+            self.classify(env, i, t);
+        }
+        for k in 0..self.admitted.len() {
+            let i = self.admitted[k];
+            self.classify(env, i, t);
+        }
+
+        // ---- dispatch (or idle) ----
+        let Some(key) = self.ready.pop() else {
             // Idle until the next release or throttle expiry.
-            let next_release = releases
-                .get(rel_ptr)
-                .map(|&(r, _)| r)
-                .unwrap_or(f64::INFINITY);
-            let next = next_release.min(next_wakeup);
+            let next = self.events.next_time();
             if next.is_finite() {
-                charge_idle(&mut report, next - t);
-                t = next;
-                continue;
+                self.charge_idle(env, next - t);
+                self.t = next;
+                return Ok(true);
             }
             // Shut down for the rest of the hyper-period (still charged
             // at `idle_power`, which models a platform without
             // power-gating; the paper's processor has it at zero).
-            let h = set.hyper_period().get() as f64;
+            let h = env.set.hyper_period().get() as f64;
             if t < h {
-                charge_idle(&mut report, h - t);
+                self.charge_idle(env, h - t);
             }
-            break;
+            self.report.events_handled = self.events.popped() as u64 + self.dispatches;
+            self.report.event_queue_peak = self.events.high_water();
+            return Ok(false);
         };
-        let plan = &plans[jobs[job_idx].task][jobs[job_idx].instance_in_hyper as usize];
-        if let Some(prev) = last_dispatched {
-            if prev != job_idx && !jobs[prev].done && jobs[prev].remaining > CYCLE_EPS {
-                report.preemptions += 1;
+        let job_idx = key.job;
+        // The selected job's chunk state is maintained lazily, exactly
+        // here (see `maintain_job` for why this equals eager per-round
+        // maintenance).
+        let (jt, ji) = {
+            let j = &self.jobs[job_idx];
+            (j.task, j.instance_in_hyper as usize)
+        };
+        maintain_job(&mut self.jobs[job_idx], &env.plans[jt][ji], t);
+        if let Some(prev) = self.last_dispatched {
+            if prev != job_idx && !self.jobs[prev].done && self.jobs[prev].remaining > CYCLE_EPS {
+                self.report.preemptions += 1;
             }
         }
-        last_dispatched = Some(job_idx);
+        self.last_dispatched = Some(job_idx);
+        self.dispatches += 1;
 
-        // ---- dispatch ----
         let (task, chunk, budget_left, remaining) = {
-            let j = &jobs[job_idx];
+            let j = &self.jobs[job_idx];
             (j.task, j.chunk, j.chunk_budget_left, j.remaining)
         };
+        let plan = &env.plans[task][self.jobs[job_idx].instance_in_hyper as usize];
         let cp = plan[chunk];
         let ctx = DispatchContext {
-            set,
-            cpu,
+            set: env.set,
+            cpu: env.cpu,
             task: TaskId(task),
             now: Time::from_ms(t),
             chunk_end: Time::from_ms(cp.end_ms),
@@ -631,24 +798,25 @@ fn run_one(
             static_speed: Freq::from_cycles_per_ms(cp.static_speed),
             sub: cp.sub,
         };
-        let (speed, clamped) = cpu.clamp_speed(policy.on_dispatch(&ctx));
+        let (speed, clamped) = env.cpu.clamp_speed(policy.on_dispatch(&ctx));
         // Leakage floor: under-requests rise (unflagged, like the f_min
         // clamp — running faster than asked never endangers deadlines)
         // to the task's critical speed.
-        let speed = speed.max(Freq::from_cycles_per_ms(floors[task]));
+        let speed = speed.max(Freq::from_cycles_per_ms(self.floors[task]));
         // The clamp keeps `speed` realizable by the *continuous*
         // model; a discrete level table whose highest level sits
         // below `vmax` can still fail to serve it, in which case the
         // engine saturates at `vmax` (the historical fallback). Both
         // paths are one saturated dispatch — never double-counted.
-        let (v, table_saturated) = match cpu.dispatch_voltage(speed) {
+        let (v, table_saturated) = match env.cpu.dispatch_voltage(speed) {
             Ok(v) => (v, false),
-            Err(_) => (cpu.vmax(), true),
+            Err(_) => (env.cpu.vmax(), true),
         };
         if clamped || table_saturated {
-            report.saturated_dispatches += 1;
+            self.report.saturated_dispatches += 1;
         }
-        let f_actual = cpu
+        let f_actual = env
+            .cpu
             .freq_at(v)
             .map_err(|_| SimError::StalledProcessor)?
             .as_cycles_per_ms();
@@ -657,15 +825,17 @@ fn run_one(
         }
 
         // Voltage transition accounting (dead time + energy).
-        let changed = last_voltage
+        let overhead = env.cpu.overhead();
+        let changed = self
+            .last_voltage
             .map(|lv| (lv - v.as_volts()).abs() > 1e-9)
             .unwrap_or(false);
         if changed {
-            report.voltage_switches += 1;
-            report.energy += overhead.energy;
+            self.report.voltage_switches += 1;
+            self.report.energy += overhead.energy;
             t += overhead.time.as_ms();
         }
-        last_voltage = Some(v.as_volts());
+        self.last_voltage = Some(v.as_volts());
 
         // ---- execute until the next event ----
         let until_complete = remaining / f_actual;
@@ -676,47 +846,43 @@ fn run_one(
         } else {
             f64::INFINITY
         };
-        let until_release = releases
-            .get(rel_ptr)
-            .map(|&(next, _)| (next - t).max(0.0))
-            .unwrap_or(f64::INFINITY);
-        // A throttled higher-priority job waking up preempts too.
-        let until_wakeup = if next_wakeup.is_finite() {
-            (next_wakeup - t).max(0.0)
+        // The queue's head is min(next release, next wakeup); IEEE
+        // subtraction is monotone, so folding the two legacy terms into
+        // one is bit-identical.
+        let next_event = self.events.next_time();
+        let until_event = if next_event.is_finite() {
+            (next_event - t).max(0.0)
         } else {
             f64::INFINITY
         };
-        let dt = until_complete
-            .min(until_budget)
-            .min(until_release)
-            .min(until_wakeup);
+        let dt = until_complete.min(until_budget).min(until_event);
         // Progress guard: a zero-length slice can only come from a
-        // release exactly at `t`, which the admission loop absorbs.
+        // release exactly at `t`, which the admission drain absorbs.
         let dt = dt.max(0.0);
         let cycles = f_actual * dt;
 
         {
-            let j = &mut jobs[job_idx];
+            let j = &mut self.jobs[job_idx];
             j.remaining = (j.remaining - cycles).max(0.0);
             j.chunk_budget_left -= cycles;
             j.executed += cycles;
         }
-        let c_eff = set.tasks()[task].c_eff();
-        let e = cpu.energy(c_eff, v, Cycles::from_cycles(cycles));
-        report.energy += e;
-        report.per_task_energy[task] += e;
-        let leak = cpu.static_power_at(v);
+        let c_eff = env.set.tasks()[task].c_eff();
+        let e = env.cpu.energy(c_eff, v, Cycles::from_cycles(cycles));
+        self.report.energy += e;
+        self.report.per_task_energy[task] += e;
+        let leak = env.cpu.static_power_at(v);
         if leak > 0.0 {
             let e_static = Energy::from_units(leak * dt);
-            report.static_energy += e_static;
-            report.energy += e_static;
+            self.report.static_energy += e_static;
+            self.report.energy += e_static;
         }
-        report.busy_time += TimeSpan::from_ms(dt);
-        if let Some(tr) = trace.as_mut() {
+        self.report.busy_time += TimeSpan::from_ms(dt);
+        if let Some(tr) = self.trace.as_mut() {
             if dt > 0.0 {
                 tr.push(Slice {
                     task: TaskId(task),
-                    instance: jobs[job_idx].instance_in_hyper,
+                    instance: self.jobs[job_idx].instance_in_hyper,
                     start: Time::from_ms(t),
                     end: Time::from_ms(t + dt),
                     voltage: v,
@@ -724,39 +890,171 @@ fn run_one(
             }
         }
         t += dt;
+        self.t = t;
 
-        // ---- completion ----
-        let j = &mut jobs[job_idx];
+        // ---- completion (a derived event: no queue round-trip) ----
+        let j = &mut self.jobs[job_idx];
         if j.remaining <= CYCLE_EPS {
             j.done = true;
-            report.jobs_completed += 1;
-            report.worst_lateness_ms = report.worst_lateness_ms.max(t - j.deadline_ms);
-            if t > j.deadline_ms + options.deadline_tol_ms {
-                report.deadline_misses += 1;
+            self.report.jobs_completed += 1;
+            self.report.worst_lateness_ms = self.report.worst_lateness_ms.max(t - j.deadline_ms);
+            if t > j.deadline_ms + env.options.deadline_tol_ms {
+                self.report.deadline_misses += 1;
             }
             let (ctask, executed) = (TaskId(j.task), j.executed);
-            policy.on_completion(ctask, Cycles::from_cycles(executed), set, cpu);
-            if wants_boundaries {
-                fire_boundary(
-                    policy,
-                    set,
-                    cpu,
-                    schedule,
-                    &jobs,
-                    t,
-                    BoundaryEvent::Completion(ctask),
-                );
+            policy.on_completion(ctask, Cycles::from_cycles(executed), env.set, env.cpu);
+            if self.wants_boundaries {
+                // The snapshot basis is this round's entry time — the
+                // slice's own budget/progress deltas are visible, its
+                // chunk advance is not (it happens next round).
+                self.fire_boundary_at(env, policy, t, BoundaryEvent::Completion(ctask));
+            }
+        } else {
+            self.pending = Some(job_idx);
+        }
+        Ok(true)
+    }
+}
+
+/// A paused, resumable simulation run created by [`Simulator::stepped`]:
+/// the full multi-hyper-period run, advanced one event round at a time.
+pub struct SteppedRun<'s, 'a, 'w> {
+    sim: &'s mut Simulator<'a>,
+    workload: &'w mut dyn FnMut(TaskId, u64) -> Cycles,
+    plans: Vec<Vec<Vec<ChunkPlan>>>,
+    report: SimReport,
+    trace: Option<ExecutionTrace>,
+    instances_per_hyper: u64,
+    abs_base: u64,
+    h: u64,
+    stats_before: Option<SolverStats>,
+    current: Option<HpState>,
+    done: bool,
+}
+
+impl std::fmt::Debug for SteppedRun<'_, '_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SteppedRun")
+            .field("hyper_period", &self.h)
+            .field("clock_ms", &self.clock_ms())
+            .field("done", &self.done)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SteppedRun<'_, '_, '_> {
+    /// The absolute virtual clock (ms since the run began, across
+    /// hyper-periods), or `None` once the run has finished. The
+    /// shared-clock interleaver in `acs-multi` steps whichever core
+    /// reports the smallest clock.
+    pub fn clock_ms(&self) -> Option<f64> {
+        if self.done {
+            return None;
+        }
+        let h_ms = self.sim.set.hyper_period().get() as f64;
+        Some(match &self.current {
+            Some(s) => self.h as f64 * h_ms + s.t,
+            None => self.h as f64 * h_ms,
+        })
+    }
+
+    /// `true` once every hyper-period has been simulated.
+    pub fn is_finished(&self) -> bool {
+        self.done
+    }
+
+    /// Advances the run by one engine round (one event-queue drain +
+    /// dispatch or idle hop). Returns `Ok(false)` once the run is
+    /// finished.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`]; a failed step poisons the run (`done`).
+    pub fn step(&mut self) -> Result<bool, SimError> {
+        if self.done {
+            return Ok(false);
+        }
+        let sim = &mut *self.sim;
+        let env = Env {
+            set: sim.set,
+            cpu: sim.cpu,
+            schedule: sim.schedule,
+            options: &sim.options,
+            plans: &self.plans,
+        };
+        let policy = sim.policy.as_mut();
+        if self.current.is_none() {
+            if self.h >= env.options.hyper_periods {
+                self.finalize();
+                return Ok(false);
+            }
+            let record = env.options.record_trace && self.h == 0;
+            policy.on_start(env.set, env.cpu);
+            let state = match HpState::new(&env, policy, self.workload, self.abs_base, record) {
+                Ok(s) => s,
+                Err(e) => {
+                    self.done = true;
+                    return Err(e);
+                }
+            };
+            self.current = Some(state);
+        }
+        let state = self.current.as_mut().expect("hyper-period state exists");
+        match state.round(&env, policy) {
+            Ok(true) => Ok(true),
+            Ok(false) => {
+                let state = self.current.take().expect("hyper-period state exists");
+                self.report.absorb(&state.report);
+                if state.record {
+                    self.trace = state.trace;
+                }
+                self.h += 1;
+                self.abs_base += self.instances_per_hyper;
+                if self.h >= self.sim.options.hyper_periods {
+                    self.finalize();
+                    return Ok(false);
+                }
+                Ok(true)
+            }
+            Err(e) => {
+                self.done = true;
+                Err(e)
             }
         }
     }
 
-    Ok((report, trace))
+    /// Attribute this run's share of the policy's cumulative solver
+    /// counters (policies persist across consecutive `run` calls).
+    fn finalize(&mut self) {
+        if let Some(after) = self.sim.policy.solver_stats() {
+            let delta = after.delta_since(self.stats_before.unwrap_or_default());
+            self.report.solver_lookups = delta.lookups;
+            self.report.solver_cache_hits = delta.cache_hits;
+            self.report.boundary_resolves = delta.resolves;
+            self.report.resolves_adopted = delta.adopted;
+        }
+        self.done = true;
+    }
+
+    /// Drives the run to completion and returns the aggregate output —
+    /// exactly what [`Simulator::run`] returns.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    pub fn finish(mut self) -> Result<RunOutput, SimError> {
+        while self.step()? {}
+        Ok(RunOutput {
+            report: self.report,
+            trace: self.trace,
+        })
+    }
 }
 
 /// Snapshots every job's execution state and hands the policy a
 /// [`SolverContext`]. Costs `O(jobs)`, so callers gate it behind
 /// [`Policy::wants_boundaries`].
-fn fire_boundary(
+pub(crate) fn fire_boundary(
     policy: &mut dyn Policy,
     set: &TaskSet,
     cpu: &Processor,
@@ -1467,5 +1765,71 @@ mod tests {
             .map(|t| t.c_eff() * vmin * vmin * 100.0)
             .sum();
         assert!((out.report.energy.as_units() - expected).abs() < 1e-6);
+    }
+
+    /// Driving a [`SteppedRun`] round by round produces exactly what
+    /// `run` returns — same report (including event stats), same trace.
+    #[test]
+    fn stepped_run_matches_run() {
+        let (set, cpu) = preemptive_set();
+        let sched = synthesize_acs(&set, &cpu, &SynthesisOptions::default()).unwrap();
+        let totals = acs_core::trace::acec_totals(&set);
+        let options = SimOptions {
+            hyper_periods: 3,
+            record_trace: true,
+            ..Default::default()
+        };
+        let baseline = Simulator::new(&set, &cpu, GreedyReclaim)
+            .with_schedule(&sched)
+            .with_options(options.clone())
+            .run(&mut |tid, _| totals[tid.0])
+            .unwrap();
+        let mut sim = Simulator::new(&set, &cpu, GreedyReclaim)
+            .with_schedule(&sched)
+            .with_options(options);
+        let mut draw = |tid: TaskId, _| totals[tid.0];
+        let mut stepped = sim.stepped(&mut draw).unwrap();
+        let mut clock = f64::NEG_INFINITY;
+        while let Some(now) = stepped.clock_ms() {
+            assert!(now >= clock, "clock moved backwards: {now} < {clock}");
+            clock = now;
+            if !stepped.step().unwrap() {
+                break;
+            }
+        }
+        assert!(stepped.is_finished());
+        let out = stepped.finish().unwrap();
+        assert_eq!(out.report, baseline.report);
+        assert_eq!(
+            out.trace.unwrap().slices(),
+            baseline.trace.unwrap().slices()
+        );
+    }
+
+    /// The event engine surfaces its queue high-water mark and
+    /// handled-event count, and they scale with the horizon.
+    #[test]
+    fn event_stats_surface_in_report() {
+        let (set, cpu) = preemptive_set();
+        let run = |hps: u64| {
+            Simulator::new(&set, &cpu, NoDvs)
+                .with_options(SimOptions {
+                    hyper_periods: hps,
+                    ..Default::default()
+                })
+                .run(&mut |_, _| Cycles::from_cycles(50.0))
+                .unwrap()
+                .report
+        };
+        let one = run(1);
+        // Every job releases through the queue, and every slice is a
+        // handled dispatch event.
+        assert!(one.event_queue_peak >= 1);
+        assert!(one.events_handled >= set.total_instances());
+        let five = run(5);
+        assert_eq!(five.events_handled, 5 * one.events_handled);
+        // The queue is rebuilt per hyper-period: the peak is a max,
+        // not a sum.
+        assert_eq!(five.event_queue_peak, one.event_queue_peak);
     }
 }

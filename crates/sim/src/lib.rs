@@ -75,18 +75,24 @@
 
 pub mod engine;
 pub mod error;
+pub mod event;
 pub mod exec_trace;
 pub mod gantt;
+#[cfg(feature = "legacy-engine")]
+pub mod legacy;
 pub mod policy;
 pub mod reopt;
 pub mod report;
 pub mod stats;
 
 pub use acs_model::SchedulingClass;
-pub use engine::{simulate_deterministic, RunOutput, SimOptions, Simulator};
+pub use engine::{simulate_deterministic, RunOutput, SimOptions, Simulator, SteppedRun};
 pub use error::SimError;
+pub use event::{Event, EventKind, EventQueue, ReadyKey, ReadyQueue};
 pub use exec_trace::{ExecutionTrace, Slice};
 pub use gantt::render_gantt;
+#[cfg(feature = "legacy-engine")]
+pub use legacy::{legacy_engine_enabled, set_legacy_engine};
 #[allow(deprecated)]
 pub use policy::DvsPolicy;
 pub use policy::{

@@ -82,6 +82,15 @@ pub struct SimReport {
     pub boundary_resolves: usize,
     /// Re-solved candidates adopted after the feasibility/energy gate.
     pub resolves_adopted: usize,
+    /// Events the engine handled: event-queue pops (releases, chunk
+    /// wakeups) plus dispatched execution slices. Deterministic for a
+    /// given cell — the differential suite pins it as an invariant.
+    /// The legacy chunk-scan oracle reports 0.
+    pub events_handled: u64,
+    /// High-water mark of the engine's event queue (max events pending
+    /// at once within any one hyper-period). The legacy chunk-scan
+    /// oracle reports 0.
+    pub event_queue_peak: usize,
 }
 
 impl SimReport {
@@ -106,6 +115,8 @@ impl SimReport {
             solver_cache_hits: 0,
             boundary_resolves: 0,
             resolves_adopted: 0,
+            events_handled: 0,
+            event_queue_peak: 0,
         }
     }
 
@@ -131,6 +142,8 @@ impl SimReport {
         self.solver_cache_hits += other.solver_cache_hits;
         self.boundary_resolves += other.boundary_resolves;
         self.resolves_adopted += other.resolves_adopted;
+        self.events_handled += other.events_handled;
+        self.event_queue_peak = self.event_queue_peak.max(other.event_queue_peak);
     }
 
     /// Mean energy per hyper-period.

@@ -9,7 +9,11 @@
 //!   sums exactly, for random processors including leaky and discrete
 //!   ones;
 //! * engine determinism — the same seed produces a byte-identical
-//!   `SimReport` across two runs.
+//!   `SimReport` across two runs (including the event engine's
+//!   `events_handled`/`event_queue_peak` stats);
+//! * event-queue determinism — any insertion order of the same event
+//!   multiset pops in `(time, kind-priority, seq)` order, where `seq`
+//!   reflects insertion order among same-`(time, kind)` events.
 //!
 //! The `#[ignore]`d variants at the bottom re-run the same properties
 //! at a larger scale; CI's nightly-style job includes them with
@@ -17,6 +21,7 @@
 //! `PROPTEST_CASES`.
 
 use acsched::prelude::*;
+use acsched::sim::{Event, EventKind, EventQueue};
 use proptest::prelude::*;
 
 /// Period pool with a bounded lcm (≤ 360) mixing harmonic and
@@ -236,6 +241,70 @@ fn determinism_case(
     if format!("{a:?}") != format!("{b:?}") {
         return Err("debug renderings diverged".into());
     }
+    // The event engine's own stats are part of the byte-identity
+    // contract — and prove the run went through the event queue.
+    if a.events_handled == 0 || a.event_queue_peak == 0 {
+        return Err(format!(
+            "event engine reported no queue activity: handled {}, peak {}",
+            a.events_handled, a.event_queue_peak
+        ));
+    }
+    Ok(())
+}
+
+/// Property (d): the event queue is a pure function of its push
+/// sequence. Popping everything always yields the stable sort of the
+/// pushed events by `(time, kind-priority)` — i.e. strict
+/// `(time, kind-priority, seq)` order, where same-key events keep
+/// insertion order — and a second queue fed the same sequence pops
+/// identically.
+fn event_queue_determinism_case(events: &[(usize, usize)]) -> Result<(), String> {
+    // Small pools force heavy time and (time, kind) collisions.
+    const TIMES: [f64; 4] = [0.0, 1.5, 1.5 + f64::EPSILON, 7.25];
+    const KINDS: [EventKind; 5] = [
+        EventKind::Release,
+        EventKind::ChunkWakeup,
+        EventKind::Completion,
+        EventKind::Boundary,
+        EventKind::SpeedChange,
+    ];
+    let pushed: Vec<Event> = events
+        .iter()
+        .enumerate()
+        .map(|(i, &(t, k))| Event {
+            time: TIMES[t % TIMES.len()],
+            kind: KINDS[k % KINDS.len()],
+            job: i, // position in the push sequence
+        })
+        .collect();
+    let drain = || {
+        let mut q = EventQueue::new();
+        for e in &pushed {
+            q.push(*e);
+        }
+        let order: Vec<Event> = std::iter::from_fn(|| q.pop()).collect();
+        (order, q.high_water(), q.popped())
+    };
+    let (order, high_water, popped) = drain();
+    if (high_water, popped) != (pushed.len(), pushed.len()) {
+        return Err(format!(
+            "stats diverged: high_water {high_water}, popped {popped}, pushed {}",
+            pushed.len()
+        ));
+    }
+    // Stable sort by (time, kind) is the spec: job carries the push
+    // position, so stability pins same-key events to insertion order.
+    let mut expected = pushed.clone();
+    expected.sort_by(|a, b| a.time.total_cmp(&b.time).then(a.kind.cmp(&b.kind)));
+    if order != expected {
+        return Err(format!(
+            "pop order diverged:\n{order:?}\nvs stable sort\n{expected:?}"
+        ));
+    }
+    // And the queue is reproducible: same pushes, same pops.
+    if order != drain().0 {
+        return Err("two identically fed queues popped differently".into());
+    }
     Ok(())
 }
 
@@ -274,6 +343,15 @@ proptest! {
         edf in prop::bool::ANY,
     ) {
         if let Err(msg) = determinism_case(&picks, total_util, seed, edf) {
+            prop_assert!(false, "{}", msg);
+        }
+    }
+
+    #[test]
+    fn event_queue_pops_in_time_priority_seq_order(
+        events in prop::collection::vec((0usize..4, 0usize..5), 0..64),
+    ) {
+        if let Err(msg) = event_queue_determinism_case(&events) {
             prop_assert!(false, "{}", msg);
         }
     }
