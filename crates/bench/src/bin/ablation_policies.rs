@@ -34,7 +34,9 @@ fn main() {
         .task_sets
         .iter()
         .flat_map(|decl| match decl {
-            TaskSetDecl::Inline { name, .. } | TaskSetDecl::RealLife { name, .. } => {
+            TaskSetDecl::Inline { name, .. }
+            | TaskSetDecl::RealLife { name, .. }
+            | TaskSetDecl::Trace { name, .. } => {
                 vec![name.clone()]
             }
             TaskSetDecl::Random {

@@ -69,5 +69,5 @@ pub mod machine;
 pub mod partition;
 
 pub use error::MultiError;
-pub use machine::{MachineReport, MachineRun};
+pub use machine::{CoreSourceFactory, MachineReport, MachineRun};
 pub use partition::{partition, CoreAssignment, Partition, PartitionHeuristic};

@@ -6,10 +6,16 @@ use crate::error::MultiError;
 use crate::partition::Partition;
 use acs_core::StaticSchedule;
 use acs_model::units::{Cycles, Energy, TimeSpan};
-use acs_model::TaskId;
+use acs_model::{TaskId, TaskSet};
 use acs_power::Processor;
-use acs_sim::{EnergyBreakdown, Policy, SimOptions, SimReport, Simulator};
+use acs_sim::{ArrivalSource, EnergyBreakdown, Policy, SimOptions, SimReport, Simulator};
 use std::cell::RefCell;
+
+/// Per-core arrival-source factory passed to
+/// [`MachineRun::run_with_sources`]: `(core, core's task set)` →
+/// `Some(source)` to drive that core from generated/recorded releases,
+/// `None` for the classic periodic grid.
+pub type CoreSourceFactory<'a> = dyn FnMut(usize, &TaskSet) -> Option<Box<dyn ArrivalSource>> + 'a;
 
 /// One machine run: the partition, the per-core hardware (identical
 /// cores), the per-core schedules and the simulation options.
@@ -102,8 +108,29 @@ impl MachineRun<'_> {
     /// simulation fails (the first failing core aborts the machine).
     pub fn run(
         &self,
+        make_policy: impl FnMut() -> Box<dyn Policy>,
+        workload: &mut dyn FnMut(usize, TaskId, u64) -> Cycles,
+    ) -> Result<MachineReport, MultiError> {
+        self.run_with_sources(make_policy, workload, &mut |_, _| None)
+    }
+
+    /// [`MachineRun::run`] with a per-core arrival-source factory:
+    /// `make_source` is called once per **non-empty** core with the core
+    /// index and that core's task set; returning `Some(source)` runs the
+    /// core's engine from the source's releases instead of the strictly
+    /// periodic grid (see `Simulator::with_arrivals`), `None` keeps the
+    /// classic periodic releases. Key any randomness inside the factory
+    /// by `(seed, set, core)` — never by call order — so machine results
+    /// stay deterministic at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MachineRun::run`].
+    pub fn run_with_sources(
+        &self,
         mut make_policy: impl FnMut() -> Box<dyn Policy>,
         workload: &mut dyn FnMut(usize, TaskId, u64) -> Cycles,
+        make_source: &mut CoreSourceFactory<'_>,
     ) -> Result<MachineReport, MultiError> {
         let busy = self.partition.busy_cores();
         if let Some(schedules) = self.schedules {
@@ -138,6 +165,9 @@ impl MachineRun<'_> {
                 sim = sim.with_schedule(&schedules[sched_idx]);
             }
             sched_idx += 1;
+            if let Some(source) = make_source(core, set) {
+                sim = sim.with_arrivals(source);
+            }
             let out = sim
                 .run(&mut |task, abs| workload(core, task, abs))
                 .map_err(|e| MultiError::Sim(format!("core {core}: {e}")))?;

@@ -11,9 +11,10 @@ use acs_model::{SchedulingClass, TaskSet};
 use acs_multi::{partition, MachineRun, Partition, PartitionHeuristic};
 use acs_power::Processor;
 use acs_sim::{
-    CcRm, GreedyReclaim, NoDvs, Policy, ReOpt, ReOptConfig, SimOptions, SimReport, Simulator,
-    SolverCache, StaticSpeed,
+    ArrivalKind, CcRm, GreedyReclaim, NoDvs, Policy, ReOpt, ReOptConfig, SimOptions, SimReport,
+    Simulator, SolverCache, StaticSpeed,
 };
+use acs_trace::TraceSource;
 use acs_workloads::{TaskWorkloads, WorkloadDist};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -240,6 +241,14 @@ pub enum CampaignError {
     /// The cores axis contains a zero — a machine needs at least one
     /// core.
     InvalidCores,
+    /// A trace-backed task set met a multicore axis. Trace replay is
+    /// single-core: the `arrival_ms task_id cycles` records name tasks
+    /// of the whole prologue set, which a partition would split across
+    /// cores with no defined record routing.
+    TraceMulticore {
+        /// The trace-backed set's name.
+        set: String,
+    },
 }
 
 impl std::fmt::Display for CampaignError {
@@ -280,6 +289,11 @@ impl std::fmt::Display for CampaignError {
                 f,
                 "the cores axis contains 0; every machine needs at least one core"
             ),
+            CampaignError::TraceMulticore { set } => write!(
+                f,
+                "task set `{set}` replays an arrival trace, but the cores axis \
+                 contains counts above 1; trace replay is single-core only"
+            ),
         }
     }
 }
@@ -289,6 +303,10 @@ impl std::error::Error for CampaignError {}
 /// Sentinel for [`CellSpec::part`] on single-core cells (the
 /// partitioner axis collapses: there is nothing to partition).
 const NO_PART: usize = usize::MAX;
+
+/// Sentinel for [`CellSpec::arrivals`] on trace-backed task sets (the
+/// arrivals axis collapses: the trace *is* the arrival stream).
+const NO_ARRIVALS: usize = usize::MAX;
 
 /// One experiment cell before execution.
 #[derive(Debug, Clone, Copy)]
@@ -304,6 +322,9 @@ struct CellSpec {
     schedule: ScheduleChoice,
     policy: usize,
     workload: usize,
+    /// Index into the arrivals axis, or [`NO_ARRIVALS`] when the cell's
+    /// task set replays a trace.
+    arrivals: usize,
 }
 
 /// Builder for [`Campaign`]: add at least one task set, processor,
@@ -338,10 +359,14 @@ struct CellSpec {
 #[derive(Debug)]
 pub struct CampaignBuilder {
     task_sets: Vec<(String, TaskSet)>,
+    /// Trace file path per trace-backed task set, keyed by index into
+    /// `task_sets`.
+    traces: HashMap<usize, String>,
     processors: Vec<(String, Processor)>,
     cores: Vec<usize>,
     partitioners: Vec<PartitionHeuristic>,
     classes: Vec<SchedulingClass>,
+    arrivals: Vec<ArrivalKind>,
     schedules: Vec<ScheduleChoice>,
     policies: Vec<PolicySpec>,
     workloads: Vec<WorkloadSpec>,
@@ -357,10 +382,12 @@ impl Default for CampaignBuilder {
     fn default() -> Self {
         CampaignBuilder {
             task_sets: Vec::new(),
+            traces: HashMap::new(),
             processors: Vec::new(),
             cores: Vec::new(),
             partitioners: Vec::new(),
             classes: Vec::new(),
+            arrivals: Vec::new(),
             schedules: Vec::new(),
             policies: Vec::new(),
             workloads: Vec::new(),
@@ -390,6 +417,48 @@ impl CampaignBuilder {
         for (name, set) in sets {
             self.task_sets.push((name.into(), set));
         }
+        self
+    }
+
+    /// Adds one named **trace-backed** task set: instead of the strictly
+    /// periodic release grid, the cell replays the `acsched-trace v1`
+    /// file at `path` (`set` must be the trace prologue's task set —
+    /// `acs-scenario` trace declarations guarantee this by materializing
+    /// the set *from* the prologue). Trace cells ignore
+    /// the arrivals axis (the trace *is* the arrival stream; reported
+    /// as `trace`), run until the trace is exhausted regardless of
+    /// [`hyper_periods`](CampaignBuilder::hyper_periods), and are
+    /// single-core only ([`build`](CampaignBuilder::build) rejects
+    /// multicore grids containing a traced set). The file is re-streamed
+    /// per run with bounded memory — multi-GB traces never load fully.
+    pub fn task_set_traced(
+        mut self,
+        name: impl Into<String>,
+        set: TaskSet,
+        path: impl Into<String>,
+    ) -> Self {
+        self.traces.insert(self.task_sets.len(), path.into());
+        self.task_sets.push((name.into(), set));
+        self
+    }
+
+    /// Adds one arrival kind to the grid (default: `periodic` — the
+    /// classic strictly periodic releases; grids that never touch this
+    /// axis are byte-identical to pre-arrivals reports). Non-periodic
+    /// kinds release jobs from deterministic seed-keyed generators
+    /// ([`ArrivalKind::source`]), keyed per `(seed, set)` — per
+    /// `(seed, set, core)` on multicore cells — so results are pure
+    /// functions of the grid coordinates at any thread count. Duplicate
+    /// kinds are dropped at [`build`](CampaignBuilder::build), keeping
+    /// first positions (like seeds and cores).
+    pub fn arrival(mut self, kind: ArrivalKind) -> Self {
+        self.arrivals.push(kind);
+        self
+    }
+
+    /// Replaces the arrivals axis.
+    pub fn arrivals(mut self, kinds: impl IntoIterator<Item = ArrivalKind>) -> Self {
+        self.arrivals = kinds.into_iter().collect();
         self
     }
 
@@ -600,6 +669,21 @@ impl CampaignBuilder {
         if self.classes.is_empty() {
             self.classes.push(SchedulingClass::FixedPriorityRm);
         }
+        // Duplicate arrival kinds would re-run identical release streams;
+        // drop repeats, keeping first positions (documented on
+        // `CampaignBuilder::arrival`).
+        let mut seen_arrivals = std::collections::HashSet::new();
+        self.arrivals.retain(|a| seen_arrivals.insert(*a));
+        if self.arrivals.is_empty() {
+            self.arrivals.push(ArrivalKind::Periodic);
+        }
+        if self.cores.iter().any(|c| *c > 1) {
+            if let Some(idx) = self.traces.keys().min() {
+                return Err(CampaignError::TraceMulticore {
+                    set: self.task_sets[*idx].0.clone(),
+                });
+            }
+        }
         seen.clear();
         for h in &self.partitioners {
             if !seen.insert(h.label().to_string()) {
@@ -666,16 +750,27 @@ impl CampaignBuilder {
                                 };
                                 for schedule in choices {
                                     for workload in 0..self.workloads.len() {
-                                        cells.push(CellSpec {
-                                            set,
-                                            cpu,
-                                            cores,
-                                            part,
-                                            class,
-                                            schedule,
-                                            policy: policy_idx,
-                                            workload,
-                                        });
+                                        // The arrivals axis collapses on
+                                        // trace-backed sets: the trace
+                                        // fixes the release stream.
+                                        let kinds: Vec<usize> = if self.traces.contains_key(&set) {
+                                            vec![NO_ARRIVALS]
+                                        } else {
+                                            (0..self.arrivals.len()).collect()
+                                        };
+                                        for arrivals in kinds {
+                                            cells.push(CellSpec {
+                                                set,
+                                                cpu,
+                                                cores,
+                                                part,
+                                                class,
+                                                schedule,
+                                                policy: policy_idx,
+                                                workload,
+                                                arrivals,
+                                            });
+                                        }
                                     }
                                 }
                             }
@@ -948,7 +1043,13 @@ impl Campaign {
                 let cpu = &b.processors[cell.cpu].1;
                 let spec = &b.workloads[cell.workload];
                 let options = SimOptions {
-                    hyper_periods: b.hyper_periods,
+                    // A trace bounds its own horizon: the run ends when
+                    // the source exhausts, not at a hyper-period count.
+                    hyper_periods: if cell.arrivals == NO_ARRIVALS {
+                        u64::MAX
+                    } else {
+                        b.hyper_periods
+                    },
                     deadline_tol_ms: b.deadline_tol_ms,
                     record_trace: false,
                     class: Some(cell.class),
@@ -965,6 +1066,25 @@ impl Campaign {
                         .with_options(options);
                     if let Some(s) = schedules {
                         sim = sim.with_schedule(&s[0]);
+                    }
+                    if cell.arrivals == NO_ARRIVALS {
+                        let path = b
+                            .traces
+                            .get(&cell.set)
+                            .expect("NO_ARRIVALS marks trace-backed cells");
+                        let source = TraceSource::open(path).map_err(|e| format!("trace: {e}"))?;
+                        sim = sim.with_arrivals(Box::new(source));
+                    } else {
+                        let kind = b.arrivals[cell.arrivals];
+                        // Periodic cells get *no* source: they run the
+                        // built-in release grid, byte-identical to grids
+                        // without an arrivals axis. Generated sources
+                        // share the (seed, set) key with the workload
+                        // draws, so arrival streams pair across
+                        // schedule/policy/processor cells too.
+                        if !kind.is_periodic() {
+                            sim = sim.with_arrivals(kind.source(set, mix_seed(seed, cell.set)));
+                        }
                     }
                     sim.run(&mut |t, i| draws.draw(t, i))
                         .map(|out| {
@@ -994,19 +1114,29 @@ impl Campaign {
                             })
                         })
                         .collect();
+                    // Multicore cells are never trace-backed (rejected at
+                    // build), so the arrivals index is always real.
+                    let kind = b.arrivals[cell.arrivals];
                     MachineRun {
                         partition: parted,
                         cpu,
                         schedules,
                         options,
                     }
-                    .run(
+                    .run_with_sources(
                         || b.policies[cell.policy].instantiate(),
                         &mut |core, task, abs| {
                             draws[core]
                                 .as_mut()
                                 .expect("draw streams exist for busy cores")
                                 .draw(task, abs)
+                        },
+                        &mut |core, core_set| {
+                            // Per-core sources keyed (seed, set, core),
+                            // mirroring the per-core draw streams.
+                            (!kind.is_periodic()).then(|| {
+                                kind.source(core_set, mix_seed(mix_seed(seed, cell.set), core))
+                            })
                         },
                     )
                     .map(|m| {
@@ -1041,6 +1171,11 @@ impl Campaign {
                         schedule: cell.schedule,
                         policy: b.policies[cell.policy].name().to_string(),
                         workload: b.workloads[cell.workload].name(),
+                        arrivals: if cell.arrivals == NO_ARRIVALS {
+                            "trace".to_string()
+                        } else {
+                            b.arrivals[cell.arrivals].label().to_string()
+                        },
                         outcome,
                     },
                 })
@@ -1158,6 +1293,7 @@ fn aggregate(per_seed: &[Result<(SimReport, Vec<f64>), String>]) -> Result<CellS
         mean_idle_energy: Energy::ZERO,
         per_core_mean_energy: Vec::new(),
         deadline_misses: 0,
+        misses_aperiodic: 0,
         jobs_completed: 0,
         saturated_dispatches: 0,
         voltage_switches: 0,
@@ -1183,6 +1319,7 @@ fn aggregate(per_seed: &[Result<(SimReport, Vec<f64>), String>]) -> Result<CellS
             *acc += e;
         }
         stats.deadline_misses += report.deadline_misses;
+        stats.misses_aperiodic += report.misses_aperiodic;
         stats.jobs_completed += report.jobs_completed;
         stats.saturated_dispatches += report.saturated_dispatches;
         stats.voltage_switches += report.voltage_switches;

@@ -29,6 +29,10 @@ pub struct CellStats {
     pub per_core_mean_energy: Vec<f64>,
     /// Deadline misses summed over all runs.
     pub deadline_misses: usize,
+    /// Deadline misses charged to aperiodic jobs (sporadic / Poisson /
+    /// MMPP / trace releases), summed over all runs — a subset of
+    /// `deadline_misses`, always zero on `periodic` cells.
+    pub misses_aperiodic: usize,
     /// Jobs completed summed over all runs.
     pub jobs_completed: usize,
     /// Saturated dispatches summed over all runs.
@@ -91,6 +95,10 @@ pub struct CellReport {
     pub policy: String,
     /// Workload-family name.
     pub workload: String,
+    /// Arrival-stream label (`"periodic"` on classic grids;
+    /// `"sporadic"`, `"poisson"`, `"mmpp:light|bursty|heavy"` on
+    /// generated streams; `"trace"` on trace-backed sets).
+    pub arrivals: String,
     /// Aggregated statistics, or the first failure message.
     pub outcome: Result<CellStats, String>,
 }
@@ -173,7 +181,8 @@ impl CampaignReport {
     /// policy, workload) coordinate that has both schedule cells. One
     /// keyed pass — O(cells) even on paper-scale grids.
     pub fn gains(&self) -> Vec<(&CellReport, f64)> {
-        fn key(c: &CellReport) -> (&str, &str, usize, &str, SchedulingClass, &str, &str) {
+        #[allow(clippy::type_complexity)]
+        fn key(c: &CellReport) -> (&str, &str, usize, &str, SchedulingClass, &str, &str, &str) {
             (
                 &c.task_set,
                 &c.processor,
@@ -182,6 +191,7 @@ impl CampaignReport {
                 c.class,
                 &c.policy,
                 &c.workload,
+                &c.arrivals,
             )
         }
         let wcs_mean: std::collections::HashMap<_, _> = self
@@ -199,6 +209,64 @@ impl CampaignReport {
                 Some((c, improvement_over(*wcs, acs.mean_energy)))
             })
             .collect()
+    }
+
+    /// Relative mean-energy improvements of `candidate`-policy cells
+    /// over `baseline`-policy cells at otherwise identical coordinates
+    /// (task set, processor, cores, partition, class, schedule,
+    /// workload, arrivals) — e.g. `policy_gains("greedy", "reopt")`
+    /// measures what online re-optimization buys on top of greedy
+    /// reclamation. One keyed pass, like [`CampaignReport::gains`].
+    pub fn policy_gains(&self, baseline: &str, candidate: &str) -> Vec<(&CellReport, f64)> {
+        #[allow(clippy::type_complexity)]
+        fn key(
+            c: &CellReport,
+        ) -> (
+            &str,
+            &str,
+            usize,
+            &str,
+            SchedulingClass,
+            ScheduleChoice,
+            &str,
+            &str,
+        ) {
+            (
+                &c.task_set,
+                &c.processor,
+                c.cores,
+                &c.partition,
+                c.class,
+                c.schedule,
+                &c.workload,
+                &c.arrivals,
+            )
+        }
+        let base_mean: std::collections::HashMap<_, _> = self
+            .cells
+            .iter()
+            .filter(|c| c.policy == baseline)
+            .filter_map(|c| c.stats().map(|s| (key(c), s.mean_energy)))
+            .collect();
+        self.cells
+            .iter()
+            .filter(|c| c.policy == candidate)
+            .filter_map(|c| {
+                let base = base_mean.get(&key(c))?;
+                let cand = c.stats()?;
+                Some((c, improvement_over(*base, cand.mean_energy)))
+            })
+            .collect()
+    }
+
+    /// Total deadline misses charged to aperiodic (arrival-stream or
+    /// trace) jobs across all successful cells.
+    pub fn total_misses_aperiodic(&self) -> usize {
+        self.cells
+            .iter()
+            .filter_map(|c| c.stats())
+            .map(|s| s.misses_aperiodic)
+            .sum()
     }
 
     /// Total deadline misses across all successful cells.
@@ -239,6 +307,10 @@ impl CampaignReport {
             self.cells.iter().filter_map(|c| c.stats()).any(|s| {
                 s.mean_static_energy.as_units() > 0.0 || s.mean_idle_energy.as_units() > 0.0
             });
+        // The arrivals column appears only when some cell departs from
+        // the classic periodic releases, keeping pre-arrivals tables
+        // unchanged.
+        let aperiodic = self.cells.iter().any(|c| c.arrivals != "periodic");
         let mut out = String::new();
         out.push_str(&format!(
             "{:<18} {:<12} {:>7} {:>5} {:>5} {:<10} {:<16} {:>12} {:>10} {:>12} {:>7}",
@@ -256,6 +328,9 @@ impl CampaignReport {
         ));
         if leaky {
             out.push_str(&format!(" {:>12} {:>12}", "static E", "idle E"));
+        }
+        if aperiodic {
+            out.push_str(&format!(" {:<11} {:>9}", "arrivals", "misses_ap"));
         }
         out.push('\n');
         for c in &self.cells {
@@ -287,6 +362,9 @@ impl CampaignReport {
                             s.mean_static_energy.as_units(),
                             s.mean_idle_energy.as_units()
                         ));
+                    }
+                    if aperiodic {
+                        out.push_str(&format!(" {:<11} {:>9}", c.arrivals, s.misses_aperiodic));
                     }
                     out.push('\n');
                 }
@@ -338,6 +416,7 @@ mod tests {
             mean_idle_energy: Energy::ZERO,
             per_core_mean_energy: vec![mean],
             deadline_misses: 0,
+            misses_aperiodic: 0,
             jobs_completed: 10,
             saturated_dispatches: 0,
             voltage_switches: 0,
@@ -361,8 +440,24 @@ mod tests {
             schedule,
             policy: "greedy".into(),
             workload: "paper-normal".into(),
+            arrivals: "periodic".into(),
             outcome: Ok(stats(mean)),
         }
+    }
+
+    #[test]
+    fn gains_do_not_pair_across_arrivals() {
+        // A sporadic ACS cell must not pair with a periodic WCS cell.
+        let mut sporadic_acs = cell(ScheduleChoice::Acs, 70.0);
+        sporadic_acs.arrivals = "sporadic".into();
+        let report = CampaignReport::new(vec![cell(ScheduleChoice::Wcs, 100.0), sporadic_acs]);
+        assert!(report.gains().is_empty());
+        // The arrivals column renders only on aperiodic grids.
+        let table = report.to_table();
+        assert!(table.contains("arrivals"), "{table}");
+        assert!(table.contains("sporadic"), "{table}");
+        let periodic_only = CampaignReport::new(vec![cell(ScheduleChoice::Wcs, 100.0)]);
+        assert!(!periodic_only.to_table().contains("arrivals"));
     }
 
     #[test]

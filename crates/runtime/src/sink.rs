@@ -116,13 +116,18 @@ impl ResultSink for AggregateSink {
 /// pre-0.2 CSVs keep working; `per_core_energy` is a `;`-joined list of
 /// per-core mean energies, in core order. The scheduling-class columns
 /// (`class`, `preemptions`) are appended after those for the same
-/// reason — v2 positions are preserved; `class` is `rm` or `edf`.
+/// reason — v2 positions are preserved; `class` is `rm` or `edf`. The
+/// arrival-stream columns (`arrivals`, `misses_aperiodic`) are appended
+/// last, again preserving every earlier position: `arrivals` is the
+/// cell's arrival label (`periodic`/`sporadic`/`poisson`/
+/// `mmpp:light|bursty|heavy`/`trace`), `misses_aperiodic` the subset of
+/// `deadline_misses` charged to aperiodic jobs.
 pub const CSV_HEADER: &str = "task_set,processor,schedule,policy,workload,status,error,\
      runs,mean_energy,std_energy,p95_energy,deadline_misses,jobs_completed,\
      saturated_dispatches,voltage_switches,clamped_draws,worst_lateness_ms,\
      solver_lookups,solver_cache_hits,boundary_resolves,resolves_adopted,\
      cores,partition,dynamic_energy,static_energy,idle_energy,per_core_energy,\
-     class,preemptions";
+     class,preemptions,arrivals,misses_aperiodic";
 
 /// Quotes a CSV field when it contains a comma, quote or newline
 /// (RFC-4180 style: embedded quotes doubled).
@@ -155,7 +160,7 @@ pub fn csv_row(record: &CellRecord) -> String {
             let per_core: Vec<String> = s.per_core_mean_energy.iter().map(f64::to_string).collect();
             format!(
                 "{coords},ok,,{},{},{},{},{},{},{},{},{},{},{},{},{},{},{cores},{},{},{},{},\
-                 {},{}",
+                 {},{},{},{}",
                 s.runs,
                 s.mean_energy.as_units(),
                 s.std_energy,
@@ -176,12 +181,15 @@ pub fn csv_row(record: &CellRecord) -> String {
                 csv_field(&per_core.join(";")),
                 c.class.label(),
                 s.preemptions,
+                csv_field(&c.arrivals),
+                s.misses_aperiodic,
             )
         }
         Err(e) => format!(
-            "{coords},failed,{},,,,,,,,,,,,,,,{cores},,,,,{},",
+            "{coords},failed,{},,,,,,,,,,,,,,,{cores},,,,,{},,{},",
             csv_field(e),
             c.class.label(),
+            csv_field(&c.arrivals),
         ),
     }
 }
@@ -266,7 +274,7 @@ impl<W: Write> ResultSink for JsonlSink<W> {
         let coords = format!(
             "\"index\":{},\"task_set\":\"{}\",\"processor\":\"{}\",\"cores\":{},\
              \"partition\":\"{}\",\"class\":\"{}\",\"schedule\":\"{}\",\
-             \"policy\":\"{}\",\"workload\":\"{}\"",
+             \"policy\":\"{}\",\"workload\":\"{}\",\"arrivals\":\"{}\"",
             record.index,
             json_escape(&c.task_set),
             json_escape(&c.processor),
@@ -276,6 +284,7 @@ impl<W: Write> ResultSink for JsonlSink<W> {
             c.schedule.label(),
             json_escape(&c.policy),
             json_escape(&c.workload),
+            json_escape(&c.arrivals),
         );
         match &c.outcome {
             Ok(s) => writeln!(
@@ -306,7 +315,7 @@ fn stats_json(s: &CellStats) -> String {
          \"voltage_switches\":{},\"preemptions\":{},\"clamped_draws\":{},\
          \"worst_lateness_ms\":{},\
          \"solver_lookups\":{},\"solver_cache_hits\":{},\"boundary_resolves\":{},\
-         \"resolves_adopted\":{}}}",
+         \"resolves_adopted\":{},\"misses_aperiodic\":{}}}",
         s.runs,
         s.mean_energy.as_units(),
         s.std_energy,
@@ -326,6 +335,7 @@ fn stats_json(s: &CellStats) -> String {
         s.solver_cache_hits,
         s.boundary_resolves,
         s.resolves_adopted,
+        s.misses_aperiodic,
     )
 }
 
@@ -394,6 +404,7 @@ mod tests {
                 schedule: ScheduleChoice::Wcs,
                 policy: "greedy".into(),
                 workload: "paper-normal".into(),
+                arrivals: "mmpp:bursty".into(),
                 outcome: if ok {
                     Ok(CellStats {
                         runs: 2,
@@ -404,7 +415,8 @@ mod tests {
                         mean_static_energy: Energy::from_units(2.0),
                         mean_idle_energy: Energy::from_units(0.5),
                         per_core_mean_energy: vec![7.5, 5.0],
-                        deadline_misses: 0,
+                        deadline_misses: 3,
+                        misses_aperiodic: 2,
                         jobs_completed: 20,
                         saturated_dispatches: 1,
                         voltage_switches: 40,
@@ -445,14 +457,14 @@ mod tests {
         assert_eq!(lines[0], CSV_HEADER);
         assert!(
             lines[1].starts_with(
-                "\"s,1\",p,WCS,greedy,paper-normal,ok,,2,12.5,0.5,13,0,20,1,40,0,-0.25,"
+                "\"s,1\",p,WCS,greedy,paper-normal,ok,,2,12.5,0.5,13,3,20,1,40,0,-0.25,"
             ),
             "{}",
             lines[1]
         );
         assert!(
-            lines[1].ends_with(",2,ffd,10,2,0.5,7.5;5,edf,6"),
-            "multicore/leakage then class columns are appended: {}",
+            lines[1].ends_with(",2,ffd,10,2,0.5,7.5;5,edf,6,mmpp:bursty,2"),
+            "multicore/leakage, class, then arrival columns are appended: {}",
             lines[1]
         );
         assert!(
@@ -461,8 +473,8 @@ mod tests {
             lines[2]
         );
         assert!(
-            lines[2].ends_with(",2,ffd,,,,,edf,"),
-            "failed rows still carry the cores and class coordinates: {}",
+            lines[2].ends_with(",2,ffd,,,,,edf,,mmpp:bursty,"),
+            "failed rows still carry the cores, class and arrivals coordinates: {}",
             lines[2]
         );
         // Every row has the header's column count.
@@ -498,6 +510,9 @@ mod tests {
         assert!(lines[0].contains("\"mean_energy\":12.5"));
         assert!(lines[0].contains("\"static_energy\":2"));
         assert!(lines[0].contains("\"per_core_energy\":[7.5,5]"));
+        assert!(lines[0].contains("\"arrivals\":\"mmpp:bursty\""));
+        assert!(lines[0].contains("\"misses_aperiodic\":2"));
+        assert!(lines[1].contains("\"arrivals\":\"mmpp:bursty\""));
         assert!(lines[1].contains("\"ok\":false"));
         assert!(lines[1].contains("\\\"boom\\\""));
         for line in lines {

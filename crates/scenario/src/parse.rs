@@ -6,6 +6,7 @@ use crate::scenario::{
     TaskSetDecl,
 };
 use acs_runtime::{PartitionHeuristic, ScheduleChoice, SchedulingClass, WorkloadSpec};
+use acs_sim::ArrivalKind;
 
 /// Key=value argument list of one directive, with unknown-key detection.
 struct Kv<'a> {
@@ -403,18 +404,19 @@ pub(crate) fn parse(text: &str) -> Result<Scenario, ScenarioError> {
         .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
 
     let (header_ln, header) = lines.next().ok_or_else(|| {
-        ScenarioError::msg("empty scenario (missing `acsched-scenario v1|v2|v3` header)")
+        ScenarioError::msg("empty scenario (missing `acsched-scenario v1|v2|v3|v4` header)")
     })?;
     let version = match header {
         "acsched-scenario v1" => 1,
         "acsched-scenario v2" => 2,
         "acsched-scenario v3" => 3,
+        "acsched-scenario v4" => 4,
         other => {
             return Err(ScenarioError::at(
                 header_ln,
                 format!(
-                    "unsupported header `{other}` (expected `acsched-scenario v1`, \
-                     `acsched-scenario v2` or `acsched-scenario v3`)"
+                    "unsupported header `{other}` (expected `acsched-scenario v1` \
+                     through `acsched-scenario v4`)"
                 ),
             ))
         }
@@ -466,6 +468,19 @@ pub(crate) fn parse(text: &str) -> Result<Scenario, ScenarioError> {
                     check_name(ln, "taskset", name)?;
                     inline = Some((ln, name.to_string(), Vec::new()));
                 }
+                ["taskset", name, "trace", path] => {
+                    check_name(ln, "taskset", name)?;
+                    if version < 4 {
+                        return Err(ScenarioError::at(
+                            ln,
+                            "`taskset … trace` needs the `acsched-scenario v4` header".to_string(),
+                        ));
+                    }
+                    sc.task_sets.push(TaskSetDecl::Trace {
+                        name: name.to_string(),
+                        path: path.to_string(),
+                    });
+                }
                 ["taskset", name, "from", set, rest @ ..] => {
                     check_name(ln, "taskset", name)?;
                     let mut kv = Kv::new(ln, format!("taskset `{name}` from {set}"), rest)?;
@@ -482,8 +497,9 @@ pub(crate) fn parse(text: &str) -> Result<Scenario, ScenarioError> {
                 _ => {
                     return Err(ScenarioError::at(
                         ln,
-                        "taskset: expected `taskset <name>` (inline block) or \
-                         `taskset <name> from <cnc|gap> fmax=...`"
+                        "taskset: expected `taskset <name>` (inline block), \
+                         `taskset <name> from <cnc|gap> fmax=...` or \
+                         `taskset <name> trace <path>`"
                             .to_string(),
                     ))
                 }
@@ -625,13 +641,41 @@ pub(crate) fn parse(text: &str) -> Result<Scenario, ScenarioError> {
                     let class: SchedulingClass = tok
                         .parse()
                         .map_err(|e: String| ScenarioError::at(ln, format!("class: {e}")))?;
-                    if sc.classes.contains(&class) {
-                        return Err(ScenarioError::at(
-                            ln,
-                            format!("class: `{class}` listed twice"),
-                        ));
+                    // Duplicates are dropped keeping the first position
+                    // (matching the documented `seeds`/`schedules`
+                    // behavior): a repeated class would duplicate every
+                    // cell of the grid.
+                    if !sc.classes.contains(&class) {
+                        sc.classes.push(class);
                     }
-                    sc.classes.push(class);
+                }
+            }
+            "arrivals" => {
+                singleton(ln, "arrivals")?;
+                if version < 4 {
+                    return Err(ScenarioError::at(
+                        ln,
+                        "`arrivals` needs the `acsched-scenario v4` header".to_string(),
+                    ));
+                }
+                if tokens.len() == 1 {
+                    return Err(ScenarioError::at(
+                        ln,
+                        "arrivals: expected at least one of periodic, sporadic, poisson, \
+                         mmpp[:light|bursty|heavy] (`arrivals <kind>[,...]`)"
+                            .to_string(),
+                    ));
+                }
+                for tok in tokens[1..].iter().flat_map(|t| t.split(',')) {
+                    let kind: ArrivalKind = tok
+                        .parse()
+                        .map_err(|e: String| ScenarioError::at(ln, format!("arrivals: {e}")))?;
+                    // Duplicates are dropped keeping the first position
+                    // (matching `seeds`/`schedules`/`class`): a repeated
+                    // kind would duplicate every cell of the grid.
+                    if !sc.arrivals.contains(&kind) {
+                        sc.arrivals.push(kind);
+                    }
                 }
             }
             "policy" => sc.policies.push(parse_policy(ln, &tokens[1..])?),
@@ -742,8 +786,8 @@ pub(crate) fn parse(text: &str) -> Result<Scenario, ScenarioError> {
                     ln,
                     format!(
                         "unknown directive `{other}` (known: taskset, tasksets, processor, \
-                         cores, class, schedules, policy, workload, seeds, hyper_periods, \
-                         deadline_tol_ms, synthesis, acs_multistart, threads)"
+                         cores, class, arrivals, schedules, policy, workload, seeds, \
+                         hyper_periods, deadline_tol_ms, synthesis, acs_multistart, threads)"
                     ),
                 ))
             }

@@ -10,7 +10,8 @@ use acs_runtime::{
     Campaign, CampaignBuilder, PartitionHeuristic, PolicySpec, ScheduleChoice, SchedulingClass,
     WorkloadSpec,
 };
-use acs_sim::{ReOptConfig, SolverCache};
+use acs_sim::{ArrivalKind, ReOptConfig, SolverCache};
+use acs_trace::TraceReader;
 use acs_workloads::{paper_set_batch, real_life};
 use std::sync::Arc;
 
@@ -75,6 +76,18 @@ pub enum TaskSetDecl {
         seed: u64,
         /// Maximum processor speed for utilization scaling (cycles/ms).
         f_max: f64,
+    },
+    /// A recorded arrival trace replayed as the cell's release stream
+    /// (`taskset <name> trace <path>`, `v4`). The task set itself comes
+    /// from the trace file's prologue; the set's cells replay the
+    /// recorded arrivals instead of iterating the `arrivals` axis, and
+    /// are restricted to single-core grids.
+    Trace {
+        /// Grid-row name.
+        name: String,
+        /// Path to the `acsched-trace v1` file, as written in the
+        /// scenario (resolved relative to the working directory).
+        path: String,
     },
 }
 
@@ -234,12 +247,14 @@ pub enum SynthProfile {
 /// [`Scenario::to_campaign`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
-    /// Format version the scenario was parsed from (1, 2 or 3). `v2`
+    /// Format version the scenario was parsed from (1, 2, 3 or 4). `v2`
     /// adds the `cores` directive and the `static_power=`/`idle_power=`
     /// processor keys; `v3` adds the `class` directive (scheduling-class
-    /// axis). [`Scenario::to_text`] refuses to serialize features of a
-    /// newer version under an older header rather than emitting text an
-    /// old parser would reject with an unhelpful error.
+    /// axis); `v4` adds the `arrivals` directive (arrival-process axis)
+    /// and `taskset … trace <path>` declarations. [`Scenario::to_text`]
+    /// refuses to serialize features of a newer version under an older
+    /// header rather than emitting text an old parser would reject with
+    /// an unhelpful error.
     pub version: u32,
     /// Task-set declarations (grid rows, in order).
     pub task_sets: Vec<TaskSetDecl>,
@@ -251,6 +266,12 @@ pub struct Scenario {
     pub partitioners: Vec<PartitionHeuristic>,
     /// Scheduling-class axis (`v3`); empty = fixed-priority RM only.
     pub classes: Vec<SchedulingClass>,
+    /// Arrival-process axis (`v4`); empty = strictly periodic releases.
+    /// Duplicate entries on the `arrivals` line are dropped at parse
+    /// time, keeping first positions (matching `seeds`/`schedules`).
+    /// Trace-backed task sets ignore this axis and replay their
+    /// recorded stream.
+    pub arrivals: Vec<ArrivalKind>,
     /// Schedule axis; empty = the campaign builder's default.
     /// Duplicate entries on the `schedules` line are dropped at parse
     /// time, keeping first positions (matching the documented `seeds`
@@ -285,6 +306,7 @@ impl Default for Scenario {
             cores: Vec::new(),
             partitioners: Vec::new(),
             classes: Vec::new(),
+            arrivals: Vec::new(),
             schedules: Vec::new(),
             policies: Vec::new(),
             workloads: Vec::new(),
@@ -395,6 +417,19 @@ impl Scenario {
                 self.version
             )));
         }
+        if self.version < 4 {
+            let traced = self
+                .task_sets
+                .iter()
+                .any(|d| matches!(d, TaskSetDecl::Trace { .. }));
+            if traced || !self.arrivals.is_empty() {
+                return Err(ScenarioError::msg(format!(
+                    "scenario uses v4 features (the `arrivals` axis or `taskset … trace` \
+                     declarations) but declares version {}; set `version: 4`",
+                    self.version
+                )));
+            }
+        }
         let mut out = String::new();
         let _ = writeln!(out, "acsched-scenario v{}", self.version);
         for decl in &self.task_sets {
@@ -452,6 +487,11 @@ impl Scenario {
                         "tasksets random tasks={tasks} ratio={ratio} count={count} \
                          seed={seed} fmax={f_max}"
                     );
+                }
+                TaskSetDecl::Trace { name, path } => {
+                    writable_name("taskset", name)?;
+                    writable_name("trace path", path)?;
+                    let _ = writeln!(out, "taskset {name} trace {path}");
                 }
             }
         }
@@ -511,6 +551,10 @@ impl Scenario {
         if !self.classes.is_empty() {
             let labels: Vec<&str> = self.classes.iter().map(|c| c.label()).collect();
             let _ = writeln!(out, "class {}", labels.join(","));
+        }
+        if !self.arrivals.is_empty() {
+            let labels: Vec<&str> = self.arrivals.iter().map(|a| a.label()).collect();
+            let _ = writeln!(out, "arrivals {}", labels.join(","));
         }
         if !self.schedules.is_empty() {
             let kws: Vec<&str> = self
@@ -650,9 +694,29 @@ impl Scenario {
                         Freq::from_cycles_per_ms(*f_max),
                     ));
                 }
+                TaskSetDecl::Trace { name, path } => {
+                    let reader = TraceReader::open(path).map_err(|e| {
+                        ScenarioError::msg(format!("taskset `{name}`: trace `{path}`: {e}"))
+                    })?;
+                    out.push((name.clone(), reader.set().clone()));
+                }
             }
         }
         Ok(out)
+    }
+
+    /// The `(name, path)` pairs of every `taskset … trace` declaration,
+    /// in declaration order. Used by `acsched check` to report trace
+    /// fingerprints and by the campaign server to fold trace file
+    /// contents into the submission fingerprint.
+    pub fn trace_paths(&self) -> Vec<(String, String)> {
+        self.task_sets
+            .iter()
+            .filter_map(|d| match d {
+                TaskSetDecl::Trace { name, path } => Some((name.clone(), path.clone())),
+                _ => None,
+            })
+            .collect()
     }
 
     /// Materializes the processor declarations, in grid-column order.
@@ -734,8 +798,13 @@ impl Scenario {
         solver_cache: Option<&Arc<SolverCache>>,
     ) -> Result<CampaignBuilder, ScenarioError> {
         let mut b = Campaign::builder();
+        let traced: std::collections::HashMap<String, String> =
+            self.trace_paths().into_iter().collect();
         for (name, set) in self.materialize_task_sets()? {
-            b = b.task_set(name, set);
+            match traced.get(&name) {
+                Some(path) => b = b.task_set_traced(name, set, path.clone()),
+                None => b = b.task_set(name, set),
+            }
         }
         for (name, cpu) in self.materialize_processors()? {
             b = b.processor(name, cpu);
@@ -748,6 +817,9 @@ impl Scenario {
         }
         if !self.classes.is_empty() {
             b = b.classes(self.classes.iter().copied());
+        }
+        if !self.arrivals.is_empty() {
+            b = b.arrivals(self.arrivals.iter().copied());
         }
         if !self.schedules.is_empty() {
             b = b.schedules(self.schedules.iter().copied());

@@ -78,9 +78,33 @@ seeds 1 2
 hyper_periods 5
 ";
 
+/// A `v4` scenario exercising the arrival-process axis and a
+/// trace-backed task set on top of the v3 grammar. Parses and
+/// round-trips without the trace file existing; materialization
+/// needs the file (see `trace_backed_task_set_materializes`).
+const FULL_V4: &str = "\
+acsched-scenario v4
+
+taskset pair
+task ctrl period=10 wcec=300 acec=120 bcec=30
+task telemetry period=20 wcec=600 acec=200 bcec=60
+end
+taskset replay trace traces/replay.trace
+
+processor linear50 linear kappa=50 vmin=0.3 vmax=4
+
+class rm,edf
+arrivals periodic,sporadic,mmpp:bursty
+schedules wcs acs
+policy greedy
+workload paper
+seeds 1 2
+hyper_periods 5
+";
+
 #[test]
 fn full_scenario_round_trip_fixpoint() {
-    for (text, version) in [(FULL, 1), (FULL_V2, 2), (FULL_V3, 3)] {
+    for (text, version) in [(FULL, 1), (FULL_V2, 2), (FULL_V3, 3), (FULL_V4, 4)] {
         let first = Scenario::from_text(text).expect("full scenario parses");
         assert_eq!(first.version, version);
         let canonical = first.to_text().expect("parsed scenarios serialize");
@@ -209,6 +233,123 @@ fn v3_class_axis_materializes_and_gates() {
 }
 
 #[test]
+fn v4_arrivals_axis_materializes_and_gates() {
+    use acs_sim::{ArrivalKind, MmppProfile};
+    let sc = Scenario::from_text(
+        "acsched-scenario v4\n\
+         taskset one\ntask t period=10 wcec=100\nend\n\
+         processor p linear kappa=50 vmin=1 vmax=4\n\
+         arrivals periodic,sporadic,mmpp\n\
+         schedules wcs acs\n\
+         policy greedy\nworkload paper\n",
+    )
+    .unwrap();
+    assert_eq!(
+        sc.arrivals,
+        vec![
+            ArrivalKind::Periodic,
+            ArrivalKind::Sporadic,
+            ArrivalKind::Mmpp(MmppProfile::Bursty)
+        ]
+    );
+    // greedy x {wcs, acs} x 3 arrival kinds = 6 cells.
+    let campaign = sc.to_campaign().unwrap();
+    assert_eq!(campaign.cell_count(), 6);
+    // Bare `mmpp` canonicalizes to its preset label and the line
+    // round-trips in comma form.
+    let text = sc.to_text().unwrap();
+    assert!(
+        text.contains("\narrivals periodic,sporadic,mmpp:bursty\n"),
+        "{text}"
+    );
+    assert_eq!(sc, Scenario::from_text(&text).unwrap());
+
+    // A v3 scenario hand-upgraded with an arrivals axis must be
+    // re-versioned before it serializes.
+    let mut v3 = Scenario::from_text(FULL_V3).unwrap();
+    v3.arrivals = vec![ArrivalKind::Poisson];
+    let err = v3.to_text().unwrap_err().to_string();
+    assert!(err.contains("v4 features"), "{err}");
+    assert!(err.contains("version 3"), "{err}");
+    v3.version = 4;
+    let text = v3.to_text().unwrap();
+    assert!(text.starts_with("acsched-scenario v4\n"), "{text}");
+    assert_eq!(v3, Scenario::from_text(&text).unwrap());
+}
+
+#[test]
+fn duplicate_classes_and_arrivals_dedupe_preserving_order() {
+    // Repeated entries on `class` and `arrivals` lines collapse to
+    // their first occurrence — the documented `seeds`/`schedules`
+    // behavior — instead of erroring (`class`) or duplicating every
+    // cell of the grid.
+    let sc = Scenario::from_text(
+        "acsched-scenario v4\n\
+         processor p linear kappa=50 vmin=1 vmax=4\n\
+         class edf,rm,edf,rm\n\
+         arrivals poisson,periodic,poisson\n",
+    )
+    .unwrap();
+    use acs_runtime::SchedulingClass;
+    use acs_sim::ArrivalKind;
+    assert_eq!(
+        sc.classes,
+        vec![SchedulingClass::Edf, SchedulingClass::FixedPriorityRm]
+    );
+    assert_eq!(
+        sc.arrivals,
+        vec![ArrivalKind::Poisson, ArrivalKind::Periodic]
+    );
+    let text = sc.to_text().unwrap();
+    assert!(text.contains("\nclass edf,rm\n"), "{text}");
+    assert!(text.contains("\narrivals poisson,periodic\n"), "{text}");
+    assert_eq!(sc, Scenario::from_text(&text).unwrap());
+}
+
+#[test]
+fn trace_backed_task_set_materializes_from_prologue() {
+    // Generate a small trace, point a v4 scenario at it, and check the
+    // set comes from the prologue, the arrivals axis collapses for the
+    // traced row, and `trace_paths` reports the declaration.
+    let dir = std::env::temp_dir().join(format!("acs-scenario-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("replay.trace");
+    let cfg = acs_trace::GenConfig {
+        profile: acs_sim::MmppProfile::Bursty,
+        jobs: 200,
+        seed: 7,
+        tasks: 3,
+    };
+    acs_trace::generate(
+        &cfg,
+        std::io::BufWriter::new(std::fs::File::create(&path).unwrap()),
+    )
+    .unwrap();
+    let text = format!(
+        "acsched-scenario v4\n\
+         taskset replay trace {}\n\
+         processor p linear kappa=50 vmin=1 vmax=4\n\
+         arrivals periodic,poisson\n\
+         schedules wcs\n\
+         policy greedy\nworkload wcec\nhyper_periods 2\n",
+        path.display()
+    );
+    let sc = Scenario::from_text(&text).unwrap();
+    assert_eq!(
+        sc.trace_paths(),
+        vec![("replay".to_string(), path.display().to_string())]
+    );
+    let sets = sc.materialize_task_sets().unwrap();
+    assert_eq!(sets.len(), 1);
+    assert_eq!(sets[0].1.len(), 3, "set comes from the trace prologue");
+    // The traced row replays its recorded stream instead of iterating
+    // the two-kind arrivals axis: greedy x 1 set x 1 arrival = 1 cell.
+    let campaign = sc.to_campaign().unwrap();
+    assert_eq!(campaign.cell_count(), 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn duplicate_schedules_dedupe_preserving_order() {
     // Duplicates on the `schedules` line are dropped keeping first
     // positions — the documented `seeds` behavior — instead of silently
@@ -324,7 +465,7 @@ fn random_decl_matches_programmatic_batch() {
 fn malformed_inputs_report_line_and_cause() {
     let table: &[(&str, &[&str])] = &[
         ("", &["empty scenario"]),
-        ("acsched-scenario v4\n", &["line 1", "unsupported header"]),
+        ("acsched-scenario v5\n", &["line 1", "unsupported header"]),
         (
             "acsched-scenario v1\nfrobnicate all\n",
             &["line 2", "unknown directive `frobnicate`"],
@@ -504,15 +645,42 @@ fn malformed_inputs_report_line_and_cause() {
             "acsched-scenario v3\nclass dm\n",
             &["line 2", "class", "unknown scheduling class `dm`"],
         ),
-        (
-            "acsched-scenario v3\nclass rm,rm\n",
-            &["line 2", "class: `rm` listed twice"],
-        ),
         // A conflicting `class` redeclaration: the singleton rule names
         // the second line.
         (
             "acsched-scenario v3\nclass rm\nclass edf\n",
             &["line 3", "directive `class` declared twice"],
+        ),
+        // ---- v4 grammar: arrival processes and traces ----
+        (
+            "acsched-scenario v3\narrivals poisson\n",
+            &["line 2", "`arrivals`", "acsched-scenario v4"],
+        ),
+        (
+            "acsched-scenario v3\ntaskset t trace traces/t.trace\n",
+            &["line 2", "`taskset … trace`", "acsched-scenario v4"],
+        ),
+        (
+            "acsched-scenario v4\narrivals\nprocessor p linear kappa=50 vmin=1 vmax=4\n",
+            &[
+                "line 2",
+                "arrivals",
+                "at least one of periodic, sporadic, poisson",
+            ],
+        ),
+        (
+            "acsched-scenario v4\narrivals uniform\nprocessor p linear kappa=50 vmin=1 vmax=4\n",
+            &["line 2", "arrivals", "unknown arrival kind `uniform`"],
+        ),
+        (
+            "acsched-scenario v4\narrivals poisson\narrivals sporadic\n\
+             processor p linear kappa=50 vmin=1 vmax=4\n",
+            &["line 3", "directive `arrivals` declared twice"],
+        ),
+        (
+            "acsched-scenario v4\ntaskset t trace /no/such/file.trace\n\
+             processor p linear kappa=50 vmin=1 vmax=4\n",
+            &["taskset `t`", "trace `/no/such/file.trace`"],
         ),
     ];
     for (input, needles) in table {

@@ -61,6 +61,12 @@ impl Default for ServerConfig {
 /// `DefaultHasher`'s randomized state), identical for any two scenario
 /// files that parse to the same experiment, and independent of the
 /// worker-thread count, which never changes results.
+///
+/// `taskset … trace` declarations fold the trace file's **contents**
+/// into the hash (in declaration order), not just its path: two
+/// submissions only share plans and checkpoints when the recorded
+/// streams match. An unreadable trace file is rejected here — before
+/// admission — so a bad path costs an `error` frame, never a slot.
 pub fn scenario_fingerprint(scenario: &Scenario) -> Result<u64, String> {
     let mut canonical = scenario.clone();
     canonical.threads = None;
@@ -68,9 +74,17 @@ pub fn scenario_fingerprint(scenario: &Scenario) -> Result<u64, String> {
         .to_text()
         .map_err(|e| format!("scenario cannot be canonicalized: {e}"))?;
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for b in text.bytes() {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    let mut fold = |bytes: &[u8]| {
+        for b in bytes {
+            hash ^= *b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    fold(text.as_bytes());
+    for (name, path) in scenario.trace_paths() {
+        let bytes = std::fs::read(&path)
+            .map_err(|e| format!("taskset `{name}`: cannot read trace `{path}`: {e}"))?;
+        fold(&bytes);
     }
     Ok(hash)
 }

@@ -34,6 +34,7 @@ use acs_model::units::{Cycles, Energy, Freq, Time, TimeSpan};
 use acs_model::{SchedulingClass, TaskId, TaskSet};
 use acs_power::Processor;
 use acs_preempt::SubInstanceId;
+use acs_trace::{ArrivalJob, ArrivalSource};
 
 /// Simulation options.
 #[derive(Debug, Clone)]
@@ -121,6 +122,11 @@ pub(crate) struct Job {
     pub(crate) chunk: usize,
     pub(crate) chunk_budget_left: f64,
     pub(crate) done: bool,
+    /// Synthetic single-chunk plan of an *aperiodic* job (released by a
+    /// non-periodic arrival source): budget WCEC, window
+    /// release→deadline, static speed sized to just meet the deadline.
+    /// `None` for periodic jobs, which use the per-instance plans.
+    pub(crate) own_plan: Option<ChunkPlan>,
     /// Virtual time this job's chunk state was last maintained at —
     /// the event engine maintains chunks lazily, and boundary
     /// snapshots use this to forward exactly to the legacy engine's
@@ -159,6 +165,9 @@ pub struct Simulator<'a> {
     pub(crate) policy: Box<dyn Policy>,
     pub(crate) schedule: Option<&'a StaticSchedule>,
     pub(crate) options: SimOptions,
+    /// When set, job releases come from this source instead of the
+    /// built-in periodic pattern (see [`Simulator::with_arrivals`]).
+    pub(crate) arrivals: Option<Box<dyn ArrivalSource>>,
 }
 
 impl std::fmt::Debug for Simulator<'_> {
@@ -180,7 +189,29 @@ impl<'a> Simulator<'a> {
             policy: policy.into_policy(),
             schedule: None,
             options: SimOptions::default(),
+            arrivals: None,
         }
+    }
+
+    /// Attaches an [`ArrivalSource`]: job releases (and, for trace
+    /// sources, per-job cycle demands) come from the source instead of
+    /// the built-in periodic pattern. One source window is consumed per
+    /// hyper-period; `options.hyper_periods` still caps the run, and a
+    /// finite source (trace replay) ends the run early once
+    /// [`ArrivalSource::exhausted`].
+    ///
+    /// Aperiodic jobs (no `periodic_instance`) run on synthetic
+    /// single-chunk plans — budget WCEC, window release→deadline — so
+    /// they need no static schedule; schedule-boundary callbacks are
+    /// only fired when the source is [`ArrivalSource::periodic`]
+    /// (re-optimizing policies degrade gracefully to their chunk-end
+    /// fallback on aperiodic cells). A window whose demand exceeds
+    /// capacity overruns the hyper-period until its jobs drain, and
+    /// every late job is counted in both `deadline_misses` and
+    /// `misses_aperiodic` — overload is loud, never wedged.
+    pub fn with_arrivals(mut self, arrivals: Box<dyn ArrivalSource>) -> Self {
+        self.arrivals = Some(arrivals);
+        self
     }
 
     /// Attaches the static schedule consumed by milestone-based policies.
@@ -220,7 +251,9 @@ impl<'a> Simulator<'a> {
         workload: &mut dyn FnMut(TaskId, u64) -> Cycles,
     ) -> Result<RunOutput, SimError> {
         #[cfg(feature = "legacy-engine")]
-        if crate::legacy::legacy_engine_enabled() {
+        // The chunk-scan oracle predates arrival sources; it only
+        // covers the built-in periodic path.
+        if crate::legacy::legacy_engine_enabled() && self.arrivals.is_none() {
             return self.run_legacy(workload);
         }
         self.stepped(workload)?.finish()
@@ -481,12 +514,21 @@ struct HpState {
 impl HpState {
     /// Draws the hyper-period's workloads, builds jobs, fires the
     /// `Start` boundary and queues every release event.
+    ///
+    /// With no `arrivals` source the built-in periodic pattern applies
+    /// (one job per task instance, released on the grid `k·Pᵢ`). With a
+    /// source, window `window` is consumed instead; periodic-instance
+    /// jobs map onto the static plans, aperiodic jobs get synthetic
+    /// single-chunk plans of their own.
+    #[allow(clippy::too_many_lines)]
     fn new(
         env: &Env<'_>,
         policy: &mut dyn Policy,
         workload: &mut dyn FnMut(TaskId, u64) -> Cycles,
         abs_base: u64,
         record: bool,
+        arrivals: Option<&mut Box<dyn ArrivalSource>>,
+        window: u64,
     ) -> Result<Self, SimError> {
         let set = env.set;
         let has_schedule = env.schedule.is_some();
@@ -494,54 +536,177 @@ impl HpState {
         report.hyper_periods = 1;
 
         // ---- job construction & workload draws ----
+        let source_is_periodic = arrivals.as_ref().is_none_or(|s| s.periodic());
         let mut jobs: Vec<Job> = Vec::with_capacity(set.total_instances() as usize);
-        let mut abs_counter = abs_base;
-        for (tid, task) in set.iter() {
-            for inst in 0..set.instances_of(tid) {
-                let release = (inst * task.period().get()) as f64;
-                let drawn = workload(tid, abs_counter);
-                abs_counter += 1;
-                let raw = drawn.as_cycles();
-                if !raw.is_finite() || raw < 0.0 {
-                    return Err(SimError::InvalidWorkload {
-                        task: tid.0,
-                        instance: inst,
-                        cycles: raw,
-                    });
+        match arrivals {
+            None => {
+                let mut abs_counter = abs_base;
+                for (tid, task) in set.iter() {
+                    for inst in 0..set.instances_of(tid) {
+                        let release = (inst * task.period().get()) as f64;
+                        let drawn = workload(tid, abs_counter);
+                        abs_counter += 1;
+                        let raw = drawn.as_cycles();
+                        if !raw.is_finite() || raw < 0.0 {
+                            return Err(SimError::InvalidWorkload {
+                                task: tid.0,
+                                instance: inst,
+                                cycles: raw,
+                            });
+                        }
+                        let wcec = task.wcec().as_cycles();
+                        let mut actual = if raw > wcec {
+                            report.clamped_draws += 1;
+                            wcec
+                        } else {
+                            raw
+                        };
+                        // The schedule's budgets are the effective worst
+                        // case; clamp to their sum so repair rounding
+                        // cannot leave un-budgeted dust behind.
+                        let budget_sum: f64 = env.plans[tid.0][inst as usize]
+                            .iter()
+                            .map(|c| c.budget)
+                            .sum();
+                        if has_schedule {
+                            actual = actual.min(budget_sum);
+                        }
+                        let plan0 = env.plans[tid.0][inst as usize][0];
+                        jobs.push(Job {
+                            task: tid.0,
+                            instance_in_hyper: inst,
+                            release_ms: release,
+                            deadline_ms: release + task.deadline().get() as f64,
+                            remaining: actual,
+                            executed: 0.0,
+                            chunk: 0,
+                            chunk_budget_left: plan0.budget,
+                            done: false,
+                            own_plan: None,
+                            maintained_at: f64::NEG_INFINITY,
+                        });
+                    }
                 }
-                let wcec = task.wcec().as_cycles();
-                let mut actual = if raw > wcec {
-                    report.clamped_draws += 1;
-                    wcec
-                } else {
-                    raw
-                };
-                // The schedule's budgets are the effective worst case;
-                // clamp to their sum so repair rounding cannot leave
-                // un-budgeted dust behind.
-                let budget_sum: f64 = env.plans[tid.0][inst as usize]
-                    .iter()
-                    .map(|c| c.budget)
-                    .sum();
-                if has_schedule {
-                    actual = actual.min(budget_sum);
+            }
+            Some(src) => {
+                let mut buf: Vec<ArrivalJob> = Vec::new();
+                src.fill_window(window, &mut buf)
+                    .map_err(|e| SimError::ArrivalSource {
+                        message: e.to_string(),
+                    })?;
+                let fmax = env.cpu.f_max().as_cycles_per_ms();
+                for (emit_idx, aj) in buf.iter().enumerate() {
+                    let Some(task) = set.tasks().get(aj.task) else {
+                        return Err(SimError::ArrivalSource {
+                            message: format!(
+                                "source `{}` released task {} but the set has {}",
+                                src.name(),
+                                aj.task,
+                                set.len()
+                            ),
+                        });
+                    };
+                    if !aj.release_ms.is_finite()
+                        || aj.release_ms < 0.0
+                        || !aj.deadline_ms.is_finite()
+                        || aj.deadline_ms <= aj.release_ms
+                    {
+                        return Err(SimError::ArrivalSource {
+                            message: format!(
+                                "source `{}` produced invalid timing for task {}: \
+                                 release {} deadline {}",
+                                src.name(),
+                                aj.task,
+                                aj.release_ms,
+                                aj.deadline_ms
+                            ),
+                        });
+                    }
+                    let raw = match aj.cycles {
+                        Some(c) => c,
+                        None => workload(TaskId(aj.task), aj.draw_index).as_cycles(),
+                    };
+                    if !raw.is_finite() || raw < 0.0 {
+                        return Err(SimError::InvalidWorkload {
+                            task: aj.task,
+                            instance: aj.draw_index,
+                            cycles: raw,
+                        });
+                    }
+                    let wcec = task.wcec().as_cycles();
+                    let mut actual = if raw > wcec {
+                        report.clamped_draws += 1;
+                        wcec
+                    } else {
+                        raw
+                    };
+                    match aj.periodic_instance {
+                        // A source-attested periodic instance runs on
+                        // the static per-instance plans, exactly like
+                        // the built-in path above.
+                        Some(inst) => {
+                            let budget_sum: f64 = env.plans[aj.task][inst as usize]
+                                .iter()
+                                .map(|c| c.budget)
+                                .sum();
+                            if has_schedule {
+                                actual = actual.min(budget_sum);
+                            }
+                            let plan0 = env.plans[aj.task][inst as usize][0];
+                            jobs.push(Job {
+                                task: aj.task,
+                                instance_in_hyper: inst,
+                                release_ms: aj.release_ms,
+                                deadline_ms: aj.deadline_ms,
+                                remaining: actual,
+                                executed: 0.0,
+                                chunk: 0,
+                                chunk_budget_left: plan0.budget,
+                                done: false,
+                                own_plan: None,
+                                maintained_at: f64::NEG_INFINITY,
+                            });
+                        }
+                        // An aperiodic job carries its own single-chunk
+                        // plan: budget WCEC, window release→deadline,
+                        // static speed sized to just meet the deadline
+                        // at worst case (floored at the leakage-aware
+                        // critical speed, capped at f_max).
+                        None => {
+                            let span = (aj.deadline_ms - aj.release_ms).max(1e-12);
+                            let floor = env.cpu.critical_speed(task.c_eff()).as_cycles_per_ms();
+                            let own = ChunkPlan {
+                                start_ms: aj.release_ms,
+                                end_ms: aj.deadline_ms,
+                                budget: wcec,
+                                static_speed: (wcec / span).min(fmax).max(floor),
+                                sub: None,
+                            };
+                            jobs.push(Job {
+                                task: aj.task,
+                                // Never used for plan lookups (own_plan
+                                // is authoritative); labels the job in
+                                // traces by emission order.
+                                instance_in_hyper: emit_idx as u64,
+                                release_ms: aj.release_ms,
+                                deadline_ms: aj.deadline_ms,
+                                remaining: actual,
+                                executed: 0.0,
+                                chunk: 0,
+                                chunk_budget_left: own.budget,
+                                done: false,
+                                own_plan: Some(own),
+                                maintained_at: f64::NEG_INFINITY,
+                            });
+                        }
+                    }
                 }
-                let plan0 = env.plans[tid.0][inst as usize][0];
-                jobs.push(Job {
-                    task: tid.0,
-                    instance_in_hyper: inst,
-                    release_ms: release,
-                    deadline_ms: release + task.deadline().get() as f64,
-                    remaining: actual,
-                    executed: 0.0,
-                    chunk: 0,
-                    chunk_budget_left: plan0.budget,
-                    done: false,
-                    maintained_at: f64::NEG_INFINITY,
-                });
             }
         }
-        let wants_boundaries = policy.wants_boundaries();
+        // Schedule-boundary snapshots index jobs by periodic instance
+        // ids; aperiodic windows have none, so re-optimizing policies
+        // fall back to their chunk-local dispatch rule there.
+        let wants_boundaries = policy.wants_boundaries() && source_is_periodic;
         // The hyper-period starts: schedule-aware policies get the
         // pristine boundary state before anything executes.
         if wants_boundaries {
@@ -624,7 +789,12 @@ impl HpState {
             {
                 continue;
             }
-            maintain_job(j, &env.plans[j.task][j.instance_in_hyper as usize], basis);
+            let own = j.own_plan;
+            let plan: &[ChunkPlan] = match &own {
+                Some(cp) => std::slice::from_ref(cp),
+                None => &env.plans[j.task][j.instance_in_hyper as usize],
+            };
+            maintain_job(j, plan, basis);
         }
     }
 
@@ -650,7 +820,11 @@ impl HpState {
         if j.done || j.remaining <= CYCLE_EPS {
             return;
         }
-        let plan = &env.plans[j.task][j.instance_in_hyper as usize];
+        let own = j.own_plan;
+        let plan: &[ChunkPlan] = match &own {
+            Some(cp) => std::slice::from_ref(cp),
+            None => &env.plans[j.task][j.instance_in_hyper as usize],
+        };
         maintain_job(j, plan, t);
         // A released job is throttled while its current chunk budget
         // is spent and its next chunk's window has not opened.
@@ -769,11 +943,15 @@ impl HpState {
         // The selected job's chunk state is maintained lazily, exactly
         // here (see `maintain_job` for why this equals eager per-round
         // maintenance).
-        let (jt, ji) = {
-            let j = &self.jobs[job_idx];
-            (j.task, j.instance_in_hyper as usize)
+        let own = self.jobs[job_idx].own_plan;
+        let plan: &[ChunkPlan] = match &own {
+            Some(cp) => std::slice::from_ref(cp),
+            None => {
+                let j = &self.jobs[job_idx];
+                &env.plans[j.task][j.instance_in_hyper as usize]
+            }
         };
-        maintain_job(&mut self.jobs[job_idx], &env.plans[jt][ji], t);
+        maintain_job(&mut self.jobs[job_idx], plan, t);
         if let Some(prev) = self.last_dispatched {
             if prev != job_idx && !self.jobs[prev].done && self.jobs[prev].remaining > CYCLE_EPS {
                 self.report.preemptions += 1;
@@ -786,8 +964,10 @@ impl HpState {
             let j = &self.jobs[job_idx];
             (j.task, j.chunk, j.chunk_budget_left, j.remaining)
         };
-        let plan = &env.plans[task][self.jobs[job_idx].instance_in_hyper as usize];
-        let cp = plan[chunk];
+        let cp = match self.jobs[job_idx].own_plan {
+            Some(cp) => cp,
+            None => env.plans[task][self.jobs[job_idx].instance_in_hyper as usize][chunk],
+        };
         let ctx = DispatchContext {
             set: env.set,
             cpu: env.cpu,
@@ -900,6 +1080,9 @@ impl HpState {
             self.report.worst_lateness_ms = self.report.worst_lateness_ms.max(t - j.deadline_ms);
             if t > j.deadline_ms + env.options.deadline_tol_ms {
                 self.report.deadline_misses += 1;
+                if j.own_plan.is_some() {
+                    self.report.misses_aperiodic += 1;
+                }
             }
             let (ctask, executed) = (TaskId(j.task), j.executed);
             policy.on_completion(ctask, Cycles::from_cycles(executed), env.set, env.cpu);
@@ -984,13 +1167,25 @@ impl SteppedRun<'_, '_, '_> {
         };
         let policy = sim.policy.as_mut();
         if self.current.is_none() {
-            if self.h >= env.options.hyper_periods {
+            // A finite source (trace replay) ends the run as soon as no
+            // further window can release anything; generators never
+            // exhaust, so `hyper_periods` is their only cap.
+            let source_done = sim.arrivals.as_ref().is_some_and(|s| s.exhausted());
+            if self.h >= env.options.hyper_periods || source_done {
                 self.finalize();
                 return Ok(false);
             }
             let record = env.options.record_trace && self.h == 0;
             policy.on_start(env.set, env.cpu);
-            let state = match HpState::new(&env, policy, self.workload, self.abs_base, record) {
+            let state = match HpState::new(
+                &env,
+                policy,
+                self.workload,
+                self.abs_base,
+                record,
+                sim.arrivals.as_mut(),
+                self.h,
+            ) {
                 Ok(s) => s,
                 Err(e) => {
                     self.done = true;

@@ -30,6 +30,12 @@ pub enum SimError {
     /// The processor cannot make progress (frequency at the dispatched
     /// voltage is zero — e.g. an alpha-law processor with `vmin ≤ Vth`).
     StalledProcessor,
+    /// The attached arrival source failed to produce a window (malformed
+    /// trace record, out-of-order window request, I/O error).
+    ArrivalSource {
+        /// The source's own error message (line-numbered for traces).
+        message: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -51,6 +57,9 @@ impl fmt::Display for SimError {
             ),
             SimError::StalledProcessor => {
                 write!(f, "processor frequency is zero at the dispatched voltage")
+            }
+            SimError::ArrivalSource { message } => {
+                write!(f, "arrival source failed: {message}")
             }
         }
     }

@@ -180,6 +180,9 @@ fn run_one_chunk_scan(
                 chunk: 0,
                 chunk_budget_left: plan0.budget,
                 done: false,
+                // The chunk-scan oracle predates arrival sources and
+                // only runs the periodic path.
+                own_plan: None,
                 // The shared `Job` struct carries the event engine's
                 // lazy-maintenance stamp; the chunk-scan loop maintains
                 // eagerly and never reads it.

@@ -86,6 +86,9 @@ pub mod report;
 pub mod stats;
 
 pub use acs_model::SchedulingClass;
+// Arrival-source surface (re-exported so `Simulator::with_arrivals`
+// callers need no direct `acs-trace` dependency).
+pub use acs_trace::{ArrivalJob, ArrivalKind, ArrivalSource, MmppProfile};
 pub use engine::{simulate_deterministic, RunOutput, SimOptions, Simulator, SteppedRun};
 pub use error::SimError;
 pub use event::{Event, EventKind, EventQueue, ReadyKey, ReadyQueue};

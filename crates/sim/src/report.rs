@@ -50,6 +50,12 @@ pub struct SimReport {
     pub jobs_completed: usize,
     /// Number of jobs that missed their deadline.
     pub deadline_misses: usize,
+    /// The subset of [`SimReport::deadline_misses`] from *aperiodic*
+    /// jobs — releases produced by a non-periodic arrival source
+    /// (sporadic/Poisson/MMPP generators or trace replay), which run on
+    /// synthetic per-job plans rather than the static schedule. Always
+    /// zero on periodic cells.
+    pub misses_aperiodic: usize,
     /// Worst completion lateness past a deadline observed, in ms
     /// (0 when every job met its deadline; includes sub-tolerance
     /// lateness not counted in `deadline_misses`).
@@ -103,6 +109,7 @@ impl SimReport {
             per_task_energy: vec![Energy::ZERO; tasks],
             jobs_completed: 0,
             deadline_misses: 0,
+            misses_aperiodic: 0,
             worst_lateness_ms: 0.0,
             saturated_dispatches: 0,
             idle_time: TimeSpan::ZERO,
@@ -130,6 +137,7 @@ impl SimReport {
         }
         self.jobs_completed += other.jobs_completed;
         self.deadline_misses += other.deadline_misses;
+        self.misses_aperiodic += other.misses_aperiodic;
         self.worst_lateness_ms = self.worst_lateness_ms.max(other.worst_lateness_ms);
         self.saturated_dispatches += other.saturated_dispatches;
         self.idle_time += other.idle_time;

@@ -1,0 +1,61 @@
+//! Error type for trace parsing and arrival-source failures.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// An error while reading, writing or generating a trace, or while an
+/// arrival source fills a window.
+///
+/// Parse errors carry the 1-based line number of the offending record,
+/// matching the scenario format's error style; I/O and generation
+/// errors carry none.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceError {
+    /// 1-based line number in the trace text, when known.
+    pub line: Option<usize>,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl TraceError {
+    /// An error anchored at a line of the trace text.
+    pub fn at(line: usize, message: impl Into<String>) -> Self {
+        TraceError {
+            line: Some(line),
+            message: message.into(),
+        }
+    }
+
+    /// An error with no line anchor (I/O, generation, source state).
+    pub fn msg(message: impl Into<String>) -> Self {
+        TraceError {
+            line: None,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(line) => write!(f, "trace line {line}: {}", self.message),
+            None => write!(f, "trace: {}", self.message),
+        }
+    }
+}
+
+impl StdError for TraceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line_when_known() {
+        assert_eq!(
+            TraceError::at(7, "bad record").to_string(),
+            "trace line 7: bad record"
+        );
+        assert_eq!(TraceError::msg("boom").to_string(), "trace: boom");
+    }
+}

@@ -1,0 +1,88 @@
+#!/usr/bin/env sh
+# Diffs the two most recent benchmarks/BENCH_<n>.json snapshots and
+# fails (exit 1) if any shared metric regressed by more than 25%
+# (override with BENCH_DIFF_TOLERANCE, a fraction, e.g. 0.10).
+#
+# Direction matters: *_per_sec metrics regress when they DROP,
+# *_ns_* / *_ms latency metrics regress when they RISE. Metrics
+# present in only one snapshot (a newly added series, like
+# trace_jobs_per_sec in BENCH_3) are reported but never compared.
+# With fewer than two snapshots there is nothing to diff: exit 0.
+#
+# Usage: sh scripts/bench-diff.sh [old.json new.json]
+# Run from anywhere; paths resolve against the repository root.
+set -eu
+
+cd "$(dirname "$0")/.."
+tol=${BENCH_DIFF_TOLERANCE:-0.25}
+
+if [ $# -eq 2 ]; then
+    old=$1
+    new=$2
+else
+    # The two highest sequence numbers on disk.
+    hi=0
+    hi2=0
+    for f in benchmarks/BENCH_*.json; do
+        [ -f "$f" ] || continue
+        n=${f##*BENCH_}
+        n=${n%.json}
+        case "$n" in *[!0-9]* | '') continue ;; esac
+        if [ "$n" -gt "$hi" ]; then
+            hi2=$hi
+            hi=$n
+        elif [ "$n" -gt "$hi2" ]; then
+            hi2=$n
+        fi
+    done
+    if [ "$hi2" -eq 0 ]; then
+        echo "bench-diff: fewer than two snapshots, nothing to compare" >&2
+        exit 0
+    fi
+    old="benchmarks/BENCH_${hi2}.json"
+    new="benchmarks/BENCH_${hi}.json"
+fi
+
+echo "bench-diff: $old -> $new (tolerance $tol)" >&2
+
+awk -v tol="$tol" -v oldf="$old" -v newf="$new" '
+    # Collect "key": value pairs for numeric metrics from each file.
+    FILENAME == oldf || FILENAME == newf {
+        if (match($0, /"[a-z_]+":[ ]*-?[0-9.]+/)) {
+            pair = substr($0, RSTART, RLENGTH)
+            split(pair, kv, /":[ ]*/)
+            key = substr(kv[1], 2)
+            val = kv[2] + 0
+            if (key == "seq") next
+            if (FILENAME == oldf) o[key] = val
+            else n[key] = val
+        }
+    }
+    END {
+        bad = 0
+        for (key in n) {
+            if (!(key in o)) {
+                printf "  %-22s %12.2f  (new series, not compared)\n", key, n[key]
+                continue
+            }
+            if (o[key] == 0) continue
+            change = (n[key] - o[key]) / o[key]
+            # per_sec throughput: regression = drop. Everything else
+            # recorded here is a latency: regression = rise. Raw cell
+            # counts / wall-seconds are context, never gated.
+            if (key ~ /per_sec$/) delta = -change
+            else delta = change
+            flag = ""
+            if (delta > tol && key !~ /^(sweep_cells|trace_jobs|sweep_seconds|trace_seconds)$/) {
+                flag = "  <-- REGRESSION"
+                bad = 1
+            }
+            printf "  %-22s %12.2f -> %12.2f  (%+.1f%%)%s\n", \
+                key, o[key], n[key], change * 100, flag
+        }
+        if (bad) {
+            printf "bench-diff: regression beyond %.0f%% tolerance\n", tol * 100 > "/dev/stderr"
+            exit 1
+        }
+    }
+' "$old" "$new"

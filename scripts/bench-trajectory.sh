@@ -9,6 +9,8 @@
 #   reopt_warm_ms         mean of bench reopt_boundary/`warm_h16`
 #   reopt_cold_ms         mean of bench reopt_boundary/`cold_full`
 #   sweep_cells_per_sec   cells/s for the multicore_sweep campaign
+#   trace_jobs_per_sec    replayed jobs/s for a generated 1M-job
+#                         bursty trace through scenarios/bursty_trace.txt
 #
 # CRITERION_QUICK=1 shrinks the criterion measurement windows 10x for
 # smoke runs; the snapshot records which mode produced it. Run from
@@ -71,14 +73,33 @@ target/release/acsched run scenarios/multicore_sweep.txt --quiet --out "$sweep_c
 end_ns=$(date +%s%N)
 cells=$(($(wc -l <"$sweep_csv") - 1)) # minus the CSV header
 
+# Streaming-trace throughput: generate a million-job bursty trace and
+# replay it through every cell of scenarios/bursty_trace.txt. The
+# scenario multiplies the trace across its policy grid, so the metric
+# counts jobs actually dispatched (trace jobs x cells), not file lines.
+echo "bench-trajectory: timing 1M-job bursty trace replay..." >&2
+trace_jobs=1000000
+mkdir -p traces
+target/release/acsched trace gen --profile bursty --jobs "$trace_jobs" \
+    --out traces/bursty.trace 2>/dev/null
+trace_csv="$tmp_base.trace.csv"
+trap 'rm -f "$tmp_base" "$sweep_csv" "$trace_csv"' EXIT
+trace_start_ns=$(date +%s%N)
+target/release/acsched run scenarios/bursty_trace.txt --quiet --out "$trace_csv" >/dev/null 2>&1
+trace_end_ns=$(date +%s%N)
+trace_cells=$(($(wc -l <"$trace_csv") - 1))
+
 commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 now=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 
 out="benchmarks/BENCH_${seq}.json"
 awk -v seq="$seq" -v date="$now" -v commit="$commit" -v quick="$quick" \
     -v d="$dispatch_ns" -v w="$warm_ns" -v c="$cold_ns" \
-    -v cells="$cells" -v s="$start_ns" -v e="$end_ns" 'BEGIN {
+    -v cells="$cells" -v s="$start_ns" -v e="$end_ns" \
+    -v tj="$trace_jobs" -v tc="$trace_cells" \
+    -v ts="$trace_start_ns" -v te="$trace_end_ns" 'BEGIN {
     secs = (e - s) / 1e9
+    tsecs = (te - ts) / 1e9
     printf "{\n"
     printf "  \"seq\": %d,\n", seq
     printf "  \"date\": \"%s\",\n", date
@@ -89,7 +110,10 @@ awk -v seq="$seq" -v date="$now" -v commit="$commit" -v quick="$quick" \
     printf "  \"reopt_cold_ms\": %.3f,\n", c / 1e6
     printf "  \"sweep_cells\": %d,\n", cells
     printf "  \"sweep_seconds\": %.2f,\n", secs
-    printf "  \"sweep_cells_per_sec\": %.2f\n", cells / secs
+    printf "  \"sweep_cells_per_sec\": %.2f,\n", cells / secs
+    printf "  \"trace_jobs\": %d,\n", tj * tc
+    printf "  \"trace_seconds\": %.2f,\n", tsecs
+    printf "  \"trace_jobs_per_sec\": %.0f\n", tj * tc / tsecs
     printf "}\n"
 }' >"$out"
 

@@ -14,6 +14,9 @@
 //! acsched serve [--addr HOST:PORT] [...]     long-lived campaign server
 //! acsched submit <scenario> [--addr ...]     stream a campaign to a server
 //! acsched stats [--addr ...]                 print server cache counters
+//! acsched trace gen [--profile P] [--jobs N] [--out FILE]
+//!                                             synthesize an arrival trace
+//! acsched trace check <trace>...              validate trace files
 //! ```
 
 use acs_core::{synthesize_acs_best, synthesize_acs_warm, synthesize_wcs, SynthesisOptions};
@@ -62,6 +65,19 @@ USAGE:
     acsched stats [--addr HOST:PORT]
         Print the server's cache/campaign counters as one JSON line.
 
+    acsched trace gen [--profile light|bursty|heavy] [--jobs N]
+            [--seed N] [--tasks N] [--out FILE]
+        Synthesize an `acsched-trace v1` arrival trace over the built-in
+        task set (default: bursty, 1000000 jobs, seed 0, 4 tasks, to
+        stdout). Replay it with `taskset <name> trace <path>` in a v4
+        scenario. Format: docs/TRACE_FORMAT.md.
+
+    acsched trace check <trace>...
+        Validate trace files: stream every record (bounded memory),
+        checking the prologue, monotone arrivals and cycle bounds.
+        Prints a per-file summary; exits 1 on the first malformed file,
+        naming its line.
+
 Scenario grammar: docs/SCENARIO_FORMAT.md; examples: scenarios/";
 
 const DEFAULT_ADDR: &str = "127.0.0.1:7878";
@@ -75,6 +91,7 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("--help") | Some("-h") | Some("help") => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -181,10 +198,15 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
             .iter()
             .map(|c| c.label().to_string())
             .collect();
+        let arrivals: Vec<String> = scenario
+            .arrivals
+            .iter()
+            .map(|a| a.label().to_string())
+            .collect();
         // The builder owns seed dedup/defaulting; read the per-cell run
         // count back from the grid it produced.
         let seeds = campaign.run_count() / campaign.cell_count().max(1);
-        let axes: [(&str, usize, String); 8] = [
+        let axes: [(&str, usize, String); 9] = [
             ("task sets", declared_rows, String::new()),
             ("processors", scenario.processors.len(), String::new()),
             (
@@ -226,6 +248,18 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
                     join_vals(&schedules)
                 },
             ),
+            (
+                "arrivals",
+                scenario.arrivals.len().max(1),
+                if arrivals.is_empty() {
+                    " (periodic; trace-backed sets replay their stream)".into()
+                } else {
+                    format!(
+                        " ({}; trace-backed sets replay their stream)",
+                        arrivals.join(" ")
+                    )
+                },
+            ),
             ("policies", scenario.policies.len(), String::new()),
             ("workloads", scenario.workloads.len(), String::new()),
         ];
@@ -233,6 +267,22 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
             println!("  {axis:<13} {count}{detail}");
         }
         println!("  {:<13} {seeds}", "seeds");
+        // Trace-backed sets: print each file's content fingerprint, so
+        // two checkouts can compare what a cell will actually replay.
+        for (name, trace_path) in scenario.trace_paths() {
+            let bytes = std::fs::read(&trace_path).map_err(|e| {
+                format!("{path}: taskset `{name}`: cannot read `{trace_path}`: {e}")
+            })?;
+            let mut hash = 0xcbf2_9ce4_8422_2325u64;
+            for b in &bytes {
+                hash ^= *b as u64;
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            println!(
+                "  trace {name}: {trace_path} fnv1a={hash:016x} ({} bytes)",
+                bytes.len()
+            );
+        }
     }
     Ok(ExitCode::SUCCESS)
 }
@@ -305,6 +355,22 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
                 100.0 * mean
             );
         }
+        let reopt = report.policy_gains("greedy", "reopt");
+        if !reopt.is_empty() {
+            let mean = reopt.iter().map(|(_, g)| g).sum::<f64>() / reopt.len() as f64;
+            println!(
+                "reopt-vs-greedy gain over {} paired cells: mean {:.1}%",
+                reopt.len(),
+                100.0 * mean
+            );
+        }
+    }
+    let aperiodic = report.total_misses_aperiodic();
+    if aperiodic > 0 {
+        eprintln!(
+            "warning: {aperiodic} deadline misses on aperiodic jobs — the arrival \
+             stream overloads the schedule (profiles and feasibility: docs/TRACE_FORMAT.md)"
+        );
     }
     let failures = report.failures().count();
     if failures > 0 {
@@ -434,6 +500,88 @@ fn cmd_stats(args: &[String]) -> Result<ExitCode, String> {
     let addr = flag(&flags, "addr").unwrap_or(DEFAULT_ADDR);
     let line = acs_serve::stats(addr).map_err(|e| format!("stats: {e}"))?;
     println!("{line}");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_trace(args: &[String]) -> Result<ExitCode, String> {
+    match args.first().map(String::as_str) {
+        Some("gen") => cmd_trace_gen(&args[1..]),
+        Some("check") => cmd_trace_check(&args[1..]),
+        Some(other) => Err(format!(
+            "trace: unknown subcommand `{other}` (gen or check)"
+        )),
+        None => Err("trace: expected a subcommand (gen or check)".into()),
+    }
+}
+
+fn cmd_trace_gen(args: &[String]) -> Result<ExitCode, String> {
+    let (paths, flags) = parse_flags(args, &["profile", "jobs", "seed", "tasks", "out"], &[])?;
+    if !paths.is_empty() {
+        return Err(format!("trace gen: unexpected argument `{}`", paths[0]));
+    }
+    let profile: acs_trace::MmppProfile = flag(&flags, "profile")
+        .unwrap_or("bursty")
+        .parse()
+        .map_err(|e| format!("trace gen: {e}"))?;
+    let jobs: u64 = match flag(&flags, "jobs") {
+        None => 1_000_000,
+        Some(v) => v
+            .parse()
+            .ok()
+            .filter(|n| *n >= 1)
+            .ok_or_else(|| format!("trace gen: `--jobs {v}` is not a positive integer"))?,
+    };
+    let seed: u64 = match flag(&flags, "seed") {
+        None => 0,
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("trace gen: `--seed {v}` is not a non-negative integer"))?,
+    };
+    let tasks = parse_usize(&flags, "tasks", "trace gen")?.unwrap_or(4);
+    let cfg = acs_trace::GenConfig {
+        profile,
+        jobs,
+        seed,
+        tasks,
+    };
+    let (summary, dest) = match flag(&flags, "out") {
+        Some(out_path) => {
+            let file = std::fs::File::create(out_path)
+                .map_err(|e| format!("trace gen: cannot create `{out_path}`: {e}"))?;
+            let summary = acs_trace::generate(&cfg, std::io::BufWriter::new(file))
+                .map_err(|e| format!("trace gen: {e}"))?;
+            (summary, out_path.to_string())
+        }
+        None => {
+            let stdout = std::io::stdout().lock();
+            let summary = acs_trace::generate(&cfg, std::io::BufWriter::new(stdout))
+                .map_err(|e| format!("trace gen: {e}"))?;
+            (summary, "stdout".to_string())
+        }
+    };
+    eprintln!(
+        "wrote {} jobs over {} tasks ({:.1} ms, {} hyper-periods) to {dest}",
+        summary.jobs, summary.tasks, summary.span_ms, summary.windows
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_trace_check(args: &[String]) -> Result<ExitCode, String> {
+    let (paths, _flags) = parse_flags(args, &[], &[])?;
+    if paths.is_empty() {
+        return Err("trace check: expected at least one trace file".into());
+    }
+    for path in paths {
+        let mut reader = acs_trace::TraceReader::open(path).map_err(|e| format!("{path}: {e}"))?;
+        let tasks = reader.set().len();
+        let mut records = 0u64;
+        let mut last_ms = 0.0f64;
+        while let Some(rec) = reader.next_record().map_err(|e| format!("{path}: {e}"))? {
+            records += 1;
+            last_ms = rec.arrival_ms;
+        }
+        println!("{path}: ok — {records} jobs over {tasks} tasks, {last_ms:.1} ms span");
+    }
     Ok(ExitCode::SUCCESS)
 }
 

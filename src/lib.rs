@@ -15,6 +15,7 @@
 //! | [`opt`] | `acs-opt` | autodiff + L-BFGS + augmented Lagrangian |
 //! | [`core`] | `acs-core` | ACS/WCS schedule synthesis |
 //! | [`sim`] | `acs-sim` | runtime simulator & the open [`Policy`] API |
+//! | [`trace`] | `acs-trace` | arrival sources (sporadic/Poisson/MMPP) & the streaming trace format |
 //! | [`multi`] | `acs-multi` | partitioned multiprocessor layer (ffd/bfd/wfd + machine runs) |
 //! | [`workloads`] | `acs-workloads` | distributions, random/CNC/GAP sets |
 //! | [`runtime`] | `acs-runtime` | parallel [`Campaign`] runner + streaming [`ResultSink`]s |
@@ -142,6 +143,7 @@ pub use acs_preempt as preempt;
 pub use acs_runtime as runtime;
 pub use acs_scenario as scenario;
 pub use acs_sim as sim;
+pub use acs_trace as trace;
 pub use acs_workloads as workloads;
 
 /// Everything needed for typical use, importable with one line.
@@ -172,10 +174,12 @@ pub mod prelude {
     #[allow(deprecated)]
     pub use acs_sim::DvsPolicy;
     pub use acs_sim::{
-        improvement_over, render_gantt, BoundaryEvent, CcRm, DispatchContext, EnergyBreakdown,
-        GreedyReclaim, IntoPolicy, NoDvs, Policy, ReOpt, ReOptConfig, SimOptions, SimReport,
-        Simulator, SolverCache, SolverContext, SolverStats, StaticSpeed, Summary,
+        improvement_over, render_gantt, ArrivalJob, ArrivalKind, ArrivalSource, BoundaryEvent,
+        CcRm, DispatchContext, EnergyBreakdown, GreedyReclaim, IntoPolicy, MmppProfile, NoDvs,
+        Policy, ReOpt, ReOptConfig, SimOptions, SimReport, Simulator, SolverCache, SolverContext,
+        SolverStats, StaticSpeed, Summary,
     };
+    pub use acs_trace::{TraceReader, TraceRecord, TraceSource, TraceWriter};
     pub use acs_workloads::{
         cnc, gap, generate, motivation, RandomSetConfig, TaskWorkloads, WorkloadDist,
     };

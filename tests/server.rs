@@ -167,6 +167,20 @@ fn malformed_frames_get_line_numbered_errors_without_killing_the_connection() {
         e8.contains("\"type\":\"error\"") && e8.contains("scenario:"),
         "{e8}"
     );
+    // A v4 scenario whose trace file is missing is rejected before
+    // admission with a line-numbered `error` frame — not a panic —
+    // and the connection stays usable.
+    wire.send(
+        r#"{"type":"submit","scenario":"acsched-scenario v4\ntaskset t trace /no/such.trace\nprocessor p linear kappa=50 vmin=1 vmax=4\npolicy greedy\nworkload paper\n"}"#,
+    );
+    let e9 = wire.recv();
+    assert!(
+        e9.contains("\"type\":\"error\"")
+            && e9.contains("cannot read trace")
+            && e9.contains("\"line\":"),
+        "{e9}"
+    );
+
     wire.send(r#"{"type":"stats"}"#);
     assert!(wire.recv().contains("\"type\":\"stats\""));
 }
