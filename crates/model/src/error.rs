@@ -37,6 +37,15 @@ pub enum ModelError {
         /// Worst-case utilization at maximum speed (`> 1`).
         utilization: f64,
     },
+    /// A precedence edge (or the graph it belongs to) is invalid: it
+    /// names an unknown task, is a self-edge or a duplicate, joins tasks
+    /// of different periods, or closes a cycle.
+    InvalidGraph {
+        /// The offending edge, rendered as `from->to`.
+        edge: String,
+        /// Human-readable description of the violated invariant.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -66,6 +75,9 @@ impl fmt::Display for ModelError {
                 f,
                 "worst-case utilization {utilization:.3} exceeds 1 at maximum speed"
             ),
+            ModelError::InvalidGraph { edge, reason } => {
+                write!(f, "invalid precedence edge `{edge}`: {reason}")
+            }
         }
     }
 }

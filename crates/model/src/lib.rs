@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod graph;
 pub mod sched_class;
 pub mod task;
 pub mod taskset;
@@ -49,6 +50,7 @@ pub mod text;
 pub mod units;
 
 pub use error::ModelError;
+pub use graph::TaskGraph;
 pub use sched_class::SchedulingClass;
 pub use task::{Task, TaskBuilder, TaskId};
 pub use taskset::TaskSet;

@@ -1,6 +1,7 @@
 //! Rate-monotonic task sets.
 
 use crate::error::ModelError;
+use crate::graph::TaskGraph;
 use crate::sched_class::SchedulingClass;
 use crate::task::{Task, TaskId};
 use crate::units::{Freq, Ticks, TimeSpan};
@@ -28,6 +29,7 @@ pub struct TaskSet {
     tasks: Vec<Task>,
     hyper_period: Ticks,
     class: SchedulingClass,
+    graph: Option<TaskGraph>,
 }
 
 impl TaskSet {
@@ -64,6 +66,7 @@ impl TaskSet {
             tasks,
             hyper_period: hyper,
             class: SchedulingClass::default(),
+            graph: None,
         })
     }
 
@@ -85,6 +88,30 @@ impl TaskSet {
     /// [`TaskSet::with_class`]).
     pub fn class(&self) -> SchedulingClass {
         self.class
+    }
+
+    /// Returns the set with precedence constraints attached. The graph
+    /// must have been built against this set (see [`TaskGraph::new`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph was validated against a set of a different
+    /// size.
+    #[must_use]
+    pub fn with_graph(mut self, graph: TaskGraph) -> Self {
+        assert_eq!(
+            graph.task_count(),
+            self.tasks.len(),
+            "TaskGraph was built against a different task set"
+        );
+        self.graph = Some(graph);
+        self
+    }
+
+    /// The precedence graph attached with [`TaskSet::with_graph`], if
+    /// any. Independent (edge-free) sets return `None`.
+    pub fn graph(&self) -> Option<&TaskGraph> {
+        self.graph.as_ref()
     }
 
     /// All tasks in priority order (highest first).
@@ -296,6 +323,17 @@ mod tests {
         assert_ne!(ts, edf);
         assert_eq!(ts.tasks(), edf.tasks());
         assert_eq!(ts, edf.with_class(SchedulingClass::FixedPriorityRm));
+    }
+
+    #[test]
+    fn graph_attaches_and_participates_in_equality() {
+        let ts = TaskSet::new(vec![task("x", 5, 1.0), task("y", 5, 1.0)]).unwrap();
+        assert!(ts.graph().is_none());
+        let g = TaskGraph::new(&ts, [("x", "y")]).unwrap();
+        let dag = ts.clone().with_graph(g);
+        assert_eq!(dag.graph().unwrap().edge_count(), 1);
+        assert_ne!(ts, dag);
+        assert_eq!(ts.tasks(), dag.tasks());
     }
 
     #[test]

@@ -19,6 +19,11 @@ pub enum MultiError {
         /// Number of cores it was offered.
         cores: usize,
     },
+    /// The task set carries a precedence graph. Precedence edges cannot
+    /// cross a partition (a successor on core A cannot observe its
+    /// predecessor's completion on core B), so DAG sets run under
+    /// global placement only.
+    GraphNotPartitionable,
     /// Rebuilding a per-core task set violated a model invariant
     /// (wrapped message).
     Model(String),
@@ -44,6 +49,11 @@ impl fmt::Display for MultiError {
                 f,
                 "task `{task}` (utilization {util:.3}) does not fit on any of {cores} cores \
                  — the machine is over-committed"
+            ),
+            MultiError::GraphNotPartitionable => write!(
+                f,
+                "task set carries a precedence graph — edges cannot cross a \
+                 partition; use global placement"
             ),
             MultiError::Model(msg) => write!(f, "per-core task set: {msg}"),
             MultiError::Sim(msg) => write!(f, "per-core simulation: {msg}"),

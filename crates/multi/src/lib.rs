@@ -1,6 +1,7 @@
 //! # acs-multi
 //!
-//! Partitioned multiprocessor layer for the `acsched` workspace.
+//! Multiprocessor layer for the `acsched` workspace: partitioned and
+//! global placements over N identical cores.
 //!
 //! The paper's machinery — offline synthesis, the event-driven engine,
 //! the online [`Policy`](acs_sim::Policy) API — is single-processor.
@@ -23,6 +24,14 @@
 //! platforms that power-gate, expensive when `idle_power > 0`). The
 //! `acs-runtime` campaign axes (`cores`, `partitioners`) sweep exactly
 //! this trade-off.
+//!
+//! The alternative to pinning is *global* dispatch ([`GlobalRun`],
+//! selected by [`Placement::Global`]): one shared ready queue, the `m`
+//! most eligible jobs on `m` cores, jobs migrating between cores when
+//! the eligibility order forces it. Global placement is the only way to
+//! run precedence-constrained sets ([`acs_model::TaskGraph`]) on
+//! multiple cores — precedence edges cannot cross a partition, and
+//! [`partition()`] rejects such sets up front.
 //!
 //! ## Example
 //!
@@ -65,9 +74,11 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod global;
 pub mod machine;
 pub mod partition;
 
 pub use error::MultiError;
+pub use global::{GlobalOutput, GlobalRun, Placement};
 pub use machine::{CoreSourceFactory, MachineReport, MachineRun};
 pub use partition::{partition, CoreAssignment, Partition, PartitionHeuristic};

@@ -174,6 +174,8 @@ impl Partition {
 /// # Errors
 ///
 /// [`MultiError::InvalidCoreCount`] for zero cores;
+/// [`MultiError::GraphNotPartitionable`] when the set carries a
+/// non-empty precedence graph (use global placement);
 /// [`MultiError::Infeasible`] when some task fits on no core;
 /// [`MultiError::Model`] when a per-core task set violates a model
 /// invariant (cannot happen for subsets of a valid set, but surfaced
@@ -186,6 +188,13 @@ pub fn partition(
 ) -> Result<Partition, MultiError> {
     if cores == 0 {
         return Err(MultiError::InvalidCoreCount);
+    }
+    // Precedence edges cannot cross a partition: a successor pinned to
+    // core A would need to observe its predecessor's completion on core
+    // B, which independent per-core simulations cannot express. DAG
+    // sets run under global placement ([`crate::GlobalRun`]) instead.
+    if set.graph().is_some_and(|g| !g.is_empty()) {
+        return Err(MultiError::GraphNotPartitionable);
     }
     const CAP: f64 = 1.0 + 1e-9;
     let utils: Vec<f64> = set
@@ -369,6 +378,19 @@ mod tests {
             .unwrap_err(),
             MultiError::InvalidCoreCount
         );
+    }
+
+    #[test]
+    fn dag_sets_are_not_partitionable() {
+        let set = TaskSet::new(vec![task("a", 10, 100.0), task("b", 10, 100.0)]).unwrap();
+        let g = acs_model::TaskGraph::new(&set, vec![("a", "b")]).unwrap();
+        let set = set.with_graph(g);
+        for h in PartitionHeuristic::ALL {
+            assert_eq!(
+                partition(&set, f200(), 2, h).unwrap_err(),
+                MultiError::GraphNotPartitionable
+            );
+        }
     }
 
     #[test]

@@ -108,6 +108,41 @@ impl FullyPreemptiveSchedule {
                     active.sort_by_key(|&(tid, _, deadline)| (deadline, tid));
                 }
             }
+            // Precedence refinement: when the set carries a task graph,
+            // a chunk of a successor cannot run while a predecessor of
+            // the same graph instance is still active, so the class
+            // order is topologically refined — repeatedly emit the
+            // earliest entry (in class order) whose in-segment
+            // predecessors have all been emitted. Edge endpoints share a
+            // period, so co-active endpoints always belong to the same
+            // graph instance. A no-op for edge-free sets.
+            if let Some(graph) = set.graph().filter(|g| !g.is_empty()) {
+                let mut in_segment = vec![false; set.len()];
+                for &(tid, _, _) in &active {
+                    in_segment[tid.0] = true;
+                }
+                let mut emitted = vec![false; set.len()];
+                let mut remaining: Vec<Option<(TaskId, u64, u64)>> =
+                    active.iter().copied().map(Some).collect();
+                let mut refined = Vec::with_capacity(active.len());
+                while refined.len() < active.len() {
+                    let pos = remaining
+                        .iter()
+                        .position(|e| {
+                            e.is_some_and(|(tid, _, _)| {
+                                graph
+                                    .preds_of(tid)
+                                    .iter()
+                                    .all(|p| !in_segment[p.0] || emitted[p.0])
+                            })
+                        })
+                        .expect("the active restriction of a DAG has a source");
+                    let entry = remaining[pos].take().expect("position points at Some");
+                    emitted[entry.0 .0] = true;
+                    refined.push(entry);
+                }
+                active = refined;
+            }
             for (tid, instance_index, deadline) in active {
                 let task = set.task(tid);
                 let p = task.period().get();
@@ -290,6 +325,37 @@ mod tests {
         )
         .unwrap();
         assert_eq!(frame_rm.sub_instances(), frame_edf.sub_instances());
+    }
+
+    /// A task graph topologically refines the within-segment order:
+    /// with `t1 -> t0` on an equal-period frame, t0's chunk moves after
+    /// its predecessor's while unrelated tasks keep their class order.
+    #[test]
+    fn dag_refines_segment_order() {
+        use acs_model::TaskGraph;
+        let base = set(&[6, 6, 6]);
+        let g = TaskGraph::new(&base, [("t1", "t0")]).unwrap();
+        let fps = FullyPreemptiveSchedule::expand(&base.clone().with_graph(g)).unwrap();
+        let order: Vec<usize> = fps
+            .segment_subs(0)
+            .iter()
+            .map(|s| s.instance.task.0)
+            .collect();
+        assert_eq!(order, [1, 0, 2]);
+        // Edge-free graphs leave the expansion byte-identical.
+        let g0 = TaskGraph::new::<&str>(&base, []).unwrap();
+        let plain = FullyPreemptiveSchedule::expand(&base).unwrap();
+        let gated = FullyPreemptiveSchedule::expand(&base.clone().with_graph(g0)).unwrap();
+        assert_eq!(plain.sub_instances(), gated.sub_instances());
+        // Chains refine transitively: t2 -> t1 -> t0 reverses the frame.
+        let chain = TaskGraph::new(&base, [("t2", "t1"), ("t1", "t0")]).unwrap();
+        let fps = FullyPreemptiveSchedule::expand(&base.with_graph(chain)).unwrap();
+        let order: Vec<usize> = fps
+            .segment_subs(0)
+            .iter()
+            .map(|s| s.instance.task.0)
+            .collect();
+        assert_eq!(order, [2, 1, 0]);
     }
 
     #[test]

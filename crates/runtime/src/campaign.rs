@@ -8,7 +8,7 @@ use acs_core::{
 };
 use acs_model::units::Energy;
 use acs_model::{SchedulingClass, TaskSet};
-use acs_multi::{partition, MachineRun, Partition, PartitionHeuristic};
+use acs_multi::{partition, GlobalRun, MachineRun, Partition, PartitionHeuristic, Placement};
 use acs_power::Processor;
 use acs_sim::{
     ArrivalKind, CcRm, GreedyReclaim, NoDvs, Policy, ReOpt, ReOptConfig, SimOptions, SimReport,
@@ -249,6 +249,15 @@ pub enum CampaignError {
         /// The trace-backed set's name.
         set: String,
     },
+    /// A precedence-constrained (DAG) task set has no periodic release
+    /// pattern to run under: it is trace-backed, or the arrivals axis
+    /// carries only generated (non-periodic) streams. The predecessor
+    /// gate pairs jobs by instance index, which only the built-in
+    /// periodic release grid defines.
+    GraphArrivals {
+        /// The DAG set's name.
+        set: String,
+    },
 }
 
 impl std::fmt::Display for CampaignError {
@@ -294,6 +303,12 @@ impl std::fmt::Display for CampaignError {
                 "task set `{set}` replays an arrival trace, but the cores axis \
                  contains counts above 1; trace replay is single-core only"
             ),
+            CampaignError::GraphArrivals { set } => write!(
+                f,
+                "task set `{set}` carries a precedence graph, which requires \
+                 the built-in periodic releases; drop the trace or keep \
+                 `periodic` on the arrivals axis"
+            ),
         }
     }
 }
@@ -315,8 +330,12 @@ struct CellSpec {
     cpu: usize,
     /// Core count (the axis *value*, not an index).
     cores: usize,
-    /// Index into the partitioners axis, or [`NO_PART`] when `cores == 1`.
+    /// Index into the partitioners axis, or [`NO_PART`] when `cores == 1`
+    /// or the cell dispatches globally (no partition either way).
     part: usize,
+    /// How the cell maps jobs onto cores. Single-core cells always carry
+    /// `Partitioned` (the axes coincide on one core).
+    placement: Placement,
     /// Scheduling class the cell's dispatcher runs (the axis *value*).
     class: SchedulingClass,
     schedule: ScheduleChoice,
@@ -364,6 +383,7 @@ pub struct CampaignBuilder {
     traces: HashMap<usize, String>,
     processors: Vec<(String, Processor)>,
     cores: Vec<usize>,
+    placements: Vec<Placement>,
     partitioners: Vec<PartitionHeuristic>,
     classes: Vec<SchedulingClass>,
     arrivals: Vec<ArrivalKind>,
@@ -385,6 +405,7 @@ impl Default for CampaignBuilder {
             traces: HashMap::new(),
             processors: Vec::new(),
             cores: Vec::new(),
+            placements: Vec::new(),
             partitioners: Vec::new(),
             classes: Vec::new(),
             arrivals: Vec::new(),
@@ -476,6 +497,26 @@ impl CampaignBuilder {
     /// seeds).
     pub fn cores(mut self, counts: impl IntoIterator<Item = usize>) -> Self {
         self.cores = counts.into_iter().collect();
+        self
+    }
+
+    /// Adds one placement to the grid (default: `Partitioned` — the
+    /// classic pin-then-run machine runs). The axis only multiplies
+    /// cells with `cores > 1`: on one core partitioned and global
+    /// dispatch coincide, so single-core cells run once. `Global` cells
+    /// share one ready queue across the cores; they collapse the
+    /// partitioner axis, run schedule-free policies only (the static
+    /// schedules are per-core artifacts), and stick to the built-in
+    /// periodic releases. Duplicate placements are dropped at
+    /// [`build`](CampaignBuilder::build), keeping first positions.
+    pub fn placement(mut self, placement: Placement) -> Self {
+        self.placements.push(placement);
+        self
+    }
+
+    /// Replaces the placement axis.
+    pub fn placements(mut self, placements: impl IntoIterator<Item = Placement>) -> Self {
+        self.placements = placements.into_iter().collect();
         self
     }
 
@@ -661,6 +702,14 @@ impl CampaignBuilder {
         if self.cores.is_empty() {
             self.cores.push(1);
         }
+        // Duplicate placements would re-run identical cells; drop
+        // repeats, keeping first positions (documented on
+        // `CampaignBuilder::placement`).
+        let mut seen_placements = std::collections::HashSet::new();
+        self.placements.retain(|p| seen_placements.insert(*p));
+        if self.placements.is_empty() {
+            self.placements.push(Placement::Partitioned);
+        }
         // Duplicate classes would re-run identical cells under identical
         // draws; drop repeats, keeping first positions (documented on
         // `CampaignBuilder::class`).
@@ -682,6 +731,18 @@ impl CampaignBuilder {
                 return Err(CampaignError::TraceMulticore {
                     set: self.task_sets[*idx].0.clone(),
                 });
+            }
+        }
+        // Precedence-constrained sets pair jobs by instance index, which
+        // only the built-in periodic release grid defines: a DAG set
+        // that is trace-backed, or whose arrivals axis offers no
+        // periodic kind at all, has nothing it can run under.
+        let any_periodic = self.arrivals.iter().any(|a| a.is_periodic());
+        for (idx, (name, set)) in self.task_sets.iter().enumerate() {
+            if set.graph().is_some_and(|g| !g.is_empty())
+                && (self.traces.contains_key(&idx) || !any_periodic)
+            {
+                return Err(CampaignError::GraphArrivals { set: name.clone() });
             }
         }
         seen.clear();
@@ -726,50 +787,81 @@ impl CampaignBuilder {
         // never duplicates physically identical runs; schedule-dependent
         // policies skip `Unscheduled`. The partitioner axis likewise
         // collapses on single-core cells: with one core there is nothing
-        // to partition.
+        // to partition. The placement axis collapses there too, and
+        // global multicore cells collapse the partitioner axis in turn
+        // while skipping schedule-backed policies (static schedules are
+        // per-core artifacts a shared queue cannot honor) and
+        // non-periodic arrival kinds (global dispatch runs the built-in
+        // release grid). DAG sets skip partitioned multicore cells:
+        // precedence edges cannot cross a partition.
         let mut cells = Vec::new();
         for set in 0..self.task_sets.len() {
+            let has_graph = self.task_sets[set].1.graph().is_some_and(|g| !g.is_empty());
             for cpu in 0..self.processors.len() {
                 for &cores in &self.cores {
-                    let parts: Vec<usize> = if cores == 1 {
-                        vec![NO_PART]
+                    let placements: Vec<Placement> = if cores == 1 {
+                        vec![Placement::Partitioned]
                     } else {
-                        (0..self.partitioners.len()).collect()
+                        self.placements.clone()
                     };
-                    for part in parts {
-                        for &class in &self.classes {
-                            for (policy_idx, policy) in self.policies.iter().enumerate() {
-                                let choices: Vec<ScheduleChoice> = if policy.needs_schedule() {
-                                    self.schedules
-                                        .iter()
-                                        .copied()
-                                        .filter(|c| *c != ScheduleChoice::Unscheduled)
-                                        .collect()
-                                } else {
-                                    vec![ScheduleChoice::Unscheduled]
-                                };
-                                for schedule in choices {
-                                    for workload in 0..self.workloads.len() {
-                                        // The arrivals axis collapses on
-                                        // trace-backed sets: the trace
-                                        // fixes the release stream.
-                                        let kinds: Vec<usize> = if self.traces.contains_key(&set) {
-                                            vec![NO_ARRIVALS]
-                                        } else {
-                                            (0..self.arrivals.len()).collect()
-                                        };
-                                        for arrivals in kinds {
-                                            cells.push(CellSpec {
-                                                set,
-                                                cpu,
-                                                cores,
-                                                part,
-                                                class,
-                                                schedule,
-                                                policy: policy_idx,
-                                                workload,
-                                                arrivals,
-                                            });
+                    for placement in placements {
+                        let global = cores > 1 && placement == Placement::Global;
+                        if cores > 1 && placement == Placement::Partitioned && has_graph {
+                            continue;
+                        }
+                        let parts: Vec<usize> = if cores == 1 || global {
+                            vec![NO_PART]
+                        } else {
+                            (0..self.partitioners.len()).collect()
+                        };
+                        for part in parts {
+                            for &class in &self.classes {
+                                for (policy_idx, policy) in self.policies.iter().enumerate() {
+                                    if global && policy.needs_schedule() {
+                                        continue;
+                                    }
+                                    let choices: Vec<ScheduleChoice> = if policy.needs_schedule() {
+                                        self.schedules
+                                            .iter()
+                                            .copied()
+                                            .filter(|c| *c != ScheduleChoice::Unscheduled)
+                                            .collect()
+                                    } else {
+                                        vec![ScheduleChoice::Unscheduled]
+                                    };
+                                    for schedule in choices {
+                                        for workload in 0..self.workloads.len() {
+                                            // The arrivals axis collapses on
+                                            // trace-backed sets: the trace
+                                            // fixes the release stream. DAG
+                                            // and global cells run only the
+                                            // built-in periodic releases.
+                                            let periodic_only = has_graph || global;
+                                            let kinds: Vec<usize> =
+                                                if self.traces.contains_key(&set) {
+                                                    vec![NO_ARRIVALS]
+                                                } else {
+                                                    (0..self.arrivals.len())
+                                                        .filter(|&a| {
+                                                            !periodic_only
+                                                                || self.arrivals[a].is_periodic()
+                                                        })
+                                                        .collect()
+                                                };
+                                            for arrivals in kinds {
+                                                cells.push(CellSpec {
+                                                    set,
+                                                    cpu,
+                                                    cores,
+                                                    part,
+                                                    placement,
+                                                    class,
+                                                    schedule,
+                                                    policy: policy_idx,
+                                                    workload,
+                                                    arrivals,
+                                                });
+                                            }
                                         }
                                     }
                                 }
@@ -879,7 +971,11 @@ impl Campaign {
             std::collections::BTreeMap::new();
         for cell in &self.cells {
             let scheduled = cell.schedule != ScheduleChoice::Unscheduled;
-            if !scheduled && cell.cores == 1 {
+            // Global cells are always unscheduled (the grid skips
+            // schedule-backed policies there) and never partition, so
+            // they need no plan at all — like single-core unscheduled
+            // cells.
+            if !scheduled && (cell.cores == 1 || cell.placement == Placement::Global) {
                 continue;
             }
             let e = needs
@@ -1092,6 +1188,33 @@ impl Campaign {
                             (out.report, vec![energy])
                         })
                         .map_err(|e| e.to_string())
+                } else if cell.placement == Placement::Global {
+                    // One shared draw stream keyed (seed, set), exactly
+                    // like single-core cells: GlobalRun draws task-major
+                    // per hyper-period — the single-core engine's order —
+                    // so global cells pair with their single-core twins
+                    // and with partitioned cells across every other axis.
+                    let mut draws =
+                        TaskWorkloads::from_dists(spec.dists(set), mix_seed(seed, cell.set));
+                    GlobalRun {
+                        set,
+                        cpu,
+                        cores: cell.cores,
+                        options,
+                    }
+                    .run(b.policies[cell.policy].instantiate(), &mut |t, i| {
+                        draws.draw(t, i)
+                    })
+                    .map(|out| {
+                        let per_core: Vec<f64> = out
+                            .report
+                            .per_core_energy()
+                            .iter()
+                            .map(|e| e.as_units())
+                            .collect();
+                        (out.report.to_sim_report(), per_core)
+                    })
+                    .map_err(|e| e.to_string())
                 } else {
                     let plan = plans.plan_of(cell).expect("multicore cells are planned");
                     let parted = match plan.partition.as_ref().expect("multicore plans partition") {
@@ -1167,6 +1290,11 @@ impl Campaign {
                         } else {
                             b.partitioners[cell.part].label().to_string()
                         },
+                        placement: if cell.cores == 1 {
+                            "-".to_string()
+                        } else {
+                            cell.placement.label().to_string()
+                        },
                         class: cell.class,
                         schedule: cell.schedule,
                         policy: b.policies[cell.policy].name().to_string(),
@@ -1227,7 +1355,9 @@ impl CampaignPlans {
     }
 
     fn plan_of(&self, cell: &CellSpec) -> Option<&CellPlan> {
-        if cell.schedule == ScheduleChoice::Unscheduled && cell.cores == 1 {
+        if cell.schedule == ScheduleChoice::Unscheduled
+            && (cell.cores == 1 || cell.placement == Placement::Global)
+        {
             return None;
         }
         let pos = self
@@ -1298,6 +1428,7 @@ fn aggregate(per_seed: &[Result<(SimReport, Vec<f64>), String>]) -> Result<CellS
         saturated_dispatches: 0,
         voltage_switches: 0,
         preemptions: 0,
+        migrations: 0,
         clamped_draws: 0,
         worst_lateness_ms: 0.0,
         solver_lookups: 0,
@@ -1324,6 +1455,7 @@ fn aggregate(per_seed: &[Result<(SimReport, Vec<f64>), String>]) -> Result<CellS
         stats.saturated_dispatches += report.saturated_dispatches;
         stats.voltage_switches += report.voltage_switches;
         stats.preemptions += report.preemptions;
+        stats.migrations += report.migrations;
         stats.clamped_draws += report.clamped_draws;
         stats.worst_lateness_ms = stats.worst_lateness_ms.max(report.worst_lateness_ms);
         stats.solver_lookups += report.solver_lookups;
@@ -1691,6 +1823,132 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(deduped.cell_count(), 2);
+    }
+
+    #[test]
+    fn placement_axis_adds_global_cells() {
+        let two = TaskSet::new(vec![
+            Task::builder("x", Ticks::new(10))
+                .wcec(Cycles::from_cycles(300.0))
+                .acec(Cycles::from_cycles(120.0))
+                .bcec(Cycles::from_cycles(30.0))
+                .build()
+                .unwrap(),
+            Task::builder("y", Ticks::new(20))
+                .wcec(Cycles::from_cycles(400.0))
+                .acec(Cycles::from_cycles(160.0))
+                .bcec(Cycles::from_cycles(40.0))
+                .build()
+                .unwrap(),
+        ])
+        .unwrap();
+        let campaign = Campaign::builder()
+            .task_set("s", two)
+            .processor("p", cpu())
+            .cores([1, 2])
+            .placements([
+                Placement::Partitioned,
+                Placement::Global,
+                Placement::Partitioned, // duplicates dedupe keep-first
+            ])
+            .schedules([ScheduleChoice::Wcs])
+            .policy(PolicySpec::greedy())
+            .policy(PolicySpec::ccrm())
+            .workload(WorkloadSpec::Paper)
+            .seeds([1, 2])
+            .build()
+            .unwrap();
+        // cores=1 collapses the placement axis (2 cells); cores=2
+        // partitioned runs both policies (2 cells); cores=2 global skips
+        // the schedule-backed greedy (1 cell).
+        assert_eq!(campaign.cell_count(), 5);
+        let report = campaign.run();
+        assert_eq!(report.failures().count(), 0, "{}", report.to_table());
+        let coords: Vec<(usize, &str, &str)> = report
+            .cells()
+            .iter()
+            .map(|c| (c.cores, c.placement.as_str(), c.policy.as_str()))
+            .collect();
+        assert_eq!(
+            coords,
+            vec![
+                (1, "-", "greedy"),
+                (1, "-", "ccrm"),
+                (2, "partitioned", "greedy"),
+                (2, "partitioned", "ccrm"),
+                (2, "global", "ccrm"),
+            ]
+        );
+        let global = report
+            .cells()
+            .iter()
+            .find(|c| c.placement == "global")
+            .unwrap();
+        // Global cells collapse the partitioner axis and still report
+        // one mean energy per core.
+        assert_eq!(global.partition, "-");
+        assert_eq!(global.stats().unwrap().per_core_mean_energy.len(), 2);
+        // The table renders the placement in the cores column.
+        assert!(
+            report.to_table().contains("2:global"),
+            "{}",
+            report.to_table()
+        );
+        // No cell outside global dispatch ever migrates a job.
+        for c in report.cells().iter().filter(|c| c.placement != "global") {
+            assert_eq!(c.stats().unwrap().migrations, 0, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn dag_sets_run_global_only() {
+        use acs_model::TaskGraph;
+        let tasks = vec![
+            Task::builder("x", Ticks::new(10))
+                .wcec(Cycles::from_cycles(300.0))
+                .acec(Cycles::from_cycles(120.0))
+                .bcec(Cycles::from_cycles(30.0))
+                .build()
+                .unwrap(),
+            Task::builder("y", Ticks::new(10))
+                .wcec(Cycles::from_cycles(400.0))
+                .acec(Cycles::from_cycles(160.0))
+                .bcec(Cycles::from_cycles(40.0))
+                .build()
+                .unwrap(),
+        ];
+        let plain = TaskSet::new(tasks).unwrap();
+        let graph = TaskGraph::new(&plain, [("x", "y")]).unwrap();
+        let dag = plain.with_graph(graph);
+        let campaign = Campaign::builder()
+            .task_set("dag", dag.clone())
+            .processor("p", cpu())
+            .cores([1, 2])
+            .placements([Placement::Partitioned, Placement::Global])
+            .policy(PolicySpec::no_dvs())
+            .workload(WorkloadSpec::ConstantWcec)
+            .arrivals([ArrivalKind::Periodic, ArrivalKind::Sporadic])
+            .build()
+            .unwrap();
+        // cores=1 (periodic only — DAG sets skip generated arrivals) and
+        // cores=2 global; the partitioned multicore cell is skipped
+        // because precedence edges cannot cross a partition.
+        assert_eq!(campaign.cell_count(), 2);
+        let report = campaign.run();
+        assert_eq!(report.failures().count(), 0, "{}", report.to_table());
+        assert!(report.cells().iter().all(|c| c.arrivals == "periodic"));
+        // A DAG set with no periodic release pattern at all is rejected
+        // up front.
+        let err = Campaign::builder()
+            .task_set("dag", dag)
+            .processor("p", cpu())
+            .policy(PolicySpec::no_dvs())
+            .workload(WorkloadSpec::ConstantWcec)
+            .arrivals([ArrivalKind::Sporadic])
+            .build()
+            .unwrap_err();
+        assert_eq!(err, CampaignError::GraphArrivals { set: "dag".into() });
+        assert!(err.to_string().contains("precedence graph"), "{err}");
     }
 
     #[test]

@@ -42,6 +42,10 @@ pub struct CellStats {
     /// Preemptions (dispatches displacing an unfinished job) summed
     /// over all runs.
     pub preemptions: usize,
+    /// Job migrations between cores summed over all runs — always zero
+    /// on single-core and partitioned cells; only global dispatch can
+    /// move a job.
+    pub migrations: usize,
     /// Workload draws clamped into `[0, WCEC]`, summed over all runs.
     pub clamped_draws: usize,
     /// Worst completion lateness observed across all runs (ms).
@@ -84,8 +88,11 @@ pub struct CellReport {
     /// single-processor runs).
     pub cores: usize,
     /// Partitioner label (`"ffd"`/`"bfd"`/`"wfd"`; `"-"` on single-core
-    /// cells, where there is nothing to partition).
+    /// and global cells, where there is nothing to partition).
     pub partition: String,
+    /// Placement label (`"partitioned"`/`"global"`; `"-"` on
+    /// single-core cells, where the placements coincide).
+    pub placement: String,
     /// Scheduling class the cell's dispatcher ran
     /// (`FixedPriorityRm` on classic grids).
     pub class: SchedulingClass,
@@ -182,12 +189,25 @@ impl CampaignReport {
     /// keyed pass — O(cells) even on paper-scale grids.
     pub fn gains(&self) -> Vec<(&CellReport, f64)> {
         #[allow(clippy::type_complexity)]
-        fn key(c: &CellReport) -> (&str, &str, usize, &str, SchedulingClass, &str, &str, &str) {
+        fn key(
+            c: &CellReport,
+        ) -> (
+            &str,
+            &str,
+            usize,
+            &str,
+            &str,
+            SchedulingClass,
+            &str,
+            &str,
+            &str,
+        ) {
             (
                 &c.task_set,
                 &c.processor,
                 c.cores,
                 &c.partition,
+                &c.placement,
                 c.class,
                 &c.policy,
                 &c.workload,
@@ -226,6 +246,7 @@ impl CampaignReport {
             &str,
             usize,
             &str,
+            &str,
             SchedulingClass,
             ScheduleChoice,
             &str,
@@ -236,6 +257,7 @@ impl CampaignReport {
                 &c.processor,
                 c.cores,
                 &c.partition,
+                &c.placement,
                 c.class,
                 c.schedule,
                 &c.workload,
@@ -336,6 +358,8 @@ impl CampaignReport {
         for c in &self.cells {
             let cores = if c.cores == 1 {
                 "1".to_string()
+            } else if c.placement == "global" {
+                format!("{}:global", c.cores)
             } else {
                 format!("{}:{}", c.cores, c.partition)
             };
@@ -421,6 +445,7 @@ mod tests {
             saturated_dispatches: 0,
             voltage_switches: 0,
             preemptions: 0,
+            migrations: 0,
             clamped_draws: 0,
             worst_lateness_ms: 0.0,
             solver_lookups: 0,
@@ -436,6 +461,7 @@ mod tests {
             processor: "p".into(),
             cores: 1,
             partition: "-".into(),
+            placement: "-".into(),
             class: SchedulingClass::FixedPriorityRm,
             schedule,
             policy: "greedy".into(),

@@ -118,16 +118,20 @@ impl ResultSink for AggregateSink {
 /// (`class`, `preemptions`) are appended after those for the same
 /// reason — v2 positions are preserved; `class` is `rm` or `edf`. The
 /// arrival-stream columns (`arrivals`, `misses_aperiodic`) are appended
-/// last, again preserving every earlier position: `arrivals` is the
-/// cell's arrival label (`periodic`/`sporadic`/`poisson`/
+/// after those, again preserving every earlier position: `arrivals` is
+/// the cell's arrival label (`periodic`/`sporadic`/`poisson`/
 /// `mmpp:light|bursty|heavy`/`trace`), `misses_aperiodic` the subset of
-/// `deadline_misses` charged to aperiodic jobs.
+/// `deadline_misses` charged to aperiodic jobs. The placement columns
+/// (`placement`, `migrations`) come last — v4 positions are preserved:
+/// `placement` is `partitioned`/`global` (`-` on single-core cells),
+/// `migrations` the between-core job migrations (zero everywhere except
+/// global cells).
 pub const CSV_HEADER: &str = "task_set,processor,schedule,policy,workload,status,error,\
      runs,mean_energy,std_energy,p95_energy,deadline_misses,jobs_completed,\
      saturated_dispatches,voltage_switches,clamped_draws,worst_lateness_ms,\
      solver_lookups,solver_cache_hits,boundary_resolves,resolves_adopted,\
      cores,partition,dynamic_energy,static_energy,idle_energy,per_core_energy,\
-     class,preemptions,arrivals,misses_aperiodic";
+     class,preemptions,arrivals,misses_aperiodic,placement,migrations";
 
 /// Quotes a CSV field when it contains a comma, quote or newline
 /// (RFC-4180 style: embedded quotes doubled).
@@ -160,7 +164,7 @@ pub fn csv_row(record: &CellRecord) -> String {
             let per_core: Vec<String> = s.per_core_mean_energy.iter().map(f64::to_string).collect();
             format!(
                 "{coords},ok,,{},{},{},{},{},{},{},{},{},{},{},{},{},{},{cores},{},{},{},{},\
-                 {},{},{},{}",
+                 {},{},{},{},{},{}",
                 s.runs,
                 s.mean_energy.as_units(),
                 s.std_energy,
@@ -183,13 +187,16 @@ pub fn csv_row(record: &CellRecord) -> String {
                 s.preemptions,
                 csv_field(&c.arrivals),
                 s.misses_aperiodic,
+                csv_field(&c.placement),
+                s.migrations,
             )
         }
         Err(e) => format!(
-            "{coords},failed,{},,,,,,,,,,,,,,,{cores},,,,,{},,{},",
+            "{coords},failed,{},,,,,,,,,,,,,,,{cores},,,,,{},,{},,{},",
             csv_field(e),
             c.class.label(),
             csv_field(&c.arrivals),
+            csv_field(&c.placement),
         ),
     }
 }
@@ -273,13 +280,15 @@ impl<W: Write> ResultSink for JsonlSink<W> {
         let c = &record.cell;
         let coords = format!(
             "\"index\":{},\"task_set\":\"{}\",\"processor\":\"{}\",\"cores\":{},\
-             \"partition\":\"{}\",\"class\":\"{}\",\"schedule\":\"{}\",\
+             \"partition\":\"{}\",\"placement\":\"{}\",\"class\":\"{}\",\
+             \"schedule\":\"{}\",\
              \"policy\":\"{}\",\"workload\":\"{}\",\"arrivals\":\"{}\"",
             record.index,
             json_escape(&c.task_set),
             json_escape(&c.processor),
             c.cores,
             json_escape(&c.partition),
+            json_escape(&c.placement),
             c.class.label(),
             c.schedule.label(),
             json_escape(&c.policy),
@@ -315,7 +324,7 @@ fn stats_json(s: &CellStats) -> String {
          \"voltage_switches\":{},\"preemptions\":{},\"clamped_draws\":{},\
          \"worst_lateness_ms\":{},\
          \"solver_lookups\":{},\"solver_cache_hits\":{},\"boundary_resolves\":{},\
-         \"resolves_adopted\":{},\"misses_aperiodic\":{}}}",
+         \"resolves_adopted\":{},\"misses_aperiodic\":{},\"migrations\":{}}}",
         s.runs,
         s.mean_energy.as_units(),
         s.std_energy,
@@ -336,6 +345,7 @@ fn stats_json(s: &CellStats) -> String {
         s.boundary_resolves,
         s.resolves_adopted,
         s.misses_aperiodic,
+        s.migrations,
     )
 }
 
@@ -400,6 +410,7 @@ mod tests {
                 processor: "p".into(),
                 cores: 2,
                 partition: "ffd".into(),
+                placement: "partitioned".into(),
                 class: SchedulingClass::Edf,
                 schedule: ScheduleChoice::Wcs,
                 policy: "greedy".into(),
@@ -421,6 +432,7 @@ mod tests {
                         saturated_dispatches: 1,
                         voltage_switches: 40,
                         preemptions: 6,
+                        migrations: 4,
                         clamped_draws: 0,
                         worst_lateness_ms: -0.25,
                         solver_lookups: 0,
@@ -463,8 +475,8 @@ mod tests {
             lines[1]
         );
         assert!(
-            lines[1].ends_with(",2,ffd,10,2,0.5,7.5;5,edf,6,mmpp:bursty,2"),
-            "multicore/leakage, class, then arrival columns are appended: {}",
+            lines[1].ends_with(",2,ffd,10,2,0.5,7.5;5,edf,6,mmpp:bursty,2,partitioned,4"),
+            "multicore/leakage, class, arrival, then placement columns are appended: {}",
             lines[1]
         );
         assert!(
@@ -473,8 +485,8 @@ mod tests {
             lines[2]
         );
         assert!(
-            lines[2].ends_with(",2,ffd,,,,,edf,,mmpp:bursty,"),
-            "failed rows still carry the cores, class and arrivals coordinates: {}",
+            lines[2].ends_with(",2,ffd,,,,,edf,,mmpp:bursty,,partitioned,"),
+            "failed rows still carry the cores, class, arrivals and placement coordinates: {}",
             lines[2]
         );
         // Every row has the header's column count.
@@ -512,6 +524,9 @@ mod tests {
         assert!(lines[0].contains("\"per_core_energy\":[7.5,5]"));
         assert!(lines[0].contains("\"arrivals\":\"mmpp:bursty\""));
         assert!(lines[0].contains("\"misses_aperiodic\":2"));
+        assert!(lines[0].contains("\"placement\":\"partitioned\""));
+        assert!(lines[0].contains("\"migrations\":4"));
+        assert!(lines[1].contains("\"placement\":\"partitioned\""));
         assert!(lines[1].contains("\"arrivals\":\"mmpp:bursty\""));
         assert!(lines[1].contains("\"ok\":false"));
         assert!(lines[1].contains("\\\"boom\\\""));

@@ -55,6 +55,6 @@ pub mod scenario;
 
 pub use error::ScenarioError;
 pub use scenario::{
-    ModelDecl, PolicyDecl, ProcessorDecl, Scenario, StaticPowerDecl, SynthProfile, TaskDecl,
-    TaskSetDecl,
+    DagDecl, ModelDecl, PolicyDecl, ProcessorDecl, Scenario, StaticPowerDecl, SynthProfile,
+    TaskDecl, TaskSetDecl,
 };

@@ -2,10 +2,10 @@
 
 use crate::error::ScenarioError;
 use crate::scenario::{
-    ModelDecl, PolicyDecl, ProcessorDecl, Scenario, StaticPowerDecl, SynthProfile, TaskDecl,
-    TaskSetDecl,
+    DagDecl, ModelDecl, PolicyDecl, ProcessorDecl, Scenario, StaticPowerDecl, SynthProfile,
+    TaskDecl, TaskSetDecl,
 };
-use acs_runtime::{PartitionHeuristic, ScheduleChoice, SchedulingClass, WorkloadSpec};
+use acs_runtime::{PartitionHeuristic, Placement, ScheduleChoice, SchedulingClass, WorkloadSpec};
 use acs_sim::ArrivalKind;
 
 /// Key=value argument list of one directive, with unknown-key detection.
@@ -404,19 +404,20 @@ pub(crate) fn parse(text: &str) -> Result<Scenario, ScenarioError> {
         .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
 
     let (header_ln, header) = lines.next().ok_or_else(|| {
-        ScenarioError::msg("empty scenario (missing `acsched-scenario v1|v2|v3|v4` header)")
+        ScenarioError::msg("empty scenario (missing `acsched-scenario v1|v2|v3|v4|v5` header)")
     })?;
     let version = match header {
         "acsched-scenario v1" => 1,
         "acsched-scenario v2" => 2,
         "acsched-scenario v3" => 3,
         "acsched-scenario v4" => 4,
+        "acsched-scenario v5" => 5,
         other => {
             return Err(ScenarioError::at(
                 header_ln,
                 format!(
                     "unsupported header `{other}` (expected `acsched-scenario v1` \
-                     through `acsched-scenario v4`)"
+                     through `acsched-scenario v5`)"
                 ),
             ))
         }
@@ -429,6 +430,15 @@ pub(crate) fn parse(text: &str) -> Result<Scenario, ScenarioError> {
     // (opening line, name, tasks) of the inline task-set block under
     // construction, if any.
     let mut inline: Option<(usize, String, Vec<TaskDecl>)> = None;
+    // (opening line, set name, edges) of the `dag` block under
+    // construction, if any. Edges carry their line number so the
+    // end-of-parse validation can anchor errors to the offending line.
+    type EdgeDecl = (String, String, usize);
+    let mut dag: Option<(usize, String, Vec<EdgeDecl>)> = None;
+    // One (declaration line, edge lines) entry per `sc.dags` entry —
+    // kept outside the `Scenario` (which must round-trip through
+    // `to_text`, where line numbers change).
+    let mut dag_lines: Vec<(usize, Vec<usize>)> = Vec::new();
     let mut seen_singleton: Vec<&'static str> = Vec::new();
     let mut singleton = |ln: usize, key: &'static str| -> Result<(), ScenarioError> {
         if seen_singleton.contains(&key) {
@@ -457,6 +467,50 @@ pub(crate) fn parse(text: &str) -> Result<Scenario, ScenarioError> {
                             "inside taskset `{name}`: expected `task ...` or `end`, \
                                  got `{other}`"
                         ),
+                    ))
+                }
+            }
+            continue;
+        }
+        if let Some((_, set, edges)) = &mut dag {
+            match tokens[0] {
+                "edge" => {
+                    let spec = match tokens.as_slice() {
+                        ["edge", spec] => *spec,
+                        _ => {
+                            return Err(ScenarioError::at(
+                                ln,
+                                format!(
+                                    "dag `{set}`: expected `edge <pred>-><succ>`, got `{line}`"
+                                ),
+                            ))
+                        }
+                    };
+                    let (from, to) = spec
+                        .split_once("->")
+                        .filter(|(f, t)| !f.is_empty() && !t.is_empty())
+                        .ok_or_else(|| {
+                            ScenarioError::at(
+                                ln,
+                                format!(
+                                    "dag `{set}`: expected `edge <pred>-><succ>`, got `{spec}`"
+                                ),
+                            )
+                        })?;
+                    edges.push((from.to_string(), to.to_string(), ln));
+                }
+                "end" if tokens.len() == 1 => {
+                    let (open_ln, set, edges) = dag.take().expect("dag block is open");
+                    dag_lines.push((open_ln, edges.iter().map(|(_, _, l)| *l).collect()));
+                    sc.dags.push(DagDecl {
+                        set,
+                        edges: edges.into_iter().map(|(f, t, _)| (f, t)).collect(),
+                    });
+                }
+                other => {
+                    return Err(ScenarioError::at(
+                        ln,
+                        format!("inside dag `{set}`: expected `edge a->b` or `end`, got `{other}`"),
                     ))
                 }
             }
@@ -531,6 +585,35 @@ pub(crate) fn parse(text: &str) -> Result<Scenario, ScenarioError> {
                     ln,
                     format!("`{}` outside a `taskset <name>` ... `end` block", tokens[0]),
                 ))
+            }
+            "edge" => {
+                return Err(ScenarioError::at(
+                    ln,
+                    "`edge` outside a `dag <taskset>` ... `end` block".to_string(),
+                ))
+            }
+            "dag" => {
+                if version < 5 {
+                    return Err(ScenarioError::at(
+                        ln,
+                        "`dag` needs the `acsched-scenario v5` header".to_string(),
+                    ));
+                }
+                let ["dag", name] = tokens.as_slice() else {
+                    return Err(ScenarioError::at(
+                        ln,
+                        "dag: expected `dag <taskset>` (then `edge a->b` lines and `end`)"
+                            .to_string(),
+                    ));
+                };
+                check_name(ln, "dag", name)?;
+                if sc.dags.iter().any(|d| d.set == *name) {
+                    return Err(ScenarioError::at(
+                        ln,
+                        format!("dag `{name}`: declared twice"),
+                    ));
+                }
+                dag = Some((ln, name.to_string(), Vec::new()));
             }
             "processor" => sc
                 .processors
@@ -678,6 +761,34 @@ pub(crate) fn parse(text: &str) -> Result<Scenario, ScenarioError> {
                     }
                 }
             }
+            "placement" => {
+                singleton(ln, "placement")?;
+                if version < 5 {
+                    return Err(ScenarioError::at(
+                        ln,
+                        "`placement` needs the `acsched-scenario v5` header".to_string(),
+                    ));
+                }
+                if tokens.len() == 1 {
+                    return Err(ScenarioError::at(
+                        ln,
+                        "placement: expected at least one of partitioned, global \
+                         (`placement <kind>[,...]`)"
+                            .to_string(),
+                    ));
+                }
+                for tok in tokens[1..].iter().flat_map(|t| t.split(',')) {
+                    let p: Placement = tok
+                        .parse()
+                        .map_err(|e: String| ScenarioError::at(ln, format!("placement: {e}")))?;
+                    // Duplicates are dropped keeping the first position
+                    // (matching `class`/`arrivals`): a repeated placement
+                    // would duplicate every multicore cell of the grid.
+                    if !sc.placements.contains(&p) {
+                        sc.placements.push(p);
+                    }
+                }
+            }
             "policy" => sc.policies.push(parse_policy(ln, &tokens[1..])?),
             "workload" => sc.workloads.push(parse_workload(ln, &tokens[1..])?),
             "seeds" => {
@@ -785,8 +896,8 @@ pub(crate) fn parse(text: &str) -> Result<Scenario, ScenarioError> {
                 return Err(ScenarioError::at(
                     ln,
                     format!(
-                        "unknown directive `{other}` (known: taskset, tasksets, processor, \
-                         cores, class, arrivals, schedules, policy, workload, seeds, \
+                        "unknown directive `{other}` (known: taskset, tasksets, dag, processor, \
+                         cores, class, arrivals, placement, schedules, policy, workload, seeds, \
                          hyper_periods, deadline_tol_ms, synthesis, acs_multistart, threads)"
                     ),
                 ))
@@ -798,5 +909,111 @@ pub(crate) fn parse(text: &str) -> Result<Scenario, ScenarioError> {
             "taskset `{name}` opened at line {start_ln} is never closed with `end`"
         )));
     }
+    if let Some((start_ln, name, _)) = dag {
+        return Err(ScenarioError::msg(format!(
+            "dag `{name}` opened at line {start_ln} is never closed with `end`"
+        )));
+    }
+    validate_dags(&sc, &dag_lines)?;
     Ok(sc)
+}
+
+/// Validates every `dag` block against the inline task set it names:
+/// unknown sets/tasks, self-edges, duplicate edges, period mismatches
+/// and cycles are all rejected here, anchored to the offending line.
+/// [`Scenario::materialize_task_sets`] rebuilds the graph through
+/// [`acs_model::TaskGraph`] afterwards, so parsed scenarios never fail
+/// graph validation at materialization time.
+fn validate_dags(sc: &Scenario, dag_lines: &[(usize, Vec<usize>)]) -> Result<(), ScenarioError> {
+    for (decl, (decl_ln, edge_lns)) in sc.dags.iter().zip(dag_lines) {
+        let mut named = None;
+        for d in &sc.task_sets {
+            let (name, tasks) = match d {
+                TaskSetDecl::Inline { name, tasks } => (name, Some(tasks)),
+                TaskSetDecl::RealLife { name, .. } | TaskSetDecl::Trace { name, .. } => {
+                    (name, None)
+                }
+                TaskSetDecl::Random { .. } => continue,
+            };
+            if *name == decl.set {
+                named = Some(tasks);
+                break;
+            }
+        }
+        let tasks = match named {
+            Some(Some(tasks)) => tasks,
+            Some(None) => {
+                return Err(ScenarioError::at(
+                    *decl_ln,
+                    format!(
+                        "dag `{}`: precedence graphs attach to inline `taskset` blocks only",
+                        decl.set
+                    ),
+                ))
+            }
+            None => {
+                return Err(ScenarioError::at(
+                    *decl_ln,
+                    format!("dag `{}`: no inline `taskset` block of that name", decl.set),
+                ))
+            }
+        };
+        let period_of = |task: &str| tasks.iter().find(|t| t.name == task).map(|t| t.period);
+        let mut seen: Vec<(&str, &str)> = Vec::new();
+        for ((from, to), ln) in decl.edges.iter().zip(edge_lns) {
+            let ctx = format!("dag `{}`: edge `{from}->{to}`", decl.set);
+            let unknown = |task: &str| {
+                ScenarioError::at(
+                    *ln,
+                    format!("{ctx}: unknown task `{task}` in taskset `{}`", decl.set),
+                )
+            };
+            let pf = period_of(from).ok_or_else(|| unknown(from))?;
+            let pt = period_of(to).ok_or_else(|| unknown(to))?;
+            if from == to {
+                return Err(ScenarioError::at(
+                    *ln,
+                    format!("{ctx}: a task cannot precede itself"),
+                ));
+            }
+            if seen.contains(&(from, to)) {
+                return Err(ScenarioError::at(*ln, format!("{ctx}: duplicate edge")));
+            }
+            if pf != pt {
+                return Err(ScenarioError::at(
+                    *ln,
+                    format!(
+                        "{ctx}: periods differ ({pf} vs {pt}); precedence pairs \
+                         same-numbered instances, so both tasks need the same period"
+                    ),
+                ));
+            }
+            if reaches(&seen, to, from) {
+                return Err(ScenarioError::at(*ln, format!("{ctx}: closes a cycle")));
+            }
+            seen.push((from, to));
+        }
+    }
+    Ok(())
+}
+
+/// Whether `to` is reachable from `from` over the accepted edges
+/// (depth-first; the edge sets are tiny).
+fn reaches(edges: &[(&str, &str)], from: &str, to: &str) -> bool {
+    if from == to {
+        return true;
+    }
+    let mut stack = vec![from];
+    let mut visited: Vec<&str> = Vec::new();
+    while let Some(node) = stack.pop() {
+        if node == to {
+            return true;
+        }
+        if visited.contains(&node) {
+            continue;
+        }
+        visited.push(node);
+        stack.extend(edges.iter().filter(|(f, _)| *f == node).map(|(_, t)| *t));
+    }
+    false
 }

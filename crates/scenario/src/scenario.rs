@@ -4,11 +4,11 @@
 use crate::error::ScenarioError;
 use acs_core::SynthesisOptions;
 use acs_model::units::{Cycles, Energy, Freq, Ticks, TimeSpan, Volt};
-use acs_model::{Task, TaskSet};
+use acs_model::{Task, TaskGraph, TaskSet};
 use acs_power::{FreqModel, LevelTable, Processor};
 use acs_runtime::{
-    Campaign, CampaignBuilder, PartitionHeuristic, PolicySpec, ScheduleChoice, SchedulingClass,
-    WorkloadSpec,
+    Campaign, CampaignBuilder, PartitionHeuristic, Placement, PolicySpec, ScheduleChoice,
+    SchedulingClass, WorkloadSpec,
 };
 use acs_sim::{ArrivalKind, ReOptConfig, SolverCache};
 use acs_trace::TraceReader;
@@ -89,6 +89,21 @@ pub enum TaskSetDecl {
         /// scenario (resolved relative to the working directory).
         path: String,
     },
+}
+
+/// A precedence-graph declaration (`dag <taskset>` … `end`, `v5`):
+/// named edges over one **inline** task set's tasks. The parser
+/// validates every edge — unknown tasks, self-edges, duplicates, period
+/// mismatches and cycles are rejected with the offending edge's line
+/// number — and [`Scenario::materialize_task_sets`] attaches the
+/// resulting [`acs_model::TaskGraph`] to the named set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DagDecl {
+    /// Name of the (inline) task set the edges constrain.
+    pub set: String,
+    /// `(predecessor, successor)` task-name pairs, in declaration
+    /// order.
+    pub edges: Vec<(String, String)>,
 }
 
 /// A frequency–voltage law declaration.
@@ -247,17 +262,23 @@ pub enum SynthProfile {
 /// [`Scenario::to_campaign`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
-    /// Format version the scenario was parsed from (1, 2, 3 or 4). `v2`
+    /// Format version the scenario was parsed from (1 through 5). `v2`
     /// adds the `cores` directive and the `static_power=`/`idle_power=`
     /// processor keys; `v3` adds the `class` directive (scheduling-class
     /// axis); `v4` adds the `arrivals` directive (arrival-process axis)
-    /// and `taskset … trace <path>` declarations. [`Scenario::to_text`]
+    /// and `taskset … trace <path>` declarations; `v5` adds the
+    /// `placement` directive (partitioned/global multiprocessor axis)
+    /// and `dag … end` precedence-graph blocks. [`Scenario::to_text`]
     /// refuses to serialize features of a newer version under an older
     /// header rather than emitting text an old parser would reject with
     /// an unhelpful error.
     pub version: u32,
     /// Task-set declarations (grid rows, in order).
     pub task_sets: Vec<TaskSetDecl>,
+    /// Precedence-graph declarations (`v5`), at most one per task set;
+    /// each attaches a validated [`TaskGraph`] to the **inline** task
+    /// set it names at materialization time.
+    pub dags: Vec<DagDecl>,
     /// Processor declarations (grid columns, in order).
     pub processors: Vec<ProcessorDecl>,
     /// Core-count axis (`v2`); empty = single core.
@@ -272,6 +293,11 @@ pub struct Scenario {
     /// Trace-backed task sets ignore this axis and replay their
     /// recorded stream.
     pub arrivals: Vec<ArrivalKind>,
+    /// Placement axis (`v5`); empty = partitioned dispatch only.
+    /// Duplicate entries on the `placement` line are dropped at parse
+    /// time, keeping first positions (matching `class`/`arrivals`).
+    /// Single-core cells ignore this axis — there is nothing to place.
+    pub placements: Vec<Placement>,
     /// Schedule axis; empty = the campaign builder's default.
     /// Duplicate entries on the `schedules` line are dropped at parse
     /// time, keeping first positions (matching the documented `seeds`
@@ -302,11 +328,13 @@ impl Default for Scenario {
         Scenario {
             version: 1,
             task_sets: Vec::new(),
+            dags: Vec::new(),
             processors: Vec::new(),
             cores: Vec::new(),
             partitioners: Vec::new(),
             classes: Vec::new(),
             arrivals: Vec::new(),
+            placements: Vec::new(),
             schedules: Vec::new(),
             policies: Vec::new(),
             workloads: Vec::new(),
@@ -430,6 +458,13 @@ impl Scenario {
                 )));
             }
         }
+        if self.version < 5 && (!self.placements.is_empty() || !self.dags.is_empty()) {
+            return Err(ScenarioError::msg(format!(
+                "scenario uses v5 features (the `placement` axis or `dag` blocks) but \
+                 declares version {}; set `version: 5`",
+                self.version
+            )));
+        }
         let mut out = String::new();
         let _ = writeln!(out, "acsched-scenario v{}", self.version);
         for decl in &self.task_sets {
@@ -495,6 +530,23 @@ impl Scenario {
                 }
             }
         }
+        for dag in &self.dags {
+            writable_name("dag taskset", &dag.set)?;
+            let _ = writeln!(out, "dag {}", dag.set);
+            for (from, to) in &dag.edges {
+                for name in [from, to] {
+                    writable_name("edge task", name)?;
+                    if name.contains("->") {
+                        return Err(ScenarioError::msg(format!(
+                            "edge task name `{name}` is not representable in an `edge` \
+                             line (contains `->`)"
+                        )));
+                    }
+                }
+                let _ = writeln!(out, "edge {from}->{to}");
+            }
+            let _ = writeln!(out, "end");
+        }
         for p in &self.processors {
             writable_name("processor", &p.name)?;
             match p.model {
@@ -555,6 +607,10 @@ impl Scenario {
         if !self.arrivals.is_empty() {
             let labels: Vec<&str> = self.arrivals.iter().map(|a| a.label()).collect();
             let _ = writeln!(out, "arrivals {}", labels.join(","));
+        }
+        if !self.placements.is_empty() {
+            let labels: Vec<&str> = self.placements.iter().map(|p| p.label()).collect();
+            let _ = writeln!(out, "placement {}", labels.join(","));
         }
         if !self.schedules.is_empty() {
             let kws: Vec<&str> = self
@@ -702,6 +758,23 @@ impl Scenario {
                 }
             }
         }
+        // Attach declared precedence graphs. The parser already
+        // validated edges against the inline declarations, so failures
+        // here only reach programmatically built scenarios.
+        for dag in &self.dags {
+            let slot = out
+                .iter_mut()
+                .find(|(name, _)| *name == dag.set)
+                .ok_or_else(|| {
+                    ScenarioError::msg(format!(
+                        "dag `{}`: no task set of that name to attach to",
+                        dag.set
+                    ))
+                })?;
+            let graph = TaskGraph::new(&slot.1, dag.edges.iter().map(|(a, b)| (a, b)))
+                .map_err(|e| ScenarioError::msg(format!("dag `{}`: {e}", dag.set)))?;
+            slot.1 = slot.1.clone().with_graph(graph);
+        }
         Ok(out)
     }
 
@@ -820,6 +893,9 @@ impl Scenario {
         }
         if !self.arrivals.is_empty() {
             b = b.arrivals(self.arrivals.iter().copied());
+        }
+        if !self.placements.is_empty() {
+            b = b.placements(self.placements.iter().copied());
         }
         if !self.schedules.is_empty() {
             b = b.schedules(self.schedules.iter().copied());

@@ -102,9 +102,48 @@ seeds 1 2
 hyper_periods 5
 ";
 
+/// A `v5` scenario exercising the placement axis and a precedence
+/// graph on top of the v4 grammar.
+const FULL_V5: &str = "\
+acsched-scenario v5
+
+taskset pair
+task ctrl period=10 wcec=300 acec=120 bcec=30
+task telemetry period=20 wcec=600 acec=200 bcec=60
+end
+taskset pipe
+task stage_a period=10 wcec=200 acec=80 bcec=20
+task stage_b period=10 wcec=300 acec=120 bcec=30
+task stage_c period=10 wcec=250 acec=100 bcec=25
+end
+
+dag pipe
+edge stage_a->stage_b
+edge stage_b->stage_c
+end
+
+processor linear50 linear kappa=50 vmin=0.3 vmax=4
+
+cores 1 2
+class rm,edf
+arrivals periodic,sporadic
+placement partitioned,global
+schedules wcs acs
+policy ccrm
+workload paper
+seeds 1 2
+hyper_periods 5
+";
+
 #[test]
 fn full_scenario_round_trip_fixpoint() {
-    for (text, version) in [(FULL, 1), (FULL_V2, 2), (FULL_V3, 3), (FULL_V4, 4)] {
+    for (text, version) in [
+        (FULL, 1),
+        (FULL_V2, 2),
+        (FULL_V3, 3),
+        (FULL_V4, 4),
+        (FULL_V5, 5),
+    ] {
         let first = Scenario::from_text(text).expect("full scenario parses");
         assert_eq!(first.version, version);
         let canonical = first.to_text().expect("parsed scenarios serialize");
@@ -275,6 +314,80 @@ fn v4_arrivals_axis_materializes_and_gates() {
     let text = v3.to_text().unwrap();
     assert!(text.starts_with("acsched-scenario v4\n"), "{text}");
     assert_eq!(v3, Scenario::from_text(&text).unwrap());
+}
+
+#[test]
+fn v5_placement_and_dag_materialize_and_gate() {
+    use acs_runtime::Placement;
+    let sc = Scenario::from_text(
+        "acsched-scenario v5\n\
+         taskset pipe\n\
+         task a period=10 wcec=100\n\
+         task b period=10 wcec=200\n\
+         end\n\
+         dag pipe\nedge a->b\nend\n\
+         processor p linear kappa=50 vmin=1 vmax=4\n\
+         cores 1 2\n\
+         placement global,partitioned\n\
+         schedules wcs\n\
+         policy ccrm\nworkload paper\n",
+    )
+    .unwrap();
+    assert_eq!(
+        sc.placements,
+        vec![Placement::Global, Placement::Partitioned]
+    );
+    assert_eq!(sc.dags.len(), 1);
+    assert_eq!(sc.dags[0].set, "pipe");
+    assert_eq!(sc.dags[0].edges, vec![("a".to_string(), "b".to_string())]);
+    // The validated graph attaches to the named set at materialization.
+    let sets = sc.materialize_task_sets().unwrap();
+    let graph = sets[0].1.graph().expect("dag attaches to the named set");
+    assert_eq!(graph.edge_count(), 1);
+    // ccrm (schedule-free) x [cores=1 (placement collapses) + cores=2
+    // global] = 2 cells: the DAG set skips partitioned multicore cells
+    // because precedence edges cannot cross a partition.
+    let campaign = sc.to_campaign().unwrap();
+    assert_eq!(campaign.cell_count(), 2);
+    // The canonical form carries the dag block and placement line, and
+    // stays a fixpoint.
+    let text = sc.to_text().unwrap();
+    assert!(text.contains("\ndag pipe\nedge a->b\nend\n"), "{text}");
+    assert!(text.contains("\nplacement global,partitioned\n"), "{text}");
+    assert_eq!(sc, Scenario::from_text(&text).unwrap());
+
+    // A v4 scenario hand-upgraded with v5 features must be re-versioned
+    // before it serializes.
+    let mut v4 = Scenario::from_text(FULL_V4).unwrap();
+    v4.placements = vec![Placement::Global];
+    let err = v4.to_text().unwrap_err().to_string();
+    assert!(err.contains("v5 features"), "{err}");
+    assert!(err.contains("version 4"), "{err}");
+    v4.version = 5;
+    let text = v4.to_text().unwrap();
+    assert!(text.starts_with("acsched-scenario v5\n"), "{text}");
+    assert_eq!(v4, Scenario::from_text(&text).unwrap());
+}
+
+#[test]
+fn duplicate_placements_dedupe_preserving_order() {
+    // Repeated entries on the `placement` line collapse to their first
+    // occurrence — the documented `class`/`arrivals` behavior — instead
+    // of duplicating every multicore cell of the grid.
+    use acs_runtime::Placement;
+    let sc = Scenario::from_text(
+        "acsched-scenario v5\n\
+         processor p linear kappa=50 vmin=1 vmax=4\n\
+         placement global,partitioned,global,partitioned\n",
+    )
+    .unwrap();
+    assert_eq!(
+        sc.placements,
+        vec![Placement::Global, Placement::Partitioned]
+    );
+    let text = sc.to_text().unwrap();
+    assert!(text.contains("\nplacement global,partitioned\n"), "{text}");
+    assert_eq!(sc, Scenario::from_text(&text).unwrap());
 }
 
 #[test]
@@ -465,7 +578,7 @@ fn random_decl_matches_programmatic_batch() {
 fn malformed_inputs_report_line_and_cause() {
     let table: &[(&str, &[&str])] = &[
         ("", &["empty scenario"]),
-        ("acsched-scenario v5\n", &["line 1", "unsupported header"]),
+        ("acsched-scenario v6\n", &["line 1", "unsupported header"]),
         (
             "acsched-scenario v1\nfrobnicate all\n",
             &["line 2", "unknown directive `frobnicate`"],
@@ -681,6 +794,99 @@ fn malformed_inputs_report_line_and_cause() {
             "acsched-scenario v4\ntaskset t trace /no/such/file.trace\n\
              processor p linear kappa=50 vmin=1 vmax=4\n",
             &["taskset `t`", "trace `/no/such/file.trace`"],
+        ),
+        // ---- v5 grammar: placement axis and precedence graphs ----
+        (
+            "acsched-scenario v4\nplacement global\n",
+            &["line 2", "`placement`", "acsched-scenario v5"],
+        ),
+        (
+            "acsched-scenario v4\ndag x\n",
+            &["line 2", "`dag`", "acsched-scenario v5"],
+        ),
+        (
+            "acsched-scenario v5\nplacement\n",
+            &["line 2", "placement", "at least one of partitioned, global"],
+        ),
+        (
+            "acsched-scenario v5\nplacement clustered\n",
+            &["line 2", "placement", "unknown placement `clustered`"],
+        ),
+        (
+            "acsched-scenario v5\nplacement global\nplacement partitioned\n",
+            &["line 3", "directive `placement` declared twice"],
+        ),
+        (
+            "acsched-scenario v5\nedge a->b\n",
+            &["line 2", "`edge` outside a `dag"],
+        ),
+        (
+            "acsched-scenario v5\ndag ghost\nend\n",
+            &["line 2", "dag `ghost`", "no inline `taskset` block"],
+        ),
+        (
+            "acsched-scenario v5\ntaskset mill from cnc fmax=200\n\
+             dag mill\nend\n",
+            &["line 3", "dag `mill`", "inline `taskset` blocks only"],
+        ),
+        (
+            "acsched-scenario v5\n\
+             taskset pipe\ntask a period=10 wcec=100\ntask b period=10 wcec=100\nend\n\
+             dag pipe\nedge a->c\nend\n",
+            &["line 7", "edge `a->c`", "unknown task `c`"],
+        ),
+        (
+            "acsched-scenario v5\n\
+             taskset pipe\ntask a period=10 wcec=100\ntask b period=10 wcec=100\nend\n\
+             dag pipe\nedge a->a\nend\n",
+            &["line 7", "edge `a->a`", "cannot precede itself"],
+        ),
+        (
+            "acsched-scenario v5\n\
+             taskset pipe\ntask a period=10 wcec=100\ntask b period=10 wcec=100\nend\n\
+             dag pipe\nedge a->b\nedge a->b\nend\n",
+            &["line 8", "edge `a->b`", "duplicate edge"],
+        ),
+        (
+            "acsched-scenario v5\n\
+             taskset pipe\ntask a period=10 wcec=100\ntask b period=20 wcec=100\nend\n\
+             dag pipe\nedge a->b\nend\n",
+            &["line 7", "edge `a->b`", "periods differ", "10 vs 20"],
+        ),
+        (
+            "acsched-scenario v5\n\
+             taskset pipe\ntask a period=10 wcec=100\ntask b period=10 wcec=100\nend\n\
+             dag pipe\nedge a->b\nedge b->a\nend\n",
+            &["line 8", "edge `b->a`", "closes a cycle"],
+        ),
+        (
+            "acsched-scenario v5\n\
+             taskset pipe\ntask a period=10 wcec=100\ntask b period=10 wcec=100\nend\n\
+             dag pipe\nedge a->b\nend\n\
+             dag pipe\nend\n",
+            &["line 9", "dag `pipe`", "declared twice"],
+        ),
+        (
+            "acsched-scenario v5\n\
+             taskset pipe\ntask a period=10 wcec=100\nend\n\
+             dag pipe\nedge a b\n",
+            &["line 6", "dag `pipe`", "expected `edge <pred>-><succ>`"],
+        ),
+        (
+            "acsched-scenario v5\n\
+             taskset pipe\ntask a period=10 wcec=100\nend\n\
+             dag pipe\nprocessor p linear kappa=50 vmin=1 vmax=4\n",
+            &[
+                "line 6",
+                "inside dag `pipe`",
+                "expected `edge a->b` or `end`",
+            ],
+        ),
+        (
+            "acsched-scenario v5\n\
+             taskset pipe\ntask a period=10 wcec=100\nend\n\
+             dag pipe\nedge a->a\n",
+            &["dag `pipe`", "never closed with `end`"],
         ),
     ];
     for (input, needles) in table {

@@ -251,9 +251,12 @@ impl<'a> Simulator<'a> {
         workload: &mut dyn FnMut(TaskId, u64) -> Cycles,
     ) -> Result<RunOutput, SimError> {
         #[cfg(feature = "legacy-engine")]
-        // The chunk-scan oracle predates arrival sources; it only
-        // covers the built-in periodic path.
-        if crate::legacy::legacy_engine_enabled() && self.arrivals.is_none() {
+        // The chunk-scan oracle predates arrival sources and precedence
+        // graphs; it only covers the built-in periodic, independent path.
+        if crate::legacy::legacy_engine_enabled()
+            && self.arrivals.is_none()
+            && self.set.graph().is_none_or(|g| g.is_empty())
+        {
             return self.run_legacy(workload);
         }
         self.stepped(workload)?.finish()
@@ -276,6 +279,9 @@ impl<'a> Simulator<'a> {
         &'s mut self,
         workload: &'w mut dyn FnMut(TaskId, u64) -> Cycles,
     ) -> Result<SteppedRun<'s, 'a, 'w>, SimError> {
+        if self.arrivals.is_some() && self.set.graph().is_some_and(|g| !g.is_empty()) {
+            return Err(SimError::GraphWithArrivals);
+        }
         let plans = self.build_plans()?;
         let stats_before = self.policy.solver_stats();
         let instances_per_hyper = self.set.total_instances();
@@ -467,6 +473,22 @@ fn maintain_job(j: &mut Job, plan: &[ChunkPlan], t: f64) {
     j.maintained_at = t;
 }
 
+/// The predecessor gate (present when the set carries a non-empty
+/// [`acs_model::TaskGraph`]): per-job counts of unfinished same-instance
+/// predecessor jobs, the dependents to notify on completion, and which
+/// released jobs are currently held back. A gated job is *released* —
+/// its `Release` event, `on_release` hook and boundary all fire on time
+/// — but it stays out of the ready queue until every predecessor job of
+/// its graph instance has completed.
+struct Gate {
+    /// Unfinished predecessor jobs per job index.
+    pred_left: Vec<usize>,
+    /// Dependent job indices per job index.
+    succ_jobs: Vec<Vec<usize>>,
+    /// Released jobs currently held back by the gate.
+    waiting: Vec<bool>,
+}
+
 /// The live state of one hyper-period under the event engine: the jobs,
 /// the event queue (pending releases and chunk wakeups), the ready
 /// queue, and the virtual clock.
@@ -506,9 +528,14 @@ struct HpState {
     /// floor.
     floors: Vec<f64>,
     dispatches: u64,
+    /// Predecessor gate, when the set carries a task graph.
+    gate: Option<Gate>,
     // Per-round scratch (kept to avoid reallocation).
     admitted: Vec<usize>,
     woken: Vec<usize>,
+    /// Jobs the gate freed at a predecessor's completion, awaiting
+    /// classification at the next round's entry.
+    ungated: Vec<usize>,
 }
 
 impl HpState {
@@ -537,6 +564,7 @@ impl HpState {
 
         // ---- job construction & workload draws ----
         let source_is_periodic = arrivals.as_ref().is_none_or(|s| s.periodic());
+        let built_in_releases = arrivals.is_none();
         let mut jobs: Vec<Job> = Vec::with_capacity(set.total_instances() as usize);
         match arrivals {
             None => {
@@ -733,6 +761,39 @@ impl HpState {
             });
         }
 
+        // ---- predecessor gate ----
+        // Only the built-in periodic pattern lays jobs out task-major
+        // with one job per (task, instance); `Simulator::stepped`
+        // rejects graphs combined with arrival sources up front.
+        let gate = if built_in_releases {
+            set.graph().filter(|g| !g.is_empty()).map(|g| {
+                let mut base = vec![0usize; set.len()];
+                let mut acc = 0usize;
+                for (tid, _) in set.iter() {
+                    base[tid.0] = acc;
+                    acc += set.instances_of(tid) as usize;
+                }
+                let n = jobs.len();
+                let mut pred_left = vec![0usize; n];
+                let mut succ_jobs: Vec<Vec<usize>> = vec![Vec::new(); n];
+                for &(a, b) in g.edges() {
+                    // Edge endpoints share a period (validated at graph
+                    // construction), hence the same instance count.
+                    for k in 0..set.instances_of(a) as usize {
+                        succ_jobs[base[a.0] + k].push(base[b.0] + k);
+                        pred_left[base[b.0] + k] += 1;
+                    }
+                }
+                Gate {
+                    pred_left,
+                    succ_jobs,
+                    waiting: vec![false; n],
+                }
+            })
+        } else {
+            None
+        };
+
         let floors = set
             .tasks()
             .iter()
@@ -754,8 +815,10 @@ impl HpState {
             wants_boundaries,
             floors,
             dispatches: 0,
+            gate,
             admitted: Vec::new(),
             woken: Vec::new(),
+            ungated: Vec::new(),
         })
     }
 
@@ -888,8 +951,21 @@ impl HpState {
         // In job-index order, like the legacy scan (the order is
         // policy-visible through completion hooks and boundaries).
         self.admitted.sort_unstable();
+        // Predecessor gate: an admitted job with unfinished predecessor
+        // jobs waits — released (hooks fired above) but neither
+        // instantly completed nor classified until the gate opens.
+        if let Some(g) = self.gate.as_mut() {
+            for &i in &self.admitted {
+                if g.pred_left[i] > 0 {
+                    g.waiting[i] = true;
+                }
+            }
+        }
         for k in 0..self.admitted.len() {
             let i = self.admitted[k];
+            if self.gate.as_ref().is_some_and(|g| g.waiting[i]) {
+                continue;
+            }
             if !self.jobs[i].done && self.jobs[i].remaining <= CYCLE_EPS {
                 let j = &mut self.jobs[i];
                 j.done = true;
@@ -899,6 +975,7 @@ impl HpState {
                 if self.wants_boundaries {
                     self.fire_boundary_at(env, policy, t, BoundaryEvent::Completion(task));
                 }
+                self.release_dependents(env, policy, i, t, true);
             }
         }
 
@@ -910,12 +987,23 @@ impl HpState {
         if let Some(i) = self.pending.take() {
             self.classify(env, i, t);
         }
+        // Jobs the gate freed at a predecessor's completion (in this
+        // round's instant scan, or the previous round's slice end).
+        if !self.ungated.is_empty() {
+            let freed = std::mem::take(&mut self.ungated);
+            for i in freed {
+                self.classify(env, i, t);
+            }
+        }
         for k in 0..self.woken.len() {
             let i = self.woken[k];
             self.classify(env, i, t);
         }
         for k in 0..self.admitted.len() {
             let i = self.admitted[k];
+            if self.gate.as_ref().is_some_and(|g| g.waiting[i]) {
+                continue;
+            }
             self.classify(env, i, t);
         }
 
@@ -1092,10 +1180,69 @@ impl HpState {
                 // chunk advance is not (it happens next round).
                 self.fire_boundary_at(env, policy, t, BoundaryEvent::Completion(ctask));
             }
+            self.release_dependents(env, policy, job_idx, t, false);
         } else {
             self.pending = Some(job_idx);
         }
         Ok(true)
+    }
+
+    /// Propagates a completion through the predecessor gate: every
+    /// dependent of `root` loses one outstanding predecessor, and a
+    /// *waiting* dependent whose count reaches zero is freed — a job
+    /// with no remaining work completes instantly here (full deadline
+    /// accounting, hooks, cascading further), one with work is queued
+    /// for classification at the next classification pass.
+    /// `during_admission` marks calls from the instant-completion scan,
+    /// where jobs freed out of this round's own admissions are left to
+    /// the admitted classification loop instead of the queue (pushing
+    /// both would classify them twice).
+    fn release_dependents(
+        &mut self,
+        env: &Env<'_>,
+        policy: &mut dyn Policy,
+        root: usize,
+        t: f64,
+        during_admission: bool,
+    ) {
+        if self.gate.is_none() {
+            return;
+        }
+        let mut stack = vec![root];
+        while let Some(done_job) = stack.pop() {
+            let succs = self
+                .gate
+                .as_ref()
+                .expect("gate presence checked above")
+                .succ_jobs[done_job]
+                .clone();
+            for s in succs {
+                let g = self.gate.as_mut().expect("gate presence checked above");
+                g.pred_left[s] -= 1;
+                if g.pred_left[s] > 0 || !g.waiting[s] {
+                    continue;
+                }
+                g.waiting[s] = false;
+                if !self.jobs[s].done && self.jobs[s].remaining <= CYCLE_EPS {
+                    let j = &mut self.jobs[s];
+                    j.done = true;
+                    self.report.jobs_completed += 1;
+                    self.report.worst_lateness_ms =
+                        self.report.worst_lateness_ms.max(t - j.deadline_ms);
+                    if t > j.deadline_ms + env.options.deadline_tol_ms {
+                        self.report.deadline_misses += 1;
+                    }
+                    let (ctask, executed) = (TaskId(j.task), j.executed);
+                    policy.on_completion(ctask, Cycles::from_cycles(executed), env.set, env.cpu);
+                    if self.wants_boundaries {
+                        self.fire_boundary_at(env, policy, t, BoundaryEvent::Completion(ctask));
+                    }
+                    stack.push(s);
+                } else if !(during_admission && self.admitted.contains(&s)) {
+                    self.ungated.push(s);
+                }
+            }
+        }
     }
 }
 
@@ -1431,6 +1578,56 @@ mod tests {
         assert!((out.report.energy.as_units() - 48000.0).abs() < 1e-6);
         let trace = out.trace.unwrap();
         assert!(!trace.is_empty());
+    }
+
+    /// The predecessor gate: with `t2 -> t0` on the motivation frame
+    /// (where RM alone would run t0 first), every t0 slice starts after
+    /// its predecessor's last slice ends, and a graph with an arrival
+    /// source is rejected up front.
+    #[test]
+    fn predecessor_gate_orders_execution() {
+        let (set, cpu) = motivation();
+        let g = acs_model::TaskGraph::new(&set, [("t3", "t1")]).unwrap();
+        let set = set.with_graph(g);
+        let out = Simulator::new(&set, &cpu, NoDvs)
+            .with_options(SimOptions {
+                record_trace: true,
+                ..Default::default()
+            })
+            .run(&mut |_, _| Cycles::from_cycles(1000.0))
+            .unwrap();
+        assert_eq!(out.report.jobs_completed, 3);
+        assert_eq!(out.report.deadline_misses, 0);
+        let trace = out.trace.unwrap();
+        // "t1" sorts to TaskId(0), "t3" to TaskId(2) (equal periods keep
+        // insertion order t1,t2,t3).
+        let pred_end = trace
+            .slices()
+            .iter()
+            .filter(|s| s.task == TaskId(2))
+            .map(|s| s.end.as_ms())
+            .fold(0.0f64, f64::max);
+        let succ_start = trace
+            .slices()
+            .iter()
+            .filter(|s| s.task == TaskId(0))
+            .map(|s| s.start.as_ms())
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            succ_start + 1e-9 >= pred_end,
+            "successor started at {succ_start} before predecessor finished at {pred_end}"
+        );
+        // Same seedless deterministic run twice: byte-identical reports.
+        let again = Simulator::new(&set, &cpu, NoDvs)
+            .run(&mut |_, _| Cycles::from_cycles(1000.0))
+            .unwrap();
+        assert_eq!(out.report, again.report);
+        // Graphs require the built-in periodic release pattern.
+        let err = Simulator::new(&set, &cpu, NoDvs)
+            .with_arrivals(Box::new(acs_trace::Sporadic::new(&set, 1)))
+            .run(&mut |_, _| Cycles::from_cycles(1.0))
+            .unwrap_err();
+        assert_eq!(err, SimError::GraphWithArrivals);
     }
 
     #[test]

@@ -36,6 +36,11 @@ pub enum SimError {
         /// The source's own error message (line-numbered for traces).
         message: String,
     },
+    /// The task set carries a precedence graph but the run was
+    /// configured with a non-periodic arrival source. Precedence ties
+    /// instance `k` of a successor to instance `k` of its predecessor,
+    /// which only exists on the built-in periodic release pattern.
+    GraphWithArrivals,
 }
 
 impl fmt::Display for SimError {
@@ -61,6 +66,11 @@ impl fmt::Display for SimError {
             SimError::ArrivalSource { message } => {
                 write!(f, "arrival source failed: {message}")
             }
+            SimError::GraphWithArrivals => write!(
+                f,
+                "precedence-constrained task sets require the built-in periodic \
+                 release pattern (no arrival source)"
+            ),
         }
     }
 }

@@ -74,6 +74,12 @@ pub struct SimReport {
     /// still-unfinished job. On per-frame (equal-period) sets the RM
     /// and EDF scheduling classes produce identical counts.
     pub preemptions: usize,
+    /// Number of migrations: dispatches where a job resumed on a
+    /// different core than the one it last executed on. Always zero for
+    /// the single-core engine and for partitioned multiprocessor runs
+    /// (jobs are pinned to their core); only global dispatch in
+    /// `acs-multi` moves jobs between cores.
+    pub migrations: usize,
     /// Workload draws clamped into `[0, WCEC]`.
     pub clamped_draws: usize,
     /// Number of hyper-periods simulated.
@@ -116,6 +122,7 @@ impl SimReport {
             busy_time: TimeSpan::ZERO,
             voltage_switches: 0,
             preemptions: 0,
+            migrations: 0,
             clamped_draws: 0,
             hyper_periods: 0,
             solver_lookups: 0,
@@ -144,6 +151,7 @@ impl SimReport {
         self.busy_time += other.busy_time;
         self.voltage_switches += other.voltage_switches;
         self.preemptions += other.preemptions;
+        self.migrations += other.migrations;
         self.clamped_draws += other.clamped_draws;
         self.hyper_periods += other.hyper_periods;
         self.solver_lookups += other.solver_lookups;

@@ -203,10 +203,15 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
             .iter()
             .map(|a| a.label().to_string())
             .collect();
+        let placements: Vec<String> = scenario
+            .placements
+            .iter()
+            .map(|p| p.label().to_string())
+            .collect();
         // The builder owns seed dedup/defaulting; read the per-cell run
         // count back from the grid it produced.
         let seeds = campaign.run_count() / campaign.cell_count().max(1);
-        let axes: [(&str, usize, String); 9] = [
+        let axes: [(&str, usize, String); 10] = [
             ("task sets", declared_rows, String::new()),
             ("processors", scenario.processors.len(), String::new()),
             (
@@ -260,6 +265,18 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
                     )
                 },
             ),
+            (
+                "placements",
+                scenario.placements.len().max(1),
+                format!(
+                    " ({}; single-core cells collapse this axis)",
+                    if placements.is_empty() {
+                        "partitioned".to_string()
+                    } else {
+                        placements.join(" ")
+                    }
+                ),
+            ),
             ("policies", scenario.policies.len(), String::new()),
             ("workloads", scenario.workloads.len(), String::new()),
         ];
@@ -267,6 +284,16 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
             println!("  {axis:<13} {count}{detail}");
         }
         println!("  {:<13} {seeds}", "seeds");
+        // Precedence graphs: one line per `dag` block. The edges were
+        // validated (acyclicity included) while parsing the file.
+        for dag in &scenario.dags {
+            println!(
+                "  dag {}: {} edge{}",
+                dag.set,
+                dag.edges.len(),
+                if dag.edges.len() == 1 { "" } else { "s" }
+            );
+        }
         // Trace-backed sets: print each file's content fingerprint, so
         // two checkouts can compare what a cell will actually replay.
         for (name, trace_path) in scenario.trace_paths() {

@@ -155,10 +155,12 @@ pub mod prelude {
         SpeedBasis, StaticSchedule, SynthesisOptions,
     };
     pub use acs_model::units::{Cycles, Energy, Freq, Ticks, Time, TimeSpan, Volt};
-    pub use acs_model::{SchedulingClass, Task, TaskBuilder, TaskId, TaskSet};
+    pub use acs_model::{
+        ModelError, SchedulingClass, Task, TaskBuilder, TaskGraph, TaskId, TaskSet,
+    };
     pub use acs_multi::{
-        partition, CoreAssignment, MachineReport, MachineRun, MultiError, Partition,
-        PartitionHeuristic,
+        partition, CoreAssignment, GlobalOutput, GlobalRun, MachineReport, MachineRun, MultiError,
+        Partition, PartitionHeuristic, Placement,
     };
     pub use acs_power::{FreqModel, LevelTable, Processor, TransitionOverhead, VoltageLevels};
     pub use acs_preempt::{
@@ -175,9 +177,9 @@ pub mod prelude {
     pub use acs_sim::DvsPolicy;
     pub use acs_sim::{
         improvement_over, render_gantt, ArrivalJob, ArrivalKind, ArrivalSource, BoundaryEvent,
-        CcRm, DispatchContext, EnergyBreakdown, GreedyReclaim, IntoPolicy, MmppProfile, NoDvs,
-        Policy, ReOpt, ReOptConfig, SimOptions, SimReport, Simulator, SolverCache, SolverContext,
-        SolverStats, StaticSpeed, Summary,
+        CcRm, DispatchContext, EnergyBreakdown, ExecutionTrace, GreedyReclaim, IntoPolicy,
+        MmppProfile, NoDvs, Policy, ReOpt, ReOptConfig, SimOptions, SimReport, Simulator, Slice,
+        SolverCache, SolverContext, SolverStats, StaticSpeed, Summary,
     };
     pub use acs_trace::{TraceReader, TraceRecord, TraceSource, TraceWriter};
     pub use acs_workloads::{
