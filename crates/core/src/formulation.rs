@@ -32,7 +32,7 @@
 use crate::quantile::truncated_normal_strata;
 use crate::trace::SpeedBasis;
 use acs_model::TaskSet;
-use acs_opt::problem::{ConstrainedProblem, ProblemExprs};
+use acs_opt::problem::{ConstrainedProblem, LinearConstraints, ProblemExprs, SparseLinear};
 use acs_opt::tape::{Expr, Graph};
 use acs_power::{FreqModel, Processor};
 use acs_preempt::FullyPreemptiveSchedule;
@@ -354,6 +354,57 @@ impl ConstrainedProblem for ScheduleProblem<'_> {
             inequalities,
             equalities,
         }
+    }
+
+    fn linear_constraints(&self) -> Option<LinearConstraints> {
+        // Every constraint of the NLP is linear (module docs); the rows
+        // mirror `build`'s push order exactly so multiplier vectors are
+        // interchangeable between the two evaluation paths.
+        let m = self.fps.len();
+        let mut ineq = SparseLinear::new();
+        for (u, sub) in self.fps.sub_instances().iter().enumerate() {
+            let r = sub.window_start.as_ms();
+            let l = sub.window_end.as_ms();
+            ineq.push_row(&[(u, -1.0)], r); // e ≥ r
+            ineq.push_row(&[(u, 1.0)], -l); // e ≤ L
+            ineq.push_row(&[(m + u, -1.0)], 0.0); // w ≥ 0
+            if u == 0 {
+                ineq.push_row(&[(m + u, 1.0), (u, -1.0)], 0.0); // fits after prev
+            } else {
+                ineq.push_row(&[(m + u, 1.0), (u, -1.0), (u - 1, 1.0)], 0.0);
+            }
+            ineq.push_row(&[(m + u, 1.0), (u, -1.0)], r); // fits after release
+        }
+        let fmax = self.cpu.f_max().as_cycles_per_ms();
+        let mut eq = SparseLinear::new();
+        let mut terms = Vec::new();
+        for (tid, task) in self.set.iter() {
+            let budget_ms = task.wcec().as_cycles() / fmax;
+            for inst in 0..self.fps.instances_of(tid) {
+                terms.clear();
+                terms.extend(
+                    self.fps
+                        .chunks_of(acs_preempt::InstanceId {
+                            task: tid,
+                            index: inst,
+                        })
+                        .map(|id| (m + id.0, 1.0)),
+                );
+                eq.push_row(&terms, -budget_ms);
+            }
+        }
+        Some(LinearConstraints { ineq, eq })
+    }
+
+    fn build_objective<'g>(&self, g: &'g Graph, x: &[Expr<'g>], smoothing: f64) -> Expr<'g> {
+        let m = self.fps.len();
+        let (e, w) = x.split_at(m);
+        let mut objective = g.constant(0.0);
+        for scenario in &self.scenarios {
+            let energy = self.scenario_energy(g, e, w, scenario, smoothing);
+            objective = objective + scenario.weight * energy;
+        }
+        objective / self.norm
     }
 
     fn initial_point(&self) -> Vec<f64> {

@@ -68,7 +68,7 @@ use acs_model::units::{Cycles, Energy, Freq, Time};
 use acs_model::TaskSet;
 use acs_opt::auglag::{self, AugLagConfig};
 use acs_opt::lbfgs::LbfgsConfig;
-use acs_opt::problem::{ConstrainedProblem, ProblemExprs};
+use acs_opt::problem::{ConstrainedProblem, LinearConstraints, ProblemExprs, SparseLinear};
 use acs_opt::tape::{Expr, Graph};
 use acs_power::Processor;
 use acs_preempt::InstanceId;
@@ -305,9 +305,19 @@ impl RemainingInstance {
     /// the remaining problem — clamped into `[max(lo, prev + R̂ᵣₑₘ), L]`
     /// along the live chain so the start is (near-)feasible.
     pub fn warm_ends_ms(&self) -> Vec<f64> {
-        let mut ends = self.static_ends_ms.clone();
-        self.repair(&mut ends);
+        let mut ends = Vec::new();
+        self.warm_ends_into(&mut ends);
         ends
+    }
+
+    /// [`RemainingInstance::warm_ends_ms`] into a caller-owned buffer:
+    /// clears `out`, fills it with the projected warm start. Boundary
+    /// solves run thousands of times per simulation; reusing one buffer
+    /// keeps the warm-start projection off the allocator's hot path.
+    pub fn warm_ends_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(&self.static_ends_ms);
+        self.repair(out);
     }
 
     /// Exact-ifies candidate end times in place along the live chain:
@@ -413,15 +423,18 @@ impl RemainingInstance {
 /// the speed profile (equivalently the end times) is re-optimized online.
 struct RemainingProblem<'a> {
     rem: &'a RemainingInstance,
-    warm: Vec<f64>,
+    /// Full-length starting end times, **borrowed** from the caller's
+    /// buffer: the per-solve sub-vector used to exist twice (collected
+    /// here, cloned again by `initial_point`) — now the only
+    /// materialization is the one `initial_point` hands the solver.
+    warm_full: &'a [f64],
     norm: f64,
     eps_t: f64,
     eps_w: f64,
 }
 
 impl<'a> RemainingProblem<'a> {
-    fn new(rem: &'a RemainingInstance, warm_full: &[f64]) -> Self {
-        let warm: Vec<f64> = rem.opt_live.iter().map(|&u| warm_full[u]).collect();
+    fn new(rem: &'a RemainingInstance, warm_full: &'a [f64]) -> Self {
         let vmax = rem.cpu.vmax().as_volts();
         let norm = rem
             .opt_live
@@ -431,7 +444,7 @@ impl<'a> RemainingProblem<'a> {
             .max(1e-12);
         RemainingProblem {
             rem,
-            warm,
+            warm_full,
             norm,
             eps_t: 1e-6,
             eps_w: 1e-9,
@@ -488,8 +501,61 @@ impl ConstrainedProblem for RemainingProblem<'_> {
         }
     }
 
+    fn linear_constraints(&self) -> Option<LinearConstraints> {
+        // All four fit/window families are linear in the end times; the
+        // row order mirrors `build` exactly (the [`auglag::solve_seeded`]
+        // ν vectors the warm-carry path replays are indexed by it).
+        let rem = self.rem;
+        let n = rem.opt_live.len();
+        let mut ineq = SparseLinear::new();
+        for (k, &u) in rem.opt_live.iter().enumerate() {
+            let lo = rem.lo_ms[u];
+            let hi = if k + 1 == n && n < rem.live.len() {
+                rem.last_hi_ms
+            } else {
+                rem.hi_ms[u]
+            };
+            let w = rem.rem_w_ms[u];
+            ineq.push_row(&[(k, -1.0)], lo); // e ≥ max(r, now)
+            ineq.push_row(&[(k, 1.0)], -hi); // e ≤ L
+            if k == 0 {
+                ineq.push_row(&[(k, -1.0)], w + rem.now_ms); // fits after predecessor
+            } else {
+                ineq.push_row(&[(k, -1.0), (k - 1, 1.0)], w);
+            }
+            ineq.push_row(&[(k, -1.0)], w + lo); // fits after its own release
+        }
+        Some(LinearConstraints {
+            ineq,
+            eq: SparseLinear::new(),
+        })
+    }
+
+    fn build_objective<'g>(&self, g: &'g Graph, x: &[Expr<'g>], smoothing: f64) -> Expr<'g> {
+        let rem = self.rem;
+        let mut energy = g.constant(0.0);
+        let mut f_prev = g.constant(rem.now_ms);
+        for (k, &u) in rem.opt_live.iter().enumerate() {
+            let a = rem.a_ms[u];
+            let w = rem.rem_w_ms[u];
+            let s = smax_const(f_prev, rem.lo_ms[u], smoothing);
+            let gap = x[k] - s;
+            let denom = smax_const(gap, self.eps_t, smoothing) + self.eps_t;
+            let speed = g.constant(w * rem.fmax) / denom;
+            let v = voltage_for_speed(&rem.cpu, speed, smoothing);
+            energy = energy + rem.c_eff[u] * v.sqr() * (a * rem.fmax);
+            let rho = a / (w + self.eps_w);
+            f_prev = s + rho * (x[k] - s);
+        }
+        energy / self.norm
+    }
+
     fn initial_point(&self) -> Vec<f64> {
-        self.warm.clone()
+        self.rem
+            .opt_live
+            .iter()
+            .map(|&u| self.warm_full[u])
+            .collect()
     }
 }
 
@@ -570,6 +636,88 @@ pub struct ReoptOutcome {
     pub converged: bool,
 }
 
+/// The state one boundary solve hands the next: the solved end times
+/// plus the augmented-Lagrangian inequality multipliers, keyed by the
+/// sub-instances they were solved for. Successive boundaries shrink the
+/// live set and shift `now`, but the active constraint structure is
+/// nearly identical — so the previous multipliers, remapped by
+/// sub-instance, let a *single* warm solve replace the two-solve
+/// multi-start fan-out most of the time
+/// ([`synthesize_remaining_best_carry`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmCarry {
+    /// Full-length end times of the carrying solve — the next
+    /// boundary's starting point.
+    pub ends_ms: Vec<f64>,
+    /// Total-order sub-instance indices the multipliers belong to (the
+    /// carrying solve's in-horizon live set, ascending).
+    pub subs: Vec<usize>,
+    /// PHR inequality multipliers, four per entry of `subs` in
+    /// constraint build order (lower window, upper window, chain fit,
+    /// release fit).
+    pub nu: Vec<f64>,
+}
+
+/// Outcome of [`synthesize_remaining_best_carry`].
+#[derive(Debug, Clone)]
+pub struct CarrySolve {
+    /// The winning solve.
+    pub outcome: ReoptOutcome,
+    /// Carry state for the *next* boundary (always from the winning
+    /// solve, whether carried or multi-start).
+    pub carry: WarmCarry,
+    /// `true` when the carried warm solve passed the gate and the
+    /// multi-start fan-out was skipped.
+    pub carried: bool,
+}
+
+/// One boundary solve: owns its starting point, optionally seeds the
+/// inequality multipliers, returns the outcome plus the final
+/// multipliers (empty when the boundary is settled and no NLP ran).
+fn solve_live(
+    rem: &RemainingInstance,
+    mut ends: Vec<f64>,
+    nu0: Option<&[f64]>,
+    options: &ReoptOptions,
+) -> (ReoptOutcome, Vec<f64>) {
+    // Project the starting point onto the feasible set first: a feasible
+    // start keeps the multiplier loop quiet and is most of the warm-start
+    // speedup.
+    let start_residual = rem.repair(&mut ends);
+    if rem.is_settled() {
+        let energy = rem.energy_of(&ends);
+        let outcome = ReoptOutcome {
+            feasible: start_residual <= options.accept_tol_ms
+                && rem.feasible(&ends, options.accept_tol_ms),
+            predicted_energy: Energy::from_units(energy),
+            ends_ms: ends,
+            live: rem.live_count(),
+            evaluations: 0,
+            converged: true,
+        };
+        return (outcome, Vec::new());
+    }
+    let result = {
+        let problem = RemainingProblem::new(rem, &ends);
+        auglag::solve_seeded(&problem, &options.auglag, nu0)
+    };
+    for (k, &u) in rem.opt_live.iter().enumerate() {
+        ends[u] = result.x[k];
+    }
+    let residual = rem.repair(&mut ends);
+    let feasible = residual <= options.accept_tol_ms && rem.feasible(&ends, options.accept_tol_ms);
+    let energy = rem.energy_of(&ends);
+    let outcome = ReoptOutcome {
+        ends_ms: ends,
+        predicted_energy: Energy::from_units(energy),
+        feasible,
+        live: rem.live_count(),
+        evaluations: result.evaluations,
+        converged: result.converged,
+    };
+    (outcome, result.nu)
+}
+
 /// Re-synthesizes the remaining schedule's end times, warm-started from
 /// the static schedule's ends projected onto the boundary state
 /// ([`RemainingInstance::warm_ends_ms`]).
@@ -577,7 +725,9 @@ pub struct ReoptOutcome {
 /// Deterministic: equal `rem` (compare [`RemainingInstance::cache_key`])
 /// and equal options yield bit-identical outcomes.
 pub fn synthesize_remaining(rem: &RemainingInstance, options: &ReoptOptions) -> ReoptOutcome {
-    synthesize_remaining_from(rem, &rem.warm_ends_ms(), options)
+    let mut ends = Vec::new();
+    rem.warm_ends_into(&mut ends);
+    solve_live(rem, ends, None, options).0
 }
 
 /// [`synthesize_remaining`] from an explicit full-length starting point
@@ -588,39 +738,7 @@ pub fn synthesize_remaining_from(
     start_ends_ms: &[f64],
     options: &ReoptOptions,
 ) -> ReoptOutcome {
-    let mut ends = start_ends_ms.to_vec();
-    // Project the starting point onto the feasible set first: a feasible
-    // start keeps the multiplier loop quiet and is most of the warm-start
-    // speedup.
-    let start_residual = rem.repair(&mut ends);
-    if rem.is_settled() {
-        let energy = rem.energy_of(&ends);
-        return ReoptOutcome {
-            feasible: start_residual <= options.accept_tol_ms
-                && rem.feasible(&ends, options.accept_tol_ms),
-            predicted_energy: Energy::from_units(energy),
-            ends_ms: ends,
-            live: rem.live_count(),
-            evaluations: 0,
-            converged: true,
-        };
-    }
-    let problem = RemainingProblem::new(rem, &ends);
-    let result = auglag::solve(&problem, &options.auglag);
-    for (k, &u) in rem.opt_live.iter().enumerate() {
-        ends[u] = result.x[k];
-    }
-    let residual = rem.repair(&mut ends);
-    let feasible = residual <= options.accept_tol_ms && rem.feasible(&ends, options.accept_tol_ms);
-    let energy = rem.energy_of(&ends);
-    ReoptOutcome {
-        ends_ms: ends,
-        predicted_energy: Energy::from_units(energy),
-        feasible,
-        live: rem.live_count(),
-        evaluations: result.evaluations,
-        converged: result.converged,
-    }
+    solve_live(rem, start_ends_ms.to_vec(), None, options).0
 }
 
 /// Multi-start boundary re-solve: one solve warm-started from the
@@ -635,15 +753,112 @@ pub fn synthesize_remaining_from(
 /// `evaluations` is their sum. Deterministic like
 /// [`synthesize_remaining`].
 pub fn synthesize_remaining_best(rem: &RemainingInstance, options: &ReoptOptions) -> ReoptOutcome {
-    let warm = synthesize_remaining(rem, options);
-    let mut alap = synthesize_remaining_from(rem, &alap_start_ends_ms(rem), options);
+    synthesize_remaining_best_with_carry(rem, options).0
+}
+
+/// [`synthesize_remaining_best`], also returning the winner's
+/// [`WarmCarry`] so a runtime (or a solver cache) can seed the next
+/// boundary. The outcome is bit-identical to
+/// [`synthesize_remaining_best`]: the fan-out never *consumes* carry
+/// state, so its result stays a pure function of `(rem, options)` —
+/// the property solver caches key on.
+pub fn synthesize_remaining_best_with_carry(
+    rem: &RemainingInstance,
+    options: &ReoptOptions,
+) -> (ReoptOutcome, WarmCarry) {
+    let mut warm_start = Vec::new();
+    rem.warm_ends_into(&mut warm_start);
+    let (warm, warm_nu) = solve_live(rem, warm_start, None, options);
+    let (mut alap, alap_nu) = solve_live(rem, alap_start_ends_ms(rem), None, options);
     alap.evaluations += warm.evaluations;
-    if alap.feasible && (!warm.feasible || alap.predicted_energy < warm.predicted_energy) {
-        alap
+    let (best, nu) =
+        if alap.feasible && (!warm.feasible || alap.predicted_energy < warm.predicted_energy) {
+            (alap, alap_nu)
+        } else {
+            let mut best = warm;
+            best.evaluations = alap.evaluations;
+            (best, warm_nu)
+        };
+    let carry = WarmCarry {
+        ends_ms: best.ends_ms.clone(),
+        subs: rem.opt_live.clone(),
+        nu,
+    };
+    (best, carry)
+}
+
+/// A single warm solve seeded from the previous boundary's
+/// [`WarmCarry`]: end times start where the last solve finished, and
+/// the inequality multipliers are remapped by sub-instance (subs that
+/// left the horizon drop out, new subs enter at zero). Returns the
+/// outcome plus the refreshed carry. The caller gates adoption — a
+/// carried solve is only trusted under the same exact feasibility check
+/// as any other candidate.
+pub fn synthesize_remaining_carry(
+    rem: &RemainingInstance,
+    carry: &WarmCarry,
+    options: &ReoptOptions,
+) -> (ReoptOutcome, WarmCarry) {
+    let mut nu0 = vec![0.0f64; 4 * rem.opt_live.len()];
+    let mut j = 0usize;
+    for (k, &u) in rem.opt_live.iter().enumerate() {
+        while j < carry.subs.len() && carry.subs[j] < u {
+            j += 1;
+        }
+        if j < carry.subs.len() && carry.subs[j] == u && 4 * (j + 1) <= carry.nu.len() {
+            nu0[4 * k..4 * (k + 1)].copy_from_slice(&carry.nu[4 * j..4 * (j + 1)]);
+        }
+    }
+    let start = if carry.ends_ms.len() == rem.static_ends_ms.len() {
+        carry.ends_ms.clone()
     } else {
-        let mut best = warm;
-        best.evaluations = alap.evaluations;
-        best
+        // A carry from a different expansion cannot seed end times;
+        // fall back to the projected static warm start.
+        rem.warm_ends_ms()
+    };
+    let (outcome, nu) = solve_live(rem, start, Some(&nu0), options);
+    let new_carry = WarmCarry {
+        ends_ms: outcome.ends_ms.clone(),
+        subs: rem.opt_live.clone(),
+        nu,
+    };
+    (outcome, new_carry)
+}
+
+/// The incremental boundary solve: try the carried warm solve first and
+/// **skip the multi-start fan-out** when it passes the exact
+/// feasibility gate *and* improves on `baseline_energy` by at least
+/// `min_rel_gain` (relative). Otherwise fall back to
+/// [`synthesize_remaining_best_with_carry`], folding the spent carry
+/// evaluations into the reported total. With `carry = None` this *is*
+/// the multi-start fan-out.
+pub fn synthesize_remaining_best_carry(
+    rem: &RemainingInstance,
+    carry: Option<&WarmCarry>,
+    baseline_energy: f64,
+    min_rel_gain: f64,
+    options: &ReoptOptions,
+) -> CarrySolve {
+    let mut spent = 0usize;
+    if let Some(c) = carry {
+        let (outcome, new_carry) = synthesize_remaining_carry(rem, c, options);
+        if outcome.feasible
+            && outcome.predicted_energy.as_units() < baseline_energy * (1.0 - min_rel_gain)
+        {
+            return CarrySolve {
+                outcome,
+                carry: new_carry,
+                carried: true,
+            };
+        }
+        spent = outcome.evaluations;
+    }
+    let (mut outcome, carry) = synthesize_remaining_best_with_carry(rem, options);
+    outcome.evaluations += spent;
+    CarrySolve {
+        outcome,
+        carry,
+        carried: false,
     }
 }
 
@@ -970,5 +1185,77 @@ mod tests {
             warm.evaluations,
             cold.evaluations
         );
+    }
+
+    #[test]
+    fn carry_solve_is_cheaper_and_fanout_stays_carry_independent() {
+        let (set, cpu, schedule) = large_with_schedule();
+        let opts = ReoptOptions::default();
+        let rem0 = RemainingInstance::at_boundary(&schedule, &set, &cpu, Time::from_ms(0.0), &[])
+            .with_horizon(16);
+        // The with-carry fan-out must be bit-identical to the plain one:
+        // it never consumes carry state (cache purity).
+        let plain = synthesize_remaining_best(&rem0, &opts);
+        let (best, carry) = synthesize_remaining_best_with_carry(&rem0, &opts);
+        assert_eq!(plain.ends_ms, best.ends_ms);
+        assert_eq!(plain.evaluations, best.evaluations);
+        assert_eq!(carry.subs, rem0.opt_live);
+        assert_eq!(carry.nu.len(), 4 * rem0.opt_live.len());
+
+        // Next boundary: first instance of t0 done early.
+        let wcec0 = set.tasks()[0].wcec().as_cycles();
+        let progress = vec![InstanceProgress {
+            instance: InstanceId {
+                task: TaskId(0),
+                index: 0,
+            },
+            executed: Cycles::from_cycles(0.4 * wcec0),
+            current_chunk: 0,
+            chunk_budget_left: Cycles::from_cycles(0.6 * wcec0),
+            released: true,
+            done: true,
+        }];
+        let rem1 =
+            RemainingInstance::at_boundary(&schedule, &set, &cpu, Time::from_ms(2.0), &progress)
+                .with_horizon(16);
+        let (carried, carry1) = synthesize_remaining_carry(&rem1, &carry, &opts);
+        let fresh = synthesize_remaining_best(&rem1, &opts);
+        assert!(carried.feasible, "carried warm solve must pass the gate");
+        assert_eq!(carry1.subs, rem1.opt_live);
+        // The whole point: one seeded solve undercuts the two-solve
+        // fan-out, at essentially the fan-out's energy.
+        assert!(
+            carried.evaluations < fresh.evaluations,
+            "carried {} vs fan-out {} evaluations",
+            carried.evaluations,
+            fresh.evaluations
+        );
+        assert!(
+            carried.predicted_energy.as_units() <= fresh.predicted_energy.as_units() * 1.02,
+            "carried {} vs fan-out {}",
+            carried.predicted_energy.as_units(),
+            fresh.predicted_energy.as_units()
+        );
+
+        // Gated entry point: with a baseline the carried solve beats,
+        // the fan-out is skipped...
+        let base = rem1.energy_of(rem1.static_ends_ms());
+        let hit = synthesize_remaining_best_carry(&rem1, Some(&carry), base, 0.01, &opts);
+        assert!(hit.carried);
+        assert_eq!(hit.outcome.ends_ms, carried.ends_ms);
+        // ...and with an unbeatable baseline it falls back to the exact
+        // fan-out result, folding the spent carry evaluations in.
+        let miss = synthesize_remaining_best_carry(&rem1, Some(&carry), 0.0, 0.01, &opts);
+        assert!(!miss.carried);
+        assert_eq!(miss.outcome.ends_ms, fresh.ends_ms);
+        assert_eq!(
+            miss.outcome.evaluations,
+            fresh.evaluations + carried.evaluations
+        );
+        // No carry at all degenerates to the plain fan-out.
+        let none = synthesize_remaining_best_carry(&rem1, None, base, 0.01, &opts);
+        assert!(!none.carried);
+        assert_eq!(none.outcome.ends_ms, fresh.ends_ms);
+        assert_eq!(none.outcome.evaluations, fresh.evaluations);
     }
 }

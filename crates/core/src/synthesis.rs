@@ -52,6 +52,12 @@ impl SynthesisOptions {
         o.auglag.outer_iters = 14;
         o.auglag.inner.max_iters = 120;
         o.auglag.inner.grad_tol = 1e-5;
+        // The default profile's 1e-14 effectively disables the
+        // stagnation stop; at sweep accuracy an inner solve that twice
+        // fails to move the (normalized, O(1)) objective by 1e-9 is
+        // done — letting it stop also lets the outer loop's early-break
+        // fire instead of running every outer iteration to max_iters.
+        o.auglag.inner.f_tol_rel = 1e-9;
         o.auglag.violation_tol = 1e-5;
         o.verify_tol_ms = 1e-4;
         o

@@ -34,7 +34,7 @@ use acs_model::units::{Cycles, Energy, Freq, Time, TimeSpan};
 use acs_model::{SchedulingClass, TaskId, TaskSet};
 use acs_power::Processor;
 use acs_sim::policy::{DispatchContext, IntoPolicy, Policy};
-use acs_sim::{ExecutionTrace, SimOptions, SimReport, Slice};
+use acs_sim::{ExecutionTrace, SimOptions, SimReport, Slice, WorkloadSource};
 
 /// How jobs are mapped onto the cores of a multiprocessor machine.
 ///
@@ -274,6 +274,25 @@ impl GlobalRun<'_> {
         policy: impl IntoPolicy,
         workload: &mut dyn FnMut(TaskId, u64) -> Cycles,
     ) -> Result<GlobalOutput, MultiError> {
+        // `&mut dyn FnMut` is itself a (per-draw) `WorkloadSource`.
+        self.run_source(policy, &mut { workload })
+    }
+
+    /// [`GlobalRun::run`] over a batched [`WorkloadSource`]: each
+    /// hyper-period build pulls every task's whole instance window in
+    /// one `draw_batch` call (same task-major order as the per-job
+    /// closure, so under the batch purity contract the results are
+    /// byte-identical — and one workload stream still serves both the
+    /// single-core and global placements).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GlobalRun::run`].
+    pub fn run_source(
+        &self,
+        policy: impl IntoPolicy,
+        workload: &mut dyn WorkloadSource,
+    ) -> Result<GlobalOutput, MultiError> {
         if self.cores == 0 {
             return Err(MultiError::InvalidCoreCount);
         }
@@ -336,7 +355,7 @@ impl GlobalRun<'_> {
     fn build_hyper_period(
         &self,
         _policy: &mut dyn Policy,
-        workload: &mut dyn FnMut(TaskId, u64) -> Cycles,
+        workload: &mut dyn WorkloadSource,
         abs_base: u64,
         record: bool,
         class: SchedulingClass,
@@ -355,11 +374,16 @@ impl GlobalRun<'_> {
 
         let mut jobs: Vec<GJob> = Vec::with_capacity(set.total_instances() as usize);
         let mut abs_counter = abs_base;
+        let mut drawn_buf: Vec<Cycles> = Vec::new();
         for (tid, task) in set.iter() {
-            for inst in 0..set.instances_of(tid) {
+            // One batched draw per task per hyper-period — identical
+            // stream to per-job draws by the batch purity contract.
+            drawn_buf.clear();
+            workload.draw_batch(tid, abs_counter, set.instances_of(tid), &mut drawn_buf);
+            abs_counter += set.instances_of(tid);
+            for (inst, &drawn) in drawn_buf.iter().enumerate() {
+                let inst = inst as u64;
                 let release = (inst * task.period().get()) as f64;
-                let drawn = workload(tid, abs_counter);
-                abs_counter += 1;
                 let raw = drawn.as_cycles();
                 if !raw.is_finite() || raw < 0.0 {
                     return Err(MultiError::Sim(format!(

@@ -8,7 +8,9 @@ use acs_core::StaticSchedule;
 use acs_model::units::{Cycles, Energy, TimeSpan};
 use acs_model::{TaskId, TaskSet};
 use acs_power::Processor;
-use acs_sim::{ArrivalSource, EnergyBreakdown, Policy, SimOptions, SimReport, Simulator};
+use acs_sim::{
+    ArrivalSource, EnergyBreakdown, Policy, SimOptions, SimReport, Simulator, WorkloadSource,
+};
 use std::cell::RefCell;
 
 /// Per-core arrival-source factory passed to
@@ -170,6 +172,76 @@ impl MachineRun<'_> {
             }
             let out = sim
                 .run(&mut |task, abs| workload(core, task, abs))
+                .map_err(|e| MultiError::Sim(format!("core {core}: {e}")))?;
+            per_core.push(out.report);
+        }
+        Ok(MachineReport {
+            per_core,
+            machine_hyper_periods: self.options.hyper_periods,
+        })
+    }
+
+    /// [`MachineRun::run`] with a per-core **batched**
+    /// [`WorkloadSource`] instead of a per-job closure: `make_source`
+    /// is called once per non-empty core with the core index and that
+    /// core's task set, and the core's engine pulls whole
+    /// hyper-period-window cycle batches from the returned source
+    /// (`Simulator::run_source`) instead of one closure call per job.
+    /// Under the source's batch purity contract
+    /// ([`WorkloadSource::draw_batch`]) the reports are byte-identical
+    /// to [`MachineRun::run`] over per-job draws of the same streams.
+    /// Key the source's randomness by `(seed, set, core)` — never by
+    /// call order — exactly like [`MachineRun::run_with_sources`];
+    /// `make_arrivals` is the same per-core arrival-source factory that
+    /// method takes (`|_, _| None` for the periodic grid).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MachineRun::run`].
+    pub fn run_batched<S: WorkloadSource>(
+        &self,
+        mut make_policy: impl FnMut() -> Box<dyn Policy>,
+        mut make_source: impl FnMut(usize, &TaskSet) -> S,
+        make_arrivals: &mut CoreSourceFactory<'_>,
+    ) -> Result<MachineReport, MultiError> {
+        let busy = self.partition.busy_cores();
+        if let Some(schedules) = self.schedules {
+            if schedules.len() != busy {
+                return Err(MultiError::ScheduleCount {
+                    got: schedules.len(),
+                    expected: busy,
+                });
+            }
+        }
+        let horizon_ms =
+            self.options.hyper_periods as f64 * self.partition.machine_hyper_period.get() as f64;
+        let mut per_core = Vec::with_capacity(self.partition.cores.len());
+        let mut sched_idx = 0usize;
+        for (core, assignment) in self.partition.cores.iter().enumerate() {
+            let Some(set) = &assignment.set else {
+                let mut idle = SimReport::empty(0);
+                idle.hyper_periods = self.options.hyper_periods;
+                idle.idle_time = TimeSpan::from_ms(horizon_ms);
+                let e = Energy::from_units(self.cpu.idle_power() * horizon_ms);
+                idle.idle_energy = e;
+                idle.energy = e;
+                per_core.push(idle);
+                continue;
+            };
+            let mut sim = Simulator::new(set, self.cpu, make_policy()).with_options(SimOptions {
+                hyper_periods: self.options.hyper_periods * self.partition.hyper_multiplier(core),
+                ..self.options
+            });
+            if let Some(schedules) = self.schedules {
+                sim = sim.with_schedule(&schedules[sched_idx]);
+            }
+            sched_idx += 1;
+            if let Some(arrivals) = make_arrivals(core, set) {
+                sim = sim.with_arrivals(arrivals);
+            }
+            let mut source = make_source(core, set);
+            let out = sim
+                .run_source(&mut source)
                 .map_err(|e| MultiError::Sim(format!("core {core}: {e}")))?;
             per_core.push(out.report);
         }
@@ -432,6 +504,45 @@ mod tests {
             .per_core
             .iter()
             .any(|r| r.events_handled > 0 && r.event_queue_peak > 0));
+    }
+
+    #[test]
+    fn batched_run_matches_per_job_run() {
+        let set = set();
+        let cpu = cpu(1.5);
+        let p = partition(&set, cpu.f_max(), 3, PartitionHeuristic::WorstFitDecreasing).unwrap();
+        let run = MachineRun {
+            partition: &p,
+            cpu: &cpu,
+            schedules: None,
+            options: SimOptions {
+                hyper_periods: 3,
+                ..Default::default()
+            },
+        };
+        // A pure (core, task, abs) function, expressed once as a per-job
+        // closure and once as a batched WorkloadSource per core — the
+        // batch purity contract says the reports must match exactly.
+        let cycles = |core: usize, task: TaskId, abs: u64| {
+            Cycles::from_cycles(80.0 + ((core * 131 + task.0 * 17) as u64 + abs * 7 % 390) as f64)
+        };
+        let per_job = run
+            .run(|| Box::new(NoDvs), &mut |c, t, a| cycles(c, t, a))
+            .unwrap();
+        struct PureSource<F>(usize, F);
+        impl<F: FnMut(usize, TaskId, u64) -> Cycles> acs_sim::WorkloadSource for PureSource<F> {
+            fn draw(&mut self, task: TaskId, instance: u64) -> Cycles {
+                (self.1)(self.0, task, instance)
+            }
+        }
+        let batched = run
+            .run_batched(
+                || Box::new(NoDvs),
+                |core, _| PureSource(core, cycles),
+                &mut |_, _| None,
+            )
+            .unwrap();
+        assert_eq!(per_job, batched);
     }
 
     #[test]

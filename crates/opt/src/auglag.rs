@@ -19,8 +19,8 @@
 //! describe expressions ([`ConstrainedProblem`]).
 
 use crate::lbfgs::{self, LbfgsConfig, LbfgsStop};
-use crate::problem::ConstrainedProblem;
-use crate::tape::Graph;
+use crate::problem::{ConstrainedProblem, LinearConstraints};
+use crate::tape::{Expr, Graph};
 
 /// Configuration of the outer augmented-Lagrangian loop.
 #[derive(Debug, Clone)]
@@ -98,22 +98,51 @@ pub struct AugLagResult {
     pub evaluations: usize,
     /// Per-outer-iteration telemetry.
     pub history: Vec<OuterLog>,
+    /// Inequality multipliers ν at termination, one per inequality in
+    /// build order. Feed these back into [`solve_seeded`] to warm-start
+    /// a *related* solve (e.g. the next boundary of an online
+    /// re-optimization) past its multiplier-estimation phase.
+    pub nu: Vec<f64>,
+    /// Equality multipliers λ at termination, one per equality.
+    pub lambda: Vec<f64>,
 }
 
-/// Exact (unsmoothed) objective and violation at `x`.
-fn measure(problem: &dyn ConstrainedProblem, x: &[f64]) -> (f64, f64, Vec<f64>, Vec<f64>) {
-    let g = Graph::with_capacity(x.len() * 8);
-    let xs: Vec<_> = x.iter().map(|&v| g.input(v)).collect();
-    let exprs = problem.build(&g, &xs, 0.0);
-    let obj = exprs.objective.value();
-    let ineq: Vec<f64> = exprs.inequalities.iter().map(|e| e.value()).collect();
-    let eq: Vec<f64> = exprs.equalities.iter().map(|e| e.value()).collect();
+/// Exact (unsmoothed) objective and violation at `x`, evaluated on the
+/// shared (reset + reused) arena; constraint values land in
+/// `ineq`/`eq`. With a linear-constraints description only the
+/// objective touches the tape; constraint values come from the sparse
+/// rows directly.
+fn measure<'g>(
+    problem: &dyn ConstrainedProblem,
+    lc: Option<&LinearConstraints>,
+    g: &'g Graph,
+    xs: &mut Vec<Expr<'g>>,
+    x: &[f64],
+    ineq: &mut Vec<f64>,
+    eq: &mut Vec<f64>,
+) -> (f64, f64) {
+    g.reset();
+    xs.clear();
+    xs.extend(x.iter().map(|&v| g.input(v)));
+    let obj;
+    ineq.clear();
+    eq.clear();
+    if let Some(lc) = lc {
+        obj = problem.build_objective(g, xs, 0.0).value();
+        ineq.extend((0..lc.ineq.rows()).map(|i| lc.ineq.value(i, x)));
+        eq.extend((0..lc.eq.rows()).map(|j| lc.eq.value(j, x)));
+    } else {
+        let exprs = problem.build(g, xs, 0.0);
+        obj = exprs.objective.value();
+        ineq.extend(exprs.inequalities.iter().map(|e| e.value()));
+        eq.extend(exprs.equalities.iter().map(|e| e.value()));
+    }
     let viol = ineq
         .iter()
         .map(|&v| v.max(0.0))
         .chain(eq.iter().map(|&v| v.abs()))
         .fold(0.0f64, f64::max);
-    (obj, viol, ineq, eq)
+    (obj, viol)
 }
 
 /// Solves a constrained problem with the PHR augmented Lagrangian.
@@ -122,19 +151,63 @@ fn measure(problem: &dyn ConstrainedProblem, x: &[f64]) -> (f64, f64, Vec<f64>, 
 /// [`AugLagResult::converged`] / [`AugLagResult::max_violation`] before
 /// trusting it as feasible.
 pub fn solve(problem: &dyn ConstrainedProblem, config: &AugLagConfig) -> AugLagResult {
+    solve_seeded(problem, config, None)
+}
+
+/// [`solve`] with warm-started inequality multipliers.
+///
+/// `nu0` seeds the PHR inequality multipliers in build order (entries
+/// are clamped to `≥ 0`; missing entries default to `0`, extras are
+/// ignored). When the seed comes from a structurally similar solve —
+/// the previous boundary of an online re-optimization, say — the first
+/// outer iteration already penalizes the right active set, which is
+/// most of what the outer loop spends its iterations discovering.
+/// Seeding changes the iterate trajectory, never the contract: the
+/// result is still the best point seen under the exact measurements.
+pub fn solve_seeded(
+    problem: &dyn ConstrainedProblem,
+    config: &AugLagConfig,
+    nu0: Option<&[f64]>,
+) -> AugLagResult {
     let n = problem.dim();
     let mut x = problem.initial_point();
     assert_eq!(x.len(), n, "initial point dimension mismatch");
 
+    // One AD arena serves every evaluation of this solve: each build
+    // resets the tape and reuses the grown node/value/adjoint buffers, so
+    // warm iterations allocate nothing on the tape side.
+    let g = Graph::with_capacity(n * 16);
+    let mut xs: Vec<Expr<'_>> = Vec::with_capacity(n);
+    let mut ineq: Vec<f64> = Vec::new();
+    let mut eq: Vec<f64> = Vec::new();
+
+    // When the problem exposes its (all-linear) constraint system, the
+    // merit function puts only the objective on the tape and folds the
+    // PHR penalty terms in analytically: for P = (max(0, μg+ν)² − ν²)/2μ
+    // the chain rule gives ∂P/∂x = max(0, μg+ν)·∇g, and ∇g is the
+    // constant coefficient row. Same math as the tape path, different
+    // floating-point summation order — iterate trajectories may differ
+    // within solver tolerance, the contract does not.
+    let lc = problem.linear_constraints();
+
     // Discover constraint counts once.
-    let (num_ineq, num_eq) = {
-        let g = Graph::new();
-        let xs: Vec<_> = x.iter().map(|&v| g.input(v)).collect();
-        let e = problem.build(&g, &xs, config.smoothing_init);
-        (e.inequalities.len(), e.equalities.len())
+    let (num_ineq, num_eq) = match &lc {
+        Some(lc) => (lc.ineq.rows(), lc.eq.rows()),
+        None => {
+            g.reset();
+            xs.clear();
+            xs.extend(x.iter().map(|&v| g.input(v)));
+            let e = problem.build(&g, &xs, config.smoothing_init);
+            (e.inequalities.len(), e.equalities.len())
+        }
     };
 
     let mut nu = vec![0.0f64; num_ineq]; // inequality multipliers ≥ 0
+    if let Some(seed) = nu0 {
+        for (d, &s) in nu.iter_mut().zip(seed) {
+            *d = s.max(0.0);
+        }
+    }
     let mut lambda = vec![0.0f64; num_eq]; // equality multipliers
     let mut mu = config.mu_init;
     let mut smoothing = config.smoothing_init;
@@ -143,15 +216,36 @@ pub fn solve(problem: &dyn ConstrainedProblem, config: &AugLagConfig) -> AugLagR
     let mut prev_violation = f64::INFINITY;
 
     let mut best_x = x.clone();
-    let (mut best_obj, mut best_viol, _, _) = measure(problem, &x);
+    let (mut best_obj, mut best_viol) =
+        measure(problem, lc.as_ref(), &g, &mut xs, &x, &mut ineq, &mut eq);
 
     let mut outer_done = 0usize;
     for _outer in 0..config.outer_iters {
         outer_done += 1;
         // ---- inner minimization of the merit function ----
         let merit = |xv: &[f64], grad: &mut [f64]| -> f64 {
-            let g = Graph::with_capacity(n * 16);
-            let xs: Vec<_> = xv.iter().map(|&v| g.input(v)).collect();
+            g.reset();
+            xs.clear();
+            xs.extend(xv.iter().map(|&v| g.input(v)));
+            if let Some(lc) = &lc {
+                // Fast path: objective on the tape, linear penalties in f64.
+                let obj = problem.build_objective(&g, &xs, smoothing);
+                g.gradient_wrt(obj, &xs, grad);
+                let mut merit = obj.value();
+                for (j, &lam) in lambda.iter().enumerate().take(lc.eq.rows()) {
+                    let h = lc.eq.value(j, xv);
+                    merit += lam * h + (mu / 2.0) * h * h;
+                    lc.eq.add_scaled_gradient(j, lam + mu * h, grad);
+                }
+                for (i, &nui) in nu.iter().enumerate().take(lc.ineq.rows()) {
+                    let t = (lc.ineq.value(i, xv) * mu + nui).max(0.0);
+                    merit += (t * t - nui * nui) / (2.0 * mu);
+                    if t > 0.0 {
+                        lc.ineq.add_scaled_gradient(i, t, grad);
+                    }
+                }
+                return merit;
+            }
             let exprs = problem.build(&g, &xs, smoothing);
             let mut merit = exprs.objective;
             for (j, &h) in exprs.equalities.iter().enumerate() {
@@ -161,8 +255,7 @@ pub fn solve(problem: &dyn ConstrainedProblem, config: &AugLagConfig) -> AugLagR
                 let t = (gi * mu + nu[i]).relu();
                 merit = merit + (t.sqr() - nu[i] * nu[i]) / (2.0 * mu);
             }
-            let grads = g.gradient(merit);
-            grads.write_wrt(&xs, grad);
+            g.gradient_wrt(merit, &xs, grad);
             merit.value()
         };
         let inner = lbfgs::minimize(merit, &x, &config.inner);
@@ -172,7 +265,7 @@ pub fn solve(problem: &dyn ConstrainedProblem, config: &AugLagConfig) -> AugLagR
         }
 
         // ---- exact measurement and multiplier update ----
-        let (obj, viol, ineq, eq) = measure(problem, &x);
+        let (obj, viol) = measure(problem, lc.as_ref(), &g, &mut xs, &x, &mut ineq, &mut eq);
         history.push(OuterLog {
             objective: obj,
             violation: viol,
@@ -209,7 +302,15 @@ pub fn solve(problem: &dyn ConstrainedProblem, config: &AugLagConfig) -> AugLagR
         smoothing = (smoothing * config.smoothing_decay).max(config.smoothing_final);
     }
 
-    let (obj, viol, _, _) = measure(problem, &best_x);
+    let (obj, viol) = measure(
+        problem,
+        lc.as_ref(),
+        &g,
+        &mut xs,
+        &best_x,
+        &mut ineq,
+        &mut eq,
+    );
     AugLagResult {
         x: best_x,
         objective: obj,
@@ -218,6 +319,8 @@ pub fn solve(problem: &dyn ConstrainedProblem, config: &AugLagConfig) -> AugLagR
         outer_iterations: outer_done,
         evaluations,
         history,
+        nu,
+        lambda,
     }
 }
 
@@ -411,6 +514,94 @@ mod tests {
         // Any x ≤ 0.3 is optimal with objective 0.09 (exact evaluation).
         assert!(r.objective <= 0.09 + 1e-6, "objective = {}", r.objective);
         assert!(r.x[0] <= 0.31, "x = {:?}", r.x);
+    }
+
+    #[test]
+    fn seeded_multipliers_are_reported_and_reusable() {
+        let cold = solve(&ActiveIneq, &AugLagConfig::default());
+        assert_eq!(cold.nu.len(), 1);
+        assert!(
+            cold.nu[0] > 0.0,
+            "the active constraint must end with a positive multiplier, got {:?}",
+            cold.nu
+        );
+        // Re-solving seeded with the converged multipliers reproduces the
+        // optimum (negative seeds are clamped away, extras ignored).
+        let warm = solve_seeded(&ActiveIneq, &AugLagConfig::default(), Some(&cold.nu));
+        assert!(warm.converged);
+        assert!((warm.x[0] - 1.0).abs() < 1e-4, "x = {:?}", warm.x);
+        let odd = solve_seeded(&ActiveIneq, &AugLagConfig::default(), Some(&[-5.0, 9.0]));
+        assert!(odd.converged);
+        assert!((odd.x[0] - 1.0).abs() < 1e-4, "x = {:?}", odd.x);
+    }
+
+    /// [`EnergySplit`] with its (all-linear) constraints exposed as
+    /// sparse rows, routing the solver through the f64 fast path.
+    struct EnergySplitLinear(EnergySplit);
+    impl ConstrainedProblem for EnergySplitLinear {
+        fn dim(&self) -> usize {
+            self.0.dim()
+        }
+        fn build<'g>(&self, g: &'g Graph, x: &[Expr<'g>], s: f64) -> ProblemExprs<'g> {
+            self.0.build(g, x, s)
+        }
+        fn initial_point(&self) -> Vec<f64> {
+            self.0.initial_point()
+        }
+        fn linear_constraints(&self) -> Option<crate::problem::LinearConstraints> {
+            let mut ineq = crate::problem::SparseLinear::new();
+            let mut eq = crate::problem::SparseLinear::new();
+            let mut sum: Vec<(usize, f64)> = Vec::new();
+            for i in 0..self.0.w.len() {
+                ineq.push_row(&[(i, -1.0)], 0.05);
+                sum.push((i, 1.0));
+            }
+            eq.push_row(&sum, -self.0.total);
+            Some(crate::problem::LinearConstraints { ineq, eq })
+        }
+        fn build_objective<'g>(&self, g: &'g Graph, x: &[Expr<'g>], _s: f64) -> Expr<'g> {
+            let mut obj = g.constant(0.0);
+            for (i, &wi) in self.0.w.iter().enumerate() {
+                obj = obj + g.constant(wi.powi(3)) / x[i].sqr();
+            }
+            obj
+        }
+    }
+
+    #[test]
+    fn linear_fast_path_matches_tape_path() {
+        let tape = solve(
+            &EnergySplit {
+                w: vec![1.0, 2.0, 3.0],
+                total: 12.0,
+            },
+            &AugLagConfig::default(),
+        );
+        let fast = solve(
+            &EnergySplitLinear(EnergySplit {
+                w: vec![1.0, 2.0, 3.0],
+                total: 12.0,
+            }),
+            &AugLagConfig::default(),
+        );
+        assert!(fast.converged, "violation = {}", fast.max_violation);
+        assert!(
+            (fast.objective - tape.objective).abs() < 1e-4,
+            "objectives diverged: tape {} vs fast {}",
+            tape.objective,
+            fast.objective
+        );
+        for (a, b) in fast.x.iter().zip(&tape.x) {
+            assert!((a - b).abs() < 1e-2, "fast {:?} tape {:?}", fast.x, tape.x);
+        }
+        // The multipliers survive the detour too: the equality λ must
+        // agree (it is the shadow price of the budget).
+        assert!(
+            (fast.lambda[0] - tape.lambda[0]).abs() < 0.05 * tape.lambda[0].abs().max(1.0),
+            "lambda diverged: tape {} vs fast {}",
+            tape.lambda[0],
+            fast.lambda[0]
+        );
     }
 
     #[test]

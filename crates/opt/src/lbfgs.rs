@@ -121,6 +121,14 @@ where
     let mut rho_mem: VecDeque<f64> = VecDeque::with_capacity(config.memory);
     let mut gamma = 1.0f64;
 
+    // Per-iteration scratch, hoisted so warm iterations allocate nothing.
+    let mut d = vec![0.0; n];
+    let mut alphas = vec![0.0; config.memory];
+    let mut trial = vec![0.0; n];
+    let mut trial_grad = vec![0.0; n];
+    let mut new_x = vec![0.0; n];
+    let mut new_grad = vec![0.0; n];
+
     let mut stagnant = 0usize;
     let mut ls_failures = 0usize;
     let mut iterations = 0usize;
@@ -139,9 +147,10 @@ where
         iterations += 1;
 
         // Two-loop recursion: d = -H·g.
-        let mut d: Vec<f64> = grad.iter().map(|g| -g).collect();
+        for (dj, gj) in d.iter_mut().zip(&grad) {
+            *dj = -gj;
+        }
         let k = s_mem.len();
-        let mut alphas = vec![0.0; k];
         for i in (0..k).rev() {
             let a = rho_mem[i] * dot(&s_mem[i], &d);
             alphas[i] = a;
@@ -174,8 +183,6 @@ where
         }
 
         // Line search along d.
-        let mut trial = vec![0.0; n];
-        let mut trial_grad = vec![0.0; n];
         let mut ls_evals = 0usize;
         let phi = |a: f64| {
             for i in 0..n {
@@ -211,28 +218,43 @@ where
         match result {
             Ok(ok) => {
                 ls_failures = 0;
-                // trial/trial_grad hold the last evaluated point, which the
-                // line search guarantees is the accepted one only if we
-                // recompute; re-evaluate to be exact (cheap relative to the
-                // search itself and keeps the code obviously correct).
-                let mut new_x = vec![0.0; n];
-                for i in 0..n {
-                    new_x[i] = x[i] + ok.alpha * d[i];
-                }
-                let mut new_grad = vec![0.0; n];
-                evaluations += 1;
-                let new_value = f(&new_x, &mut new_grad);
+                // Every `Ok` path of `strong_wolfe` returns straight after
+                // evaluating the accepted step, so `trial`/`trial_grad`
+                // hold exactly φ(α) — reuse them instead of paying one
+                // more merit evaluation per iteration. `trial` was filled
+                // as `x + α·d`, the same expression we'd recompute.
+                std::mem::swap(&mut new_x, &mut trial);
+                std::mem::swap(&mut new_grad, &mut trial_grad);
+                let new_value = ok.value;
 
-                let s: Vec<f64> = new_x.iter().zip(&x).map(|(a, b)| a - b).collect();
-                let yv: Vec<f64> = new_grad.iter().zip(&grad).map(|(a, b)| a - b).collect();
-                let sy = dot(&s, &yv);
-                let yy = dot(&yv, &yv);
-                if sy > 1e-10 * s.iter().map(|v| v * v).sum::<f64>().sqrt() * yy.sqrt() && yy > 0.0
-                {
-                    if s_mem.len() == config.memory {
-                        s_mem.pop_front();
-                        y_mem.pop_front();
+                let sy = new_x
+                    .iter()
+                    .zip(&x)
+                    .zip(new_grad.iter().zip(&grad))
+                    .map(|((xa, xb), (ga, gb))| (xa - xb) * (ga - gb))
+                    .sum::<f64>();
+                let ss = new_x
+                    .iter()
+                    .zip(&x)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>();
+                let yy = new_grad
+                    .iter()
+                    .zip(&grad)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>();
+                if sy > 1e-10 * ss.sqrt() * yy.sqrt() && yy > 0.0 {
+                    // Recycle the evicted pair's buffers instead of
+                    // allocating fresh ones.
+                    let (mut s, mut yv) = if s_mem.len() == config.memory {
                         rho_mem.pop_front();
+                        (s_mem.pop_front().unwrap(), y_mem.pop_front().unwrap())
+                    } else {
+                        (vec![0.0; n], vec![0.0; n])
+                    };
+                    for i in 0..n {
+                        s[i] = new_x[i] - x[i];
+                        yv[i] = new_grad[i] - grad[i];
                     }
                     rho_mem.push_back(1.0 / sy);
                     s_mem.push_back(s);
@@ -246,8 +268,8 @@ where
                 } else {
                     stagnant = 0;
                 }
-                x = new_x;
-                grad = new_grad;
+                std::mem::swap(&mut x, &mut new_x);
+                std::mem::swap(&mut grad, &mut new_grad);
                 value = new_value;
                 if stagnant >= 2 {
                     stop = LbfgsStop::FTol;

@@ -15,6 +15,85 @@ pub struct ProblemExprs<'g> {
     pub equalities: Vec<Expr<'g>>,
 }
 
+/// Sparse rows of linear functions `g_i(x) = Σ_k c_k · x[col_k] + b_i`
+/// in CSR layout: row `i`'s terms live at `offsets[i]..offsets[i+1]`.
+///
+/// This is the hot-path representation for problems whose constraints
+/// are all linear (both NLPs of this workspace): the augmented
+/// Lagrangian evaluates constraint values and penalty gradients
+/// directly from these rows in plain `f64` — the coefficient of a
+/// linear function *is* its gradient — instead of re-recording every
+/// constraint on the AD tape at every merit evaluation.
+#[derive(Debug, Clone, Default)]
+pub struct SparseLinear {
+    offsets: Vec<u32>,
+    cols: Vec<u32>,
+    coeffs: Vec<f64>,
+    bias: Vec<f64>,
+}
+
+impl SparseLinear {
+    /// An empty row set.
+    pub fn new() -> Self {
+        SparseLinear {
+            offsets: vec![0],
+            cols: Vec::new(),
+            coeffs: Vec::new(),
+            bias: Vec::new(),
+        }
+    }
+
+    /// Appends one row `Σ coeff·x[col] + bias`.
+    pub fn push_row(&mut self, terms: &[(usize, f64)], bias: f64) {
+        for &(col, coeff) in terms {
+            self.cols.push(col as u32);
+            self.coeffs.push(coeff);
+        }
+        self.offsets.push(self.cols.len() as u32);
+        self.bias.push(bias);
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.bias.len()
+    }
+
+    /// Value of row `i` at `x`.
+    #[inline]
+    pub fn value(&self, i: usize, x: &[f64]) -> f64 {
+        let (lo, hi) = (self.offsets[i] as usize, self.offsets[i + 1] as usize);
+        let mut v = self.bias[i];
+        for k in lo..hi {
+            v += self.coeffs[k] * x[self.cols[k] as usize];
+        }
+        v
+    }
+
+    /// Adds `scale · ∇g_i` into `grad` (the gradient of a linear row is
+    /// its constant coefficient pattern).
+    #[inline]
+    pub fn add_scaled_gradient(&self, i: usize, scale: f64, grad: &mut [f64]) {
+        let (lo, hi) = (self.offsets[i] as usize, self.offsets[i + 1] as usize);
+        for k in lo..hi {
+            grad[self.cols[k] as usize] += scale * self.coeffs[k];
+        }
+    }
+}
+
+/// The linear constraint system of a [`ConstrainedProblem`] whose
+/// constraints are all linear: `ineq` rows feasible iff `≤ 0`, `eq`
+/// rows feasible iff `= 0`. Row order must match the order
+/// [`ConstrainedProblem::build`] pushes the corresponding expressions
+/// (multiplier vectors are indexed by that order and shared across both
+/// evaluation paths).
+#[derive(Debug, Clone, Default)]
+pub struct LinearConstraints {
+    /// Inequality rows (`≤ 0`).
+    pub ineq: SparseLinear,
+    /// Equality rows (`= 0`).
+    pub eq: SparseLinear,
+}
+
 /// A smooth constrained minimization problem, expressed by building its
 /// objective and constraints on a fresh AD [`Graph`] at every evaluation.
 ///
@@ -33,6 +112,27 @@ pub trait ConstrainedProblem {
 
     /// A starting point (need not be feasible).
     fn initial_point(&self) -> Vec<f64>;
+
+    /// The constraint system as sparse linear rows, when *every*
+    /// constraint is linear in `x`. Solvers that see `Some` evaluate
+    /// constraints and penalty gradients in plain `f64` from these rows
+    /// and build only the objective on the tape
+    /// ([`ConstrainedProblem::build_objective`]) — the same math with a
+    /// fraction of the tape nodes. Implementations must keep row order
+    /// identical to the expression order of
+    /// [`ConstrainedProblem::build`].
+    fn linear_constraints(&self) -> Option<LinearConstraints> {
+        None
+    }
+
+    /// Objective-only build, used together with
+    /// [`ConstrainedProblem::linear_constraints`]. The default delegates
+    /// to [`ConstrainedProblem::build`] (correct but wastes the
+    /// constraint nodes); implementations providing linear constraints
+    /// should override it to skip constraint construction entirely.
+    fn build_objective<'g>(&self, g: &'g Graph, x: &[Expr<'g>], smoothing: f64) -> Expr<'g> {
+        self.build(g, x, smoothing).objective
+    }
 }
 
 #[cfg(test)]

@@ -32,14 +32,15 @@ struct Node {
 #[derive(Debug, Default)]
 struct TapeInner {
     nodes: Vec<Node>,
-    values: Vec<f64>,
+    /// Scratch adjoint buffer reused by [`Graph::gradient_wrt`] so warm
+    /// re-evaluations of the same problem allocate nothing.
+    adjoint: Vec<f64>,
 }
 
 impl TapeInner {
-    fn push(&mut self, value: f64, parents: [u32; 2], partials: [f64; 2]) -> u32 {
+    fn push(&mut self, parents: [u32; 2], partials: [f64; 2]) -> u32 {
         let idx = self.nodes.len() as u32;
         self.nodes.push(Node { parents, partials });
-        self.values.push(value);
         idx
     }
 }
@@ -63,12 +64,17 @@ impl Graph {
     /// Creates a graph with capacity for `n` nodes pre-allocated.
     pub fn with_capacity(n: usize) -> Self {
         let g = Graph::new();
-        {
-            let mut t = g.inner.borrow_mut();
-            t.nodes.reserve(n);
-            t.values.reserve(n);
-        }
+        g.inner.borrow_mut().nodes.reserve(n);
         g
+    }
+
+    /// Clears the tape while keeping its backing allocations, so the next
+    /// build reuses the grown arena instead of reallocating. Any [`Expr`]
+    /// handle created before the reset is invalidated (its index may point
+    /// at a different node, or out of bounds); callers must rebuild the
+    /// expression graph from fresh [`Graph::input`] calls.
+    pub fn reset(&self) {
+        self.inner.borrow_mut().nodes.clear();
     }
 
     /// Number of nodes currently on the tape.
@@ -86,8 +92,12 @@ impl Graph {
         let idx = self
             .inner
             .borrow_mut()
-            .push(value, [u32::MAX, u32::MAX], [0.0, 0.0]);
-        Expr { graph: self, idx }
+            .push([u32::MAX, u32::MAX], [0.0, 0.0]);
+        Expr {
+            graph: self,
+            idx,
+            val: value,
+        }
     }
 
     /// A constant leaf. Identical to [`Graph::input`] for evaluation; the
@@ -120,12 +130,51 @@ impl Graph {
         Gradient { adjoint }
     }
 
+    /// Allocation-free variant of [`Graph::gradient`]: runs the reverse
+    /// sweep in an internal scratch buffer (reused across calls) and
+    /// writes the derivatives w.r.t. `xs` straight into `out`. Numerically
+    /// identical to `gradient` + [`Gradient::write_wrt`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` and `out` have different lengths.
+    pub fn gradient_wrt(&self, output: Expr<'_>, xs: &[Expr<'_>], out: &mut [f64]) {
+        debug_assert!(std::ptr::eq(output.graph, self), "expr from another graph");
+        assert_eq!(xs.len(), out.len());
+        let mut tape = self.inner.borrow_mut();
+        let tape = &mut *tape;
+        let n = tape.nodes.len();
+        tape.adjoint.clear();
+        tape.adjoint.resize(n, 0.0);
+        tape.adjoint[output.idx as usize] = 1.0;
+        for i in (0..n).rev() {
+            let a = tape.adjoint[i];
+            if a == 0.0 {
+                continue;
+            }
+            let node = tape.nodes[i];
+            for p in 0..2 {
+                let parent = node.parents[p];
+                if parent != u32::MAX {
+                    tape.adjoint[parent as usize] += a * node.partials[p];
+                }
+            }
+        }
+        for (o, x) in out.iter_mut().zip(xs) {
+            *o = tape.adjoint[x.idx as usize];
+        }
+    }
+
     fn unary(&self, a: Expr<'_>, value: f64, partial: f64) -> Expr<'_> {
         let idx = self
             .inner
             .borrow_mut()
-            .push(value, [a.idx, u32::MAX], [partial, 0.0]);
-        Expr { graph: self, idx }
+            .push([a.idx, u32::MAX], [partial, 0.0]);
+        Expr {
+            graph: self,
+            idx,
+            val: value,
+        }
     }
 
     fn binary(&self, a: Expr<'_>, b: Expr<'_>, value: f64, pa: f64, pb: f64) -> Expr<'_> {
@@ -133,11 +182,12 @@ impl Graph {
             std::ptr::eq(a.graph, b.graph),
             "exprs from different graphs"
         );
-        let idx = self
-            .inner
-            .borrow_mut()
-            .push(value, [a.idx, b.idx], [pa, pb]);
-        Expr { graph: self, idx }
+        let idx = self.inner.borrow_mut().push([a.idx, b.idx], [pa, pb]);
+        Expr {
+            graph: self,
+            idx,
+            val: value,
+        }
     }
 }
 
@@ -173,6 +223,9 @@ impl Gradient {
 pub struct Expr<'g> {
     graph: &'g Graph,
     idx: u32,
+    /// Values are eager; caching the node's value in the handle makes
+    /// [`Expr::value`] and every operand read borrow-free.
+    val: f64,
 }
 
 impl std::fmt::Debug for Expr<'_> {
@@ -184,7 +237,7 @@ impl std::fmt::Debug for Expr<'_> {
 impl<'g> Expr<'g> {
     /// Current value of this node.
     pub fn value(self) -> f64 {
-        self.graph.inner.borrow().values[self.idx as usize]
+        self.val
     }
 
     /// `self²` (cheaper than `powi(2)` to read).

@@ -1182,7 +1182,7 @@ impl Campaign {
                             sim = sim.with_arrivals(kind.source(set, mix_seed(seed, cell.set)));
                         }
                     }
-                    sim.run(&mut |t, i| draws.draw(t, i))
+                    sim.run_source(&mut draws)
                         .map(|out| {
                             let energy = out.report.energy.as_units();
                             (out.report, vec![energy])
@@ -1202,9 +1202,7 @@ impl Campaign {
                         cores: cell.cores,
                         options,
                     }
-                    .run(b.policies[cell.policy].instantiate(), &mut |t, i| {
-                        draws.draw(t, i)
-                    })
+                    .run_source(b.policies[cell.policy].instantiate(), &mut draws)
                     .map(|out| {
                         let per_core: Vec<f64> = out
                             .report
@@ -1221,22 +1219,6 @@ impl Campaign {
                         Ok(p) => p,
                         Err(e) => return Err(format!("partition: {e}")),
                     };
-                    // Independent per-core draw streams, keyed by
-                    // (seed, set, core): deterministic at any thread
-                    // count, paired across schedules and policies.
-                    let mut draws: Vec<Option<TaskWorkloads>> = parted
-                        .cores
-                        .iter()
-                        .enumerate()
-                        .map(|(core, a)| {
-                            a.set.as_ref().map(|s| {
-                                TaskWorkloads::from_dists(
-                                    spec.dists(s),
-                                    mix_seed(mix_seed(seed, cell.set), core),
-                                )
-                            })
-                        })
-                        .collect();
                     // Multicore cells are never trace-backed (rejected at
                     // build), so the arrivals index is always real.
                     let kind = b.arrivals[cell.arrivals];
@@ -1246,13 +1228,18 @@ impl Campaign {
                         schedules,
                         options,
                     }
-                    .run_with_sources(
+                    .run_batched(
                         || b.policies[cell.policy].instantiate(),
-                        &mut |core, task, abs| {
-                            draws[core]
-                                .as_mut()
-                                .expect("draw streams exist for busy cores")
-                                .draw(task, abs)
+                        // Independent per-core batched draw streams,
+                        // keyed by (seed, set, core): deterministic at
+                        // any thread count, paired across schedules and
+                        // policies, byte-identical to per-job draws of
+                        // the same streams.
+                        |core, core_set| {
+                            TaskWorkloads::from_dists(
+                                spec.dists(core_set),
+                                mix_seed(mix_seed(seed, cell.set), core),
+                            )
                         },
                         &mut |core, core_set| {
                             // Per-core sources keyed (seed, set, core),
@@ -1433,6 +1420,7 @@ fn aggregate(per_seed: &[Result<(SimReport, Vec<f64>), String>]) -> Result<CellS
         worst_lateness_ms: 0.0,
         solver_lookups: 0,
         solver_cache_hits: 0,
+        warm_carry_hits: 0,
         boundary_resolves: 0,
         resolves_adopted: 0,
     };
@@ -1460,6 +1448,7 @@ fn aggregate(per_seed: &[Result<(SimReport, Vec<f64>), String>]) -> Result<CellS
         stats.worst_lateness_ms = stats.worst_lateness_ms.max(report.worst_lateness_ms);
         stats.solver_lookups += report.solver_lookups;
         stats.solver_cache_hits += report.solver_cache_hits;
+        stats.warm_carry_hits += report.warm_carry_hits;
         stats.boundary_resolves += report.boundary_resolves;
         stats.resolves_adopted += report.resolves_adopted;
     }

@@ -57,6 +57,12 @@ pub struct CellStats {
     /// shared across parallel runs, this count (alone) may vary with
     /// thread interleaving; energies and deadline statistics never do.
     pub solver_cache_hits: usize,
+    /// Lookups answered by carrying the previous boundary's solution
+    /// forward as a warm start (no multi-start fan-out ran). Together
+    /// the three mechanisms partition the lookups:
+    /// `solver_lookups == warm_carry_hits + solver_cache_hits +
+    /// boundary_resolves`.
+    pub warm_carry_hits: usize,
     /// Boundary re-solves actually executed.
     pub boundary_resolves: usize,
     /// Re-solved candidates that passed the feasibility/energy gate and
@@ -450,6 +456,7 @@ mod tests {
             worst_lateness_ms: 0.0,
             solver_lookups: 0,
             solver_cache_hits: 0,
+            warm_carry_hits: 0,
             boundary_resolves: 0,
             resolves_adopted: 0,
         }

@@ -437,6 +437,7 @@ mod tests {
                         worst_lateness_ms: -0.25,
                         solver_lookups: 0,
                         solver_cache_hits: 0,
+                        warm_carry_hits: 0,
                         boundary_resolves: 0,
                         resolves_adopted: 0,
                     })

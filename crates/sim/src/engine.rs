@@ -28,6 +28,7 @@ use crate::policy::{
     BoundaryEvent, DispatchContext, IntoPolicy, Policy, SolverContext, SolverStats,
 };
 use crate::report::SimReport;
+use crate::workload::{WorkloadRef, WorkloadSource};
 use acs_core::reopt::InstanceProgress;
 use acs_core::StaticSchedule;
 use acs_model::units::{Cycles, Energy, Freq, Time, TimeSpan};
@@ -262,6 +263,31 @@ impl<'a> Simulator<'a> {
         self.stepped(workload)?.finish()
     }
 
+    /// [`Simulator::run`] over a [`WorkloadSource`]: identical
+    /// semantics and byte-identical output, but batch-capable sources
+    /// (e.g. `acs-workloads`' `TaskWorkloads`) are drawn one task per
+    /// hyper-period window at a time instead of one call per job. A
+    /// closure passed through `run` reaches the same engine with the
+    /// per-draw fallback.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    pub fn run_source(&mut self, workload: &mut dyn WorkloadSource) -> Result<RunOutput, SimError> {
+        #[cfg(feature = "legacy-engine")]
+        if crate::legacy::legacy_engine_enabled()
+            && self.arrivals.is_none()
+            && self.set.graph().is_none_or(|g| g.is_empty())
+        {
+            // The frozen oracle predates the source interface; feed it
+            // one draw at a time (it stays allocation-unoptimized by
+            // design — see docs/ENGINE.md).
+            let mut per_draw = |t: TaskId, i: u64| workload.draw(t, i);
+            return self.run_legacy(&mut per_draw);
+        }
+        self.stepped_source(workload)?.finish()
+    }
+
     /// Starts a resumable run: the same simulation `run` performs, but
     /// advanced one event round at a time via [`SteppedRun::step`].
     ///
@@ -278,6 +304,26 @@ impl<'a> Simulator<'a> {
     pub fn stepped<'s, 'w>(
         &'s mut self,
         workload: &'w mut dyn FnMut(TaskId, u64) -> Cycles,
+    ) -> Result<SteppedRun<'s, 'a, 'w>, SimError> {
+        self.stepped_ref(WorkloadRef::Closure(workload))
+    }
+
+    /// [`Simulator::stepped`] over a [`WorkloadSource`] — the resumable
+    /// form of [`Simulator::run_source`].
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    pub fn stepped_source<'s, 'w>(
+        &'s mut self,
+        workload: &'w mut dyn WorkloadSource,
+    ) -> Result<SteppedRun<'s, 'a, 'w>, SimError> {
+        self.stepped_ref(WorkloadRef::Source(workload))
+    }
+
+    fn stepped_ref<'s, 'w>(
+        &'s mut self,
+        workload: WorkloadRef<'w>,
     ) -> Result<SteppedRun<'s, 'a, 'w>, SimError> {
         if self.arrivals.is_some() && self.set.graph().is_some_and(|g| !g.is_empty()) {
             return Err(SimError::GraphWithArrivals);
@@ -296,6 +342,7 @@ impl<'a> Simulator<'a> {
             h: 0,
             stats_before,
             current: None,
+            spare: None,
             done: false,
         })
     }
@@ -489,6 +536,48 @@ struct Gate {
     waiting: Vec<bool>,
 }
 
+impl Gate {
+    /// Builds the gate from the set's task graph (`n` = job count of
+    /// one hyper-period; built-in periodic releases lay jobs out
+    /// task-major, one per `(task, instance)`).
+    fn build(set: &TaskSet, g: &acs_model::TaskGraph, n: usize) -> Self {
+        let mut base = vec![0usize; set.len()];
+        let mut acc = 0usize;
+        for (tid, _) in set.iter() {
+            base[tid.0] = acc;
+            acc += set.instances_of(tid) as usize;
+        }
+        let mut pred_left = vec![0usize; n];
+        let mut succ_jobs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(a, b) in g.edges() {
+            // Edge endpoints share a period (validated at graph
+            // construction), hence the same instance count.
+            for k in 0..set.instances_of(a) as usize {
+                succ_jobs[base[a.0] + k].push(base[b.0] + k);
+                pred_left[base[b.0] + k] += 1;
+            }
+        }
+        Gate {
+            pred_left,
+            succ_jobs,
+            waiting: vec![false; n],
+        }
+    }
+
+    /// Re-arms the gate for a new hyper-period: the topology is fixed
+    /// per run, so only the counts and the waiting flags reset — no
+    /// allocation.
+    fn reset(&mut self) {
+        self.waiting.iter_mut().for_each(|w| *w = false);
+        self.pred_left.iter_mut().for_each(|p| *p = 0);
+        for succs in &self.succ_jobs {
+            for &s in succs {
+                self.pred_left[s] += 1;
+            }
+        }
+    }
+}
+
 /// The live state of one hyper-period under the event engine: the jobs,
 /// the event queue (pending releases and chunk wakeups), the ready
 /// queue, and the virtual clock.
@@ -536,9 +625,60 @@ struct HpState {
     /// Jobs the gate freed at a predecessor's completion, awaiting
     /// classification at the next round's entry.
     ungated: Vec<usize>,
+    // Arena buffers: owned here so hyper-period recycling (the retired
+    // state is handed back to `HpState::new` as `recycle`) carries
+    // every backing allocation across hyper-periods. See docs/PERF.md
+    // for the ownership rules.
+    /// Boundary snapshot scratch (`fire_boundary_with`).
+    progress: Vec<InstanceProgress>,
+    /// Arrival-window scratch for source-driven releases.
+    arrival_buf: Vec<ArrivalJob>,
+    /// DFS stack of `release_dependents`.
+    dep_stack: Vec<usize>,
+    /// One task's batched workload draws.
+    draw_buf: Vec<Cycles>,
 }
 
 impl HpState {
+    /// A state whose containers are all empty but reusable — the
+    /// one-time allocations of a run. Per-hyper-period fields are
+    /// (re)set by [`HpState::new`], which recycles the previous
+    /// hyper-period's state (and with it every backing allocation)
+    /// through its `recycle` argument.
+    fn fresh(env: &Env<'_>) -> Self {
+        let set = env.set;
+        let instances = set.total_instances() as usize;
+        HpState {
+            jobs: Vec::with_capacity(instances),
+            events: EventQueue::with_capacity(instances),
+            ready: ReadyQueue::new(),
+            t: 0.0,
+            maint_time: f64::NEG_INFINITY,
+            last_voltage: None,
+            last_dispatched: None,
+            pending: None,
+            report: SimReport::empty(set.len()),
+            trace: None,
+            record: false,
+            class: env.options.class.unwrap_or_else(|| set.class()),
+            wants_boundaries: false,
+            floors: set
+                .tasks()
+                .iter()
+                .map(|t| env.cpu.floor_speed(t.c_eff()).as_cycles_per_ms())
+                .collect(),
+            dispatches: 0,
+            gate: None,
+            admitted: Vec::new(),
+            woken: Vec::new(),
+            ungated: Vec::new(),
+            progress: Vec::new(),
+            arrival_buf: Vec::new(),
+            dep_stack: Vec::new(),
+            draw_buf: Vec::new(),
+        }
+    }
+
     /// Draws the hyper-period's workloads, builds jobs, fires the
     /// `Start` boundary and queues every release event.
     ///
@@ -547,33 +687,62 @@ impl HpState {
     /// source, window `window` is consumed instead; periodic-instance
     /// jobs map onto the static plans, aperiodic jobs get synthetic
     /// single-chunk plans of their own.
-    #[allow(clippy::too_many_lines)]
+    ///
+    /// `recycle` hands back the previous hyper-period's state: every
+    /// container is cleared (keeping its allocation) and every scalar
+    /// reset, so the warm engine loop allocates nothing per job —
+    /// pinned by `tests/alloc_budget.rs`. A recycled state is
+    /// indistinguishable from a fresh one.
+    #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
     fn new(
         env: &Env<'_>,
         policy: &mut dyn Policy,
-        workload: &mut dyn FnMut(TaskId, u64) -> Cycles,
+        workload: &mut dyn WorkloadSource,
         abs_base: u64,
         record: bool,
         arrivals: Option<&mut Box<dyn ArrivalSource>>,
         window: u64,
+        recycle: Option<HpState>,
     ) -> Result<Self, SimError> {
         let set = env.set;
         let has_schedule = env.schedule.is_some();
-        let mut report = SimReport::empty(set.len());
-        report.hyper_periods = 1;
+        let mut st = recycle.unwrap_or_else(|| HpState::fresh(env));
+        st.jobs.clear();
+        st.events.clear();
+        st.ready.clear();
+        st.t = 0.0;
+        st.maint_time = f64::NEG_INFINITY;
+        st.last_voltage = None;
+        st.last_dispatched = None;
+        st.pending = None;
+        st.report.reset(set.len());
+        st.report.hyper_periods = 1;
+        st.trace = record.then(ExecutionTrace::new);
+        st.record = record;
+        st.dispatches = 0;
+        st.admitted.clear();
+        st.woken.clear();
+        st.ungated.clear();
 
         // ---- job construction & workload draws ----
         let source_is_periodic = arrivals.as_ref().is_none_or(|s| s.periodic());
         let built_in_releases = arrivals.is_none();
-        let mut jobs: Vec<Job> = Vec::with_capacity(set.total_instances() as usize);
         match arrivals {
             None => {
                 let mut abs_counter = abs_base;
                 for (tid, task) in set.iter() {
-                    for inst in 0..set.instances_of(tid) {
+                    let n = set.instances_of(tid);
+                    // One batched draw per (task, hyper-period window).
+                    // The engine has always drawn task-major, so the
+                    // batch is the same consecutive call sequence —
+                    // bit-identical streams (see `WorkloadSource`'s
+                    // purity contract).
+                    st.draw_buf.clear();
+                    workload.draw_batch(tid, abs_counter, n, &mut st.draw_buf);
+                    abs_counter += n;
+                    for inst in 0..n {
                         let release = (inst * task.period().get()) as f64;
-                        let drawn = workload(tid, abs_counter);
-                        abs_counter += 1;
+                        let drawn = st.draw_buf[inst as usize];
                         let raw = drawn.as_cycles();
                         if !raw.is_finite() || raw < 0.0 {
                             return Err(SimError::InvalidWorkload {
@@ -584,7 +753,7 @@ impl HpState {
                         }
                         let wcec = task.wcec().as_cycles();
                         let mut actual = if raw > wcec {
-                            report.clamped_draws += 1;
+                            st.report.clamped_draws += 1;
                             wcec
                         } else {
                             raw
@@ -600,7 +769,7 @@ impl HpState {
                             actual = actual.min(budget_sum);
                         }
                         let plan0 = env.plans[tid.0][inst as usize][0];
-                        jobs.push(Job {
+                        st.jobs.push(Job {
                             task: tid.0,
                             instance_in_hyper: inst,
                             release_ms: release,
@@ -617,13 +786,14 @@ impl HpState {
                 }
             }
             Some(src) => {
-                let mut buf: Vec<ArrivalJob> = Vec::new();
-                src.fill_window(window, &mut buf)
-                    .map_err(|e| SimError::ArrivalSource {
+                st.arrival_buf.clear();
+                src.fill_window(window, &mut st.arrival_buf).map_err(|e| {
+                    SimError::ArrivalSource {
                         message: e.to_string(),
-                    })?;
+                    }
+                })?;
                 let fmax = env.cpu.f_max().as_cycles_per_ms();
-                for (emit_idx, aj) in buf.iter().enumerate() {
+                for (emit_idx, aj) in st.arrival_buf.iter().enumerate() {
                     let Some(task) = set.tasks().get(aj.task) else {
                         return Err(SimError::ArrivalSource {
                             message: format!(
@@ -652,7 +822,7 @@ impl HpState {
                     }
                     let raw = match aj.cycles {
                         Some(c) => c,
-                        None => workload(TaskId(aj.task), aj.draw_index).as_cycles(),
+                        None => workload.draw(TaskId(aj.task), aj.draw_index).as_cycles(),
                     };
                     if !raw.is_finite() || raw < 0.0 {
                         return Err(SimError::InvalidWorkload {
@@ -663,7 +833,7 @@ impl HpState {
                     }
                     let wcec = task.wcec().as_cycles();
                     let mut actual = if raw > wcec {
-                        report.clamped_draws += 1;
+                        st.report.clamped_draws += 1;
                         wcec
                     } else {
                         raw
@@ -681,7 +851,7 @@ impl HpState {
                                 actual = actual.min(budget_sum);
                             }
                             let plan0 = env.plans[aj.task][inst as usize][0];
-                            jobs.push(Job {
+                            st.jobs.push(Job {
                                 task: aj.task,
                                 instance_in_hyper: inst,
                                 release_ms: aj.release_ms,
@@ -710,7 +880,7 @@ impl HpState {
                                 static_speed: (wcec / span).min(fmax).max(floor),
                                 sub: None,
                             };
-                            jobs.push(Job {
+                            st.jobs.push(Job {
                                 task: aj.task,
                                 // Never used for plan lookups (own_plan
                                 // is authoritative); labels the job in
@@ -734,27 +904,27 @@ impl HpState {
         // Schedule-boundary snapshots index jobs by periodic instance
         // ids; aperiodic windows have none, so re-optimizing policies
         // fall back to their chunk-local dispatch rule there.
-        let wants_boundaries = policy.wants_boundaries() && source_is_periodic;
+        st.wants_boundaries = policy.wants_boundaries() && source_is_periodic;
         // The hyper-period starts: schedule-aware policies get the
         // pristine boundary state before anything executes.
-        if wants_boundaries {
-            fire_boundary(
+        if st.wants_boundaries {
+            fire_boundary_with(
                 policy,
                 set,
                 env.cpu,
                 env.schedule,
-                &jobs,
+                &st.jobs,
                 0.0,
                 BoundaryEvent::Start,
+                &mut st.progress,
             );
         }
 
         // Queue every release. Jobs are task-major, so pushing in job
         // order makes the queue's `(time, kind, seq)` pop order exactly
         // the legacy `(time, task)` admission order.
-        let mut events = EventQueue::with_capacity(jobs.len());
-        for (i, j) in jobs.iter().enumerate() {
-            events.push(Event {
+        for (i, j) in st.jobs.iter().enumerate() {
+            st.events.push(Event {
                 time: j.release_ms,
                 kind: EventKind::Release,
                 job: i,
@@ -764,62 +934,18 @@ impl HpState {
         // ---- predecessor gate ----
         // Only the built-in periodic pattern lays jobs out task-major
         // with one job per (task, instance); `Simulator::stepped`
-        // rejects graphs combined with arrival sources up front.
-        let gate = if built_in_releases {
-            set.graph().filter(|g| !g.is_empty()).map(|g| {
-                let mut base = vec![0usize; set.len()];
-                let mut acc = 0usize;
-                for (tid, _) in set.iter() {
-                    base[tid.0] = acc;
-                    acc += set.instances_of(tid) as usize;
-                }
-                let n = jobs.len();
-                let mut pred_left = vec![0usize; n];
-                let mut succ_jobs: Vec<Vec<usize>> = vec![Vec::new(); n];
-                for &(a, b) in g.edges() {
-                    // Edge endpoints share a period (validated at graph
-                    // construction), hence the same instance count.
-                    for k in 0..set.instances_of(a) as usize {
-                        succ_jobs[base[a.0] + k].push(base[b.0] + k);
-                        pred_left[base[b.0] + k] += 1;
-                    }
-                }
-                Gate {
-                    pred_left,
-                    succ_jobs,
-                    waiting: vec![false; n],
-                }
-            })
-        } else {
-            None
-        };
+        // rejects graphs combined with arrival sources up front. Gate
+        // presence and topology are invariants of the run, so a
+        // recycled gate just re-arms.
+        match set.graph().filter(|g| built_in_releases && !g.is_empty()) {
+            Some(g) => match st.gate.as_mut() {
+                Some(gate) => gate.reset(),
+                None => st.gate = Some(Gate::build(set, g, st.jobs.len())),
+            },
+            None => st.gate = None,
+        }
 
-        let floors = set
-            .tasks()
-            .iter()
-            .map(|t| env.cpu.floor_speed(t.c_eff()).as_cycles_per_ms())
-            .collect();
-        Ok(HpState {
-            jobs,
-            events,
-            ready: ReadyQueue::new(),
-            t: 0.0,
-            maint_time: f64::NEG_INFINITY,
-            last_voltage: None,
-            last_dispatched: None,
-            pending: None,
-            report,
-            trace: record.then(ExecutionTrace::new),
-            record,
-            class: env.options.class.unwrap_or_else(|| set.class()),
-            wants_boundaries,
-            floors,
-            dispatches: 0,
-            gate,
-            admitted: Vec::new(),
-            woken: Vec::new(),
-            ungated: Vec::new(),
-        })
+        Ok(st)
     }
 
     fn charge_idle(&mut self, env: &Env<'_>, span_ms: f64) {
@@ -872,7 +998,16 @@ impl HpState {
         event: BoundaryEvent,
     ) {
         self.forward_maintenance(env);
-        fire_boundary(policy, env.set, env.cpu, env.schedule, &self.jobs, t, event);
+        fire_boundary_with(
+            policy,
+            env.set,
+            env.cpu,
+            env.schedule,
+            &self.jobs,
+            t,
+            event,
+            &mut self.progress,
+        );
     }
 
     /// Maintains job `i` at time `t` and routes it: into the ready
@@ -1205,24 +1340,23 @@ impl HpState {
         t: f64,
         during_admission: bool,
     ) {
-        if self.gate.is_none() {
+        // The gate moves out of `self` for the traversal (and back in
+        // at the end) so dependents can be walked in place — no
+        // per-completion clone of the successor list, no per-call stack
+        // allocation (`dep_stack` is part of the arena).
+        let Some(mut gate) = self.gate.take() else {
             return;
-        }
-        let mut stack = vec![root];
-        while let Some(done_job) = stack.pop() {
-            let succs = self
-                .gate
-                .as_ref()
-                .expect("gate presence checked above")
-                .succ_jobs[done_job]
-                .clone();
-            for s in succs {
-                let g = self.gate.as_mut().expect("gate presence checked above");
-                g.pred_left[s] -= 1;
-                if g.pred_left[s] > 0 || !g.waiting[s] {
+        };
+        self.dep_stack.clear();
+        self.dep_stack.push(root);
+        while let Some(done_job) = self.dep_stack.pop() {
+            for k in 0..gate.succ_jobs[done_job].len() {
+                let s = gate.succ_jobs[done_job][k];
+                gate.pred_left[s] -= 1;
+                if gate.pred_left[s] > 0 || !gate.waiting[s] {
                     continue;
                 }
-                g.waiting[s] = false;
+                gate.waiting[s] = false;
                 if !self.jobs[s].done && self.jobs[s].remaining <= CYCLE_EPS {
                     let j = &mut self.jobs[s];
                     j.done = true;
@@ -1237,12 +1371,13 @@ impl HpState {
                     if self.wants_boundaries {
                         self.fire_boundary_at(env, policy, t, BoundaryEvent::Completion(ctask));
                     }
-                    stack.push(s);
+                    self.dep_stack.push(s);
                 } else if !(during_admission && self.admitted.contains(&s)) {
                     self.ungated.push(s);
                 }
             }
         }
+        self.gate = Some(gate);
     }
 }
 
@@ -1250,7 +1385,7 @@ impl HpState {
 /// the full multi-hyper-period run, advanced one event round at a time.
 pub struct SteppedRun<'s, 'a, 'w> {
     sim: &'s mut Simulator<'a>,
-    workload: &'w mut dyn FnMut(TaskId, u64) -> Cycles,
+    workload: WorkloadRef<'w>,
     plans: Vec<Vec<Vec<ChunkPlan>>>,
     report: SimReport,
     trace: Option<ExecutionTrace>,
@@ -1259,6 +1394,10 @@ pub struct SteppedRun<'s, 'a, 'w> {
     h: u64,
     stats_before: Option<SolverStats>,
     current: Option<HpState>,
+    /// The previous hyper-period's retired state: its buffers are
+    /// recycled into the next `HpState` so the warm loop allocates
+    /// nothing per hyper-period.
+    spare: Option<HpState>,
     done: bool,
 }
 
@@ -1327,11 +1466,12 @@ impl SteppedRun<'_, '_, '_> {
             let state = match HpState::new(
                 &env,
                 policy,
-                self.workload,
+                &mut self.workload,
                 self.abs_base,
                 record,
                 sim.arrivals.as_mut(),
                 self.h,
+                self.spare.take(),
             ) {
                 Ok(s) => s,
                 Err(e) => {
@@ -1345,11 +1485,14 @@ impl SteppedRun<'_, '_, '_> {
         match state.round(&env, policy) {
             Ok(true) => Ok(true),
             Ok(false) => {
-                let state = self.current.take().expect("hyper-period state exists");
+                let mut state = self.current.take().expect("hyper-period state exists");
                 self.report.absorb(&state.report);
                 if state.record {
-                    self.trace = state.trace;
+                    self.trace = state.trace.take();
                 }
+                // Retire the state: the next hyper-period reuses every
+                // backing allocation.
+                self.spare = Some(state);
                 self.h += 1;
                 self.abs_base += self.instances_per_hyper;
                 if self.h >= self.sim.options.hyper_periods {
@@ -1374,6 +1517,7 @@ impl SteppedRun<'_, '_, '_> {
             self.report.solver_cache_hits = delta.cache_hits;
             self.report.boundary_resolves = delta.resolves;
             self.report.resolves_adopted = delta.adopted;
+            self.report.warm_carry_hits = delta.warm_carry_hits;
         }
         self.done = true;
     }
@@ -1395,7 +1539,11 @@ impl SteppedRun<'_, '_, '_> {
 
 /// Snapshots every job's execution state and hands the policy a
 /// [`SolverContext`]. Costs `O(jobs)`, so callers gate it behind
-/// [`Policy::wants_boundaries`].
+/// [`Policy::wants_boundaries`]. Allocating convenience over
+/// [`fire_boundary_with`], used by the frozen legacy oracle — which
+/// stays allocation-unoptimized by design (see `docs/ENGINE.md`); the
+/// event engine always passes its recycled scratch buffer instead.
+#[cfg_attr(not(feature = "legacy-engine"), allow(dead_code))]
 pub(crate) fn fire_boundary(
     policy: &mut dyn Policy,
     set: &TaskSet,
@@ -1405,28 +1553,44 @@ pub(crate) fn fire_boundary(
     t: f64,
     event: BoundaryEvent,
 ) {
+    let mut progress = Vec::new();
+    fire_boundary_with(policy, set, cpu, schedule, jobs, t, event, &mut progress);
+}
+
+/// [`fire_boundary`] writing the per-job snapshot into a reusable
+/// `progress` buffer (cleared and refilled here) instead of allocating
+/// a fresh `Vec` per boundary.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn fire_boundary_with(
+    policy: &mut dyn Policy,
+    set: &TaskSet,
+    cpu: &Processor,
+    schedule: Option<&StaticSchedule>,
+    jobs: &[Job],
+    t: f64,
+    event: BoundaryEvent,
+    progress: &mut Vec<InstanceProgress>,
+) {
     const EPS: f64 = 1e-9;
-    let progress: Vec<InstanceProgress> = jobs
-        .iter()
-        .map(|j| InstanceProgress {
-            instance: acs_preempt::InstanceId {
-                task: TaskId(j.task),
-                index: j.instance_in_hyper,
-            },
-            executed: Cycles::from_cycles(j.executed),
-            current_chunk: j.chunk,
-            chunk_budget_left: Cycles::from_cycles(j.chunk_budget_left.max(0.0)),
-            released: j.release_ms <= t + EPS,
-            done: j.done,
-        })
-        .collect();
+    progress.clear();
+    progress.extend(jobs.iter().map(|j| InstanceProgress {
+        instance: acs_preempt::InstanceId {
+            task: TaskId(j.task),
+            index: j.instance_in_hyper,
+        },
+        executed: Cycles::from_cycles(j.executed),
+        current_chunk: j.chunk,
+        chunk_budget_left: Cycles::from_cycles(j.chunk_budget_left.max(0.0)),
+        released: j.release_ms <= t + EPS,
+        done: j.done,
+    }));
     let ctx = SolverContext {
         set,
         cpu,
         schedule,
         now: Time::from_ms(t),
         event,
-        progress: &progress,
+        progress,
     };
     policy.on_boundary(&ctx);
 }

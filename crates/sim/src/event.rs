@@ -121,6 +121,18 @@ impl EventQueue {
         }
     }
 
+    /// Empties the queue and resets the sequence counter and the
+    /// per-run statistics, keeping the heap's backing allocation. A
+    /// cleared queue is indistinguishable from a freshly constructed
+    /// one (capacity aside) — the engine recycles one queue across
+    /// hyper-periods instead of allocating per hyper-period.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.next_seq = 0;
+        self.high_water = 0;
+        self.popped = 0;
+    }
+
     /// Enqueues `event`; its sequence number is the push order.
     pub fn push(&mut self, event: Event) {
         let seq = self.next_seq;
@@ -236,6 +248,12 @@ impl ReadyQueue {
     /// Creates an empty ready queue.
     pub fn new() -> Self {
         ReadyQueue::default()
+    }
+
+    /// Empties the queue, keeping its backing allocation (hyper-period
+    /// recycling, like [`EventQueue::clear`]).
+    pub fn clear(&mut self) {
+        self.heap.clear();
     }
 
     /// Inserts a runnable job.

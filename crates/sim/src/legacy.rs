@@ -93,6 +93,7 @@ impl Simulator<'_> {
             report.solver_cache_hits = delta.cache_hits;
             report.boundary_resolves = delta.resolves;
             report.resolves_adopted = delta.adopted;
+            report.warm_carry_hits = delta.warm_carry_hits;
         }
         Ok(RunOutput { report, trace })
     }

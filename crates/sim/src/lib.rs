@@ -84,6 +84,7 @@ pub mod policy;
 pub mod reopt;
 pub mod report;
 pub mod stats;
+pub mod workload;
 
 pub use acs_model::SchedulingClass;
 // Arrival-source surface (re-exported so `Simulator::with_arrivals`
@@ -105,3 +106,4 @@ pub use policy::{
 pub use reopt::{ReOpt, ReOptConfig, SolverCache, SolverCacheStats};
 pub use report::{improvement_over, EnergyBreakdown, SimReport};
 pub use stats::Summary;
+pub use workload::WorkloadSource;

@@ -118,6 +118,11 @@ pub struct SolverStats {
     /// Candidates that passed the feasibility/energy gate and were
     /// adopted.
     pub adopted: usize,
+    /// Lookups answered by a carried warm solve (previous boundary's
+    /// multipliers + ends seeded one solve that passed the gate), which
+    /// skips both the cache and the multi-start fan-out. Invariant:
+    /// `lookups == warm_carry_hits + cache_hits + resolves`.
+    pub warm_carry_hits: usize,
 }
 
 impl SolverStats {
@@ -129,6 +134,7 @@ impl SolverStats {
             cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
             resolves: self.resolves.saturating_sub(earlier.resolves),
             adopted: self.adopted.saturating_sub(earlier.adopted),
+            warm_carry_hits: self.warm_carry_hits.saturating_sub(earlier.warm_carry_hits),
         }
     }
 

@@ -11,21 +11,29 @@
 //! phase uses ([`acs_core::reopt`]). Early completions thus reshape the
 //! whole remaining speed profile, not just the chunk in flight.
 //!
-//! Three mechanisms keep the boundary solves affordable (the ROADMAP's
+//! Four mechanisms keep the boundary solves affordable (the ROADMAP's
 //! speed mandate — re-optimization is only viable when each re-solve is
 //! cheap):
 //!
-//! 1. **Warm starts.** Every boundary runs two cheap solves — one from
-//!    the static schedule's end times projected onto the boundary state,
-//!    one from the latest-feasible (ALAP) profile — and keeps the better
-//!    feasible result ([`acs_core::reopt::synthesize_remaining_best`]).
+//! 1. **Warm starts.** A boundary that cannot be answered incrementally
+//!    runs two cheap solves — one from the static schedule's end times
+//!    projected onto the boundary state, one from the latest-feasible
+//!    (ALAP) profile — and keeps the better feasible result
+//!    ([`acs_core::reopt::synthesize_remaining_best`]).
 //!    Both starts are feasible and structured, so the small default
 //!    iteration budget suffices.
-//! 2. **Receding horizon.** Only the next [`ReOptConfig::horizon`] live
+//! 2. **Incremental carry.** Successive boundaries are nearly the same
+//!    problem: the live set shrinks, `now` advances, the constraint
+//!    structure barely moves. The winning solve's end times *and* PHR
+//!    inequality multipliers are carried to the next boundary
+//!    ([`acs_core::reopt::WarmCarry`], remapped by sub-instance), where
+//!    a *single* seeded solve replaces the two-solve fan-out whenever
+//!    it already passes the exact gate ([`ReOptConfig::warm_carry`]).
+//! 3. **Receding horizon.** Only the next [`ReOptConfig::horizon`] live
 //!    sub-instances enter the NLP; the frontier advances with execution,
 //!    so successive boundaries cover the whole hyper-period while each
 //!    solve stays small.
-//! 3. **Solver cache.** Boundary states are quantized
+//! 4. **Solver cache.** Boundary states are quantized
 //!    ([`ReOptConfig::time_quantum_frac`] /
 //!    [`ReOptConfig::cycle_quantum_frac`]) and solved states are kept in
 //!    a shared LRU ([`SolverCache`]), so repeated states — across
@@ -46,7 +54,8 @@
 
 use crate::policy::{BoundaryEvent, DispatchContext, Policy, SolverContext, SolverStats};
 use acs_core::reopt::{
-    synthesize_remaining_best, InstanceProgress, RemainingInstance, ReoptOptions,
+    synthesize_remaining_best_with_carry, synthesize_remaining_carry, InstanceProgress,
+    RemainingInstance, ReoptOptions, WarmCarry,
 };
 use acs_core::StaticSchedule;
 use acs_model::units::Freq;
@@ -90,6 +99,17 @@ pub struct ReOptConfig {
     /// budgets round *up*, executed cycles round *down* — both
     /// conservative).
     pub cycle_quantum_frac: f64,
+    /// Incremental boundary solves (default `true`): carry the previous
+    /// boundary's winning solve — end times *and* PHR inequality
+    /// multipliers, remapped by sub-instance — into the next boundary
+    /// as one seeded warm solve, and skip both the cache and the
+    /// two-solve multi-start fan-out whenever that single solve already
+    /// passes the exact worst-case gate and clears
+    /// [`ReOptConfig::min_rel_gain`]. The fan-out fallback never
+    /// consumes carry state, so cached solutions remain pure functions
+    /// of their keys and results stay independent of cache
+    /// configuration.
+    pub warm_carry: bool,
 }
 
 impl Default for ReOptConfig {
@@ -102,6 +122,7 @@ impl Default for ReOptConfig {
             min_rel_gain: 0.01,
             time_quantum_frac: 1.0 / 512.0,
             cycle_quantum_frac: 1.0 / 256.0,
+            warm_carry: true,
         }
     }
 }
@@ -171,6 +192,11 @@ struct CacheKey {
 #[derive(Debug)]
 struct CacheEntry {
     ends_ms: Vec<f64>,
+    /// The fan-out winner's carry state. Stored so a cache hit seeds
+    /// the next boundary exactly like the fresh fan-out it replaces —
+    /// carry evolution, and therefore every downstream solve, is
+    /// bit-identical with and without a cache.
+    carry: WarmCarry,
     last_used: u64,
 }
 
@@ -214,14 +240,14 @@ impl SolverCache {
         self.shards[idx].lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    fn get(&self, key: &CacheKey) -> Option<Vec<f64>> {
+    fn get(&self, key: &CacheKey) -> Option<(Vec<f64>, WarmCarry)> {
         self.lookups.fetch_add(1, Ordering::Relaxed);
         let mut inner = self.lock_shard(key);
         inner.tick += 1;
         let tick = inner.tick;
         let hit = inner.map.get_mut(key).map(|e| {
             e.last_used = tick;
-            e.ends_ms.clone()
+            (e.ends_ms.clone(), e.carry.clone())
         });
         if hit.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -229,7 +255,7 @@ impl SolverCache {
         hit
     }
 
-    fn insert(&self, key: CacheKey, ends_ms: Vec<f64>) {
+    fn insert(&self, key: CacheKey, ends_ms: Vec<f64>, carry: WarmCarry) {
         let mut inner = self.lock_shard(&key);
         inner.tick += 1;
         let tick = inner.tick;
@@ -254,6 +280,7 @@ impl SolverCache {
             key,
             CacheEntry {
                 ends_ms,
+                carry,
                 last_used: tick,
             },
         );
@@ -305,6 +332,11 @@ pub struct ReOpt {
     /// releasing at t = 0, simultaneous releases on shared grid points)
     /// cost one solve, not one each — with or without a shared cache.
     last_state: Option<Vec<u64>>,
+    /// The previous boundary's winning solve (ends + PHR multipliers),
+    /// seeding the next boundary's incremental warm solve when
+    /// [`ReOptConfig::warm_carry`] is on. Reset at every hyper-period
+    /// start.
+    carry: Option<WarmCarry>,
     fingerprint: u64,
     q_time_ms: f64,
     q_cycles: f64,
@@ -362,6 +394,7 @@ impl ReOpt {
         self.q_cycles = (max_wcec * self.cfg.cycle_quantum_frac).max(1e-9);
         self.fingerprint = fingerprint(schedule, ctx.set, ctx.cpu, &self.cfg);
         self.last_state = None;
+        self.carry = None;
         self.ready = true;
     }
 
@@ -415,24 +448,53 @@ impl ReOpt {
         }
         self.last_state = Some(state.clone());
         self.stats.lookups += 1;
+        // Incremental path first: one warm solve seeded from the
+        // previous boundary's multipliers and ends. It runs before —
+        // and entirely independent of — the cache, so carry evolution
+        // is identical with and without one, and is adopted only under
+        // the same exact worst-case + energy gate as any other
+        // candidate. On a gate pass both the cache lookup and the
+        // two-solve fan-out are skipped.
+        if self.cfg.warm_carry {
+            if let Some(carry) = self.carry.take() {
+                let (out, new_carry) = synthesize_remaining_carry(&rem, &carry, &self.cfg.solver);
+                let e_cur = rem.energy_of(&self.ends_ms);
+                if out.feasible
+                    && out.ends_ms.len() == self.ends_ms.len()
+                    && out.predicted_energy.as_units() < e_cur * (1.0 - self.cfg.min_rel_gain)
+                {
+                    self.stats.warm_carry_hits += 1;
+                    self.stats.adopted += 1;
+                    self.ends_ms = out.ends_ms;
+                    self.carry = Some(new_carry);
+                    return;
+                }
+                // Rejected: drop the attempt and fall through to the
+                // cache + fan-out, which refreshes the carry.
+            }
+        }
         let key = CacheKey {
             fingerprint: self.fingerprint,
             state,
         };
-        let candidate = match self.cache.as_ref().and_then(|c| c.get(&key)) {
+        let (candidate, carry) = match self.cache.as_ref().and_then(|c| c.get(&key)) {
             Some(hit) => {
                 self.stats.cache_hits += 1;
                 hit
             }
             None => {
                 self.stats.resolves += 1;
-                let out = synthesize_remaining_best(&rem, &self.cfg.solver);
+                let (out, carry) = synthesize_remaining_best_with_carry(&rem, &self.cfg.solver);
                 if let Some(cache) = &self.cache {
-                    cache.insert(key, out.ends_ms.clone());
+                    cache.insert(key, out.ends_ms.clone(), carry.clone());
                 }
-                out.ends_ms
+                (out.ends_ms, carry)
             }
         };
+        // The fan-out (or its cached image — same thing by key purity)
+        // seeds the next boundary's carry whether or not its candidate
+        // is adopted below.
+        self.carry = Some(carry);
         // Exact acceptance gate, independent of where the candidate came
         // from: worst-case feasible AND a strict model-energy improvement
         // over the end times currently driving dispatches.
@@ -537,6 +599,7 @@ fn fingerprint(
         t.c_eff().to_bits().hash(&mut h);
     }
     cfg.horizon.hash(&mut h);
+    cfg.warm_carry.hash(&mut h);
     cfg.min_rel_gain.to_bits().hash(&mut h);
     cfg.time_quantum_frac.to_bits().hash(&mut h);
     cfg.cycle_quantum_frac.to_bits().hash(&mut h);
@@ -575,6 +638,14 @@ mod tests {
     use acs_model::units::{Cycles, Ticks, Volt};
     use acs_model::{Task, TaskId, TaskSet};
     use acs_power::FreqModel;
+
+    fn empty_carry() -> WarmCarry {
+        WarmCarry {
+            ends_ms: Vec::new(),
+            subs: Vec::new(),
+            nu: Vec::new(),
+        }
+    }
 
     fn motivation() -> (TaskSet, Processor) {
         let mk = |n: &str| {
@@ -684,7 +755,17 @@ mod tests {
         // must absorb them.
         assert!(cached.solver_cache_hits > 0, "{cached:?}");
         assert_eq!(cached.solver_lookups, uncached.solver_lookups);
-        assert!(cached.boundary_resolves < uncached.solver_lookups);
+        assert!(cached.boundary_resolves < uncached.boundary_resolves);
+        // Carry evolution is cache-independent: the incremental path
+        // answers the same lookups either way.
+        assert_eq!(cached.warm_carry_hits, uncached.warm_carry_hits);
+        for r in [&cached, &uncached] {
+            assert_eq!(
+                r.solver_lookups,
+                r.warm_carry_hits + r.solver_cache_hits + r.boundary_resolves,
+                "{r:?}"
+            );
+        }
         assert!(!cache.is_empty());
         // The cache-level counters agree with the per-run report.
         let stats = cache.stats();
@@ -741,6 +822,7 @@ mod tests {
                     state: vec![i],
                 },
                 vec![i as f64],
+                empty_carry(),
             );
         }
         assert!(cache.len() <= 8, "len = {}", cache.len());
@@ -769,6 +851,7 @@ mod tests {
                                 state: vec![i],
                             },
                             vec![0.0],
+                            empty_carry(),
                         );
                     }
                     // Second lookup of a just-inserted key: guaranteed hit

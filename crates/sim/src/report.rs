@@ -94,6 +94,12 @@ pub struct SimReport {
     pub boundary_resolves: usize,
     /// Re-solved candidates adopted after the feasibility/energy gate.
     pub resolves_adopted: usize,
+    /// Solver lookups answered by an incremental carried warm solve
+    /// (previous boundary's multipliers seeded one solve that passed
+    /// the gate), skipping cache and fan-out alike. Invariant:
+    /// `solver_lookups == warm_carry_hits + solver_cache_hits +
+    /// boundary_resolves`.
+    pub warm_carry_hits: usize,
     /// Events the engine handled: event-queue pops (releases, chunk
     /// wakeups) plus dispatched execution slices. Deterministic for a
     /// given cell — the differential suite pins it as an invariant.
@@ -129,9 +135,23 @@ impl SimReport {
             solver_cache_hits: 0,
             boundary_resolves: 0,
             resolves_adopted: 0,
+            warm_carry_hits: 0,
             events_handled: 0,
             event_queue_peak: 0,
         }
+    }
+
+    /// Resets every counter to the [`SimReport::empty`] state for
+    /// `tasks` tasks, reusing the `per_task_energy` allocation. The
+    /// engine recycles one report per hyper-period instead of
+    /// allocating a fresh one.
+    pub fn reset(&mut self, tasks: usize) {
+        let mut per_task = std::mem::take(&mut self.per_task_energy);
+        per_task.clear();
+        per_task.resize(tasks, Energy::ZERO);
+        // `empty(0)`'s vec is zero-length and never allocates.
+        *self = SimReport::empty(0);
+        self.per_task_energy = per_task;
     }
 
     /// Folds another report (e.g. one hyper-period) into this one.
@@ -158,6 +178,7 @@ impl SimReport {
         self.solver_cache_hits += other.solver_cache_hits;
         self.boundary_resolves += other.boundary_resolves;
         self.resolves_adopted += other.resolves_adopted;
+        self.warm_carry_hits += other.warm_carry_hits;
         self.events_handled += other.events_handled;
         self.event_queue_peak = self.event_queue_peak.max(other.event_queue_peak);
     }

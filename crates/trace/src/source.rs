@@ -57,6 +57,12 @@ pub trait ArrivalSource: Send {
     /// window-local release times. Jobs of one task must be emitted in
     /// release order.
     ///
+    /// `out` is a caller-owned scratch buffer: the engine clears and
+    /// reuses **one** buffer across every window of a run (its
+    /// steady-state loop is allocation-free), so implementations must
+    /// only append — never clear, shrink or replace the vector — and
+    /// should `reserve` when the window's job count is known up front.
+    ///
     /// # Errors
     ///
     /// [`TraceError`] on malformed trace records or out-of-order
@@ -109,6 +115,9 @@ impl ArrivalSource for Periodic {
     }
 
     fn fill_window(&mut self, window: u64, out: &mut Vec<ArrivalJob>) -> Result<(), TraceError> {
+        // Every window releases exactly one hyper-period of jobs; size
+        // the (engine-reused) buffer once instead of growing it.
+        out.reserve(self.total as usize);
         let mut draw_index = window * self.total;
         for task in 0..self.periods.len() {
             for inst in 0..self.instances[task] {

@@ -158,6 +158,21 @@ impl TaskWorkloads {
     pub fn draw(&mut self, task: TaskId, _instance: u64) -> Cycles {
         Cycles::from_cycles(self.dists[task.0].sample(&mut self.rng))
     }
+
+    /// Draws `count` consecutive jobs of `task` in one batch, appending
+    /// to `out`. Bit-identical to `count` sequential
+    /// [`TaskWorkloads::draw`] calls — the batch samples the same
+    /// shared RNG in the same order — so seeded draw streams are
+    /// unchanged whether a consumer draws per job or per batch. The
+    /// simulator's hot loop uses this to hoist the per-draw dispatch
+    /// overhead out of job construction.
+    pub fn draw_batch(&mut self, task: TaskId, count: u64, out: &mut Vec<Cycles>) {
+        let dist = &self.dists[task.0];
+        out.reserve(count as usize);
+        for _ in 0..count {
+            out.push(Cycles::from_cycles(dist.sample(&mut self.rng)));
+        }
+    }
 }
 
 #[cfg(test)]

@@ -4,10 +4,15 @@
 # (override with BENCH_DIFF_TOLERANCE, a fraction, e.g. 0.10).
 #
 # Direction matters: *_per_sec metrics regress when they DROP,
-# *_ns_* / *_ms latency metrics regress when they RISE. Metrics
-# present in only one snapshot (a newly added series, like
-# trace_jobs_per_sec in BENCH_3) are reported but never compared.
-# With fewer than two snapshots there is nothing to diff: exit 0.
+# *_ns_* / *_ms latency metrics and peak_rss_mb regress when they
+# RISE. allocs_per_job is pinned at zero by the engine arena, so any
+# increase at all (beyond float noise) fails regardless of tolerance —
+# a ratio gate is useless against a zero baseline. Metrics present in
+# only one snapshot (a newly added series, like trace_jobs_per_sec in
+# BENCH_3) are reported but never compared; raw counts and
+# wall-seconds (sweep_cells, trace_jobs, *_seconds) are reported, not
+# gated. With fewer than two snapshots there is nothing to diff:
+# exit 0.
 #
 # Usage: sh scripts/bench-diff.sh [old.json new.json]
 # Run from anywhere; paths resolve against the repository root.
@@ -63,6 +68,19 @@ awk -v tol="$tol" -v oldf="$old" -v newf="$new" '
         for (key in n) {
             if (!(key in o)) {
                 printf "  %-22s %12.2f  (new series, not compared)\n", key, n[key]
+                continue
+            }
+            # Negative sentinel: the metric could not be measured on one
+            # side (peak_rss_mb without /proc).
+            if (o[key] < 0 || n[key] < 0) continue
+            # Zero-baseline absolute gate: the allocation-free contract.
+            if (key == "allocs_per_job") {
+                flag = ""
+                if (n[key] > o[key] + 0.001) {
+                    flag = "  <-- REGRESSION"
+                    bad = 1
+                }
+                printf "  %-22s %12.3f -> %12.3f%s\n", key, o[key], n[key], flag
                 continue
             }
             if (o[key] == 0) continue

@@ -11,6 +11,10 @@
 #   sweep_cells_per_sec   cells/s for the multicore_sweep campaign
 #   trace_jobs_per_sec    replayed jobs/s for a generated 1M-job
 #                         bursty trace through scenarios/bursty_trace.txt
+#   allocs_per_job        steady-state allocator acquisitions per job
+#                         (hotpath_stats; the arena pins this at 0.000)
+#   peak_rss_mb           peak resident set of an in-process
+#                         multicore_sweep campaign (VmHWM)
 #
 # CRITERION_QUICK=1 shrinks the criterion measurement windows 10x for
 # smoke runs; the snapshot records which mode produced it. Run from
@@ -89,6 +93,20 @@ target/release/acsched run scenarios/bursty_trace.txt --quiet --out "$trace_csv"
 trace_end_ns=$(date +%s%N)
 trace_cells=$(($(wc -l <"$trace_csv") - 1))
 
+# Hot-path memory statistics: steady-state allocations per job and the
+# peak RSS of the sweep campaign run in-process.
+echo "bench-trajectory: measuring hot-path allocation/memory stats..." >&2
+cargo build --release -p acs-bench --bin hotpath_stats >/dev/null 2>&1
+hotpath_out=$(target/release/hotpath_stats scenarios/multicore_sweep.txt)
+allocs_per_job=$(printf '%s\n' "$hotpath_out" | awk '$1 == "allocs_per_job" { print $2 }')
+peak_rss_mb=$(printf '%s\n' "$hotpath_out" | awk '$1 == "peak_rss_mb" { print $2 }')
+if [ -z "$allocs_per_job" ]; then
+    echo "bench-trajectory: hotpath_stats reported no allocs_per_job" >&2
+    exit 1
+fi
+# VmHWM needs /proc; record -1 where unavailable (never compared).
+peak_rss_mb=${peak_rss_mb:--1}
+
 commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 now=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 
@@ -97,7 +115,8 @@ awk -v seq="$seq" -v date="$now" -v commit="$commit" -v quick="$quick" \
     -v d="$dispatch_ns" -v w="$warm_ns" -v c="$cold_ns" \
     -v cells="$cells" -v s="$start_ns" -v e="$end_ns" \
     -v tj="$trace_jobs" -v tc="$trace_cells" \
-    -v ts="$trace_start_ns" -v te="$trace_end_ns" 'BEGIN {
+    -v ts="$trace_start_ns" -v te="$trace_end_ns" \
+    -v apj="$allocs_per_job" -v rss="$peak_rss_mb" 'BEGIN {
     secs = (e - s) / 1e9
     tsecs = (te - ts) / 1e9
     printf "{\n"
@@ -113,7 +132,9 @@ awk -v seq="$seq" -v date="$now" -v commit="$commit" -v quick="$quick" \
     printf "  \"sweep_cells_per_sec\": %.2f,\n", cells / secs
     printf "  \"trace_jobs\": %d,\n", tj * tc
     printf "  \"trace_seconds\": %.2f,\n", tsecs
-    printf "  \"trace_jobs_per_sec\": %.0f\n", tj * tc / tsecs
+    printf "  \"trace_jobs_per_sec\": %.0f,\n", tj * tc / tsecs
+    printf "  \"allocs_per_job\": %.3f,\n", apj
+    printf "  \"peak_rss_mb\": %.1f\n", rss
     printf "}\n"
 }' >"$out"
 

@@ -179,7 +179,7 @@ pub mod prelude {
         improvement_over, render_gantt, ArrivalJob, ArrivalKind, ArrivalSource, BoundaryEvent,
         CcRm, DispatchContext, EnergyBreakdown, ExecutionTrace, GreedyReclaim, IntoPolicy,
         MmppProfile, NoDvs, Policy, ReOpt, ReOptConfig, SimOptions, SimReport, Simulator, Slice,
-        SolverCache, SolverContext, SolverStats, StaticSpeed, Summary,
+        SolverCache, SolverContext, SolverStats, StaticSpeed, Summary, WorkloadSource,
     };
     pub use acs_trace::{TraceReader, TraceRecord, TraceSource, TraceWriter};
     pub use acs_workloads::{

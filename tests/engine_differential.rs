@@ -410,6 +410,102 @@ fn random_differential_case(
     assert_trace_differential(&set, &cpu, policy_kind, seed);
 }
 
+// ---------------------------------------------------------------------
+// Batched-draw purity: randomized batch-window sizes.
+// ---------------------------------------------------------------------
+
+/// Re-chunks every engine `draw_batch` request into sub-windows whose
+/// sizes cycle through a proptest-chosen list, alternating between the
+/// inner source's per-draw and batched paths. Under the purity contract
+/// (`acs-sim`'s `workload` module docs) this is stream-neutral: the
+/// inner RNG sees the same calls in the same order no matter how the
+/// window is sliced.
+struct ChunkedSource<S> {
+    inner: S,
+    sizes: Vec<u64>,
+    cursor: usize,
+}
+
+impl<S: WorkloadSource> WorkloadSource for ChunkedSource<S> {
+    fn draw(&mut self, task: TaskId, instance: u64) -> Cycles {
+        self.inner.draw(task, instance)
+    }
+
+    fn draw_batch(&mut self, task: TaskId, start: u64, count: u64, out: &mut Vec<Cycles>) {
+        let mut done = 0;
+        while done < count {
+            let size = self.sizes[self.cursor % self.sizes.len()].max(1);
+            self.cursor += 1;
+            let n = size.min(count - done);
+            if self.cursor % 2 == 0 {
+                self.inner.draw_batch(task, start + done, n, out);
+            } else {
+                for k in 0..n {
+                    let c = self.inner.draw(task, start + done + k);
+                    out.push(c);
+                }
+            }
+            done += n;
+        }
+    }
+}
+
+/// Runs one cell three ways on the event engine — per-job closure,
+/// whole-window `TaskWorkloads` batches, and randomly re-chunked
+/// batches — and asserts the three `SimReport`s are byte-identical (no
+/// normalization: all three runs use the same engine).
+fn batched_draw_differential_case(
+    picks: &[(usize, f64)],
+    total_util: f64,
+    seed: u64,
+    sizes: &[u64],
+    shape: usize,
+) {
+    let _guard = toggle_lock().lock().unwrap();
+    assert!(
+        !legacy_engine_enabled(),
+        "batch differential must run with the event engine as default"
+    );
+    let cpu = build_cpu(shape);
+    let set = build_set(picks, total_util, cpu.f_max().as_cycles_per_ms());
+    let schedule = synthesize_acs(&set, &cpu, &SynthesisOptions::quick()).ok();
+    let options = SimOptions {
+        hyper_periods: 3,
+        ..Default::default()
+    };
+    let run = |source: &mut dyn WorkloadSource| {
+        let out = match &schedule {
+            Some(s) => Simulator::new(&set, &cpu, GreedyReclaim)
+                .with_schedule(s)
+                .with_options(options.clone())
+                .run_source(source),
+            None => Simulator::new(&set, &cpu, NoDvs)
+                .with_options(options.clone())
+                .run_source(source),
+        };
+        out.expect("simulation succeeds").report
+    };
+    let per_job = {
+        let mut draws = TaskWorkloads::paper(&set, seed);
+        let mut workload = |tid: TaskId, i: u64| draws.draw(tid, i);
+        run(&mut workload)
+    };
+    let batched = run(&mut TaskWorkloads::paper(&set, seed));
+    let chunked = run(&mut ChunkedSource {
+        inner: TaskWorkloads::paper(&set, seed),
+        sizes: sizes.to_vec(),
+        cursor: 0,
+    });
+    assert_eq!(
+        per_job, batched,
+        "whole-window batching diverged from per-job draws (seed {seed})"
+    );
+    assert_eq!(
+        per_job, chunked,
+        "re-chunked batching diverged from per-job draws (seed {seed}, sizes {sizes:?})"
+    );
+}
+
 proptest! {
     /// The headline property: on arbitrary periodic sets, across both
     /// scheduling classes, every built-in policy and three processor
@@ -425,5 +521,21 @@ proptest! {
         shape in 0usize..3,
     ) {
         random_differential_case(&picks, total_util, seed, edf, policy_kind, shape);
+    }
+
+    /// Batched-draw purity: slicing a task's hyper-period draw window
+    /// into arbitrary sub-batches (mixing per-draw and batched calls on
+    /// the shared RNG) never changes the report. Pins the
+    /// `WorkloadSource::draw_batch` contract the engine's hot loop
+    /// relies on.
+    #[test]
+    fn batch_window_size_never_changes_reports(
+        picks in prop::collection::vec((0usize..6, 0.05f64..1.0), 1..5),
+        total_util in 0.2f64..0.9,
+        seed in 0u64..1_000_000,
+        sizes in prop::collection::vec(1u64..7, 1..6),
+        shape in 0usize..3,
+    ) {
+        batched_draw_differential_case(&picks, total_util, seed, &sizes, shape);
     }
 }

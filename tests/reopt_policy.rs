@@ -187,9 +187,25 @@ fn reopt_reports_identical_with_cache_on_and_off() {
         assert_eq!(sa.saturated_dispatches, sb.saturated_dispatches);
         assert_eq!(sa.worst_lateness_ms, sb.worst_lateness_ms);
         assert_eq!(sa.solver_lookups, sb.solver_lookups);
+        // Carry evolution is cache-independent (the fan-out never
+        // consumes carry state), so warm-carry hits match exactly.
+        assert_eq!(sa.warm_carry_hits, sb.warm_carry_hits);
         if a.policy == "reopt" {
-            // With the cache off, every lookup is a fresh re-solve.
-            assert_eq!(sb.boundary_resolves, sb.solver_lookups);
+            // The three mechanisms partition the lookups, with and
+            // without the cache...
+            for s in [&sa, &sb] {
+                assert_eq!(
+                    s.solver_lookups,
+                    s.warm_carry_hits + s.solver_cache_hits + s.boundary_resolves,
+                    "[{} {}] lookup partition broken",
+                    a.task_set,
+                    a.policy
+                );
+            }
+            // ...and with the cache off, every lookup the carry does not
+            // answer is a fresh re-solve.
+            assert_eq!(sb.solver_cache_hits, 0);
+            assert_eq!(sb.boundary_resolves, sb.solver_lookups - sb.warm_carry_hits);
         } else {
             assert_eq!(sa.solver_lookups, 0);
         }
@@ -209,4 +225,87 @@ fn reopt_reports_identical_with_cache_on_and_off() {
         resolves(&cached),
         resolves(&uncached)
     );
+}
+
+fn reopt_only_campaign(sets: Vec<(String, TaskSet)>, cfg: ReOptConfig) -> CampaignReport {
+    Campaign::builder()
+        .task_sets(sets)
+        .processor("linear", cpu())
+        .schedules([ScheduleChoice::Wcs, ScheduleChoice::Acs])
+        .policy(PolicySpec::reopt_with(cfg, 4096))
+        .workload(WorkloadSpec::Paper)
+        .seeds([11, 12])
+        .hyper_periods(3)
+        .build()
+        .unwrap()
+        .run()
+}
+
+/// Incremental warm-carry semantics across multiple boundaries:
+///
+/// * Under the default config the carry answers a real share of lookups
+///   (`warm_carry_hits > 0`), and every carry hit *is* an adoption —
+///   the gate passed — so `warm_carry_hits <= resolves_adopted` and the
+///   lookup partition `lookups == carry + cache + resolves` holds.
+/// * When the gate can never pass (`min_rel_gain = 1.0` demands a free
+///   lunch), the carry attempt must be inert: every observable —
+///   energies, misses, *and* solver counters — is bit-identical to a
+///   run with `warm_carry` disabled outright, and no carry hit is ever
+///   recorded.
+#[test]
+fn warm_carry_adopts_only_on_gate_pass_and_is_inert_when_rejected() {
+    let sets = fig6a_style_sets(2);
+    assert!(!sets.is_empty());
+
+    // Default config: the carry fires and every hit is an adoption.
+    let default_run = reopt_only_campaign(sets.clone(), ReOptConfig::default());
+    assert_eq!(default_run.failures().count(), 0);
+    let mut total_carry_hits = 0usize;
+    for cell in default_run.cells() {
+        let s = cell.stats().unwrap();
+        assert_eq!(
+            s.solver_lookups,
+            s.warm_carry_hits + s.solver_cache_hits + s.boundary_resolves,
+            "[{}] lookup partition broken",
+            cell.task_set
+        );
+        assert!(
+            s.warm_carry_hits <= s.resolves_adopted,
+            "[{}] a carry hit that was not adopted: {} hits vs {} adoptions",
+            cell.task_set,
+            s.warm_carry_hits,
+            s.resolves_adopted
+        );
+        total_carry_hits += s.warm_carry_hits;
+    }
+    assert!(
+        total_carry_hits > 0,
+        "warm carry never fired on the default config"
+    );
+
+    // Unpassable gate: carry attempts happen but must change nothing.
+    let unpassable = |warm_carry: bool| {
+        let cfg = ReOptConfig {
+            min_rel_gain: 1.0,
+            warm_carry,
+            ..ReOptConfig::default()
+        };
+        reopt_only_campaign(sets.clone(), cfg)
+    };
+    let (with_carry, without_carry) = (unpassable(true), unpassable(false));
+    assert_eq!(with_carry.cells().len(), without_carry.cells().len());
+    for (a, b) in with_carry.cells().iter().zip(without_carry.cells()) {
+        let (sa, sb) = (a.stats().unwrap(), b.stats().unwrap());
+        assert_eq!(
+            sa.warm_carry_hits, 0,
+            "[{}] gate passed at 100% gain",
+            a.task_set
+        );
+        assert_eq!(sb.warm_carry_hits, 0);
+        assert_eq!(
+            sa, sb,
+            "[{} {}] rejected carry perturbed the run",
+            a.task_set, a.schedule
+        );
+    }
 }
